@@ -1,0 +1,138 @@
+#include "common.hh"
+
+#include "metrics/evaluation.hh"
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace hotpath::bench
+{
+
+std::vector<BenchmarkSweep>
+runFigureSweeps(const SweepSetup &setup)
+{
+    std::vector<BenchmarkSweep> sweeps;
+
+    for (const SpecTarget &target : specTargets()) {
+        WorkloadConfig config;
+        config.flowScale = setup.flowScale;
+        config.hotFraction = setup.hotFraction;
+        config.seed = setup.seed;
+        CalibratedWorkload workload(target, config);
+
+        const std::vector<PathEvent> stream =
+            workload.materializeStream();
+        OracleProfile oracle;
+        for (std::uint64_t t = 0; t < stream.size(); ++t)
+            oracle.onPathEvent(stream[t], t);
+
+        // The ladder never exceeds the stream (a delay longer than
+        // the flow predicts nothing at all).
+        const std::uint64_t cap =
+            std::min<std::uint64_t>(setup.maxDelay, stream.size());
+        const std::vector<std::uint64_t> delays =
+            defaultDelaySchedule(cap);
+
+        BenchmarkSweep sweep;
+        sweep.name = std::string(target.name);
+        sweep.flow = stream.size();
+        sweep.pathProfile = delaySweep(
+            stream, oracle,
+            [](std::uint64_t delay) {
+                return std::make_unique<PathProfilePredictor>(delay);
+            },
+            delays, setup.hotFraction);
+        sweep.net = delaySweep(
+            stream, oracle,
+            [](std::uint64_t delay) {
+                return std::make_unique<NetPredictor>(delay);
+            },
+            delays, setup.hotFraction);
+        sweeps.push_back(std::move(sweep));
+    }
+    return sweeps;
+}
+
+namespace
+{
+
+TextTable
+buildCurveTable(const std::vector<BenchmarkSweep> &sweeps)
+{
+    TextTable table;
+    table.setHeader({"Benchmark", "Scheme", "Delay", "Profiled flow",
+                     "Hit rate", "Noise rate"});
+    for (const BenchmarkSweep &sweep : sweeps) {
+        const auto emit = [&](const char *scheme,
+                              const std::vector<SweepPoint> &points) {
+            for (const SweepPoint &point : points) {
+                table.beginRow();
+                table.addCell(sweep.name);
+                table.addCell(std::string(scheme));
+                table.addCell(point.delay);
+                table.addPercentCell(
+                    point.result.profiledFlowPercent(), 2);
+                table.addPercentCell(point.result.hitRatePercent(), 2);
+                table.addPercentCell(point.result.noiseRatePercent(),
+                                     2);
+            }
+        };
+        emit("path-profile", sweep.pathProfile);
+        emit("net", sweep.net);
+    }
+    return table;
+}
+
+} // namespace
+
+void
+printCurveData(std::ostream &os,
+               const std::vector<BenchmarkSweep> &sweeps)
+{
+    buildCurveTable(sweeps).print(os);
+}
+
+void
+printCurveCsv(std::ostream &os,
+              const std::vector<BenchmarkSweep> &sweeps)
+{
+    buildCurveTable(sweeps).printCsv(os);
+}
+
+void
+printSummaryAtTenPercent(std::ostream &os,
+                         const std::vector<BenchmarkSweep> &sweeps,
+                         bool noise)
+{
+    TextTable table;
+    table.setHeader({"Benchmark",
+                     noise ? "PathProfile noise @10%"
+                           : "PathProfile hit @10%",
+                     noise ? "NET noise @10%" : "NET hit @10%"});
+
+    RunningStat pp_stat;
+    RunningStat net_stat;
+    for (const BenchmarkSweep &sweep : sweeps) {
+        const double pp =
+            noise ? noiseRateAtProfiledFlow(sweep.pathProfile, 10.0)
+                  : hitRateAtProfiledFlow(sweep.pathProfile, 10.0);
+        const double net =
+            noise ? noiseRateAtProfiledFlow(sweep.net, 10.0)
+                  : hitRateAtProfiledFlow(sweep.net, 10.0);
+        pp_stat.add(pp);
+        net_stat.add(net);
+        table.beginRow();
+        table.addCell(sweep.name);
+        table.addPercentCell(pp, 2);
+        table.addPercentCell(net, 2);
+    }
+    table.beginRow();
+    table.addCell(std::string("Average"));
+    table.addPercentCell(pp_stat.mean(), 2);
+    table.addPercentCell(net_stat.mean(), 2);
+    table.print(os);
+}
+
+} // namespace hotpath::bench

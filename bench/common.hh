@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared machinery for the figure-regeneration benches: the Figure
+ * 2/3 delay sweeps over all nine calibrated benchmarks, and the
+ * common table printers.
+ */
+
+#ifndef HOTPATH_BENCH_COMMON_HH
+#define HOTPATH_BENCH_COMMON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/sweep.hh"
+#include "workload/synthesis.hh"
+
+namespace hotpath::bench
+{
+
+/** Both schemes swept over one benchmark's stream. */
+struct BenchmarkSweep
+{
+    std::string name;
+    std::uint64_t flow = 0;
+    std::vector<SweepPoint> pathProfile;
+    std::vector<SweepPoint> net;
+};
+
+/** Sweep configuration for the figure benches. */
+struct SweepSetup
+{
+    double flowScale = 1e-3;
+    double hotFraction = kPaperHotFraction;
+    std::uint64_t seed = 42;
+    /** Cap of the delay ladder (paper: 1,000,000). */
+    std::uint64_t maxDelay = 1000000;
+};
+
+/** Run the Figure 2/3 sweeps for every benchmark in the paper. */
+std::vector<BenchmarkSweep> runFigureSweeps(const SweepSetup &setup);
+
+/**
+ * Print the long-format curve data (one row per benchmark x scheme x
+ * delay): profiled flow %, hit rate %, noise rate %.
+ */
+void printCurveData(std::ostream &os,
+                    const std::vector<BenchmarkSweep> &sweeps);
+
+/** Same rows as CSV (for replotting); pass "--csv" to the benches. */
+void printCurveCsv(std::ostream &os,
+                   const std::vector<BenchmarkSweep> &sweeps);
+
+/**
+ * Print the figure summary: per benchmark, the rate interpolated at
+ * 10% profiled flow for both schemes, plus the average row. Pass
+ * `noise` to summarize Figure 3 instead of Figure 2.
+ */
+void printSummaryAtTenPercent(std::ostream &os,
+                              const std::vector<BenchmarkSweep> &sweeps,
+                              bool noise);
+
+} // namespace hotpath::bench
+
+#endif // HOTPATH_BENCH_COMMON_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Extension experiment X8: the end-to-end CFG-level Dynamo engine.
+ *
+ * Everything measured, nothing assumed: generated programs run on
+ * the Machine; the engine interprets, NET selects tails, each
+ * fragment's IR is optimized by the trace optimizer (its measured
+ * instruction ratio replaces the PathEvent model's cachedPerInstr
+ * constant), and fragment execution follows the live control flow
+ * with guard exits on divergence.
+ *
+ * Three configurations per program:
+ *  - no optimization (fragments run at native speed: the only gain
+ *    is dispatch/layout, the only losses are formation, profiling
+ *    and interpretation);
+ *  - optimized fragments (the measured ratio);
+ *  - optimized, biased programs (stronger dominant paths -> fewer
+ *    guard exits -> more flow in fragments).
+ */
+
+#include <iostream>
+
+#include "dynamo/cfg_engine.hh"
+#include "progen/generator.hh"
+#include "progen/presets.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+CfgEngineReport
+run(std::uint64_t seed, double dominance, bool optimize)
+{
+    ProgenConfig config;
+    config.seed = seed;
+    config.dominantTakenProb = dominance;
+    config.balancedFraction = 0.1;
+    SyntheticProgram synth(config);
+
+    CfgEngineConfig engine_config;
+    engine_config.hotThreshold = 50;
+    engine_config.optimizeFragments = optimize;
+    engine_config.irGen.seed = seed ^ 0x5eed;
+    CfgDynamoEngine engine(synth.program(), engine_config);
+
+    Machine machine(synth.program(), synth.behavior(), {.seed = 17});
+    machine.addListener(&engine);
+    machine.run(3000000);
+    return engine.report();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "X8: CFG-level Dynamo engine, everything measured "
+                 "(3M blocks per run)\n\n";
+
+    TextTable table;
+    table.setHeader({"Seed", "Config", "Speedup", "Fragments",
+                     "Mean ratio", "Frag blocks", "Guard exits",
+                     "Interpreted"});
+
+    for (const std::uint64_t seed : {51ull, 52ull, 53ull}) {
+        struct Variant
+        {
+            const char *label;
+            double dominance;
+            bool optimize;
+        };
+        const Variant variants[] = {
+            {"layout only (no opt)", 0.85, false},
+            {"optimized", 0.85, true},
+            {"optimized, high dominance", 0.95, true},
+        };
+        for (const Variant &variant : variants) {
+            const CfgEngineReport report =
+                run(seed, variant.dominance, variant.optimize);
+            table.beginRow();
+            table.addCell(seed);
+            table.addCell(std::string(variant.label));
+            table.addPercentCell(report.speedupPercent(), 2);
+            table.addCell(report.fragmentsFormed);
+            table.addCell(report.meanOptimizationRatio, 3);
+            table.addCell(report.fragmentBlocks);
+            table.addCell(report.guardExits);
+            table.addCell(report.interpretedBlocks);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNamed program shapes (optimized, threshold 50, "
+                 "3M blocks):\n\n";
+    TextTable shapes;
+    shapes.setHeader({"Preset", "Speedup", "Fragments", "Mean ratio",
+                      "Guard exits", "Interpreted"});
+    for (const ProgenPreset &preset : progenPresets()) {
+        SyntheticProgram synth(preset.config);
+        CfgEngineConfig engine_config;
+        engine_config.hotThreshold = 50;
+        engine_config.irGen.seed = preset.config.seed;
+        CfgDynamoEngine engine(synth.program(), engine_config);
+        Machine machine(synth.program(), synth.behavior(),
+                        {.seed = 23});
+        machine.addListener(&engine);
+        machine.run(3000000);
+        const CfgEngineReport report = engine.report();
+
+        shapes.beginRow();
+        shapes.addCell(std::string(preset.name));
+        shapes.addPercentCell(report.speedupPercent(), 2);
+        shapes.addCell(report.fragmentsFormed);
+        shapes.addCell(report.meanOptimizationRatio, 3);
+        shapes.addCell(report.guardExits);
+        shapes.addCell(report.interpretedBlocks);
+    }
+    shapes.print(std::cout);
+
+    std::cout << "\nExpected shape: without optimization the engine "
+                 "roughly breaks even (interpretation, profiling and "
+                 "formation must be amortized by dispatch alone); "
+                 "the measured optimization ratio turns the same "
+                 "fragments into a real speedup, and higher path "
+                 "dominance raises it further by cutting guard "
+                 "exits.\n";
+    return 0;
+}

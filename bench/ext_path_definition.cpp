@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Extension experiment X6: the path definition and the trace length
+ * cap.
+ *
+ * Part 1 - interprocedural vs intraprocedural paths. Section 3
+ * extends Ball-Larus forward paths across forward calls and returns
+ * precisely so that loop iterations containing calls stay whole (and
+ * recursive loops are captured without unfolding). We run both
+ * definitions over the same call-heavy generated execution and
+ * compare the resulting path populations and how much flow the 0.1%
+ * hot set captures under each.
+ *
+ * Part 2 - the trace length cap. Dynamo bounds trace length; too
+ * small a cap fractures hot loop bodies into partial tails, too large
+ * a cap only costs collection time. We sweep the NET builder's
+ * maxBlocks and report traces collected, truncation rate and mean
+ * trace length.
+ */
+
+#include <iostream>
+#include <unordered_map>
+
+#include "metrics/oracle.hh"
+#include "paths/registry.hh"
+#include "paths/splitter.hh"
+#include "predict/net_trace_builder.hh"
+#include "progen/generator.hh"
+#include "sim/machine.hh"
+#include "sim/trace_log.hh"
+#include "support/table.hh"
+#include "workload/spec_profile.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+struct DefinitionStats
+{
+    std::size_t distinctPaths = 0;
+    std::uint64_t pathExecutions = 0;
+    double meanBlocks = 0;
+    double hotFlowPercent = 0;
+    std::size_t hotPaths = 0;
+};
+
+DefinitionStats
+measure(const Program &program, const TraceLog &log,
+        bool interprocedural)
+{
+    PathRegistry registry;
+    OracleProfile oracle;
+
+    struct Bridge : PathEventSink
+    {
+        void
+        onPathEvent(const PathEvent &event, std::uint64_t time) override
+        {
+            oracle->onPathEvent(event, time);
+            blocks += event.blocks;
+        }
+
+        OracleProfile *oracle = nullptr;
+        std::uint64_t blocks = 0;
+    } bridge;
+    bridge.oracle = &oracle;
+
+    PathEventAdapter adapter(registry, bridge);
+    SplitterConfig config;
+    config.interprocedural = interprocedural;
+    PathSplitter splitter(adapter, config);
+    log.replay(program, {&splitter});
+    splitter.flush();
+
+    DefinitionStats stats;
+    stats.distinctPaths = registry.numPaths();
+    stats.pathExecutions = oracle.totalFlow();
+    stats.meanBlocks = oracle.totalFlow() == 0
+        ? 0.0
+        : static_cast<double>(bridge.blocks) /
+              static_cast<double>(oracle.totalFlow());
+    const HotSetStats hot = oracle.hotStats(kPaperHotFraction);
+    stats.hotFlowPercent = hot.hotFlowPercent();
+    stats.hotPaths = hot.hotPaths;
+    return stats;
+}
+
+/** Counts traces and their lengths. */
+struct LengthSink : NetTraceSink
+{
+    void
+    onTrace(const NetTrace &trace) override
+    {
+        ++traces;
+        blocks += trace.blocks.size();
+        truncated += trace.endReason == PathEndReason::LengthCap;
+    }
+
+    std::uint64_t traces = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t truncated = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "X6: path definition and trace length cap\n\n";
+
+    // A call-heavy program exercises the definitional difference.
+    ProgenConfig config;
+    config.seed = 321;
+    config.procedures = 3;
+    config.callDensity = 1.0;
+    config.diamondsPerBody = 3;
+    SyntheticProgram synth(config);
+
+    TraceLog log;
+    Machine machine(synth.program(), synth.behavior(), {.seed = 11});
+    machine.addListener(&log);
+    machine.run(400000);
+
+    std::cout << "Part 1: interprocedural (paper Section 3) vs "
+                 "intraprocedural paths over the same execution\n\n";
+    TextTable table;
+    table.setHeader({"Definition", "Distinct paths", "Executions",
+                     "Mean blocks", "0.1% hot paths", "% hot flow"});
+    for (const bool inter : {true, false}) {
+        const DefinitionStats stats =
+            measure(synth.program(), log, inter);
+        table.beginRow();
+        table.addCell(std::string(inter ? "interprocedural"
+                                        : "intraprocedural"));
+        table.addCell(static_cast<std::uint64_t>(stats.distinctPaths));
+        table.addCell(stats.pathExecutions);
+        table.addCell(stats.meanBlocks, 2);
+        table.addCell(static_cast<std::uint64_t>(stats.hotPaths));
+        table.addPercentCell(stats.hotFlowPercent, 2);
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: the interprocedural definition keeps "
+                 "call-containing iterations whole, so it records "
+                 "more distinct paths (caller context times callee "
+                 "interior) at slightly longer mean length; under a "
+                 "contiguous layout the return ends the path either "
+                 "way, so coverage is similar here - the definition's "
+                 "decisive case, recursive loops captured without "
+                 "unfolding, is exercised in the splitter tests.\n\n";
+
+    std::cout << "Part 2: NET trace length cap sweep\n\n";
+    TextTable caps;
+    caps.setHeader({"maxBlocks", "Traces", "Truncated", "Mean blocks",
+                    "Breakpoints"});
+    for (const std::uint32_t cap : {4u, 8u, 16u, 32u, 64u, 256u}) {
+        LengthSink sink;
+        NetTraceBuilderConfig net_config;
+        net_config.hotThreshold = 50;
+        net_config.maxBlocks = cap;
+        net_config.reArm = true;
+        NetTraceBuilder net(sink, net_config);
+        log.replay(synth.program(), {&net});
+
+        caps.beginRow();
+        caps.addCell(static_cast<std::uint64_t>(cap));
+        caps.addCell(sink.traces);
+        caps.addPercentCell(sink.traces == 0
+                                ? 0.0
+                                : 100.0 *
+                                      static_cast<double>(
+                                          sink.truncated) /
+                                      static_cast<double>(sink.traces),
+                            1);
+        caps.addCell(sink.traces == 0
+                         ? 0.0
+                         : static_cast<double>(sink.blocks) /
+                               static_cast<double>(sink.traces),
+                     2);
+        caps.addCell(net.collectionCost().breakpointsPlaced);
+    }
+    caps.print(std::cout);
+    std::cout << "\nExpected shape: small caps truncate most traces "
+                 "(fractured loop bodies); once the cap clears the "
+                 "loop-body length the truncation rate collapses and "
+                 "the trace population stabilizes.\n";
+    return 0;
+}

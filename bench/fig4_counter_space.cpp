@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Figure 4: NET's counter space normalized to path
+ * profile based prediction's counter space, per benchmark plus the
+ * average bar.
+ *
+ * The paper's text says NET uses "about 60% of the counter space";
+ * its abstract says NET uses "60% less counter space". The measured
+ * per-benchmark ratios (heads / dynamic paths, Table 2) average to
+ * ~0.36, i.e. ~64% less - we print the exact ratios and both
+ * aggregate readings so the discrepancy in the paper's own prose is
+ * visible.
+ */
+
+#include <iostream>
+
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+int
+main()
+{
+    std::cout << "Figure 4: NET counter space normalized to path "
+                 "profile based prediction\n\n";
+
+    TextTable table;
+    table.setHeader({"Benchmark", "NET counters",
+                     "PathProfile counters", "Ratio"});
+
+    RunningStat ratios;
+    for (const SpecTarget &target : specTargets()) {
+        WorkloadConfig config;
+        config.flowScale = 1e-3;
+        CalibratedWorkload workload(target, config);
+
+        PathProfilePredictor paths(~0ull);
+        NetPredictor heads(~0ull);
+        workload.generateStream(0, [&](const PathEvent &event,
+                                       std::uint64_t) {
+            paths.observe(event);
+            heads.observe(event);
+        });
+
+        const double ratio =
+            static_cast<double>(heads.countersAllocated()) /
+            static_cast<double>(paths.countersAllocated());
+        ratios.add(ratio);
+
+        table.beginRow();
+        table.addCell(std::string(target.name));
+        table.addCell(
+            static_cast<std::uint64_t>(heads.countersAllocated()));
+        table.addCell(
+            static_cast<std::uint64_t>(paths.countersAllocated()));
+        table.addCell(ratio, 3);
+    }
+    table.beginRow();
+    table.addCell(std::string("Average"));
+    table.addCell(std::string(""));
+    table.addCell(std::string(""));
+    table.addCell(ratios.mean(), 3);
+    table.print(std::cout);
+
+    std::cout << "\nAverage ratio: " << formatDouble(ratios.mean(), 3)
+              << " => NET uses "
+              << formatPercent(100.0 * ratios.mean(), 1)
+              << " of the path-profile counter space ("
+              << formatPercent(100.0 * (1.0 - ratios.mean()), 1)
+              << " less).\n";
+    return 0;
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Micro overhead benches (experiment X1): the runtime cost of each
+ * profiling scheme's operations, backing the paper's Section 4
+ * overhead arguments with measured numbers.
+ *
+ * Two families:
+ *  - PathEvent-level predictor costs: one NET head-counter update vs
+ *    bit tracing's per-branch shifts plus per-path table update;
+ *  - CFG-level profiler costs: block profiling, edge profiling,
+ *    Ball-Larus (chord probes), bit tracing, Young-Smith k-bounded
+ *    windows and the NET trace builder, all attached to the same
+ *    recorded execution trace (replay-only is the baseline to
+ *    subtract).
+ *
+ * Counter space is reported as a benchmark counter next to the time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "paths/ball_larus.hh"
+#include "paths/registry.hh"
+#include "paths/splitter.hh"
+#include "paths/young_smith.hh"
+#include "predict/net_predictor.hh"
+#include "predict/net_trace_builder.hh"
+#include "predict/path_profile_predictor.hh"
+#include "profile/block_profile.hh"
+#include "profile/counter_table.hh"
+#include "profile/edge_profile.hh"
+#include "profile/ephemeral_profile.hh"
+#include "profile/path_table.hh"
+#include "progen/generator.hh"
+#include "sim/machine.hh"
+#include "sim/trace_log.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+/** Shared event stream (perl-like: many paths). */
+const std::vector<PathEvent> &
+sharedStream()
+{
+    static const std::vector<PathEvent> stream = [] {
+        WorkloadConfig config;
+        config.flowScale = 1e-4;
+        CalibratedWorkload workload(specTarget("perl"), config);
+        return workload.materializeStream();
+    }();
+    return stream;
+}
+
+/** Shared recorded CFG trace. */
+struct SharedTrace
+{
+    SharedTrace()
+    {
+        ProgenConfig config;
+        config.seed = 77;
+        synth = std::make_unique<SyntheticProgram>(config);
+        Machine machine(synth->program(), synth->behavior(),
+                        {.seed = 1});
+        machine.addListener(&log);
+        machine.run(200000);
+    }
+
+    std::unique_ptr<SyntheticProgram> synth;
+    TraceLog log;
+};
+
+SharedTrace &
+sharedTrace()
+{
+    static SharedTrace trace;
+    return trace;
+}
+
+} // namespace
+
+// PathEvent-level scheme costs ---------------------------------------
+
+static void
+BM_NetPredictorObserve(benchmark::State &state)
+{
+    const auto &stream = sharedStream();
+    NetPredictor predictor(~0ull);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(predictor.observe(stream[i]));
+        i = (i + 1) % stream.size();
+    }
+    state.counters["counters"] =
+        static_cast<double>(predictor.countersAllocated());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetPredictorObserve);
+
+static void
+BM_PathProfilePredictorObserve(benchmark::State &state)
+{
+    const auto &stream = sharedStream();
+    PathProfilePredictor predictor(~0ull);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(predictor.observe(stream[i]));
+        i = (i + 1) % stream.size();
+    }
+    state.counters["counters"] =
+        static_cast<double>(predictor.countersAllocated());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathProfilePredictorObserve);
+
+static void
+BM_CounterTableIncrement(benchmark::State &state)
+{
+    CounterTable table;
+    std::uint64_t key = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.increment(key));
+        key = key % 4096 + 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterTableIncrement);
+
+static void
+BM_SignatureShift(benchmark::State &state)
+{
+    PathSignature signature(0x1000);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        signature.pushOutcome(i & 1);
+        if (++i % 64 == 0)
+            signature.reset(0x1000);
+        benchmark::DoNotOptimize(signature);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureShift);
+
+// CFG-level profiler costs (per executed block) ----------------------
+
+static void
+BM_ReplayOnly(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state)
+        shared.log.replay(shared.synth->program(), {});
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_ReplayOnly);
+
+static void
+BM_BlockProfilerReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        BlockProfiler profiler;
+        shared.log.replay(shared.synth->program(), {&profiler});
+        benchmark::DoNotOptimize(profiler.countersAllocated());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_BlockProfilerReplay);
+
+static void
+BM_EphemeralProfilerReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        EphemeralBlockProfiler profiler(50);
+        shared.log.replay(shared.synth->program(), {&profiler});
+        benchmark::DoNotOptimize(profiler.probesRetired());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_EphemeralProfilerReplay);
+
+static void
+BM_EdgeProfilerReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        EdgeProfiler profiler;
+        shared.log.replay(shared.synth->program(), {&profiler});
+        benchmark::DoNotOptimize(profiler.countersAllocated());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_EdgeProfilerReplay);
+
+static void
+BM_BallLarusReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        BallLarusProfiler profiler(shared.synth->program());
+        shared.log.replay(shared.synth->program(), {&profiler});
+        benchmark::DoNotOptimize(profiler.countersAllocated());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_BallLarusReplay);
+
+static void
+BM_BitTracingReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        BitTracingProfiler table;
+        PathSplitter splitter(table);
+        shared.log.replay(shared.synth->program(), {&splitter});
+        splitter.flush();
+        benchmark::DoNotOptimize(table.countersAllocated());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_BitTracingReplay);
+
+static void
+BM_YoungSmithReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        YoungSmithProfiler profiler(
+            static_cast<std::size_t>(state.range(0)));
+        shared.log.replay(shared.synth->program(), {&profiler});
+        benchmark::DoNotOptimize(profiler.countersAllocated());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_YoungSmithReplay)->Arg(4)->Arg(8);
+
+namespace
+{
+
+/** Discards traces (sink for the NET builder bench). */
+struct NullTraceSink : NetTraceSink
+{
+    void onTrace(const NetTrace &) override {}
+};
+
+} // namespace
+
+static void
+BM_NetTraceBuilderReplay(benchmark::State &state)
+{
+    SharedTrace &shared = sharedTrace();
+    for (auto _ : state) {
+        NullTraceSink sink;
+        NetTraceBuilderConfig config;
+        config.hotThreshold = 50;
+        NetTraceBuilder builder(sink, config);
+        shared.log.replay(shared.synth->program(), {&builder});
+        benchmark::DoNotOptimize(builder.countersAllocated());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                shared.log.size()));
+}
+BENCHMARK(BM_NetTraceBuilderReplay);
+
+BENCHMARK_MAIN();

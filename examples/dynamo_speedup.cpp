@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Example: drive the Dynamo system model on one calibrated benchmark
+ * and read the full cycle breakdown.
+ *
+ * Usage: dynamo_speedup [benchmark] [delay]
+ *   benchmark: one of the paper's nine (default: compress)
+ *   delay:     prediction delay (default: 50)
+ *
+ * Runs both prediction schemes on the same stream and prints where
+ * every cycle went - the numbers behind a Figure 5 bar.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dynamo/system.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+void
+printReport(const DynamoReport &report)
+{
+    const double native = report.nativeCycles;
+    auto line = [&](const char *label, double cycles) {
+        std::printf("  %-22s %14.0f cycles  (%5.2f%% of native)\n",
+                    label, cycles, 100.0 * cycles / native);
+    };
+    std::printf("%s, delay %llu:\n", report.scheme.c_str(),
+                static_cast<unsigned long long>(
+                    report.predictionDelay));
+    std::printf("  events: %llu  (interpreted %llu, cached %llu)\n",
+                static_cast<unsigned long long>(report.events),
+                static_cast<unsigned long long>(
+                    report.interpretedEvents),
+                static_cast<unsigned long long>(report.cachedEvents));
+    std::printf("  fragments formed: %llu, cache flushes: %llu%s\n",
+                static_cast<unsigned long long>(
+                    report.fragmentsFormed),
+                static_cast<unsigned long long>(report.cacheFlushes),
+                report.bailedOut ? ", BAILED OUT" : "");
+    line("native baseline", report.nativeCycles);
+    line("interpretation", report.interpretCycles);
+    line("profiling ops", report.profilingCycles);
+    line("trace formation", report.formationCycles);
+    line("cached execution", report.cachedCycles);
+    line("dispatch", report.dispatchCycles);
+    if (report.flushCycles > 0)
+        line("flushes", report.flushCycles);
+    if (report.postBailCycles > 0)
+        line("post-bail native", report.postBailCycles);
+    std::printf("  => Dynamo total %.0f cycles, speedup %+.1f%%\n\n",
+                report.dynamoCycles(), report.speedupPercent());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "compress";
+    const std::uint64_t delay =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50;
+
+    const SpecTarget &target = specTarget(name);
+    if (target.dynamoBailsOut) {
+        std::printf("note: the paper's Dynamo bails out on %s; the "
+                    "model will show why.\n\n",
+                    name.c_str());
+    }
+
+    WorkloadConfig wconfig;
+    wconfig.flowScale = 1e-3;
+    CalibratedWorkload workload(target, wconfig);
+    std::printf("workload %s: %zu paths, %zu heads, %llu events\n\n",
+                name.c_str(), workload.numPaths(), workload.numHeads(),
+                static_cast<unsigned long long>(workload.totalFlow()));
+
+    for (const PredictionScheme scheme :
+         {PredictionScheme::Net, PredictionScheme::PathProfile}) {
+        DynamoConfig config;
+        config.scheme = scheme;
+        config.predictionDelay = delay;
+        if (target.dynamoBailsOut) {
+            config.bailCheckEvents = workload.totalFlow() / 4;
+            config.bailMaxInterpretedFraction = 0.15;
+        }
+        DynamoSystem system(config);
+        workload.generateStream(0, [&](const PathEvent &event,
+                                       std::uint64_t t) {
+            system.onPathEvent(event, t);
+        });
+        printReport(system.report());
+    }
+    return 0;
+}

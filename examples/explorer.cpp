@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Example: a command-line explorer for the whole evaluation space.
+ *
+ * Usage:
+ *   explorer metrics [benchmark] [scheme] [delay] [scale]
+ *   explorer sweep   [benchmark] [scheme] [-] [scale]
+ *   explorer dynamo  [benchmark] [scheme] [delay] [scale]
+ *   explorer paths   [benchmark] [-] [-] [scale]
+ *   explorer list
+ *
+ *   benchmark: compress gcc go ijpeg li m88ksim perl vortex deltablue
+ *   scheme:    net | net-single | path-profile
+ *   delay:     prediction delay in executions (default 50)
+ *   scale:     fraction of the paper's flow to replay (default 1e-3)
+ *
+ * This is the "I want to poke at one configuration" tool the figure
+ * benches are built from.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "dynamo/system.hh"
+#include "support/logging.hh"
+#include "metrics/evaluation.hh"
+#include "metrics/sweep.hh"
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+#include "support/table.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+std::unique_ptr<HotPathPredictor>
+makePredictor(const std::string &scheme, std::uint64_t delay)
+{
+    if (scheme == "net")
+        return std::make_unique<NetPredictor>(delay);
+    if (scheme == "net-single")
+        return std::make_unique<NetPredictor>(delay, false);
+    if (scheme == "path-profile")
+        return std::make_unique<PathProfilePredictor>(delay);
+    fatal("unknown scheme '" + scheme +
+          "' (use net | net-single | path-profile)");
+}
+
+int
+cmdList()
+{
+    TextTable table;
+    table.setHeader({"Benchmark", "#Paths", "#Heads", "Flow (M)",
+                     "0.1% hot", "% hot flow", "Fig5?"});
+    for (const SpecTarget &target : specTargets()) {
+        table.beginRow();
+        table.addCell(std::string(target.name));
+        table.addCell(target.paths);
+        table.addCell(target.heads);
+        table.addCell(target.flowMillions, 0);
+        table.addCell(target.hotPaths);
+        table.addPercentCell(target.hotFlowPercent, 1);
+        table.addCell(
+            std::string(target.dynamoBailsOut ? "bails out" : "yes"));
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdMetrics(const std::string &name, const std::string &scheme,
+           std::uint64_t delay, double scale)
+{
+    WorkloadConfig config;
+    config.flowScale = scale;
+    CalibratedWorkload workload(specTarget(name), config);
+    const std::vector<PathEvent> stream = workload.materializeStream();
+
+    auto predictor = makePredictor(scheme, delay);
+    const EvalResult result = evaluatePredictor(stream, *predictor);
+
+    std::printf("%s, %s, delay %llu, %llu events\n\n", name.c_str(),
+                predictor->name().c_str(),
+                static_cast<unsigned long long>(delay),
+                static_cast<unsigned long long>(result.totalFlow));
+    std::printf("  hot paths:        %zu (flow %llu, %.2f%%)\n",
+                result.hotPaths,
+                static_cast<unsigned long long>(result.hotFlow),
+                100.0 * result.hotFlow / result.totalFlow);
+    std::printf("  predicted:        %zu paths (%zu hot, %zu cold)\n",
+                result.predictedPaths, result.predictedHotPaths,
+                result.predictedColdPaths);
+    std::printf("  hit rate:         %.2f%%\n",
+                result.hitRatePercent());
+    std::printf("  noise rate:       %.2f%% (flow), %.2f%% "
+                "(prediction-set)\n",
+                result.noiseRatePercent(),
+                result.coldPredictionSharePercent());
+    std::printf("  profiled flow:    %.2f%%\n",
+                result.profiledFlowPercent());
+    std::printf("  missed opp.:      %llu executions\n",
+                static_cast<unsigned long long>(
+                    result.missedOpportunity));
+    std::printf("  counters:         %zu\n", result.countersAllocated);
+    std::printf("  profiling ops:    %llu (%llu counter, %llu shift, "
+                "%llu table)\n",
+                static_cast<unsigned long long>(result.cost.total()),
+                static_cast<unsigned long long>(
+                    result.cost.counterUpdates),
+                static_cast<unsigned long long>(
+                    result.cost.historyShifts),
+                static_cast<unsigned long long>(
+                    result.cost.tableUpdates));
+    return 0;
+}
+
+int
+cmdSweep(const std::string &name, const std::string &scheme,
+         double scale)
+{
+    WorkloadConfig config;
+    config.flowScale = scale;
+    CalibratedWorkload workload(specTarget(name), config);
+    const std::vector<PathEvent> stream = workload.materializeStream();
+
+    OracleProfile oracle;
+    for (std::uint64_t t = 0; t < stream.size(); ++t)
+        oracle.onPathEvent(stream[t], t);
+
+    const auto points = delaySweep(
+        stream, oracle,
+        [&](std::uint64_t delay) {
+            return makePredictor(scheme, delay);
+        },
+        defaultDelaySchedule(
+            std::min<std::uint64_t>(1000000, stream.size())));
+
+    TextTable table;
+    table.setHeader({"Delay", "Profiled flow", "Hit rate",
+                     "Noise rate", "Cold share", "Counters"});
+    for (const SweepPoint &point : points) {
+        table.beginRow();
+        table.addCell(point.delay);
+        table.addPercentCell(point.result.profiledFlowPercent(), 2);
+        table.addPercentCell(point.result.hitRatePercent(), 2);
+        table.addPercentCell(point.result.noiseRatePercent(), 2);
+        table.addPercentCell(
+            point.result.coldPredictionSharePercent(), 2);
+        table.addCell(static_cast<std::uint64_t>(
+            point.result.countersAllocated));
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDynamo(const std::string &name, const std::string &scheme,
+          std::uint64_t delay, double scale)
+{
+    WorkloadConfig wconfig;
+    wconfig.flowScale = scale;
+    CalibratedWorkload workload(specTarget(name), wconfig);
+
+    DynamoConfig config;
+    config.scheme = scheme == "path-profile"
+        ? PredictionScheme::PathProfile
+        : PredictionScheme::Net;
+    config.predictionDelay = delay;
+    DynamoSystem system(config);
+    workload.generateStream(0, [&](const PathEvent &event,
+                                   std::uint64_t t) {
+        system.onPathEvent(event, t);
+    });
+    const DynamoReport report = system.report();
+    std::printf("%s, %s, delay %llu: speedup %+.2f%% "
+                "(%llu fragments, %.1f%% interpreted events)\n",
+                name.c_str(), report.scheme.c_str(),
+                static_cast<unsigned long long>(delay),
+                report.speedupPercent(),
+                static_cast<unsigned long long>(
+                    report.fragmentsFormed),
+                100.0 * report.interpretedEvents / report.events);
+    return 0;
+}
+
+int
+cmdPaths(const std::string &name, double scale)
+{
+    WorkloadConfig config;
+    config.flowScale = scale;
+    CalibratedWorkload workload(specTarget(name), config);
+
+    std::printf("%s: %zu paths over %zu heads, %llu events, hot "
+                "threshold %llu\n\n",
+                name.c_str(), workload.numPaths(),
+                workload.numHeads(),
+                static_cast<unsigned long long>(workload.totalFlow()),
+                static_cast<unsigned long long>(
+                    workload.hotThreshold()));
+
+    // Concentration: flow captured by the top-k paths.
+    std::printf("flow concentration (paths are frequency-sorted by "
+                "construction):\n");
+    for (const std::size_t k : {1u, 5u, 10u, 50u, 100u}) {
+        if (k > workload.numPaths())
+            break;
+        std::uint64_t sum = 0;
+        for (PathIndex p = 0; p < k; ++p)
+            sum += workload.frequency(p);
+        std::printf("  top %-4zu %6.2f%%\n", k,
+                    100.0 * static_cast<double>(sum) /
+                        static_cast<double>(workload.totalFlow()));
+    }
+
+    // Head sharing: how many paths per head.
+    std::vector<std::uint32_t> per_head(workload.numHeads(), 0);
+    for (PathIndex p = 0; p < workload.numPaths(); ++p)
+        ++per_head[workload.headOf(p)];
+    std::uint32_t max_share = 0;
+    std::uint64_t single = 0;
+    for (std::uint32_t n : per_head) {
+        max_share = std::max(max_share, n);
+        single += n == 1 ? 1 : 0;
+    }
+    std::printf("\nhead sharing: %.2f paths/head mean, %u max, %llu "
+                "heads own a single path\n",
+                static_cast<double>(workload.numPaths()) /
+                    static_cast<double>(workload.numHeads()),
+                max_share, static_cast<unsigned long long>(single));
+
+    // Top ten paths with their heads and shapes.
+    std::printf("\ntop paths:\n");
+    TextTable table;
+    table.setHeader({"Path", "Head", "Frequency", "% flow", "Blocks",
+                     "Instrs"});
+    for (PathIndex p = 0; p < std::min<std::size_t>(
+                                  10, workload.numPaths());
+         ++p) {
+        table.beginRow();
+        table.addCell(static_cast<std::uint64_t>(p));
+        table.addCell(static_cast<std::uint64_t>(workload.headOf(p)));
+        table.addCell(workload.frequency(p));
+        table.addPercentCell(
+            100.0 * static_cast<double>(workload.frequency(p)) /
+                static_cast<double>(workload.totalFlow()),
+            2);
+        table.addCell(
+            static_cast<std::uint64_t>(workload.blocksOf(p)));
+        table.addCell(static_cast<std::uint64_t>(
+            workload.instructionsOf(p)));
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string command = argc > 1 ? argv[1] : "list";
+    const std::string name = argc > 2 ? argv[2] : "compress";
+    const std::string scheme = argc > 3 ? argv[3] : "net";
+    const std::uint64_t delay =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 50;
+    const double scale =
+        argc > 5 ? std::strtod(argv[5], nullptr) : 1e-3;
+
+    if (command == "list")
+        return cmdList();
+    if (command == "metrics")
+        return cmdMetrics(name, scheme, delay, scale);
+    if (command == "sweep")
+        return cmdSweep(name, scheme, scale);
+    if (command == "dynamo")
+        return cmdDynamo(name, scheme, delay, scale);
+    if (command == "paths")
+        return cmdPaths(name, scale);
+    fatal("unknown command '" + command +
+          "' (use list | metrics | sweep | dynamo)");
+}

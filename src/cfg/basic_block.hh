@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Basic block record.
+ *
+ * Blocks are owned by the Program in one flat vector; BlockId is the
+ * index. Addresses are assigned by Program::finalize() from the layout
+ * order, which is what makes "backward branch" well defined.
+ */
+
+#ifndef HOTPATH_CFG_BASIC_BLOCK_HH
+#define HOTPATH_CFG_BASIC_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "cfg/branch.hh"
+#include "cfg/types.hh"
+
+namespace hotpath
+{
+
+/** One basic block of a procedure CFG. */
+struct BasicBlock
+{
+    BlockId id = kInvalidBlock;
+    ProcId proc = kInvalidProc;
+
+    /** Optional label for tests/diagnostics; unique per procedure. */
+    std::string label;
+
+    /** Number of instructions, including the terminator. */
+    std::uint32_t instrCount = 1;
+
+    /** Start address; assigned by Program::finalize(). */
+    Addr addr = 0;
+
+    /** Terminator kind. */
+    BranchKind kind = BranchKind::Fallthrough;
+
+    /**
+     * Successor blocks. Meaning depends on kind:
+     *  - Fallthrough/Jump: exactly one successor;
+     *  - Conditional: [0] = taken target, [1] = fallthrough;
+     *  - Indirect: one or more potential targets;
+     *  - Call: [0] = return continuation in this procedure;
+     *  - Return: empty (dynamic).
+     */
+    std::vector<BlockId> successors;
+
+    /** Callee procedure for Call blocks. */
+    ProcId callee = kInvalidProc;
+
+    /** Address of the terminator instruction (the branch site). */
+    Addr
+    branchSite() const
+    {
+        return addr + static_cast<Addr>(instrCount - 1) * kInstrBytes;
+    }
+
+    /** Address one past the end of the block. */
+    Addr
+    endAddr() const
+    {
+        return addr + static_cast<Addr>(instrCount) * kInstrBytes;
+    }
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_CFG_BASIC_BLOCK_HH

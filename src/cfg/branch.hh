@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch classification for basic-block terminators.
+ *
+ * The paper's path definition hinges on distinguishing *backward taken*
+ * branches (loop closing, by address comparison) from forward control
+ * transfers, and on calls/returns, which a path may cross when they are
+ * forward. The kinds below describe the static terminator of a block;
+ * whether a particular dynamic transfer is backward is decided by
+ * comparing the branch-site address against the target address.
+ */
+
+#ifndef HOTPATH_CFG_BRANCH_HH
+#define HOTPATH_CFG_BRANCH_HH
+
+#include <string_view>
+
+#include "cfg/types.hh"
+
+namespace hotpath
+{
+
+/** Static terminator kind of a basic block. */
+enum class BranchKind : std::uint8_t
+{
+    /** No branch: execution falls through to the single successor. */
+    Fallthrough,
+    /** Two-way conditional branch: successor 0 taken, 1 fallthrough. */
+    Conditional,
+    /** Unconditional direct jump to the single successor. */
+    Jump,
+    /** Multi-way indirect jump (switch tables, virtual dispatch). */
+    Indirect,
+    /** Procedure call; successor 0 is the return continuation. */
+    Call,
+    /** Procedure return; target determined by the call stack. */
+    Return,
+};
+
+/** Human-readable kind name for diagnostics and DOT dumps. */
+constexpr std::string_view
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::Fallthrough: return "fallthrough";
+      case BranchKind::Conditional: return "conditional";
+      case BranchKind::Jump: return "jump";
+      case BranchKind::Indirect: return "indirect";
+      case BranchKind::Call: return "call";
+      case BranchKind::Return: return "return";
+    }
+    return "unknown";
+}
+
+/**
+ * A dynamic control transfer is backward iff the target address does
+ * not lie after the branch site. Backward taken branches terminate
+ * paths and their targets are the potential path heads (paper S3).
+ */
+constexpr bool
+isBackwardTransfer(Addr branch_site, Addr target)
+{
+    return target <= branch_site;
+}
+
+} // namespace hotpath
+
+#endif // HOTPATH_CFG_BRANCH_HH

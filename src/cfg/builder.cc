@@ -1,0 +1,183 @@
+#include "cfg/builder.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+// ProcedureBuilder::BlockHandle ------------------------------------
+
+void
+ProcedureBuilder::BlockHandle::fallthrough(std::string next)
+{
+    auto &spec = proc.blocks[blockIndex];
+    HOTPATH_ASSERT(!spec.terminatorSet, "terminator set twice");
+    spec.kind = BranchKind::Fallthrough;
+    spec.successorLabels = {std::move(next)};
+    spec.terminatorSet = true;
+}
+
+void
+ProcedureBuilder::BlockHandle::jump(std::string next)
+{
+    auto &spec = proc.blocks[blockIndex];
+    HOTPATH_ASSERT(!spec.terminatorSet, "terminator set twice");
+    spec.kind = BranchKind::Jump;
+    spec.successorLabels = {std::move(next)};
+    spec.terminatorSet = true;
+}
+
+void
+ProcedureBuilder::BlockHandle::cond(std::string taken, std::string fall)
+{
+    auto &spec = proc.blocks[blockIndex];
+    HOTPATH_ASSERT(!spec.terminatorSet, "terminator set twice");
+    spec.kind = BranchKind::Conditional;
+    spec.successorLabels = {std::move(taken), std::move(fall)};
+    spec.terminatorSet = true;
+}
+
+void
+ProcedureBuilder::BlockHandle::indirect(std::vector<std::string> targets)
+{
+    auto &spec = proc.blocks[blockIndex];
+    HOTPATH_ASSERT(!spec.terminatorSet, "terminator set twice");
+    HOTPATH_ASSERT(!targets.empty(), "indirect needs targets");
+    spec.kind = BranchKind::Indirect;
+    spec.successorLabels = std::move(targets);
+    spec.terminatorSet = true;
+}
+
+void
+ProcedureBuilder::BlockHandle::call(std::string callee, std::string after)
+{
+    auto &spec = proc.blocks[blockIndex];
+    HOTPATH_ASSERT(!spec.terminatorSet, "terminator set twice");
+    spec.kind = BranchKind::Call;
+    spec.calleeName = std::move(callee);
+    spec.successorLabels = {std::move(after)};
+    spec.terminatorSet = true;
+}
+
+void
+ProcedureBuilder::BlockHandle::ret()
+{
+    auto &spec = proc.blocks[blockIndex];
+    HOTPATH_ASSERT(!spec.terminatorSet, "terminator set twice");
+    spec.kind = BranchKind::Return;
+    spec.successorLabels.clear();
+    spec.terminatorSet = true;
+}
+
+ProcedureBuilder::BlockHandle
+ProcedureBuilder::block(std::string label, std::uint32_t instr_count)
+{
+    for (const BlockSpec &existing : blocks) {
+        HOTPATH_ASSERT(existing.label != label,
+                       "duplicate block label '", label, "'");
+    }
+    BlockSpec spec;
+    spec.label = std::move(label);
+    spec.instrCount = instr_count;
+    blocks.push_back(std::move(spec));
+    return BlockHandle(*this, blocks.size() - 1);
+}
+
+// ProgramBuilder ----------------------------------------------------
+
+ProcedureBuilder &
+ProgramBuilder::proc(std::string name)
+{
+    for (ProcedureBuilder &existing : procs) {
+        if (existing.procName == name)
+            return existing;
+    }
+    procs.push_back(ProcedureBuilder(std::move(name)));
+    return procs.back();
+}
+
+Program
+ProgramBuilder::build()
+{
+    Program program;
+
+    std::unordered_map<std::string, ProcId> proc_ids;
+    for (ProcedureBuilder &proc : procs)
+        proc_ids[proc.procName] = program.addProcedure(proc.procName);
+
+    // First pass: create all blocks so labels can be resolved.
+    std::unordered_map<std::string, BlockId> block_ids;
+    for (ProcedureBuilder &proc : procs) {
+        const ProcId pid = proc_ids[proc.procName];
+        for (ProcedureBuilder::BlockSpec &spec : proc.blocks) {
+            HOTPATH_ASSERT(spec.terminatorSet, "block '", spec.label,
+                           "' in '", proc.procName,
+                           "' has no terminator");
+            const BlockId bid = program.addBlock(
+                pid, spec.instrCount, spec.kind, spec.label);
+            block_ids[proc.procName + "/" + spec.label] = bid;
+        }
+    }
+
+    // Second pass: resolve successor labels and callees.
+    for (ProcedureBuilder &proc : procs) {
+        for (ProcedureBuilder::BlockSpec &spec : proc.blocks) {
+            const BlockId bid =
+                block_ids.at(proc.procName + "/" + spec.label);
+            std::vector<BlockId> successors;
+            for (const std::string &label : spec.successorLabels) {
+                const auto it =
+                    block_ids.find(proc.procName + "/" + label);
+                HOTPATH_ASSERT(it != block_ids.end(),
+                               "unresolved block label '", label,
+                               "' in procedure '", proc.procName, "'");
+                successors.push_back(it->second);
+            }
+            program.setSuccessors(bid, std::move(successors));
+            if (spec.kind == BranchKind::Call) {
+                const auto it = proc_ids.find(spec.calleeName);
+                HOTPATH_ASSERT(it != proc_ids.end(),
+                               "unresolved callee '", spec.calleeName,
+                               "'");
+                program.setCallee(bid, it->second);
+            }
+        }
+    }
+
+    program.finalize();
+    return program;
+}
+
+BlockId
+findBlock(const Program &program, std::string_view label)
+{
+    std::string_view proc_part;
+    std::string_view label_part = label;
+    if (const auto slash = label.find('/');
+        slash != std::string_view::npos) {
+        proc_part = label.substr(0, slash);
+        label_part = label.substr(slash + 1);
+    }
+
+    BlockId found = kInvalidBlock;
+    for (BlockId id = 0; id < program.numBlocks(); ++id) {
+        const BasicBlock &block = program.block(id);
+        if (block.label != label_part)
+            continue;
+        if (!proc_part.empty() &&
+            program.procedure(block.proc).name != proc_part) {
+            continue;
+        }
+        HOTPATH_ASSERT(found == kInvalidBlock,
+                       "ambiguous block label '", std::string(label),
+                       "'");
+        found = id;
+    }
+    HOTPATH_ASSERT(found != kInvalidBlock, "no block labeled '",
+                   std::string(label), "'");
+    return found;
+}
+
+} // namespace hotpath

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fluent builder for Programs, used by tests, examples and the
+ * synthetic program generator.
+ *
+ * Blocks are referred to by label; references are resolved when
+ * build() is called, so forward references (loops!) read naturally:
+ *
+ * @code
+ * ProgramBuilder builder;
+ * auto &main = builder.proc("main");
+ * main.block("entry", 4).fallthrough("head");
+ * main.block("head", 2).cond("body", "exit");
+ * main.block("body", 3).jump("head");          // backward edge
+ * main.block("exit", 1).ret();
+ * Program prog = builder.build();
+ * @endcode
+ */
+
+#ifndef HOTPATH_CFG_BUILDER_HH
+#define HOTPATH_CFG_BUILDER_HH
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cfg/program.hh"
+
+namespace hotpath
+{
+
+class ProgramBuilder;
+
+/** Builder scope for one procedure. */
+class ProcedureBuilder
+{
+  public:
+    /** Terminator configuration for the block being defined. */
+    class BlockHandle
+    {
+      public:
+        /** Fall through to `next`. */
+        void fallthrough(std::string next);
+        /** Unconditional jump to `next`. */
+        void jump(std::string next);
+        /** Conditional: `taken` if taken, else `fall`. */
+        void cond(std::string taken, std::string fall);
+        /** Indirect jump with the given potential targets. */
+        void indirect(std::vector<std::string> targets);
+        /** Call `callee` procedure, continue at `after`. */
+        void call(std::string callee, std::string after);
+        /** Procedure return. */
+        void ret();
+
+      private:
+        friend class ProcedureBuilder;
+        BlockHandle(ProcedureBuilder &owner, std::size_t index)
+            : proc(owner), blockIndex(index)
+        {}
+        ProcedureBuilder &proc;
+        std::size_t blockIndex;
+    };
+
+    /** Define a block with `instr_count` instructions. */
+    BlockHandle block(std::string label, std::uint32_t instr_count = 1);
+
+    const std::string &name() const { return procName; }
+
+  private:
+    friend class ProgramBuilder;
+
+    struct BlockSpec
+    {
+        std::string label;
+        std::uint32_t instrCount = 1;
+        BranchKind kind = BranchKind::Fallthrough;
+        std::vector<std::string> successorLabels;
+        std::string calleeName;
+        bool terminatorSet = false;
+    };
+
+    explicit ProcedureBuilder(std::string name)
+        : procName(std::move(name))
+    {}
+
+    std::string procName;
+    std::vector<BlockSpec> blocks;
+};
+
+/** Whole-program builder; the first procedure defined is the entry. */
+class ProgramBuilder
+{
+  public:
+    /**
+     * Get or create the builder for procedure `name`. The returned
+     * reference stays valid across further proc() calls (procedures
+     * live in a deque).
+     */
+    ProcedureBuilder &proc(std::string name);
+
+    /** Resolve all references, finalize and return the Program. */
+    Program build();
+
+  private:
+    std::deque<ProcedureBuilder> procs;
+};
+
+/**
+ * Find a block by label, optionally qualified as "proc/label". Panics
+ * if the label is missing or ambiguous. Test/diagnostic helper.
+ */
+BlockId findBlock(const Program &program, std::string_view label);
+
+} // namespace hotpath
+
+#endif // HOTPATH_CFG_BUILDER_HH

@@ -1,0 +1,222 @@
+#include "cfg/program.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+ProcId
+Program::addProcedure(std::string name)
+{
+    HOTPATH_ASSERT(!isFinalized, "program already finalized");
+    const auto id = static_cast<ProcId>(procStore.size());
+    Procedure proc;
+    proc.id = id;
+    proc.name = std::move(name);
+    procStore.push_back(std::move(proc));
+    return id;
+}
+
+BlockId
+Program::addBlock(ProcId proc, std::uint32_t instr_count,
+                  BranchKind kind, std::string label)
+{
+    HOTPATH_ASSERT(!isFinalized, "program already finalized");
+    HOTPATH_ASSERT(proc < procStore.size(), "bad procedure id");
+    HOTPATH_ASSERT(instr_count > 0, "block needs at least one instr");
+
+    const auto id = static_cast<BlockId>(blockStore.size());
+    BasicBlock block;
+    block.id = id;
+    block.proc = proc;
+    block.instrCount = instr_count;
+    block.kind = kind;
+    block.label = std::move(label);
+    blockStore.push_back(std::move(block));
+
+    Procedure &owner = procStore[proc];
+    if (owner.blocks.empty())
+        owner.entry = id;
+    owner.blocks.push_back(id);
+    return id;
+}
+
+void
+Program::setSuccessors(BlockId block, std::vector<BlockId> successors)
+{
+    HOTPATH_ASSERT(!isFinalized, "program already finalized");
+    HOTPATH_ASSERT(block < blockStore.size(), "bad block id");
+    blockStore[block].successors = std::move(successors);
+}
+
+void
+Program::setCallee(BlockId block, ProcId callee)
+{
+    HOTPATH_ASSERT(!isFinalized, "program already finalized");
+    HOTPATH_ASSERT(block < blockStore.size(), "bad block id");
+    HOTPATH_ASSERT(callee < procStore.size(), "bad callee id");
+    blockStore[block].callee = callee;
+}
+
+void
+Program::finalize()
+{
+    HOTPATH_ASSERT(!isFinalized, "finalize() called twice");
+
+    // Lay out blocks procedure by procedure in declaration order so
+    // that address comparisons define loop back edges.
+    Addr cursor = 0x1000;
+    for (Procedure &proc : procStore) {
+        for (BlockId id : proc.blocks) {
+            BasicBlock &block = blockStore[id];
+            block.addr = cursor;
+            cursor += static_cast<Addr>(block.instrCount) * kInstrBytes;
+            instrTotal += block.instrCount;
+        }
+    }
+
+    validate();
+
+    // Derived sets: static backward edges and their targets. Calls and
+    // returns transfer across procedures; only intra-procedural
+    // successor edges can be static back edges.
+    for (const BasicBlock &block : blockStore) {
+        if (block.kind == BranchKind::Call ||
+            block.kind == BranchKind::Return) {
+            continue;
+        }
+        for (BlockId succ : block.successors) {
+            if (isBackwardTransfer(block.branchSite(),
+                                   blockStore[succ].addr)) {
+                backEdges.emplace_back(block.id, succ);
+                if (backTargetSet.insert(succ).second)
+                    backTargets.push_back(succ);
+            }
+        }
+    }
+    std::sort(backTargets.begin(), backTargets.end());
+
+    addrIndex.reserve(blockStore.size());
+    for (const BasicBlock &block : blockStore)
+        addrIndex.emplace_back(block.addr, block.id);
+    std::sort(addrIndex.begin(), addrIndex.end());
+
+    isFinalized = true;
+}
+
+BlockId
+Program::blockAtAddr(Addr addr) const
+{
+    const auto it = std::lower_bound(
+        addrIndex.begin(), addrIndex.end(),
+        std::make_pair(addr, BlockId{0}));
+    if (it == addrIndex.end() || it->first != addr)
+        return kInvalidBlock;
+    return it->second;
+}
+
+void
+Program::validate() const
+{
+    HOTPATH_ASSERT(!procStore.empty(), "program has no procedures");
+
+    for (const Procedure &proc : procStore) {
+        HOTPATH_ASSERT(!proc.blocks.empty(),
+                       "procedure '", proc.name, "' has no blocks");
+        bool has_return = false;
+        for (BlockId id : proc.blocks) {
+            if (blockStore[id].kind == BranchKind::Return)
+                has_return = true;
+        }
+        HOTPATH_ASSERT(has_return, "procedure '", proc.name,
+                       "' has no return block");
+    }
+
+    for (const BasicBlock &block : blockStore) {
+        const char *where = block.label.empty()
+            ? "<unlabeled>" : block.label.c_str();
+        switch (block.kind) {
+          case BranchKind::Fallthrough:
+          case BranchKind::Jump:
+            HOTPATH_ASSERT(block.successors.size() == 1,
+                           "block ", where,
+                           ": fallthrough/jump needs 1 successor");
+            break;
+          case BranchKind::Conditional:
+            HOTPATH_ASSERT(block.successors.size() == 2,
+                           "block ", where,
+                           ": conditional needs 2 successors");
+            break;
+          case BranchKind::Indirect:
+            HOTPATH_ASSERT(!block.successors.empty(),
+                           "block ", where,
+                           ": indirect needs >= 1 successor");
+            break;
+          case BranchKind::Call:
+            HOTPATH_ASSERT(block.successors.size() == 1,
+                           "block ", where,
+                           ": call needs 1 continuation successor");
+            HOTPATH_ASSERT(block.callee != kInvalidProc &&
+                               block.callee < procStore.size(),
+                           "block ", where, ": call without callee");
+            break;
+          case BranchKind::Return:
+            HOTPATH_ASSERT(block.successors.empty(),
+                           "block ", where,
+                           ": return must have no successors");
+            break;
+        }
+
+        // All static successors stay within the owning procedure.
+        for (BlockId succ : block.successors) {
+            HOTPATH_ASSERT(succ < blockStore.size(),
+                           "block ", where, ": bad successor id");
+            HOTPATH_ASSERT(blockStore[succ].proc == block.proc,
+                           "block ", where,
+                           ": successor crosses procedures");
+        }
+    }
+}
+
+std::string
+Program::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph program {\n";
+    os << "  node [shape=box fontname=monospace];\n";
+    for (const Procedure &proc : procStore) {
+        os << "  subgraph cluster_" << proc.id << " {\n";
+        os << "    label=\"" << proc.name << "\";\n";
+        for (BlockId id : proc.blocks) {
+            const BasicBlock &block = blockStore[id];
+            os << "    b" << id << " [label=\""
+               << (block.label.empty() ? std::to_string(id)
+                                       : block.label)
+               << "\\n" << branchKindName(block.kind) << " @0x"
+               << std::hex << block.addr << std::dec << "\"];\n";
+        }
+        os << "  }\n";
+    }
+    for (const BasicBlock &block : blockStore) {
+        for (BlockId succ : block.successors) {
+            const bool back = isBackwardTransfer(
+                block.branchSite(), blockStore[succ].addr);
+            os << "  b" << block.id << " -> b" << succ;
+            if (back)
+                os << " [color=red label=back]";
+            os << ";\n";
+        }
+        if (block.kind == BranchKind::Call) {
+            os << "  b" << block.id << " -> b"
+               << procStore[block.callee].entry
+               << " [style=dashed label=call];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace hotpath

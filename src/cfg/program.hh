@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Whole-program control-flow representation.
+ *
+ * A Program is a set of procedures over one flat block vector. After
+ * construction, finalize() lays blocks out in declaration order,
+ * assigns addresses, validates structural invariants and computes the
+ * static backward-edge set (potential loop back edges) and the set of
+ * potential path-head blocks (targets of backward branches), which is
+ * exactly what the NET predictor instruments.
+ */
+
+#ifndef HOTPATH_CFG_PROGRAM_HH
+#define HOTPATH_CFG_PROGRAM_HH
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cfg/basic_block.hh"
+
+namespace hotpath
+{
+
+/** A procedure: an entry block plus the blocks it owns. */
+struct Procedure
+{
+    ProcId id = kInvalidProc;
+    std::string name;
+    BlockId entry = kInvalidBlock;
+    std::vector<BlockId> blocks;
+};
+
+/** A whole program: procedures, blocks, addresses and derived sets. */
+class Program
+{
+  public:
+    /** Add a procedure; the first added procedure is the entry. */
+    ProcId addProcedure(std::string name);
+
+    /**
+     * Add a block to a procedure. The first block added to a
+     * procedure becomes its entry.
+     */
+    BlockId addBlock(ProcId proc, std::uint32_t instr_count,
+                     BranchKind kind, std::string label = "");
+
+    /** Set the successor list of a block. */
+    void setSuccessors(BlockId block, std::vector<BlockId> successors);
+
+    /** Set the callee of a Call block. */
+    void setCallee(BlockId block, ProcId callee);
+
+    /**
+     * Assign addresses (declaration order), validate the structure and
+     * compute derived sets. Must be called exactly once before use.
+     */
+    void finalize();
+
+    bool finalized() const { return isFinalized; }
+
+    // Accessors -----------------------------------------------------
+
+    const BasicBlock &block(BlockId id) const { return blockStore[id]; }
+    const Procedure &procedure(ProcId id) const { return procStore[id]; }
+    std::size_t numBlocks() const { return blockStore.size(); }
+    std::size_t numProcedures() const { return procStore.size(); }
+    ProcId entryProcedure() const { return 0; }
+
+    /** Total static instruction count across all blocks. */
+    std::uint64_t totalInstructions() const { return instrTotal; }
+
+    /** Static backward edges (branch block -> target block). */
+    const std::vector<std::pair<BlockId, BlockId>> &
+    backwardEdges() const
+    {
+        return backEdges;
+    }
+
+    /** Blocks that are targets of some static backward edge. */
+    const std::vector<BlockId> &
+    backwardTargets() const
+    {
+        return backTargets;
+    }
+
+    /** True if `block` is the target of some static backward edge. */
+    bool
+    isBackwardTarget(BlockId block) const
+    {
+        return backTargetSet.count(block) > 0;
+    }
+
+    /** Look up a block by its start address; kInvalidBlock if none. */
+    BlockId blockAtAddr(Addr addr) const;
+
+    /** Emit the whole program as a GraphViz DOT digraph. */
+    std::string toDot() const;
+
+  private:
+    void validate() const;
+
+    std::vector<Procedure> procStore;
+    std::vector<BasicBlock> blockStore;
+    std::vector<std::pair<BlockId, BlockId>> backEdges;
+    std::vector<BlockId> backTargets;
+    std::unordered_set<BlockId> backTargetSet;
+    std::vector<std::pair<Addr, BlockId>> addrIndex;
+    std::uint64_t instrTotal = 0;
+    bool isFinalized = false;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_CFG_PROGRAM_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental identifier types shared by the CFG, simulation and path
+ * layers.
+ */
+
+#ifndef HOTPATH_CFG_TYPES_HH
+#define HOTPATH_CFG_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace hotpath
+{
+
+/** Code address. Blocks are laid out at 4-byte instruction granularity. */
+using Addr = std::uint64_t;
+
+/** Global basic-block identifier (index into Program's block vector). */
+using BlockId = std::uint32_t;
+
+/** Procedure identifier (index into Program's procedure vector). */
+using ProcId = std::uint32_t;
+
+constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+constexpr ProcId kInvalidProc = std::numeric_limits<ProcId>::max();
+
+/** Size of one instruction slot in the synthetic address space. */
+constexpr Addr kInstrBytes = 4;
+
+} // namespace hotpath
+
+#endif // HOTPATH_CFG_TYPES_HH

@@ -1,0 +1,177 @@
+#include "dynamo/cfg_engine.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+/** Receives traces from the embedded NET builder. */
+class CfgDynamoEngine::Sink : public NetTraceSink
+{
+  public:
+    explicit Sink(CfgDynamoEngine &owner) : owner(owner) {}
+
+    void
+    onTrace(const NetTrace &trace) override
+    {
+        owner.onTraceFormed(trace);
+    }
+
+  private:
+    CfgDynamoEngine &owner;
+};
+
+CfgDynamoEngine::CfgDynamoEngine(const Program &program,
+                                 CfgEngineConfig config)
+    : prog(program), cfg(config), irAssigner(program, config.irGen),
+      optimizer(config.optimizer), sink(std::make_unique<Sink>(*this))
+{
+    NetTraceBuilderConfig net_config;
+    net_config.hotThreshold = cfg.hotThreshold;
+    net_config.maxBlocks = cfg.maxTraceBlocks;
+    net_config.reArm = false; // one fragment per head
+    builder = std::make_unique<NetTraceBuilder>(*sink, net_config);
+}
+
+CfgDynamoEngine::~CfgDynamoEngine() = default;
+
+void
+CfgDynamoEngine::onTraceFormed(const NetTrace &trace)
+{
+    IrSequence ir = irAssigner.traceIr(trace.blocks);
+    const auto original = static_cast<double>(ir.size());
+    double ratio = 1.0;
+    if (cfg.optimizeFragments && !ir.empty()) {
+        const OptStats opt_stats = optimizer.optimize(ir);
+        ratio = opt_stats.ratio();
+    }
+
+    stats.formationCycles += original * cfg.costs.formationPerInstr;
+    ++stats.fragmentsFormed;
+    ratioSum += ratio;
+
+    CachedFragment fragment;
+    fragment.blocks = trace.blocks;
+    fragment.ratio = ratio;
+    const bool inserted =
+        fragments.emplace(trace.head, std::move(fragment)).second;
+    HOTPATH_ASSERT(inserted, "duplicate fragment for a head");
+}
+
+void
+CfgDynamoEngine::onBlock(const BasicBlock &block)
+{
+    ++stats.blocksSeen;
+    stats.instructionsSeen += block.instrCount;
+    stats.nativeCycles += block.instrCount * cfg.costs.nativePerInstr;
+
+    if (following != nullptr) {
+        if (block.id == following->blocks[followPosition]) {
+            // The live flow still matches the fragment: optimized
+            // execution (fewer instructions at native speed).
+            ++stats.fragmentBlocks;
+            stats.fragmentCycles += block.instrCount *
+                                    following->ratio *
+                                    cfg.costs.nativePerInstr;
+            ++followPosition;
+            if (followPosition == following->blocks.size()) {
+                // The fragment's end transfers to whatever comes
+                // next; the dispatch is charged once we know whether
+                // the target is cached (linked) or not (exit stub).
+                ++stats.fragmentCompletions;
+                following = nullptr;
+                exitPending = true;
+            }
+            return;
+        }
+        // Guard exit: control diverged from the recorded tail. Exit
+        // stubs count the arrival so hot exits spawn secondary
+        // traces, and once the exit target has its own fragment the
+        // stub is patched to jump there directly (fragment linking).
+        ++stats.guardExits;
+        following = nullptr;
+        exitPending = true;
+        // Fall through: this block is handled below.
+    }
+
+    // Enter a fragment if one starts here (never while the builder
+    // is mid-collection: the interpreter stays in charge then).
+    if (!builder->collecting()) {
+        const auto it = fragments.find(block.id);
+        if (it != fragments.end()) {
+            if (exitPending) {
+                // Fragment-to-fragment transfer. Re-entering the
+                // fragment just completed is free: its closing
+                // branch jumps straight back to its own top.
+                if (block.id != lastHead) {
+                    stats.dispatchCycles +=
+                        cfg.costs.linkedDispatchCost;
+                }
+                exitPending = false;
+            }
+            lastHead = block.id;
+            following = &it->second;
+            HOTPATH_ASSERT(following->blocks[0] == block.id);
+            ++stats.fragmentBlocks;
+            stats.fragmentCycles += block.instrCount *
+                                    following->ratio *
+                                    cfg.costs.nativePerInstr;
+            followPosition = 1;
+            if (followPosition == following->blocks.size()) {
+                ++stats.fragmentCompletions;
+                following = nullptr;
+                exitPending = true;
+            }
+            return;
+        }
+    }
+
+    // Cache exit landing on uncached code: the full runtime round
+    // trip, and the stub counts it as a head arrival (possibly
+    // arming a collection that starts right here).
+    if (exitPending) {
+        exitPending = false;
+        stats.dispatchCycles += cfg.costs.unlinkedDispatchCost;
+        builder->noteArrival(block.id);
+        syncProfilingCost();
+    }
+
+    // Interpretation; the profiler sees the block.
+    ++stats.interpretedBlocks;
+    stats.interpretCycles +=
+        block.instrCount * cfg.costs.interpretPerInstr;
+    builder->onBlock(block);
+    syncProfilingCost();
+}
+
+void
+CfgDynamoEngine::onTransfer(const TransferEvent &event)
+{
+    if (following != nullptr)
+        return; // cached execution is invisible to the profiler
+
+    builder->onTransfer(event);
+    syncProfilingCost();
+}
+
+void
+CfgDynamoEngine::syncProfilingCost()
+{
+    const std::uint64_t ops = builder->cost().counterUpdates;
+    stats.profilingCycles += static_cast<double>(ops - lastBuilderOps) *
+                             cfg.costs.counterOpCost;
+    lastBuilderOps = ops;
+}
+
+CfgEngineReport
+CfgDynamoEngine::report() const
+{
+    CfgEngineReport out = stats;
+    out.meanOptimizationRatio =
+        stats.fragmentsFormed == 0
+            ? 1.0
+            : ratioSum / static_cast<double>(stats.fragmentsFormed);
+    return out;
+}
+
+} // namespace hotpath

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * CFG-level Dynamo engine: the full system loop over real control
+ * flow rather than path events.
+ *
+ * Attached to a Machine as a listener, the engine watches the block
+ * stream exactly as Dynamo's interpreter would and accounts each
+ * block to one of three regimes:
+ *
+ *  - fragment execution: the block matches the next block of the
+ *    fragment being followed; it runs as optimized code (the
+ *    fragment's measured instruction ratio times native speed).
+ *    Diverging from the fragment is a guard exit (runtime round
+ *    trip); completing it is a linked dispatch.
+ *  - interpretation: no fragment covers the block; it runs at
+ *    interpreter speed, and the embedded NET trace builder sees the
+ *    events (cached execution is invisible to the profiler).
+ *  - formation: when NET predicts a tail, the trace's IR (from the
+ *    per-block assigner) is optimized by the TraceOptimizer and the
+ *    fragment is stored with its measured ratio - the assumed
+ *    cachedPerInstr constant of the PathEvent-level model is
+ *    replaced by a measurement here.
+ */
+
+#ifndef HOTPATH_DYNAMO_CFG_ENGINE_HH
+#define HOTPATH_DYNAMO_CFG_ENGINE_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "dynamo/cost_config.hh"
+#include "opt/ir_gen.hh"
+#include "opt/trace_optimizer.hh"
+#include "predict/net_trace_builder.hh"
+
+namespace hotpath
+{
+
+/** Configuration of the CFG-level engine. */
+struct CfgEngineConfig
+{
+    /** NET selection parameters. */
+    std::uint64_t hotThreshold = 50;
+    std::uint32_t maxTraceBlocks = 64;
+
+    /** Cycle cost calibration (shared with the PathEvent model). */
+    DynamoCostConfig costs;
+
+    /** Run the trace optimizer over formed fragments. When false,
+     *  fragments execute at native speed (layout only: the dispatch
+     *  saving is the whole gain). */
+    bool optimizeFragments = true;
+    TraceOptimizerConfig optimizer;
+    IrGenConfig irGen;
+};
+
+/** Accounting of one CFG-level run. */
+struct CfgEngineReport
+{
+    std::uint64_t blocksSeen = 0;
+    std::uint64_t instructionsSeen = 0;
+    std::uint64_t interpretedBlocks = 0;
+    std::uint64_t fragmentBlocks = 0;
+    std::uint64_t fragmentsFormed = 0;
+    std::uint64_t fragmentCompletions = 0;
+    std::uint64_t guardExits = 0;
+    double meanOptimizationRatio = 1.0;
+
+    double nativeCycles = 0;
+    double interpretCycles = 0;
+    double profilingCycles = 0;
+    double formationCycles = 0;
+    double fragmentCycles = 0;
+    double dispatchCycles = 0;
+
+    double
+    dynamoCycles() const
+    {
+        return interpretCycles + profilingCycles + formationCycles +
+               fragmentCycles + dispatchCycles;
+    }
+
+    double
+    speedupPercent() const
+    {
+        return dynamoCycles() <= 0.0
+            ? 0.0
+            : (nativeCycles / dynamoCycles() - 1.0) * 100.0;
+    }
+};
+
+/** The engine; attach to a Machine with addListener. */
+class CfgDynamoEngine : public ExecutionListener
+{
+  public:
+    CfgDynamoEngine(const Program &program, CfgEngineConfig config);
+    ~CfgDynamoEngine() override;
+
+    void onBlock(const BasicBlock &block) override;
+    void onTransfer(const TransferEvent &event) override;
+
+    CfgEngineReport report() const;
+
+    /** Fragments currently cached, keyed by head block. */
+    std::size_t fragmentCount() const { return fragments.size(); }
+
+  private:
+    struct CachedFragment
+    {
+        std::vector<BlockId> blocks;
+        /** Optimized instructions per original instruction. */
+        double ratio = 1.0;
+    };
+
+    /** Sink receiving the NET builder's traces. */
+    class Sink;
+
+    void onTraceFormed(const NetTrace &trace);
+    void syncProfilingCost();
+
+    const Program &prog;
+    CfgEngineConfig cfg;
+    BlockIrAssigner irAssigner;
+    TraceOptimizer optimizer;
+    std::unique_ptr<Sink> sink;
+    std::unique_ptr<NetTraceBuilder> builder;
+
+    std::unordered_map<BlockId, CachedFragment> fragments;
+    const CachedFragment *following = nullptr;
+    std::size_t followPosition = 0;
+    bool exitPending = false;
+    BlockId lastHead = kInvalidBlock;
+    std::uint64_t lastBuilderOps = 0;
+
+    CfgEngineReport stats;
+    double ratioSum = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_DYNAMO_CFG_ENGINE_HH

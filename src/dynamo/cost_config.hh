@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cost model for the Dynamo system simulation (paper Section 6).
+ *
+ * The paper's Figure 5 is a statement about overhead economics, so
+ * the model prices every activity in abstract cycles per instruction
+ * or per event. The calibration below is ours (the paper ran on a
+ * PA-8000 under HPUX); EXPERIMENTS.md documents it. The structural
+ * asymmetry is faithful to the paper's argument:
+ *
+ *  - NET profiles with a single counter update per head arrival, and
+ *    its fragments can be linked directly (no runtime round trip).
+ *  - Path profile based prediction pays a history shift per branch
+ *    plus a path-table update per path while profiling, and because
+ *    the cache is indexed by path signature it must keep constructing
+ *    signatures and return to the runtime between fragments, so every
+ *    cached path execution pays the unlinked dispatch plus the shift
+ *    train ("further profiling operations to trace the execution of
+ *    branches", Section 4).
+ */
+
+#ifndef HOTPATH_DYNAMO_COST_CONFIG_HH
+#define HOTPATH_DYNAMO_COST_CONFIG_HH
+
+namespace hotpath
+{
+
+/** Abstract cycle costs for the Dynamo model. */
+struct DynamoCostConfig
+{
+    /** Native execution, per instruction (the baseline). */
+    double nativePerInstr = 1.0;
+
+    /** Interpreted (emulated) execution, per instruction. */
+    double interpretPerInstr = 10.0;
+
+    /** Optimized fragment execution, per instruction (< native:
+     *  straightened layout plus lightweight optimization). */
+    double cachedPerInstr = 0.82;
+
+    /** One head-counter update (NET, per interpreted head arrival). */
+    double counterOpCost = 5.0;
+
+    /** One history-register shift (bit tracing, per branch). */
+    double shiftOpCost = 0.2;
+
+    /** One path-table lookup/update (per completed path). */
+    double tableOpCost = 5.0;
+
+    /** Fragment-to-fragment transfer when fragments are linked. */
+    double linkedDispatchCost = 2.0;
+
+    /** Runtime round trip when fragments cannot be linked. */
+    double unlinkedDispatchCost = 7.0;
+
+    /** Forming a fragment (optimize + emit), per trace instruction. */
+    double formationPerInstr = 150.0;
+
+    /** Flushing the fragment cache (fixed cost per flush). */
+    double flushCost = 50000.0;
+
+    /** Evicting one fragment under the LRU policy: unlinking the
+     *  fragment from its neighbours and patching their exits. */
+    double evictionCost = 300.0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_DYNAMO_COST_CONFIG_HH

@@ -1,0 +1,51 @@
+#include "dynamo/flush.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+PredictionRateMonitor::PredictionRateMonitor(FlushHeuristicConfig config)
+    : cfg(config), cooldownLeft(config.warmupWindows)
+{
+    HOTPATH_ASSERT(cfg.windowEvents >= 1);
+    HOTPATH_ASSERT(cfg.smoothing > 0.0 && cfg.smoothing <= 1.0);
+}
+
+bool
+PredictionRateMonitor::onEvent(bool was_prediction)
+{
+    ++eventsInWindow;
+    if (was_prediction)
+        ++predictionsInWindow;
+    if (eventsInWindow < cfg.windowEvents)
+        return false;
+
+    const auto count = static_cast<double>(predictionsInWindow);
+    eventsInWindow = 0;
+    predictionsInWindow = 0;
+    ++windows;
+
+    if (cooldownLeft > 0) {
+        // Startup or post-flush refill: neither a spike nor a
+        // baseline sample.
+        --cooldownLeft;
+        return false;
+    }
+
+    const bool spike =
+        count >= static_cast<double>(cfg.spikeFloor) &&
+        count > cfg.spikeFactor * average;
+    average = cfg.smoothing * count + (1.0 - cfg.smoothing) * average;
+    return spike;
+}
+
+void
+PredictionRateMonitor::settle()
+{
+    eventsInWindow = 0;
+    predictionsInWindow = 0;
+    cooldownLeft = cfg.warmupWindows;
+}
+
+} // namespace hotpath

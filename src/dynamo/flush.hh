@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Phase-change detection by prediction-rate monitoring (paper
+ * Section 6.1).
+ *
+ * Dynamo watches the rate of new-path predictions; a sudden, sharp
+ * increase is a good indication that a new phase is being entered, so
+ * the cache is flushed to shed the phase-induced noise (fragments
+ * that were hot in the previous phase but have turned cold).
+ *
+ * The monitor buckets time into fixed event windows, maintains an
+ * exponential moving average of predictions per window, and signals a
+ * spike when the current window exceeds both an absolute floor and a
+ * multiple of the average.
+ */
+
+#ifndef HOTPATH_DYNAMO_FLUSH_HH
+#define HOTPATH_DYNAMO_FLUSH_HH
+
+#include <cstdint>
+
+namespace hotpath
+{
+
+/** Tunables for the prediction-rate spike detector. */
+struct FlushHeuristicConfig
+{
+    /** Window length in path events. */
+    std::uint64_t windowEvents = 4096;
+    /** Spike = rate above `spikeFactor` times the moving average. */
+    double spikeFactor = 4.0;
+    /** ... and at least this many predictions in the window. */
+    std::uint64_t spikeFloor = 8;
+    /** EMA smoothing factor for the per-window prediction count. */
+    double smoothing = 0.25;
+    /** Windows to ignore after startup (cold-start predictions). */
+    std::uint64_t warmupWindows = 4;
+};
+
+/** Sliding-window prediction-rate spike detector. */
+class PredictionRateMonitor
+{
+  public:
+    explicit PredictionRateMonitor(FlushHeuristicConfig config = {});
+
+    /** Record one path event; returns true if a spike fired. */
+    bool onEvent(bool was_prediction);
+
+    /**
+     * Restart after a flush: clears the current window and enters a
+     * cooldown of warmupWindows windows during which neither spikes
+     * fire nor the average is updated - the cache refill after a
+     * flush is itself a prediction burst and must not re-trigger or
+     * pollute the baseline.
+     */
+    void settle();
+
+    double movingAverage() const { return average; }
+    std::uint64_t windowsSeen() const { return windows; }
+
+  private:
+    FlushHeuristicConfig cfg;
+    std::uint64_t eventsInWindow = 0;
+    std::uint64_t predictionsInWindow = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t cooldownLeft;
+    double average = 0.0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_DYNAMO_FLUSH_HH

@@ -1,0 +1,75 @@
+#include "dynamo/fragment_cache.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+FragmentCache::FragmentCache(std::uint64_t capacity_instructions,
+                             EvictionPolicy policy)
+    : capacity(capacity_instructions), evictionPolicy(policy)
+{
+}
+
+void
+FragmentCache::evictFor(std::uint32_t needed)
+{
+    while (!fragments.empty() &&
+           occupancy + needed > capacity) {
+        auto victim = fragments.begin();
+        for (auto it = fragments.begin(); it != fragments.end();
+             ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        occupancy -= victim->second.instructions;
+        fragments.erase(victim);
+        ++evictionCount;
+    }
+}
+
+bool
+FragmentCache::insert(PathIndex path, std::uint32_t instructions)
+{
+    bool flushed = false;
+    if (capacity != 0 && occupancy + instructions > capacity) {
+        switch (evictionPolicy) {
+          case EvictionPolicy::FlushAll:
+            flushAll();
+            flushed = true;
+            break;
+          case EvictionPolicy::EvictLru:
+            evictFor(instructions);
+            break;
+        }
+    }
+    Fragment fragment;
+    fragment.path = path;
+    fragment.instructions = instructions;
+    fragment.lastUse = ++clock;
+    const bool inserted = fragments.emplace(path, fragment).second;
+    HOTPATH_ASSERT(inserted, "fragment already cached for this path");
+    occupancy += instructions;
+    ++formed;
+    return flushed;
+}
+
+Fragment *
+FragmentCache::find(PathIndex path)
+{
+    const auto it = fragments.find(path);
+    if (it == fragments.end())
+        return nullptr;
+    it->second.lastUse = ++clock;
+    return &it->second;
+}
+
+void
+FragmentCache::flushAll()
+{
+    fragments.clear();
+    occupancy = 0;
+    ++flushCount;
+}
+
+} // namespace hotpath

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The software fragment cache (paper Section 6).
+ *
+ * Holds the optimized copies of predicted hot paths. Dynamo managed
+ * its cache by wholesale flushing (on capacity pressure and on phase
+ * transitions) rather than piecemeal eviction - partly because
+ * unlinking an evicted fragment from its neighbours is expensive.
+ * The cache model supports both policies so the trade-off can be
+ * measured (experiment X5):
+ *
+ *  - FlushAll: exceeding capacity empties the whole cache;
+ *  - EvictLru: least-recently-executed fragments are evicted one by
+ *    one until the new fragment fits (each eviction pays a link
+ *    repair cost in the system model).
+ */
+
+#ifndef HOTPATH_DYNAMO_FRAGMENT_CACHE_HH
+#define HOTPATH_DYNAMO_FRAGMENT_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "paths/path_event.hh"
+
+namespace hotpath
+{
+
+/** One cached fragment. */
+struct Fragment
+{
+    PathIndex path = kInvalidPath;
+    std::uint32_t instructions = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t lastUse = 0;
+};
+
+/** Whole-program fragment cache. */
+class FragmentCache
+{
+  public:
+    /** Capacity management strategy. */
+    enum class EvictionPolicy
+    {
+        FlushAll,
+        EvictLru,
+    };
+
+    /**
+     * @param capacity_instructions Cache size limit in fragment
+     *        instructions; 0 = unlimited.
+     * @param policy What to do when an insert exceeds the capacity.
+     */
+    explicit FragmentCache(
+        std::uint64_t capacity_instructions = 0,
+        EvictionPolicy policy = EvictionPolicy::FlushAll);
+
+    /**
+     * Insert a fragment for `path`. Returns true if the insert forced
+     * a wholesale capacity flush first (FlushAll policy only).
+     */
+    bool insert(PathIndex path, std::uint32_t instructions);
+
+    /** Fragment lookup; nullptr if not cached. Refreshes LRU age. */
+    Fragment *find(PathIndex path);
+
+    /** Drop every fragment (phase-change or capacity flush). */
+    void flushAll();
+
+    std::size_t size() const { return fragments.size(); }
+    std::uint64_t occupancyInstructions() const { return occupancy; }
+    std::uint64_t capacityInstructions() const { return capacity; }
+    EvictionPolicy policy() const { return evictionPolicy; }
+
+    /** Fragments formed over the lifetime (across flushes). */
+    std::uint64_t fragmentsFormed() const { return formed; }
+
+    /** Wholesale flushes performed. */
+    std::uint64_t flushes() const { return flushCount; }
+
+    /** Single-fragment LRU evictions performed. */
+    std::uint64_t evictions() const { return evictionCount; }
+
+  private:
+    /** Evict least-recently-used fragments to free `needed` room. */
+    void evictFor(std::uint32_t needed);
+
+    std::unordered_map<PathIndex, Fragment> fragments;
+    std::uint64_t capacity;
+    EvictionPolicy evictionPolicy;
+    std::uint64_t occupancy = 0;
+    std::uint64_t formed = 0;
+    std::uint64_t flushCount = 0;
+    std::uint64_t evictionCount = 0;
+    std::uint64_t clock = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_DYNAMO_FRAGMENT_CACHE_HH

@@ -1,0 +1,146 @@
+#include "dynamo/system.hh"
+
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+DynamoSystem::DynamoSystem(DynamoConfig config)
+    : cfg(config),
+      fragments(config.cacheCapacityInstr, config.cachePolicy),
+      monitor(config.flush)
+{
+    switch (cfg.scheme) {
+      case PredictionScheme::Net:
+        scheme = std::make_unique<NetPredictor>(cfg.predictionDelay);
+        break;
+      case PredictionScheme::PathProfile:
+        scheme = std::make_unique<PathProfilePredictor>(
+            cfg.predictionDelay);
+        break;
+    }
+    stats.scheme = scheme->name();
+    stats.predictionDelay = cfg.predictionDelay;
+}
+
+void
+DynamoSystem::runCached(const PathEvent &event, Fragment &fragment)
+{
+    ++stats.cachedEvents;
+    ++fragment.executions;
+    const DynamoCostConfig &costs = cfg.costs;
+    stats.cachedCycles += event.instructions * costs.cachedPerInstr;
+
+    if (cfg.scheme == PredictionScheme::Net) {
+        // NET fragments link directly to each other.
+        stats.dispatchCycles += costs.linkedDispatchCost;
+    } else {
+        // Path profile based prediction indexes the cache by path
+        // signature, so every cached path execution keeps shifting
+        // branch outcomes and returns to the runtime to find the next
+        // fragment: fragments cannot be linked.
+        stats.dispatchCycles += costs.unlinkedDispatchCost;
+        stats.profilingCycles +=
+            event.branches * costs.shiftOpCost + costs.tableOpCost;
+    }
+}
+
+bool
+DynamoSystem::runInterpreted(const PathEvent &event)
+{
+    ++stats.interpretedEvents;
+    const DynamoCostConfig &costs = cfg.costs;
+    stats.interpretCycles +=
+        event.instructions * costs.interpretPerInstr;
+
+    // The scheme's profiling work while interpreting.
+    if (cfg.scheme == PredictionScheme::Net) {
+        stats.profilingCycles += costs.counterOpCost;
+    } else {
+        stats.profilingCycles +=
+            event.branches * costs.shiftOpCost + costs.tableOpCost;
+    }
+
+    const bool predict = scheme->observe(event);
+    if (predict) {
+        stats.formationCycles +=
+            event.instructions * costs.formationPerInstr;
+        const std::uint64_t evictions_before = fragments.evictions();
+        const bool capacity_flushed =
+            fragments.insert(event.path, event.instructions);
+        if (capacity_flushed) {
+            stats.flushCycles += costs.flushCost;
+            scheme->reset();
+        }
+        // LRU evictions pay the link-repair cost per victim.
+        stats.flushCycles +=
+            static_cast<double>(fragments.evictions() -
+                                evictions_before) *
+            costs.evictionCost;
+        ++stats.fragmentsFormed;
+    }
+    return predict;
+}
+
+void
+DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
+{
+    (void)time;
+    ++stats.events;
+    stats.instructions += event.instructions;
+    stats.nativeCycles += event.instructions * cfg.costs.nativePerInstr;
+
+    if (stats.bailedOut) {
+        // Dynamo gave up and handed control back to the native
+        // binary: no further overhead, no further benefit.
+        ++stats.nativeEvents;
+        stats.postBailCycles +=
+            event.instructions * cfg.costs.nativePerInstr;
+        return;
+    }
+
+    bool predicted = false;
+    if (Fragment *fragment = fragments.find(event.path)) {
+        runCached(event, *fragment);
+    } else {
+        predicted = runInterpreted(event);
+    }
+
+    // Bail-out checkpoint: if the interpreter still carries a large
+    // share of the flow this far in, the program has too many paths
+    // and too little reuse to optimize (go, gcc in the paper).
+    if (cfg.bailCheckEvents != 0 && !stats.bailedOut &&
+        stats.events == cfg.bailCheckEvents) {
+        const double interpreted_fraction =
+            static_cast<double>(stats.interpretedEvents) /
+            static_cast<double>(stats.events);
+        if (interpreted_fraction > cfg.bailMaxInterpretedFraction)
+            stats.bailedOut = true;
+    }
+
+    // The phase monitor watches the prediction rate over wall-clock
+    // (event) time, cached executions included: a sudden spike in new
+    // predictions signals a phase change and flushes the cache.
+    if (cfg.enableFlush && !stats.bailedOut) {
+        if (monitor.onEvent(predicted)) {
+            fragments.flushAll();
+            scheme->reset();
+            monitor.settle();
+            stats.flushCycles += cfg.costs.flushCost;
+        }
+    }
+}
+
+DynamoReport
+DynamoSystem::report() const
+{
+    DynamoReport out = stats;
+    out.fragmentsFormed = fragments.fragmentsFormed();
+    out.cacheFlushes = fragments.flushes();
+    out.cacheEvictions = fragments.evictions();
+    return out;
+}
+
+} // namespace hotpath

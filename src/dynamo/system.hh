@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The Dynamo dynamic-optimization system model (paper Section 6).
+ *
+ * Dynamo observes the program through emulation, predicts hot paths
+ * with a pluggable scheme, optimizes predicted paths into a fragment
+ * cache, and thereafter executes them from the cache. The model
+ * routes every path execution through exactly one of:
+ *
+ *  - fragment cache hit: optimized execution plus dispatch (linked
+ *    for NET, runtime round trip plus signature shifts for path
+ *    profile based prediction - see cost_config.hh);
+ *  - interpretation: emulated execution plus the scheme's profiling
+ *    work, feeding the predictor; a prediction additionally pays
+ *    trace formation and inserts the fragment.
+ *
+ * A bail-out heuristic abandons optimization (falling back to native
+ * execution) when fragments keep forming without reuse, which is how
+ * Dynamo handles go and gcc in the paper. A prediction-rate spike
+ * monitor triggers wholesale cache flushes on phase changes.
+ */
+
+#ifndef HOTPATH_DYNAMO_SYSTEM_HH
+#define HOTPATH_DYNAMO_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "dynamo/cost_config.hh"
+#include "dynamo/flush.hh"
+#include "dynamo/fragment_cache.hh"
+#include "predict/predictor.hh"
+
+namespace hotpath
+{
+
+/** Which prediction scheme drives the system. */
+enum class PredictionScheme
+{
+    Net,
+    PathProfile,
+};
+
+/** System-level configuration. */
+struct DynamoConfig
+{
+    PredictionScheme scheme = PredictionScheme::Net;
+
+    /** Prediction delay handed to the predictor. */
+    std::uint64_t predictionDelay = 50;
+
+    /** Cycle cost calibration. */
+    DynamoCostConfig costs;
+
+    /** Fragment cache capacity in instructions (0 = unlimited). */
+    std::uint64_t cacheCapacityInstr = 0;
+
+    /** Capacity management policy (Dynamo used wholesale flushes). */
+    FragmentCache::EvictionPolicy cachePolicy =
+        FragmentCache::EvictionPolicy::FlushAll;
+
+    /** Enable the phase-change flush heuristic. */
+    bool enableFlush = true;
+    FlushHeuristicConfig flush;
+
+    /**
+     * Bail-out checkpoint in events (0 disables): if, after this many
+     * path executions, more than bailMaxInterpretedFraction of them
+     * still ran in the interpreter, Dynamo concludes it cannot
+     * capture the working set (excessively many paths, no dominant
+     * reuse - go, gcc) and hands control back to the native binary.
+     */
+    std::uint64_t bailCheckEvents = 0;
+    double bailMaxInterpretedFraction = 0.15;
+};
+
+/** Cycle and event accounting of one Dynamo run. */
+struct DynamoReport
+{
+    std::string scheme;
+    std::uint64_t predictionDelay = 0;
+
+    std::uint64_t events = 0;
+    std::uint64_t instructions = 0;
+
+    std::uint64_t interpretedEvents = 0;
+    std::uint64_t cachedEvents = 0;
+    std::uint64_t nativeEvents = 0; // after a bail-out
+    std::uint64_t fragmentsFormed = 0;
+    std::uint64_t cacheFlushes = 0;
+    std::uint64_t cacheEvictions = 0;
+    bool bailedOut = false;
+
+    double nativeCycles = 0;
+    double interpretCycles = 0;
+    double profilingCycles = 0;
+    double formationCycles = 0;
+    double cachedCycles = 0;
+    double dispatchCycles = 0;
+    double flushCycles = 0;
+    double postBailCycles = 0;
+
+    /** Total cycles Dynamo spent. */
+    double
+    dynamoCycles() const
+    {
+        return interpretCycles + profilingCycles + formationCycles +
+               cachedCycles + dispatchCycles + flushCycles +
+               postBailCycles;
+    }
+
+    /** Speedup over native execution, in percent (negative = slower). */
+    double
+    speedupPercent() const
+    {
+        return dynamoCycles() <= 0.0
+            ? 0.0
+            : (nativeCycles / dynamoCycles() - 1.0) * 100.0;
+    }
+};
+
+/** The Dynamo loop: consumes a path-event stream. */
+class DynamoSystem : public PathEventSink
+{
+  public:
+    explicit DynamoSystem(DynamoConfig config);
+
+    void onPathEvent(const PathEvent &event, std::uint64_t time) override;
+
+    /** Accounting so far. */
+    DynamoReport report() const;
+
+    const FragmentCache &cache() const { return fragments; }
+    HotPathPredictor &predictor() { return *scheme; }
+
+  private:
+    void runCached(const PathEvent &event, Fragment &fragment);
+    /** Returns true if this execution triggered a prediction. */
+    bool runInterpreted(const PathEvent &event);
+
+    DynamoConfig cfg;
+    std::unique_ptr<HotPathPredictor> scheme;
+    FragmentCache fragments;
+    PredictionRateMonitor monitor;
+    DynamoReport stats;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_DYNAMO_SYSTEM_HH

@@ -1,0 +1,73 @@
+#include "metrics/evaluation.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+EvalResult
+evaluatePredictor(const std::vector<PathEvent> &stream,
+                  HotPathPredictor &predictor, double hot_fraction)
+{
+    OracleProfile oracle;
+    for (std::uint64_t t = 0; t < stream.size(); ++t)
+        oracle.onPathEvent(stream[t], t);
+    return evaluatePredictor(stream, oracle, predictor, hot_fraction);
+}
+
+EvalResult
+evaluatePredictor(const std::vector<PathEvent> &stream,
+                  const OracleProfile &oracle,
+                  HotPathPredictor &predictor, double hot_fraction)
+{
+    const std::vector<bool> hot = oracle.hotSet(hot_fraction);
+    const std::size_t universe = oracle.frequencies().size();
+
+    // Per-path running execution count and the count at which the
+    // path was predicted (0 = not predicted).
+    std::vector<std::uint64_t> executions(universe, 0);
+    std::vector<std::uint64_t> profiledAt(universe, 0);
+    std::vector<bool> predicted(universe, false);
+
+    for (const PathEvent &event : stream) {
+        HOTPATH_ASSERT(event.path < universe,
+                       "stream contains a path unknown to the oracle");
+        ++executions[event.path];
+        if (predicted[event.path])
+            continue; // runs from the code cache
+        if (predictor.observe(event)) {
+            predicted[event.path] = true;
+            profiledAt[event.path] = executions[event.path];
+        }
+    }
+
+    EvalResult result;
+    result.totalFlow = oracle.totalFlow();
+    const HotSetStats hot_stats = oracle.hotStats(hot_fraction);
+    result.hotFlow = hot_stats.hotFlow;
+    result.hotPaths = hot_stats.hotPaths;
+
+    std::uint64_t captured = 0;
+    for (std::size_t p = 0; p < universe; ++p) {
+        if (!predicted[p])
+            continue;
+        ++result.predictedPaths;
+        const std::uint64_t kept =
+            oracle.frequency(static_cast<PathIndex>(p)) - profiledAt[p];
+        captured += kept;
+        if (hot[p]) {
+            ++result.predictedHotPaths;
+            result.hits += kept;
+            result.missedOpportunity += profiledAt[p];
+        } else {
+            ++result.predictedColdPaths;
+            result.noise += kept;
+        }
+    }
+    result.profiledFlow = result.totalFlow - captured;
+    result.countersAllocated = predictor.countersAllocated();
+    result.cost = predictor.cost();
+    return result;
+}
+
+} // namespace hotpath

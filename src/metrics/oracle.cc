@@ -1,0 +1,50 @@
+#include "metrics/oracle.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+void
+OracleProfile::onPathEvent(const PathEvent &event, std::uint64_t time)
+{
+    (void)time;
+    if (event.path >= freq.size())
+        freq.resize(event.path + 1, 0);
+    if (freq[event.path] == 0)
+        ++observedPaths;
+    ++freq[event.path];
+    ++flow;
+}
+
+std::vector<bool>
+OracleProfile::hotSet(double hot_fraction) const
+{
+    HOTPATH_ASSERT(hot_fraction >= 0.0 && hot_fraction < 1.0,
+                   "hot fraction out of range");
+    const double threshold =
+        hot_fraction * static_cast<double>(flow);
+    std::vector<bool> hot(freq.size(), false);
+    for (std::size_t p = 0; p < freq.size(); ++p)
+        hot[p] = static_cast<double>(freq[p]) > threshold;
+    return hot;
+}
+
+HotSetStats
+OracleProfile::hotStats(double hot_fraction) const
+{
+    const std::vector<bool> hot = hotSet(hot_fraction);
+    HotSetStats stats;
+    stats.totalFlow = flow;
+    for (std::size_t p = 0; p < freq.size(); ++p) {
+        if (hot[p]) {
+            ++stats.hotPaths;
+            stats.hotFlow += freq[p];
+        }
+    }
+    return stats;
+}
+
+} // namespace hotpath

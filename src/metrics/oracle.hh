@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Offline oracle path profile and HotPath sets (paper Section 3).
+ *
+ * The oracle accumulates the exact execution frequency of every path
+ * over a whole stream - the information an offline profiler would
+ * have. HotPath_h is the set of paths whose frequency exceeds the hot
+ * threshold h, here expressed as a fraction of the total flow (the
+ * paper uses h = 0.1%).
+ */
+
+#ifndef HOTPATH_METRICS_ORACLE_HH
+#define HOTPATH_METRICS_ORACLE_HH
+
+#include <vector>
+
+#include "paths/path_event.hh"
+
+namespace hotpath
+{
+
+/** Summary of a HotPath_h set. */
+struct HotSetStats
+{
+    /** Number of hot paths. */
+    std::size_t hotPaths = 0;
+    /** Flow captured by the hot paths. */
+    std::uint64_t hotFlow = 0;
+    /** Total flow in the profile. */
+    std::uint64_t totalFlow = 0;
+
+    /** Percentage of total flow captured by the hot set. */
+    double
+    hotFlowPercent() const
+    {
+        return totalFlow == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(hotFlow) /
+                  static_cast<double>(totalFlow);
+    }
+};
+
+/** Exact per-path frequency profile over a full stream. */
+class OracleProfile : public PathEventSink
+{
+  public:
+    void onPathEvent(const PathEvent &event, std::uint64_t time) override;
+
+    /** Frequency of path p (0 if never seen). */
+    std::uint64_t
+    frequency(PathIndex path) const
+    {
+        return path < freq.size() ? freq[path] : 0;
+    }
+
+    /** Total flow = number of path executions observed. */
+    std::uint64_t totalFlow() const { return flow; }
+
+    /** Number of distinct paths observed. */
+    std::size_t numPaths() const { return observedPaths; }
+
+    /**
+     * Membership vector for HotPath_h with h = `hot_fraction` of the
+     * total flow: hot[p] is true iff freq(p) > h.
+     */
+    std::vector<bool> hotSet(double hot_fraction) const;
+
+    /** Summary statistics of HotPath_h. */
+    HotSetStats hotStats(double hot_fraction) const;
+
+    /** The raw frequency vector (indexed by PathIndex). */
+    const std::vector<std::uint64_t> &frequencies() const { return freq; }
+
+  private:
+    std::vector<std::uint64_t> freq;
+    std::uint64_t flow = 0;
+    std::size_t observedPaths = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_METRICS_ORACLE_HH

@@ -1,0 +1,107 @@
+#include "metrics/sweep.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+std::vector<std::uint64_t>
+defaultDelaySchedule(std::uint64_t max_delay)
+{
+    std::vector<std::uint64_t> delays;
+    for (std::uint64_t decade = 10; decade <= max_delay; decade *= 10) {
+        for (std::uint64_t step : {1ull, 2ull, 5ull}) {
+            const std::uint64_t delay = decade * step;
+            if (delay <= max_delay)
+                delays.push_back(delay);
+        }
+    }
+    if (delays.empty() || delays.back() != max_delay)
+        delays.push_back(max_delay);
+    return delays;
+}
+
+std::vector<SweepPoint>
+delaySweep(const std::vector<PathEvent> &stream,
+           const OracleProfile &oracle, const PredictorFactory &factory,
+           const std::vector<std::uint64_t> &delays, double hot_fraction)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(delays.size());
+    for (std::uint64_t delay : delays) {
+        std::unique_ptr<HotPathPredictor> predictor = factory(delay);
+        HOTPATH_ASSERT(predictor != nullptr);
+        SweepPoint point;
+        point.delay = delay;
+        point.result =
+            evaluatePredictor(stream, oracle, *predictor, hot_fraction);
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+namespace
+{
+
+double
+interpolate(const std::vector<SweepPoint> &points,
+            double profiled_percent,
+            double (EvalResult::*rate)() const)
+{
+    HOTPATH_ASSERT(!points.empty(), "empty sweep");
+
+    // Order samples by profiled flow (ascending).
+    std::vector<std::pair<double, double>> samples;
+    samples.reserve(points.size());
+    for (const SweepPoint &point : points) {
+        samples.emplace_back(point.result.profiledFlowPercent(),
+                             (point.result.*rate)());
+    }
+    std::sort(samples.begin(), samples.end());
+
+    if (profiled_percent <= samples.front().first)
+        return samples.front().second;
+    if (profiled_percent >= samples.back().first)
+        return samples.back().second;
+    for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+        const auto &[x0, y0] = samples[i];
+        const auto &[x1, y1] = samples[i + 1];
+        if (profiled_percent >= x0 && profiled_percent <= x1) {
+            if (x1 == x0)
+                return y0;
+            const double t = (profiled_percent - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    return samples.back().second;
+}
+
+} // namespace
+
+double
+rateAtProfiledFlow(const std::vector<SweepPoint> &points,
+                   double profiled_percent,
+                   double (EvalResult::*rate)() const)
+{
+    return interpolate(points, profiled_percent, rate);
+}
+
+double
+hitRateAtProfiledFlow(const std::vector<SweepPoint> &points,
+                      double profiled_percent)
+{
+    return interpolate(points, profiled_percent,
+                       &EvalResult::hitRatePercent);
+}
+
+double
+noiseRateAtProfiledFlow(const std::vector<SweepPoint> &points,
+                        double profiled_percent)
+{
+    return interpolate(points, profiled_percent,
+                       &EvalResult::noiseRatePercent);
+}
+
+} // namespace hotpath

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Prediction-delay sweeps (the machinery behind Figures 2 and 3).
+ *
+ * A sweep evaluates one predictor family across a ladder of delays
+ * over the same stream, yielding (profiled flow %, hit rate %, noise
+ * rate %) triples; the figure benches print these as the paper's
+ * curves, and summary helpers interpolate the rates at a given
+ * profiled-flow budget (the paper quotes hit and noise at 10%
+ * profiled flow).
+ */
+
+#ifndef HOTPATH_METRICS_SWEEP_HH
+#define HOTPATH_METRICS_SWEEP_HH
+
+#include <functional>
+#include <memory>
+
+#include "metrics/evaluation.hh"
+
+namespace hotpath
+{
+
+/** One sweep sample. */
+struct SweepPoint
+{
+    std::uint64_t delay = 0;
+    EvalResult result;
+};
+
+/** Builds a fresh predictor for a given delay. */
+using PredictorFactory =
+    std::function<std::unique_ptr<HotPathPredictor>(std::uint64_t)>;
+
+/**
+ * The paper's delay ladder: 1-2-5 decades from 10 up to `max_delay`
+ * inclusive (the paper sweeps 10 .. 1,000,000).
+ */
+std::vector<std::uint64_t> defaultDelaySchedule(std::uint64_t max_delay);
+
+/** Evaluate `factory(delay)` over `stream` for every delay. */
+std::vector<SweepPoint>
+delaySweep(const std::vector<PathEvent> &stream,
+           const OracleProfile &oracle, const PredictorFactory &factory,
+           const std::vector<std::uint64_t> &delays,
+           double hot_fraction = 0.001);
+
+/**
+ * Linear interpolation of the hit rate at `profiled_percent` profiled
+ * flow over the sweep points (clamped to the sampled range).
+ */
+double hitRateAtProfiledFlow(const std::vector<SweepPoint> &points,
+                             double profiled_percent);
+
+/** Same for the noise rate. */
+double noiseRateAtProfiledFlow(const std::vector<SweepPoint> &points,
+                               double profiled_percent);
+
+/** Generic variant: interpolate any EvalResult rate accessor. */
+double rateAtProfiledFlow(const std::vector<SweepPoint> &points,
+                          double profiled_percent,
+                          double (EvalResult::*rate)() const);
+
+} // namespace hotpath
+
+#endif // HOTPATH_METRICS_SWEEP_HH

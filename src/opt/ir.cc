@@ -1,0 +1,163 @@
+#include "opt/ir.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+IrReads
+readsOf(const IrInstr &instr)
+{
+    switch (instr.op) {
+      case IrOp::LoadImm:
+        return {{0, 0}, 0};
+      case IrOp::Mov:
+      case IrOp::AddImm:
+      case IrOp::Load:
+      case IrOp::Guard:
+        return {{instr.src1, 0}, 1};
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul:
+      case IrOp::AndOp:
+      case IrOp::CmpLt:
+      case IrOp::Store:
+        return {{instr.src1, instr.src2}, 2};
+    }
+    return {{0, 0}, 0};
+}
+
+std::string
+toString(const IrInstr &instr)
+{
+    std::ostringstream os;
+    const auto d = static_cast<int>(instr.dst);
+    const auto a = static_cast<int>(instr.src1);
+    const auto b = static_cast<int>(instr.src2);
+    switch (instr.op) {
+      case IrOp::LoadImm:
+        os << "r" << d << " = " << instr.imm;
+        break;
+      case IrOp::Mov:
+        os << "r" << d << " = r" << a;
+        break;
+      case IrOp::Add:
+        os << "r" << d << " = r" << a << " + r" << b;
+        break;
+      case IrOp::Sub:
+        os << "r" << d << " = r" << a << " - r" << b;
+        break;
+      case IrOp::Mul:
+        os << "r" << d << " = r" << a << " * r" << b;
+        break;
+      case IrOp::AndOp:
+        os << "r" << d << " = r" << a << " & r" << b;
+        break;
+      case IrOp::AddImm:
+        os << "r" << d << " = r" << a << " + " << instr.imm;
+        break;
+      case IrOp::CmpLt:
+        os << "r" << d << " = r" << a << " < r" << b;
+        break;
+      case IrOp::Load:
+        os << "r" << d << " = mem[r" << a << " + " << instr.imm
+           << "]";
+        break;
+      case IrOp::Store:
+        os << "mem[r" << a << " + " << instr.imm << "] = r" << b;
+        break;
+      case IrOp::Guard:
+        os << "guard r" << a << " == " << instr.imm;
+        break;
+    }
+    return os.str();
+}
+
+IrMachine::IrMachine() : regs(kIrRegs, 0) {}
+
+void
+IrMachine::setRegister(std::size_t reg, std::int64_t value)
+{
+    HOTPATH_ASSERT(reg < kIrRegs, "bad register");
+    regs[reg] = value;
+}
+
+std::int64_t
+IrMachine::memory(std::int64_t address) const
+{
+    for (auto it = mem.rbegin(); it != mem.rend(); ++it) {
+        if (it->first == address)
+            return it->second;
+    }
+    return 0;
+}
+
+void
+IrMachine::run(const IrSequence &sequence)
+{
+    for (const IrInstr &instr : sequence) {
+        const std::int64_t a = regs[instr.src1];
+        const std::int64_t b = regs[instr.src2];
+        switch (instr.op) {
+          case IrOp::LoadImm:
+            regs[instr.dst] = instr.imm;
+            break;
+          case IrOp::Mov:
+            regs[instr.dst] = a;
+            break;
+          case IrOp::Add:
+            regs[instr.dst] = a + b;
+            break;
+          case IrOp::Sub:
+            regs[instr.dst] = a - b;
+            break;
+          case IrOp::Mul:
+            regs[instr.dst] = a * b;
+            break;
+          case IrOp::AndOp:
+            regs[instr.dst] = a & b;
+            break;
+          case IrOp::AddImm:
+            regs[instr.dst] = a + instr.imm;
+            break;
+          case IrOp::CmpLt:
+            regs[instr.dst] = a < b ? 1 : 0;
+            break;
+          case IrOp::Load:
+            regs[instr.dst] = memory(a + instr.imm);
+            break;
+          case IrOp::Store:
+            mem.emplace_back(a + instr.imm, b);
+            break;
+          case IrOp::Guard:
+            guards.push_back(a == instr.imm);
+            break;
+        }
+    }
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+IrMachine::storesSnapshot() const
+{
+    // Final value per address, sorted by address.
+    std::vector<std::pair<std::int64_t, std::int64_t>> snapshot;
+    for (const auto &[address, value] : mem) {
+        bool found = false;
+        for (auto &entry : snapshot) {
+            if (entry.first == address) {
+                entry.second = value;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            snapshot.emplace_back(address, value);
+    }
+    std::sort(snapshot.begin(), snapshot.end());
+    return snapshot;
+}
+
+} // namespace hotpath

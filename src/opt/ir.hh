@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A small straight-line register IR for fragment optimization.
+ *
+ * Dynamo's speedup comes from laying out hot paths contiguously and
+ * running lightweight optimizations over them. To measure that
+ * effect instead of assuming it, every basic block carries a
+ * deterministic sequence of IR instructions (see ir_gen.hh); a NET
+ * trace concatenates its blocks' IR into one straight line with
+ * guards at the original branch points, and the trace optimizer
+ * (trace_optimizer.hh) shrinks it.
+ *
+ * The IR is deliberately minimal: 16 integer registers, flat byte-
+ * addressed memory, no control flow except Guard (a side exit that
+ * leaves the trace when its condition fails, i.e. when execution
+ * diverges from the recorded path).
+ */
+
+#ifndef HOTPATH_OPT_IR_HH
+#define HOTPATH_OPT_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hotpath
+{
+
+/** Number of architectural registers in the IR. */
+constexpr std::size_t kIrRegs = 16;
+
+/** IR operations. */
+enum class IrOp : std::uint8_t
+{
+    LoadImm, // r[dst] = imm
+    Mov,     // r[dst] = r[src1]
+    Add,     // r[dst] = r[src1] + r[src2]
+    Sub,     // r[dst] = r[src1] - r[src2]
+    Mul,     // r[dst] = r[src1] * r[src2]
+    AndOp,   // r[dst] = r[src1] & r[src2]
+    AddImm,  // r[dst] = r[src1] + imm
+    CmpLt,   // r[dst] = r[src1] < r[src2] ? 1 : 0
+    Load,    // r[dst] = mem[r[src1] + imm]
+    Store,   // mem[r[src1] + imm] = r[src2]
+    Guard,   // side exit if r[src1] != imm (trace stays if equal)
+};
+
+/** One IR instruction. */
+struct IrInstr
+{
+    IrOp op = IrOp::LoadImm;
+    std::uint8_t dst = 0;
+    std::uint8_t src1 = 0;
+    std::uint8_t src2 = 0;
+    std::int32_t imm = 0;
+
+    bool operator==(const IrInstr &other) const = default;
+};
+
+/** True if the instruction writes `dst`. */
+constexpr bool
+writesRegister(IrOp op)
+{
+    return op != IrOp::Store && op != IrOp::Guard;
+}
+
+/** True if the instruction has side effects beyond its dst. */
+constexpr bool
+hasSideEffect(IrOp op)
+{
+    return op == IrOp::Store || op == IrOp::Guard;
+}
+
+/** Registers read by an instruction (0, 1 or 2 of them). */
+struct IrReads
+{
+    std::uint8_t regs[2];
+    std::size_t count;
+};
+
+IrReads readsOf(const IrInstr &instr);
+
+/** Render one instruction for diagnostics. */
+std::string toString(const IrInstr &instr);
+
+/** A straight-line IR sequence (one block body or a whole trace). */
+using IrSequence = std::vector<IrInstr>;
+
+/**
+ * Reference interpreter for differential testing: executes a
+ * sequence over explicit register and memory state. Guards compare
+ * and record whether they would have exited; execution continues
+ * either way so that original and optimized traces can be compared
+ * on the same inputs.
+ */
+class IrMachine
+{
+  public:
+    IrMachine();
+
+    /** Set an initial register value. */
+    void setRegister(std::size_t reg, std::int64_t value);
+
+    std::int64_t reg(std::size_t index) const { return regs[index]; }
+
+    /** Sparse memory cell (0 if never written). */
+    std::int64_t memory(std::int64_t address) const;
+
+    /** Execute the whole sequence. */
+    void run(const IrSequence &sequence);
+
+    /** Outcomes of the guards, in execution order. */
+    const std::vector<bool> &guardsPassed() const { return guards; }
+
+    /** Every (address, value) the run stored, final values. */
+    std::vector<std::pair<std::int64_t, std::int64_t>>
+    storesSnapshot() const;
+
+  private:
+    std::vector<std::int64_t> regs;
+    std::vector<std::pair<std::int64_t, std::int64_t>> mem; // sparse
+    std::vector<bool> guards;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_OPT_IR_HH

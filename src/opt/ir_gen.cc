@@ -1,0 +1,123 @@
+#include "opt/ir_gen.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace hotpath
+{
+
+BlockIrAssigner::BlockIrAssigner(const Program &program,
+                                 IrGenConfig config)
+    : prog(program), cfg(config), cache(program.numBlocks()),
+      generated(program.numBlocks(), false)
+{
+    HOTPATH_ASSERT(program.finalized(), "program not finalized");
+}
+
+const IrSequence &
+BlockIrAssigner::blockIr(BlockId block) const
+{
+    HOTPATH_ASSERT(block < cache.size(), "bad block id");
+    if (!generated[block]) {
+        cache[block] = generate(block);
+        generated[block] = true;
+    }
+    return cache[block];
+}
+
+IrSequence
+BlockIrAssigner::traceIr(const std::vector<BlockId> &blocks) const
+{
+    IrSequence trace;
+    for (BlockId block : blocks) {
+        const IrSequence &body = blockIr(block);
+        trace.insert(trace.end(), body.begin(), body.end());
+    }
+    return trace;
+}
+
+IrSequence
+BlockIrAssigner::generate(BlockId block) const
+{
+    const BasicBlock &info = prog.block(block);
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + block);
+
+    // Low registers are favoured (realistic pressure); r0..r3 double
+    // as memory base registers.
+    auto pick_reg = [&]() -> std::uint8_t {
+        const auto raw = static_cast<std::uint8_t>(
+            rng.nextBounded(kIrRegs));
+        return rng.nextBool(0.55)
+            ? static_cast<std::uint8_t>(raw % 6)
+            : raw;
+    };
+    auto pick_base = [&]() -> std::uint8_t {
+        return static_cast<std::uint8_t>(rng.nextBounded(4));
+    };
+    auto pick_offset = [&]() -> std::int32_t {
+        return static_cast<std::int32_t>(rng.nextBounded(8)) * 8;
+    };
+
+    IrSequence body;
+    body.reserve(info.instrCount);
+
+    const bool needs_guard = info.kind == BranchKind::Conditional ||
+                             info.kind == BranchKind::Indirect;
+    const std::uint32_t body_count =
+        needs_guard ? info.instrCount - 1 : info.instrCount;
+
+    for (std::uint32_t i = 0; i < body_count; ++i) {
+        IrInstr instr;
+        const double kind = rng.nextDouble();
+        if (kind < cfg.loadFraction) {
+            instr.op = IrOp::Load;
+            instr.dst = pick_reg();
+            instr.src1 = pick_base();
+            instr.imm = pick_offset();
+        } else if (kind < cfg.loadFraction + cfg.storeFraction) {
+            instr.op = IrOp::Store;
+            instr.src1 = pick_base();
+            instr.src2 = pick_reg();
+            instr.imm = pick_offset();
+        } else if (kind < cfg.loadFraction + cfg.storeFraction +
+                              cfg.immFraction) {
+            instr.op = IrOp::LoadImm;
+            instr.dst = pick_reg();
+            instr.imm =
+                static_cast<std::int32_t>(rng.nextBounded(64));
+        } else if (kind < cfg.loadFraction + cfg.storeFraction +
+                              cfg.immFraction + cfg.movFraction) {
+            instr.op = rng.nextBool(0.5) ? IrOp::Mov : IrOp::AddImm;
+            instr.dst = pick_reg();
+            instr.src1 = pick_reg();
+            instr.imm = instr.op == IrOp::AddImm
+                ? static_cast<std::int32_t>(rng.nextBounded(16))
+                : 0;
+        } else {
+            constexpr IrOp arith[] = {IrOp::Add, IrOp::Sub,
+                                      IrOp::Mul, IrOp::AndOp,
+                                      IrOp::CmpLt};
+            instr.op = arith[rng.nextBounded(5)];
+            instr.dst = pick_reg();
+            instr.src1 = pick_reg();
+            instr.src2 = pick_reg();
+        }
+        body.push_back(instr);
+    }
+
+    if (needs_guard) {
+        // The block's branch becomes a side exit: the trace assumes
+        // the recorded direction, modelled as r[x] == imm.
+        IrInstr guard;
+        guard.op = IrOp::Guard;
+        guard.src1 = pick_reg();
+        guard.imm = static_cast<std::int32_t>(rng.nextBounded(2));
+        body.push_back(guard);
+    }
+
+    HOTPATH_ASSERT(body.size() == info.instrCount,
+                   "IR body size mismatch");
+    return body;
+}
+
+} // namespace hotpath

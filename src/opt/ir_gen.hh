@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic per-block IR assignment.
+ *
+ * Every basic block of a Program gets a fixed IR body with exactly
+ * block.instrCount instructions, derived from (seed, block id) - the
+ * same block always carries the same code, so a trace's IR is simply
+ * the concatenation of its blocks' bodies. Blocks ending in a
+ * conditional or indirect terminator end with a Guard (the trace's
+ * side exit at that branch point).
+ *
+ * The generated mix is biased toward the redundancy real code
+ * exhibits (low registers favoured, a few base registers for memory,
+ * small immediate offsets), so the trace optimizer has realistic
+ * opportunities without being handed free wins.
+ */
+
+#ifndef HOTPATH_OPT_IR_GEN_HH
+#define HOTPATH_OPT_IR_GEN_HH
+
+#include <vector>
+
+#include "cfg/program.hh"
+#include "opt/ir.hh"
+
+namespace hotpath
+{
+
+/** IR generation parameters. */
+struct IrGenConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Fraction of body instructions that are memory loads. */
+    double loadFraction = 0.18;
+    /** Fraction that are memory stores. */
+    double storeFraction = 0.10;
+    /** Fraction that are immediates. */
+    double immFraction = 0.14;
+    /** Fraction that are register copies. */
+    double movFraction = 0.12;
+    // The remainder is three-address arithmetic.
+};
+
+/** Assigns and caches an IR body per block of one Program. */
+class BlockIrAssigner
+{
+  public:
+    explicit BlockIrAssigner(const Program &program,
+                             IrGenConfig config = {});
+
+    /** The block's IR body (generated on first use). */
+    const IrSequence &blockIr(BlockId block) const;
+
+    /** Concatenated IR of a trace (block bodies in order). */
+    IrSequence traceIr(const std::vector<BlockId> &blocks) const;
+
+    const Program &program() const { return prog; }
+
+  private:
+    IrSequence generate(BlockId block) const;
+
+    const Program &prog;
+    IrGenConfig cfg;
+    mutable std::vector<IrSequence> cache;
+    mutable std::vector<bool> generated;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_OPT_IR_GEN_HH

@@ -1,0 +1,426 @@
+#include "opt/trace_optimizer.hh"
+
+#include <array>
+#include <limits>
+#include <optional>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+bool
+fitsImm(std::int64_t value)
+{
+    return value >= std::numeric_limits<std::int32_t>::min() &&
+           value <= std::numeric_limits<std::int32_t>::max();
+}
+
+} // namespace
+
+std::size_t
+TraceOptimizer::foldConstants(IrSequence &trace,
+                              std::size_t &guards_removed) const
+{
+    std::array<std::optional<std::int64_t>, kIrRegs> known;
+    IrSequence out;
+    out.reserve(trace.size());
+    std::size_t folded = 0;
+
+    auto value_of = [&](std::uint8_t reg) { return known[reg]; };
+    auto fold_to = [&](IrInstr &instr, std::int64_t value) {
+        known[instr.dst] = value;
+        if (fitsImm(value)) {
+            instr.op = IrOp::LoadImm;
+            instr.imm = static_cast<std::int32_t>(value);
+            instr.src1 = 0;
+            instr.src2 = 0;
+            ++folded;
+        }
+    };
+
+    for (IrInstr instr : trace) {
+        const auto a = value_of(instr.src1);
+        const auto b = value_of(instr.src2);
+        switch (instr.op) {
+          case IrOp::LoadImm:
+            known[instr.dst] = instr.imm;
+            break;
+          case IrOp::Mov:
+            if (a)
+                fold_to(instr, *a);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::AddImm:
+            if (a)
+                fold_to(instr, *a + instr.imm);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::Add:
+            if (a && b)
+                fold_to(instr, *a + *b);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::Sub:
+            if (a && b)
+                fold_to(instr, *a - *b);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::Mul:
+            if (a && b)
+                fold_to(instr, *a * *b);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::AndOp:
+            if (a && b)
+                fold_to(instr, *a & *b);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::CmpLt:
+            if (a && b)
+                fold_to(instr, *a < *b ? 1 : 0);
+            else
+                known[instr.dst].reset();
+            break;
+          case IrOp::Load:
+            known[instr.dst].reset();
+            break;
+          case IrOp::Store:
+            break;
+          case IrOp::Guard:
+            if (a && *a == instr.imm) {
+                // The recorded direction is provably taken: the
+                // guard can never fire. This is Dynamo's branch
+                // elimination along the trace.
+                ++guards_removed;
+                continue;
+            }
+            break;
+        }
+        out.push_back(instr);
+    }
+    trace = std::move(out);
+    return folded;
+}
+
+std::size_t
+TraceOptimizer::propagateCopies(IrSequence &trace) const
+{
+    std::array<std::uint8_t, kIrRegs> alias;
+    for (std::size_t i = 0; i < kIrRegs; ++i)
+        alias[i] = static_cast<std::uint8_t>(i);
+    std::size_t rewritten = 0;
+
+    auto rewrite = [&](std::uint8_t &reg) {
+        if (alias[reg] != reg) {
+            reg = alias[reg];
+            ++rewritten;
+        }
+    };
+    auto on_write = [&](std::uint8_t dst) {
+        for (std::size_t i = 0; i < kIrRegs; ++i) {
+            if (alias[i] == dst &&
+                i != static_cast<std::size_t>(dst)) {
+                alias[i] = static_cast<std::uint8_t>(i);
+            }
+        }
+        alias[dst] = dst;
+    };
+
+    for (IrInstr &instr : trace) {
+        // Rewrite reads through the alias map.
+        const IrReads reads = readsOf(instr);
+        if (reads.count >= 1)
+            rewrite(instr.src1);
+        if (reads.count >= 2)
+            rewrite(instr.src2);
+
+        if (!writesRegister(instr.op))
+            continue;
+        on_write(instr.dst);
+        if (instr.op == IrOp::Mov && instr.dst != instr.src1)
+            alias[instr.dst] = instr.src1;
+    }
+    return rewritten;
+}
+
+std::size_t
+TraceOptimizer::eliminateSubexpressions(IrSequence &trace) const
+{
+    // Local value numbering over the straight line. Every register
+    // carries a value number; arithmetic results are keyed by
+    // (op, operand value numbers, imm) with commutative operand
+    // normalization. A recomputation whose key is available in a
+    // register that still holds that value number becomes a Mov.
+    struct Key
+    {
+        IrOp op;
+        std::uint32_t vn1;
+        std::uint32_t vn2;
+        std::int32_t imm;
+
+        bool operator==(const Key &other) const = default;
+    };
+    struct Entry
+    {
+        Key key;
+        std::uint32_t vn;
+        std::uint8_t holding;
+    };
+
+    std::array<std::uint32_t, kIrRegs> reg_vn;
+    for (std::size_t i = 0; i < kIrRegs; ++i)
+        reg_vn[i] = static_cast<std::uint32_t>(i);
+    std::uint32_t next_vn = kIrRegs;
+    std::vector<Entry> table;
+    std::size_t eliminated = 0;
+
+    auto holds = [&](const Entry &entry) {
+        return reg_vn[entry.holding] == entry.vn;
+    };
+
+    for (IrInstr &instr : trace) {
+        const bool commutative = instr.op == IrOp::Add ||
+                                 instr.op == IrOp::Mul ||
+                                 instr.op == IrOp::AndOp;
+        switch (instr.op) {
+          case IrOp::Mov:
+            reg_vn[instr.dst] = reg_vn[instr.src1];
+            break;
+          case IrOp::Add:
+          case IrOp::Sub:
+          case IrOp::Mul:
+          case IrOp::AndOp:
+          case IrOp::CmpLt:
+          case IrOp::AddImm: {
+            Key key;
+            key.op = instr.op;
+            key.vn1 = reg_vn[instr.src1];
+            key.vn2 = instr.op == IrOp::AddImm
+                ? 0
+                : reg_vn[instr.src2];
+            key.imm = instr.op == IrOp::AddImm ? instr.imm : 0;
+            if (commutative && key.vn2 < key.vn1)
+                std::swap(key.vn1, key.vn2);
+
+            const Entry *hit = nullptr;
+            for (const Entry &entry : table) {
+                if (entry.key == key && holds(entry)) {
+                    hit = &entry;
+                    break;
+                }
+            }
+            if (hit && hit->holding != instr.dst) {
+                reg_vn[instr.dst] = hit->vn;
+                instr.op = IrOp::Mov;
+                instr.src1 = hit->holding;
+                instr.src2 = 0;
+                instr.imm = 0;
+                ++eliminated;
+            } else if (hit) {
+                // Recomputed into the register that already holds
+                // it: a Mov-to-self, which DCE drops.
+                reg_vn[instr.dst] = hit->vn;
+                instr.op = IrOp::Mov;
+                instr.src1 = instr.dst;
+                instr.src2 = 0;
+                instr.imm = 0;
+                ++eliminated;
+            } else {
+                const std::uint32_t vn = next_vn++;
+                reg_vn[instr.dst] = vn;
+                table.push_back({key, vn, instr.dst});
+            }
+            break;
+          }
+          case IrOp::LoadImm: {
+            // Same constant, same value number: exposes downstream
+            // equalities without rewriting anything here.
+            Key key;
+            key.op = IrOp::LoadImm;
+            key.vn1 = 0;
+            key.vn2 = 0;
+            key.imm = instr.imm;
+            const Entry *hit = nullptr;
+            for (const Entry &entry : table) {
+                if (entry.key == key) {
+                    hit = &entry;
+                    break;
+                }
+            }
+            if (hit) {
+                reg_vn[instr.dst] = hit->vn;
+            } else {
+                const std::uint32_t vn = next_vn++;
+                reg_vn[instr.dst] = vn;
+                table.push_back({key, vn, instr.dst});
+            }
+            break;
+          }
+          case IrOp::Load:
+            // Memory values get fresh numbers (the dedicated load
+            // pass handles memory redundancy).
+            reg_vn[instr.dst] = next_vn++;
+            break;
+          case IrOp::Store:
+          case IrOp::Guard:
+            break;
+        }
+    }
+    return eliminated;
+}
+
+std::size_t
+TraceOptimizer::eliminateLoads(IrSequence &trace) const
+{
+    struct Available
+    {
+        std::uint8_t base;
+        std::int32_t imm;
+        std::uint8_t holding;
+    };
+    std::vector<Available> table;
+    std::size_t eliminated = 0;
+
+    auto invalidate_reg = [&](std::uint8_t reg) {
+        std::erase_if(table, [&](const Available &entry) {
+            return entry.base == reg || entry.holding == reg;
+        });
+    };
+    auto find = [&](std::uint8_t base,
+                    std::int32_t imm) -> const Available * {
+        for (const Available &entry : table) {
+            if (entry.base == base && entry.imm == imm)
+                return &entry;
+        }
+        return nullptr;
+    };
+
+    for (IrInstr &instr : trace) {
+        switch (instr.op) {
+          case IrOp::Load: {
+            const Available *hit = find(instr.src1, instr.imm);
+            if (hit && hit->holding != instr.dst) {
+                // The value is already in a register: forward it.
+                instr.op = IrOp::Mov;
+                instr.src1 = hit->holding;
+                instr.imm = 0;
+                ++eliminated;
+                invalidate_reg(instr.dst);
+            } else if (hit) {
+                // Reloading into the same register: pure no-op, but
+                // keep it as a Mov-to-self for DCE to drop.
+                instr.op = IrOp::Mov;
+                instr.src1 = instr.dst;
+                instr.imm = 0;
+                ++eliminated;
+                // The dst still holds the value: table unchanged.
+            } else {
+                const std::uint8_t base = instr.src1;
+                const std::int32_t imm = instr.imm;
+                invalidate_reg(instr.dst);
+                if (base != instr.dst)
+                    table.push_back({base, imm, instr.dst});
+            }
+            break;
+          }
+          case IrOp::Store: {
+            // Conservative aliasing: a store kills everything, then
+            // provides its own value for forwarding.
+            table.clear();
+            table.push_back({instr.src1, instr.imm, instr.src2});
+            break;
+          }
+          case IrOp::Guard:
+            break;
+          default:
+            if (writesRegister(instr.op))
+                invalidate_reg(instr.dst);
+            break;
+        }
+    }
+    return eliminated;
+}
+
+std::size_t
+TraceOptimizer::eliminateDeadCode(IrSequence &trace) const
+{
+    // All registers are live out of the trace end; guards keep only
+    // their condition alive (exit stubs reconstruct the rest).
+    std::array<bool, kIrRegs> live;
+    live.fill(true);
+
+    std::vector<bool> keep(trace.size(), true);
+    std::size_t removed = 0;
+
+    for (std::size_t i = trace.size(); i-- > 0;) {
+        const IrInstr &instr = trace[i];
+        if (hasSideEffect(instr.op)) {
+            const IrReads reads = readsOf(instr);
+            for (std::size_t r = 0; r < reads.count; ++r)
+                live[reads.regs[r]] = true;
+            continue;
+        }
+        // Mov-to-self is dead no matter what.
+        const bool self_move =
+            instr.op == IrOp::Mov && instr.dst == instr.src1;
+        if (!live[instr.dst] || self_move) {
+            keep[i] = false;
+            ++removed;
+            continue;
+        }
+        live[instr.dst] = false;
+        const IrReads reads = readsOf(instr);
+        for (std::size_t r = 0; r < reads.count; ++r)
+            live[reads.regs[r]] = true;
+    }
+
+    if (removed > 0) {
+        IrSequence out;
+        out.reserve(trace.size() - removed);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            if (keep[i])
+                out.push_back(trace[i]);
+        }
+        trace = std::move(out);
+    }
+    return removed;
+}
+
+OptStats
+TraceOptimizer::optimize(IrSequence &trace) const
+{
+    OptStats stats;
+    stats.inputInstructions = trace.size();
+
+    for (int iter = 0; iter < cfg.iterations; ++iter) {
+        if (cfg.constantFolding) {
+            stats.constantsFolded +=
+                foldConstants(trace, stats.guardsRemoved);
+        }
+        if (cfg.copyPropagation)
+            stats.copiesPropagated += propagateCopies(trace);
+        if (cfg.cse) {
+            stats.subexpressionsEliminated +=
+                eliminateSubexpressions(trace);
+        }
+        if (cfg.loadElimination)
+            stats.loadsEliminated += eliminateLoads(trace);
+        if (cfg.deadCodeElimination)
+            stats.deadRemoved += eliminateDeadCode(trace);
+    }
+
+    stats.outputInstructions = trace.size();
+    return stats;
+}
+
+} // namespace hotpath

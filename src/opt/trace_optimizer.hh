@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight trace optimization (the "optimize and emit" step of
+ * Dynamo's fragment formation, Section 6).
+ *
+ * Works on a straight-line IrSequence with Guard side exits - the
+ * concatenated IR of a NET trace. Four classic passes:
+ *
+ *  - constant propagation and folding (immediates flow through
+ *    arithmetic; constant-true guards are removed, which is exactly
+ *    Dynamo's branch elimination on the recorded direction);
+ *  - copy propagation (Mov chains collapse);
+ *  - redundant load elimination with store-to-load forwarding
+ *    (conservative aliasing: any store with a different address key
+ *    kills all available loads);
+ *  - dead code elimination (backward liveness; side exits are
+ *    assumed to reconstruct register state via exit stubs, so a
+ *    Guard keeps only its condition register alive - all registers
+ *    are live out of the trace's end).
+ *
+ * The optimizer preserves straight-line semantics regardless of
+ * guard outcomes: for any initial state, register contents at the
+ * end and the final memory image are unchanged, and retained guards
+ * see the same values. Verified by differential execution in the
+ * tests.
+ */
+
+#ifndef HOTPATH_OPT_TRACE_OPTIMIZER_HH
+#define HOTPATH_OPT_TRACE_OPTIMIZER_HH
+
+#include "opt/ir.hh"
+
+namespace hotpath
+{
+
+/** What each pass accomplished on one trace. */
+struct OptStats
+{
+    std::size_t inputInstructions = 0;
+    std::size_t outputInstructions = 0;
+    std::size_t constantsFolded = 0;
+    std::size_t copiesPropagated = 0;
+    std::size_t subexpressionsEliminated = 0;
+    std::size_t loadsEliminated = 0;
+    std::size_t guardsRemoved = 0;
+    std::size_t deadRemoved = 0;
+
+    /** Optimized size relative to the input (1.0 = no gain). */
+    double
+    ratio() const
+    {
+        return inputInstructions == 0
+            ? 1.0
+            : static_cast<double>(outputInstructions) /
+                  static_cast<double>(inputInstructions);
+    }
+};
+
+/** Trace optimizer configuration. */
+struct TraceOptimizerConfig
+{
+    bool constantFolding = true;
+    bool copyPropagation = true;
+    /** Common-subexpression elimination by local value numbering. */
+    bool cse = true;
+    bool loadElimination = true;
+    bool deadCodeElimination = true;
+    /** Pass pipeline repetitions (folding exposes more dead code). */
+    int iterations = 2;
+};
+
+/** Optimizes straight-line traces. */
+class TraceOptimizer
+{
+  public:
+    explicit TraceOptimizer(TraceOptimizerConfig config = {})
+        : cfg(config)
+    {}
+
+    /** Optimize `trace` in place; returns the pass statistics. */
+    OptStats optimize(IrSequence &trace) const;
+
+  private:
+    std::size_t foldConstants(IrSequence &trace,
+                              std::size_t &guards_removed) const;
+    std::size_t propagateCopies(IrSequence &trace) const;
+    std::size_t eliminateSubexpressions(IrSequence &trace) const;
+    std::size_t eliminateLoads(IrSequence &trace) const;
+    std::size_t eliminateDeadCode(IrSequence &trace) const;
+
+    TraceOptimizerConfig cfg;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_OPT_TRACE_OPTIMIZER_HH

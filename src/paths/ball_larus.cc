@@ -1,0 +1,479 @@
+#include "paths/ball_larus.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+/** Union-find for the spanning-tree construction. */
+class DisjointSet
+{
+  public:
+    explicit DisjointSet(std::size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0u);
+    }
+
+    std::uint32_t
+    find(std::uint32_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    bool
+    unite(std::uint32_t a, std::uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent[a] = b;
+        return true;
+    }
+
+  private:
+    std::vector<std::uint32_t> parent;
+};
+
+} // namespace
+
+// BallLarusNumbering -------------------------------------------------
+
+BallLarusNumbering::BallLarusNumbering(const Program &program,
+                                       ProcId proc)
+    : prog(program), procId(proc)
+{
+    HOTPATH_ASSERT(program.finalized(), "program not finalized");
+    buildDag(program);
+    assignValues();
+    buildSpanningTree();
+    computeIncrements();
+}
+
+BallLarusNumbering::Vertex
+BallLarusNumbering::vertexOf(BlockId block) const
+{
+    const auto it = blockVertex.find(block);
+    HOTPATH_ASSERT(it != blockVertex.end(),
+                   "block not in this procedure");
+    return it->second;
+}
+
+BlockId
+BallLarusNumbering::blockOf(Vertex v) const
+{
+    HOTPATH_ASSERT(v < vertexBlocks.size(), "virtual vertex");
+    return vertexBlocks[v];
+}
+
+void
+BallLarusNumbering::buildDag(const Program &program)
+{
+    const Procedure &proc = program.procedure(procId);
+    vertexBlocks = proc.blocks;
+    for (Vertex v = 0; v < vertexBlocks.size(); ++v)
+        blockVertex.emplace(vertexBlocks[v], v);
+    entry = static_cast<Vertex>(vertexBlocks.size());
+    exit = entry + 1;
+
+    outEdges.assign(vertexBlocks.size() + 2, {});
+
+    // Dedup helpers for the back-edge surrogates.
+    std::vector<bool> has_entry_edge(vertexBlocks.size() + 2, false);
+    std::vector<bool> has_exit_edge(vertexBlocks.size() + 2, false);
+
+    auto add_edge = [&](Vertex from, Vertex to) -> int {
+        Edge edge;
+        edge.from = from;
+        edge.to = to;
+        edges.push_back(edge);
+        const int index = static_cast<int>(edges.size() - 1);
+        outEdges[from].push_back(index);
+        return index;
+    };
+    auto add_entry_edge = [&](Vertex to) {
+        if (!has_entry_edge[to]) {
+            has_entry_edge[to] = true;
+            add_edge(entry, to);
+        }
+    };
+    auto add_exit_edge = [&](Vertex from) {
+        if (!has_exit_edge[from]) {
+            has_exit_edge[from] = true;
+            add_edge(from, exit);
+        }
+    };
+
+    add_entry_edge(vertexOf(proc.entry));
+
+    for (BlockId bid : proc.blocks) {
+        const BasicBlock &block = program.block(bid);
+        const Vertex from = vertexOf(bid);
+
+        if (block.kind == BranchKind::Return) {
+            add_exit_edge(from);
+            continue;
+        }
+        if (block.kind == BranchKind::Call) {
+            // The continuation edge stands in for the whole call; the
+            // numbering is intraprocedural (Ball-Larus paths do not
+            // descend into callees).
+            const BlockId cont = block.successors[0];
+            HOTPATH_ASSERT(
+                !isBackwardTransfer(block.branchSite(),
+                                    program.block(cont).addr),
+                "call continuation must be a forward edge");
+            add_edge(from, vertexOf(cont));
+            continue;
+        }
+        for (BlockId succ : block.successors) {
+            if (isBackwardTransfer(block.branchSite(),
+                                   program.block(succ).addr)) {
+                add_exit_edge(from);
+                add_entry_edge(vertexOf(succ));
+            } else {
+                add_edge(from, vertexOf(succ));
+            }
+        }
+    }
+
+    // The virtual closing edge, always last.
+    Edge closing;
+    closing.from = exit;
+    closing.to = entry;
+    closing.isVirtual = true;
+    edges.push_back(closing);
+    outEdges[exit].push_back(static_cast<int>(edges.size() - 1));
+}
+
+void
+BallLarusNumbering::assignValues()
+{
+    // Reverse-topological order: exit, blocks by descending address
+    // (vertex order is address order), then entry. All non-virtual
+    // edges point forward in (entry, blocks..., exit).
+    pathsFrom.assign(vertexBlocks.size() + 2, 0);
+    pathsFrom[exit] = 1;
+
+    auto process = [&](Vertex v) {
+        std::uint64_t total = 0;
+        std::int64_t running = 0;
+        for (int ei : outEdges[v]) {
+            Edge &edge = edges[ei];
+            if (edge.isVirtual)
+                continue;
+            edge.val = running;
+            const std::uint64_t below = pathsFrom[edge.to];
+            total += below;
+            running += static_cast<std::int64_t>(below);
+        }
+        pathsFrom[v] = total;
+    };
+
+    for (Vertex v = static_cast<Vertex>(vertexBlocks.size()); v-- > 0;)
+        process(v);
+    process(entry);
+    pathsFromEntry = pathsFrom[entry];
+    HOTPATH_ASSERT(pathsFromEntry < (1ull << 32),
+                   "procedure has too many acyclic paths for "
+                   "Ball-Larus numbering");
+}
+
+void
+BallLarusNumbering::buildSpanningTree()
+{
+    DisjointSet sets(vertexBlocks.size() + 2);
+
+    // Force the virtual EXIT->ENTRY edge into the tree so that chord
+    // sums equal full path sums without a constant offset.
+    Edge &closing = edges.back();
+    closing.inTree = true;
+    sets.unite(closing.from, closing.to);
+
+    for (Edge &edge : edges) {
+        if (edge.isVirtual)
+            continue;
+        if (sets.unite(edge.from, edge.to))
+            edge.inTree = true;
+    }
+}
+
+void
+BallLarusNumbering::computeIncrements()
+{
+    // Potentials over the spanning tree: phi(entry) = 0 and
+    // phi(head) = phi(tail) + val for each tree edge, traversed
+    // undirected. Then Inc(chord) = val + phi(from) - phi(to).
+    const std::size_t n = vertexBlocks.size() + 2;
+    std::vector<std::int64_t> phi(n, 0);
+    std::vector<bool> visited(n, false);
+    std::vector<std::vector<std::pair<Vertex, std::int64_t>>> tree(n);
+
+    for (const Edge &edge : edges) {
+        if (!edge.inTree)
+            continue;
+        tree[edge.from].emplace_back(edge.to, edge.val);
+        tree[edge.to].emplace_back(edge.from, -edge.val);
+    }
+
+    std::vector<Vertex> worklist{entry};
+    visited[entry] = true;
+    while (!worklist.empty()) {
+        const Vertex v = worklist.back();
+        worklist.pop_back();
+        for (const auto &[next, delta] : tree[v]) {
+            if (visited[next])
+                continue;
+            visited[next] = true;
+            phi[next] = phi[v] + delta;
+            worklist.push_back(next);
+        }
+    }
+
+    for (Edge &edge : edges) {
+        if (edge.inTree || edge.isVirtual)
+            continue;
+        edge.inc = edge.val + phi[edge.from] - phi[edge.to];
+    }
+}
+
+std::size_t
+BallLarusNumbering::chordCount() const
+{
+    std::size_t chords = 0;
+    for (const Edge &edge : edges) {
+        if (!edge.inTree && !edge.isVirtual)
+            ++chords;
+    }
+    return chords;
+}
+
+int
+BallLarusNumbering::edgeBetween(Vertex from, Vertex to) const
+{
+    for (int ei : outEdges[from]) {
+        if (edges[ei].to == to)
+            return ei;
+    }
+    return -1;
+}
+
+std::vector<std::int64_t>
+BallLarusNumbering::sumAlong(const std::vector<BlockId> &blocks,
+                             bool chords_only) const
+{
+    HOTPATH_ASSERT(!blocks.empty(), "empty path");
+    std::vector<Vertex> route;
+    route.push_back(entry);
+    for (BlockId bid : blocks)
+        route.push_back(vertexOf(bid));
+    route.push_back(exit);
+
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+        const int ei = edgeBetween(route[i], route[i + 1]);
+        HOTPATH_ASSERT(ei >= 0, "block sequence is not a forward path");
+        const Edge &edge = edges[ei];
+        if (chords_only) {
+            if (!edge.inTree)
+                sum += edge.inc;
+        } else {
+            sum += edge.val;
+        }
+    }
+    return {sum};
+}
+
+std::int64_t
+BallLarusNumbering::pathSumFull(const std::vector<BlockId> &blocks) const
+{
+    return sumAlong(blocks, false)[0];
+}
+
+std::int64_t
+BallLarusNumbering::pathSumChords(
+    const std::vector<BlockId> &blocks) const
+{
+    return sumAlong(blocks, true)[0];
+}
+
+std::vector<std::vector<BlockId>>
+BallLarusNumbering::enumeratePaths(std::size_t limit) const
+{
+    std::vector<std::vector<BlockId>> result;
+    std::vector<BlockId> current;
+
+    // Plain recursive DFS; the DAG depth is bounded by the block
+    // count, and enumeration is only used on test-sized procedures.
+    auto dfs = [&](auto &&self, Vertex v) -> void {
+        if (result.size() >= limit)
+            return;
+        if (v == exit) {
+            result.push_back(current);
+            return;
+        }
+        for (int ei : outEdges[v]) {
+            const Edge &edge = edges[ei];
+            if (edge.isVirtual)
+                continue;
+            const bool real = edge.to != exit;
+            if (real)
+                current.push_back(vertexBlocks[edge.to]);
+            self(self, edge.to);
+            if (real)
+                current.pop_back();
+        }
+    };
+    dfs(dfs, entry);
+    return result;
+}
+
+// BallLarusProfiler --------------------------------------------------
+
+BallLarusProfiler::BallLarusProfiler(const Program &program)
+    : prog(program)
+{
+    numberings.reserve(program.numProcedures());
+    counts.resize(program.numProcedures());
+    for (ProcId p = 0; p < program.numProcedures(); ++p)
+        numberings.push_back(
+            std::make_unique<BallLarusNumbering>(program, p));
+
+    const ProcId main_proc = program.entryProcedure();
+    stack.push_back({main_proc, 0});
+    startPath(main_proc,
+              numberings[main_proc]->vertexOf(
+                  program.procedure(main_proc).entry));
+}
+
+const BallLarusNumbering &
+BallLarusProfiler::numbering(ProcId proc) const
+{
+    return *numberings[proc];
+}
+
+void
+BallLarusProfiler::applyEdge(ProcId proc, int edge_index)
+{
+    HOTPATH_ASSERT(edge_index >= 0, "missing DAG edge at runtime");
+    const auto &edge = numberings[proc]->allEdges()[edge_index];
+    if (!edge.inTree) {
+        stack.back().reg += edge.inc;
+        ++opCost.probeExecutions;
+    }
+}
+
+void
+BallLarusProfiler::finishPath(ProcId proc,
+                              BallLarusNumbering::Vertex last)
+{
+    const auto &numbering = *numberings[proc];
+    applyEdge(proc, numbering.edgeBetween(last, numbering.exitVertex()));
+    const std::int64_t id = stack.back().reg;
+    HOTPATH_ASSERT(id >= 0 &&
+                       static_cast<std::uint64_t>(id) <
+                           numbering.numPaths(),
+                   "path register out of range");
+    ++counts[proc][id];
+    ++opCost.tableUpdates;
+    ++completed;
+}
+
+void
+BallLarusProfiler::startPath(ProcId proc,
+                             BallLarusNumbering::Vertex target)
+{
+    stack.back().reg = 0;
+    const auto &numbering = *numberings[proc];
+    applyEdge(proc,
+              numbering.edgeBetween(numbering.entryVertex(), target));
+}
+
+void
+BallLarusProfiler::onTransfer(const TransferEvent &event)
+{
+    const BasicBlock &from_block = prog.block(event.from);
+    const ProcId proc = from_block.proc;
+    HOTPATH_ASSERT(!stack.empty() && stack.back().proc == proc,
+                   "frame stack out of sync with execution");
+    auto &numbering = *numberings[proc];
+
+    switch (from_block.kind) {
+      case BranchKind::Call: {
+        // Traverse the continuation edge in the caller, then enter
+        // the callee with a fresh register.
+        applyEdge(proc,
+                  numbering.edgeBetween(
+                      numbering.vertexOf(event.from),
+                      numbering.vertexOf(from_block.successors[0])));
+        const ProcId callee = from_block.callee;
+        stack.push_back({callee, 0});
+        startPath(callee,
+                  numberings[callee]->vertexOf(
+                      prog.procedure(callee).entry));
+        return;
+      }
+      case BranchKind::Return: {
+        finishPath(proc, numbering.vertexOf(event.from));
+        stack.pop_back();
+        if (stack.empty()) {
+            // Program restart: open a fresh top-level frame.
+            const ProcId main_proc = prog.entryProcedure();
+            stack.push_back({main_proc, 0});
+            startPath(main_proc,
+                      numberings[main_proc]->vertexOf(
+                          prog.procedure(main_proc).entry));
+        }
+        return;
+      }
+      default:
+        break;
+    }
+
+    if (event.backward) {
+        finishPath(proc, numbering.vertexOf(event.from));
+        startPath(proc, numbering.vertexOf(event.to));
+    } else {
+        applyEdge(proc,
+                  numbering.edgeBetween(numbering.vertexOf(event.from),
+                                        numbering.vertexOf(event.to)));
+    }
+}
+
+std::uint64_t
+BallLarusProfiler::pathCount(ProcId proc, std::int64_t id) const
+{
+    const auto &table = counts[proc];
+    const auto it = table.find(id);
+    return it == table.end() ? 0 : it->second;
+}
+
+std::size_t
+BallLarusProfiler::countersAllocated() const
+{
+    std::size_t total = 0;
+    for (const auto &table : counts)
+        total += table.size();
+    return total;
+}
+
+std::size_t
+BallLarusProfiler::totalChordCount() const
+{
+    std::size_t total = 0;
+    for (const auto &numbering : numberings)
+        total += numbering->chordCount();
+    return total;
+}
+
+} // namespace hotpath

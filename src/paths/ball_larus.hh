@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Ball-Larus efficient path profiling (paper Section 2, [5]).
+ *
+ * For each procedure we build the acyclic forward-path DAG (back edges
+ * v->w are replaced by v->EXIT and ENTRY->w), number paths with the
+ * classic val() assignment so each ENTRY->EXIT path sums to a unique
+ * id in [0, numPaths), then push the increments onto the chords of a
+ * spanning tree (with the virtual EXIT->ENTRY edge forced into the
+ * tree) so only a minimal set of edges needs instrumentation.
+ *
+ * BallLarusProfiler runs the scheme online against the Machine event
+ * stream and accounts its profiling operations, providing the
+ * reference implementation of "path profiling with minimized
+ * instrumentation" that the paper contrasts NET with.
+ */
+
+#ifndef HOTPATH_PATHS_BALL_LARUS_HH
+#define HOTPATH_PATHS_BALL_LARUS_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/program.hh"
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/** Path numbering for one procedure's forward DAG. */
+class BallLarusNumbering
+{
+  public:
+    /** DAG vertex: a block position, or the virtual entry/exit. */
+    using Vertex = std::uint32_t;
+
+    /** One DAG edge with its numbering and instrumentation data. */
+    struct Edge
+    {
+        Vertex from = 0;
+        Vertex to = 0;
+        /** Ball-Larus val(): contribution to the full path sum. */
+        std::int64_t val = 0;
+        /** Chord increment (only meaningful when !inTree). */
+        std::int64_t inc = 0;
+        /** True if the edge is in the spanning tree (no probe). */
+        bool inTree = false;
+        /** True for the EXIT->ENTRY closing edge. */
+        bool isVirtual = false;
+    };
+
+    BallLarusNumbering(const Program &program, ProcId proc);
+
+    /** Total number of acyclic forward paths (saturating). */
+    std::uint64_t numPaths() const { return pathsFromEntry; }
+
+    /** Number of instrumented (chord) edges, the probe count. */
+    std::size_t chordCount() const;
+
+    /** Total number of DAG edges (excluding the virtual edge). */
+    std::size_t edgeCount() const { return edges.size() - 1; }
+
+    const std::vector<Edge> &allEdges() const { return edges; }
+
+    Vertex entryVertex() const { return entry; }
+    Vertex exitVertex() const { return exit; }
+
+    /** DAG vertex for a block of this procedure. */
+    Vertex vertexOf(BlockId block) const;
+
+    /** Block id of a non-virtual vertex. */
+    BlockId blockOf(Vertex v) const;
+
+    /**
+     * Path id of a complete forward path given as its block sequence,
+     * computed with the full val() assignment (every edge).
+     */
+    std::int64_t pathSumFull(const std::vector<BlockId> &blocks) const;
+
+    /**
+     * Same path id computed the instrumented way: summing inc() over
+     * chord edges only. Must equal pathSumFull for every path.
+     */
+    std::int64_t pathSumChords(const std::vector<BlockId> &blocks) const;
+
+    /**
+     * Enumerate complete forward paths as block sequences, up to
+     * `limit` paths (tests on small graphs).
+     */
+    std::vector<std::vector<BlockId>>
+    enumeratePaths(std::size_t limit) const;
+
+    /** Edge index from vertex pair; -1 if absent (first match). */
+    int edgeBetween(Vertex from, Vertex to) const;
+
+  private:
+    void buildDag(const Program &program);
+    void assignValues();
+    void buildSpanningTree();
+    void computeIncrements();
+
+    std::vector<std::int64_t>
+    sumAlong(const std::vector<BlockId> &blocks, bool chords_only) const;
+
+    const Program &prog;
+    ProcId procId;
+    std::vector<BlockId> vertexBlocks; // vertex -> block id
+    std::unordered_map<BlockId, Vertex> blockVertex;
+    Vertex entry = 0;
+    Vertex exit = 0;
+    std::vector<Edge> edges; // last edge is the virtual EXIT->ENTRY
+    std::vector<std::vector<int>> outEdges; // per vertex, edge indices
+    std::vector<std::uint64_t> pathsFrom;   // per vertex
+    std::uint64_t pathsFromEntry = 0;
+};
+
+/** Profiling-operation counters for the online profiler. */
+struct BallLarusCost
+{
+    /** Chord-probe executions (register increments). */
+    std::uint64_t probeExecutions = 0;
+    /** Path-table updates (one per completed path). */
+    std::uint64_t tableUpdates = 0;
+};
+
+/**
+ * Online Ball-Larus path profiler over the whole program: keeps a
+ * per-frame path register, applies chord increments as edges execute
+ * and counts each completed (procedure-local) forward path.
+ */
+class BallLarusProfiler : public ExecutionListener
+{
+  public:
+    explicit BallLarusProfiler(const Program &program);
+
+    void onTransfer(const TransferEvent &event) override;
+
+    /** Numbering of one procedure. */
+    const BallLarusNumbering &numbering(ProcId proc) const;
+
+    /** Count of path `id` in `proc` (0 if never executed). */
+    std::uint64_t pathCount(ProcId proc, std::int64_t id) const;
+
+    /** Distinct (proc, path id) pairs seen: the counter space. */
+    std::size_t countersAllocated() const;
+
+    /** Total completed path executions. */
+    std::uint64_t pathsCompleted() const { return completed; }
+
+    const BallLarusCost &cost() const { return opCost; }
+
+    /** Static probe count across all procedures. */
+    std::size_t totalChordCount() const;
+
+  private:
+    void applyEdge(ProcId proc, int edge_index);
+    void finishPath(ProcId proc, BallLarusNumbering::Vertex last);
+    void startPath(ProcId proc, BallLarusNumbering::Vertex target);
+
+    struct Frame
+    {
+        ProcId proc;
+        std::int64_t reg;
+    };
+
+    const Program &prog;
+    std::vector<std::unique_ptr<BallLarusNumbering>> numberings;
+    std::vector<Frame> stack; // top = current frame
+    std::vector<std::unordered_map<std::int64_t, std::uint64_t>> counts;
+    std::uint64_t completed = 0;
+    BallLarusCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PATHS_BALL_LARUS_HH

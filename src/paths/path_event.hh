@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The path-granularity event that predictors and metrics consume.
+ *
+ * Both workload sources produce this: the CFG pipeline (Machine ->
+ * PathSplitter -> PathRegistry) and the calibrated SPEC-statistics
+ * workloads. Keeping the event minimal (dense ids + size info) is what
+ * lets the Figure 2/3 sweeps replay tens of millions of events per
+ * second.
+ */
+
+#ifndef HOTPATH_PATHS_PATH_EVENT_HH
+#define HOTPATH_PATHS_PATH_EVENT_HH
+
+#include <cstdint>
+
+namespace hotpath
+{
+
+/** Dense path index (assigned by PathRegistry or a workload). */
+using PathIndex = std::uint32_t;
+
+/** Dense path-head index (one per backward-branch target). */
+using HeadIndex = std::uint32_t;
+
+constexpr PathIndex kInvalidPath = ~PathIndex{0};
+constexpr HeadIndex kInvalidHead = ~HeadIndex{0};
+
+/** One complete execution of one program path. */
+struct PathEvent
+{
+    /** Which path executed. */
+    PathIndex path = kInvalidPath;
+    /** The path's head (target of the backward taken branch). */
+    HeadIndex head = kInvalidHead;
+    /** Number of basic blocks on the path. */
+    std::uint32_t blocks = 0;
+    /** Number of branch instructions on the path. */
+    std::uint32_t branches = 0;
+    /** Number of instructions on the path. */
+    std::uint32_t instructions = 0;
+};
+
+/** Receives path executions in program order. */
+class PathEventSink
+{
+  public:
+    virtual ~PathEventSink() = default;
+
+    /** `time` is the 0-based index of the event in the stream. */
+    virtual void onPathEvent(const PathEvent &event,
+                             std::uint64_t time) = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PATHS_PATH_EVENT_HH

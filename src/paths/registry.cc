@@ -1,0 +1,76 @@
+#include "paths/registry.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+std::size_t
+PathRegistry::SequenceHash::operator()(
+    const std::vector<BlockId> &seq) const
+{
+    // FNV-1a over the block ids.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (BlockId id : seq) {
+        h ^= id;
+        h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+PathIndex
+PathRegistry::intern(const PathRecord &record)
+{
+    HOTPATH_ASSERT(!record.blocks.empty(), "empty path record");
+    const auto it = pathIds.find(record.blocks);
+    if (it != pathIds.end())
+        return it->second;
+
+    const auto index = static_cast<PathIndex>(paths.size());
+    PathInfo info;
+    info.index = index;
+    info.headBlock = record.head;
+    info.head = internHead(record.head);
+    info.blocks = record.blocks;
+    info.signature = record.signature;
+    info.branches = record.branches;
+    info.instructions = record.instructions;
+    paths.push_back(std::move(info));
+    pathIds.emplace(record.blocks, index);
+    return index;
+}
+
+HeadIndex
+PathRegistry::internHead(BlockId head)
+{
+    const auto it = headIds.find(head);
+    if (it != headIds.end())
+        return it->second;
+    const auto index = static_cast<HeadIndex>(headBlocks.size());
+    headIds.emplace(head, index);
+    headBlocks.push_back(head);
+    return index;
+}
+
+const PathInfo &
+PathRegistry::info(PathIndex index) const
+{
+    HOTPATH_ASSERT(index < paths.size(), "bad path index");
+    return paths[index];
+}
+
+PathEvent
+PathRegistry::toEvent(const PathRecord &record)
+{
+    const PathIndex index = intern(record);
+    const PathInfo &interned = paths[index];
+    PathEvent event;
+    event.path = index;
+    event.head = interned.head;
+    event.blocks = static_cast<std::uint32_t>(record.blocks.size());
+    event.branches = record.branches;
+    event.instructions = record.instructions;
+    return event;
+}
+
+} // namespace hotpath

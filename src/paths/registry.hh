@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Path interning: maps dynamic PathRecords to dense PathIndex /
+ * HeadIndex ids and bridges the CFG pipeline to the PathEvent stream
+ * the predictors and metrics consume.
+ */
+
+#ifndef HOTPATH_PATHS_REGISTRY_HH
+#define HOTPATH_PATHS_REGISTRY_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "paths/path_event.hh"
+#include "paths/splitter.hh"
+
+namespace hotpath
+{
+
+/** Interned static information about one distinct path. */
+struct PathInfo
+{
+    PathIndex index = kInvalidPath;
+    HeadIndex head = kInvalidHead;
+    BlockId headBlock = kInvalidBlock;
+    std::vector<BlockId> blocks;
+    PathSignature signature;
+    std::uint32_t branches = 0;
+    std::uint32_t instructions = 0;
+};
+
+/** Interns paths (by exact block sequence) and heads (by block id). */
+class PathRegistry
+{
+  public:
+    /** Intern a record; returns its dense path index. */
+    PathIndex intern(const PathRecord &record);
+
+    /** Intern a head block; returns its dense head index. */
+    HeadIndex internHead(BlockId head);
+
+    const PathInfo &info(PathIndex index) const;
+
+    /** Head block id of a head index. */
+    BlockId headBlock(HeadIndex head) const { return headBlocks[head]; }
+
+    std::size_t numPaths() const { return paths.size(); }
+    std::size_t numHeads() const { return headBlocks.size(); }
+
+    /** Build the PathEvent for a record (interning as needed). */
+    PathEvent toEvent(const PathRecord &record);
+
+  private:
+    struct SequenceHash
+    {
+        std::size_t operator()(const std::vector<BlockId> &seq) const;
+    };
+
+    std::unordered_map<std::vector<BlockId>, PathIndex, SequenceHash>
+        pathIds;
+    std::deque<PathInfo> paths;
+    std::unordered_map<BlockId, HeadIndex> headIds;
+    std::vector<BlockId> headBlocks;
+};
+
+/**
+ * PathSink that interns records and forwards timed PathEvents to a
+ * PathEventSink: the glue between Machine execution and the predictor
+ * and metric layers.
+ */
+class PathEventAdapter : public PathSink
+{
+  public:
+    PathEventAdapter(PathRegistry &registry, PathEventSink &sink)
+        : registry(registry), sink(sink)
+    {}
+
+    void
+    onPath(const PathRecord &record) override
+    {
+        sink.onPathEvent(registry.toEvent(record), clock++);
+    }
+
+    std::uint64_t eventsForwarded() const { return clock; }
+
+  private:
+    PathRegistry &registry;
+    PathEventSink &sink;
+    std::uint64_t clock = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PATHS_REGISTRY_HH

@@ -1,0 +1,96 @@
+#include "paths/signature.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+/** 64-bit mix (SplitMix64 finalizer) for hash combining. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+PathSignature::reset(Addr start)
+{
+    startAddr = start;
+    words.clear();
+    bitCount = 0;
+    indirect.clear();
+}
+
+void
+PathSignature::pushOutcome(bool taken)
+{
+    const std::size_t word = bitCount / 64;
+    const std::size_t bit = bitCount % 64;
+    if (word >= words.size())
+        words.push_back(0);
+    if (taken)
+        words[word] |= (1ull << bit);
+    ++bitCount;
+}
+
+void
+PathSignature::pushIndirectTarget(Addr target)
+{
+    indirect.push_back(target);
+}
+
+bool
+PathSignature::bit(std::size_t i) const
+{
+    HOTPATH_ASSERT(i < bitCount, "history bit out of range");
+    return (words[i / 64] >> (i % 64)) & 1;
+}
+
+std::uint64_t
+PathSignature::hash() const
+{
+    std::uint64_t h = mix(startAddr ^ 0x9e3779b97f4a7c15ull);
+    h = mix(h ^ bitCount);
+    for (std::uint64_t w : words)
+        h = mix(h ^ w);
+    for (Addr t : indirect)
+        h = mix(h ^ t);
+    return h;
+}
+
+bool
+PathSignature::operator==(const PathSignature &other) const
+{
+    return startAddr == other.startAddr && bitCount == other.bitCount &&
+           words == other.words && indirect == other.indirect;
+}
+
+std::string
+PathSignature::toString() const
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << startAddr << std::dec << ".";
+    for (std::size_t i = 0; i < bitCount; ++i)
+        os << (bit(i) ? '1' : '0');
+    if (!indirect.empty()) {
+        os << ",[";
+        for (std::size_t i = 0; i < indirect.size(); ++i) {
+            if (i)
+                os << " ";
+            os << "0x" << std::hex << indirect[i] << std::dec;
+        }
+        os << "]";
+    }
+    return os.str();
+}
+
+} // namespace hotpath

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bit-tracing path signatures (paper Section 2).
+ *
+ * A path is identified by
+ *     <start_address>.<history>,<indirect_branch_target_list>
+ * where the history holds one bit per branch on the path (1 = taken)
+ * and indirect branch targets are appended verbatim. Signatures are
+ * built on the fly while the path executes, exactly as a bit-tracing
+ * profiler would shift outcomes into a history register; no static
+ * preparatory analysis is needed.
+ */
+
+#ifndef HOTPATH_PATHS_SIGNATURE_HH
+#define HOTPATH_PATHS_SIGNATURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/types.hh"
+
+namespace hotpath
+{
+
+/** An incrementally constructed bit-tracing path signature. */
+class PathSignature
+{
+  public:
+    PathSignature() = default;
+    explicit PathSignature(Addr start) : startAddr(start) {}
+
+    /** Reset to an empty signature rooted at `start`. */
+    void reset(Addr start);
+
+    /** Shift one conditional-branch outcome into the history. */
+    void pushOutcome(bool taken);
+
+    /** Append an indirect branch target. */
+    void pushIndirectTarget(Addr target);
+
+    Addr start() const { return startAddr; }
+    std::size_t historyLength() const { return bitCount; }
+
+    /** Outcome bit i (0 = first branch on the path). */
+    bool bit(std::size_t i) const;
+
+    const std::vector<Addr> &
+    indirectTargets() const
+    {
+        return indirect;
+    }
+
+    /** 64-bit hash over start, history and indirect targets. */
+    std::uint64_t hash() const;
+
+    bool operator==(const PathSignature &other) const;
+
+    /** Render like the paper: "0x1000.0101,[0x2000]". */
+    std::string toString() const;
+
+  private:
+    Addr startAddr = 0;
+    std::vector<std::uint64_t> words;
+    std::size_t bitCount = 0;
+    std::vector<Addr> indirect;
+};
+
+/** Hash functor for unordered containers. */
+struct PathSignatureHash
+{
+    std::size_t
+    operator()(const PathSignature &sig) const
+    {
+        return static_cast<std::size_t>(sig.hash());
+    }
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PATHS_SIGNATURE_HH

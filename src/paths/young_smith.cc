@@ -1,0 +1,56 @@
+#include "paths/young_smith.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+YoungSmithProfiler::YoungSmithProfiler(std::size_t k) : k(k)
+{
+    HOTPATH_ASSERT(k >= 1, "k-bounded paths need k >= 1");
+}
+
+void
+YoungSmithProfiler::onTransfer(const TransferEvent &event)
+{
+    // Only real branch instructions enter the FIFO; fallthroughs are
+    // not branches and do not contribute to general-path length.
+    if (event.kind == BranchKind::Fallthrough)
+        return;
+
+    ++branchCount;
+    fifo.push_back(packEdge(event.from, event.to));
+    if (fifo.size() > k)
+        fifo.pop_front();
+    if (fifo.size() < k)
+        return; // still warming up
+
+    Window window(fifo.begin(), fifo.end());
+    ++counts[window];
+    ++updateCount;
+}
+
+std::uint64_t
+YoungSmithProfiler::countOf(const Window &window) const
+{
+    const auto it = counts.find(window);
+    return it == counts.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<YoungSmithProfiler::Window, std::uint64_t>>
+YoungSmithProfiler::top(std::size_t limit) const
+{
+    std::vector<std::pair<Window, std::uint64_t>> all(counts.begin(),
+                                                      counts.end());
+    std::sort(all.begin(), all.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    if (all.size() > limit)
+        all.resize(limit);
+    return all;
+}
+
+} // namespace hotpath

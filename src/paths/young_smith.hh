@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Young-Smith k-bounded general path profiling (paper Section 2,
+ * [20]).
+ *
+ * A k-bounded general path is the sequence of the k most recently
+ * executed branches; unlike Ball-Larus forward paths it may include
+ * backward edges. The profiler keeps a k-deep FIFO of executed branch
+ * edges and bumps the counter of the current window after every
+ * branch, which is the "lazy update" formulation of the original
+ * algorithm.
+ */
+
+#ifndef HOTPATH_PATHS_YOUNG_SMITH_HH
+#define HOTPATH_PATHS_YOUNG_SMITH_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/** Online k-bounded general-path profiler. */
+class YoungSmithProfiler : public ExecutionListener
+{
+  public:
+    /** An executed branch edge packed as (from << 32) | to. */
+    using EdgeKey = std::uint64_t;
+
+    /** A general path: the last k executed branch edges. */
+    using Window = std::vector<EdgeKey>;
+
+    explicit YoungSmithProfiler(std::size_t k);
+
+    void onTransfer(const TransferEvent &event) override;
+
+    static EdgeKey
+    packEdge(BlockId from, BlockId to)
+    {
+        return (static_cast<std::uint64_t>(from) << 32) | to;
+    }
+
+    /** Count of one specific general path (0 if never seen). */
+    std::uint64_t countOf(const Window &window) const;
+
+    /** Distinct general paths seen: the counter space. */
+    std::size_t countersAllocated() const { return counts.size(); }
+
+    /** Counter updates performed (one per branch once warm). */
+    std::uint64_t updates() const { return updateCount; }
+
+    /** Branches pushed through the FIFO. */
+    std::uint64_t branchesSeen() const { return branchCount; }
+
+    /** The k bound. */
+    std::size_t bound() const { return k; }
+
+    /** Most frequent general paths, descending, up to `limit`. */
+    std::vector<std::pair<Window, std::uint64_t>>
+    top(std::size_t limit) const;
+
+  private:
+    struct WindowHash
+    {
+        std::size_t
+        operator()(const Window &window) const
+        {
+            std::uint64_t h = 0xcbf29ce484222325ull;
+            for (EdgeKey key : window) {
+                h ^= key;
+                h *= 0x100000001b3ull;
+            }
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    std::size_t k;
+    std::deque<EdgeKey> fifo;
+    std::unordered_map<Window, std::uint64_t, WindowHash> counts;
+    std::uint64_t updateCount = 0;
+    std::uint64_t branchCount = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PATHS_YOUNG_SMITH_HH

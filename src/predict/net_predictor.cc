@@ -1,0 +1,120 @@
+#include "predict/net_predictor.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+NetPredictor::NetPredictor(std::uint64_t delay, bool re_arm)
+    : predictionDelay(delay), reArm(re_arm)
+{
+    HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+}
+
+bool
+NetPredictor::observe(const PathEvent &event)
+{
+    if (!reArm && retired.count(event.head))
+        return false;
+
+    // NET's entire profiling cost: one counter update at the head.
+    opCost.counterUpdates += 1;
+
+    const std::uint64_t count = counters.increment(keyOf(event.head));
+    if (count < predictionDelay)
+        return false;
+
+    // Head is hot: speculatively select the next executing tail, the
+    // path executing right now.
+    if (reArm) {
+        // Restart counting the still-uncaptured flow at this head.
+        counters.erase(keyOf(event.head));
+        counters.increment(keyOf(event.head), 0);
+    } else {
+        retired.insert(event.head);
+    }
+    return true;
+}
+
+std::size_t
+NetPredictor::countersAllocated() const
+{
+    return counters.size();
+}
+
+void
+NetPredictor::reset()
+{
+    counters = CounterTable();
+    retired.clear();
+    opCost = ProfilingCost();
+}
+
+// MretPredictor ------------------------------------------------------
+
+MretPredictor::MretPredictor(std::uint64_t delay, bool re_arm)
+    : predictionDelay(delay), reArm(re_arm)
+{
+    HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+}
+
+bool
+MretPredictor::observe(const PathEvent &event)
+{
+    // A tail selected at an earlier trip becomes effective the next
+    // time it executes (that execution is its collection run).
+    if (event.path < pendingPrediction.size() &&
+        pendingPrediction[event.path]) {
+        pendingPrediction[event.path] = false;
+        return true;
+    }
+
+    if (!reArm && retired.count(event.head))
+        return false;
+
+    ++opCost.counterUpdates;
+    const std::uint64_t count = counters.increment(keyOf(event.head));
+
+    if (event.head >= lastTail.size())
+        lastTail.resize(event.head + 1, kInvalidPath);
+
+    bool predict = false;
+    if (count >= predictionDelay) {
+        if (reArm) {
+            counters.erase(keyOf(event.head));
+            counters.increment(keyOf(event.head), 0);
+        } else {
+            retired.insert(event.head);
+        }
+        const PathIndex remembered = lastTail[event.head];
+        if (remembered == kInvalidPath || remembered == event.path) {
+            // No history yet (delay 1) or the most recent tail is
+            // the one executing now: predict it directly.
+            predict = true;
+        } else {
+            if (remembered >= pendingPrediction.size())
+                pendingPrediction.resize(remembered + 1, false);
+            pendingPrediction[remembered] = true;
+        }
+    }
+    lastTail[event.head] = event.path;
+    return predict;
+}
+
+std::size_t
+MretPredictor::countersAllocated() const
+{
+    return counters.size();
+}
+
+void
+MretPredictor::reset()
+{
+    counters = CounterTable();
+    retired.clear();
+    lastTail.clear();
+    pendingPrediction.clear();
+    opCost = ProfilingCost();
+}
+
+} // namespace hotpath

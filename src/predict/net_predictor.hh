@@ -1,0 +1,114 @@
+/**
+ * @file
+ * NET (Next Executing Tail) hot path prediction (paper Section 4.1).
+ *
+ * Profiling is restricted to potential path heads: targets of
+ * backward taken branches. One counter per head is incremented each
+ * time the head executes (via a path that is not yet in the cache).
+ * When a head's counter reaches the prediction delay, the head is hot
+ * and the next executing tail - the path executing right now - is
+ * speculatively predicted as the hot path.
+ *
+ * After a prediction the head's counter restarts at zero. Executions
+ * of already-predicted paths run from the code cache and never reach
+ * the profiler, so the counter accumulates only still-uncaptured flow
+ * through the head; every further `delay` such executions spawn one
+ * more tail prediction. This mirrors Dynamo, where fragment exits
+ * continue to be counted and a loop with several dominant paths
+ * acquires one fragment per dominant path over time. Construct with
+ * `reArm = false` for the strict one-tail-per-head variant.
+ */
+
+#ifndef HOTPATH_PREDICT_NET_PREDICTOR_HH
+#define HOTPATH_PREDICT_NET_PREDICTOR_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "predict/predictor.hh"
+#include "profile/counter_table.hh"
+
+namespace hotpath
+{
+
+/** NET predictor over the PathEvent stream. */
+class NetPredictor : public HotPathPredictor
+{
+  public:
+    /**
+     * @param delay Head executions profiled before each prediction.
+     * @param re_arm Restart the head counter after a prediction so
+     *        more tails can be captured from the same head.
+     */
+    explicit NetPredictor(std::uint64_t delay, bool re_arm = true);
+
+    bool observe(const PathEvent &event) override;
+    std::size_t countersAllocated() const override;
+    const ProfilingCost &cost() const override { return opCost; }
+    void reset() override;
+
+    std::string
+    name() const override
+    {
+        return reArm ? "net" : "net-single-tail";
+    }
+
+    std::uint64_t delay() const { return predictionDelay; }
+
+  private:
+    static std::uint64_t
+    keyOf(HeadIndex head)
+    {
+        return static_cast<std::uint64_t>(head) + 1;
+    }
+
+    std::uint64_t predictionDelay;
+    bool reArm;
+    CounterTable counters;
+    std::unordered_set<HeadIndex> retired;
+    ProfilingCost opCost;
+};
+
+/**
+ * The scheme's earlier incarnation (paper footnote 1): Most Recently
+ * Executed Tail. Identical head counting, but when a head goes hot
+ * it predicts the tail that executed on the PREVIOUS arrival at that
+ * head rather than the one executing now. The distinction matters
+ * under bursty execution: NET's pick is correlated with the current
+ * burst, MRET's with the previous one - the dominance ablation
+ * quantifies the difference.
+ */
+class MretPredictor : public HotPathPredictor
+{
+  public:
+    explicit MretPredictor(std::uint64_t delay, bool re_arm = true);
+
+    bool observe(const PathEvent &event) override;
+    std::size_t countersAllocated() const override;
+    const ProfilingCost &cost() const override { return opCost; }
+    void reset() override;
+    std::string name() const override { return "mret"; }
+
+    std::uint64_t delay() const { return predictionDelay; }
+
+  private:
+    static std::uint64_t
+    keyOf(HeadIndex head)
+    {
+        return static_cast<std::uint64_t>(head) + 1;
+    }
+
+    std::uint64_t predictionDelay;
+    bool reArm;
+    CounterTable counters;
+    std::unordered_set<HeadIndex> retired;
+    std::vector<PathIndex> lastTail;
+    /** Deferred prediction: the remembered tail, awaiting its next
+     *  execution (the evaluator predicts the *current* event). */
+    std::vector<bool> pendingPrediction;
+    ProfilingCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PREDICT_NET_PREDICTOR_HH

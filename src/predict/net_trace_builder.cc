@@ -1,0 +1,147 @@
+#include "predict/net_trace_builder.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+std::uint64_t
+headKey(BlockId head)
+{
+    return static_cast<std::uint64_t>(head) + 1;
+}
+
+} // namespace
+
+NetTraceBuilder::NetTraceBuilder(NetTraceSink &sink,
+                                 NetTraceBuilderConfig config)
+    : sink(sink), cfg(config)
+{
+    HOTPATH_ASSERT(cfg.hotThreshold >= 1);
+    HOTPATH_ASSERT(cfg.maxBlocks >= 1);
+}
+
+void
+NetTraceBuilder::beginCollection(BlockId head)
+{
+    isCollecting = true;
+    current.head = head;
+    current.blocks.clear();
+    current.branches = 0;
+    current.instructions = 0;
+    callDepth = 0;
+    sawCall = false;
+}
+
+void
+NetTraceBuilder::endCollection(PathEndReason reason)
+{
+    current.endReason = reason;
+    sink.onTrace(current);
+    ++collectCost.tracesCollected;
+    isCollecting = false;
+
+    ownedHeads.insert(current.head);
+    if (cfg.reArm) {
+        // Restart counting the remaining flow through this head.
+        counters.erase(headKey(current.head));
+        counters.increment(headKey(current.head), 0);
+        ownedHeads.erase(current.head);
+    }
+}
+
+void
+NetTraceBuilder::onBlock(const BasicBlock &block)
+{
+    if (armNext) {
+        HOTPATH_ASSERT(block.id == armHead,
+                       "collection armed for a different block");
+        beginCollection(block.id);
+        current.signature.reset(block.addr);
+        armNext = false;
+    }
+
+    if (!isCollecting)
+        return;
+
+    // Incremental instrumentation: one breakpoint at the end of this
+    // non-branching sequence; executing the block raises it and the
+    // profiler removes it and prepares the next step.
+    ++collectCost.breakpointsPlaced;
+    ++collectCost.breakpointsHit;
+
+    current.blocks.push_back(block.id);
+    current.instructions += block.instrCount;
+
+    if (current.blocks.size() >= cfg.maxBlocks)
+        endCollection(PathEndReason::LengthCap);
+}
+
+void
+NetTraceBuilder::onTransfer(const TransferEvent &event)
+{
+    if (isCollecting) {
+        switch (event.kind) {
+          case BranchKind::Conditional:
+            current.signature.pushOutcome(event.taken);
+            ++current.branches;
+            break;
+          case BranchKind::Indirect:
+          case BranchKind::Return:
+            current.signature.pushIndirectTarget(event.target);
+            ++current.branches;
+            break;
+          case BranchKind::Jump:
+          case BranchKind::Call:
+            ++current.branches;
+            break;
+          case BranchKind::Fallthrough:
+            break;
+        }
+
+        if (event.backward) {
+            endCollection(PathEndReason::BackwardBranch);
+        } else if (event.kind == BranchKind::Call) {
+            ++callDepth;
+            sawCall = true;
+        } else if (event.kind == BranchKind::Return && callDepth > 0) {
+            --callDepth;
+            if (callDepth == 0 && sawCall)
+                endCollection(PathEndReason::MatchingReturn);
+        }
+        if (isCollecting)
+            return;
+        // The trace just ended on this transfer. If it ended on a
+        // backward branch, fall through: the target is a head arrival
+        // like any other.
+    }
+
+    if (!event.backward)
+        return;
+
+    // A backward taken branch landed on a potential path head.
+    noteArrival(event.to);
+}
+
+void
+NetTraceBuilder::noteArrival(BlockId head)
+{
+    if (isCollecting)
+        return;
+    if (ownedHeads.count(head))
+        return; // execution enters the cached fragment, no profiling
+
+    ++opCost.counterUpdates;
+    const std::uint64_t count = counters.increment(headKey(head));
+    if (count >= cfg.hotThreshold) {
+        // Hot head: collect the next executing tail, starting with
+        // the block about to execute.
+        armNext = true;
+        armHead = head;
+    }
+}
+
+} // namespace hotpath

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * CFG-level NET trace selection with incremental instrumentation
+ * (paper Sections 4.1 and 4.2).
+ *
+ * This is the engine a dynamic optimizer embeds: it watches the raw
+ * execution event stream, maintains counters only at path heads
+ * (blocks entered via a backward taken branch), and when a head
+ * crosses the hot threshold it collects the next executing tail by
+ * incremental instrumentation - conceptually placing a breakpoint at
+ * the end of each non-branching sequence, handling it, and placing
+ * the next one until the tail ends. The completed trace is handed to
+ * a sink (in Dynamo: the fragment cache).
+ *
+ * Once a head owns a trace it is retired from counting, modelling
+ * execution entering the cached fragment instead of the interpreter.
+ */
+
+#ifndef HOTPATH_PREDICT_NET_TRACE_BUILDER_HH
+#define HOTPATH_PREDICT_NET_TRACE_BUILDER_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "paths/splitter.hh"
+#include "profile/cost_model.hh"
+#include "profile/counter_table.hh"
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/** A collected NET trace (a speculative hot path). */
+struct NetTrace
+{
+    BlockId head = kInvalidBlock;
+    std::vector<BlockId> blocks;
+    PathSignature signature;
+    std::uint32_t branches = 0;
+    std::uint32_t instructions = 0;
+    PathEndReason endReason = PathEndReason::BackwardBranch;
+};
+
+/** Receives completed traces. */
+class NetTraceSink
+{
+  public:
+    virtual ~NetTraceSink() = default;
+    virtual void onTrace(const NetTrace &trace) = 0;
+};
+
+/** Breakpoint-level accounting for incremental instrumentation. */
+struct CollectionCost
+{
+    /** Breakpoints placed (one per non-branching sequence). */
+    std::uint64_t breakpointsPlaced = 0;
+    /** Breakpoints hit and removed. */
+    std::uint64_t breakpointsHit = 0;
+    /** Traces completed. */
+    std::uint64_t tracesCollected = 0;
+};
+
+/** NetTraceBuilder configuration. */
+struct NetTraceBuilderConfig
+{
+    /** Head executions before the head is considered hot. */
+    std::uint64_t hotThreshold = 50;
+    /** Safety cap on trace length in blocks. */
+    std::uint32_t maxBlocks = 256;
+    /** Allow a head to collect another trace after its first. */
+    bool reArm = false;
+};
+
+/** Online NET trace selection over the execution event stream. */
+class NetTraceBuilder : public ExecutionListener
+{
+  public:
+    NetTraceBuilder(NetTraceSink &sink,
+                    NetTraceBuilderConfig config = {});
+
+    void onBlock(const BasicBlock &block) override;
+    void onTransfer(const TransferEvent &event) override;
+
+    /**
+     * Count a head arrival that did not come from a backward branch.
+     * Dynamo counts exits from the code cache the same way it counts
+     * backward-branch targets - exit stubs make guard-exit blocks
+     * potential heads of secondary traces. Call just before the
+     * block executes (the armed collection, if any, starts with it).
+     */
+    void noteArrival(BlockId head);
+
+    /** True while a tail is being collected. */
+    bool collecting() const { return isCollecting; }
+
+    /** Heads with live counters: the counter space. */
+    std::size_t countersAllocated() const { return counters.size(); }
+
+    const ProfilingCost &cost() const { return opCost; }
+    const CollectionCost &collectionCost() const { return collectCost; }
+
+  private:
+    void beginCollection(BlockId head);
+    void endCollection(PathEndReason reason);
+
+    NetTraceSink &sink;
+    NetTraceBuilderConfig cfg;
+
+    CounterTable counters;
+    std::unordered_set<BlockId> ownedHeads; // heads that have a trace
+
+    bool isCollecting = false;
+    bool armNext = false;
+    BlockId armHead = kInvalidBlock;
+    NetTrace current;
+    std::uint32_t callDepth = 0;
+    bool sawCall = false;
+
+    ProfilingCost opCost;
+    CollectionCost collectCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PREDICT_NET_TRACE_BUILDER_HH

@@ -1,0 +1,39 @@
+#include "predict/path_profile_predictor.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+PathProfilePredictor::PathProfilePredictor(std::uint64_t delay)
+    : predictionDelay(delay)
+{
+    HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+}
+
+bool
+PathProfilePredictor::observe(const PathEvent &event)
+{
+    // Bit tracing cost: one shift per branch while the path executes,
+    // one table update (lookup + increment) when it completes.
+    opCost.historyShifts += event.branches;
+    opCost.tableUpdates += 1;
+
+    const std::uint64_t count = counters.increment(keyOf(event.path));
+    return count >= predictionDelay;
+}
+
+std::size_t
+PathProfilePredictor::countersAllocated() const
+{
+    return counters.size();
+}
+
+void
+PathProfilePredictor::reset()
+{
+    counters = CounterTable();
+    opCost = ProfilingCost();
+}
+
+} // namespace hotpath

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Path profile based prediction (paper Section 4).
+ *
+ * The straightforward adaptation of an offline path profiling scheme:
+ * profile every path execution with bit tracing (one history shift
+ * per branch, one path-table update per completed path) and predict a
+ * path as hot once its own execution count reaches the prediction
+ * delay. Its counter space is one counter per distinct dynamic path,
+ * which can be exponential in the program size.
+ */
+
+#ifndef HOTPATH_PREDICT_PATH_PROFILE_PREDICTOR_HH
+#define HOTPATH_PREDICT_PATH_PROFILE_PREDICTOR_HH
+
+#include "predict/predictor.hh"
+#include "profile/counter_table.hh"
+
+namespace hotpath
+{
+
+/** Predicts a path when its execution count reaches the delay. */
+class PathProfilePredictor : public HotPathPredictor
+{
+  public:
+    /** `delay` = number of profiled executions before prediction. */
+    explicit PathProfilePredictor(std::uint64_t delay);
+
+    bool observe(const PathEvent &event) override;
+    std::size_t countersAllocated() const override;
+    const ProfilingCost &cost() const override { return opCost; }
+    void reset() override;
+    std::string name() const override { return "path-profile"; }
+
+    std::uint64_t delay() const { return predictionDelay; }
+
+  private:
+    static std::uint64_t
+    keyOf(PathIndex path)
+    {
+        return static_cast<std::uint64_t>(path) + 1;
+    }
+
+    std::uint64_t predictionDelay;
+    CounterTable counters;
+    ProfilingCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PREDICT_PATH_PROFILE_PREDICTOR_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The online hot-path predictor interface (paper Section 4).
+ *
+ * A predictor observes executions of paths that are not yet predicted
+ * (predicted paths run from the code cache and bypass profiling) and
+ * decides, per execution, whether to predict the currently executing
+ * path as hot. Both the paper's schemes fit this shape:
+ *
+ *  - path profile based prediction counts every path and predicts a
+ *    path when its own count reaches the delay;
+ *  - NET counts only path heads and, when a head counter reaches the
+ *    delay, speculatively predicts the next executing tail, i.e. the
+ *    path executing right now.
+ */
+
+#ifndef HOTPATH_PREDICT_PREDICTOR_HH
+#define HOTPATH_PREDICT_PREDICTOR_HH
+
+#include <string>
+
+#include "paths/path_event.hh"
+#include "profile/cost_model.hh"
+
+namespace hotpath
+{
+
+/** Online hot-path predictor. */
+class HotPathPredictor
+{
+  public:
+    virtual ~HotPathPredictor() = default;
+
+    /**
+     * Observe one execution of a not-yet-predicted path. Returns true
+     * to predict this path as hot, effective with this execution (the
+     * triggering execution itself is still profiled flow: it is the
+     * collection run).
+     */
+    virtual bool observe(const PathEvent &event) = 0;
+
+    /** Counters currently allocated: the scheme's counter space. */
+    virtual std::size_t countersAllocated() const = 0;
+
+    /** Runtime profiling work performed so far. */
+    virtual const ProfilingCost &cost() const = 0;
+
+    /** Forget all state (used by cache flushes and sweeps). */
+    virtual void reset() = 0;
+
+    /** Scheme name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PREDICT_PREDICTOR_HH

@@ -1,0 +1,19 @@
+#include "profile/block_profile.hh"
+
+namespace hotpath
+{
+
+void
+BlockProfiler::onBlock(const BasicBlock &block)
+{
+    table.increment(keyOf(block.id));
+    ++opCost.counterUpdates;
+}
+
+std::uint64_t
+BlockProfiler::countOf(BlockId block) const
+{
+    return table.lookup(keyOf(block));
+}
+
+} // namespace hotpath

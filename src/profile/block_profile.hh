@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Basic-block execution profiler: the cheapest classic profiling
+ * baseline (one counter per executed block, one update per block).
+ */
+
+#ifndef HOTPATH_PROFILE_BLOCK_PROFILE_HH
+#define HOTPATH_PROFILE_BLOCK_PROFILE_HH
+
+#include "profile/cost_model.hh"
+#include "profile/counter_table.hh"
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/** Counts executions per basic block. */
+class BlockProfiler : public ExecutionListener
+{
+  public:
+    void onBlock(const BasicBlock &block) override;
+
+    std::uint64_t countOf(BlockId block) const;
+
+    /** Distinct blocks executed: the counter space. */
+    std::size_t countersAllocated() const { return table.size(); }
+
+    const ProfilingCost &cost() const { return opCost; }
+
+  private:
+    static std::uint64_t
+    keyOf(BlockId block)
+    {
+        return static_cast<std::uint64_t>(block) + 1; // keys nonzero
+    }
+
+    CounterTable table;
+    ProfilingCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROFILE_BLOCK_PROFILE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Profiling-operation accounting shared by all schemes.
+ *
+ * The paper's Section 4 argues in terms of two overheads: the amount
+ * of counter space and the number of runtime profiling operations
+ * (counter updates, history-register shifts, table lookups). Every
+ * profiler and predictor in this library reports its work in this
+ * common currency so the overhead comparisons (Figure 4, the micro
+ * benches, the Dynamo cost model) are apples to apples.
+ */
+
+#ifndef HOTPATH_PROFILE_COST_MODEL_HH
+#define HOTPATH_PROFILE_COST_MODEL_HH
+
+#include <cstdint>
+
+namespace hotpath
+{
+
+/** Runtime profiling work performed by a scheme. */
+struct ProfilingCost
+{
+    /** Plain counter increments (e.g. NET head counters). */
+    std::uint64_t counterUpdates = 0;
+    /** History-register shift operations (bit tracing, per branch). */
+    std::uint64_t historyShifts = 0;
+    /** Hash/path-table lookups or updates (per completed path). */
+    std::uint64_t tableUpdates = 0;
+
+    /** Total operations, unweighted. */
+    std::uint64_t
+    total() const
+    {
+        return counterUpdates + historyShifts + tableUpdates;
+    }
+
+    ProfilingCost &
+    operator+=(const ProfilingCost &other)
+    {
+        counterUpdates += other.counterUpdates;
+        historyShifts += other.historyShifts;
+        tableUpdates += other.tableUpdates;
+        return *this;
+    }
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROFILE_COST_MODEL_HH

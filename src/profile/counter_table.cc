@@ -1,0 +1,128 @@
+#include "profile/counter_table.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CounterTable::CounterTable(std::size_t initial_capacity)
+    : slots(roundUpPow2(initial_capacity < 8 ? 8 : initial_capacity))
+{
+}
+
+std::size_t
+CounterTable::probeIndex(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(mix(key)) & (slots.size() - 1);
+}
+
+void
+CounterTable::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    usedSlots = 0;
+    liveCount = 0;
+    for (const Slot &slot : old) {
+        if (slot.key != 0 && !slot.dead)
+            increment(slot.key, slot.count);
+    }
+}
+
+std::uint64_t
+CounterTable::increment(std::uint64_t key, std::uint64_t delta)
+{
+    HOTPATH_ASSERT(key != 0, "counter keys must be nonzero");
+    if ((usedSlots + 1) * 4 >= slots.size() * 3)
+        grow();
+
+    std::size_t idx = probeIndex(key);
+    std::size_t first_dead = slots.size();
+    for (;;) {
+        ++probeCount;
+        Slot &slot = slots[idx];
+        if (slot.key == key && !slot.dead) {
+            slot.count += delta;
+            return slot.count;
+        }
+        if (slot.key == 0) {
+            // Insert, reusing an earlier tombstone when available.
+            Slot &target =
+                first_dead < slots.size() ? slots[first_dead] : slot;
+            if (first_dead >= slots.size())
+                ++usedSlots;
+            target.key = key;
+            target.count = delta;
+            target.dead = false;
+            ++liveCount;
+            return delta;
+        }
+        if (slot.dead && first_dead == slots.size())
+            first_dead = idx;
+        idx = (idx + 1) & (slots.size() - 1);
+    }
+}
+
+std::uint64_t
+CounterTable::lookup(std::uint64_t key) const
+{
+    HOTPATH_ASSERT(key != 0, "counter keys must be nonzero");
+    std::size_t idx = probeIndex(key);
+    for (;;) {
+        ++probeCount;
+        const Slot &slot = slots[idx];
+        if (slot.key == key && !slot.dead)
+            return slot.count;
+        if (slot.key == 0)
+            return 0;
+        idx = (idx + 1) & (slots.size() - 1);
+    }
+}
+
+void
+CounterTable::erase(std::uint64_t key)
+{
+    HOTPATH_ASSERT(key != 0, "counter keys must be nonzero");
+    std::size_t idx = probeIndex(key);
+    for (;;) {
+        Slot &slot = slots[idx];
+        if (slot.key == key && !slot.dead) {
+            slot.dead = true;
+            --liveCount;
+            return;
+        }
+        if (slot.key == 0)
+            return;
+        idx = (idx + 1) & (slots.size() - 1);
+    }
+}
+
+std::size_t
+CounterTable::memoryBytes() const
+{
+    return slots.size() * sizeof(Slot);
+}
+
+} // namespace hotpath

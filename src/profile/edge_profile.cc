@@ -1,0 +1,19 @@
+#include "profile/edge_profile.hh"
+
+namespace hotpath
+{
+
+void
+EdgeProfiler::onTransfer(const TransferEvent &event)
+{
+    table.increment(keyOf(event.from, event.to));
+    ++opCost.counterUpdates;
+}
+
+std::uint64_t
+EdgeProfiler::countOf(BlockId from, BlockId to) const
+{
+    return table.lookup(keyOf(from, to));
+}
+
+} // namespace hotpath

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Edge execution profiler: counts dynamic control transfers between
+ * block pairs. Edge profiles are the classic middle ground between
+ * block and path profiles ([6] in the paper compares them offline).
+ */
+
+#ifndef HOTPATH_PROFILE_EDGE_PROFILE_HH
+#define HOTPATH_PROFILE_EDGE_PROFILE_HH
+
+#include "profile/cost_model.hh"
+#include "profile/counter_table.hh"
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/** Counts executions per (from, to) edge. */
+class EdgeProfiler : public ExecutionListener
+{
+  public:
+    void onTransfer(const TransferEvent &event) override;
+
+    std::uint64_t countOf(BlockId from, BlockId to) const;
+
+    /** Distinct edges executed: the counter space. */
+    std::size_t countersAllocated() const { return table.size(); }
+
+    const ProfilingCost &cost() const { return opCost; }
+
+  private:
+    static std::uint64_t
+    keyOf(BlockId from, BlockId to)
+    {
+        return ((static_cast<std::uint64_t>(from) + 1) << 32) |
+               (static_cast<std::uint64_t>(to) + 1);
+    }
+
+    CounterTable table;
+    ProfilingCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROFILE_EDGE_PROFILE_HH

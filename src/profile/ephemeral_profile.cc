@@ -1,0 +1,42 @@
+#include "profile/ephemeral_profile.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+EphemeralBlockProfiler::EphemeralBlockProfiler(
+    std::uint64_t sample_budget)
+    : sampleBudget(sample_budget)
+{
+    HOTPATH_ASSERT(sample_budget >= 1, "sample budget must be >= 1");
+}
+
+void
+EphemeralBlockProfiler::onBlock(const BasicBlock &block)
+{
+    if (retired.count(block.id))
+        return; // probe already deleted: zero steady-state cost
+
+    ++opCost.counterUpdates;
+    const std::uint64_t count = table.increment(keyOf(block.id));
+    if (count >= sampleBudget) {
+        // Delete the probe; one table update models the code patch.
+        retired.insert(block.id);
+        ++opCost.tableUpdates;
+    }
+}
+
+std::uint64_t
+EphemeralBlockProfiler::countOf(BlockId block) const
+{
+    return table.lookup(keyOf(block));
+}
+
+bool
+EphemeralBlockProfiler::probeRetired(BlockId block) const
+{
+    return retired.count(block) > 0;
+}
+
+} // namespace hotpath

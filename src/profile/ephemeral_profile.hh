@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ephemeral instrumentation (paper Section 7, [18]).
+ *
+ * The related-work idea attributed to M. Smith: keep profiling cheap
+ * by making instrumentation removable - a probe is planted, samples
+ * a bounded number of events, and is then deleted, so steady-state
+ * execution runs probe-free. Applied to block profiling, every block
+ * carries a probe for its first `sampleBudget` executions only.
+ *
+ * The scheme trades accuracy for overhead in a different way than
+ * NET: it caps the per-block cost (like NET caps per-head cost) but
+ * still instruments every block, and after probe removal it is blind
+ * to later shifts - the micro bench races it against the always-on
+ * profilers, and the tests check the truncation semantics.
+ */
+
+#ifndef HOTPATH_PROFILE_EPHEMERAL_PROFILE_HH
+#define HOTPATH_PROFILE_EPHEMERAL_PROFILE_HH
+
+#include <unordered_set>
+
+#include "profile/cost_model.hh"
+#include "profile/counter_table.hh"
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/** Block profiler whose probes retire after a sample budget. */
+class EphemeralBlockProfiler : public ExecutionListener
+{
+  public:
+    /** @param sample_budget Executions counted per block before the
+     *         probe is removed. */
+    explicit EphemeralBlockProfiler(std::uint64_t sample_budget);
+
+    void onBlock(const BasicBlock &block) override;
+
+    /** Count observed for a block (saturates at the budget). */
+    std::uint64_t countOf(BlockId block) const;
+
+    /** True once the block's probe has been removed. */
+    bool probeRetired(BlockId block) const;
+
+    /** Probes planted (== distinct blocks seen). */
+    std::size_t countersAllocated() const { return table.size(); }
+
+    /** Probes removed so far. */
+    std::size_t probesRetired() const { return retired.size(); }
+
+    /** Instrumentation events: probe executions + insert/delete. */
+    const ProfilingCost &cost() const { return opCost; }
+
+    std::uint64_t budget() const { return sampleBudget; }
+
+  private:
+    static std::uint64_t
+    keyOf(BlockId block)
+    {
+        return static_cast<std::uint64_t>(block) + 1;
+    }
+
+    std::uint64_t sampleBudget;
+    CounterTable table;
+    std::unordered_set<BlockId> retired;
+    ProfilingCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROFILE_EPHEMERAL_PROFILE_HH

@@ -1,0 +1,31 @@
+#include "profile/path_table.hh"
+
+namespace hotpath
+{
+
+void
+BitTracingProfiler::onPath(const PathRecord &record)
+{
+    PathTableEntry &entry = table[record.signature];
+    if (entry.count == 0) {
+        entry.signature = record.signature;
+        entry.branches = record.branches;
+        entry.instructions = record.instructions;
+    }
+    ++entry.count;
+    ++observed;
+
+    // Bit tracing pays one shift per branch while the path executes
+    // and one table update when it completes.
+    opCost.historyShifts += record.branches;
+    opCost.tableUpdates += 1;
+}
+
+std::uint64_t
+BitTracingProfiler::countOf(const PathSignature &signature) const
+{
+    const auto it = table.find(signature);
+    return it == table.end() ? 0 : it->second.count;
+}
+
+} // namespace hotpath

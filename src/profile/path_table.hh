@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bit-tracing path profiler (paper Section 2).
+ *
+ * Consumes completed PathRecords, whose signatures were built on the
+ * fly by the splitter shifting branch outcomes into a history
+ * register, and counts executions per signature in a path table. The
+ * accounted cost is the paper's: one history-register shift per
+ * branch on the path plus one path-table update per completed path.
+ */
+
+#ifndef HOTPATH_PROFILE_PATH_TABLE_HH
+#define HOTPATH_PROFILE_PATH_TABLE_HH
+
+#include <unordered_map>
+
+#include "paths/splitter.hh"
+#include "profile/cost_model.hh"
+
+namespace hotpath
+{
+
+/** Per-signature execution statistics. */
+struct PathTableEntry
+{
+    PathSignature signature;
+    std::uint64_t count = 0;
+    std::uint32_t branches = 0;
+    std::uint32_t instructions = 0;
+};
+
+/** Counts path executions keyed by bit-tracing signature. */
+class BitTracingProfiler : public PathSink
+{
+  public:
+    void onPath(const PathRecord &record) override;
+
+    /** Count for one signature (0 if never seen). */
+    std::uint64_t countOf(const PathSignature &signature) const;
+
+    /** Distinct paths (signatures) seen: the counter space. */
+    std::size_t countersAllocated() const { return table.size(); }
+
+    /** Total completed path executions observed. */
+    std::uint64_t pathsObserved() const { return observed; }
+
+    const ProfilingCost &cost() const { return opCost; }
+
+    /** Visit every entry. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[sig, entry] : table)
+            fn(entry);
+    }
+
+  private:
+    std::unordered_map<PathSignature, PathTableEntry, PathSignatureHash>
+        table;
+    std::uint64_t observed = 0;
+    ProfilingCost opCost;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROFILE_PATH_TABLE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic CFG program generation.
+ *
+ * Builds whole programs with the control structure the paper's
+ * workloads exhibit - nested loops whose bodies are chains of
+ * conditional diamonds, occasional indirect (switch-like) branches,
+ * and forward calls across an acyclic call graph - plus a matching
+ * BehaviorModel (biased branch probabilities create dominant paths;
+ * latch probabilities set loop trip counts). The CFG pipeline
+ * (Machine -> PathSplitter -> predictors) runs on these programs in
+ * the examples, the integration tests and the micro benches.
+ */
+
+#ifndef HOTPATH_PROGEN_GENERATOR_HH
+#define HOTPATH_PROGEN_GENERATOR_HH
+
+#include <memory>
+
+#include "sim/behavior.hh"
+
+namespace hotpath
+{
+
+/** Shape parameters for a generated program. */
+struct ProgenConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Callee procedures besides main. */
+    std::size_t procedures = 4;
+
+    /** Top-level loops per procedure. */
+    std::size_t loopsPerProc = 2;
+
+    /** Nesting depth of each loop (1 = no inner loop). */
+    std::size_t nestDepth = 2;
+
+    /** Conditional diamonds per loop body. */
+    std::size_t diamondsPerBody = 4;
+
+    /** Probability a diamond is an indirect (switch) instead. */
+    double indirectDensity = 0.15;
+
+    /** Targets of each indirect branch. */
+    std::size_t indirectFanout = 3;
+
+    /** Probability a loop body contains a call to a later proc. */
+    double callDensity = 0.25;
+
+    /** Taken probability of a dominant diamond branch. */
+    double dominantTakenProb = 0.85;
+
+    /** Fraction of diamonds that are balanced (no dominant side). */
+    double balancedFraction = 0.2;
+
+    /** Backward-latch taken probability (mean trip count). */
+    double loopContinueProb = 0.95;
+
+    /** Continue probability of main's driver loop. */
+    double driverContinueProb = 0.99;
+
+    /** Instruction count range per block. */
+    std::uint32_t minInstrPerBlock = 2;
+    std::uint32_t maxInstrPerBlock = 8;
+};
+
+/** A generated program bundled with its branch behaviour. */
+class SyntheticProgram
+{
+  public:
+    explicit SyntheticProgram(const ProgenConfig &config);
+
+    const Program &program() const { return *prog; }
+    const BehaviorModel &behavior() const { return *model; }
+    const ProgenConfig &config() const { return cfg; }
+
+  private:
+    ProgenConfig cfg;
+    std::unique_ptr<Program> prog;
+    std::unique_ptr<BehaviorModel> model;
+};
+
+/**
+ * A phased variant: the base behaviour for `phase_blocks` executed
+ * blocks, then a phase with every dominant diamond flipped to the
+ * other side, alternating `phases` times. Used by the phase-change
+ * examples and tests.
+ */
+class PhasedSyntheticProgram
+{
+  public:
+    PhasedSyntheticProgram(const ProgenConfig &config,
+                           std::size_t phases,
+                           std::uint64_t phase_blocks);
+
+    const Program &program() const { return *prog; }
+    const BehaviorModel &behavior() const { return *model; }
+
+  private:
+    ProgenConfig cfg;
+    std::unique_ptr<Program> prog;
+    std::unique_ptr<BehaviorModel> model;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROGEN_GENERATOR_HH

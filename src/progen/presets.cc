@@ -1,0 +1,129 @@
+#include "progen/presets.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+ProgenConfig
+base(std::uint64_t seed)
+{
+    ProgenConfig config;
+    config.seed = seed;
+    return config;
+}
+
+ProgenConfig
+loopy()
+{
+    ProgenConfig config = base(1001);
+    config.procedures = 2;
+    config.loopsPerProc = 1;
+    config.nestDepth = 3;
+    config.diamondsPerBody = 2;
+    config.dominantTakenProb = 0.95;
+    config.balancedFraction = 0.0;
+    config.indirectDensity = 0.0;
+    config.callDensity = 0.0;
+    config.loopContinueProb = 0.98;
+    return config;
+}
+
+ProgenConfig
+branchy()
+{
+    ProgenConfig config = base(1002);
+    config.procedures = 3;
+    config.loopsPerProc = 2;
+    config.nestDepth = 1;
+    config.diamondsPerBody = 8;
+    config.dominantTakenProb = 0.65;
+    config.balancedFraction = 0.5;
+    config.indirectDensity = 0.05;
+    return config;
+}
+
+ProgenConfig
+callheavy()
+{
+    ProgenConfig config = base(1003);
+    config.procedures = 6;
+    config.loopsPerProc = 1;
+    config.nestDepth = 2;
+    config.diamondsPerBody = 3;
+    config.callDensity = 1.0;
+    config.dominantTakenProb = 0.85;
+    return config;
+}
+
+ProgenConfig
+switchy()
+{
+    ProgenConfig config = base(1004);
+    config.procedures = 3;
+    config.loopsPerProc = 2;
+    config.diamondsPerBody = 4;
+    config.indirectDensity = 0.6;
+    config.indirectFanout = 5;
+    config.dominantTakenProb = 0.8;
+    return config;
+}
+
+ProgenConfig
+flat()
+{
+    ProgenConfig config = base(1005);
+    config.procedures = 1;
+    config.loopsPerProc = 4;
+    config.nestDepth = 1;
+    config.diamondsPerBody = 10;
+    config.dominantTakenProb = 0.75;
+    config.balancedFraction = 0.3;
+    return config;
+}
+
+ProgenConfig
+spiky()
+{
+    ProgenConfig config = base(1006);
+    config.procedures = 2;
+    config.loopsPerProc = 1;
+    config.nestDepth = 2;
+    config.diamondsPerBody = 3;
+    config.dominantTakenProb = 0.98;
+    config.balancedFraction = 0.0;
+    config.indirectDensity = 0.0;
+    config.loopContinueProb = 0.99;
+    return config;
+}
+
+} // namespace
+
+const std::vector<ProgenPreset> &
+progenPresets()
+{
+    static const std::vector<ProgenPreset> presets = {
+        {"loopy", "tight nested loops, strong dominance", loopy()},
+        {"branchy", "wide bodies, weak dominance", branchy()},
+        {"callheavy", "calls in every loop body", callheavy()},
+        {"switchy", "indirect dispatch everywhere", switchy()},
+        {"flat", "one large single-level loop population", flat()},
+        {"spiky", "near-deterministic hot spine", spiky()},
+    };
+    return presets;
+}
+
+const ProgenPreset &
+progenPreset(std::string_view name)
+{
+    for (const ProgenPreset &preset : progenPresets()) {
+        if (preset.name == name)
+            return preset;
+    }
+    fatal("unknown progen preset '" + std::string(name) + "'");
+}
+
+} // namespace hotpath

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Named generator presets.
+ *
+ * Six qualitative program shapes covering the axes the evaluation
+ * cares about: dominance (does NET's speculative pick win?), call
+ * density (does the interprocedural path definition matter?),
+ * indirect branching (signature disambiguation), loop nesting and
+ * path-population size. Used by tests, benches and examples that
+ * want a recognizable workload without hand-rolling a ProgenConfig.
+ */
+
+#ifndef HOTPATH_PROGEN_PRESETS_HH
+#define HOTPATH_PROGEN_PRESETS_HH
+
+#include <string_view>
+#include <vector>
+
+#include "progen/generator.hh"
+
+namespace hotpath
+{
+
+/** A named preset. */
+struct ProgenPreset
+{
+    std::string_view name;
+    std::string_view summary;
+    ProgenConfig config;
+};
+
+/**
+ * All presets:
+ *  - "loopy": tight nested loops, strong dominance - the NET-friendly
+ *    shape (compress-like);
+ *  - "branchy": wide bodies, weak dominance - many warm paths
+ *    (go-like);
+ *  - "callheavy": calls in every loop body - exercises the
+ *    interprocedural definition (li-like);
+ *  - "switchy": indirect branches everywhere - signature-indexed
+ *    dispatch (perl-like);
+ *  - "flat": one huge single-level loop population (vortex-like);
+ *  - "spiky": very strong dominance, tiny hot set (deltablue-like).
+ */
+const std::vector<ProgenPreset> &progenPresets();
+
+/** Look up a preset by name; panics if unknown. */
+const ProgenPreset &progenPreset(std::string_view name);
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROGEN_PRESETS_HH

@@ -1,0 +1,127 @@
+#include "sim/behavior.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+BehaviorModel::BehaviorModel(const Program &program) : prog(program)
+{
+    HOTPATH_ASSERT(program.finalized(),
+                   "behavior model needs a finalized program");
+}
+
+void
+BehaviorModel::addPhase(PhaseSpec spec)
+{
+    HOTPATH_ASSERT(!isFinalized, "behavior model already finalized");
+    phases.push_back(std::move(spec));
+}
+
+void
+BehaviorModel::setTakenProbability(BlockId block, double p)
+{
+    HOTPATH_ASSERT(!isFinalized, "behavior model already finalized");
+    HOTPATH_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    if (phases.empty())
+        phases.emplace_back();
+    phases.front().takenProbability[block] = p;
+}
+
+void
+BehaviorModel::setIndirectWeights(BlockId block,
+                                  std::vector<double> weights)
+{
+    HOTPATH_ASSERT(!isFinalized, "behavior model already finalized");
+    if (phases.empty())
+        phases.emplace_back();
+    phases.front().indirectWeights[block] = std::move(weights);
+}
+
+void
+BehaviorModel::finalize()
+{
+    HOTPATH_ASSERT(!isFinalized, "behavior model already finalized");
+    if (phases.empty())
+        phases.emplace_back();
+
+    std::uint64_t boundary = 0;
+    for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+        const PhaseSpec &spec = phases[pi];
+        CompiledPhase phase;
+
+        phase.takenProb.assign(prog.numBlocks(), 0.5);
+        if (pi > 0) {
+            // Inherit phase-0 probabilities as the base behaviour.
+            phase.takenProb = compiled[0].takenProb;
+        }
+        for (const auto &[block, p] : spec.takenProbability) {
+            HOTPATH_ASSERT(block < prog.numBlocks(), "bad block id");
+            HOTPATH_ASSERT(
+                prog.block(block).kind == BranchKind::Conditional,
+                "taken probability on a non-conditional block");
+            phase.takenProb[block] = p;
+        }
+
+        // Indirect samplers: overrides here, else phase-0 entry, else
+        // uniform built on demand in sampleIndirect().
+        for (const auto &[block, weights] : spec.indirectWeights) {
+            HOTPATH_ASSERT(block < prog.numBlocks(), "bad block id");
+            const BasicBlock &b = prog.block(block);
+            HOTPATH_ASSERT(b.kind == BranchKind::Indirect,
+                           "indirect weights on a non-indirect block");
+            HOTPATH_ASSERT(weights.size() == b.successors.size(),
+                           "weight count != successor count");
+            phase.indirect.emplace(block, AliasSampler(weights));
+        }
+        if (pi > 0) {
+            for (const auto &[block, sampler] : compiled[0].indirect) {
+                if (!phase.indirect.count(block))
+                    phase.indirect.emplace(block, sampler);
+            }
+        }
+
+        if (spec.lengthBlocks == 0) {
+            phase.endBlock = 0;
+        } else {
+            boundary += spec.lengthBlocks;
+            phase.endBlock = boundary;
+        }
+        compiled.push_back(std::move(phase));
+    }
+    isFinalized = true;
+}
+
+std::size_t
+BehaviorModel::phaseAt(std::uint64_t blocks_executed) const
+{
+    HOTPATH_ASSERT(isFinalized, "behavior model not finalized");
+    for (std::size_t pi = 0; pi < compiled.size(); ++pi) {
+        if (compiled[pi].endBlock == 0 ||
+            blocks_executed < compiled[pi].endBlock) {
+            return pi;
+        }
+    }
+    return compiled.size() - 1; // past the schedule: stay in the last
+}
+
+double
+BehaviorModel::takenProbability(std::size_t phase, BlockId block) const
+{
+    HOTPATH_ASSERT(isFinalized && phase < compiled.size());
+    return compiled[phase].takenProb[block];
+}
+
+std::size_t
+BehaviorModel::sampleIndirect(std::size_t phase, BlockId block,
+                              Rng &rng) const
+{
+    HOTPATH_ASSERT(isFinalized && phase < compiled.size());
+    const auto it = compiled[phase].indirect.find(block);
+    if (it != compiled[phase].indirect.end())
+        return it->second.sample(rng);
+    // Uniform fallback over the successors.
+    return rng.nextBounded(prog.block(block).successors.size());
+}
+
+} // namespace hotpath

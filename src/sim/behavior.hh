@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch behaviour models.
+ *
+ * A BehaviorModel tells the Machine how the program's dynamic control
+ * decisions distribute: per-conditional taken probabilities and
+ * per-indirect target weights. Behaviour can change over time through
+ * a phase schedule (Section 6.1 of the paper studies exactly this
+ * effect); each phase carries its own overrides and lasts for a given
+ * number of executed blocks.
+ */
+
+#ifndef HOTPATH_SIM_BEHAVIOR_HH
+#define HOTPATH_SIM_BEHAVIOR_HH
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/program.hh"
+#include "support/random.hh"
+
+namespace hotpath
+{
+
+/** Behaviour overrides for one execution phase. */
+struct PhaseSpec
+{
+    /** Phase length in executed blocks; 0 = lasts forever. */
+    std::uint64_t lengthBlocks = 0;
+
+    /** Taken probability per conditional block (default 0.5). */
+    std::unordered_map<BlockId, double> takenProbability;
+
+    /** Successor weights per indirect block (default uniform). */
+    std::unordered_map<BlockId, std::vector<double>> indirectWeights;
+};
+
+/**
+ * Time-phased branch behaviour for one Program. Phase 0 also provides
+ * the base behaviour; later phases fall back to phase 0 for any block
+ * they do not override.
+ */
+class BehaviorModel
+{
+  public:
+    explicit BehaviorModel(const Program &program);
+
+    /** Append a phase; at least one phase must exist before use. */
+    void addPhase(PhaseSpec spec);
+
+    /** Convenience for single-phase models. */
+    void setTakenProbability(BlockId block, double p);
+    void setIndirectWeights(BlockId block, std::vector<double> weights);
+
+    /** Finish configuration; builds per-phase samplers. */
+    void finalize();
+
+    std::size_t numPhases() const { return phases.size(); }
+
+    /** Phase index active after `blocks_executed` blocks. */
+    std::size_t phaseAt(std::uint64_t blocks_executed) const;
+
+    /** Taken probability of a conditional block in a phase. */
+    double takenProbability(std::size_t phase, BlockId block) const;
+
+    /** Sample a successor index for an indirect block in a phase. */
+    std::size_t sampleIndirect(std::size_t phase, BlockId block,
+                               Rng &rng) const;
+
+  private:
+    struct CompiledPhase
+    {
+        std::vector<double> takenProb;
+        std::unordered_map<BlockId, AliasSampler> indirect;
+        std::uint64_t endBlock = 0; // cumulative boundary, 0 = open
+    };
+
+    const Program &prog;
+    std::vector<PhaseSpec> phases;
+    std::vector<CompiledPhase> compiled;
+    bool isFinalized = false;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_SIM_BEHAVIOR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dynamic execution events emitted by the Machine.
+ *
+ * The profiling and path layers observe execution exclusively through
+ * these events, mirroring how an instrumentation engine or emulator
+ * (Dynamo interprets; Pin/DynamoRIO instrument) exposes a running
+ * program to a profiler.
+ */
+
+#ifndef HOTPATH_SIM_EVENT_HH
+#define HOTPATH_SIM_EVENT_HH
+
+#include "cfg/basic_block.hh"
+
+namespace hotpath
+{
+
+/** One dynamic control transfer between blocks. */
+struct TransferEvent
+{
+    /** Block whose terminator executed. */
+    BlockId from = kInvalidBlock;
+    /** Destination block. */
+    BlockId to = kInvalidBlock;
+    /** Address of the branch instruction. */
+    Addr site = 0;
+    /** Address of the destination. */
+    Addr target = 0;
+    /** Static kind of the terminator. */
+    BranchKind kind = BranchKind::Fallthrough;
+    /** For conditionals: whether the branch was taken. */
+    bool taken = false;
+    /** True iff target <= site (a backward transfer). */
+    bool backward = false;
+};
+
+/**
+ * Observer interface for dynamic execution. Default implementations
+ * ignore everything so listeners override only what they need.
+ */
+class ExecutionListener
+{
+  public:
+    virtual ~ExecutionListener() = default;
+
+    /** A basic block begins executing. */
+    virtual void onBlock(const BasicBlock &block) { (void)block; }
+
+    /** The block's terminator transferred control. */
+    virtual void onTransfer(const TransferEvent &event) { (void)event; }
+
+    /** The outermost procedure returned (one program run finished). */
+    virtual void onProgramEnd() {}
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_SIM_EVENT_HH

@@ -1,0 +1,112 @@
+#include "sim/machine.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+Machine::Machine(const Program &program, const BehaviorModel &behavior,
+                 MachineConfig config)
+    : prog(program), model(behavior), cfg(config), rng(config.seed),
+      current(program.procedure(program.entryProcedure()).entry)
+{
+    HOTPATH_ASSERT(program.finalized(), "program not finalized");
+}
+
+void
+Machine::addListener(ExecutionListener *listener)
+{
+    HOTPATH_ASSERT(listener != nullptr);
+    listeners.push_back(listener);
+}
+
+BlockId
+Machine::step(const BasicBlock &block, TransferEvent &event)
+{
+    const std::size_t phase = model.phaseAt(blockCount);
+    BlockId next = kInvalidBlock;
+    event.from = block.id;
+    event.site = block.branchSite();
+    event.kind = block.kind;
+    event.taken = false;
+
+    switch (block.kind) {
+      case BranchKind::Fallthrough:
+        next = block.successors[0];
+        break;
+      case BranchKind::Jump:
+        next = block.successors[0];
+        event.taken = true;
+        break;
+      case BranchKind::Conditional: {
+        const bool taken =
+            rng.nextBool(model.takenProbability(phase, block.id));
+        next = taken ? block.successors[0] : block.successors[1];
+        event.taken = taken;
+        break;
+      }
+      case BranchKind::Indirect: {
+        const std::size_t pick =
+            model.sampleIndirect(phase, block.id, rng);
+        next = block.successors[pick];
+        event.taken = true;
+        break;
+      }
+      case BranchKind::Call: {
+        HOTPATH_ASSERT(callStack.size() < cfg.maxCallDepth,
+                       "call stack overflow (recursion too deep)");
+        callStack.push_back(block.successors[0]);
+        next = prog.procedure(block.callee).entry;
+        event.taken = true;
+        break;
+      }
+      case BranchKind::Return: {
+        event.taken = true;
+        if (callStack.empty()) {
+            // Entry procedure returned: one program run finished.
+            ++runCount;
+            for (ExecutionListener *l : listeners)
+                l->onProgramEnd();
+            if (!cfg.restartOnExit) {
+                finished = true;
+                return kInvalidBlock;
+            }
+            next = prog.procedure(prog.entryProcedure()).entry;
+        } else {
+            next = callStack.back();
+            callStack.pop_back();
+        }
+        break;
+      }
+    }
+
+    event.to = next;
+    event.target = prog.block(next).addr;
+    event.backward = isBackwardTransfer(event.site, event.target);
+    return next;
+}
+
+std::uint64_t
+Machine::run(std::uint64_t max_blocks)
+{
+    std::uint64_t executed = 0;
+    while (executed < max_blocks && !finished) {
+        const BasicBlock &block = prog.block(current);
+        for (ExecutionListener *l : listeners)
+            l->onBlock(block);
+        ++blockCount;
+        ++executed;
+        instrCount += block.instrCount;
+
+        TransferEvent event;
+        const BlockId next = step(block, event);
+        if (next == kInvalidBlock)
+            break;
+        for (ExecutionListener *l : listeners)
+            l->onTransfer(event);
+        current = next;
+    }
+    return executed;
+}
+
+} // namespace hotpath

@@ -1,0 +1,131 @@
+#include "sim/trace_log.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "cfg/program.hh"
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+constexpr std::uint64_t kTraceMagic = 0x48504c4f47313000ull; // "HPLOG10"
+} // namespace
+
+void
+TraceLog::onBlock(const BasicBlock &block)
+{
+    blocks.push_back(block.id);
+}
+
+void
+TraceLog::save(std::ostream &os) const
+{
+    const std::uint64_t magic = kTraceMagic;
+    const std::uint64_t count = blocks.size();
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    os.write(reinterpret_cast<const char *>(blocks.data()),
+             static_cast<std::streamsize>(count * sizeof(BlockId)));
+}
+
+void
+TraceLog::load(std::istream &is)
+{
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    HOTPATH_ASSERT(is.good() && magic == kTraceMagic,
+                   "bad trace stream header");
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    HOTPATH_ASSERT(is.good(), "truncated trace stream");
+    blocks.assign(count, kInvalidBlock);
+    is.read(reinterpret_cast<char *>(blocks.data()),
+            static_cast<std::streamsize>(count * sizeof(BlockId)));
+    HOTPATH_ASSERT(is.good(), "truncated trace stream body");
+}
+
+void
+TraceLog::replay(
+    const Program &program,
+    const std::vector<ExecutionListener *> &listeners) const
+{
+    std::vector<BlockId> call_stack;
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const BasicBlock &block = program.block(blocks[i]);
+        for (ExecutionListener *l : listeners)
+            l->onBlock(block);
+
+        if (i + 1 >= blocks.size())
+            break;
+        const BlockId next = blocks[i + 1];
+
+        TransferEvent event;
+        event.from = block.id;
+        event.to = next;
+        event.site = block.branchSite();
+        event.target = program.block(next).addr;
+        event.kind = block.kind;
+        event.backward = isBackwardTransfer(event.site, event.target);
+
+        switch (block.kind) {
+          case BranchKind::Fallthrough:
+            HOTPATH_ASSERT(next == block.successors[0],
+                           "illegal fallthrough transition in trace");
+            event.taken = false;
+            break;
+          case BranchKind::Jump:
+            HOTPATH_ASSERT(next == block.successors[0],
+                           "illegal jump transition in trace");
+            event.taken = true;
+            break;
+          case BranchKind::Conditional:
+            HOTPATH_ASSERT(next == block.successors[0] ||
+                               next == block.successors[1],
+                           "illegal conditional transition in trace");
+            event.taken = next == block.successors[0];
+            break;
+          case BranchKind::Indirect: {
+            const auto &succ = block.successors;
+            HOTPATH_ASSERT(std::find(succ.begin(), succ.end(), next) !=
+                               succ.end(),
+                           "illegal indirect transition in trace");
+            event.taken = true;
+            break;
+          }
+          case BranchKind::Call:
+            HOTPATH_ASSERT(
+                next == program.procedure(block.callee).entry,
+                "call transition does not enter the callee");
+            call_stack.push_back(block.successors[0]);
+            event.taken = true;
+            break;
+          case BranchKind::Return:
+            event.taken = true;
+            if (call_stack.empty()) {
+                const BlockId entry =
+                    program.procedure(program.entryProcedure()).entry;
+                HOTPATH_ASSERT(next == entry,
+                               "return transition with empty stack "
+                               "does not restart the program");
+                for (ExecutionListener *l : listeners)
+                    l->onProgramEnd();
+            } else {
+                HOTPATH_ASSERT(next == call_stack.back(),
+                               "return transition does not match the "
+                               "call site");
+                call_stack.pop_back();
+            }
+            break;
+        }
+
+        for (ExecutionListener *l : listeners)
+            l->onTransfer(event);
+    }
+}
+
+} // namespace hotpath

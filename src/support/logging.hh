@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error reporting and assertion helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors such
+ * as invalid configuration, and warn()/inform() are non-fatal status
+ * messages.
+ */
+
+#ifndef HOTPATH_SUPPORT_LOGGING_HH
+#define HOTPATH_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace hotpath
+{
+
+/** Abort with a message; use for internal invariant violations. */
+[[noreturn]] void panic(const std::string &message);
+
+/** Exit with an error code; use for invalid user input or config. */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &message);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &message);
+
+/** Enable or disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    ((os << args), ...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace hotpath
+
+/**
+ * Assert an internal invariant; active in all build types since the
+ * library is a measurement tool and silent corruption would invalidate
+ * experiments.
+ */
+#define HOTPATH_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::hotpath::panic(::hotpath::detail::concat(                    \
+                "assertion failed: ", #cond, " at ", __FILE__, ":",        \
+                __LINE__, " ", ##__VA_ARGS__));                            \
+        }                                                                  \
+    } while (0)
+
+#endif // HOTPATH_SUPPORT_LOGGING_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and samplers.
+ *
+ * All experiments in this library must be exactly reproducible from a
+ * seed, so we ship our own generators (SplitMix64 for seeding,
+ * Xoshiro256** as the workhorse) instead of relying on
+ * implementation-defined std::default_random_engine behaviour.
+ *
+ * The samplers cover the needs of the workload layer: uniform ranges,
+ * Bernoulli branch outcomes, Zipf-like popularity skews, and a Walker
+ * alias table for O(1) draws from large discrete distributions (the
+ * calibrated SPEC workloads sample from up to ~62k path frequencies).
+ */
+
+#ifndef HOTPATH_SUPPORT_RANDOM_HH
+#define HOTPATH_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hotpath
+{
+
+/** SplitMix64: used to expand a single u64 seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit value. */
+    std::uint64_t next();
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman and Vigna: fast, high-quality, 256-bit
+ * state, deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ull; }
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Fork an independent stream (seeded from this one). */
+    Rng fork();
+
+  private:
+    std::uint64_t s[4];
+};
+
+/**
+ * Walker alias method for O(1) sampling from a fixed discrete
+ * distribution. Construction is O(n).
+ */
+class AliasSampler
+{
+  public:
+    /**
+     * Build from non-negative weights; at least one weight must be
+     * positive. Weights need not be normalized.
+     */
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    /** Draw one index distributed according to the weights. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of outcomes. */
+    std::size_t size() const { return probability.size(); }
+
+    /** Normalized probability of outcome i (for tests). */
+    double probabilityOf(std::size_t i) const { return normalized[i]; }
+
+  private:
+    std::vector<double> probability; // acceptance threshold per slot
+    std::vector<std::uint32_t> alias;
+    std::vector<double> normalized;
+};
+
+/**
+ * Zipf(s) weights over ranks 1..n: weight(k) = 1 / k^s. Used to build
+ * skewed popularity distributions; normalize as needed.
+ */
+std::vector<double> zipfWeights(std::size_t n, double s);
+
+} // namespace hotpath
+
+#endif // HOTPATH_SUPPORT_RANDOM_HH

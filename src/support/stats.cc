@@ -1,0 +1,87 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lowBound(lo), highBound(hi),
+      bucketWidth((hi - lo) / static_cast<double>(buckets)),
+      counts(buckets, 0)
+{
+    HOTPATH_ASSERT(hi > lo && buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total;
+    if (x < lowBound) {
+        ++below;
+        return;
+    }
+    if (x >= highBound) {
+        ++above;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lowBound) / bucketWidth);
+    idx = std::min(idx, counts.size() - 1);
+    ++counts[idx];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    HOTPATH_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total == 0)
+        return lowBound;
+
+    const double target = q * static_cast<double>(total);
+    double cumulative = static_cast<double>(below);
+    if (target <= cumulative)
+        return lowBound;
+
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double next = cumulative + static_cast<double>(counts[i]);
+        if (target <= next && counts[i] > 0) {
+            const double frac =
+                (target - cumulative) / static_cast<double>(counts[i]);
+            return lowBound +
+                   (static_cast<double>(i) + frac) * bucketWidth;
+        }
+        cumulative = next;
+    }
+    return highBound;
+}
+
+} // namespace hotpath

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small online statistics helpers used by the metrics and dynamo
+ * layers: running mean/variance (Welford), min/max tracking, and a
+ * fixed-bucket histogram with quantile queries.
+ */
+
+#ifndef HOTPATH_SUPPORT_STATS_HH
+#define HOTPATH_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hotpath
+{
+
+/** Welford online mean/variance with min/max. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n; }
+
+    /** Mean of the samples (0 if empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    std::uint64_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+};
+
+/**
+ * Histogram over [lo, hi) with uniform buckets; samples outside the
+ * range land in saturating under/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Add one sample. */
+    void add(double x);
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts[i]; }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t underflow() const { return below; }
+    std::uint64_t overflow() const { return above; }
+
+    /**
+     * Approximate quantile (0 <= q <= 1) by linear interpolation
+     * within the containing bucket. Returns lo/hi bound when the
+     * quantile falls in the under/overflow buckets.
+     */
+    double quantile(double q) const;
+
+  private:
+    double lowBound;
+    double highBound;
+    double bucketWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_SUPPORT_STATS_HH

@@ -1,0 +1,53 @@
+#include "workload/phased.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+PhasedWorkload::PhasedWorkload(const SpecTarget &target,
+                               WorkloadConfig config, std::size_t phases)
+    : baseload(target, config), phaseCount(phases)
+{
+    HOTPATH_ASSERT(phases >= 1, "need at least one phase");
+}
+
+PathEvent
+PhasedWorkload::eventFor(PathIndex p) const
+{
+    const std::size_t k = phaseOfPath(p);
+    HOTPATH_ASSERT(k < phaseCount, "phased path id out of range");
+    PathEvent event = baseload.eventFor(basePath(p));
+    event.path = p;
+    event.head = static_cast<HeadIndex>(
+        event.head + k * baseload.numHeads());
+    return event;
+}
+
+std::vector<PathIndex>
+PhasedWorkload::hotPathsOfPhase(std::size_t k) const
+{
+    HOTPATH_ASSERT(k < phaseCount, "phase out of range");
+    std::vector<PathIndex> hot;
+    hot.reserve(baseload.numHotPaths());
+    for (std::size_t p = 0; p < baseload.numHotPaths(); ++p)
+        hot.push_back(mapPath(static_cast<PathIndex>(p), k));
+    return hot;
+}
+
+std::vector<PathEvent>
+PhasedWorkload::materializeStream() const
+{
+    std::vector<PathEvent> stream;
+    stream.reserve(totalFlow());
+    for (std::size_t k = 0; k < phaseCount; ++k) {
+        baseload.generateStream(
+            /*salt=*/k + 1,
+            [&](const PathEvent &event, std::uint64_t) {
+                stream.push_back(eventFor(mapPath(event.path, k)));
+            });
+    }
+    return stream;
+}
+
+} // namespace hotpath

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Phased workloads (paper Section 6.1).
+ *
+ * A PhasedWorkload replays one calibrated benchmark several times in
+ * a row, relocating the whole path population to a fresh id range in
+ * each phase: phase k executes paths [k*N, (k+1)*N) and heads
+ * [k*H, (k+1)*H), so the working set changes completely at every
+ * phase boundary while the per-phase statistics (path count, flow,
+ * head count, hot set size) stay fixed. This models a program moving
+ * to a different code region - paths that were hot in phase k are
+ * pure phase-induced noise in phase k+1: they never execute again.
+ * It is the stress input for phase-change detection and the flush
+ * heuristic (experiment X2).
+ */
+
+#ifndef HOTPATH_WORKLOAD_PHASED_HH
+#define HOTPATH_WORKLOAD_PHASED_HH
+
+#include "workload/synthesis.hh"
+
+namespace hotpath
+{
+
+/** Multi-phase wrapper around a CalibratedWorkload. */
+class PhasedWorkload
+{
+  public:
+    PhasedWorkload(const SpecTarget &target, WorkloadConfig config,
+                   std::size_t phases);
+
+    const CalibratedWorkload &base() const { return baseload; }
+    std::size_t numPhases() const { return phaseCount; }
+
+    /** Total distinct paths across all phases. */
+    std::size_t
+    numPaths() const
+    {
+        return baseload.numPaths() * phaseCount;
+    }
+
+    /** Total distinct heads across all phases. */
+    std::size_t
+    numHeads() const
+    {
+        return baseload.numHeads() * phaseCount;
+    }
+
+    /** Events per phase (= the base workload's flow). */
+    std::uint64_t phaseLength() const { return baseload.totalFlow(); }
+
+    /** Total events across all phases. */
+    std::uint64_t
+    totalFlow() const
+    {
+        return phaseLength() * phaseCount;
+    }
+
+    /** Path that plays base-path `p`'s role in phase `k`. */
+    PathIndex
+    mapPath(PathIndex p, std::size_t k) const
+    {
+        return static_cast<PathIndex>(
+            p + k * baseload.numPaths());
+    }
+
+    /** Base path behind a phased path id. */
+    PathIndex
+    basePath(PathIndex p) const
+    {
+        return static_cast<PathIndex>(p % baseload.numPaths());
+    }
+
+    /** Phase a path id belongs to. */
+    std::size_t
+    phaseOfPath(PathIndex p) const
+    {
+        return p / baseload.numPaths();
+    }
+
+    /** Fully populated event for one execution of phased path `p`. */
+    PathEvent eventFor(PathIndex p) const;
+
+    /** Hot paths of phase `k` (the relocated hot tier). */
+    std::vector<PathIndex> hotPathsOfPhase(std::size_t k) const;
+
+    /** Phase index of stream position `time`. */
+    std::size_t
+    phaseAt(std::uint64_t time) const
+    {
+        const std::size_t k =
+            static_cast<std::size_t>(time / phaseLength());
+        return k < phaseCount ? k : phaseCount - 1;
+    }
+
+    /** Materialize the full multi-phase stream. */
+    std::vector<PathEvent> materializeStream() const;
+
+  private:
+    CalibratedWorkload baseload;
+    std::size_t phaseCount;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_WORKLOAD_PHASED_HH

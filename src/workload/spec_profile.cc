@@ -1,0 +1,37 @@
+#include "workload/spec_profile.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+const std::vector<SpecTarget> &
+specTargets()
+{
+    // Columns: name, #paths, flow(M), hot paths, hot flow %, heads,
+    // then our shape calibration and the Figure 5 bail-out flag.
+    static const std::vector<SpecTarget> targets = {
+        {"compress", 230, 3061, 45, 99.6, 143, 6, 11, false},
+        {"gcc", 36738, 2191, 137, 47.5, 8873, 9, 5, true},
+        {"go", 29629, 1214, 172, 55.5, 1813, 10, 5, true},
+        {"ijpeg", 62125, 635, 74, 93.3, 669, 8, 9, true},
+        {"li", 1391, 3985, 111, 93.8, 710, 10, 6, false},
+        {"m88ksim", 1426, 2014, 107, 92.5, 651, 11, 6, false},
+        {"perl", 2776, 1514, 146, 88.5, 1053, 15, 7, false},
+        {"vortex", 5825, 3016, 95, 85.8, 3414, 12, 6, true},
+        {"deltablue", 505, 1799, 28, 93.9, 268, 14, 7, false},
+    };
+    return targets;
+}
+
+const SpecTarget &
+specTarget(std::string_view name)
+{
+    for (const SpecTarget &target : specTargets()) {
+        if (target.name == name)
+            return target;
+    }
+    fatal("unknown benchmark '" + std::string(name) + "'");
+}
+
+} // namespace hotpath

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Published per-benchmark statistics from the paper (Tables 1 and 2)
+ * plus the structural shape parameters our substituted workloads use.
+ *
+ * The paper profiled SPECint95 and deltablue on PA-RISC. We do not
+ * have those binaries or traces, so the calibrated workloads
+ * (workload/synthesis.hh) are fitted to exactly these published
+ * numbers; the shape parameters (path lengths, instructions per
+ * block) are our calibration for the Dynamo cost model and are
+ * documented as such in DESIGN.md / EXPERIMENTS.md.
+ */
+
+#ifndef HOTPATH_WORKLOAD_SPEC_PROFILE_HH
+#define HOTPATH_WORKLOAD_SPEC_PROFILE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hotpath
+{
+
+/** Published + calibration data for one benchmark. */
+struct SpecTarget
+{
+    std::string_view name;
+
+    // Table 1.
+    std::uint64_t paths = 0;      // #Paths (dynamic paths)
+    double flowMillions = 0;      // Flow (M path executions)
+    std::uint64_t hotPaths = 0;   // |HotPath_0.1%|
+    double hotFlowPercent = 0;    // % of flow captured by the hot set
+
+    // Table 2.
+    std::uint64_t heads = 0;      // #Unique path heads
+
+    // Shape calibration (ours, for the Dynamo model and metadata).
+    double avgBlocksPerPath = 8;  // mean blocks per path
+    double instrPerBlock = 6;     // mean instructions per block
+
+    /** True for programs Dynamo bails out on (go, gcc, ...). */
+    bool dynamoBailsOut = false;
+};
+
+/** All nine benchmarks, in the paper's table order. */
+const std::vector<SpecTarget> &specTargets();
+
+/** Look up a benchmark by name; panics if unknown. */
+const SpecTarget &specTarget(std::string_view name);
+
+/** The paper's hot threshold: 0.1% of the total flow. */
+constexpr double kPaperHotFraction = 0.001;
+
+} // namespace hotpath
+
+#endif // HOTPATH_WORKLOAD_SPEC_PROFILE_HH

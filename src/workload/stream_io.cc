@@ -1,0 +1,93 @@
+#include "workload/stream_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+constexpr std::uint64_t kStreamMagic = 0x4850455653313000ull;
+
+struct PackedEvent
+{
+    PathIndex path;
+    HeadIndex head;
+    std::uint32_t blocks;
+    std::uint32_t branches;
+    std::uint32_t instructions;
+};
+
+} // namespace
+
+void
+savePathStream(std::ostream &os, const std::vector<PathEvent> &stream)
+{
+    const std::uint64_t magic = kStreamMagic;
+    const std::uint64_t count = stream.size();
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const PathEvent &event : stream) {
+        const PackedEvent packed = {event.path, event.head,
+                                    event.blocks, event.branches,
+                                    event.instructions};
+        os.write(reinterpret_cast<const char *>(&packed),
+                 sizeof(packed));
+    }
+    HOTPATH_ASSERT(os.good(), "stream write failed");
+}
+
+std::vector<PathEvent>
+loadPathStream(std::istream &is)
+{
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    HOTPATH_ASSERT(is.good() && magic == kStreamMagic,
+                   "bad path-stream header");
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    HOTPATH_ASSERT(is.good(), "truncated path-stream header");
+
+    std::vector<PathEvent> stream;
+    stream.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedEvent packed;
+        is.read(reinterpret_cast<char *>(&packed), sizeof(packed));
+        HOTPATH_ASSERT(is.good(), "truncated path-stream body");
+        PathEvent event;
+        event.path = packed.path;
+        event.head = packed.head;
+        event.blocks = packed.blocks;
+        event.branches = packed.branches;
+        event.instructions = packed.instructions;
+        stream.push_back(event);
+    }
+    return stream;
+}
+
+void
+savePathStreamFile(const std::string &path,
+                   const std::vector<PathEvent> &stream)
+{
+    std::ofstream file(path, std::ios::binary);
+    HOTPATH_ASSERT(file.is_open(), "cannot open '", path,
+                   "' for writing");
+    savePathStream(file, stream);
+}
+
+std::vector<PathEvent>
+loadPathStreamFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    HOTPATH_ASSERT(file.is_open(), "cannot open '", path,
+                   "' for reading");
+    return loadPathStream(file);
+}
+
+} // namespace hotpath

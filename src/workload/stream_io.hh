@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PathEvent stream persistence.
+ *
+ * Materialized streams (and the traces the CFG pipeline produces
+ * through the registry) can be saved to disk and replayed later, so
+ * an expensive workload synthesis or recording runs once and the
+ * sweeps and system models consume the artifact. The format is a
+ * simple versioned binary container (host endianness; these are
+ * local experiment artifacts, not interchange files).
+ */
+
+#ifndef HOTPATH_WORKLOAD_STREAM_IO_HH
+#define HOTPATH_WORKLOAD_STREAM_IO_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "paths/path_event.hh"
+
+namespace hotpath
+{
+
+/** Write a stream to a binary container. */
+void savePathStream(std::ostream &os,
+                    const std::vector<PathEvent> &stream);
+
+/** Read a stream back; panics on a malformed container. */
+std::vector<PathEvent> loadPathStream(std::istream &is);
+
+/** Convenience: save to / load from a file path. */
+void savePathStreamFile(const std::string &path,
+                        const std::vector<PathEvent> &stream);
+std::vector<PathEvent> loadPathStreamFile(const std::string &path);
+
+} // namespace hotpath
+
+#endif // HOTPATH_WORKLOAD_STREAM_IO_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the fragment cache eviction policies (FlushAll vs LRU)
+ * and their system-level accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynamo/system.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+PathEvent
+event(PathIndex path, std::uint32_t instructions = 40)
+{
+    PathEvent e;
+    e.path = path;
+    e.head = path;
+    e.blocks = 8;
+    e.branches = 8;
+    e.instructions = instructions;
+    return e;
+}
+
+} // namespace
+
+TEST(CachePolicyTest, LruEvictsOldestUntilFit)
+{
+    FragmentCache cache(250, FragmentCache::EvictionPolicy::EvictLru);
+    EXPECT_FALSE(cache.insert(1, 100));
+    EXPECT_FALSE(cache.insert(2, 100));
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_NE(cache.find(1), nullptr);
+    EXPECT_FALSE(cache.insert(3, 100)); // evicts 2, not 1
+    EXPECT_NE(cache.find(1), nullptr);
+    EXPECT_EQ(cache.find(2), nullptr);
+    EXPECT_NE(cache.find(3), nullptr);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.flushes(), 0u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.occupancyInstructions(), 200u);
+}
+
+TEST(CachePolicyTest, LruEvictsMultipleForLargeFragment)
+{
+    FragmentCache cache(300, FragmentCache::EvictionPolicy::EvictLru);
+    cache.insert(1, 100);
+    cache.insert(2, 100);
+    cache.insert(3, 100);
+    cache.insert(4, 250); // must evict at least two victims
+    EXPECT_GE(cache.evictions(), 2u);
+    EXPECT_LE(cache.occupancyInstructions(), 300u + 250u);
+    EXPECT_NE(cache.find(4), nullptr);
+}
+
+TEST(CachePolicyTest, FlushAllStillFlushesWholesale)
+{
+    FragmentCache cache(150, FragmentCache::EvictionPolicy::FlushAll);
+    cache.insert(1, 100);
+    EXPECT_TRUE(cache.insert(2, 100));
+    EXPECT_EQ(cache.flushes(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CachePolicyTest, UnlimitedCacheNeverEvicts)
+{
+    FragmentCache cache(0, FragmentCache::EvictionPolicy::EvictLru);
+    for (PathIndex p = 0; p < 1000; ++p)
+        cache.insert(p, 100);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.size(), 1000u);
+}
+
+TEST(CachePolicyTest, FindRefreshesLruAge)
+{
+    FragmentCache cache(200, FragmentCache::EvictionPolicy::EvictLru);
+    cache.insert(1, 100);
+    cache.insert(2, 100);
+    // Repeated use of 1 keeps it alive through many inserts.
+    for (PathIndex p = 10; p < 20; ++p) {
+        EXPECT_NE(cache.find(1), nullptr);
+        cache.insert(p, 100);
+    }
+    EXPECT_NE(cache.find(1), nullptr);
+}
+
+TEST(CachePolicyTest, SystemChargesEvictionCost)
+{
+    DynamoConfig config;
+    config.scheme = PredictionScheme::Net;
+    config.predictionDelay = 1;
+    config.enableFlush = false;
+    config.cacheCapacityInstr = 100;
+    config.cachePolicy = FragmentCache::EvictionPolicy::EvictLru;
+    DynamoSystem system(config);
+
+    std::uint64_t t = 0;
+    for (PathIndex p = 0; p < 10; ++p)
+        system.onPathEvent(event(p), t++);
+
+    const DynamoReport report = system.report();
+    EXPECT_GT(report.cacheEvictions, 0u);
+    EXPECT_EQ(report.cacheFlushes, 0u);
+    EXPECT_NEAR(report.flushCycles,
+                static_cast<double>(report.cacheEvictions) *
+                    config.costs.evictionCost,
+                1e-9);
+}
+
+TEST(CachePolicyTest, LruSurvivesPhaseChangeWithoutDetector)
+{
+    // Two-phase toy: paths 0..4 hot, then 10..14 hot. With a cache
+    // holding ~5 fragments, LRU must end up holding the second
+    // phase's fragments without any flush.
+    DynamoConfig config;
+    config.scheme = PredictionScheme::Net;
+    config.predictionDelay = 2;
+    config.enableFlush = false;
+    config.cacheCapacityInstr = 5 * 40;
+    config.cachePolicy = FragmentCache::EvictionPolicy::EvictLru;
+    DynamoSystem system(config);
+
+    std::uint64_t t = 0;
+    for (int round = 0; round < 200; ++round)
+        for (PathIndex p = 0; p < 5; ++p)
+            system.onPathEvent(event(p), t++);
+    for (int round = 0; round < 200; ++round)
+        for (PathIndex p = 10; p < 15; ++p)
+            system.onPathEvent(event(p), t++);
+
+    EXPECT_EQ(system.report().cacheFlushes, 0u);
+    EXPECT_GE(system.report().cacheEvictions, 5u);
+    EXPECT_EQ(system.cache().size(), 5u);
+    // All resident fragments belong to the second phase.
+    for (PathIndex p = 10; p < 15; ++p) {
+        EXPECT_NE(
+            const_cast<FragmentCache &>(system.cache()).find(p),
+            nullptr);
+    }
+}

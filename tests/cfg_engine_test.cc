@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the CFG-level Dynamo engine: regime accounting, guard
+ * exits, secondary traces from exit stubs, fragment linking and the
+ * measured-optimization integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hh"
+#include "dynamo/cfg_engine.hh"
+#include "sim/machine.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+Program
+makeBiasedLoop()
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 2).fallthrough("head");
+    main.block("head", 3).cond("a", "b");
+    main.block("a", 4).jump("latch");
+    main.block("b", 4).fallthrough("latch");
+    main.block("latch", 2).cond("head", "exit");
+    main.block("exit", 1).ret();
+    return builder.build();
+}
+
+} // namespace
+
+TEST(CfgEngineTest, AccountsEveryBlockExactlyOnce)
+{
+    const Program prog = makeBiasedLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 0.9);
+    model.setTakenProbability(findBlock(prog, "latch"), 0.999);
+    model.finalize();
+
+    CfgEngineConfig config;
+    config.hotThreshold = 20;
+    CfgDynamoEngine engine(prog, config);
+    Machine machine(prog, model, {.seed = 4});
+    machine.addListener(&engine);
+    machine.run(50000);
+
+    const CfgEngineReport report = engine.report();
+    EXPECT_EQ(report.blocksSeen, machine.blocksExecuted());
+    EXPECT_EQ(report.instructionsSeen,
+              machine.instructionsExecuted());
+    EXPECT_EQ(report.interpretedBlocks + report.fragmentBlocks,
+              report.blocksSeen);
+}
+
+TEST(CfgEngineTest, HotLoopMigratesIntoFragments)
+{
+    const Program prog = makeBiasedLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 1.0);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    CfgEngineConfig config;
+    config.hotThreshold = 20;
+    CfgDynamoEngine engine(prog, config);
+    Machine machine(prog, model, {.seed = 4});
+    machine.addListener(&engine);
+    machine.run(60000);
+
+    const CfgEngineReport report = engine.report();
+    // Deterministic loop: one fragment, everything after warmup runs
+    // from it, with zero guard exits.
+    EXPECT_EQ(report.fragmentsFormed, 1u);
+    EXPECT_EQ(report.guardExits, 0u);
+    EXPECT_GT(report.fragmentBlocks, report.blocksSeen * 9 / 10);
+    EXPECT_GT(report.fragmentCompletions, 0u);
+    EXPECT_GT(report.speedupPercent(), 0.0);
+}
+
+TEST(CfgEngineTest, DivergenceCausesGuardExitsAndSecondaryTraces)
+{
+    const Program prog = makeBiasedLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 0.5);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    CfgEngineConfig config;
+    config.hotThreshold = 20;
+    CfgDynamoEngine engine(prog, config);
+    Machine machine(prog, model, {.seed = 5});
+    machine.addListener(&engine);
+    machine.run(60000);
+
+    const CfgEngineReport report = engine.report();
+    EXPECT_GT(report.guardExits, 1000u);
+    // The exit stub spawns a secondary trace for the other arm.
+    EXPECT_GE(report.fragmentsFormed, 2u);
+    // With both arms cached and linked, interpretation is warmup only.
+    EXPECT_LT(report.interpretedBlocks, report.blocksSeen / 10);
+}
+
+TEST(CfgEngineTest, OptimizationImprovesOnLayoutOnly)
+{
+    const Program prog = makeBiasedLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 0.95);
+    model.setTakenProbability(findBlock(prog, "latch"), 0.999);
+    model.finalize();
+
+    auto run = [&](bool optimize) {
+        CfgEngineConfig config;
+        config.hotThreshold = 20;
+        config.optimizeFragments = optimize;
+        CfgDynamoEngine engine(prog, config);
+        Machine machine(prog, model, {.seed = 6});
+        machine.addListener(&engine);
+        machine.run(100000);
+        return engine.report();
+    };
+
+    const CfgEngineReport plain = run(false);
+    const CfgEngineReport optimized = run(true);
+    EXPECT_DOUBLE_EQ(plain.meanOptimizationRatio, 1.0);
+    EXPECT_LT(optimized.meanOptimizationRatio, 1.0);
+    EXPECT_GT(optimized.speedupPercent(), plain.speedupPercent());
+}
+
+#include "progen/presets.hh"
+
+class CfgEnginePresetProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CfgEnginePresetProperty, EngineIsSoundOnEveryShape)
+{
+    const ProgenPreset &preset = progenPreset(GetParam());
+    SyntheticProgram synth(preset.config);
+
+    CfgEngineConfig config;
+    config.hotThreshold = 50;
+    CfgDynamoEngine engine(synth.program(), config);
+    Machine machine(synth.program(), synth.behavior(), {.seed = 77});
+    machine.addListener(&engine);
+    machine.run(400000);
+
+    const CfgEngineReport report = engine.report();
+    // Accounting identities hold on every program shape.
+    EXPECT_EQ(report.blocksSeen, machine.blocksExecuted());
+    EXPECT_EQ(report.interpretedBlocks + report.fragmentBlocks,
+              report.blocksSeen);
+    EXPECT_GT(report.fragmentsFormed, 0u);
+    EXPECT_GT(report.fragmentBlocks, 0u);
+    // Optimization never lengthens a trace.
+    EXPECT_LE(report.meanOptimizationRatio, 1.0);
+    EXPECT_GT(report.meanOptimizationRatio, 0.0);
+    // The bulk of a long run leaves the interpreter behind.
+    EXPECT_LT(report.interpretedBlocks, report.blocksSeen / 2)
+        << preset.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, CfgEnginePresetProperty,
+    ::testing::Values("loopy", "branchy", "callheavy", "switchy",
+                      "flat", "spiky"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(NetTraceBuilderTest, NoteArrivalCountsLikeABackwardBranch)
+{
+    struct Collector : NetTraceSink
+    {
+        void
+        onTrace(const NetTrace &trace) override
+        {
+            traces.push_back(trace);
+        }
+
+        std::vector<NetTrace> traces;
+    } collector;
+
+    NetTraceBuilderConfig config;
+    config.hotThreshold = 3;
+    NetTraceBuilder builder(collector, config);
+
+    BasicBlock block;
+    block.id = 9;
+    block.addr = 0x100;
+    block.instrCount = 2;
+    block.kind = BranchKind::Jump;
+
+    // Two synthetic arrivals, then the third arms collection; the
+    // block that executes next becomes the trace head.
+    builder.noteArrival(9);
+    builder.noteArrival(9);
+    builder.noteArrival(9);
+    EXPECT_TRUE(collector.traces.empty());
+
+    builder.onBlock(block);
+    EXPECT_TRUE(builder.collecting());
+
+    TransferEvent event;
+    event.from = 9;
+    event.to = 9;
+    event.site = block.branchSite();
+    event.target = block.addr;
+    event.kind = BranchKind::Jump;
+    event.taken = true;
+    event.backward = true;
+    builder.onTransfer(event);
+
+    ASSERT_EQ(collector.traces.size(), 1u);
+    EXPECT_EQ(collector.traces.front().head, 9u);
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the CFG layer: program construction, address layout,
+ * validation, backward-edge detection and the builder DSL.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hh"
+#include "cfg/program.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+/** Simple loop: entry -> head -> body -> latch -> (head | exit). */
+Program
+makeLoopProgram()
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 4).fallthrough("head");
+    main.block("head", 2).fallthrough("body");
+    main.block("body", 3).fallthrough("latch");
+    main.block("latch", 1).cond("head", "exit");
+    main.block("exit", 1).ret();
+    return builder.build();
+}
+
+} // namespace
+
+TEST(BranchKindTest, Names)
+{
+    EXPECT_EQ(branchKindName(BranchKind::Fallthrough), "fallthrough");
+    EXPECT_EQ(branchKindName(BranchKind::Conditional), "conditional");
+    EXPECT_EQ(branchKindName(BranchKind::Jump), "jump");
+    EXPECT_EQ(branchKindName(BranchKind::Indirect), "indirect");
+    EXPECT_EQ(branchKindName(BranchKind::Call), "call");
+    EXPECT_EQ(branchKindName(BranchKind::Return), "return");
+}
+
+TEST(BranchKindTest, BackwardTransferIsByAddress)
+{
+    EXPECT_TRUE(isBackwardTransfer(0x100, 0x100)); // self-loop
+    EXPECT_TRUE(isBackwardTransfer(0x100, 0x0fc));
+    EXPECT_FALSE(isBackwardTransfer(0x100, 0x104));
+}
+
+TEST(ProgramTest, AddressesAreSequentialByDeclaration)
+{
+    const Program prog = makeLoopProgram();
+    Addr prev_end = 0;
+    for (BlockId id = 0; id < prog.numBlocks(); ++id) {
+        const BasicBlock &block = prog.block(id);
+        if (id > 0) {
+            EXPECT_EQ(block.addr, prev_end);
+        }
+        prev_end = block.endAddr();
+        EXPECT_EQ(block.endAddr() - block.addr,
+                  block.instrCount * kInstrBytes);
+    }
+}
+
+TEST(ProgramTest, BranchSiteIsLastInstruction)
+{
+    const Program prog = makeLoopProgram();
+    const BasicBlock &entry = prog.block(findBlock(prog, "entry"));
+    EXPECT_EQ(entry.branchSite(), entry.addr + 3 * kInstrBytes);
+}
+
+TEST(ProgramTest, DetectsBackwardEdge)
+{
+    const Program prog = makeLoopProgram();
+    ASSERT_EQ(prog.backwardEdges().size(), 1u);
+    const auto &[from, to] = prog.backwardEdges()[0];
+    EXPECT_EQ(from, findBlock(prog, "latch"));
+    EXPECT_EQ(to, findBlock(prog, "head"));
+    EXPECT_TRUE(prog.isBackwardTarget(findBlock(prog, "head")));
+    EXPECT_FALSE(prog.isBackwardTarget(findBlock(prog, "entry")));
+    ASSERT_EQ(prog.backwardTargets().size(), 1u);
+}
+
+TEST(ProgramTest, TotalInstructions)
+{
+    const Program prog = makeLoopProgram();
+    EXPECT_EQ(prog.totalInstructions(), 4u + 2 + 3 + 1 + 1);
+}
+
+TEST(ProgramTest, BlockAtAddr)
+{
+    const Program prog = makeLoopProgram();
+    const BlockId head = findBlock(prog, "head");
+    EXPECT_EQ(prog.blockAtAddr(prog.block(head).addr), head);
+    EXPECT_EQ(prog.blockAtAddr(prog.block(head).addr + 1),
+              kInvalidBlock);
+}
+
+TEST(ProgramTest, EntryProcedureIsFirst)
+{
+    const Program prog = makeLoopProgram();
+    EXPECT_EQ(prog.entryProcedure(), 0u);
+    EXPECT_EQ(prog.procedure(0).name, "main");
+    EXPECT_EQ(prog.procedure(0).entry, findBlock(prog, "entry"));
+}
+
+TEST(ProgramTest, DotExportMentionsBlocksAndBackEdges)
+{
+    const Program prog = makeLoopProgram();
+    const std::string dot = prog.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("label=back"), std::string::npos);
+    EXPECT_NE(dot.find("head"), std::string::npos);
+}
+
+TEST(BuilderTest, CallAndReturnAcrossProcedures)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 2).call("helper", "after");
+    main.block("after", 1).ret();
+    ProcedureBuilder &helper = builder.proc("helper");
+    helper.block("h_entry", 3).ret();
+    const Program prog = builder.build();
+
+    const BasicBlock &entry = prog.block(findBlock(prog, "entry"));
+    EXPECT_EQ(entry.kind, BranchKind::Call);
+    EXPECT_EQ(entry.callee, 1u);
+    ASSERT_EQ(entry.successors.size(), 1u);
+    EXPECT_EQ(entry.successors[0], findBlock(prog, "after"));
+    EXPECT_EQ(prog.procedure(1).entry, findBlock(prog, "h_entry"));
+}
+
+TEST(BuilderTest, IndirectSuccessors)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("sw", 1).indirect({"t0", "t1", "t2"});
+    main.block("t0", 1).jump("done");
+    main.block("t1", 1).jump("done");
+    main.block("t2", 1).jump("done");
+    main.block("done", 1).ret();
+    const Program prog = builder.build();
+    EXPECT_EQ(prog.block(findBlock(prog, "sw")).successors.size(), 3u);
+}
+
+TEST(BuilderTest, QualifiedLabelLookup)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).call("helper", "done");
+    main.block("done", 1).ret();
+    ProcedureBuilder &helper = builder.proc("helper");
+    helper.block("entry2", 1).ret();
+    const Program prog = builder.build();
+    EXPECT_EQ(findBlock(prog, "main/entry"),
+              findBlock(prog, "entry"));
+}
+
+TEST(BuilderTest, SameLabelInDifferentProceduresNeedsQualification)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).call("helper", "done");
+    main.block("done", 1).ret();
+    ProcedureBuilder &helper = builder.proc("helper");
+    helper.block("done", 1).ret();
+    const Program prog = builder.build();
+    EXPECT_NE(findBlock(prog, "main/done"),
+              findBlock(prog, "helper/done"));
+}
+
+using CfgDeathTest = ::testing::Test;
+
+TEST(CfgDeathTest, UnresolvedLabelPanics)
+{
+    ProgramBuilder builder;
+    builder.proc("main").block("entry", 1).jump("nowhere");
+    EXPECT_DEATH(builder.build(), "unresolved block label");
+}
+
+TEST(CfgDeathTest, MissingTerminatorPanics)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1);
+    EXPECT_DEATH(builder.build(), "no terminator");
+}
+
+TEST(CfgDeathTest, ProcedureWithoutReturnPanics)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("a", 1).jump("a");
+    EXPECT_DEATH(builder.build(), "no return block");
+}
+
+TEST(CfgDeathTest, DuplicateLabelPanics)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("a", 1).ret();
+    EXPECT_DEATH(main.block("a", 1), "duplicate block label");
+}
+
+TEST(CfgDeathTest, CrossProcedureSuccessorPanics)
+{
+    // Assemble through the raw Program API: the builder cannot even
+    // express this, but the validator must still catch it.
+    Program prog;
+    const ProcId p0 = prog.addProcedure("a");
+    const ProcId p1 = prog.addProcedure("b");
+    const BlockId a0 = prog.addBlock(p0, 1, BranchKind::Jump, "a0");
+    prog.addBlock(p0, 1, BranchKind::Return, "a1");
+    const BlockId b0 = prog.addBlock(p1, 1, BranchKind::Return, "b0");
+    prog.setSuccessors(a0, {b0});
+    EXPECT_DEATH(prog.finalize(), "successor crosses procedures");
+}

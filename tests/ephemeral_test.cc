@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the ephemeral (self-removing probe) block profiler and
+ * the generator presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hh"
+#include "profile/block_profile.hh"
+#include "profile/ephemeral_profile.hh"
+#include "progen/presets.hh"
+#include "sim/machine.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+Program
+makeLoop()
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).fallthrough("head");
+    main.block("head", 1).cond("a", "b");
+    main.block("a", 1).jump("latch");
+    main.block("b", 1).fallthrough("latch");
+    main.block("latch", 1).cond("head", "exit");
+    main.block("exit", 1).ret();
+    return builder.build();
+}
+
+} // namespace
+
+TEST(EphemeralProfilerTest, CountsSaturateAtTheBudget)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    EphemeralBlockProfiler profiler(25);
+    Machine machine(prog, model, {.seed = 1});
+    machine.addListener(&profiler);
+    machine.run(10000);
+
+    const BlockId head = findBlock(prog, "head");
+    EXPECT_EQ(profiler.countOf(head), 25u);
+    EXPECT_TRUE(profiler.probeRetired(head));
+}
+
+TEST(EphemeralProfilerTest, RetiredProbesCostNothing)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    EphemeralBlockProfiler ephemeral(25);
+    BlockProfiler always_on;
+    Machine machine(prog, model, {.seed = 1});
+    machine.addListener(&ephemeral);
+    machine.addListener(&always_on);
+    machine.run(30000);
+
+    // The loop blocks retire after 25 samples each: the ephemeral
+    // profiler's update count is bounded by blocks * budget while
+    // the always-on profiler paid one update per executed block.
+    EXPECT_LE(ephemeral.cost().counterUpdates,
+              prog.numBlocks() * 25);
+    EXPECT_EQ(always_on.cost().counterUpdates,
+              machine.blocksExecuted());
+    EXPECT_LT(ephemeral.cost().counterUpdates,
+              always_on.cost().counterUpdates / 100);
+}
+
+TEST(EphemeralProfilerTest, ColdBlocksKeepTheirProbes)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 0.999);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    EphemeralBlockProfiler profiler(1000);
+    Machine machine(prog, model, {.seed = 2});
+    machine.addListener(&profiler);
+    machine.run(9000);
+
+    // "b" executes ~3 times in 3000 iterations: probe still live.
+    const BlockId b = findBlock(prog, "b");
+    EXPECT_FALSE(profiler.probeRetired(b));
+    EXPECT_LT(profiler.countOf(b), 1000u);
+    EXPECT_GT(profiler.probesRetired(), 0u); // hot blocks retired
+}
+
+TEST(EphemeralProfilerTest, BudgetOneSamplesEachBlockOnce)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.finalize();
+
+    EphemeralBlockProfiler profiler(1);
+    Machine machine(prog, model, {.seed = 3});
+    machine.addListener(&profiler);
+    machine.run(5000);
+
+    for (BlockId id = 0; id < prog.numBlocks(); ++id)
+        EXPECT_LE(profiler.countOf(id), 1u);
+}
+
+TEST(EphemeralProfilerDeathTest, RejectsZeroBudget)
+{
+    EXPECT_DEATH(EphemeralBlockProfiler(0), "budget");
+}
+
+TEST(PresetTest, AllPresetsBuildValidRunnablePrograms)
+{
+    for (const ProgenPreset &preset : progenPresets()) {
+        SyntheticProgram synth(preset.config);
+        Machine machine(synth.program(), synth.behavior(),
+                        {.seed = 1});
+        EXPECT_EQ(machine.run(5000), 5000u) << preset.name;
+        EXPECT_FALSE(synth.program().backwardEdges().empty())
+            << preset.name;
+    }
+}
+
+TEST(PresetTest, PresetsAreDistinct)
+{
+    const auto &presets = progenPresets();
+    EXPECT_EQ(presets.size(), 6u);
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        for (std::size_t j = i + 1; j < presets.size(); ++j)
+            EXPECT_NE(presets[i].name, presets[j].name);
+    }
+}
+
+TEST(PresetTest, LookupByName)
+{
+    EXPECT_EQ(progenPreset("loopy").config.nestDepth, 3u);
+    EXPECT_EQ(progenPreset("switchy").config.indirectFanout, 5u);
+    EXPECT_DEATH(progenPreset("nonesuch"), "unknown progen preset");
+}
+
+TEST(PresetTest, ShapesDifferStructurally)
+{
+    // switchy has indirect blocks; loopy has none.
+    SyntheticProgram switchy(progenPreset("switchy").config);
+    SyntheticProgram loopy(progenPreset("loopy").config);
+
+    auto count_indirect = [](const Program &prog) {
+        std::size_t count = 0;
+        for (BlockId id = 0; id < prog.numBlocks(); ++id)
+            count += prog.block(id).kind == BranchKind::Indirect;
+        return count;
+    };
+    EXPECT_GT(count_indirect(switchy.program()), 0u);
+    EXPECT_EQ(count_indirect(loopy.program()), 0u);
+
+    // callheavy has more call sites than flat.
+    SyntheticProgram callheavy(progenPreset("callheavy").config);
+    SyntheticProgram flat(progenPreset("flat").config);
+    auto count_calls = [](const Program &prog) {
+        std::size_t count = 0;
+        for (BlockId id = 0; id < prog.numBlocks(); ++id)
+            count += prog.block(id).kind == BranchKind::Call;
+        return count;
+    };
+    EXPECT_GT(count_calls(callheavy.program()),
+              count_calls(flat.program()));
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Indirect branches through the whole path pipeline: the paper's
+ * path signature appends indirect branch targets precisely because
+ * history bits alone cannot distinguish switch arms. These tests
+ * drive a switch-in-a-loop program end to end and check that the
+ * splitter, the signatures, the registry and NET all see one path
+ * per arm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cfg/builder.hh"
+#include "paths/registry.hh"
+#include "paths/splitter.hh"
+#include "predict/net_trace_builder.hh"
+#include "progen/presets.hh"
+#include "sim/machine.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+/** A loop whose body is a three-way switch. */
+Program
+makeSwitchLoop()
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).fallthrough("head");
+    main.block("head", 1).indirect({"c0", "c1", "c2"});
+    main.block("c0", 2).jump("latch");
+    main.block("c1", 3).jump("latch");
+    main.block("c2", 4).jump("latch");
+    main.block("latch", 1).cond("head", "exit");
+    main.block("exit", 1).ret();
+    return builder.build();
+}
+
+} // namespace
+
+TEST(IndirectPathsTest, OnePathPerSwitchArm)
+{
+    const Program prog = makeSwitchLoop();
+    BehaviorModel model(prog);
+    model.setIndirectWeights(findBlock(prog, "head"),
+                             {0.5, 0.3, 0.2});
+    model.setTakenProbability(findBlock(prog, "latch"), 0.999);
+    model.finalize();
+
+    PathRegistry registry;
+    struct Count : PathEventSink
+    {
+        void
+        onPathEvent(const PathEvent &event, std::uint64_t) override
+        {
+            ++counts[event.path];
+        }
+
+        std::map<PathIndex, std::uint64_t> counts;
+    } count;
+    PathEventAdapter adapter(registry, count);
+    PathSplitter splitter(adapter);
+
+    Machine machine(prog, model, {.seed = 12});
+    machine.addListener(&splitter);
+    machine.run(120000);
+    splitter.flush();
+
+    // Paths rooted at "head": exactly one per switch arm (plus rare
+    // restart/exit shapes). All three arms must be distinct paths.
+    std::set<PathIndex> arm_paths;
+    for (const auto &[path, freq] : count.counts) {
+        const PathInfo &info = registry.info(path);
+        if (info.headBlock == findBlock(prog, "head") &&
+            info.blocks.size() == 3) {
+            arm_paths.insert(path);
+        }
+    }
+    EXPECT_EQ(arm_paths.size(), 3u);
+
+    // Their frequencies mirror the indirect weights.
+    std::vector<std::uint64_t> freqs;
+    for (PathIndex path : arm_paths)
+        freqs.push_back(count.counts[path]);
+    std::sort(freqs.begin(), freqs.end(), std::greater<>());
+    const double total = static_cast<double>(
+        freqs[0] + freqs[1] + freqs[2]);
+    EXPECT_NEAR(freqs[0] / total, 0.5, 0.03);
+    EXPECT_NEAR(freqs[1] / total, 0.3, 0.03);
+    EXPECT_NEAR(freqs[2] / total, 0.2, 0.03);
+}
+
+TEST(IndirectPathsTest, SignaturesDifferOnlyInIndirectTargets)
+{
+    const Program prog = makeSwitchLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "latch"), 0.999);
+    model.finalize();
+
+    PathRegistry registry;
+    struct Null : PathEventSink
+    {
+        void onPathEvent(const PathEvent &, std::uint64_t) override {}
+    } null;
+    PathEventAdapter adapter(registry, null);
+    PathSplitter splitter(adapter);
+
+    Machine machine(prog, model, {.seed = 3});
+    machine.addListener(&splitter);
+    machine.run(60000);
+    splitter.flush();
+
+    std::set<std::string> signatures;
+    std::set<Addr> first_targets;
+    for (PathIndex p = 0; p < registry.numPaths(); ++p) {
+        const PathInfo &info = registry.info(p);
+        if (info.headBlock != findBlock(prog, "head") ||
+            info.blocks.size() != 3) {
+            continue;
+        }
+        signatures.insert(info.signature.toString());
+        ASSERT_GE(info.signature.indirectTargets().size(), 1u);
+        first_targets.insert(info.signature.indirectTargets()[0]);
+        // One conditional on the path (the latch); the switch
+        // contributes a target, not a history bit.
+        EXPECT_EQ(info.signature.historyLength(), 1u);
+    }
+    EXPECT_EQ(signatures.size(), 3u);
+    // The distinguishing component is the indirect target address.
+    EXPECT_EQ(first_targets.size(), 3u);
+    EXPECT_TRUE(first_targets.count(
+        prog.block(findBlock(prog, "c0")).addr));
+    EXPECT_TRUE(first_targets.count(
+        prog.block(findBlock(prog, "c1")).addr));
+    EXPECT_TRUE(first_targets.count(
+        prog.block(findBlock(prog, "c2")).addr));
+}
+
+TEST(IndirectPathsTest, NetCollectsTheDominantArm)
+{
+    const Program prog = makeSwitchLoop();
+    BehaviorModel model(prog);
+    model.setIndirectWeights(findBlock(prog, "head"),
+                             {0.9, 0.05, 0.05});
+    model.setTakenProbability(findBlock(prog, "latch"), 0.999);
+    model.finalize();
+
+    struct First : NetTraceSink
+    {
+        void
+        onTrace(const NetTrace &trace) override
+        {
+            if (!got) {
+                first = trace;
+                got = true;
+            }
+        }
+
+        NetTrace first;
+        bool got = false;
+    } sink;
+
+    NetTraceBuilderConfig config;
+    config.hotThreshold = 40;
+    NetTraceBuilder net(sink, config);
+    Machine machine(prog, model, {.seed = 8});
+    machine.addListener(&net);
+    machine.run(30000);
+
+    ASSERT_TRUE(sink.got);
+    const std::vector<BlockId> expected = {findBlock(prog, "head"),
+                                           findBlock(prog, "c0"),
+                                           findBlock(prog, "latch")};
+    EXPECT_EQ(sink.first.blocks, expected);
+}
+
+TEST(IndirectPathsTest, SwitchyPresetPipelineIsConsistent)
+{
+    SyntheticProgram synth(progenPreset("switchy").config);
+
+    PathRegistry registry;
+    struct Check : PathEventSink
+    {
+        void
+        onPathEvent(const PathEvent &event, std::uint64_t) override
+        {
+            ++events;
+            total_branches += event.branches;
+        }
+
+        std::uint64_t events = 0;
+        std::uint64_t total_branches = 0;
+    } check;
+    PathEventAdapter adapter(registry, check);
+    PathSplitter splitter(adapter);
+
+    Machine machine(synth.program(), synth.behavior(), {.seed = 2});
+    machine.addListener(&splitter);
+    machine.run(200000);
+    splitter.flush();
+
+    EXPECT_GT(check.events, 5000u);
+    // Switch-heavy code: signatures carry indirect targets.
+    std::size_t with_targets = 0;
+    for (PathIndex p = 0; p < registry.numPaths(); ++p) {
+        if (!registry.info(p).signature.indirectTargets().empty())
+            ++with_targets;
+    }
+    EXPECT_GT(with_targets, registry.numPaths() / 4);
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * End-to-end integration tests across the full pipeline:
+ *
+ *  generated program -> machine -> path splitter -> registry ->
+ *  path events -> {oracle, NET, path-profile} -> Section 3 metrics,
+ *
+ * plus the Dynamo model on calibrated workloads. These are the tests
+ * that tie the paper's claims together on this library: at short
+ * delays NET's prediction quality matches path-profile prediction at
+ * a fraction of the counter space and profiling operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dynamo/system.hh"
+#include "metrics/evaluation.hh"
+#include "metrics/sweep.hh"
+#include "paths/registry.hh"
+#include "paths/splitter.hh"
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+#include "progen/generator.hh"
+#include "sim/machine.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+/** Run a synthetic program and collect the path-event stream. */
+std::vector<PathEvent>
+collectEvents(const SyntheticProgram &synth, std::uint64_t blocks,
+              PathRegistry &registry)
+{
+    struct Buffer : PathEventSink
+    {
+        void
+        onPathEvent(const PathEvent &event, std::uint64_t) override
+        {
+            events.push_back(event);
+        }
+
+        std::vector<PathEvent> events;
+    } buffer;
+
+    PathEventAdapter adapter(registry, buffer);
+    PathSplitter splitter(adapter);
+    Machine machine(synth.program(), synth.behavior(), {.seed = 1});
+    machine.addListener(&splitter);
+    machine.run(blocks);
+    splitter.flush();
+    return buffer.events;
+}
+
+} // namespace
+
+TEST(IntegrationTest, CfgPipelineProducesConsistentEvents)
+{
+    ProgenConfig config;
+    config.seed = 42;
+    SyntheticProgram synth(config);
+
+    PathRegistry registry;
+    const std::vector<PathEvent> events =
+        collectEvents(synth, 300000, registry);
+
+    ASSERT_GT(events.size(), 10000u);
+
+    // Precompute the call-continuation block set.
+    std::set<BlockId> continuations;
+    for (BlockId b = 0; b < synth.program().numBlocks(); ++b) {
+        const BasicBlock &block = synth.program().block(b);
+        if (block.kind == BranchKind::Call)
+            continuations.insert(block.successors[0]);
+    }
+
+    for (const PathEvent &event : events) {
+        ASSERT_LT(event.path, registry.numPaths());
+        ASSERT_LT(event.head, registry.numHeads());
+        const PathInfo &info = registry.info(event.path);
+        EXPECT_EQ(info.head, event.head);
+        EXPECT_EQ(info.blocks.size(), event.blocks);
+        EXPECT_EQ(info.instructions, event.instructions);
+        // Heads recorded by the registry are dynamic backward-branch
+        // targets: static back-edge targets, call continuations
+        // (returns to the caller are backward transfers under the
+        // contiguous layout), or the program entry (the restart
+        // return makes it one).
+        const BlockId head_block = registry.headBlock(event.head);
+        EXPECT_TRUE(
+            synth.program().isBackwardTarget(head_block) ||
+            continuations.count(head_block) > 0 ||
+            head_block ==
+                synth.program()
+                    .procedure(synth.program().entryProcedure())
+                    .entry);
+    }
+}
+
+TEST(IntegrationTest, NetMatchesPathProfileQualityAtShortDelay)
+{
+    ProgenConfig config;
+    config.seed = 7;
+    config.dominantTakenProb = 0.9;
+    SyntheticProgram synth(config);
+
+    PathRegistry registry;
+    const std::vector<PathEvent> events =
+        collectEvents(synth, 500000, registry);
+
+    PathProfilePredictor pp(50);
+    NetPredictor net(50);
+    const EvalResult pp_result = evaluatePredictor(events, pp, 0.001);
+    const EvalResult net_result =
+        evaluatePredictor(events, net, 0.001);
+
+    // The paper's claim: same prediction quality at practically
+    // relevant delays (we allow a few points of slack either way)...
+    EXPECT_NEAR(net_result.hitRatePercent(),
+                pp_result.hitRatePercent(), 5.0);
+    EXPECT_GT(net_result.hitRatePercent(), 80.0);
+
+    // ... at far lower cost: counters bounded by heads, and only
+    // counter updates (no shifts, no table ops).
+    EXPECT_LT(net_result.countersAllocated,
+              pp_result.countersAllocated);
+    EXPECT_LT(net_result.cost.total(), pp_result.cost.total());
+    EXPECT_EQ(net_result.cost.historyShifts, 0u);
+    EXPECT_GT(pp_result.cost.historyShifts, 0u);
+}
+
+TEST(IntegrationTest, HitRateFallsWithLongerDelays)
+{
+    ProgenConfig config;
+    config.seed = 3;
+    SyntheticProgram synth(config);
+
+    PathRegistry registry;
+    const std::vector<PathEvent> events =
+        collectEvents(synth, 400000, registry);
+
+    OracleProfile oracle;
+    for (std::uint64_t t = 0; t < events.size(); ++t)
+        oracle.onPathEvent(events[t], t);
+
+    const auto points = delaySweep(
+        events, oracle,
+        [](std::uint64_t delay) {
+            return std::make_unique<NetPredictor>(delay);
+        },
+        {10, 100, 1000, 10000}, 0.001);
+
+    // Missed opportunity cost per predicted hot path rises with the
+    // delay; the hit rate falls monotonically along the ladder. (The
+    // aggregate MOC is not monotone: longer delays also shrink the
+    // predicted set.)
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LE(points[i].result.hitRatePercent(),
+                  points[i - 1].result.hitRatePercent() + 1e-9);
+        const auto per_path = [](const EvalResult &r) {
+            return r.predictedHotPaths == 0
+                ? 0.0
+                : static_cast<double>(r.missedOpportunity) /
+                      static_cast<double>(r.predictedHotPaths);
+        };
+        EXPECT_GE(per_path(points[i].result),
+                  per_path(points[i - 1].result));
+    }
+}
+
+TEST(IntegrationTest, CalibratedWorkloadThroughDynamo)
+{
+    WorkloadConfig wconfig;
+    wconfig.flowScale = 1e-4;
+    CalibratedWorkload workload(specTarget("compress"), wconfig);
+
+    DynamoConfig net_config;
+    net_config.scheme = PredictionScheme::Net;
+    net_config.predictionDelay = 50;
+    DynamoSystem net(net_config);
+
+    DynamoConfig pp_config = net_config;
+    pp_config.scheme = PredictionScheme::PathProfile;
+    DynamoSystem pp(pp_config);
+
+    workload.generateStream(0, [&](const PathEvent &event,
+                                   std::uint64_t t) {
+        net.onPathEvent(event, t);
+        pp.onPathEvent(event, t);
+    });
+
+    const DynamoReport net_report = net.report();
+    const DynamoReport pp_report = pp.report();
+
+    EXPECT_EQ(net_report.events, workload.totalFlow());
+    // compress: dominant reuse -> NET accelerates, and it clearly
+    // outperforms path profile based prediction (Figure 5's shape).
+    EXPECT_GT(net_report.speedupPercent(), 0.0);
+    EXPECT_GT(net_report.speedupPercent(),
+              pp_report.speedupPercent() + 5.0);
+}
+
+TEST(IntegrationTest, DynamoBailsOutOnGccLikeWorkloads)
+{
+    WorkloadConfig wconfig;
+    wconfig.flowScale = 1e-4;
+    CalibratedWorkload workload(specTarget("gcc"), wconfig);
+
+    DynamoConfig config;
+    config.scheme = PredictionScheme::Net;
+    config.predictionDelay = 50;
+    config.bailCheckEvents = 100000;
+    config.bailMaxInterpretedFraction = 0.15;
+    DynamoSystem system(config);
+
+    workload.generateStream(0, [&](const PathEvent &event,
+                                   std::uint64_t t) {
+        system.onPathEvent(event, t);
+    });
+
+    // gcc: tens of thousands of paths with weak reuse keep a third of
+    // the flow in the interpreter. Dynamo gives up and hands control
+    // back to the native binary.
+    EXPECT_TRUE(system.report().bailedOut);
+
+    // The same rule must NOT fire on a dominant-reuse program.
+    CalibratedWorkload good(specTarget("compress"), wconfig);
+    DynamoSystem keeper(config);
+    good.generateStream(0, [&](const PathEvent &event,
+                               std::uint64_t t) {
+        keeper.onPathEvent(event, t);
+    });
+    EXPECT_FALSE(keeper.report().bailedOut);
+}
+
+TEST(IntegrationTest, CounterSpaceRatioMatchesTable2)
+{
+    // Figure 4's statement measured end to end on one workload:
+    // NET counter space == #unique heads, path-profile == #paths.
+    WorkloadConfig wconfig;
+    wconfig.flowScale = 1e-4;
+    CalibratedWorkload workload(specTarget("li"), wconfig);
+    const std::vector<PathEvent> events = workload.materializeStream();
+
+    PathProfilePredictor pp(1u << 30); // never predicts: pure profile
+    NetPredictor net(1u << 30);
+    for (const PathEvent &event : events) {
+        pp.observe(event);
+        net.observe(event);
+    }
+    EXPECT_EQ(pp.countersAllocated(), specTarget("li").paths);
+    EXPECT_EQ(net.countersAllocated(), specTarget("li").heads);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Edge-case batch: machine safety limits, behaviour phase corners,
+ * report arithmetic, logging helpers and interface defaults that the
+ * module-focused suites do not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hh"
+#include "dynamo/system.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+
+using namespace hotpath;
+
+TEST(MachineSafetyTest, RunawayRecursionPanics)
+{
+    // Unconditional self-recursion blows the call-depth cap instead
+    // of silently corrupting the stack.
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).call("rec", "done");
+    main.block("done", 1).ret();
+    ProcedureBuilder &rec = builder.proc("rec");
+    rec.block("r", 1).call("rec", "r_done");
+    rec.block("r_done", 1).ret();
+    const Program prog = builder.build();
+
+    BehaviorModel model(prog);
+    model.finalize();
+
+    MachineConfig config;
+    config.seed = 1;
+    config.maxCallDepth = 64;
+    Machine machine(prog, model, config);
+    EXPECT_DEATH(machine.run(10000), "call stack overflow");
+}
+
+TEST(MachineSafetyTest, ZeroRunExecutesNothing)
+{
+    ProgramBuilder builder;
+    builder.proc("main").block("a", 1).ret();
+    const Program prog = builder.build();
+    BehaviorModel model(prog);
+    model.finalize();
+    Machine machine(prog, model, {.seed = 1});
+    EXPECT_EQ(machine.run(0), 0u);
+    EXPECT_EQ(machine.blocksExecuted(), 0u);
+}
+
+TEST(BehaviorPhaseTest, OpenEndedMiddlePhaseShadowsLaterOnes)
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("a", 1).cond("a", "b"); // self-loop conditional
+    main.block("b", 1).ret();
+    const Program prog = builder.build();
+
+    BehaviorModel model(prog);
+    PhaseSpec first;
+    first.lengthBlocks = 10;
+    PhaseSpec open; // lengthBlocks == 0: lasts forever
+    PhaseSpec never;
+    model.addPhase(first);
+    model.addPhase(open);
+    model.addPhase(never);
+    model.finalize();
+
+    EXPECT_EQ(model.phaseAt(0), 0u);
+    EXPECT_EQ(model.phaseAt(9), 0u);
+    EXPECT_EQ(model.phaseAt(10), 1u);
+    EXPECT_EQ(model.phaseAt(1u << 30), 1u); // the open phase wins
+}
+
+TEST(DynamoReportTest, SpeedupEdges)
+{
+    DynamoReport report;
+    EXPECT_DOUBLE_EQ(report.speedupPercent(), 0.0); // no cycles yet
+
+    report.nativeCycles = 200.0;
+    report.cachedCycles = 100.0;
+    EXPECT_DOUBLE_EQ(report.speedupPercent(), 100.0);
+
+    report.interpretCycles = 300.0;
+    EXPECT_DOUBLE_EQ(report.speedupPercent(), -50.0);
+}
+
+TEST(LoggingTest, ConcatBuildsMessages)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingTest, WarnAndInformDoNotCrash)
+{
+    setInformEnabled(false);
+    inform("suppressed");
+    setInformEnabled(true);
+    inform("visible");
+    warn("warning text");
+}
+
+TEST(AssertTest, PassingAssertIsSilent)
+{
+    HOTPATH_ASSERT(1 + 1 == 2, "math still works");
+}
+
+TEST(AssertTest, FailingAssertAborts)
+{
+    EXPECT_DEATH(HOTPATH_ASSERT(false, "expected failure"),
+                 "expected failure");
+}
+
+TEST(ListenerDefaultsTest, BaseListenerIgnoresEverything)
+{
+    // The default ExecutionListener implementations must be safe to
+    // call (listeners override only what they need).
+    ExecutionListener listener;
+    BasicBlock block;
+    TransferEvent event;
+    listener.onBlock(block);
+    listener.onTransfer(event);
+    listener.onProgramEnd();
+}
+
+TEST(EventDefaultsTest, TransferEventDefaults)
+{
+    TransferEvent event;
+    EXPECT_EQ(event.from, kInvalidBlock);
+    EXPECT_EQ(event.to, kInvalidBlock);
+    EXPECT_FALSE(event.taken);
+    EXPECT_FALSE(event.backward);
+}

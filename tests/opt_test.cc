@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the IR, the per-block IR generator and the trace
+ * optimizer. The heavy hitter is the differential property: for
+ * generated traces and random initial states, the optimized trace
+ * must leave registers, memory and retained-guard outcomes exactly
+ * as the original did.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/ir.hh"
+#include "opt/ir_gen.hh"
+#include "opt/trace_optimizer.hh"
+#include "paths/splitter.hh"
+#include "predict/net_trace_builder.hh"
+#include "progen/generator.hh"
+#include "sim/machine.hh"
+#include "support/random.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+IrInstr
+imm(std::uint8_t dst, std::int32_t value)
+{
+    IrInstr instr;
+    instr.op = IrOp::LoadImm;
+    instr.dst = dst;
+    instr.imm = value;
+    return instr;
+}
+
+IrInstr
+binary(IrOp op, std::uint8_t dst, std::uint8_t a, std::uint8_t b)
+{
+    IrInstr instr;
+    instr.op = op;
+    instr.dst = dst;
+    instr.src1 = a;
+    instr.src2 = b;
+    return instr;
+}
+
+IrInstr
+mov(std::uint8_t dst, std::uint8_t src)
+{
+    IrInstr instr;
+    instr.op = IrOp::Mov;
+    instr.dst = dst;
+    instr.src1 = src;
+    return instr;
+}
+
+IrInstr
+load(std::uint8_t dst, std::uint8_t base, std::int32_t offset)
+{
+    IrInstr instr;
+    instr.op = IrOp::Load;
+    instr.dst = dst;
+    instr.src1 = base;
+    instr.imm = offset;
+    return instr;
+}
+
+IrInstr
+store(std::uint8_t base, std::int32_t offset, std::uint8_t value)
+{
+    IrInstr instr;
+    instr.op = IrOp::Store;
+    instr.src1 = base;
+    instr.src2 = value;
+    instr.imm = offset;
+    return instr;
+}
+
+IrInstr
+guard(std::uint8_t reg, std::int32_t expected)
+{
+    IrInstr instr;
+    instr.op = IrOp::Guard;
+    instr.src1 = reg;
+    instr.imm = expected;
+    return instr;
+}
+
+} // namespace
+
+// IrMachine -----------------------------------------------------------
+
+TEST(IrMachineTest, ArithmeticAndMemory)
+{
+    IrMachine machine;
+    machine.run({imm(1, 6), imm(2, 7), binary(IrOp::Mul, 3, 1, 2),
+                 store(0, 8, 3), load(4, 0, 8)});
+    EXPECT_EQ(machine.reg(3), 42);
+    EXPECT_EQ(machine.reg(4), 42);
+    EXPECT_EQ(machine.memory(8), 42);
+    EXPECT_EQ(machine.memory(16), 0);
+}
+
+TEST(IrMachineTest, GuardsRecordOutcomes)
+{
+    IrMachine machine;
+    machine.run({imm(1, 5), guard(1, 5), guard(1, 6)});
+    ASSERT_EQ(machine.guardsPassed().size(), 2u);
+    EXPECT_TRUE(machine.guardsPassed()[0]);
+    EXPECT_FALSE(machine.guardsPassed()[1]);
+}
+
+TEST(IrMachineTest, StoresSnapshotKeepsFinalValues)
+{
+    IrMachine machine;
+    machine.run({imm(1, 10), store(0, 0, 1), imm(1, 20),
+                 store(0, 0, 1), imm(2, 30), store(0, 8, 2)});
+    const auto snapshot = machine.storesSnapshot();
+    ASSERT_EQ(snapshot.size(), 2u);
+    EXPECT_EQ(snapshot[0], (std::pair<std::int64_t, std::int64_t>{
+                               0, 20}));
+    EXPECT_EQ(snapshot[1], (std::pair<std::int64_t, std::int64_t>{
+                               8, 30}));
+}
+
+// Individual passes ----------------------------------------------------
+
+TEST(TraceOptimizerTest, FoldsConstantChains)
+{
+    IrSequence trace = {imm(1, 6), imm(2, 7),
+                        binary(IrOp::Mul, 3, 1, 2), store(0, 0, 3)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.constantsFolded, 1u);
+    // The multiply became "r3 = 42".
+    bool folded = false;
+    for (const IrInstr &instr : trace)
+        folded |= instr.op == IrOp::LoadImm && instr.imm == 42;
+    EXPECT_TRUE(folded);
+}
+
+TEST(TraceOptimizerTest, RemovesConstantTrueGuards)
+{
+    IrSequence trace = {imm(1, 1), guard(1, 1), store(0, 0, 1)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_EQ(stats.guardsRemoved, 1u);
+    for (const IrInstr &instr : trace)
+        EXPECT_NE(instr.op, IrOp::Guard);
+}
+
+TEST(TraceOptimizerTest, KeepsFailingAndUnknownGuards)
+{
+    IrSequence trace = {imm(1, 1), guard(1, 0), load(2, 0, 0),
+                        guard(2, 1), store(0, 0, 2)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_EQ(stats.guardsRemoved, 0u);
+    std::size_t guards = 0;
+    for (const IrInstr &instr : trace)
+        guards += instr.op == IrOp::Guard ? 1 : 0;
+    EXPECT_EQ(guards, 2u);
+}
+
+TEST(TraceOptimizerTest, PropagatesCopies)
+{
+    // r2 = r1; r3 = r2 + r2  ->  r3 = r1 + r1; the Mov dies.
+    IrSequence trace = {load(1, 0, 0), mov(2, 1),
+                        binary(IrOp::Add, 3, 2, 2), store(0, 8, 3)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.copiesPropagated, 2u);
+    for (const IrInstr &instr : trace) {
+        if (instr.op == IrOp::Add) {
+            EXPECT_EQ(instr.src1, 1);
+            EXPECT_EQ(instr.src2, 1);
+        }
+    }
+    // The Mov itself survives (all registers are live out of the
+    // trace), but no consumer reads r2 anymore.
+}
+
+TEST(TraceOptimizerTest, CopyPropagationStopsAtRedefinition)
+{
+    // r2 = r1; r1 = 9; r3 = r2 + r2: r2 must NOT become r1.
+    IrSequence trace = {load(1, 0, 0), mov(2, 1), imm(1, 9),
+                        binary(IrOp::Add, 3, 2, 2), store(0, 8, 3),
+                        store(0, 16, 1)};
+    TraceOptimizer optimizer;
+    optimizer.optimize(trace);
+    for (const IrInstr &instr : trace) {
+        if (instr.op == IrOp::Add) {
+            EXPECT_EQ(instr.src1, 2);
+            EXPECT_EQ(instr.src2, 2);
+        }
+    }
+}
+
+TEST(TraceOptimizerTest, EliminatesRedundantLoads)
+{
+    // Two loads of mem[r0+0] with nothing in between: the second
+    // becomes a Mov and dies if unused... here it is used.
+    IrSequence trace = {load(1, 0, 0), load(2, 0, 0),
+                        binary(IrOp::Add, 3, 1, 2), store(0, 8, 3)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.loadsEliminated, 1u);
+    std::size_t loads = 0;
+    for (const IrInstr &instr : trace)
+        loads += instr.op == IrOp::Load ? 1 : 0;
+    EXPECT_EQ(loads, 1u);
+}
+
+TEST(TraceOptimizerTest, StoreForwardsToLoad)
+{
+    IrSequence trace = {load(1, 0, 0), store(2, 8, 1), load(3, 2, 8),
+                        store(0, 16, 3)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.loadsEliminated, 1u);
+}
+
+TEST(TraceOptimizerTest, StoresBlockUnrelatedForwarding)
+{
+    // The store between the loads may alias: the reload must stay.
+    IrSequence trace = {load(1, 0, 0), store(2, 8, 1), load(3, 0, 0),
+                        store(0, 16, 3)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    (void)stats;
+    std::size_t loads = 0;
+    for (const IrInstr &instr : trace)
+        loads += instr.op == IrOp::Load ? 1 : 0;
+    EXPECT_EQ(loads, 2u);
+}
+
+TEST(TraceOptimizerTest, CseEliminatesRecomputation)
+{
+    // r3 = r1 + r2; r4 = r1 + r2  ->  r4 = Mov r3.
+    IrSequence trace = {load(1, 0, 0), load(2, 0, 8),
+                        binary(IrOp::Add, 3, 1, 2),
+                        binary(IrOp::Add, 4, 1, 2), store(0, 16, 3),
+                        store(0, 24, 4)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.subexpressionsEliminated, 1u);
+    std::size_t adds = 0;
+    for (const IrInstr &instr : trace)
+        adds += instr.op == IrOp::Add ? 1 : 0;
+    EXPECT_EQ(adds, 1u);
+}
+
+TEST(TraceOptimizerTest, CseRespectsCommutativity)
+{
+    // r3 = r1 + r2; r4 = r2 + r1 are the same expression.
+    IrSequence trace = {load(1, 0, 0), load(2, 0, 8),
+                        binary(IrOp::Add, 3, 1, 2),
+                        binary(IrOp::Add, 4, 2, 1), store(0, 16, 4)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.subexpressionsEliminated, 1u);
+}
+
+TEST(TraceOptimizerTest, CseDoesNotCommuteSub)
+{
+    IrSequence trace = {load(1, 0, 0), load(2, 0, 8),
+                        binary(IrOp::Sub, 3, 1, 2),
+                        binary(IrOp::Sub, 4, 2, 1), store(0, 16, 3),
+                        store(0, 24, 4)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    (void)stats;
+    std::size_t subs = 0;
+    for (const IrInstr &instr : trace)
+        subs += instr.op == IrOp::Sub ? 1 : 0;
+    EXPECT_EQ(subs, 2u); // r1-r2 != r2-r1
+}
+
+TEST(TraceOptimizerTest, CseInvalidatedByRedefinition)
+{
+    // The operand changes between the two computations.
+    IrSequence trace = {load(1, 0, 0), load(2, 0, 8),
+                        binary(IrOp::Add, 3, 1, 2), load(1, 0, 16),
+                        binary(IrOp::Add, 4, 1, 2), store(0, 24, 3),
+                        store(0, 32, 4)};
+    TraceOptimizer optimizer;
+    optimizer.optimize(trace);
+    std::size_t adds = 0;
+    for (const IrInstr &instr : trace)
+        adds += instr.op == IrOp::Add ? 1 : 0;
+    EXPECT_EQ(adds, 2u);
+}
+
+TEST(TraceOptimizerTest, RemovesOverwrittenDeadCode)
+{
+    // r1's first definition is overwritten before use.
+    IrSequence trace = {binary(IrOp::Add, 1, 2, 3), imm(1, 5),
+                        store(0, 0, 1)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_GE(stats.deadRemoved, 1u);
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(TraceOptimizerTest, KeepsLiveOutRegisters)
+{
+    // The definition is never read inside the trace, but registers
+    // are live out of the trace's end: it must stay.
+    IrSequence trace = {binary(IrOp::Add, 1, 2, 3)};
+    TraceOptimizer optimizer;
+    const OptStats stats = optimizer.optimize(trace);
+    EXPECT_EQ(stats.deadRemoved, 0u);
+    EXPECT_EQ(trace.size(), 1u);
+}
+
+// IR generation ---------------------------------------------------------
+
+TEST(IrGenTest, BodySizeMatchesBlockAndIsDeterministic)
+{
+    ProgenConfig config;
+    config.seed = 5;
+    SyntheticProgram synth(config);
+    BlockIrAssigner a(synth.program(), {.seed = 3});
+    BlockIrAssigner b(synth.program(), {.seed = 3});
+
+    for (BlockId id = 0; id < synth.program().numBlocks(); ++id) {
+        const IrSequence &body = a.blockIr(id);
+        ASSERT_EQ(body.size(), synth.program().block(id).instrCount);
+        EXPECT_EQ(body, b.blockIr(id));
+        const BranchKind kind = synth.program().block(id).kind;
+        if (kind == BranchKind::Conditional ||
+            kind == BranchKind::Indirect) {
+            EXPECT_EQ(body.back().op, IrOp::Guard);
+        }
+    }
+}
+
+TEST(IrGenTest, TraceIrConcatenatesBlocks)
+{
+    ProgenConfig config;
+    config.seed = 6;
+    SyntheticProgram synth(config);
+    BlockIrAssigner assigner(synth.program());
+
+    const std::vector<BlockId> blocks = {0, 1, 2};
+    const IrSequence trace = assigner.traceIr(blocks);
+    std::size_t expected = 0;
+    for (BlockId id : blocks)
+        expected += synth.program().block(id).instrCount;
+    EXPECT_EQ(trace.size(), expected);
+}
+
+// The differential property ---------------------------------------------
+
+namespace
+{
+
+/** Collects NET traces for the differential sweep. */
+struct TraceBag : NetTraceSink
+{
+    void
+    onTrace(const NetTrace &trace) override
+    {
+        traces.push_back(trace.blocks);
+    }
+
+    std::vector<std::vector<BlockId>> traces;
+};
+
+} // namespace
+
+class OptimizerDifferentialProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(OptimizerDifferentialProperty,
+       OptimizedTracePreservesSemantics)
+{
+    ProgenConfig config;
+    config.seed = GetParam();
+    SyntheticProgram synth(config);
+    BlockIrAssigner assigner(synth.program(),
+                             {.seed = GetParam() ^ 0xbeef});
+
+    TraceBag bag;
+    NetTraceBuilderConfig net_config;
+    net_config.hotThreshold = 25;
+    net_config.reArm = true;
+    NetTraceBuilder net(bag, net_config);
+    Machine machine(synth.program(), synth.behavior(),
+                    {.seed = GetParam()});
+    machine.addListener(&net);
+    machine.run(120000);
+    ASSERT_FALSE(bag.traces.empty());
+
+    TraceOptimizer optimizer;
+    Rng rng(GetParam() * 7 + 1);
+    std::size_t checked = 0;
+    for (const auto &blocks : bag.traces) {
+        if (checked >= 20)
+            break;
+        ++checked;
+
+        const IrSequence original = assigner.traceIr(blocks);
+        IrSequence optimized = original;
+        const OptStats stats = optimizer.optimize(optimized);
+        EXPECT_LE(stats.outputInstructions, stats.inputInstructions);
+
+        // Differential runs over random initial register states.
+        for (int round = 0; round < 5; ++round) {
+            IrMachine before;
+            IrMachine after;
+            for (std::size_t r = 0; r < kIrRegs; ++r) {
+                const auto value =
+                    static_cast<std::int64_t>(rng.nextBounded(200));
+                before.setRegister(r, value);
+                after.setRegister(r, value);
+            }
+            before.run(original);
+            after.run(optimized);
+
+            for (std::size_t r = 0; r < kIrRegs; ++r)
+                ASSERT_EQ(before.reg(r), after.reg(r))
+                    << "register " << r;
+            ASSERT_EQ(before.storesSnapshot(),
+                      after.storesSnapshot());
+            // Removed guards were constant-true: the optimized run
+            // may only drop passing guards.
+            std::size_t failed_before = 0;
+            for (bool passed : before.guardsPassed())
+                failed_before += passed ? 0 : 1;
+            std::size_t failed_after = 0;
+            for (bool passed : after.guardsPassed())
+                failed_after += passed ? 0 : 1;
+            ASSERT_EQ(failed_before, failed_after);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerDifferentialProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));

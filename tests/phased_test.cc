@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for phased workloads: rotation mapping, per-phase hot sets,
+ * stream layout, and the phase-change signal they create.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "metrics/oracle.hh"
+#include "workload/phased.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+WorkloadConfig
+smallConfig()
+{
+    WorkloadConfig config;
+    config.flowScale = 1e-4;
+    return config;
+}
+
+} // namespace
+
+TEST(PhasedWorkloadTest, PhasesUseDisjointIdRanges)
+{
+    PhasedWorkload phased(specTarget("deltablue"), smallConfig(), 3);
+    const std::size_t n = phased.base().numPaths();
+    EXPECT_EQ(phased.numPaths(), 3 * n);
+    EXPECT_EQ(phased.numHeads(), 3 * phased.base().numHeads());
+
+    // Each phase's image is a bijection onto its own id range.
+    std::unordered_set<PathIndex> image;
+    for (PathIndex p = 0; p < n; ++p) {
+        const PathIndex mapped = phased.mapPath(p, 1);
+        EXPECT_EQ(phased.phaseOfPath(mapped), 1u);
+        EXPECT_EQ(phased.basePath(mapped), p);
+        image.insert(mapped);
+    }
+    EXPECT_EQ(image.size(), n);
+
+    // Phase 0 is the identity.
+    for (PathIndex p = 0; p < 20; ++p)
+        EXPECT_EQ(phased.mapPath(p, 0), p);
+}
+
+TEST(PhasedWorkloadTest, HotSetsChangeCompletelyAcrossPhases)
+{
+    PhasedWorkload phased(specTarget("deltablue"), smallConfig(), 3);
+
+    const auto hot0 = phased.hotPathsOfPhase(0);
+    const auto hot1 = phased.hotPathsOfPhase(1);
+    std::unordered_set<PathIndex> set0(hot0.begin(), hot0.end());
+    for (PathIndex p : hot1)
+        EXPECT_FALSE(set0.count(p)) << "hot sets overlap";
+}
+
+TEST(PhasedWorkloadTest, PhaseAtMapsTimeToPhase)
+{
+    PhasedWorkload phased(specTarget("deltablue"), smallConfig(), 4);
+    const std::uint64_t len = phased.phaseLength();
+    EXPECT_EQ(phased.phaseAt(0), 0u);
+    EXPECT_EQ(phased.phaseAt(len - 1), 0u);
+    EXPECT_EQ(phased.phaseAt(len), 1u);
+    EXPECT_EQ(phased.phaseAt(4 * len + 5), 3u); // clamped
+    EXPECT_EQ(phased.totalFlow(), 4 * len);
+}
+
+TEST(PhasedWorkloadTest, StreamRealizesPerPhaseHotSets)
+{
+    PhasedWorkload phased(specTarget("deltablue"), smallConfig(), 2);
+    const std::vector<PathEvent> stream = phased.materializeStream();
+    ASSERT_EQ(stream.size(), phased.totalFlow());
+
+    // Oracle per phase: the rotated hot tier must dominate its phase.
+    for (std::size_t k = 0; k < 2; ++k) {
+        OracleProfile oracle;
+        const std::uint64_t begin = k * phased.phaseLength();
+        const std::uint64_t end = begin + phased.phaseLength();
+        for (std::uint64_t t = begin; t < end; ++t)
+            oracle.onPathEvent(stream[t], t);
+
+        std::uint64_t hot_flow = 0;
+        for (PathIndex p : phased.hotPathsOfPhase(k))
+            hot_flow += oracle.frequency(p);
+        const double share = 100.0 * static_cast<double>(hot_flow) /
+                             static_cast<double>(oracle.totalFlow());
+        EXPECT_NEAR(share, specTarget("deltablue").hotFlowPercent,
+                    0.5)
+            << "phase " << k;
+    }
+}
+
+TEST(PhasedWorkloadTest, EventsCarryTheRelocatedPathsMetadata)
+{
+    PhasedWorkload phased(specTarget("deltablue"), smallConfig(), 2);
+    const std::vector<PathEvent> stream = phased.materializeStream();
+    const CalibratedWorkload &base = phased.base();
+    // Sample the second phase: ids live in the phase's ranges, and
+    // head/shape agree with eventFor (and with the base path behind
+    // the relocated id).
+    for (std::uint64_t t = phased.phaseLength();
+         t < phased.phaseLength() + 1000; ++t) {
+        const PathEvent &event = stream[t];
+        EXPECT_EQ(phased.phaseOfPath(event.path), 1u);
+        EXPECT_GE(event.head, base.numHeads());
+        const PathEvent expected = phased.eventFor(event.path);
+        EXPECT_EQ(event.head, expected.head);
+        EXPECT_EQ(event.blocks,
+                  base.blocksOf(phased.basePath(event.path)));
+    }
+}
+
+TEST(PhasedWorkloadTest, StalePathsNeverExecuteAgain)
+{
+    PhasedWorkload phased(specTarget("deltablue"), smallConfig(), 3);
+    const std::vector<PathEvent> stream = phased.materializeStream();
+    for (std::uint64_t t = 0; t < stream.size(); ++t) {
+        EXPECT_EQ(phased.phaseOfPath(stream[t].path),
+                  phased.phaseAt(t));
+    }
+}
+
+TEST(PhasedWorkloadDeathTest, RejectsZeroPhases)
+{
+    EXPECT_DEATH(PhasedWorkload(specTarget("deltablue"),
+                                smallConfig(), 0),
+                 "at least one phase");
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the PathEvent-level predictors: path profile based
+ * prediction and NET, including prediction timing, counter-space and
+ * cost accounting, and the re-arming behaviour of NET heads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+PathEvent
+event(PathIndex path, HeadIndex head, std::uint32_t branches = 3)
+{
+    PathEvent e;
+    e.path = path;
+    e.head = head;
+    e.blocks = branches + 1;
+    e.branches = branches;
+    e.instructions = (branches + 1) * 5;
+    return e;
+}
+
+} // namespace
+
+TEST(PathProfilePredictorTest, PredictsAtExactlyDelayExecutions)
+{
+    PathProfilePredictor predictor(3);
+    EXPECT_FALSE(predictor.observe(event(0, 0)));
+    EXPECT_FALSE(predictor.observe(event(0, 0)));
+    EXPECT_TRUE(predictor.observe(event(0, 0)));
+}
+
+TEST(PathProfilePredictorTest, DelayOneIsImmediate)
+{
+    PathProfilePredictor predictor(1);
+    EXPECT_TRUE(predictor.observe(event(9, 2)));
+}
+
+TEST(PathProfilePredictorTest, PathsCountIndependently)
+{
+    PathProfilePredictor predictor(2);
+    EXPECT_FALSE(predictor.observe(event(0, 0)));
+    EXPECT_FALSE(predictor.observe(event(1, 0)));
+    EXPECT_TRUE(predictor.observe(event(0, 0)));
+    EXPECT_TRUE(predictor.observe(event(1, 0)));
+}
+
+TEST(PathProfilePredictorTest, CounterSpaceIsPerPath)
+{
+    PathProfilePredictor predictor(100);
+    for (PathIndex p = 0; p < 50; ++p)
+        predictor.observe(event(p, p % 5));
+    EXPECT_EQ(predictor.countersAllocated(), 50u);
+}
+
+TEST(PathProfilePredictorTest, CostIsShiftsPlusTableUpdates)
+{
+    PathProfilePredictor predictor(10);
+    predictor.observe(event(0, 0, 7));
+    predictor.observe(event(1, 0, 2));
+    EXPECT_EQ(predictor.cost().historyShifts, 9u);
+    EXPECT_EQ(predictor.cost().tableUpdates, 2u);
+    EXPECT_EQ(predictor.cost().counterUpdates, 0u);
+}
+
+TEST(PathProfilePredictorTest, ResetForgetsEverything)
+{
+    PathProfilePredictor predictor(2);
+    predictor.observe(event(0, 0));
+    predictor.reset();
+    EXPECT_EQ(predictor.countersAllocated(), 0u);
+    EXPECT_EQ(predictor.cost().total(), 0u);
+    EXPECT_FALSE(predictor.observe(event(0, 0)));
+}
+
+TEST(PathProfilePredictorDeathTest, RejectsZeroDelay)
+{
+    EXPECT_DEATH(PathProfilePredictor(0), "delay");
+}
+
+TEST(NetPredictorTest, HeadCounterTriggersOnAnyPathAtTheHead)
+{
+    NetPredictor predictor(3);
+    // Three different paths through the same head: the third head
+    // arrival predicts whatever executes then.
+    EXPECT_FALSE(predictor.observe(event(0, 7)));
+    EXPECT_FALSE(predictor.observe(event(1, 7)));
+    EXPECT_TRUE(predictor.observe(event(2, 7)));
+}
+
+TEST(NetPredictorTest, SelectsTheNextExecutingTail)
+{
+    NetPredictor predictor(2);
+    EXPECT_FALSE(predictor.observe(event(4, 1)));
+    // The triggering execution is the predicted path: path 9 here.
+    EXPECT_TRUE(predictor.observe(event(9, 1)));
+}
+
+TEST(NetPredictorTest, ReArmRestartsTheCounter)
+{
+    NetPredictor predictor(2, /*re_arm=*/true);
+    EXPECT_FALSE(predictor.observe(event(0, 3)));
+    EXPECT_TRUE(predictor.observe(event(0, 3)));
+    // After the prediction the counter restarts: two more arrivals
+    // (of a different, uncaptured path) trigger again.
+    EXPECT_FALSE(predictor.observe(event(1, 3)));
+    EXPECT_TRUE(predictor.observe(event(1, 3)));
+}
+
+TEST(NetPredictorTest, SingleTailRetiresTheHead)
+{
+    NetPredictor predictor(2, /*re_arm=*/false);
+    EXPECT_FALSE(predictor.observe(event(0, 3)));
+    EXPECT_TRUE(predictor.observe(event(0, 3)));
+    // Head retired: no further predictions, no further counting cost.
+    const std::uint64_t ops = predictor.cost().counterUpdates;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(predictor.observe(event(1, 3)));
+    EXPECT_EQ(predictor.cost().counterUpdates, ops);
+}
+
+TEST(NetPredictorTest, HeadsAreIndependent)
+{
+    NetPredictor predictor(2);
+    EXPECT_FALSE(predictor.observe(event(0, 0)));
+    EXPECT_FALSE(predictor.observe(event(1, 1)));
+    EXPECT_TRUE(predictor.observe(event(0, 0)));
+    EXPECT_TRUE(predictor.observe(event(1, 1)));
+}
+
+TEST(NetPredictorTest, CounterSpaceIsPerHeadNotPerPath)
+{
+    NetPredictor predictor(1000);
+    for (PathIndex p = 0; p < 100; ++p)
+        predictor.observe(event(p, p % 4));
+    EXPECT_EQ(predictor.countersAllocated(), 4u);
+}
+
+TEST(NetPredictorTest, CostIsOneCounterOpPerObservation)
+{
+    NetPredictor predictor(100);
+    for (int i = 0; i < 25; ++i)
+        predictor.observe(event(i % 3, 0, 50));
+    EXPECT_EQ(predictor.cost().counterUpdates, 25u);
+    EXPECT_EQ(predictor.cost().historyShifts, 0u);
+    EXPECT_EQ(predictor.cost().tableUpdates, 0u);
+}
+
+TEST(NetPredictorTest, NamesDistinguishVariants)
+{
+    EXPECT_EQ(NetPredictor(1, true).name(), "net");
+    EXPECT_EQ(NetPredictor(1, false).name(), "net-single-tail");
+    EXPECT_EQ(PathProfilePredictor(1).name(), "path-profile");
+}
+
+TEST(NetPredictorTest, ResetForgetsHeads)
+{
+    NetPredictor predictor(2);
+    predictor.observe(event(0, 0));
+    predictor.reset();
+    EXPECT_EQ(predictor.countersAllocated(), 0u);
+    EXPECT_FALSE(predictor.observe(event(0, 0)));
+    EXPECT_TRUE(predictor.observe(event(0, 0)));
+}
+
+TEST(NetPredictorDeathTest, RejectsZeroDelay)
+{
+    EXPECT_DEATH(NetPredictor(0), "delay");
+}
+
+TEST(MretPredictorTest, PredictsTheMostRecentTailNotTheCurrentOne)
+{
+    MretPredictor predictor(2);
+    // Arrivals at head 0: path 5 then path 9. The trip happens on
+    // path 9's arrival, but the remembered tail is path 5 - the
+    // prediction fires when path 5 next executes.
+    EXPECT_FALSE(predictor.observe(event(5, 0)));
+    EXPECT_FALSE(predictor.observe(event(9, 0)));
+    EXPECT_FALSE(predictor.observe(event(9, 0))); // still pending 5?
+    EXPECT_TRUE(predictor.observe(event(5, 0)));
+}
+
+TEST(MretPredictorTest, ImmediateWhenCurrentEqualsRemembered)
+{
+    MretPredictor predictor(2);
+    EXPECT_FALSE(predictor.observe(event(7, 0)));
+    EXPECT_TRUE(predictor.observe(event(7, 0)));
+}
+
+TEST(MretPredictorTest, DelayOneFallsBackToCurrentTail)
+{
+    MretPredictor predictor(1);
+    EXPECT_TRUE(predictor.observe(event(3, 2)));
+}
+
+TEST(MretPredictorTest, CounterSpaceIsPerHead)
+{
+    MretPredictor predictor(1000);
+    for (PathIndex p = 0; p < 60; ++p)
+        predictor.observe(event(p, p % 3));
+    EXPECT_EQ(predictor.countersAllocated(), 3u);
+    EXPECT_EQ(predictor.name(), "mret");
+}
+
+TEST(MretPredictorTest, ResetClearsPendingState)
+{
+    MretPredictor predictor(2);
+    predictor.observe(event(5, 0));
+    predictor.observe(event(9, 0)); // pending prediction for 5
+    predictor.reset();
+    EXPECT_FALSE(predictor.observe(event(5, 0)));
+    EXPECT_EQ(predictor.countersAllocated(), 1u);
+}

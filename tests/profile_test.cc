@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the profiling substrate: the open-addressing counter
+ * table (including growth, tombstones and space accounting), the
+ * block and edge profilers, and the bit-tracing path table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hh"
+#include "profile/block_profile.hh"
+#include "profile/counter_table.hh"
+#include "profile/edge_profile.hh"
+#include "profile/path_table.hh"
+#include "paths/splitter.hh"
+#include "sim/machine.hh"
+#include "support/random.hh"
+
+using namespace hotpath;
+
+TEST(CounterTableTest, IncrementAndLookup)
+{
+    CounterTable table;
+    EXPECT_EQ(table.lookup(42), 0u);
+    EXPECT_EQ(table.increment(42), 1u);
+    EXPECT_EQ(table.increment(42), 2u);
+    EXPECT_EQ(table.increment(42, 10), 12u);
+    EXPECT_EQ(table.lookup(42), 12u);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CounterTableTest, ManyKeysSurviveGrowth)
+{
+    CounterTable table(8);
+    for (std::uint64_t key = 1; key <= 5000; ++key)
+        table.increment(key, key);
+    EXPECT_EQ(table.size(), 5000u);
+    for (std::uint64_t key = 1; key <= 5000; ++key)
+        EXPECT_EQ(table.lookup(key), key) << "key " << key;
+}
+
+TEST(CounterTableTest, EraseFreesAndAllowsReinsert)
+{
+    CounterTable table;
+    table.increment(7, 3);
+    table.erase(7);
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.lookup(7), 0u);
+    EXPECT_EQ(table.increment(7), 1u);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CounterTableTest, EraseMissingIsNoop)
+{
+    CounterTable table;
+    table.increment(1);
+    table.erase(99);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CounterTableTest, AdversarialKeysCollide)
+{
+    // Keys that collide modulo the table size still resolve.
+    CounterTable table(8);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 1; i <= 64; ++i)
+        keys.push_back(i * 8);
+    for (std::uint64_t key : keys)
+        table.increment(key, key);
+    for (std::uint64_t key : keys)
+        EXPECT_EQ(table.lookup(key), key);
+}
+
+TEST(CounterTableTest, ForEachVisitsAllLive)
+{
+    CounterTable table;
+    table.increment(1, 10);
+    table.increment(2, 20);
+    table.increment(3, 30);
+    table.erase(2);
+
+    std::uint64_t sum = 0;
+    std::size_t visits = 0;
+    table.forEach([&](std::uint64_t, std::uint64_t count) {
+        sum += count;
+        ++visits;
+    });
+    EXPECT_EQ(visits, 2u);
+    EXPECT_EQ(sum, 40u);
+}
+
+TEST(CounterTableTest, MemoryAccounting)
+{
+    CounterTable table(8);
+    const std::size_t initial = table.memoryBytes();
+    for (std::uint64_t key = 1; key <= 1000; ++key)
+        table.increment(key);
+    EXPECT_GT(table.memoryBytes(), initial);
+}
+
+TEST(CounterTableTest, RandomizedAgainstReference)
+{
+    // Property test: behave exactly like std::unordered_map under a
+    // random op mix.
+    CounterTable table;
+    std::unordered_map<std::uint64_t, std::uint64_t> reference;
+    Rng rng(2024);
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t key = 1 + rng.nextBounded(300);
+        switch (rng.nextBounded(4)) {
+          case 0:
+          case 1: {
+            const std::uint64_t delta = 1 + rng.nextBounded(5);
+            table.increment(key, delta);
+            reference[key] += delta;
+            break;
+          }
+          case 2:
+            EXPECT_EQ(table.lookup(key),
+                      reference.count(key) ? reference[key] : 0);
+            break;
+          case 3:
+            table.erase(key);
+            reference.erase(key);
+            break;
+        }
+    }
+    EXPECT_EQ(table.size(), reference.size());
+    for (const auto &[key, count] : reference)
+        EXPECT_EQ(table.lookup(key), count);
+}
+
+TEST(CounterTableDeathTest, ZeroKeyRejected)
+{
+    CounterTable table;
+    EXPECT_DEATH(table.increment(0), "nonzero");
+}
+
+namespace
+{
+
+Program
+makeLoop()
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).fallthrough("head");
+    main.block("head", 1).cond("a", "b");
+    main.block("a", 1).jump("latch");
+    main.block("b", 1).fallthrough("latch");
+    main.block("latch", 1).cond("head", "exit");
+    main.block("exit", 1).ret();
+    return builder.build();
+}
+
+} // namespace
+
+TEST(BlockProfilerTest, CountsEveryBlockExecution)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 0.75);
+    model.setTakenProbability(findBlock(prog, "latch"), 0.99);
+    model.finalize();
+
+    BlockProfiler profiler;
+    Machine machine(prog, model, {.seed = 6});
+    machine.addListener(&profiler);
+    machine.run(40000);
+
+    // Total block counts must equal blocks executed.
+    std::uint64_t total = 0;
+    for (BlockId id = 0; id < prog.numBlocks(); ++id)
+        total += profiler.countOf(id);
+    EXPECT_EQ(total, machine.blocksExecuted());
+
+    // The dominant side of the diamond is roughly 3x the other.
+    const double ratio =
+        static_cast<double>(profiler.countOf(findBlock(prog, "a"))) /
+        static_cast<double>(profiler.countOf(findBlock(prog, "b")));
+    EXPECT_NEAR(ratio, 3.0, 0.4);
+
+    EXPECT_EQ(profiler.cost().counterUpdates,
+              machine.blocksExecuted());
+    EXPECT_LE(profiler.countersAllocated(), prog.numBlocks());
+}
+
+TEST(EdgeProfilerTest, CountsEdgesConsistently)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "latch"), 0.95);
+    model.finalize();
+
+    EdgeProfiler profiler;
+    Machine machine(prog, model, {.seed = 8});
+    machine.addListener(&profiler);
+    machine.run(30000);
+
+    const BlockId head = findBlock(prog, "head");
+    const BlockId a = findBlock(prog, "a");
+    const BlockId b = findBlock(prog, "b");
+    const BlockId latch = findBlock(prog, "latch");
+
+    // Flow conservation at the join: in(latch) == out-of-diamond.
+    EXPECT_EQ(profiler.countOf(a, latch) + profiler.countOf(b, latch),
+              profiler.countOf(head, a) + profiler.countOf(head, b));
+    EXPECT_GT(profiler.countOf(latch, head), 0u);
+}
+
+TEST(BitTracingProfilerTest, CountsPathsBySignature)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 1.0);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    BitTracingProfiler profiler;
+    PathSplitter splitter(profiler);
+    Machine machine(prog, model, {.seed = 1});
+    machine.addListener(&splitter);
+    machine.run(3001);
+    splitter.flush();
+
+    // Deterministic single path: one signature carries all the flow.
+    EXPECT_EQ(profiler.countersAllocated(), 1u);
+    EXPECT_GT(profiler.pathsObserved(), 500u);
+
+    std::uint64_t max_count = 0;
+    profiler.forEach([&](const PathTableEntry &entry) {
+        max_count = std::max(max_count, entry.count);
+    });
+    EXPECT_EQ(max_count, profiler.pathsObserved());
+}
+
+TEST(BitTracingProfilerTest, CostAccountsShiftsAndUpdates)
+{
+    const Program prog = makeLoop();
+    BehaviorModel model(prog);
+    model.finalize();
+
+    BitTracingProfiler profiler;
+    PathSplitter splitter(profiler);
+    Machine machine(prog, model, {.seed = 2});
+    machine.addListener(&splitter);
+    machine.run(10000);
+    splitter.flush();
+
+    EXPECT_EQ(profiler.cost().tableUpdates, profiler.pathsObserved());
+    EXPECT_GT(profiler.cost().historyShifts,
+              profiler.cost().tableUpdates);
+}

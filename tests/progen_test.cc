@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the synthetic program generator: structural validity,
+ * determinism, loop/call/indirect presence, behaviour biasing, and
+ * the phased variant's hot-path migration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "paths/registry.hh"
+#include "paths/splitter.hh"
+#include "progen/generator.hh"
+#include "sim/machine.hh"
+
+using namespace hotpath;
+
+TEST(ProgenTest, GeneratesValidProgram)
+{
+    ProgenConfig config;
+    config.seed = 11;
+    SyntheticProgram synth(config); // Program::finalize validates
+    EXPECT_GE(synth.program().numProcedures(), config.procedures + 1);
+    EXPECT_GT(synth.program().numBlocks(), 50u);
+    EXPECT_FALSE(synth.program().backwardEdges().empty());
+}
+
+TEST(ProgenTest, DeterministicForSameSeed)
+{
+    ProgenConfig config;
+    config.seed = 5;
+    SyntheticProgram a(config);
+    SyntheticProgram b(config);
+    ASSERT_EQ(a.program().numBlocks(), b.program().numBlocks());
+    for (BlockId id = 0; id < a.program().numBlocks(); ++id) {
+        EXPECT_EQ(a.program().block(id).label,
+                  b.program().block(id).label);
+        EXPECT_EQ(a.program().block(id).instrCount,
+                  b.program().block(id).instrCount);
+    }
+}
+
+TEST(ProgenTest, DifferentSeedsDiffer)
+{
+    ProgenConfig config_a;
+    config_a.seed = 1;
+    ProgenConfig config_b;
+    config_b.seed = 2;
+    SyntheticProgram a(config_a);
+    SyntheticProgram b(config_b);
+
+    bool differs =
+        a.program().numBlocks() != b.program().numBlocks();
+    if (!differs) {
+        for (BlockId id = 0; id < a.program().numBlocks(); ++id) {
+            differs |= a.program().block(id).instrCount !=
+                       b.program().block(id).instrCount;
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ProgenTest, ContainsRequestedStructure)
+{
+    ProgenConfig config;
+    config.seed = 3;
+    config.indirectDensity = 0.5;
+    config.callDensity = 1.0;
+    SyntheticProgram synth(config);
+
+    std::size_t calls = 0;
+    std::size_t indirects = 0;
+    std::size_t conds = 0;
+    for (BlockId id = 0; id < synth.program().numBlocks(); ++id) {
+        switch (synth.program().block(id).kind) {
+          case BranchKind::Call:
+            ++calls;
+            break;
+          case BranchKind::Indirect:
+            ++indirects;
+            break;
+          case BranchKind::Conditional:
+            ++conds;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_GE(calls, config.procedures); // driver calls at minimum
+    EXPECT_GT(indirects, 0u);
+    EXPECT_GT(conds, 0u);
+}
+
+TEST(ProgenTest, RunsAndProducesDominantPaths)
+{
+    ProgenConfig config;
+    config.seed = 9;
+    config.dominantTakenProb = 0.9;
+    config.balancedFraction = 0.0;
+    config.indirectDensity = 0.0;
+    SyntheticProgram synth(config);
+
+    PathRegistry registry;
+    // Count paths directly through the splitter + registry.
+    struct Counter : PathSink
+    {
+        explicit Counter(PathRegistry &registry) : registry(registry)
+        {}
+
+        void
+        onPath(const PathRecord &record) override
+        {
+            ++counts[registry.intern(record)];
+            ++total;
+        }
+
+        PathRegistry &registry;
+        std::unordered_map<PathIndex, std::uint64_t> counts;
+        std::uint64_t total = 0;
+    } counter(registry);
+
+    PathSplitter splitter(counter);
+    Machine machine(synth.program(), synth.behavior(), {.seed = 1});
+    machine.addListener(&splitter);
+    machine.run(400000);
+
+    ASSERT_GT(counter.total, 10000u);
+    // With 0.9-dominant diamonds, a small set of paths should carry
+    // most of the flow: the top 10% of paths > 50% of executions.
+    std::vector<std::uint64_t> sorted;
+    for (const auto &[path, count] : counter.counts)
+        sorted.push_back(count);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    std::uint64_t top = 0;
+    const std::size_t top_n = std::max<std::size_t>(
+        1, sorted.size() / 10);
+    for (std::size_t i = 0; i < top_n; ++i)
+        top += sorted[i];
+    EXPECT_GT(static_cast<double>(top) /
+                  static_cast<double>(counter.total),
+              0.5);
+}
+
+TEST(ProgenTest, NoProceduresVariantStillRuns)
+{
+    ProgenConfig config;
+    config.seed = 4;
+    config.procedures = 0;
+    SyntheticProgram synth(config);
+
+    Machine machine(synth.program(), synth.behavior(), {.seed = 2});
+    EXPECT_EQ(machine.run(10000), 10000u);
+}
+
+TEST(PhasedProgenTest, PhasesFlipTheDominantPaths)
+{
+    ProgenConfig config;
+    config.seed = 13;
+    config.procedures = 1;
+    config.loopsPerProc = 1;
+    config.nestDepth = 1;
+    config.diamondsPerBody = 2;
+    config.indirectDensity = 0.0;
+    config.balancedFraction = 0.0;
+    config.dominantTakenProb = 0.95;
+
+    PhasedSyntheticProgram synth(config, 2, 50000);
+    EXPECT_EQ(synth.behavior().numPhases(), 2u);
+
+    // Run each phase and find the hottest block-diamond side.
+    struct SideCounter : ExecutionListener
+    {
+        void
+        onBlock(const BasicBlock &block) override
+        {
+            ++counts[block.id];
+        }
+
+        std::unordered_map<BlockId, std::uint64_t> counts;
+    };
+
+    SideCounter phase0;
+    SideCounter phase1;
+    Machine machine(synth.program(), synth.behavior(), {.seed = 3});
+    machine.addListener(&phase0);
+    machine.run(50000);
+
+    Machine machine2(synth.program(), synth.behavior(), {.seed = 3});
+    machine2.run(50000); // advance into phase 1 silently
+    machine2.addListener(&phase1);
+    machine2.run(50000);
+
+    // Some diamond arm must have flipped dominance across phases.
+    bool flipped = false;
+    for (const auto &[block, count0] : phase0.counts) {
+        const auto it = phase1.counts.find(block);
+        const std::uint64_t count1 =
+            it == phase1.counts.end() ? 0 : it->second;
+        const std::string &label =
+            synth.program().block(block).label;
+        if (label.size() >= 2 &&
+            label.compare(label.size() - 2, 2, "_a") == 0) {
+            if (count0 > 3 * std::max<std::uint64_t>(count1, 1) ||
+                count1 > 3 * std::max<std::uint64_t>(count0, 1)) {
+                flipped = true;
+            }
+        }
+    }
+    EXPECT_TRUE(flipped);
+}

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Property-based and parameterized sweeps over cross-module
+ * invariants:
+ *
+ *  - flow conservation of the evaluation metrics for every scheme,
+ *    benchmark and delay;
+ *  - full-coverage splitter conservation over generated programs;
+ *  - Ball-Larus bijectivity and chord equivalence over every
+ *    procedure of randomly generated programs;
+ *  - tier-builder exactness over a parameter grid;
+ *  - machine determinism and trace-replay equivalence over seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "metrics/evaluation.hh"
+#include "paths/ball_larus.hh"
+#include "paths/registry.hh"
+#include "paths/splitter.hh"
+#include "predict/net_predictor.hh"
+#include "predict/path_profile_predictor.hh"
+#include "progen/generator.hh"
+#include "sim/machine.hh"
+#include "sim/trace_log.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+// Flow conservation ---------------------------------------------------
+
+struct ConservationCase
+{
+    const char *benchmark;
+    const char *scheme;
+    std::uint64_t delay;
+};
+
+class FlowConservationProperty
+    : public ::testing::TestWithParam<ConservationCase>
+{
+};
+
+TEST_P(FlowConservationProperty, ProfiledPlusCapturedEqualsTotal)
+{
+    const ConservationCase &param = GetParam();
+    WorkloadConfig config;
+    config.flowScale = 1e-4;
+    CalibratedWorkload workload(specTarget(param.benchmark), config);
+    const std::vector<PathEvent> stream = workload.materializeStream();
+
+    std::unique_ptr<HotPathPredictor> predictor;
+    if (std::string(param.scheme) == "net")
+        predictor = std::make_unique<NetPredictor>(param.delay);
+    else
+        predictor =
+            std::make_unique<PathProfilePredictor>(param.delay);
+
+    const EvalResult result = evaluatePredictor(stream, *predictor);
+
+    // The three flow buckets partition the total exactly.
+    EXPECT_EQ(result.profiledFlow + result.hits + result.noise,
+              result.totalFlow);
+    // Prediction-set counts are consistent.
+    EXPECT_EQ(result.predictedHotPaths + result.predictedColdPaths,
+              result.predictedPaths);
+    EXPECT_LE(result.predictedHotPaths, result.hotPaths);
+    // Rates live in sane ranges.
+    EXPECT_GE(result.hitRatePercent(), 0.0);
+    EXPECT_LE(result.hitRatePercent(), 100.0 + 1e-9);
+    EXPECT_GE(result.profiledFlowPercent(), 0.0);
+    EXPECT_LE(result.profiledFlowPercent(), 100.0 + 1e-9);
+    // Hits can never exceed the hot flow; MOC accounts the rest.
+    EXPECT_LE(result.hits + result.missedOpportunity,
+              result.hotFlow +
+                  result.missedOpportunity); // hits <= hotFlow
+    EXPECT_LE(result.hits, result.hotFlow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndDelays, FlowConservationProperty,
+    ::testing::Values(
+        ConservationCase{"compress", "net", 10},
+        ConservationCase{"compress", "net", 1000},
+        ConservationCase{"compress", "path-profile", 10},
+        ConservationCase{"compress", "path-profile", 1000},
+        ConservationCase{"deltablue", "net", 50},
+        ConservationCase{"deltablue", "path-profile", 50},
+        ConservationCase{"perl", "net", 100},
+        ConservationCase{"perl", "path-profile", 100},
+        ConservationCase{"go", "net", 50},
+        ConservationCase{"go", "path-profile", 50}),
+    [](const auto &info) {
+        return std::string(info.param.benchmark) + "_" +
+               (info.param.scheme[0] == 'n' ? "net" : "pp") + "_" +
+               std::to_string(info.param.delay);
+    });
+
+// Splitter conservation over generated programs ------------------------
+
+class SplitterConservationProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SplitterConservationProperty, FullCoverageAttributesAllBlocks)
+{
+    ProgenConfig config;
+    config.seed = GetParam();
+    SyntheticProgram synth(config);
+
+    struct Counter : PathSink
+    {
+        void
+        onPath(const PathRecord &record) override
+        {
+            blocks += record.blocks.size();
+            instructions += record.instructions;
+            ++paths;
+        }
+
+        std::uint64_t blocks = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t paths = 0;
+    } counter;
+
+    SplitterConfig scfg;
+    scfg.fullCoverage = true;
+    PathSplitter splitter(counter, scfg);
+    Machine machine(synth.program(), synth.behavior(), {.seed = 5});
+    machine.addListener(&splitter);
+    machine.run(60000);
+    splitter.flush();
+
+    EXPECT_EQ(counter.blocks, machine.blocksExecuted());
+    EXPECT_EQ(counter.instructions, machine.instructionsExecuted());
+    EXPECT_EQ(splitter.unattributedBlocks(), 0u);
+    EXPECT_GT(counter.paths, 0u);
+}
+
+TEST_P(SplitterConservationProperty, StrictModeRecordsAreWellFormed)
+{
+    ProgenConfig config;
+    config.seed = GetParam();
+    SyntheticProgram synth(config);
+
+    struct Checker : PathSink
+    {
+        explicit Checker(const Program &prog) : prog(prog) {}
+
+        void
+        onPath(const PathRecord &record) override
+        {
+            ASSERT_FALSE(record.blocks.empty());
+            EXPECT_EQ(record.blocks.front(), record.head);
+            EXPECT_FALSE(record.syntheticHead);
+            // Instruction total matches the block metadata.
+            std::uint32_t instrs = 0;
+            for (BlockId block : record.blocks)
+                instrs += prog.block(block).instrCount;
+            EXPECT_EQ(instrs, record.instructions);
+            // The signature's root is the head's address.
+            EXPECT_EQ(record.signature.start(),
+                      prog.block(record.head).addr);
+        }
+
+        const Program &prog;
+    } checker(synth.program());
+
+    PathSplitter splitter(checker);
+    Machine machine(synth.program(), synth.behavior(), {.seed = 6});
+    machine.addListener(&splitter);
+    machine.run(60000);
+    splitter.flush();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitterConservationProperty,
+                         ::testing::Values(1, 2, 3, 17, 99, 4242));
+
+// Ball-Larus over generated programs ------------------------------------
+
+class BallLarusProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BallLarusProperty, NumberingIsBijectiveOnEveryProcedure)
+{
+    ProgenConfig config;
+    config.seed = GetParam();
+    config.procedures = 2;
+    config.diamondsPerBody = 3;
+    SyntheticProgram synth(config);
+    const Program &prog = synth.program();
+
+    for (ProcId p = 0; p < prog.numProcedures(); ++p) {
+        BallLarusNumbering numbering(prog, p);
+        if (numbering.numPaths() > 5000)
+            continue; // enumeration would dominate the test
+        const auto paths = numbering.enumeratePaths(6000);
+        ASSERT_EQ(paths.size(), numbering.numPaths());
+
+        std::set<std::int64_t> ids;
+        for (const auto &path : paths) {
+            const std::int64_t full = numbering.pathSumFull(path);
+            EXPECT_EQ(full, numbering.pathSumChords(path));
+            EXPECT_GE(full, 0);
+            EXPECT_LT(static_cast<std::uint64_t>(full),
+                      numbering.numPaths());
+            ids.insert(full);
+        }
+        EXPECT_EQ(ids.size(), paths.size());
+        EXPECT_LE(numbering.chordCount(), numbering.edgeCount());
+    }
+}
+
+TEST_P(BallLarusProperty, OnlineProfilerNeverOverflowsItsRange)
+{
+    ProgenConfig config;
+    config.seed = GetParam();
+    config.procedures = 2;
+    SyntheticProgram synth(config);
+
+    BallLarusProfiler profiler(synth.program());
+    Machine machine(synth.program(), synth.behavior(), {.seed = 8});
+    machine.addListener(&profiler);
+    // The profiler itself asserts the register is always a valid
+    // path id; running is the property.
+    machine.run(80000);
+    EXPECT_GT(profiler.pathsCompleted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BallLarusProperty,
+                         ::testing::Values(7, 21, 33, 54, 81));
+
+// Tier builders over a grid ---------------------------------------------
+
+struct TierCase
+{
+    std::size_t n;
+    std::uint64_t sum;
+    std::uint64_t bound; // min for geometric, max for zipf
+};
+
+class TierBuilderProperty : public ::testing::TestWithParam<TierCase>
+{
+};
+
+TEST_P(TierBuilderProperty, GeometricExact)
+{
+    const TierCase &param = GetParam();
+    if (param.sum < param.n * param.bound)
+        GTEST_SKIP() << "infeasible for the geometric tier";
+    const auto tier =
+        buildGeometricTier(param.n, param.sum, param.bound);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < tier.size(); ++i) {
+        EXPECT_GE(tier[i], param.bound);
+        if (i > 0) {
+            EXPECT_LE(tier[i], tier[i - 1]);
+        }
+        total += tier[i];
+    }
+    EXPECT_EQ(total, param.sum);
+}
+
+TEST_P(TierBuilderProperty, ZipfExact)
+{
+    const TierCase &param = GetParam();
+    if (param.sum < param.n || param.sum > param.n * param.bound)
+        GTEST_SKIP() << "infeasible for the zipf tier";
+    const auto tier = buildZipfTier(param.n, param.sum, param.bound);
+    std::uint64_t total = 0;
+    for (std::uint64_t f : tier) {
+        EXPECT_GE(f, 1u);
+        EXPECT_LE(f, param.bound);
+        total += f;
+    }
+    EXPECT_EQ(total, param.sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TierBuilderProperty,
+    ::testing::Values(TierCase{1, 1, 1}, TierCase{1, 100000, 3},
+                      TierCase{10, 1000, 7}, TierCase{10, 70, 7},
+                      TierCase{100, 10000, 50},
+                      TierCase{1000, 2000, 900},
+                      TierCase{5000, 123456, 20},
+                      TierCase{137, 475000, 2191}));
+
+// Machine determinism and replay equivalence -----------------------------
+
+class MachineProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MachineProperty, RecordedTraceReplaysIdentically)
+{
+    ProgenConfig config;
+    config.seed = GetParam() * 31 + 7;
+    SyntheticProgram synth(config);
+
+    TraceLog log;
+    Machine machine(synth.program(), synth.behavior(),
+                    {.seed = GetParam()});
+    machine.addListener(&log);
+    machine.run(30000);
+
+    // Replaying the log through a splitter+registry and running the
+    // live pipeline again with the same seed must agree event for
+    // event.
+    auto run_pipeline = [&](bool live) {
+        PathRegistry registry;
+        struct Buffer : PathEventSink
+        {
+            void
+            onPathEvent(const PathEvent &event, std::uint64_t) override
+            {
+                events.push_back(event.path);
+            }
+
+            std::vector<PathIndex> events;
+        } buffer;
+        PathEventAdapter adapter(registry, buffer);
+        PathSplitter splitter(adapter);
+        if (live) {
+            Machine again(synth.program(), synth.behavior(),
+                          {.seed = GetParam()});
+            again.addListener(&splitter);
+            again.run(30000);
+        } else {
+            log.replay(synth.program(), {&splitter});
+        }
+        splitter.flush();
+        return buffer.events;
+    };
+
+    EXPECT_EQ(run_pipeline(true), run_pipeline(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineProperty,
+                         ::testing::Values(1, 9, 1234));
+
+// Workload stream properties over benchmarks -----------------------------
+
+class WorkloadStreamProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadStreamProperty, HitRateIsMonotoneInDelay)
+{
+    WorkloadConfig config;
+    config.flowScale = 1e-4;
+    CalibratedWorkload workload(specTarget(GetParam()), config);
+    const std::vector<PathEvent> stream = workload.materializeStream();
+
+    double previous = 101.0;
+    for (std::uint64_t delay : {10ull, 100ull, 1000ull, 10000ull}) {
+        PathProfilePredictor predictor(delay);
+        const EvalResult result =
+            evaluatePredictor(stream, predictor);
+        EXPECT_LE(result.hitRatePercent(), previous + 1e-9)
+            << "delay " << delay;
+        previous = result.hitRatePercent();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, WorkloadStreamProperty,
+    ::testing::Values("compress", "li", "perl", "go"),
+    [](const auto &info) { return std::string(info.param); });

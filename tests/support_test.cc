@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the support layer: RNG determinism and statistical
+ * sanity, alias sampling, Zipf weights, running stats, histograms and
+ * table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace hotpath;
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic)
+{
+    SplitMix64 a(12345);
+    SplitMix64 b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversAllResidues)
+{
+    Rng rng(11);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.nextBounded(8)];
+    EXPECT_EQ(seen.size(), 8u);
+    for (const auto &[value, count] : seen)
+        EXPECT_GT(count, 1000); // roughly uniform, ~1250 expected
+}
+
+TEST(RngTest, RangeIsInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::int64_t v = rng.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.nextDouble();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability)
+{
+    Rng rng(9);
+    int heads = 0;
+    for (int i = 0; i < 100000; ++i)
+        heads += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentButDeterministic)
+{
+    Rng a(1);
+    Rng b(1);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+    EXPECT_NE(fa.next(), a.next());
+}
+
+TEST(AliasSamplerTest, SingleOutcome)
+{
+    AliasSampler sampler({5.0});
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, NormalizesWeights)
+{
+    AliasSampler sampler({2.0, 6.0});
+    EXPECT_NEAR(sampler.probabilityOf(0), 0.25, 1e-12);
+    EXPECT_NEAR(sampler.probabilityOf(1), 0.75, 1e-12);
+}
+
+TEST(AliasSamplerTest, EmpiricalMatchesWeights)
+{
+    const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+    AliasSampler sampler(weights);
+    Rng rng(1234);
+    std::vector<int> counts(4, 0);
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[sampler.sample(rng)];
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(counts[i] / static_cast<double>(draws),
+                    weights[i] / 10.0, 0.01);
+    }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled)
+{
+    AliasSampler sampler({1.0, 0.0, 1.0});
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(ZipfWeightsTest, MonotoneDecreasing)
+{
+    const std::vector<double> w = zipfWeights(10, 1.1);
+    ASSERT_EQ(w.size(), 10u);
+    for (std::size_t i = 1; i < w.size(); ++i)
+        EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(ZipfWeightsTest, SkewZeroIsUniform)
+{
+    const std::vector<double> w = zipfWeights(5, 0.0);
+    for (double v : w)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample)
+{
+    RunningStat stat;
+    stat.add(3.5);
+    EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(-1.0);
+    hist.add(0.0);
+    hist.add(5.5);
+    hist.add(9.999);
+    hist.add(10.0);
+    hist.add(42.0);
+    EXPECT_EQ(hist.count(), 6u);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(5), 1u);
+    EXPECT_EQ(hist.bucketCount(9), 1u);
+}
+
+TEST(HistogramTest, QuantileOfUniformFill)
+{
+    Histogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        hist.add(i + 0.5);
+    EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(hist.quantile(0.1), 10.0, 1.5);
+}
+
+TEST(TableTest, FormatsAlignedColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "count"});
+    table.beginRow();
+    table.addCell(std::string("alpha"));
+    table.addCell(std::uint64_t{12345});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12,345"), std::string::npos);
+    EXPECT_NE(out.find("| name"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    table.beginRow();
+    table.addCell(1.5, 1);
+    table.addPercentCell(99.61, 1);
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1.5,99.6%\n");
+}
+
+TEST(FormattingTest, Commas)
+{
+    EXPECT_EQ(formatWithCommas(0), "0");
+    EXPECT_EQ(formatWithCommas(999), "999");
+    EXPECT_EQ(formatWithCommas(1000), "1,000");
+    EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+    EXPECT_EQ(formatWithCommas(62125), "62,125");
+}
+
+TEST(FormattingTest, DoublesAndPercents)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(97.5, 1), "97.5%");
+}

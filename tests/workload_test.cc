@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the calibrated workload synthesis: the integer tier
+ * builders (exact sums, bound preservation), per-benchmark target
+ * reproduction (Table 1 and Table 2 statistics), and stream
+ * materialization (exact frequencies, burstiness, determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "metrics/oracle.hh"
+#include "workload/spec_profile.hh"
+#include "workload/stream_io.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+WorkloadConfig
+smallConfig()
+{
+    WorkloadConfig config;
+    config.flowScale = 1e-4; // keep unit tests fast
+    return config;
+}
+
+} // namespace
+
+TEST(TierBuilderTest, GeometricExactSumAndFloor)
+{
+    const auto tier = buildGeometricTier(10, 5000, 50);
+    ASSERT_EQ(tier.size(), 10u);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < tier.size(); ++i) {
+        EXPECT_GE(tier[i], 50u);
+        if (i > 0) {
+            EXPECT_LE(tier[i], tier[i - 1]); // descending
+        }
+        sum += tier[i];
+    }
+    EXPECT_EQ(sum, 5000u);
+}
+
+TEST(TierBuilderTest, GeometricDegenerateAllAtFloor)
+{
+    const auto tier = buildGeometricTier(4, 40, 10);
+    EXPECT_EQ(tier, (std::vector<std::uint64_t>{10, 10, 10, 10}));
+}
+
+TEST(TierBuilderTest, GeometricSingleElement)
+{
+    const auto tier = buildGeometricTier(1, 12345, 10);
+    EXPECT_EQ(tier, (std::vector<std::uint64_t>{12345}));
+}
+
+TEST(TierBuilderTest, GeometricEmptyTier)
+{
+    EXPECT_TRUE(buildGeometricTier(0, 0, 1).empty());
+}
+
+TEST(TierBuilderDeathTest, GeometricInfeasibleSum)
+{
+    EXPECT_DEATH(buildGeometricTier(10, 50, 10), "infeasible");
+}
+
+TEST(TierBuilderTest, ZipfExactSumAndCap)
+{
+    const auto tier = buildZipfTier(100, 5000, 200);
+    ASSERT_EQ(tier.size(), 100u);
+    std::uint64_t sum = 0;
+    for (std::uint64_t f : tier) {
+        EXPECT_GE(f, 1u);
+        EXPECT_LE(f, 200u);
+        sum += f;
+    }
+    EXPECT_EQ(sum, 5000u);
+    // Skewed: the first rank gets far more than the last.
+    EXPECT_GT(tier.front(), tier.back() * 5);
+}
+
+TEST(TierBuilderTest, ZipfAllOnes)
+{
+    const auto tier = buildZipfTier(7, 7, 100);
+    EXPECT_EQ(tier, std::vector<std::uint64_t>(7, 1));
+}
+
+TEST(TierBuilderTest, ZipfTightCap)
+{
+    // sum == n * cap: every element must be at the cap.
+    const auto tier = buildZipfTier(5, 50, 10);
+    EXPECT_EQ(tier, std::vector<std::uint64_t>(5, 10));
+}
+
+TEST(TierBuilderDeathTest, ZipfInfeasible)
+{
+    EXPECT_DEATH(buildZipfTier(5, 4, 10), "infeasible");
+    EXPECT_DEATH(buildZipfTier(5, 51, 10), "infeasible");
+}
+
+TEST(SpecProfileTest, AllNineBenchmarksPresent)
+{
+    EXPECT_EQ(specTargets().size(), 9u);
+    EXPECT_EQ(specTarget("compress").paths, 230u);
+    EXPECT_EQ(specTarget("gcc").heads, 8873u);
+    EXPECT_EQ(specTarget("ijpeg").paths, 62125u);
+    EXPECT_DOUBLE_EQ(specTarget("deltablue").hotFlowPercent, 93.9);
+    EXPECT_TRUE(specTarget("go").dynamoBailsOut);
+    EXPECT_FALSE(specTarget("perl").dynamoBailsOut);
+}
+
+TEST(SpecProfileDeathTest, UnknownBenchmark)
+{
+    EXPECT_DEATH(specTarget("nonesuch"), "unknown benchmark");
+}
+
+class CalibratedWorkloadTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CalibratedWorkloadTest, ReproducesTable1And2Statistics)
+{
+    const SpecTarget &target = specTarget(GetParam());
+    CalibratedWorkload workload(target, smallConfig());
+
+    // Structural counts match the published tables exactly.
+    EXPECT_EQ(workload.numPaths(), target.paths);
+    EXPECT_EQ(workload.numHeads(), target.heads);
+    EXPECT_EQ(workload.numHotPaths(), target.hotPaths);
+
+    // Every head index in [0, heads) is used by some path.
+    std::unordered_set<HeadIndex> used;
+    for (PathIndex p = 0; p < workload.numPaths(); ++p)
+        used.insert(workload.headOf(p));
+    EXPECT_EQ(used.size(), target.heads);
+
+    // Tier construction: hot paths strictly above the threshold,
+    // cold paths at or below it, every path executes.
+    const std::uint64_t h = workload.hotThreshold();
+    std::uint64_t total = 0;
+    for (PathIndex p = 0; p < workload.numPaths(); ++p) {
+        const std::uint64_t f = workload.frequency(p);
+        EXPECT_GE(f, 1u);
+        if (p < workload.numHotPaths())
+            EXPECT_GT(f, h);
+        else
+            EXPECT_LE(f, h);
+        total += f;
+    }
+    EXPECT_EQ(total, workload.totalFlow());
+
+    // Hot flow share matches the paper within rounding.
+    const double hot_pct = 100.0 *
+                           static_cast<double>(workload.hotFlow()) /
+                           static_cast<double>(workload.totalFlow());
+    EXPECT_NEAR(hot_pct, target.hotFlowPercent, 0.05);
+}
+
+TEST_P(CalibratedWorkloadTest, StreamHasExactFrequencies)
+{
+    const SpecTarget &target = specTarget(GetParam());
+    CalibratedWorkload workload(target, smallConfig());
+
+    OracleProfile oracle;
+    std::uint64_t time = 0;
+    workload.generateStream(
+        0, [&](const PathEvent &event, std::uint64_t) {
+            oracle.onPathEvent(event, time++);
+        });
+
+    EXPECT_EQ(oracle.totalFlow(), workload.totalFlow());
+    EXPECT_EQ(oracle.numPaths(), workload.numPaths());
+    for (PathIndex p = 0; p < workload.numPaths(); ++p)
+        ASSERT_EQ(oracle.frequency(p), workload.frequency(p))
+            << "path " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CalibratedWorkloadTest,
+    ::testing::Values("compress", "gcc", "go", "ijpeg", "li",
+                      "m88ksim", "perl", "vortex", "deltablue"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(CalibratedWorkloadTest2, MaterializedEqualsGenerated)
+{
+    CalibratedWorkload workload(specTarget("deltablue"),
+                                smallConfig());
+    const std::vector<PathEvent> stream = workload.materializeStream(3);
+
+    std::vector<PathEvent> generated;
+    workload.generateStream(3,
+                            [&](const PathEvent &event, std::uint64_t) {
+                                generated.push_back(event);
+                            });
+    ASSERT_EQ(stream.size(), generated.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(stream[i].path, generated[i].path);
+        EXPECT_EQ(stream[i].head, generated[i].head);
+    }
+}
+
+TEST(CalibratedWorkloadTest2, SaltChangesOrderNotDistribution)
+{
+    CalibratedWorkload workload(specTarget("compress"), smallConfig());
+    const std::vector<PathEvent> a = workload.materializeStream(1);
+    const std::vector<PathEvent> b = workload.materializeStream(2);
+    ASSERT_EQ(a.size(), b.size());
+
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i)
+        differs = a[i].path != b[i].path;
+    EXPECT_TRUE(differs);
+}
+
+TEST(CalibratedWorkloadTest2, StreamIsBursty)
+{
+    WorkloadConfig config = smallConfig();
+    config.meanRunLength = 8.0;
+    CalibratedWorkload workload(specTarget("compress"), config);
+    const std::vector<PathEvent> stream = workload.materializeStream();
+
+    std::uint64_t same = 0;
+    for (std::size_t i = 1; i < stream.size(); ++i)
+        same += stream[i].path == stream[i - 1].path ? 1 : 0;
+    // Mean run 8 => ~7/8 of adjacent pairs share a path (fewer when a
+    // path's remaining budget truncates runs).
+    EXPECT_GT(static_cast<double>(same) /
+                  static_cast<double>(stream.size()),
+              0.6);
+}
+
+TEST(CalibratedWorkloadTest2, EventMetadataIsConsistent)
+{
+    CalibratedWorkload workload(specTarget("perl"), smallConfig());
+    for (PathIndex p = 0; p < 50; ++p) {
+        const PathEvent event = workload.eventFor(p);
+        EXPECT_EQ(event.path, p);
+        EXPECT_EQ(event.head, workload.headOf(p));
+        EXPECT_GE(event.blocks, 2u);
+        EXPECT_GE(event.instructions, event.blocks);
+        EXPECT_EQ(event.branches, event.blocks);
+    }
+}
+
+TEST(CalibratedWorkloadTest2, AutoRescaleKeepsColdTierFeasible)
+{
+    // ijpeg at 1e-4 scale cannot give all 62k paths one execution;
+    // the workload must rescale its flow upward, not crash.
+    CalibratedWorkload workload(specTarget("ijpeg"), smallConfig());
+    EXPECT_GE(workload.totalFlow(),
+              workload.numPaths() - workload.numHotPaths());
+    EXPECT_EQ(workload.numPaths(), 62125u);
+}
+
+TEST(CalibratedWorkloadDeathTest, NoRescaleMeansInfeasiblePanics)
+{
+    WorkloadConfig config = smallConfig();
+    config.autoRescale = false;
+    EXPECT_DEATH(CalibratedWorkload(specTarget("ijpeg"), config),
+                 "infeasible");
+}
+
+TEST(StreamIoTest, RoundTripPreservesEveryEvent)
+{
+    CalibratedWorkload workload(specTarget("deltablue"),
+                                smallConfig());
+    const std::vector<PathEvent> stream =
+        workload.materializeStream(5);
+
+    std::stringstream buffer;
+    savePathStream(buffer, stream);
+    const std::vector<PathEvent> loaded = loadPathStream(buffer);
+
+    ASSERT_EQ(loaded.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        ASSERT_EQ(loaded[i].path, stream[i].path);
+        ASSERT_EQ(loaded[i].head, stream[i].head);
+        ASSERT_EQ(loaded[i].blocks, stream[i].blocks);
+        ASSERT_EQ(loaded[i].branches, stream[i].branches);
+        ASSERT_EQ(loaded[i].instructions, stream[i].instructions);
+    }
+}
+
+TEST(StreamIoTest, EmptyStreamRoundTrips)
+{
+    std::stringstream buffer;
+    savePathStream(buffer, {});
+    EXPECT_TRUE(loadPathStream(buffer).empty());
+}
+
+TEST(StreamIoDeathTest, RejectsGarbage)
+{
+    std::stringstream buffer;
+    buffer << "this is not a path stream container at all";
+    EXPECT_DEATH(loadPathStream(buffer), "bad path-stream header");
+}
+
+TEST(StreamIoDeathTest, RejectsTruncation)
+{
+    CalibratedWorkload workload(specTarget("compress"),
+                                smallConfig());
+    const std::vector<PathEvent> stream =
+        workload.materializeStream();
+    std::stringstream buffer;
+    savePathStream(buffer, stream);
+    const std::string full = buffer.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_DEATH(loadPathStream(cut), "truncated");
+}

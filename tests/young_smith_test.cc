@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the Young-Smith k-bounded general-path profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hh"
+#include "paths/young_smith.hh"
+#include "sim/machine.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+Program
+makeTightLoop()
+{
+    ProgramBuilder builder;
+    ProcedureBuilder &main = builder.proc("main");
+    main.block("entry", 1).fallthrough("head");
+    main.block("head", 1).cond("a", "b");
+    main.block("a", 1).jump("latch");
+    main.block("b", 1).fallthrough("latch");
+    main.block("latch", 1).cond("head", "exit");
+    main.block("exit", 1).ret();
+    return builder.build();
+}
+
+} // namespace
+
+TEST(YoungSmithTest, PackEdgeIsInjective)
+{
+    EXPECT_NE(YoungSmithProfiler::packEdge(1, 2),
+              YoungSmithProfiler::packEdge(2, 1));
+    EXPECT_EQ(YoungSmithProfiler::packEdge(7, 9),
+              YoungSmithProfiler::packEdge(7, 9));
+}
+
+TEST(YoungSmithTest, WarmupBeforeFirstWindow)
+{
+    YoungSmithProfiler profiler(3);
+
+    TransferEvent event;
+    event.kind = BranchKind::Jump;
+    event.from = 0;
+    event.to = 1;
+    profiler.onTransfer(event);
+    EXPECT_EQ(profiler.updates(), 0u); // one branch < k
+    event.from = 1;
+    event.to = 2;
+    profiler.onTransfer(event);
+    EXPECT_EQ(profiler.updates(), 0u);
+    event.from = 2;
+    event.to = 0;
+    profiler.onTransfer(event);
+    EXPECT_EQ(profiler.updates(), 1u); // window full now
+    EXPECT_EQ(profiler.branchesSeen(), 3u);
+}
+
+TEST(YoungSmithTest, FallthroughsAreNotBranches)
+{
+    YoungSmithProfiler profiler(1);
+    TransferEvent event;
+    event.kind = BranchKind::Fallthrough;
+    profiler.onTransfer(event);
+    EXPECT_EQ(profiler.branchesSeen(), 0u);
+    EXPECT_EQ(profiler.updates(), 0u);
+}
+
+TEST(YoungSmithTest, WindowSlides)
+{
+    YoungSmithProfiler profiler(2);
+    TransferEvent event;
+    event.kind = BranchKind::Jump;
+
+    // Branch sequence: (0,1) (1,2) (2,3).
+    event.from = 0;
+    event.to = 1;
+    profiler.onTransfer(event);
+    event.from = 1;
+    event.to = 2;
+    profiler.onTransfer(event);
+    event.from = 2;
+    event.to = 3;
+    profiler.onTransfer(event);
+
+    using W = YoungSmithProfiler::Window;
+    const W w1 = {YoungSmithProfiler::packEdge(0, 1),
+                  YoungSmithProfiler::packEdge(1, 2)};
+    const W w2 = {YoungSmithProfiler::packEdge(1, 2),
+                  YoungSmithProfiler::packEdge(2, 3)};
+    EXPECT_EQ(profiler.countOf(w1), 1u);
+    EXPECT_EQ(profiler.countOf(w2), 1u);
+    EXPECT_EQ(profiler.countersAllocated(), 2u);
+}
+
+TEST(YoungSmithTest, GeneralPathsIncludeBackwardEdges)
+{
+    const Program prog = makeTightLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 1.0);
+    model.setTakenProbability(findBlock(prog, "latch"), 1.0);
+    model.finalize();
+
+    YoungSmithProfiler profiler(3);
+    Machine machine(prog, model, {.seed = 1});
+    machine.addListener(&profiler);
+    machine.run(3000);
+
+    // Steady state branch cycle: head->a, a->latch, latch->head
+    // (backward). The window containing the backward edge must be one
+    // of the hottest - general paths are not forward-limited.
+    const auto top = profiler.top(3);
+    ASSERT_FALSE(top.empty());
+    const auto back_edge = YoungSmithProfiler::packEdge(
+        findBlock(prog, "latch"), findBlock(prog, "head"));
+    bool backward_in_top = false;
+    for (const auto &[window, count] : top) {
+        for (const auto key : window)
+            backward_in_top |= key == back_edge;
+    }
+    EXPECT_TRUE(backward_in_top);
+}
+
+TEST(YoungSmithTest, CounterSpaceGrowsWithVariety)
+{
+    const Program prog = makeTightLoop();
+    BehaviorModel model(prog);
+    model.setTakenProbability(findBlock(prog, "head"), 0.5);
+    model.setTakenProbability(findBlock(prog, "latch"), 0.97);
+    model.finalize();
+
+    YoungSmithProfiler k3(3);
+    YoungSmithProfiler k6(6);
+    Machine machine(prog, model, {.seed = 2});
+    machine.addListener(&k3);
+    machine.addListener(&k6);
+    machine.run(50000);
+
+    // Longer windows distinguish more contexts: counter space grows
+    // with k (the paper's point about path-profiling space blowup).
+    EXPECT_GT(k6.countersAllocated(), k3.countersAllocated());
+    EXPECT_GT(k3.countersAllocated(), 2u);
+}
+
+TEST(YoungSmithTest, UpdatesOncePerBranchWhenWarm)
+{
+    const Program prog = makeTightLoop();
+    BehaviorModel model(prog);
+    model.finalize();
+
+    YoungSmithProfiler profiler(4);
+    Machine machine(prog, model, {.seed = 3});
+    machine.addListener(&profiler);
+    machine.run(10000);
+
+    EXPECT_EQ(profiler.updates() + (profiler.bound() - 1),
+              profiler.branchesSeen());
+}
+
+TEST(YoungSmithDeathTest, RejectsZeroBound)
+{
+    EXPECT_DEATH(YoungSmithProfiler(0), "k >= 1");
+}
