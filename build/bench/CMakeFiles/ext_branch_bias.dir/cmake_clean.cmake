@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_branch_bias.dir/ext_branch_bias.cpp.o"
+  "CMakeFiles/ext_branch_bias.dir/ext_branch_bias.cpp.o.d"
+  "ext_branch_bias"
+  "ext_branch_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_branch_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_branch_bias.
+# This may be replaced when dependencies are built.

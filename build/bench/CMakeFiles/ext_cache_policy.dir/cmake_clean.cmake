@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_policy.dir/ext_cache_policy.cpp.o"
+  "CMakeFiles/ext_cache_policy.dir/ext_cache_policy.cpp.o.d"
+  "ext_cache_policy"
+  "ext_cache_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cfg_dynamo.dir/ext_cfg_dynamo.cpp.o"
+  "CMakeFiles/ext_cfg_dynamo.dir/ext_cfg_dynamo.cpp.o.d"
+  "ext_cfg_dynamo"
+  "ext_cfg_dynamo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cfg_dynamo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dominance_ablation.dir/ext_dominance_ablation.cpp.o"
+  "CMakeFiles/ext_dominance_ablation.dir/ext_dominance_ablation.cpp.o.d"
+  "ext_dominance_ablation"
+  "ext_dominance_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dominance_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_path_definition.dir/ext_path_definition.cpp.o"
+  "CMakeFiles/ext_path_definition.dir/ext_path_definition.cpp.o.d"
+  "ext_path_definition"
+  "ext_path_definition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_path_definition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

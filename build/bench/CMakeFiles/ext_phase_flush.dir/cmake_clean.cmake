@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_phase_flush.dir/ext_phase_flush.cpp.o"
+  "CMakeFiles/ext_phase_flush.dir/ext_phase_flush.cpp.o.d"
+  "ext_phase_flush"
+  "ext_phase_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_phase_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

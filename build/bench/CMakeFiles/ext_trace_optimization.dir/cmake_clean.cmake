@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_trace_optimization.dir/ext_trace_optimization.cpp.o"
+  "CMakeFiles/ext_trace_optimization.dir/ext_trace_optimization.cpp.o.d"
+  "ext_trace_optimization"
+  "ext_trace_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_trace_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_noise_rate.dir/fig3_noise_rate.cpp.o"
+  "CMakeFiles/fig3_noise_rate.dir/fig3_noise_rate.cpp.o.d"
+  "fig3_noise_rate"
+  "fig3_noise_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_noise_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libhotpath_benchcommon.a"
+  "../lib/libhotpath_benchcommon.pdb"
+  "CMakeFiles/hotpath_benchcommon.dir/common.cpp.o"
+  "CMakeFiles/hotpath_benchcommon.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

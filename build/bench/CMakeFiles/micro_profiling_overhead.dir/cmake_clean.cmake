@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_profiling_overhead.dir/micro_profiling_overhead.cpp.o"
+  "CMakeFiles/micro_profiling_overhead.dir/micro_profiling_overhead.cpp.o.d"
+  "micro_profiling_overhead"
+  "micro_profiling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_profiling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

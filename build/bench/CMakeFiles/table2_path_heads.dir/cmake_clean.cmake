@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_path_heads.dir/table2_path_heads.cpp.o"
+  "CMakeFiles/table2_path_heads.dir/table2_path_heads.cpp.o.d"
+  "table2_path_heads"
+  "table2_path_heads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_path_heads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_speedup.dir/dynamo_speedup.cpp.o"
+  "CMakeFiles/dynamo_speedup.dir/dynamo_speedup.cpp.o.d"
+  "dynamo_speedup"
+  "dynamo_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

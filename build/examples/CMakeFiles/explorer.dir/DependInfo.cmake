@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/explorer.cpp" "examples/CMakeFiles/explorer.dir/explorer.cpp.o" "gcc" "examples/CMakeFiles/explorer.dir/explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynamo/CMakeFiles/hotpath_dynamo.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hotpath_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hotpath_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/hotpath_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/hotpath_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/progen/CMakeFiles/hotpath_progen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/hotpath_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/hotpath_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/hotpath_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotpath_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

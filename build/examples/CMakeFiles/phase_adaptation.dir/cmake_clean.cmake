@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_adaptation.dir/phase_adaptation.cpp.o"
+  "CMakeFiles/phase_adaptation.dir/phase_adaptation.cpp.o.d"
+  "phase_adaptation"
+  "phase_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

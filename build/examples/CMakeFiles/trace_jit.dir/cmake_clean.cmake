@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_jit.dir/trace_jit.cpp.o"
+  "CMakeFiles/trace_jit.dir/trace_jit.cpp.o.d"
+  "trace_jit"
+  "trace_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_cfg.dir/builder.cc.o"
+  "CMakeFiles/hotpath_cfg.dir/builder.cc.o.d"
+  "CMakeFiles/hotpath_cfg.dir/program.cc.o"
+  "CMakeFiles/hotpath_cfg.dir/program.cc.o.d"
+  "libhotpath_cfg.a"
+  "libhotpath_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_dynamo.dir/cfg_engine.cc.o"
+  "CMakeFiles/hotpath_dynamo.dir/cfg_engine.cc.o.d"
+  "CMakeFiles/hotpath_dynamo.dir/flush.cc.o"
+  "CMakeFiles/hotpath_dynamo.dir/flush.cc.o.d"
+  "CMakeFiles/hotpath_dynamo.dir/fragment_cache.cc.o"
+  "CMakeFiles/hotpath_dynamo.dir/fragment_cache.cc.o.d"
+  "CMakeFiles/hotpath_dynamo.dir/system.cc.o"
+  "CMakeFiles/hotpath_dynamo.dir/system.cc.o.d"
+  "libhotpath_dynamo.a"
+  "libhotpath_dynamo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_dynamo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_metrics.dir/evaluation.cc.o"
+  "CMakeFiles/hotpath_metrics.dir/evaluation.cc.o.d"
+  "CMakeFiles/hotpath_metrics.dir/oracle.cc.o"
+  "CMakeFiles/hotpath_metrics.dir/oracle.cc.o.d"
+  "CMakeFiles/hotpath_metrics.dir/sweep.cc.o"
+  "CMakeFiles/hotpath_metrics.dir/sweep.cc.o.d"
+  "libhotpath_metrics.a"
+  "libhotpath_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

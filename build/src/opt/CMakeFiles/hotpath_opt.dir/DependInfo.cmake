@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ir.cc" "src/opt/CMakeFiles/hotpath_opt.dir/ir.cc.o" "gcc" "src/opt/CMakeFiles/hotpath_opt.dir/ir.cc.o.d"
+  "/root/repo/src/opt/ir_gen.cc" "src/opt/CMakeFiles/hotpath_opt.dir/ir_gen.cc.o" "gcc" "src/opt/CMakeFiles/hotpath_opt.dir/ir_gen.cc.o.d"
+  "/root/repo/src/opt/trace_optimizer.cc" "src/opt/CMakeFiles/hotpath_opt.dir/trace_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/hotpath_opt.dir/trace_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/hotpath_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotpath_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

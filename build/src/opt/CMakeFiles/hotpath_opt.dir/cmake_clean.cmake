@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_opt.dir/ir.cc.o"
+  "CMakeFiles/hotpath_opt.dir/ir.cc.o.d"
+  "CMakeFiles/hotpath_opt.dir/ir_gen.cc.o"
+  "CMakeFiles/hotpath_opt.dir/ir_gen.cc.o.d"
+  "CMakeFiles/hotpath_opt.dir/trace_optimizer.cc.o"
+  "CMakeFiles/hotpath_opt.dir/trace_optimizer.cc.o.d"
+  "libhotpath_opt.a"
+  "libhotpath_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paths/ball_larus.cc" "src/paths/CMakeFiles/hotpath_paths.dir/ball_larus.cc.o" "gcc" "src/paths/CMakeFiles/hotpath_paths.dir/ball_larus.cc.o.d"
+  "/root/repo/src/paths/registry.cc" "src/paths/CMakeFiles/hotpath_paths.dir/registry.cc.o" "gcc" "src/paths/CMakeFiles/hotpath_paths.dir/registry.cc.o.d"
+  "/root/repo/src/paths/signature.cc" "src/paths/CMakeFiles/hotpath_paths.dir/signature.cc.o" "gcc" "src/paths/CMakeFiles/hotpath_paths.dir/signature.cc.o.d"
+  "/root/repo/src/paths/splitter.cc" "src/paths/CMakeFiles/hotpath_paths.dir/splitter.cc.o" "gcc" "src/paths/CMakeFiles/hotpath_paths.dir/splitter.cc.o.d"
+  "/root/repo/src/paths/young_smith.cc" "src/paths/CMakeFiles/hotpath_paths.dir/young_smith.cc.o" "gcc" "src/paths/CMakeFiles/hotpath_paths.dir/young_smith.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/hotpath_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotpath_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

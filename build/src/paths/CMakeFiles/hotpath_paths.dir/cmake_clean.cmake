@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_paths.dir/ball_larus.cc.o"
+  "CMakeFiles/hotpath_paths.dir/ball_larus.cc.o.d"
+  "CMakeFiles/hotpath_paths.dir/registry.cc.o"
+  "CMakeFiles/hotpath_paths.dir/registry.cc.o.d"
+  "CMakeFiles/hotpath_paths.dir/signature.cc.o"
+  "CMakeFiles/hotpath_paths.dir/signature.cc.o.d"
+  "CMakeFiles/hotpath_paths.dir/splitter.cc.o"
+  "CMakeFiles/hotpath_paths.dir/splitter.cc.o.d"
+  "CMakeFiles/hotpath_paths.dir/young_smith.cc.o"
+  "CMakeFiles/hotpath_paths.dir/young_smith.cc.o.d"
+  "libhotpath_paths.a"
+  "libhotpath_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

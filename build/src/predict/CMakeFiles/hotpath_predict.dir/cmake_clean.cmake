@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_predict.dir/branch_bias_predictor.cc.o"
+  "CMakeFiles/hotpath_predict.dir/branch_bias_predictor.cc.o.d"
+  "CMakeFiles/hotpath_predict.dir/net_predictor.cc.o"
+  "CMakeFiles/hotpath_predict.dir/net_predictor.cc.o.d"
+  "CMakeFiles/hotpath_predict.dir/net_trace_builder.cc.o"
+  "CMakeFiles/hotpath_predict.dir/net_trace_builder.cc.o.d"
+  "CMakeFiles/hotpath_predict.dir/path_profile_predictor.cc.o"
+  "CMakeFiles/hotpath_predict.dir/path_profile_predictor.cc.o.d"
+  "libhotpath_predict.a"
+  "libhotpath_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/block_profile.cc" "src/profile/CMakeFiles/hotpath_profile.dir/block_profile.cc.o" "gcc" "src/profile/CMakeFiles/hotpath_profile.dir/block_profile.cc.o.d"
+  "/root/repo/src/profile/counter_table.cc" "src/profile/CMakeFiles/hotpath_profile.dir/counter_table.cc.o" "gcc" "src/profile/CMakeFiles/hotpath_profile.dir/counter_table.cc.o.d"
+  "/root/repo/src/profile/edge_profile.cc" "src/profile/CMakeFiles/hotpath_profile.dir/edge_profile.cc.o" "gcc" "src/profile/CMakeFiles/hotpath_profile.dir/edge_profile.cc.o.d"
+  "/root/repo/src/profile/ephemeral_profile.cc" "src/profile/CMakeFiles/hotpath_profile.dir/ephemeral_profile.cc.o" "gcc" "src/profile/CMakeFiles/hotpath_profile.dir/ephemeral_profile.cc.o.d"
+  "/root/repo/src/profile/path_table.cc" "src/profile/CMakeFiles/hotpath_profile.dir/path_table.cc.o" "gcc" "src/profile/CMakeFiles/hotpath_profile.dir/path_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paths/CMakeFiles/hotpath_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/hotpath_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotpath_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotpath_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

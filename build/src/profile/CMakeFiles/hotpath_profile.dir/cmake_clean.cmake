@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_profile.dir/block_profile.cc.o"
+  "CMakeFiles/hotpath_profile.dir/block_profile.cc.o.d"
+  "CMakeFiles/hotpath_profile.dir/counter_table.cc.o"
+  "CMakeFiles/hotpath_profile.dir/counter_table.cc.o.d"
+  "CMakeFiles/hotpath_profile.dir/edge_profile.cc.o"
+  "CMakeFiles/hotpath_profile.dir/edge_profile.cc.o.d"
+  "CMakeFiles/hotpath_profile.dir/ephemeral_profile.cc.o"
+  "CMakeFiles/hotpath_profile.dir/ephemeral_profile.cc.o.d"
+  "CMakeFiles/hotpath_profile.dir/path_table.cc.o"
+  "CMakeFiles/hotpath_profile.dir/path_table.cc.o.d"
+  "libhotpath_profile.a"
+  "libhotpath_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/progen/generator.cc" "src/progen/CMakeFiles/hotpath_progen.dir/generator.cc.o" "gcc" "src/progen/CMakeFiles/hotpath_progen.dir/generator.cc.o.d"
+  "/root/repo/src/progen/presets.cc" "src/progen/CMakeFiles/hotpath_progen.dir/presets.cc.o" "gcc" "src/progen/CMakeFiles/hotpath_progen.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hotpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/hotpath_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotpath_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_progen.dir/generator.cc.o"
+  "CMakeFiles/hotpath_progen.dir/generator.cc.o.d"
+  "CMakeFiles/hotpath_progen.dir/presets.cc.o"
+  "CMakeFiles/hotpath_progen.dir/presets.cc.o.d"
+  "libhotpath_progen.a"
+  "libhotpath_progen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_progen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

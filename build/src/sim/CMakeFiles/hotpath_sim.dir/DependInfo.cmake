@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/behavior.cc" "src/sim/CMakeFiles/hotpath_sim.dir/behavior.cc.o" "gcc" "src/sim/CMakeFiles/hotpath_sim.dir/behavior.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/hotpath_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/hotpath_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/trace_log.cc" "src/sim/CMakeFiles/hotpath_sim.dir/trace_log.cc.o" "gcc" "src/sim/CMakeFiles/hotpath_sim.dir/trace_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/hotpath_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotpath_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_sim.dir/behavior.cc.o"
+  "CMakeFiles/hotpath_sim.dir/behavior.cc.o.d"
+  "CMakeFiles/hotpath_sim.dir/machine.cc.o"
+  "CMakeFiles/hotpath_sim.dir/machine.cc.o.d"
+  "CMakeFiles/hotpath_sim.dir/trace_log.cc.o"
+  "CMakeFiles/hotpath_sim.dir/trace_log.cc.o.d"
+  "libhotpath_sim.a"
+  "libhotpath_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_support.dir/logging.cc.o"
+  "CMakeFiles/hotpath_support.dir/logging.cc.o.d"
+  "CMakeFiles/hotpath_support.dir/random.cc.o"
+  "CMakeFiles/hotpath_support.dir/random.cc.o.d"
+  "CMakeFiles/hotpath_support.dir/stats.cc.o"
+  "CMakeFiles/hotpath_support.dir/stats.cc.o.d"
+  "CMakeFiles/hotpath_support.dir/table.cc.o"
+  "CMakeFiles/hotpath_support.dir/table.cc.o.d"
+  "libhotpath_support.a"
+  "libhotpath_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhotpath_support.a"
+)

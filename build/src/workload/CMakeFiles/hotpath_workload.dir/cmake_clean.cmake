@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_workload.dir/phased.cc.o"
+  "CMakeFiles/hotpath_workload.dir/phased.cc.o.d"
+  "CMakeFiles/hotpath_workload.dir/spec_profile.cc.o"
+  "CMakeFiles/hotpath_workload.dir/spec_profile.cc.o.d"
+  "CMakeFiles/hotpath_workload.dir/stream_io.cc.o"
+  "CMakeFiles/hotpath_workload.dir/stream_io.cc.o.d"
+  "CMakeFiles/hotpath_workload.dir/synthesis.cc.o"
+  "CMakeFiles/hotpath_workload.dir/synthesis.cc.o.d"
+  "libhotpath_workload.a"
+  "libhotpath_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

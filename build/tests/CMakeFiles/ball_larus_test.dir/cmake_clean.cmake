@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ball_larus_test.dir/ball_larus_test.cc.o"
+  "CMakeFiles/ball_larus_test.dir/ball_larus_test.cc.o.d"
+  "ball_larus_test"
+  "ball_larus_test.pdb"
+  "ball_larus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ball_larus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

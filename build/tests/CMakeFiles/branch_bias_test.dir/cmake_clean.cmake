@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_bias_test.dir/branch_bias_test.cc.o"
+  "CMakeFiles/branch_bias_test.dir/branch_bias_test.cc.o.d"
+  "branch_bias_test"
+  "branch_bias_test.pdb"
+  "branch_bias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_bias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_engine_test.dir/cfg_engine_test.cc.o"
+  "CMakeFiles/cfg_engine_test.dir/cfg_engine_test.cc.o.d"
+  "cfg_engine_test"
+  "cfg_engine_test.pdb"
+  "cfg_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

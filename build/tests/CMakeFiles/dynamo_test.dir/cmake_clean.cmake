@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_test.dir/dynamo_test.cc.o"
+  "CMakeFiles/dynamo_test.dir/dynamo_test.cc.o.d"
+  "dynamo_test"
+  "dynamo_test.pdb"
+  "dynamo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ephemeral_test.dir/ephemeral_test.cc.o"
+  "CMakeFiles/ephemeral_test.dir/ephemeral_test.cc.o.d"
+  "ephemeral_test"
+  "ephemeral_test.pdb"
+  "ephemeral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ephemeral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

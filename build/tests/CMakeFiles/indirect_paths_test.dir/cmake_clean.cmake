@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_paths_test.dir/indirect_paths_test.cc.o"
+  "CMakeFiles/indirect_paths_test.dir/indirect_paths_test.cc.o.d"
+  "indirect_paths_test"
+  "indirect_paths_test.pdb"
+  "indirect_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

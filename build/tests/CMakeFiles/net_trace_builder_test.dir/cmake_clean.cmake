@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_trace_builder_test.dir/net_trace_builder_test.cc.o"
+  "CMakeFiles/net_trace_builder_test.dir/net_trace_builder_test.cc.o.d"
+  "net_trace_builder_test"
+  "net_trace_builder_test.pdb"
+  "net_trace_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_trace_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progen_test.dir/progen_test.cc.o"
+  "CMakeFiles/progen_test.dir/progen_test.cc.o.d"
+  "progen_test"
+  "progen_test.pdb"
+  "progen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/young_smith_test.dir/young_smith_test.cc.o"
+  "CMakeFiles/young_smith_test.dir/young_smith_test.cc.o.d"
+  "young_smith_test"
+  "young_smith_test.pdb"
+  "young_smith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/young_smith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

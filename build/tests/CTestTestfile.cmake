@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/splitter_test[1]_include.cmake")
+include("/root/repo/build/tests/signature_test[1]_include.cmake")
+include("/root/repo/build/tests/ball_larus_test[1]_include.cmake")
+include("/root/repo/build/tests/young_smith_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/predict_test[1]_include.cmake")
+include("/root/repo/build/tests/net_trace_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/phased_test[1]_include.cmake")
+include("/root/repo/build/tests/progen_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamo_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/branch_bias_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/ephemeral_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/indirect_paths_test[1]_include.cmake")
