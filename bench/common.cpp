@@ -1,14 +1,55 @@
 #include "common.hh"
 
+#include <cstring>
+
 #include "metrics/evaluation.hh"
 #include "predict/net_predictor.hh"
 #include "predict/path_profile_predictor.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "telemetry/run_report.hh"
 
 namespace hotpath::bench
 {
+
+namespace
+{
+
+/** Value of `--<name>=<value>` in argv, or "" when absent. */
+std::string
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::string(argv[i] + prefix.size());
+    }
+    return "";
+}
+
+} // namespace
+
+TelemetryScope::TelemetryScope(int argc, char **argv,
+                               std::string report_title)
+    : title(std::move(report_title))
+{
+    reportPath = flagValue(argc, argv, "telemetry-out");
+    const std::string trace_path =
+        flagValue(argc, argv, "telemetry-trace");
+    if (reportPath.empty() && trace_path.empty())
+        return;
+    session =
+        std::make_unique<telemetry::TelemetrySession>(trace_path);
+}
+
+TelemetryScope::~TelemetryScope()
+{
+    if (!session || reportPath.empty())
+        return;
+    telemetry::RunReport::capture(session->registry(), title)
+        .writeFile(reportPath);
+}
 
 std::vector<BenchmarkSweep>
 runFigureSweeps(const SweepSetup &setup)

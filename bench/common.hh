@@ -8,15 +8,50 @@
 #ifndef HOTPATH_BENCH_COMMON_HH
 #define HOTPATH_BENCH_COMMON_HH
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "metrics/sweep.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/synthesis.hh"
 
 namespace hotpath::bench
 {
+
+/**
+ * Command-line telemetry for the bench binaries. Construct first
+ * thing in main(), before any instrumented component, with the raw
+ * argc/argv. Recognized flags:
+ *
+ *   --telemetry-out=<path>    write a machine-readable RunReport at
+ *                             scope exit (JSON; CSV when the path
+ *                             ends in .csv)
+ *   --telemetry-trace=<path>  additionally stream structured trace
+ *                             events (JSONL) as the run executes
+ *
+ * Without either flag, no registry is attached and the run pays
+ * nothing. Other arguments are ignored, so the flags compose with
+ * each bench's own options.
+ */
+class TelemetryScope
+{
+  public:
+    TelemetryScope(int argc, char **argv, std::string report_title);
+    ~TelemetryScope();
+
+    TelemetryScope(const TelemetryScope &) = delete;
+    TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+    /** True when a telemetry flag was present. */
+    bool enabled() const { return session != nullptr; }
+
+  private:
+    std::string title;
+    std::string reportPath;
+    std::unique_ptr<telemetry::TelemetrySession> session;
+};
 
 /** Both schemes swept over one benchmark's stream. */
 struct BenchmarkSweep

@@ -25,6 +25,10 @@ using namespace hotpath::bench;
 int
 main(int argc, char **argv)
 {
+    // --telemetry-out=<path>: machine-readable run report (counter
+    // table probes/occupancy, predictions) alongside the figure.
+    TelemetryScope telemetry(argc, argv, "fig2_hit_rate");
+
     // --csv: dump the raw curve rows for replotting and exit.
     if (argc > 1 && std::string(argv[1]) == "--csv") {
         SweepSetup setup;

@@ -59,6 +59,10 @@ profiledFlowForNoiseBelow(const std::vector<SweepPoint> &points,
 int
 main(int argc, char **argv)
 {
+    // --telemetry-out=<path>: machine-readable run report alongside
+    // the figure.
+    TelemetryScope telemetry(argc, argv, "fig3_noise_rate");
+
     // --csv: dump the raw curve rows for replotting and exit.
     if (argc > 1 && std::string(argv[1]) == "--csv") {
         SweepSetup setup;

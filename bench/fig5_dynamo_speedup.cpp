@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common.hh"
 #include "dynamo/system.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -47,8 +48,12 @@ const Column kColumns[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --telemetry-out=<path> captures the run's counters/histograms
+    // (cache hits/misses, predictions, fragment sizes) as a report.
+    bench::TelemetryScope telemetry(argc, argv, "fig5_dynamo_speedup");
+
     std::cout << "Figure 5: Dynamo speedup over native execution "
                  "(non-bail-out benchmarks; flow at 1/25 scale)\n\n";
 

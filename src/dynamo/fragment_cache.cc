@@ -1,6 +1,7 @@
 #include "dynamo/fragment_cache.hh"
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hotpath
 {
@@ -9,6 +10,13 @@ FragmentCache::FragmentCache(std::uint64_t capacity_instructions,
                              EvictionPolicy policy)
     : capacity(capacity_instructions), evictionPolicy(policy)
 {
+    tmHits = telemetry::counter("dynamo.cache.hits");
+    tmMisses = telemetry::counter("dynamo.cache.misses");
+    tmInserts = telemetry::counter("dynamo.cache.inserts");
+    tmFlushes = telemetry::counter("dynamo.cache.flushes");
+    tmEvictions = telemetry::counter("dynamo.cache.evictions");
+    tmFragmentSize =
+        telemetry::histogram("dynamo.fragment.instructions");
 }
 
 void
@@ -22,9 +30,16 @@ FragmentCache::evictFor(std::uint32_t needed)
             if (it->second.lastUse < victim->second.lastUse)
                 victim = it;
         }
+        telemetry::emit(
+            telemetry::TraceEventKind::FragmentEvict, "dynamo",
+            {{"path", victim->second.path},
+             {"instructions", victim->second.instructions},
+             {"executions", victim->second.executions}});
         occupancy -= victim->second.instructions;
         fragments.erase(victim);
         ++evictionCount;
+        if (tmEvictions)
+            tmEvictions->add(1);
     }
 }
 
@@ -51,6 +66,15 @@ FragmentCache::insert(PathIndex path, std::uint32_t instructions)
     HOTPATH_ASSERT(inserted, "fragment already cached for this path");
     occupancy += instructions;
     ++formed;
+    if (tmInserts)
+        tmInserts->add(1);
+    if (tmFragmentSize)
+        tmFragmentSize->record(instructions);
+    telemetry::emit(telemetry::TraceEventKind::FragmentInsert,
+                    "dynamo",
+                    {{"path", path},
+                     {"instructions", instructions},
+                     {"occupancy", occupancy}});
     return flushed;
 }
 
@@ -58,8 +82,13 @@ Fragment *
 FragmentCache::find(PathIndex path)
 {
     const auto it = fragments.find(path);
-    if (it == fragments.end())
+    if (it == fragments.end()) {
+        if (tmMisses)
+            tmMisses->add(1);
         return nullptr;
+    }
+    if (tmHits)
+        tmHits->add(1);
     it->second.lastUse = ++clock;
     return &it->second;
 }
@@ -67,9 +96,14 @@ FragmentCache::find(PathIndex path)
 void
 FragmentCache::flushAll()
 {
+    telemetry::emit(telemetry::TraceEventKind::CacheFlush, "dynamo",
+                    {{"fragments", fragments.size()},
+                     {"occupancy", occupancy}});
     fragments.clear();
     occupancy = 0;
     ++flushCount;
+    if (tmFlushes)
+        tmFlushes->add(1);
 }
 
 } // namespace hotpath

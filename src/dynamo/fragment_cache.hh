@@ -26,6 +26,12 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+class Histogram;
+} // namespace telemetry
+
 /** One cached fragment. */
 struct Fragment
 {
@@ -93,6 +99,14 @@ class FragmentCache
     std::uint64_t flushCount = 0;
     std::uint64_t evictionCount = 0;
     std::uint64_t clock = 0;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmHits = nullptr;
+    telemetry::Counter *tmMisses = nullptr;
+    telemetry::Counter *tmInserts = nullptr;
+    telemetry::Counter *tmFlushes = nullptr;
+    telemetry::Counter *tmEvictions = nullptr;
+    telemetry::Histogram *tmFragmentSize = nullptr;
 };
 
 } // namespace hotpath

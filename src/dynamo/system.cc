@@ -1,8 +1,11 @@
 #include "dynamo/system.hh"
 
+#include <cmath>
+
 #include "predict/net_predictor.hh"
 #include "predict/path_profile_predictor.hh"
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hotpath
 {
@@ -23,12 +26,29 @@ DynamoSystem::DynamoSystem(DynamoConfig config)
     }
     stats.scheme = scheme->name();
     stats.predictionDelay = cfg.predictionDelay;
+
+    tmEvents = telemetry::counter("dynamo.events");
+    tmInterpreted = telemetry::counter("dynamo.interpreted_events");
+    tmCached = telemetry::counter("dynamo.cached_events");
+    tmNative = telemetry::counter("dynamo.native_events");
+    tmBailouts = telemetry::counter("dynamo.bailouts");
+    tmPhaseFlushes = telemetry::counter("dynamo.phase_flushes");
+    tmCycles.native = telemetry::gauge("dynamo.cycles.native");
+    tmCycles.interpret = telemetry::gauge("dynamo.cycles.interpret");
+    tmCycles.profiling = telemetry::gauge("dynamo.cycles.profiling");
+    tmCycles.formation = telemetry::gauge("dynamo.cycles.formation");
+    tmCycles.cached = telemetry::gauge("dynamo.cycles.cached");
+    tmCycles.dispatch = telemetry::gauge("dynamo.cycles.dispatch");
+    tmCycles.flush = telemetry::gauge("dynamo.cycles.flush");
+    tmCycles.postBail = telemetry::gauge("dynamo.cycles.post_bail");
 }
 
 void
 DynamoSystem::runCached(const PathEvent &event, Fragment &fragment)
 {
     ++stats.cachedEvents;
+    if (tmCached)
+        tmCached->add(1);
     ++fragment.executions;
     const DynamoCostConfig &costs = cfg.costs;
     stats.cachedCycles += event.instructions * costs.cachedPerInstr;
@@ -51,6 +71,8 @@ bool
 DynamoSystem::runInterpreted(const PathEvent &event)
 {
     ++stats.interpretedEvents;
+    if (tmInterpreted)
+        tmInterpreted->add(1);
     const DynamoCostConfig &costs = cfg.costs;
     stats.interpretCycles +=
         event.instructions * costs.interpretPerInstr;
@@ -89,6 +111,8 @@ DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
 {
     (void)time;
     ++stats.events;
+    if (tmEvents)
+        tmEvents->add(1);
     stats.instructions += event.instructions;
     stats.nativeCycles += event.instructions * cfg.costs.nativePerInstr;
 
@@ -96,6 +120,8 @@ DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
         // Dynamo gave up and handed control back to the native
         // binary: no further overhead, no further benefit.
         ++stats.nativeEvents;
+        if (tmNative)
+            tmNative->add(1);
         stats.postBailCycles +=
             event.instructions * cfg.costs.nativePerInstr;
         return;
@@ -116,8 +142,16 @@ DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
         const double interpreted_fraction =
             static_cast<double>(stats.interpretedEvents) /
             static_cast<double>(stats.events);
-        if (interpreted_fraction > cfg.bailMaxInterpretedFraction)
+        if (interpreted_fraction > cfg.bailMaxInterpretedFraction) {
             stats.bailedOut = true;
+            if (tmBailouts)
+                tmBailouts->add(1);
+            telemetry::emit(
+                telemetry::TraceEventKind::BailOut, "dynamo",
+                {{"events", stats.events},
+                 {"interpreted", stats.interpretedEvents}},
+                stats.scheme);
+        }
     }
 
     // The phase monitor watches the prediction rate over wall-clock
@@ -125,6 +159,13 @@ DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
     // predictions signals a phase change and flushes the cache.
     if (cfg.enableFlush && !stats.bailedOut) {
         if (monitor.onEvent(predicted)) {
+            if (tmPhaseFlushes)
+                tmPhaseFlushes->add(1);
+            telemetry::emit(
+                telemetry::TraceEventKind::PhaseChange, "dynamo",
+                {{"events", stats.events},
+                 {"fragments", fragments.size()}},
+                stats.scheme);
             fragments.flushAll();
             scheme->reset();
             monitor.settle();
@@ -140,6 +181,21 @@ DynamoSystem::report() const
     out.fragmentsFormed = fragments.fragmentsFormed();
     out.cacheFlushes = fragments.flushes();
     out.cacheEvictions = fragments.evictions();
+
+    // Publish the cycle breakdown. Gauges hold the latest report()ed
+    // values, rounded to whole cycles.
+    const auto publish = [](telemetry::Gauge *gauge, double cycles) {
+        if (gauge)
+            gauge->set(std::llround(cycles));
+    };
+    publish(tmCycles.native, out.nativeCycles);
+    publish(tmCycles.interpret, out.interpretCycles);
+    publish(tmCycles.profiling, out.profilingCycles);
+    publish(tmCycles.formation, out.formationCycles);
+    publish(tmCycles.cached, out.cachedCycles);
+    publish(tmCycles.dispatch, out.dispatchCycles);
+    publish(tmCycles.flush, out.flushCycles);
+    publish(tmCycles.postBail, out.postBailCycles);
     return out;
 }
 

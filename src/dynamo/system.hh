@@ -34,6 +34,12 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+class Gauge;
+} // namespace telemetry
+
 /** Which prediction scheme drives the system. */
 enum class PredictionScheme
 {
@@ -143,6 +149,27 @@ class DynamoSystem : public PathEventSink
     FragmentCache fragments;
     PredictionRateMonitor monitor;
     DynamoReport stats;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    // Event counters accumulate across all systems in the process;
+    // the cycle gauges hold the most recently report()ed breakdown.
+    telemetry::Counter *tmEvents = nullptr;
+    telemetry::Counter *tmInterpreted = nullptr;
+    telemetry::Counter *tmCached = nullptr;
+    telemetry::Counter *tmNative = nullptr;
+    telemetry::Counter *tmBailouts = nullptr;
+    telemetry::Counter *tmPhaseFlushes = nullptr;
+    struct CycleGauges
+    {
+        telemetry::Gauge *native = nullptr;
+        telemetry::Gauge *interpret = nullptr;
+        telemetry::Gauge *profiling = nullptr;
+        telemetry::Gauge *formation = nullptr;
+        telemetry::Gauge *cached = nullptr;
+        telemetry::Gauge *dispatch = nullptr;
+        telemetry::Gauge *flush = nullptr;
+        telemetry::Gauge *postBail = nullptr;
+    } tmCycles;
 };
 
 } // namespace hotpath

@@ -1,6 +1,7 @@
 #include "predict/net_predictor.hh"
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hotpath
 {
@@ -9,6 +10,8 @@ NetPredictor::NetPredictor(std::uint64_t delay, bool re_arm)
     : predictionDelay(delay), reArm(re_arm)
 {
     HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+    tmObservations = telemetry::counter("predict.net.observations");
+    tmPredictions = telemetry::counter("predict.net.predictions");
 }
 
 bool
@@ -19,6 +22,8 @@ NetPredictor::observe(const PathEvent &event)
 
     // NET's entire profiling cost: one counter update at the head.
     opCost.counterUpdates += 1;
+    if (tmObservations)
+        tmObservations->add(1);
 
     const std::uint64_t count = counters.increment(keyOf(event.head));
     if (count < predictionDelay)
@@ -33,6 +38,11 @@ NetPredictor::observe(const PathEvent &event)
     } else {
         retired.insert(event.head);
     }
+    if (tmPredictions)
+        tmPredictions->add(1);
+    telemetry::emit(telemetry::TraceEventKind::Prediction,
+                    "predict.net",
+                    {{"head", event.head}, {"path", event.path}});
     return true;
 }
 

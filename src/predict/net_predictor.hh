@@ -31,6 +31,11 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+} // namespace telemetry
+
 /** NET predictor over the PathEvent stream. */
 class NetPredictor : public HotPathPredictor
 {
@@ -67,6 +72,10 @@ class NetPredictor : public HotPathPredictor
     CounterTable counters;
     std::unordered_set<HeadIndex> retired;
     ProfilingCost opCost;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmObservations = nullptr;
+    telemetry::Counter *tmPredictions = nullptr;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "predict/path_profile_predictor.hh"
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hotpath
 {
@@ -9,6 +10,10 @@ PathProfilePredictor::PathProfilePredictor(std::uint64_t delay)
     : predictionDelay(delay)
 {
     HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+    tmObservations =
+        telemetry::counter("predict.path_profile.observations");
+    tmPredictions =
+        telemetry::counter("predict.path_profile.predictions");
 }
 
 bool
@@ -18,9 +23,18 @@ PathProfilePredictor::observe(const PathEvent &event)
     // one table update (lookup + increment) when it completes.
     opCost.historyShifts += event.branches;
     opCost.tableUpdates += 1;
+    if (tmObservations)
+        tmObservations->add(1);
 
     const std::uint64_t count = counters.increment(keyOf(event.path));
-    return count >= predictionDelay;
+    if (count < predictionDelay)
+        return false;
+    if (tmPredictions)
+        tmPredictions->add(1);
+    telemetry::emit(telemetry::TraceEventKind::Prediction,
+                    "predict.path_profile",
+                    {{"head", event.head}, {"path", event.path}});
+    return true;
 }
 
 std::size_t

@@ -19,6 +19,11 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+} // namespace telemetry
+
 /** Predicts a path when its execution count reaches the delay. */
 class PathProfilePredictor : public HotPathPredictor
 {
@@ -44,6 +49,10 @@ class PathProfilePredictor : public HotPathPredictor
     std::uint64_t predictionDelay;
     CounterTable counters;
     ProfilingCost opCost;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmObservations = nullptr;
+    telemetry::Counter *tmPredictions = nullptr;
 };
 
 } // namespace hotpath

@@ -1,6 +1,7 @@
 #include "profile/counter_table.hh"
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hotpath
 {
@@ -30,6 +31,10 @@ roundUpPow2(std::size_t n)
 CounterTable::CounterTable(std::size_t initial_capacity)
     : slots(roundUpPow2(initial_capacity < 8 ? 8 : initial_capacity))
 {
+    tmProbes = telemetry::counter("profile.counter_table.probes");
+    tmInsertions =
+        telemetry::counter("profile.counter_table.insertions");
+    tmOccupancy = telemetry::gauge("profile.counter_table.occupancy");
 }
 
 std::size_t
@@ -47,12 +52,30 @@ CounterTable::grow()
     liveCount = 0;
     for (const Slot &slot : old) {
         if (slot.key != 0 && !slot.dead)
-            increment(slot.key, slot.count);
+            incrementImpl(slot.key, slot.count);
     }
 }
 
 std::uint64_t
 CounterTable::increment(std::uint64_t key, std::uint64_t delta)
+{
+    const std::uint64_t probes_before = probeCount;
+    const std::size_t live_before = liveCount;
+    const std::uint64_t result = incrementImpl(key, delta);
+    if (tmProbes)
+        tmProbes->add(probeCount - probes_before);
+    if (liveCount > live_before) {
+        if (tmInsertions)
+            tmInsertions->add(liveCount - live_before);
+        if (tmOccupancy)
+            tmOccupancy->recordMax(
+                static_cast<std::int64_t>(liveCount));
+    }
+    return result;
+}
+
+std::uint64_t
+CounterTable::incrementImpl(std::uint64_t key, std::uint64_t delta)
 {
     HOTPATH_ASSERT(key != 0, "counter keys must be nonzero");
     if ((usedSlots + 1) * 4 >= slots.size() * 3)
@@ -89,16 +112,23 @@ std::uint64_t
 CounterTable::lookup(std::uint64_t key) const
 {
     HOTPATH_ASSERT(key != 0, "counter keys must be nonzero");
+    const std::uint64_t probes_before = probeCount;
+    std::uint64_t result = 0;
     std::size_t idx = probeIndex(key);
     for (;;) {
         ++probeCount;
         const Slot &slot = slots[idx];
-        if (slot.key == key && !slot.dead)
-            return slot.count;
+        if (slot.key == key && !slot.dead) {
+            result = slot.count;
+            break;
+        }
         if (slot.key == 0)
-            return 0;
+            break;
         idx = (idx + 1) & (slots.size() - 1);
     }
+    if (tmProbes)
+        tmProbes->add(probeCount - probes_before);
+    return result;
 }
 
 void

@@ -18,6 +18,12 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+class Gauge;
+} // namespace telemetry
+
 /** Maps 64-bit keys to 64-bit counters; keys must be nonzero. */
 class CounterTable
 {
@@ -63,11 +69,17 @@ class CounterTable
 
     std::size_t probeIndex(std::uint64_t key) const;
     void grow();
+    std::uint64_t incrementImpl(std::uint64_t key, std::uint64_t delta);
 
     std::vector<Slot> slots;
     std::size_t liveCount = 0;
     std::size_t usedSlots = 0; // live + tombstones
     mutable std::uint64_t probeCount = 0;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmProbes = nullptr;
+    telemetry::Counter *tmInsertions = nullptr;
+    telemetry::Gauge *tmOccupancy = nullptr;
 };
 
 } // namespace hotpath

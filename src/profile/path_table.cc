@@ -1,7 +1,15 @@
 #include "profile/path_table.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace hotpath
 {
+
+BitTracingProfiler::BitTracingProfiler()
+{
+    tmPaths = telemetry::counter("profile.path_table.paths_observed");
+    tmCounters = telemetry::gauge("profile.path_table.counters");
+}
 
 void
 BitTracingProfiler::onPath(const PathRecord &record)
@@ -11,9 +19,14 @@ BitTracingProfiler::onPath(const PathRecord &record)
         entry.signature = record.signature;
         entry.branches = record.branches;
         entry.instructions = record.instructions;
+        if (tmCounters)
+            tmCounters->recordMax(
+                static_cast<std::int64_t>(table.size()));
     }
     ++entry.count;
     ++observed;
+    if (tmPaths)
+        tmPaths->add(1);
 
     // Bit tracing pays one shift per branch while the path executes
     // and one table update when it completes.

@@ -20,6 +20,12 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+class Gauge;
+} // namespace telemetry
+
 /** Per-signature execution statistics. */
 struct PathTableEntry
 {
@@ -33,6 +39,8 @@ struct PathTableEntry
 class BitTracingProfiler : public PathSink
 {
   public:
+    BitTracingProfiler();
+
     void onPath(const PathRecord &record) override;
 
     /** Count for one signature (0 if never seen). */
@@ -60,6 +68,10 @@ class BitTracingProfiler : public PathSink
         table;
     std::uint64_t observed = 0;
     ProfilingCost opCost;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmPaths = nullptr;
+    telemetry::Gauge *tmCounters = nullptr;
 };
 
 } // namespace hotpath

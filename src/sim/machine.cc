@@ -1,6 +1,7 @@
 #include "sim/machine.hh"
 
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hotpath
 {
@@ -11,6 +12,10 @@ Machine::Machine(const Program &program, const BehaviorModel &behavior,
       current(program.procedure(program.entryProcedure()).entry)
 {
     HOTPATH_ASSERT(program.finalized(), "program not finalized");
+    tmBlocks = telemetry::counter("sim.machine.blocks");
+    tmInstructions = telemetry::counter("sim.machine.instructions");
+    tmRuns = telemetry::counter("sim.machine.program_runs");
+    tmCallDepthHwm = telemetry::gauge("sim.machine.call_depth_hwm");
 }
 
 void
@@ -56,6 +61,8 @@ Machine::step(const BasicBlock &block, TransferEvent &event)
         HOTPATH_ASSERT(callStack.size() < cfg.maxCallDepth,
                        "call stack overflow (recursion too deep)");
         callStack.push_back(block.successors[0]);
+        if (callStack.size() > depthHighWater)
+            depthHighWater = callStack.size();
         next = prog.procedure(block.callee).entry;
         event.taken = true;
         break;
@@ -89,6 +96,12 @@ Machine::step(const BasicBlock &block, TransferEvent &event)
 std::uint64_t
 Machine::run(std::uint64_t max_blocks)
 {
+    telemetry::emit(telemetry::TraceEventKind::RunStart, "sim",
+                    {{"max_blocks", max_blocks},
+                     {"at_block", blockCount}});
+    const std::uint64_t instr_before = instrCount;
+    const std::uint64_t runs_before = runCount;
+
     std::uint64_t executed = 0;
     while (executed < max_blocks && !finished) {
         const BasicBlock &block = prog.block(current);
@@ -106,6 +119,20 @@ Machine::run(std::uint64_t max_blocks)
             l->onTransfer(event);
         current = next;
     }
+
+    if (tmBlocks)
+        tmBlocks->add(executed);
+    if (tmInstructions)
+        tmInstructions->add(instrCount - instr_before);
+    if (tmRuns)
+        tmRuns->add(runCount - runs_before);
+    if (tmCallDepthHwm)
+        tmCallDepthHwm->recordMax(
+            static_cast<std::int64_t>(depthHighWater));
+    telemetry::emit(telemetry::TraceEventKind::RunStop, "sim",
+                    {{"blocks", executed},
+                     {"instructions", instrCount - instr_before},
+                     {"program_runs", runCount - runs_before}});
     return executed;
 }
 

@@ -20,6 +20,12 @@
 namespace hotpath
 {
 
+namespace telemetry
+{
+class Counter;
+class Gauge;
+} // namespace telemetry
+
 /** Configuration for a Machine run. */
 struct MachineConfig
 {
@@ -64,6 +70,9 @@ class Machine
     /** Block about to execute next. */
     BlockId currentBlock() const { return current; }
 
+    /** Deepest call stack seen across all run() calls. */
+    std::size_t callDepthHighWater() const { return depthHighWater; }
+
   private:
     /** Pick the dynamic successor of `block`; kInvalidBlock = exit. */
     BlockId step(const BasicBlock &block, TransferEvent &event);
@@ -79,7 +88,15 @@ class Machine
     std::uint64_t blockCount = 0;
     std::uint64_t instrCount = 0;
     std::uint64_t runCount = 0;
+    std::size_t depthHighWater = 0;
     bool finished = false;
+
+    // Telemetry handles; nullptr when no registry was attached at
+    // construction time (the common, uninstrumented case).
+    telemetry::Counter *tmBlocks = nullptr;
+    telemetry::Counter *tmInstructions = nullptr;
+    telemetry::Counter *tmRuns = nullptr;
+    telemetry::Gauge *tmCallDepthHwm = nullptr;
 };
 
 } // namespace hotpath

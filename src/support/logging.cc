@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,18 @@ namespace hotpath
 
 namespace
 {
-bool informEnabled = true;
+
+std::atomic<bool> informFlag{true};
+std::atomic<LogSink> activeSink{nullptr};
+
+/** Route one message through the installed (or default) sink. */
+void
+emitLog(LogLevel level, const std::string &message)
+{
+    const LogSink sink = activeSink.load(std::memory_order_acquire);
+    (sink ? sink : &defaultLogSink)(level, message);
+}
+
 } // namespace
 
 void
@@ -26,22 +38,42 @@ fatal(const std::string &message)
 }
 
 void
+defaultLogSink(LogLevel level, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n",
+                 level == LogLevel::Warn ? "warn" : "info",
+                 message.c_str());
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    return activeSink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void
 warn(const std::string &message)
 {
-    std::fprintf(stderr, "warn: %s\n", message.c_str());
+    emitLog(LogLevel::Warn, message);
 }
 
 void
 inform(const std::string &message)
 {
-    if (informEnabled)
-        std::fprintf(stderr, "info: %s\n", message.c_str());
+    if (informFlag.load(std::memory_order_relaxed))
+        emitLog(LogLevel::Inform, message);
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+informEnabled()
+{
+    return informFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace hotpath

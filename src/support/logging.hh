@@ -23,14 +23,45 @@ namespace hotpath
 /** Exit with an error code; use for invalid user input or config. */
 [[noreturn]] void fatal(const std::string &message);
 
-/** Print a non-fatal warning to stderr. */
+/** Severity of a routed log message. */
+enum class LogLevel
+{
+    Warn,
+    Inform,
+};
+
+/**
+ * Every warn()/inform() call funnels through a single sink function,
+ * so an observer (the telemetry layer captures logs as trace records)
+ * can see the stream without patching call sites. Sinks must be
+ * callable from multiple threads.
+ */
+using LogSink = void (*)(LogLevel level, const std::string &message);
+
+/** The built-in sink: "warn:"/"info:" prefixed lines on stderr. */
+void defaultLogSink(LogLevel level, const std::string &message);
+
+/**
+ * Replace the log sink process-wide; nullptr restores the default.
+ * Returns the previously installed sink (nullptr if it was the
+ * default). Safe to call concurrently with logging.
+ */
+LogSink setLogSink(LogSink sink);
+
+/** Print a non-fatal warning (routed through the log sink). */
 void warn(const std::string &message);
 
-/** Print an informational message to stderr. */
+/** Print an informational message (routed through the log sink). */
 void inform(const std::string &message);
 
-/** Enable or disable inform() output (benches silence it). */
+/**
+ * Enable or disable inform() output (benches silence it). Reads and
+ * writes are atomic, so concurrent callers see a clean toggle.
+ */
 void setInformEnabled(bool enabled);
+
+/** Current state of the inform() toggle. */
+bool informEnabled();
 
 namespace detail
 {

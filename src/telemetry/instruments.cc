@@ -1,0 +1,55 @@
+#include "telemetry/instruments.hh"
+
+#include <bit>
+
+namespace hotpath::telemetry
+{
+
+std::size_t
+Histogram::bucketOf(std::uint64_t v) noexcept
+{
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t
+Histogram::bucketLowerBound(std::size_t b) noexcept
+{
+    if (b == 0)
+        return 0;
+    return std::uint64_t{1} << (b - 1);
+}
+
+void
+Histogram::record(std::uint64_t v) noexcept
+{
+    buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    countV.fetch_add(1, std::memory_order_relaxed);
+    sumV.fetch_add(v, std::memory_order_relaxed);
+
+    std::uint64_t cur = minV.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !minV.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = maxV.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !maxV.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.count = countV.load(std::memory_order_relaxed);
+    snap.sum = sumV.load(std::memory_order_relaxed);
+    snap.min =
+        snap.count == 0 ? 0 : minV.load(std::memory_order_relaxed);
+    snap.max = maxV.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kNumBuckets; ++b)
+        snap.buckets[b] = buckets[b].load(std::memory_order_relaxed);
+    return snap;
+}
+
+} // namespace hotpath::telemetry

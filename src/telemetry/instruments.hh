@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Telemetry instruments: Counter, Gauge and log-scale Histogram.
+ *
+ * Instruments are owned by a MetricRegistry and handed out by
+ * reference; every mutation is a relaxed atomic so instruments can be
+ * bumped from any thread without coordination. Call sites hold plain
+ * pointers obtained through telemetry::counter() et al., which return
+ * nullptr when no registry is attached - the disabled path is a
+ * single predictable branch, keeping the hot profiling loops at their
+ * uninstrumented speed.
+ */
+
+#ifndef HOTPATH_TELEMETRY_INSTRUMENTS_HH
+#define HOTPATH_TELEMETRY_INSTRUMENTS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hotpath::telemetry
+{
+
+class MetricRegistry;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1) noexcept
+    {
+        value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    get() const noexcept
+    {
+        return value.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return label; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Counter(std::string name) : label(std::move(name)) {}
+
+    std::string label;
+    std::atomic<std::uint64_t> value{0};
+};
+
+/** Point-in-time level (occupancy, high-water marks). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v) noexcept
+    {
+        value.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta) noexcept
+    {
+        value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to `v` if it is below (high-water mark). */
+    void
+    recordMax(std::int64_t v) noexcept
+    {
+        std::int64_t cur = value.load(std::memory_order_relaxed);
+        while (cur < v &&
+               !value.compare_exchange_weak(cur, v,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    std::int64_t
+    get() const noexcept
+    {
+        return value.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return label; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Gauge(std::string name) : label(std::move(name)) {}
+
+    std::string label;
+    std::atomic<std::int64_t> value{0};
+};
+
+class Histogram;
+
+/** Consistent copy of a histogram's state. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /** Meaningful only when count > 0. */
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, 65> buckets{};
+};
+
+/**
+ * Power-of-two (log2) bucketed histogram over uint64 values.
+ *
+ * Bucket 0 holds exact zeros; bucket b (1..64) holds values in
+ * [2^(b-1), 2^b - 1], so the full uint64 range is covered with 65
+ * fixed buckets and record() is a handful of relaxed atomic ops.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kNumBuckets = 65;
+
+    /** Bucket index for a value (0 for 0, else bit width). */
+    static std::size_t bucketOf(std::uint64_t v) noexcept;
+
+    /** Smallest value falling in bucket `b`. */
+    static std::uint64_t bucketLowerBound(std::size_t b) noexcept;
+
+    void record(std::uint64_t v) noexcept;
+
+    std::uint64_t
+    count() const noexcept
+    {
+        return countV.load(std::memory_order_relaxed);
+    }
+
+    HistogramSnapshot snapshot() const;
+
+    const std::string &name() const { return label; }
+
+  private:
+    friend class MetricRegistry;
+    explicit Histogram(std::string name) : label(std::move(name)) {}
+
+    std::string label;
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+    std::atomic<std::uint64_t> countV{0};
+    std::atomic<std::uint64_t> sumV{0};
+    std::atomic<std::uint64_t> minV{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> maxV{0};
+};
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_INSTRUMENTS_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the JSONL trace sink and
+ * the run report writer. Emission only - the library never needs to
+ * parse JSON (the tests carry their own tiny parser).
+ */
+
+#ifndef HOTPATH_TELEMETRY_JSON_HH
+#define HOTPATH_TELEMETRY_JSON_HH
+
+#include <ostream>
+#include <string_view>
+
+namespace hotpath::telemetry
+{
+
+/** Write `text` as a JSON string literal, quotes included. */
+void writeJsonString(std::ostream &os, std::string_view text);
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_JSON_HH

@@ -1,0 +1,76 @@
+#include "telemetry/registry.hh"
+
+namespace hotpath::telemetry
+{
+
+// The find-or-create bodies are spelled out per kind because the
+// instrument constructors are private to this class; a shared helper
+// would need friendship of its own.
+
+Counter &
+MetricRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = counters.find(name);
+    if (it != counters.end())
+        return *it->second;
+    std::string key(name);
+    std::unique_ptr<Counter> made(new Counter(key));
+    Counter &ref = *made;
+    counters.emplace(std::move(key), std::move(made));
+    return ref;
+}
+
+Gauge &
+MetricRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = gauges.find(name);
+    if (it != gauges.end())
+        return *it->second;
+    std::string key(name);
+    std::unique_ptr<Gauge> made(new Gauge(key));
+    Gauge &ref = *made;
+    gauges.emplace(std::move(key), std::move(made));
+    return ref;
+}
+
+Histogram &
+MetricRegistry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = histograms.find(name);
+    if (it != histograms.end())
+        return *it->second;
+    std::string key(name);
+    std::unique_ptr<Histogram> made(new Histogram(key));
+    Histogram &ref = *made;
+    histograms.emplace(std::move(key), std::move(made));
+    return ref;
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters.size());
+    for (const auto &[name, counter] : counters)
+        snap.counters.push_back({name, counter->get()});
+    snap.gauges.reserve(gauges.size());
+    for (const auto &[name, gauge] : gauges)
+        snap.gauges.push_back({name, gauge->get()});
+    snap.histograms.reserve(histograms.size());
+    for (const auto &[name, histogram] : histograms)
+        snap.histograms.push_back({name, histogram->snapshot()});
+    return snap;
+}
+
+} // namespace hotpath::telemetry

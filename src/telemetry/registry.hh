@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Process-wide metric registry.
+ *
+ * A MetricRegistry owns named instruments and hands them out by
+ * reference; instruments are never destroyed before the registry, so
+ * call sites may cache raw pointers for the registry's lifetime.
+ * Registration takes a mutex (it happens once per call site);
+ * increments on the returned instruments are lock-free.
+ *
+ * Naming convention: dotted lowercase paths whose first segment is
+ * the owning component ("dynamo.cache.hits", "sim.blocks"); the
+ * RunReport groups instruments by that first segment. Counters,
+ * gauges and histograms live in separate namespaces, but reusing one
+ * name across kinds is confusing - don't.
+ */
+
+#ifndef HOTPATH_TELEMETRY_REGISTRY_HH
+#define HOTPATH_TELEMETRY_REGISTRY_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/instruments.hh"
+
+namespace hotpath::telemetry
+{
+
+/** One counter's value at snapshot time. */
+struct CounterSample
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/** One gauge's value at snapshot time. */
+struct GaugeSample
+{
+    std::string name;
+    std::int64_t value = 0;
+};
+
+/** One histogram's state at snapshot time. */
+struct HistogramSample
+{
+    std::string name;
+    HistogramSnapshot hist;
+};
+
+/** Everything a registry knows, copied out (sorted by name). */
+struct MetricsSnapshot
+{
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+};
+
+/** Owns named instruments; see file comment for conventions. */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Find-or-create the instrument named `name`. */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Instruments registered so far (all three kinds). */
+    std::size_t size() const;
+
+    /** Copy out every instrument's current value. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms;
+};
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_REGISTRY_HH

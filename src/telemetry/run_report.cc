@@ -1,0 +1,158 @@
+#include "telemetry/run_report.hh"
+
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "support/logging.hh"
+#include "telemetry/json.hh"
+
+namespace hotpath::telemetry
+{
+
+namespace
+{
+
+/** The snapshot's instruments bucketed by component prefix. */
+struct ComponentGroup
+{
+    std::vector<const CounterSample *> counters;
+    std::vector<const GaugeSample *> gauges;
+    std::vector<const HistogramSample *> histograms;
+};
+
+std::map<std::string, ComponentGroup>
+groupByComponent(const MetricsSnapshot &metrics)
+{
+    std::map<std::string, ComponentGroup> groups;
+    for (const CounterSample &sample : metrics.counters)
+        groups[RunReport::componentOf(sample.name)].counters.push_back(
+            &sample);
+    for (const GaugeSample &sample : metrics.gauges)
+        groups[RunReport::componentOf(sample.name)].gauges.push_back(
+            &sample);
+    for (const HistogramSample &sample : metrics.histograms)
+        groups[RunReport::componentOf(sample.name)]
+            .histograms.push_back(&sample);
+    return groups;
+}
+
+void
+writeHistogramJson(std::ostream &os, const HistogramSnapshot &hist)
+{
+    os << "{\"count\":" << hist.count << ",\"sum\":" << hist.sum
+       << ",\"min\":" << hist.min << ",\"max\":" << hist.max
+       << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+        if (hist.buckets[b] == 0)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"lo\":" << Histogram::bucketLowerBound(b)
+           << ",\"count\":" << hist.buckets[b] << '}';
+    }
+    os << "]}";
+}
+
+} // namespace
+
+RunReport
+RunReport::capture(const MetricRegistry &registry, std::string title)
+{
+    RunReport report;
+    report.title = std::move(title);
+    report.metrics = registry.snapshot();
+    return report;
+}
+
+std::string
+RunReport::componentOf(const std::string &name)
+{
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos || dot == 0)
+        return "global";
+    return name.substr(0, dot);
+}
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    const auto groups = groupByComponent(metrics);
+
+    os << "{\"report\":";
+    writeJsonString(os, title);
+    os << ",\"schema\":\"hotpath.telemetry.v1\",\"components\":{";
+
+    bool first_group = true;
+    for (const auto &[component, group] : groups) {
+        if (!first_group)
+            os << ',';
+        first_group = false;
+        writeJsonString(os, component);
+        os << ":{\"counters\":{";
+        bool first = true;
+        for (const CounterSample *sample : group.counters) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJsonString(os, sample->name);
+            os << ':' << sample->value;
+        }
+        os << "},\"gauges\":{";
+        first = true;
+        for (const GaugeSample *sample : group.gauges) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJsonString(os, sample->name);
+            os << ':' << sample->value;
+        }
+        os << "},\"histograms\":{";
+        first = true;
+        for (const HistogramSample *sample : group.histograms) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJsonString(os, sample->name);
+            os << ':';
+            writeHistogramJson(os, sample->hist);
+        }
+        os << "}}";
+    }
+    os << "}}\n";
+}
+
+void
+RunReport::writeCsv(std::ostream &os) const
+{
+    os << "name,kind,value,count,sum,min,max\n";
+    for (const CounterSample &sample : metrics.counters)
+        os << sample.name << ",counter," << sample.value << ",,,,\n";
+    for (const GaugeSample &sample : metrics.gauges)
+        os << sample.name << ",gauge," << sample.value << ",,,,\n";
+    for (const HistogramSample &sample : metrics.histograms) {
+        os << sample.name << ",histogram,," << sample.hist.count << ','
+           << sample.hist.sum << ',' << sample.hist.min << ','
+           << sample.hist.max << '\n';
+    }
+}
+
+void
+RunReport::writeFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    if (!os) {
+        warn("cannot open telemetry report file: " + path);
+        return;
+    }
+    if (path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0) {
+        writeCsv(os);
+    } else {
+        writeJson(os);
+    }
+}
+
+} // namespace hotpath::telemetry

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport is a snapshot of a MetricRegistry dressed up for
+ * consumption outside the process: instruments are grouped by their
+ * component prefix (everything before the first '.' in the name -
+ * "dynamo.cache.hits" lands under "dynamo"), and the whole thing
+ * serializes to JSON or CSV. This is what `--telemetry-out` writes
+ * and what downstream analysis parses instead of scraping stderr.
+ */
+
+#ifndef HOTPATH_TELEMETRY_RUN_REPORT_HH
+#define HOTPATH_TELEMETRY_RUN_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/registry.hh"
+
+namespace hotpath::telemetry
+{
+
+/** Snapshot of a run's metrics, ready to serialize. */
+struct RunReport
+{
+    /** Identifies the run ("fig5", "telemetry_report", ...). */
+    std::string title;
+
+    MetricsSnapshot metrics;
+
+    /** Snapshot `registry` now under the given title. */
+    static RunReport capture(const MetricRegistry &registry,
+                             std::string title = "run");
+
+    /** Component prefix of an instrument name ("" -> "global"). */
+    static std::string componentOf(const std::string &name);
+
+    /**
+     * Emit as a single JSON object:
+     * { "report": ..., "schema": "hotpath.telemetry.v1",
+     *   "components": { "<component>": { "counters": {...},
+     *   "gauges": {...}, "histograms": { "<name>": { "count": ...,
+     *   "sum": ..., "min": ..., "max": ...,
+     *   "buckets": [{"lo": ..., "count": ...}, ...] } } } } }
+     * Histogram buckets with zero population are omitted.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Emit as CSV with header
+     * name,kind,value,count,sum,min,max - counters and gauges fill
+     * `value`, histograms fill the aggregate columns.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write to `path`; ".csv" extension selects CSV, else JSON. */
+    void writeFile(const std::string &path) const;
+};
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_RUN_REPORT_HH

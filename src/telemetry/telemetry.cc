@@ -1,0 +1,141 @@
+#include "telemetry/telemetry.hh"
+
+#include <atomic>
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace hotpath::telemetry
+{
+
+namespace
+{
+
+std::atomic<MetricRegistry *> globalRegistry{nullptr};
+std::atomic<TraceSink *> globalSink{nullptr};
+
+/** Bridges warn()/inform() into the trace stream (and stderr). */
+void
+logBridge(LogLevel level, const std::string &message)
+{
+    defaultLogSink(level, message);
+    emit(TraceEventKind::Log,
+         level == LogLevel::Warn ? "log.warn" : "log.inform", {},
+         message);
+}
+
+} // namespace
+
+void
+attachRegistry(MetricRegistry *registry)
+{
+    globalRegistry.store(registry, std::memory_order_release);
+}
+
+MetricRegistry *
+attachedRegistry()
+{
+    return globalRegistry.load(std::memory_order_acquire);
+}
+
+void
+attachTraceSink(TraceSink *sink)
+{
+    globalSink.store(sink, std::memory_order_release);
+}
+
+TraceSink *
+attachedTraceSink()
+{
+    return globalSink.load(std::memory_order_acquire);
+}
+
+Counter *
+counter(std::string_view name)
+{
+    MetricRegistry *registry = attachedRegistry();
+    return registry ? &registry->counter(name) : nullptr;
+}
+
+Gauge *
+gauge(std::string_view name)
+{
+    MetricRegistry *registry = attachedRegistry();
+    return registry ? &registry->gauge(name) : nullptr;
+}
+
+Histogram *
+histogram(std::string_view name)
+{
+    MetricRegistry *registry = attachedRegistry();
+    return registry ? &registry->histogram(name) : nullptr;
+}
+
+std::uint64_t
+monotonicNanos()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+void
+emit(TraceEventKind kind, const char *component,
+     std::initializer_list<TraceField> fields, std::string_view detail)
+{
+    TraceSink *sink = attachedTraceSink();
+    if (!sink)
+        return;
+
+    TraceRecord rec;
+    rec.kind = kind;
+    rec.timeNs = monotonicNanos();
+    rec.component = component;
+    for (const TraceField &field : fields) {
+        if (rec.fieldCount >= rec.fields.size())
+            break;
+        rec.fields[rec.fieldCount++] = field;
+    }
+    rec.detail.assign(detail.data(), detail.size());
+    sink->record(rec);
+}
+
+TelemetrySession::TelemetrySession(const std::string &trace_path)
+{
+    if (!trace_path.empty())
+        trace = std::make_unique<JsonlTraceSink>(trace_path);
+    activate();
+}
+
+TelemetrySession::TelemetrySession(std::ostream &trace_stream)
+    : trace(std::make_unique<JsonlTraceSink>(trace_stream))
+{
+    activate();
+}
+
+void
+TelemetrySession::activate()
+{
+    previousRegistry = attachedRegistry();
+    previousSink = attachedTraceSink();
+    attachRegistry(&metrics);
+    if (trace) {
+        attachTraceSink(trace.get());
+        previousLogSink = setLogSink(&logBridge);
+    }
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    if (trace) {
+        setLogSink(previousLogSink);
+        trace->flush();
+    }
+    attachTraceSink(previousSink);
+    attachRegistry(previousRegistry);
+}
+
+} // namespace hotpath::telemetry

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Process-wide telemetry attachment.
+ *
+ * The instrumented layers (sim, profile, predict, dynamo) do not know
+ * who is watching them: at construction they ask this module for
+ * instrument pointers and at interesting moments they call emit().
+ * When nothing is attached - the default - counter()/gauge()/
+ * histogram() return nullptr and emit() is one branch, so the hot
+ * paths measured by micro_profiling_overhead stay at their
+ * uninstrumented speed.
+ *
+ * Lifetime contract: components cache instrument pointers when they
+ * are constructed, so attach a registry BEFORE building the machines,
+ * predictors and Dynamo systems you want instrumented, and keep it
+ * alive until they are gone. TelemetrySession is the RAII shorthand
+ * for exactly that scoping.
+ */
+
+#ifndef HOTPATH_TELEMETRY_TELEMETRY_HH
+#define HOTPATH_TELEMETRY_TELEMETRY_HH
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "support/logging.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
+
+namespace hotpath::telemetry
+{
+
+/** Attach/detach the process-wide registry (nullptr detaches). */
+void attachRegistry(MetricRegistry *registry);
+MetricRegistry *attachedRegistry();
+
+/** Attach/detach the process-wide trace sink (nullptr detaches). */
+void attachTraceSink(TraceSink *sink);
+TraceSink *attachedTraceSink();
+
+/**
+ * Instrument accessors against the attached registry. Return nullptr
+ * when no registry is attached; call sites keep the pointer and guard
+ * each use with a single null check.
+ */
+Counter *counter(std::string_view name);
+Gauge *gauge(std::string_view name);
+Histogram *histogram(std::string_view name);
+
+/** Monotonic nanoseconds since the first telemetry call. */
+std::uint64_t monotonicNanos();
+
+/** Emit a trace record; no-op when no sink is attached. */
+void emit(TraceEventKind kind, const char *component,
+          std::initializer_list<TraceField> fields = {},
+          std::string_view detail = {});
+
+/**
+ * RAII scope owning a registry (and optionally a JSONL trace sink)
+ * attached process-wide for its lifetime. While active, warn() and
+ * inform() are additionally captured as Log trace records. Previous
+ * attachments are restored on destruction, so sessions may nest.
+ */
+class TelemetrySession
+{
+  public:
+    /** @param trace_path JSONL trace file; empty = no trace sink. */
+    explicit TelemetrySession(const std::string &trace_path = "");
+
+    /** Trace into a borrowed stream instead of a file. */
+    explicit TelemetrySession(std::ostream &trace_stream);
+
+    ~TelemetrySession();
+
+    TelemetrySession(const TelemetrySession &) = delete;
+    TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+    MetricRegistry &registry() { return metrics; }
+
+    /** The session's sink; nullptr if constructed without tracing. */
+    JsonlTraceSink *traceSink() { return trace.get(); }
+
+  private:
+    void activate();
+
+    MetricRegistry metrics;
+    std::unique_ptr<JsonlTraceSink> trace;
+    MetricRegistry *previousRegistry = nullptr;
+    TraceSink *previousSink = nullptr;
+    LogSink previousLogSink = nullptr;
+};
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_TELEMETRY_HH

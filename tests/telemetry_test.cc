@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem: registry registration and
+ * snapshots, log-scale histogram bucketing edge cases, JSONL trace
+ * sink round-trips, the zero-overhead unattached path, log capture,
+ * and the end-to-end acceptance check - a Figure-5 style Dynamo run
+ * whose machine-readable report parses as JSON and carries non-zero
+ * fragment-cache, predictor and histogram data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamo/system.hh"
+#include "predict/net_predictor.hh"
+#include "support/logging.hh"
+#include "telemetry/run_report.hh"
+#include "telemetry/telemetry.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+using namespace hotpath::telemetry;
+
+namespace
+{
+
+// Minimal recursive-descent JSON parser: enough to verify that the
+// library's emitted reports and trace lines are well-formed and to
+// extract values. Throws std::runtime_error on malformed input.
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        const auto it = members.find(key);
+        if (it == members.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return members.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue value = parseValue();
+        skipSpace();
+        if (pos != src.size())
+            throw std::runtime_error("trailing JSON content");
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= src.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' at " + std::to_string(pos));
+        ++pos;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            return parseNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos;
+            return value;
+        }
+        for (;;) {
+            const JsonValue key = parseString();
+            expect(':');
+            value.members.emplace(key.text, parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos;
+            return value;
+        }
+        for (;;) {
+            value.items.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::String;
+        expect('"');
+        while (pos < src.size() && src[pos] != '"') {
+            char c = src[pos++];
+            if (c == '\\') {
+                if (pos >= src.size())
+                    throw std::runtime_error("bad escape");
+                const char esc = src[pos++];
+                switch (esc) {
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 'r':
+                    c = '\r';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        throw std::runtime_error("bad \\u escape");
+                    const unsigned code = static_cast<unsigned>(
+                        std::stoul(src.substr(pos, 4), nullptr, 16));
+                    pos += 4;
+                    c = static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    c = esc;
+                }
+            }
+            value.text.push_back(c);
+        }
+        expect('"');
+        return value;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Bool;
+        if (src.compare(pos, 4, "true") == 0) {
+            value.boolean = true;
+            pos += 4;
+        } else if (src.compare(pos, 5, "false") == 0) {
+            pos += 5;
+        } else {
+            throw std::runtime_error("bad literal");
+        }
+        return value;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (src.compare(pos, 4, "null") != 0)
+            throw std::runtime_error("bad literal");
+        pos += 4;
+        JsonValue value;
+        return value;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '-' || src[pos] == '+' ||
+                src[pos] == '.' || src[pos] == 'e' ||
+                src[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            throw std::runtime_error("bad number");
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        value.number = std::stod(src.substr(start, pos - start));
+        return value;
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace
+
+// MetricRegistry -----------------------------------------------------
+
+TEST(MetricRegistryTest, FindOrCreateReturnsSameInstrument)
+{
+    MetricRegistry registry;
+    Counter &a = registry.counter("x.hits");
+    Counter &b = registry.counter("x.hits");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(a.get(), 7u);
+
+    Gauge &g = registry.gauge("x.level");
+    EXPECT_EQ(&g, &registry.gauge("x.level"));
+    Histogram &h = registry.histogram("x.sizes");
+    EXPECT_EQ(&h, &registry.histogram("x.sizes"));
+    EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndComplete)
+{
+    MetricRegistry registry;
+    registry.counter("b.second").add(2);
+    registry.counter("a.first").add(1);
+    registry.gauge("c.level").set(-5);
+    registry.histogram("d.sizes").record(10);
+
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "a.first");
+    EXPECT_EQ(snap.counters[0].value, 1u);
+    EXPECT_EQ(snap.counters[1].name, "b.second");
+    EXPECT_EQ(snap.counters[1].value, 2u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].value, -5);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].hist.count, 1u);
+}
+
+TEST(MetricRegistryTest, CountersAreThreadSafe)
+{
+    MetricRegistry registry;
+    Counter &counter = registry.counter("x.parallel");
+    constexpr int kThreads = 4;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kAdds; ++i)
+                counter.add(1);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.get(),
+              static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(GaugeTest, RecordMaxIsMonotonic)
+{
+    MetricRegistry registry;
+    Gauge &gauge = registry.gauge("x.hwm");
+    gauge.recordMax(10);
+    gauge.recordMax(5);
+    EXPECT_EQ(gauge.get(), 10);
+    gauge.recordMax(20);
+    EXPECT_EQ(gauge.get(), 20);
+}
+
+// Histogram bucketing ------------------------------------------------
+
+TEST(HistogramTest, BucketEdges)
+{
+    // Zero gets its own bucket; bucket b holds [2^(b-1), 2^b - 1].
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf((1ull << 20) - 1), 20u);
+    EXPECT_EQ(Histogram::bucketOf(1ull << 20), 21u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketLowerBound(2), 2u);
+    EXPECT_EQ(Histogram::bucketLowerBound(64), 1ull << 63);
+}
+
+TEST(HistogramTest, RecordZeroMaxAndOverflow)
+{
+    MetricRegistry registry;
+    Histogram &hist = registry.histogram("x.sizes");
+    const std::uint64_t max = ~std::uint64_t{0};
+
+    hist.record(0);
+    hist.record(1);
+    hist.record(max);
+    hist.record(max); // sum wraps mod 2^64: still well-defined
+
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, max);
+    EXPECT_EQ(snap.buckets[0], 1u);
+    EXPECT_EQ(snap.buckets[1], 1u);
+    EXPECT_EQ(snap.buckets[64], 2u);
+    // 0 + 1 + max + max == max (unsigned wraparound).
+    EXPECT_EQ(snap.sum, max);
+}
+
+TEST(HistogramTest, EmptySnapshotHasZeroMin)
+{
+    MetricRegistry registry;
+    const HistogramSnapshot snap =
+        registry.histogram("x.empty").snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 0u);
+}
+
+// JSONL trace sink ---------------------------------------------------
+
+TEST(JsonlTraceSinkTest, RecordsRoundTripThroughJson)
+{
+    std::ostringstream out;
+    TelemetrySession session(out);
+
+    emit(TraceEventKind::FragmentInsert, "dynamo",
+         {{"path", 7}, {"instructions", 40}});
+    emit(TraceEventKind::Log, "log.warn", {},
+         "quoted \"text\"\nwith\tescapes\\");
+
+    session.traceSink()->flush();
+    std::istringstream in(out.str());
+    std::string line;
+
+    ASSERT_TRUE(std::getline(in, line));
+    const JsonValue first = parseJson(line);
+    EXPECT_EQ(first.at("event").text, "fragment_insert");
+    EXPECT_EQ(first.at("component").text, "dynamo");
+    EXPECT_EQ(first.at("path").number, 7);
+    EXPECT_EQ(first.at("instructions").number, 40);
+    EXPECT_GE(first.at("t_ns").number, 0);
+
+    ASSERT_TRUE(std::getline(in, line));
+    const JsonValue second = parseJson(line);
+    EXPECT_EQ(second.at("event").text, "log");
+    EXPECT_EQ(second.at("detail").text,
+              "quoted \"text\"\nwith\tescapes\\");
+
+    EXPECT_FALSE(std::getline(in, line));
+    EXPECT_EQ(session.traceSink()->recordsWritten(), 2u);
+}
+
+TEST(JsonlTraceSinkTest, TimestampsAreMonotonic)
+{
+    std::ostringstream out;
+    TelemetrySession session(out);
+    for (int i = 0; i < 5; ++i)
+        emit(TraceEventKind::Prediction, "predict.net",
+             {{"head", static_cast<std::uint64_t>(i)}});
+    session.traceSink()->flush();
+
+    std::istringstream in(out.str());
+    std::string line;
+    double last = -1;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        const double t = parseJson(line).at("t_ns").number;
+        EXPECT_GE(t, last);
+        last = t;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 5);
+}
+
+TEST(LogCaptureTest, WarnAndInformBecomeTraceRecords)
+{
+    std::ostringstream out;
+    {
+        TelemetrySession session(out);
+        warn("captured warning");
+        inform("captured info");
+    }
+    // Session destruction restored the default sink.
+    std::istringstream in(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const JsonValue first = parseJson(line);
+    EXPECT_EQ(first.at("event").text, "log");
+    EXPECT_EQ(first.at("component").text, "log.warn");
+    EXPECT_EQ(first.at("detail").text, "captured warning");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(parseJson(line).at("component").text, "log.inform");
+}
+
+// Unattached (zero-overhead) path ------------------------------------
+
+TEST(UnattachedTest, AccessorsReturnNullAndEmitIsNoOp)
+{
+    ASSERT_EQ(attachedRegistry(), nullptr);
+    ASSERT_EQ(attachedTraceSink(), nullptr);
+    EXPECT_EQ(counter("x.c"), nullptr);
+    EXPECT_EQ(gauge("x.g"), nullptr);
+    EXPECT_EQ(histogram("x.h"), nullptr);
+    emit(TraceEventKind::Prediction, "predict.net", {{"head", 1}});
+}
+
+TEST(UnattachedTest, InstrumentedComponentsRunWithoutTelemetry)
+{
+    ASSERT_EQ(attachedRegistry(), nullptr);
+    NetPredictor predictor(3);
+    PathEvent event;
+    event.path = 0;
+    event.head = 0;
+    event.blocks = 4;
+    event.branches = 3;
+    event.instructions = 40;
+    int predictions = 0;
+    for (int i = 0; i < 9; ++i)
+        predictions += predictor.observe(event) ? 1 : 0;
+    EXPECT_EQ(predictions, 3);
+}
+
+TEST(UnattachedTest, SessionAttachesAndRestores)
+{
+    ASSERT_EQ(attachedRegistry(), nullptr);
+    {
+        TelemetrySession session;
+        EXPECT_EQ(attachedRegistry(), &session.registry());
+        {
+            TelemetrySession inner;
+            EXPECT_EQ(attachedRegistry(), &inner.registry());
+        }
+        EXPECT_EQ(attachedRegistry(), &session.registry());
+    }
+    EXPECT_EQ(attachedRegistry(), nullptr);
+}
+
+TEST(NullTraceSinkTest, DiscardsRecords)
+{
+    NullTraceSink sink;
+    attachTraceSink(&sink);
+    emit(TraceEventKind::CacheFlush, "dynamo", {{"fragments", 3}});
+    attachTraceSink(nullptr);
+    SUCCEED();
+}
+
+// Run report ---------------------------------------------------------
+
+TEST(RunReportTest, ComponentGrouping)
+{
+    EXPECT_EQ(RunReport::componentOf("dynamo.cache.hits"), "dynamo");
+    EXPECT_EQ(RunReport::componentOf("sim.blocks"), "sim");
+    EXPECT_EQ(RunReport::componentOf("plain"), "global");
+    EXPECT_EQ(RunReport::componentOf(".odd"), "global");
+}
+
+TEST(RunReportTest, CsvHasHeaderAndRows)
+{
+    MetricRegistry registry;
+    registry.counter("a.hits").add(5);
+    registry.gauge("a.level").set(7);
+    registry.histogram("a.sizes").record(16);
+
+    std::ostringstream out;
+    RunReport::capture(registry, "csv_test").writeCsv(out);
+    std::istringstream in(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "name,kind,value,count,sum,min,max");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "a.hits,counter,5,,,,");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "a.level,gauge,7,,,,");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "a.sizes,histogram,,1,16,16,16");
+}
+
+/**
+ * The acceptance check: a Figure-5 style Dynamo run (NET, delay 50,
+ * calibrated compress workload) with telemetry attached produces a
+ * valid JSON run report with non-zero fragment-cache hit/miss
+ * counters, predictor prediction counts and a populated
+ * fragment-size histogram.
+ */
+TEST(RunReportTest, Fig5StyleRunProducesParsableNonZeroReport)
+{
+    TelemetrySession session;
+
+    WorkloadConfig wconfig;
+    wconfig.flowScale = 1e-2;
+    CalibratedWorkload workload(specTarget("compress"), wconfig);
+
+    DynamoConfig config;
+    config.scheme = PredictionScheme::Net;
+    config.predictionDelay = 50;
+    config.enableFlush = false;
+    DynamoSystem system(config);
+
+    workload.generateStream(
+        0, [&](const PathEvent &event, std::uint64_t t) {
+            system.onPathEvent(event, t);
+        });
+    const DynamoReport report = system.report();
+    EXPECT_GT(report.events, 0u);
+
+    std::ostringstream out;
+    RunReport::capture(session.registry(), "fig5_style")
+        .writeJson(out);
+
+    const JsonValue root = parseJson(out.str());
+    EXPECT_EQ(root.at("report").text, "fig5_style");
+    EXPECT_EQ(root.at("schema").text, "hotpath.telemetry.v1");
+
+    const JsonValue &dynamo = root.at("components").at("dynamo");
+    EXPECT_GT(dynamo.at("counters").at("dynamo.cache.hits").number,
+              0);
+    EXPECT_GT(dynamo.at("counters").at("dynamo.cache.misses").number,
+              0);
+
+    const JsonValue &predict = root.at("components").at("predict");
+    EXPECT_GT(
+        predict.at("counters").at("predict.net.predictions").number,
+        0);
+
+    const JsonValue &hist = dynamo.at("histograms")
+                                .at("dynamo.fragment.instructions");
+    EXPECT_GT(hist.at("count").number, 0);
+    EXPECT_GT(hist.at("buckets").items.size(), 0u);
+    // Cycle gauges were published by report().
+    EXPECT_GT(
+        dynamo.at("gauges").at("dynamo.cycles.cached").number, 0);
+
+    // Counter-table instrumentation fired through the predictor.
+    const JsonValue &profile = root.at("components").at("profile");
+    EXPECT_GT(profile.at("counters")
+                  .at("profile.counter_table.probes")
+                  .number,
+              0);
+}
