@@ -1,6 +1,8 @@
 #include "common.hh"
 
 #include <cstring>
+#include <exception>
+#include <string>
 
 #include "metrics/evaluation.hh"
 #include "predict/net_predictor.hh"
@@ -13,10 +15,6 @@
 namespace hotpath::bench
 {
 
-namespace
-{
-
-/** Value of `--<name>=<value>` in argv, or "" when absent. */
 std::string
 flagValue(int argc, char **argv, const char *name)
 {
@@ -28,7 +26,31 @@ flagValue(int argc, char **argv, const char *name)
     return "";
 }
 
-} // namespace
+std::uint64_t
+flagU64(int argc, char **argv, const char *name,
+        std::uint64_t fallback)
+{
+    const std::string value = flagValue(argc, argv, name);
+    if (value.empty())
+        return fallback;
+    std::size_t consumed = 0;
+    std::uint64_t parsed = 0;
+    try {
+        parsed = std::stoull(value, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (consumed != value.size())
+        fatal(detail::concat("invalid --", name, " value '", value,
+                             "': expected an unsigned integer"));
+    return parsed;
+}
+
+std::uint64_t
+seedFlag(int argc, char **argv, std::uint64_t fallback)
+{
+    return flagU64(argc, argv, "seed", fallback);
+}
 
 TelemetryScope::TelemetryScope(int argc, char **argv,
                                std::string report_title)

@@ -53,6 +53,25 @@ class TelemetryScope
     std::unique_ptr<telemetry::TelemetrySession> session;
 };
 
+/** Value of `--<name>=<value>` in argv, or "" when absent. */
+std::string flagValue(int argc, char **argv, const char *name);
+
+/**
+ * Value of `--<name>=<u64>` in argv, or `fallback` when the flag is
+ * absent; exits with an error on a non-numeric value.
+ */
+std::uint64_t flagU64(int argc, char **argv, const char *name,
+                      std::uint64_t fallback);
+
+/**
+ * The shared `--seed=<u64>` flag: every bench threads this into its
+ * workload/program synthesis so runs are reproducible (and varied)
+ * from the command line. `fallback` preserves each bench's historic
+ * default, keeping published outputs stable when the flag is absent.
+ */
+std::uint64_t seedFlag(int argc, char **argv,
+                       std::uint64_t fallback = 42);
+
 /** Both schemes swept over one benchmark's stream. */
 struct BenchmarkSweep
 {

@@ -20,6 +20,8 @@
 
 #include <cstdio>
 #include <iostream>
+
+#include "common.hh"
 #include <vector>
 
 #include "cfg/builder.hh"
@@ -121,7 +123,7 @@ spell(const Program &prog, const std::vector<BlockId> &blocks)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X4: branch-bias (Boa-style) construction vs NET on "
                  "correlated branches\n\n";
@@ -136,7 +138,7 @@ main()
     // Synthesize the correlated execution (20k iterations).
     TraceLog log;
     log.append(findBlock(prog, "entry"));
-    Rng rng(99);
+    Rng rng(bench::seedFlag(argc, argv, 99));
     std::vector<int> kinds;
     for (int i = 0; i < 20000; ++i) {
         const double u = rng.nextDouble();

@@ -18,6 +18,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "dynamo/system.hh"
 #include "support/table.hh"
 #include "workload/phased.hh"
@@ -25,13 +27,14 @@
 using namespace hotpath;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X5: cache policy under phase changes "
                  "(m88ksim-profile workload, 4 phases, NET50)\n\n";
 
     WorkloadConfig wconfig;
     wconfig.flowScale = 1e-3;
+    wconfig.seed = bench::seedFlag(argc, argv, wconfig.seed);
     PhasedWorkload phased(specTarget("m88ksim"), wconfig, 4);
     const std::vector<PathEvent> stream = phased.materializeStream();
 

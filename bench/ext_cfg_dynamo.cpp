@@ -20,6 +20,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "dynamo/cfg_engine.hh"
 #include "progen/generator.hh"
 #include "progen/presets.hh"
@@ -55,7 +57,7 @@ run(std::uint64_t seed, double dominance, bool optimize)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X8: CFG-level Dynamo engine, everything measured "
                  "(3M blocks per run)\n\n";
@@ -65,7 +67,9 @@ main()
                      "Mean ratio", "Frag blocks", "Guard exits",
                      "Interpreted"});
 
-    for (const std::uint64_t seed : {51ull, 52ull, 53ull}) {
+    const std::uint64_t base_seed = bench::seedFlag(argc, argv, 0);
+    for (std::uint64_t seed : {51ull, 52ull, 53ull}) {
+        seed += base_seed;
         struct Variant
         {
             const char *label;

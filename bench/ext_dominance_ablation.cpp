@@ -19,6 +19,8 @@
  */
 
 #include <iostream>
+
+#include "common.hh"
 #include <vector>
 
 #include "metrics/evaluation.hh"
@@ -95,12 +97,14 @@ firstPickAccuracy(const std::vector<PathEvent> &stream, std::size_t k,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X3: path-dominance ablation (one loop head, K "
                  "paths, dominant share d; delay 50; hot threshold "
                  "0.1%)\n\n";
 
+    const std::uint64_t base_seed =
+        bench::seedFlag(argc, argv, 1234);
     constexpr std::size_t kIterations = 20000;
     constexpr std::size_t kHeads = 200;
     constexpr std::uint64_t kDelay = 50;
@@ -116,7 +120,7 @@ main()
         if (1.0 / static_cast<double>(k) < 0.5)
             shares.push_back(1.0 / static_cast<double>(k));
         for (double d : shares) {
-            Rng rng(1234 + k * 100 +
+            Rng rng(base_seed + k * 100 +
                     static_cast<std::uint64_t>(d * 1000));
             const std::vector<PathEvent> stream =
                 loopStream(k, d, kIterations, kHeads, rng);

@@ -19,6 +19,8 @@
  */
 
 #include <iostream>
+
+#include "common.hh"
 #include <unordered_map>
 
 #include "metrics/oracle.hh"
@@ -105,13 +107,13 @@ struct LengthSink : NetTraceSink
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X6: path definition and trace length cap\n\n";
 
     // A call-heavy program exercises the definitional difference.
     ProgenConfig config;
-    config.seed = 321;
+    config.seed = bench::seedFlag(argc, argv, 321);
     config.procedures = 3;
     config.callDensity = 1.0;
     config.diamondsPerBody = 3;

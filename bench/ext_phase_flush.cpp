@@ -22,6 +22,8 @@
  */
 
 #include <iostream>
+
+#include "common.hh"
 #include <vector>
 
 #include "dynamo/system.hh"
@@ -72,13 +74,14 @@ run(const PhasedWorkload &phased, const std::vector<PathEvent> &stream,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X2: phase changes and the flush heuristic "
                  "(deltablue-profile workload, 4 phases, NET50)\n\n";
 
     WorkloadConfig wconfig;
     wconfig.flowScale = 1e-3;
+    wconfig.seed = bench::seedFlag(argc, argv, wconfig.seed);
     PhasedWorkload phased(specTarget("deltablue"), wconfig, 4);
     const std::vector<PathEvent> stream = phased.materializeStream();
 

@@ -16,6 +16,8 @@
  */
 
 #include <iostream>
+
+#include "common.hh"
 #include <vector>
 
 #include "dynamo/cost_config.hh"
@@ -46,7 +48,7 @@ struct Bag : NetTraceSink
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "X7: measured trace optimization on NET traces\n\n";
 
@@ -56,7 +58,9 @@ main()
                      "Guards elim", "Dead", "Mean ratio", "P90 ratio"});
 
     RunningStat overall_ratio;
-    for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    const std::uint64_t base_seed = bench::seedFlag(argc, argv, 0);
+    for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
+        seed += base_seed;
         ProgenConfig config;
         config.seed = seed;
         SyntheticProgram synth(config);

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     // --csv: dump the raw curve rows for replotting and exit.
     if (argc > 1 && std::string(argv[1]) == "--csv") {
         SweepSetup setup;
+        setup.seed = seedFlag(argc, argv, setup.seed);
         printCurveCsv(std::cout, runFigureSweeps(setup));
         return 0;
     }
@@ -40,6 +41,7 @@ main(int argc, char **argv)
                  "(0.1% HotPath set)\n\n";
 
     SweepSetup setup;
+    setup.seed = seedFlag(argc, argv, setup.seed);
     const std::vector<BenchmarkSweep> sweeps = runFigureSweeps(setup);
 
     std::cout << "Summary (the paper quotes ~97.5% average hit rate "

@@ -14,6 +14,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "predict/net_predictor.hh"
 #include "predict/path_profile_predictor.hh"
 #include "support/stats.hh"
@@ -23,7 +25,7 @@
 using namespace hotpath;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "Figure 4: NET counter space normalized to path "
                  "profile based prediction\n\n";
@@ -36,6 +38,7 @@ main()
     for (const SpecTarget &target : specTargets()) {
         WorkloadConfig config;
         config.flowScale = 1e-3;
+        config.seed = bench::seedFlag(argc, argv, config.seed);
         CalibratedWorkload workload(target, config);
 
         PathProfilePredictor paths(~0ull);

@@ -76,6 +76,7 @@ main(int argc, char **argv)
 
         WorkloadConfig wconfig;
         wconfig.flowScale = 4e-2;
+        wconfig.seed = bench::seedFlag(argc, argv, wconfig.seed);
         CalibratedWorkload workload(target, wconfig);
 
         // One stream pass drives all six system configurations.

@@ -18,6 +18,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "common.hh"
+
 #include "paths/ball_larus.hh"
 #include "paths/registry.hh"
 #include "paths/splitter.hh"
@@ -40,6 +45,10 @@ using namespace hotpath;
 namespace
 {
 
+/** --seed=<u64> (default 42), captured in main() before the shared
+ * workload/trace statics below are first touched. */
+std::uint64_t gSeed = 42;
+
 /** Shared event stream (perl-like: many paths). */
 const std::vector<PathEvent> &
 sharedStream()
@@ -47,6 +56,7 @@ sharedStream()
     static const std::vector<PathEvent> stream = [] {
         WorkloadConfig config;
         config.flowScale = 1e-4;
+        config.seed = gSeed;
         CalibratedWorkload workload(specTarget("perl"), config);
         return workload.materializeStream();
     }();
@@ -59,7 +69,7 @@ struct SharedTrace
     SharedTrace()
     {
         ProgenConfig config;
-        config.seed = 77;
+        config.seed = gSeed + 35; // historic default 77
         synth = std::make_unique<SyntheticProgram>(config);
         Machine machine(synth->program(), synth->behavior(),
                         {.seed = 1});
@@ -278,4 +288,24 @@ BM_NetTraceBuilderReplay(benchmark::State &state)
 }
 BENCHMARK(BM_NetTraceBuilderReplay);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    gSeed = hotpath::bench::seedFlag(argc, argv, 42);
+
+    // Strip --seed before handing argv to google-benchmark, which
+    // rejects flags it does not know.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--seed=", 0) != 0)
+            args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    ::benchmark::Initialize(&bench_argc, args.data());
+    if (::benchmark::ReportUnrecognizedArguments(bench_argc,
+                                                 args.data()))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.hh"
+
 #include "metrics/oracle.hh"
 #include "support/table.hh"
 #include "workload/synthesis.hh"
@@ -18,7 +20,7 @@
 using namespace hotpath;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Table 1: benchmark set (paper values in brackets; "
                 "flow replayed at 1/1000 scale)\n\n");
@@ -31,6 +33,7 @@ main()
     for (const SpecTarget &target : specTargets()) {
         WorkloadConfig config;
         config.flowScale = 1e-3;
+        config.seed = bench::seedFlag(argc, argv, config.seed);
         CalibratedWorkload workload(target, config);
 
         // Measure everything from the actual event stream.

@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "predict/net_predictor.hh"
 #include "predict/path_profile_predictor.hh"
 #include "support/table.hh"
@@ -17,7 +19,7 @@
 using namespace hotpath;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "Table 2: number of paths and unique path heads "
                  "(measured: counter space of each scheme in pure "
@@ -30,6 +32,7 @@ main()
     for (const SpecTarget &target : specTargets()) {
         WorkloadConfig config;
         config.flowScale = 1e-3;
+        config.seed = bench::seedFlag(argc, argv, config.seed);
         CalibratedWorkload workload(target, config);
 
         // A delay no stream can reach: both predictors degenerate to

@@ -1,0 +1,360 @@
+#include "engine/engine.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "support/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace hotpath::engine
+{
+
+namespace
+{
+
+/** rejectCounts slot for a decode failure. */
+std::size_t
+rejectSlot(wire::DecodeStatus status)
+{
+    switch (status) {
+      case wire::DecodeStatus::Truncated: return 0;
+      case wire::DecodeStatus::BadMagic: return 1;
+      case wire::DecodeStatus::BadKind: return 2;
+      case wire::DecodeStatus::BadLength: return 3;
+      case wire::DecodeStatus::BadCrc: return 4;
+      case wire::DecodeStatus::BadPayload: return 5;
+      case wire::DecodeStatus::Ok: break;
+    }
+    panic("rejectSlot called with DecodeStatus::Ok");
+}
+
+} // namespace
+
+Engine::Engine(EngineConfig config)
+    : cfg(std::move(config)), table(cfg.sessions)
+{
+    HOTPATH_ASSERT(cfg.queueCapacityFrames >= 1,
+                   "queue capacity must be at least one frame");
+    HOTPATH_ASSERT(cfg.maxBatchFrames >= 1,
+                   "batch size must be at least one frame");
+
+    tmFramesDecoded = telemetry::counter("engine.frames.decoded");
+    tmFramesRejected = telemetry::counter("engine.frames.rejected");
+    tmEvents = telemetry::counter("engine.events");
+    tmPredictions = telemetry::counter("engine.predictions");
+    tmBackpressure = telemetry::counter("engine.backpressure.waits");
+    tmQueueHighWater = telemetry::gauge("engine.queue.highwater");
+    tmQueueDepth = telemetry::gauge("engine.queue.depth");
+    tmBatchSize = telemetry::histogram("engine.batch.size");
+
+    const std::size_t shard_count = table.shardCount();
+    queues.reserve(shard_count);
+    tmShardFrames.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        queues.push_back(std::make_unique<ShardQueue>());
+        tmShardFrames.push_back(telemetry::counter(
+            "engine.shard." + std::to_string(i) + ".frames"));
+    }
+
+    // More workers than shards would only idle: clamp.
+    const std::size_t worker_count =
+        std::min(cfg.workerThreads, shard_count);
+    if (worker_count == 0)
+        return; // serial fallback mode
+
+    workerStates.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w)
+        workerStates.push_back(std::make_unique<WorkerState>());
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        const std::size_t owner = s % worker_count;
+        queues[s]->worker = owner;
+        workerStates[owner]->shards.push_back(s);
+    }
+    workers.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w)
+        workers.emplace_back(&Engine::workerLoop, this, w);
+}
+
+Engine::~Engine()
+{
+    shutdown();
+}
+
+void
+Engine::countReject(wire::DecodeStatus status)
+{
+    rejectCounts[rejectSlot(status)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (tmFramesRejected)
+        tmFramesRejected->add(1);
+    // One diagnostic per engine; rejections after the first are
+    // visible in stats() without flooding the log from workers.
+    if (!warnedReject.exchange(true, std::memory_order_relaxed))
+        warn(std::string("engine: rejected frame (") +
+             wire::decodeStatusName(status) +
+             "); further rejections counted silently");
+}
+
+bool
+Engine::submit(std::vector<std::uint8_t> frame)
+{
+    framesSubmitted.fetch_add(1, std::memory_order_relaxed);
+
+    wire::FrameHeader header;
+    std::size_t frame_end = 0;
+    const wire::DecodeStatus status = wire::peekFrameHeader(
+        frame.data(), frame.size(), 0, header, frame_end);
+    if (status != wire::DecodeStatus::Ok) {
+        countReject(status);
+        return false;
+    }
+    if (frame_end != frame.size()) {
+        // submit() takes exactly one frame per call.
+        countReject(wire::DecodeStatus::BadLength);
+        return false;
+    }
+
+    if (workers.empty()) {
+        // Serial fallback: the caller's thread is the worker.
+        processFrame(frame, serialScratch);
+        return true;
+    }
+
+    const std::size_t shard_index = table.shardOf(header.session);
+    ShardQueue &queue = *queues[shard_index];
+    pendingFrames.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::unique_lock<std::mutex> lock(queue.mu);
+        if (queue.frames.size() >= cfg.queueCapacityFrames) {
+            ++queue.backpressureWaits;
+            if (tmBackpressure)
+                tmBackpressure->add(1);
+            queue.spaceAvailable.wait(lock, [&] {
+                return queue.frames.size() <
+                       cfg.queueCapacityFrames;
+            });
+        }
+        queue.frames.push_back(std::move(frame));
+        queue.highWater =
+            std::max(queue.highWater, queue.frames.size());
+        if (tmQueueDepth)
+            tmQueueDepth->set(
+                static_cast<std::int64_t>(queue.frames.size()));
+        if (tmQueueHighWater)
+            tmQueueHighWater->recordMax(
+                static_cast<std::int64_t>(queue.frames.size()));
+    }
+
+    WorkerState &worker = *workerStates[queue.worker];
+    {
+        std::lock_guard<std::mutex> lock(worker.mu);
+        worker.wake = true;
+    }
+    worker.workAvailable.notify_one();
+    return true;
+}
+
+bool
+Engine::submitEvents(std::uint64_t session, std::uint64_t sequence,
+                     const PathEvent *events, std::size_t count)
+{
+    std::vector<std::uint8_t> frame;
+    wire::appendEventFrame(frame, session, sequence, events, count);
+    return submit(std::move(frame));
+}
+
+void
+Engine::processFrame(const std::vector<std::uint8_t> &frame,
+                     wire::DecodedFrame &scratch)
+{
+    std::size_t offset = 0;
+    const wire::DecodeStatus status =
+        wire::decodeFrame(frame.data(), frame.size(), offset, scratch);
+    if (status != wire::DecodeStatus::Ok) {
+        countReject(status);
+        return;
+    }
+    if (scratch.header.kind != wire::FrameKind::PathEvents) {
+        // The serving path consumes path events; block-trace frames
+        // are an offline interchange format (see wire_format.hh).
+        countReject(wire::DecodeStatus::BadKind);
+        return;
+    }
+
+    framesDecoded.fetch_add(1, std::memory_order_relaxed);
+    eventsProcessed.fetch_add(scratch.events.size(),
+                              std::memory_order_relaxed);
+    if (tmFramesDecoded)
+        tmFramesDecoded->add(1);
+    if (tmEvents)
+        tmEvents->add(scratch.events.size());
+
+    std::uint64_t predicted = 0;
+    table.withSession(scratch.header.session, [&](Session &session) {
+        predicted = session.apply(scratch);
+    });
+    if (predicted != 0) {
+        predictionsMade.fetch_add(predicted,
+                                  std::memory_order_relaxed);
+        if (tmPredictions)
+            tmPredictions->add(predicted);
+    }
+}
+
+void
+Engine::noteFrameDone(std::uint64_t count)
+{
+    if (pendingFrames.fetch_sub(count, std::memory_order_acq_rel) ==
+        count) {
+        std::lock_guard<std::mutex> lock(drainMu);
+        drainCv.notify_all();
+    }
+}
+
+void
+Engine::workerLoop(std::size_t worker_index)
+{
+    WorkerState &self = *workerStates[worker_index];
+    wire::DecodedFrame scratch;
+    std::vector<std::vector<std::uint8_t>> batch;
+
+    while (true) {
+        bool did_work = false;
+        for (const std::size_t shard_index : self.shards) {
+            ShardQueue &queue = *queues[shard_index];
+            batch.clear();
+            {
+                std::lock_guard<std::mutex> lock(queue.mu);
+                const std::size_t n = std::min(
+                    queue.frames.size(), cfg.maxBatchFrames);
+                for (std::size_t i = 0; i < n; ++i) {
+                    batch.push_back(
+                        std::move(queue.frames.front()));
+                    queue.frames.pop_front();
+                }
+                if (n > 0 && tmQueueDepth)
+                    tmQueueDepth->set(static_cast<std::int64_t>(
+                        queue.frames.size()));
+            }
+            if (batch.empty())
+                continue;
+            did_work = true;
+            queue.spaceAvailable.notify_all();
+
+            batchesPopped.fetch_add(1, std::memory_order_relaxed);
+            if (tmBatchSize)
+                tmBatchSize->record(batch.size());
+            if (tmShardFrames[shard_index])
+                tmShardFrames[shard_index]->add(batch.size());
+
+            for (const std::vector<std::uint8_t> &frame : batch)
+                processFrame(frame, scratch);
+            noteFrameDone(batch.size());
+        }
+        if (did_work)
+            continue;
+
+        std::unique_lock<std::mutex> lock(self.mu);
+        if (stopping.load(std::memory_order_acquire)) {
+            // Drain-before-stop means the queues are already empty
+            // by the time stopping is observed; double-check anyway.
+            bool all_empty = true;
+            for (const std::size_t shard_index : self.shards) {
+                ShardQueue &queue = *queues[shard_index];
+                std::lock_guard<std::mutex> qlock(queue.mu);
+                all_empty = all_empty && queue.frames.empty();
+            }
+            if (all_empty)
+                return;
+            continue;
+        }
+        self.workAvailable.wait(lock, [&] {
+            return self.wake ||
+                   stopping.load(std::memory_order_acquire);
+        });
+        self.wake = false;
+    }
+}
+
+void
+Engine::drain()
+{
+    if (workers.empty())
+        return; // serial mode processes inline; nothing queued
+    std::unique_lock<std::mutex> lock(drainMu);
+    drainCv.wait(lock, [&] {
+        return pendingFrames.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+Engine::shutdown()
+{
+    if (workers.empty())
+        return;
+    drain();
+    stopping.store(true, std::memory_order_release);
+    for (const auto &worker : workerStates) {
+        {
+            std::lock_guard<std::mutex> lock(worker->mu);
+            worker->wake = true;
+        }
+        worker->workAvailable.notify_all();
+    }
+    for (std::thread &thread : workers)
+        thread.join();
+    workers.clear();
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats stats;
+    stats.framesSubmitted =
+        framesSubmitted.load(std::memory_order_relaxed);
+    stats.framesDecoded =
+        framesDecoded.load(std::memory_order_relaxed);
+    stats.rejects.truncated =
+        rejectCounts[0].load(std::memory_order_relaxed);
+    stats.rejects.badMagic =
+        rejectCounts[1].load(std::memory_order_relaxed);
+    stats.rejects.badKind =
+        rejectCounts[2].load(std::memory_order_relaxed);
+    stats.rejects.badLength =
+        rejectCounts[3].load(std::memory_order_relaxed);
+    stats.rejects.badCrc =
+        rejectCounts[4].load(std::memory_order_relaxed);
+    stats.rejects.badPayload =
+        rejectCounts[5].load(std::memory_order_relaxed);
+    stats.framesRejected = stats.rejects.total();
+    stats.eventsProcessed =
+        eventsProcessed.load(std::memory_order_relaxed);
+    stats.predictions =
+        predictionsMade.load(std::memory_order_relaxed);
+    stats.batches = batchesPopped.load(std::memory_order_relaxed);
+
+    const SessionTableStats table_stats = table.stats();
+    stats.sessionsCreated = table_stats.created;
+    stats.sessionsEvicted = table_stats.evicted;
+    stats.sessionsLive = table_stats.live;
+
+    stats.queueHighWater.reserve(queues.size());
+    for (const auto &queue : queues) {
+        std::lock_guard<std::mutex> lock(queue->mu);
+        stats.queueHighWater.push_back(queue->highWater);
+        stats.backpressureWaits += queue->backpressureWaits;
+    }
+    return stats;
+}
+
+std::vector<PathIndex>
+Engine::predictionsFor(std::uint64_t session_id) const
+{
+    std::vector<PathIndex> predictions;
+    table.peekSession(session_id, [&](const Session &session) {
+        predictions = session.predictions();
+    });
+    return predictions;
+}
+
+} // namespace hotpath::engine

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The streaming prediction engine: concurrent ingestion of wire-format
+ * branch-event frames into per-session NET predictors.
+ *
+ * Data flow:
+ *
+ *   producers --submit(frame bytes)--> per-shard bounded MPSC queues
+ *        --> worker threads: decode + CRC-check + Session::apply
+ *
+ * The ingest path only peeks the frame header (cheap varint reads) to
+ * route the frame by session id; all decode and prediction work runs
+ * on the worker that owns the target shard. Every shard is owned by
+ * exactly one worker, and a shard's queue is FIFO, so frames of one
+ * session are processed in submission order - which is what makes the
+ * engine's per-session predictions deterministic and bit-identical to
+ * a serial in-process replay, regardless of worker count or thread
+ * scheduling. (Callers that split one session's frames across
+ * producer threads forfeit the submission order, and with it the
+ * guarantee.)
+ *
+ * Backpressure: a full shard queue blocks submit() until the owning
+ * worker drains room (counted in engine.backpressure.waits). This
+ * bounds memory under overload instead of dropping or buffering
+ * without limit.
+ *
+ * With workerThreads == 0 the engine runs in serial fallback mode:
+ * submit() decodes and applies the frame inline on the caller's
+ * thread, with no queues and no locks beyond the session table's.
+ */
+
+#ifndef HOTPATH_ENGINE_ENGINE_HH
+#define HOTPATH_ENGINE_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/session_table.hh"
+#include "engine/wire_format.hh"
+
+namespace hotpath
+{
+
+namespace telemetry
+{
+class Counter;
+class Gauge;
+class Histogram;
+} // namespace telemetry
+
+namespace engine
+{
+
+/** Engine parameters. */
+struct EngineConfig
+{
+    /** Worker threads consuming the shard queues; 0 = serial mode
+     *  (submit processes frames inline). */
+    std::size_t workerThreads = 4;
+
+    /** Per-shard queue bound in frames; producers block when full. */
+    std::size_t queueCapacityFrames = 256;
+
+    /** Frames a worker drains from one shard per batch. */
+    std::size_t maxBatchFrames = 64;
+
+    /** Session table (shard count, capacity cap, session config). */
+    SessionTableConfig sessions;
+};
+
+/** Why a submitted frame was rejected. */
+struct RejectBreakdown
+{
+    std::uint64_t truncated = 0;
+    std::uint64_t badMagic = 0;
+    std::uint64_t badKind = 0;
+    std::uint64_t badLength = 0;
+    std::uint64_t badCrc = 0;
+    std::uint64_t badPayload = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return truncated + badMagic + badKind + badLength + badCrc +
+               badPayload;
+    }
+};
+
+/** Consistent snapshot of the engine's accounting. */
+struct EngineStats
+{
+    std::uint64_t framesSubmitted = 0;
+    std::uint64_t framesDecoded = 0;
+    std::uint64_t framesRejected = 0;
+    RejectBreakdown rejects;
+
+    std::uint64_t eventsProcessed = 0;
+    std::uint64_t predictions = 0;
+    std::uint64_t batches = 0;
+
+    std::uint64_t sessionsCreated = 0;
+    std::uint64_t sessionsEvicted = 0;
+    std::size_t sessionsLive = 0;
+
+    std::uint64_t backpressureWaits = 0;
+
+    /** Per-shard queue high-water marks (frames). */
+    std::vector<std::size_t> queueHighWater;
+};
+
+/** The serving engine; see file comment. */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config);
+
+    /** Drains and stops the workers. */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Ingest one encoded frame. The header is peeked to route the
+     * frame; a frame whose header does not parse is rejected here
+     * (returns false). Blocks while the target shard's queue is full.
+     * Payload errors (bad CRC, bad payload) surface asynchronously in
+     * stats().framesRejected. Must not be called during or after
+     * shutdown().
+     */
+    bool submit(std::vector<std::uint8_t> frame);
+
+    /**
+     * Convenience producer: encode `count` events as one frame for
+     * `session` and submit it.
+     */
+    bool submitEvents(std::uint64_t session, std::uint64_t sequence,
+                      const PathEvent *events, std::size_t count);
+
+    /** Block until every queued frame has been fully processed. */
+    void drain();
+
+    /** Drain, then stop and join the workers (idempotent). */
+    void shutdown();
+
+    bool serial() const { return workers.empty() && cfg.workerThreads == 0; }
+
+    /** Aggregate accounting (takes the stripe locks briefly). */
+    EngineStats stats() const;
+
+    /** Read-only access to a resident session (false if absent). */
+    bool
+    withSessionStats(
+        std::uint64_t session_id,
+        const std::function<void(const Session &)> &fn) const
+    {
+        return table.peekSession(session_id, fn);
+    }
+
+    /** Ordered predicted paths of one session (empty if absent; only
+     *  populated when the session config records predictions). */
+    std::vector<PathIndex> predictionsFor(std::uint64_t session_id) const;
+
+    const ShardedSessionTable &sessions() const { return table; }
+
+  private:
+    struct ShardQueue
+    {
+        std::mutex mu;
+        std::condition_variable spaceAvailable;
+        std::deque<std::vector<std::uint8_t>> frames;
+        std::size_t highWater = 0;
+        std::uint64_t backpressureWaits = 0;
+        std::size_t worker = 0; // owning worker index
+    };
+
+    struct WorkerState
+    {
+        std::mutex mu;
+        std::condition_variable workAvailable;
+        bool wake = false;
+        std::vector<std::size_t> shards; // owned shard indices
+    };
+
+    void workerLoop(std::size_t worker_index);
+
+    /** Decode + apply one frame on the owning worker (or inline in
+     *  serial mode). */
+    void processFrame(const std::vector<std::uint8_t> &frame,
+                      wire::DecodedFrame &scratch);
+
+    void countReject(wire::DecodeStatus status);
+    void noteFrameDone(std::uint64_t count = 1);
+
+    EngineConfig cfg;
+    ShardedSessionTable table;
+
+    std::vector<std::unique_ptr<ShardQueue>> queues;
+    std::vector<std::unique_ptr<WorkerState>> workerStates;
+    std::vector<std::thread> workers;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> warnedReject{false};
+    std::atomic<std::uint64_t> pendingFrames{0};
+    /** Serial-mode decode scratch (serial submit is single-caller). */
+    wire::DecodedFrame serialScratch;
+    mutable std::mutex drainMu;
+    std::condition_variable drainCv;
+
+    // Aggregates maintained with relaxed atomics (read by stats()).
+    std::atomic<std::uint64_t> framesSubmitted{0};
+    std::atomic<std::uint64_t> framesDecoded{0};
+    std::atomic<std::uint64_t> eventsProcessed{0};
+    std::atomic<std::uint64_t> predictionsMade{0};
+    std::atomic<std::uint64_t> batchesPopped{0};
+    std::atomic<std::uint64_t> rejectCounts[6]{};
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmFramesDecoded = nullptr;
+    telemetry::Counter *tmFramesRejected = nullptr;
+    telemetry::Counter *tmEvents = nullptr;
+    telemetry::Counter *tmPredictions = nullptr;
+    telemetry::Counter *tmBackpressure = nullptr;
+    telemetry::Gauge *tmQueueHighWater = nullptr;
+    telemetry::Gauge *tmQueueDepth = nullptr;
+    telemetry::Histogram *tmBatchSize = nullptr;
+    std::vector<telemetry::Counter *> tmShardFrames;
+};
+
+} // namespace engine
+} // namespace hotpath
+
+#endif // HOTPATH_ENGINE_ENGINE_HH

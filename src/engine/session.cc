@@ -1,0 +1,57 @@
+#include "engine/session.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath::engine
+{
+
+Session::Session(std::uint64_t id, const SessionConfig &config)
+    : sessionId(id), cfg(config),
+      predictor(config.predictionDelay, config.reArm),
+      fragments(config.cacheCapacityInstr, config.cachePolicy)
+{
+}
+
+bool
+Session::consume(const PathEvent &event)
+{
+    ++st.eventsProcessed;
+
+    // Predicted paths execute from the session's fragment cache and
+    // never reach the profiler - exactly the in-process replay route.
+    if (fragments.find(event.path) != nullptr) {
+        ++st.cachedEvents;
+        return false;
+    }
+
+    ++st.interpretedEvents;
+    if (!predictor.observe(event))
+        return false;
+
+    ++st.predictions;
+    fragments.insert(event.path, event.instructions);
+    if (cfg.recordPredictions)
+        predictionLog.push_back(event.path);
+    return true;
+}
+
+std::uint64_t
+Session::apply(const wire::DecodedFrame &frame)
+{
+    HOTPATH_ASSERT(frame.header.session == sessionId,
+                   "frame routed to the wrong session");
+    ++st.framesApplied;
+
+    const std::uint64_t sequence = frame.header.sequence;
+    if (sawFrame && sequence != lastSequence + 1)
+        ++st.sequenceGaps;
+    sawFrame = true;
+    lastSequence = sequence;
+
+    std::uint64_t predicted = 0;
+    for (const PathEvent &event : frame.events)
+        predicted += consume(event) ? 1 : 0;
+    return predicted;
+}
+
+} // namespace hotpath::engine

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * One client's prediction state inside the serving engine.
+ *
+ * A Session embeds the same components the in-process pipeline uses -
+ * a NET predictor (head counters) and a fragment cache - so that
+ * feeding a session the event stream of one client reproduces, event
+ * for event, what an in-process Dynamo-style replay of that client
+ * would do. That equivalence is the engine's determinism contract and
+ * is asserted by tests/engine_test.cc.
+ *
+ * Sessions are single-threaded by construction: the engine routes all
+ * frames of a session to one shard, and a shard is only ever drained
+ * by one worker, so no locking lives here.
+ */
+
+#ifndef HOTPATH_ENGINE_SESSION_HH
+#define HOTPATH_ENGINE_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamo/fragment_cache.hh"
+#include "engine/wire_format.hh"
+#include "predict/net_predictor.hh"
+
+namespace hotpath::engine
+{
+
+/** Per-session predictor and cache parameters. */
+struct SessionConfig
+{
+    /** NET prediction delay (head executions before a prediction). */
+    std::uint64_t predictionDelay = 50;
+
+    /** Re-arm head counters after each prediction (NET default). */
+    bool reArm = true;
+
+    /** Per-session fragment cache capacity in instructions (0 = no
+     *  cap). */
+    std::uint64_t cacheCapacityInstr = 0;
+
+    /** Cache policy when the capacity cap is hit. */
+    FragmentCache::EvictionPolicy cachePolicy =
+        FragmentCache::EvictionPolicy::EvictLru;
+
+    /**
+     * Keep the ordered log of predicted paths. The determinism tests
+     * compare these logs across engine configurations; serving runs
+     * leave it off to keep sessions small.
+     */
+    bool recordPredictions = false;
+};
+
+/** Counters one session accumulates over its lifetime. */
+struct SessionStats
+{
+    std::uint64_t framesApplied = 0;
+    std::uint64_t eventsProcessed = 0;
+    /** Events answered from the fragment cache. */
+    std::uint64_t cachedEvents = 0;
+    /** Events that went through the profiler/predictor. */
+    std::uint64_t interpretedEvents = 0;
+    std::uint64_t predictions = 0;
+    /** Frames whose sequence number skipped ahead (lost frames). */
+    std::uint64_t sequenceGaps = 0;
+};
+
+/** One client's predictor, fragment cache and statistics. */
+class Session
+{
+  public:
+    Session(std::uint64_t id, const SessionConfig &config);
+
+    std::uint64_t id() const { return sessionId; }
+
+    /**
+     * Process one path execution: cached paths short-circuit (they
+     * run from the fragment cache and bypass profiling), everything
+     * else feeds the NET predictor; a prediction inserts the path
+     * into the session's cache. Returns true when this event
+     * triggered a prediction.
+     */
+    bool consume(const PathEvent &event);
+
+    /**
+     * Apply one decoded frame in order: sequence-gap accounting, then
+     * consume() for every event. The frame must belong to this
+     * session. Returns the number of predictions it triggered.
+     */
+    std::uint64_t apply(const wire::DecodedFrame &frame);
+
+    const SessionStats &stats() const { return st; }
+
+    /** Ordered predicted paths (empty unless recordPredictions). */
+    const std::vector<PathIndex> &predictions() const
+    {
+        return predictionLog;
+    }
+
+    /** Live head counters (the session's counter space). */
+    std::size_t countersAllocated() const
+    {
+        return predictor.countersAllocated();
+    }
+
+    const FragmentCache &cache() const { return fragments; }
+
+  private:
+    std::uint64_t sessionId;
+    SessionConfig cfg;
+    NetPredictor predictor;
+    FragmentCache fragments;
+    SessionStats st;
+    std::vector<PathIndex> predictionLog;
+    bool sawFrame = false;
+    std::uint64_t lastSequence = 0;
+};
+
+} // namespace hotpath::engine
+
+#endif // HOTPATH_ENGINE_SESSION_HH

@@ -1,0 +1,166 @@
+#include "engine/session_table.hh"
+
+#include "support/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace hotpath::engine
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: decorrelates adjacent session ids so shard
+ *  assignment stays balanced even for sequential id allocation. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+ShardedSessionTable::ShardedSessionTable(SessionTableConfig config)
+    : cfg(std::move(config))
+{
+    const std::size_t count =
+        roundUpPow2(cfg.shardCount == 0 ? 1 : cfg.shardCount);
+    shards.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        shards.push_back(std::make_unique<Shard>());
+
+    perShardCap = cfg.maxSessions == 0
+        ? 0
+        : (cfg.maxSessions + count - 1) / count;
+
+    tmCreated = telemetry::counter("engine.sessions.created");
+    tmEvicted = telemetry::counter("engine.sessions.evicted");
+    tmLive = telemetry::gauge("engine.sessions.live");
+}
+
+std::size_t
+ShardedSessionTable::shardOf(std::uint64_t session_id) const
+{
+    return static_cast<std::size_t>(mix64(session_id)) &
+           (shards.size() - 1);
+}
+
+void
+ShardedSessionTable::withSession(
+    std::uint64_t session_id,
+    const std::function<void(Session &)> &fn)
+{
+    Shard &shard = *shards[shardOf(session_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end()) {
+        if (perShardCap != 0 &&
+            shard.sessions.size() >= perShardCap) {
+            // Shard full: drop its least-recently-active session.
+            const std::uint64_t victim = shard.lru.back();
+            shard.lru.pop_back();
+            shard.sessions.erase(victim);
+            ++shard.evicted;
+            if (tmEvicted)
+                tmEvicted->add(1);
+            if (tmLive)
+                tmLive->add(-1);
+        }
+        shard.lru.push_front(session_id);
+        Shard::Entry entry;
+        entry.session =
+            std::make_unique<Session>(session_id, cfg.session);
+        entry.lruPos = shard.lru.begin();
+        it = shard.sessions.emplace(session_id, std::move(entry))
+                 .first;
+        ++shard.created;
+        if (tmCreated)
+            tmCreated->add(1);
+        if (tmLive)
+            tmLive->add(1);
+    } else if (it->second.lruPos != shard.lru.begin()) {
+        // Refresh recency: this session is active again.
+        shard.lru.splice(shard.lru.begin(), shard.lru,
+                         it->second.lruPos);
+    }
+
+    fn(*it->second.session);
+}
+
+bool
+ShardedSessionTable::peekSession(
+    std::uint64_t session_id,
+    const std::function<void(const Session &)> &fn) const
+{
+    const Shard &shard = *shards[shardOf(session_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end())
+        return false;
+    fn(*it->second.session);
+    return true;
+}
+
+void
+ShardedSessionTable::forEach(
+    const std::function<void(const Session &)> &fn) const
+{
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        for (const auto &[id, entry] : shard->sessions)
+            fn(*entry.session);
+    }
+}
+
+bool
+ShardedSessionTable::erase(std::uint64_t session_id)
+{
+    Shard &shard = *shards[shardOf(session_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end())
+        return false;
+    shard.lru.erase(it->second.lruPos);
+    shard.sessions.erase(it);
+    if (tmLive)
+        tmLive->add(-1);
+    return true;
+}
+
+std::size_t
+ShardedSessionTable::liveSessions() const
+{
+    std::size_t live = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        live += shard->sessions.size();
+    }
+    return live;
+}
+
+SessionTableStats
+ShardedSessionTable::stats() const
+{
+    SessionTableStats stats;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        stats.created += shard->created;
+        stats.evicted += shard->evicted;
+        stats.live += shard->sessions.size();
+    }
+    return stats;
+}
+
+} // namespace hotpath::engine

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sharded session registry with striped locks and LRU idle eviction.
+ *
+ * Sessions are partitioned across shards by a mixed hash of the
+ * session id; each shard holds its own mutex, hash map and LRU list,
+ * so concurrent traffic for different clients contends only when it
+ * lands on the same stripe. A capacity cap bounds the table's memory:
+ * creating a session in a full shard evicts that shard's
+ * least-recently-active session first (idle clients fall out, hot
+ * clients stay resident).
+ *
+ * The shard partition doubles as the engine's ordering domain: the
+ * engine assigns every shard to exactly one worker, so all activity
+ * on one session is serialized without per-session locks.
+ */
+
+#ifndef HOTPATH_ENGINE_SESSION_TABLE_HH
+#define HOTPATH_ENGINE_SESSION_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/session.hh"
+
+namespace hotpath
+{
+
+namespace telemetry
+{
+class Counter;
+class Gauge;
+} // namespace telemetry
+
+namespace engine
+{
+
+/** Session table parameters. */
+struct SessionTableConfig
+{
+    /** Lock stripes; rounded up to a power of two. */
+    std::size_t shardCount = 16;
+
+    /**
+     * Cap on resident sessions across the whole table (0 = no cap).
+     * Enforced per shard at ceil(maxSessions / shardCount).
+     */
+    std::size_t maxSessions = 0;
+
+    /** Configuration for every created session. */
+    SessionConfig session;
+};
+
+/** Lifetime counters for the table. */
+struct SessionTableStats
+{
+    std::uint64_t created = 0;
+    std::uint64_t evicted = 0;
+    std::size_t live = 0;
+};
+
+/** Striped-lock session map; see file comment. */
+class ShardedSessionTable
+{
+  public:
+    explicit ShardedSessionTable(SessionTableConfig config);
+
+    /** Actual shard count (power of two). */
+    std::size_t shardCount() const { return shards.size(); }
+
+    /** Shard that owns `session_id` (stable mixed hash). */
+    std::size_t shardOf(std::uint64_t session_id) const;
+
+    /**
+     * Run `fn` on the session, creating it (possibly evicting the
+     * shard's LRU session) if absent. The shard lock is held for the
+     * duration, serializing against every other access to sessions
+     * in the same stripe.
+     */
+    void withSession(std::uint64_t session_id,
+                     const std::function<void(Session &)> &fn);
+
+    /**
+     * Run `fn` on the session if it is resident; returns false
+     * without creating anything when it is not. Does not refresh the
+     * session's LRU position (peeking is not activity).
+     */
+    bool peekSession(std::uint64_t session_id,
+                     const std::function<void(const Session &)> &fn) const;
+
+    /** Visit every resident session (shard by shard, under locks). */
+    void forEach(const std::function<void(const Session &)> &fn) const;
+
+    /** Drop one session; returns true if it was resident. */
+    bool erase(std::uint64_t session_id);
+
+    std::size_t liveSessions() const;
+    SessionTableStats stats() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** Most-recently-active session ids at the front. */
+        std::list<std::uint64_t> lru;
+        struct Entry
+        {
+            std::unique_ptr<Session> session;
+            std::list<std::uint64_t>::iterator lruPos;
+        };
+        std::unordered_map<std::uint64_t, Entry> sessions;
+        std::uint64_t created = 0;
+        std::uint64_t evicted = 0;
+    };
+
+    SessionTableConfig cfg;
+    std::size_t perShardCap; // 0 = uncapped
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmCreated = nullptr;
+    telemetry::Counter *tmEvicted = nullptr;
+    telemetry::Gauge *tmLive = nullptr;
+};
+
+} // namespace engine
+} // namespace hotpath
+
+#endif // HOTPATH_ENGINE_SESSION_TABLE_HH

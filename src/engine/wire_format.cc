@@ -1,0 +1,389 @@
+#include "engine/wire_format.hh"
+
+#include <array>
+
+#include "sim/trace_log.hh"
+#include "support/logging.hh"
+
+namespace hotpath::wire
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic0 = 'H';
+constexpr std::uint8_t kMagic1 = 'F';
+constexpr std::size_t kCrcBytes = 4;
+
+/** CRC-32 lookup table (IEEE polynomial, reflected: 0xEDB88320). */
+std::array<std::uint32_t, 256>
+buildCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kCrcTable = buildCrcTable();
+
+void
+appendU32le(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+readU32le(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void
+appendDelta(std::vector<std::uint8_t> &out, std::uint64_t prev,
+            std::uint64_t cur)
+{
+    appendVarint(out, zigzagEncode(static_cast<std::int64_t>(cur) -
+                                   static_cast<std::int64_t>(prev)));
+}
+
+/**
+ * Read one zigzag delta and apply it to `prev`; returns false when
+ * the varint is malformed or the result leaves [0, 2^32).
+ */
+bool
+readDelta32(const std::uint8_t *data, std::size_t size,
+            std::size_t &offset, std::uint32_t &prev)
+{
+    std::uint64_t raw = 0;
+    if (!readVarint(data, size, offset, raw))
+        return false;
+    const std::int64_t next =
+        static_cast<std::int64_t>(prev) + zigzagDecode(raw);
+    if (next < 0 || next > static_cast<std::int64_t>(~std::uint32_t{0}))
+        return false;
+    prev = static_cast<std::uint32_t>(next);
+    return true;
+}
+
+/**
+ * Shared header writer: everything from `kind` through `payloadLen`,
+ * then the payload, then the CRC over kind..payload.
+ */
+void
+appendFrame(std::vector<std::uint8_t> &out, FrameKind kind,
+            std::uint64_t session, std::uint64_t sequence,
+            std::uint64_t count,
+            const std::vector<std::uint8_t> &payload)
+{
+    out.push_back(kMagic0);
+    out.push_back(kMagic1);
+    const std::size_t crc_begin = out.size();
+    out.push_back(static_cast<std::uint8_t>(kind));
+    appendVarint(out, session);
+    appendVarint(out, sequence);
+    appendVarint(out, count);
+    appendVarint(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+    appendU32le(out,
+                crc32(out.data() + crc_begin, out.size() - crc_begin));
+}
+
+/**
+ * Parse the header fields at `offset` (which must point at the
+ * magic). Fills the header plus the payload/CRC geometry.
+ */
+DecodeStatus
+parseHeader(const std::uint8_t *data, std::size_t size,
+            std::size_t offset, FrameHeader &header,
+            std::size_t &crc_begin, std::size_t &payload_begin,
+            std::size_t &payload_len, std::uint64_t &count,
+            std::size_t &frame_end)
+{
+    if (size - offset < 2)
+        return DecodeStatus::Truncated;
+    if (data[offset] != kMagic0 || data[offset + 1] != kMagic1)
+        return DecodeStatus::BadMagic;
+    std::size_t cur = offset + 2;
+    crc_begin = cur;
+
+    if (cur >= size)
+        return DecodeStatus::Truncated;
+    const std::uint8_t kind = data[cur++];
+    if (kind != static_cast<std::uint8_t>(FrameKind::PathEvents) &&
+        kind != static_cast<std::uint8_t>(FrameKind::BlockTrace))
+        return DecodeStatus::BadKind;
+    header.kind = static_cast<FrameKind>(kind);
+
+    std::uint64_t payload_bytes = 0;
+    if (!readVarint(data, size, cur, header.session) ||
+        !readVarint(data, size, cur, header.sequence) ||
+        !readVarint(data, size, cur, count) ||
+        !readVarint(data, size, cur, payload_bytes))
+        return DecodeStatus::Truncated;
+    if (count > kMaxFrameEvents || payload_bytes > kMaxPayloadBytes)
+        return DecodeStatus::BadLength;
+
+    payload_begin = cur;
+    payload_len = static_cast<std::size_t>(payload_bytes);
+    if (size - cur < payload_len ||
+        size - cur - payload_len < kCrcBytes)
+        return DecodeStatus::Truncated;
+    frame_end = payload_begin + payload_len + kCrcBytes;
+    return DecodeStatus::Ok;
+}
+
+} // namespace
+
+const char *
+decodeStatusName(DecodeStatus status)
+{
+    switch (status) {
+      case DecodeStatus::Ok: return "ok";
+      case DecodeStatus::Truncated: return "truncated";
+      case DecodeStatus::BadMagic: return "bad-magic";
+      case DecodeStatus::BadKind: return "bad-kind";
+      case DecodeStatus::BadLength: return "bad-length";
+      case DecodeStatus::BadCrc: return "bad-crc";
+      case DecodeStatus::BadPayload: return "bad-payload";
+    }
+    return "unknown";
+}
+
+void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool
+readVarint(const std::uint8_t *data, std::size_t size,
+           std::size_t &offset, std::uint64_t &v)
+{
+    std::uint64_t result = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (offset >= size)
+            return false;
+        const std::uint8_t byte = data[offset++];
+        result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            v = result;
+            return true;
+        }
+    }
+    return false; // more than 10 continuation bytes
+}
+
+std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = kCrcTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+void
+appendEventFrame(std::vector<std::uint8_t> &out, std::uint64_t session,
+                 std::uint64_t sequence, const PathEvent *events,
+                 std::size_t count)
+{
+    HOTPATH_ASSERT(count <= kMaxFrameEvents,
+                   "event frame exceeds kMaxFrameEvents");
+    std::vector<std::uint8_t> payload;
+    payload.reserve(count * 5);
+    PathEvent prev; // field-wise delta baseline: zeros via kInvalid?
+    prev.path = 0;
+    prev.head = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const PathEvent &e = events[i];
+        appendDelta(payload, prev.path, e.path);
+        appendDelta(payload, prev.head, e.head);
+        appendDelta(payload, prev.blocks, e.blocks);
+        appendDelta(payload, prev.branches, e.branches);
+        appendDelta(payload, prev.instructions, e.instructions);
+        prev = e;
+    }
+    appendFrame(out, FrameKind::PathEvents, session, sequence, count,
+                payload);
+}
+
+void
+appendEventFrame(std::vector<std::uint8_t> &out, std::uint64_t session,
+                 std::uint64_t sequence,
+                 const std::vector<PathEvent> &events)
+{
+    appendEventFrame(out, session, sequence, events.data(),
+                     events.size());
+}
+
+void
+appendBlockFrame(std::vector<std::uint8_t> &out, std::uint64_t session,
+                 std::uint64_t sequence, const BlockId *blocks,
+                 std::size_t count)
+{
+    HOTPATH_ASSERT(count <= kMaxFrameEvents,
+                   "block frame exceeds kMaxFrameEvents");
+    std::vector<std::uint8_t> payload;
+    payload.reserve(count * 2);
+    BlockId prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        appendDelta(payload, prev, blocks[i]);
+        prev = blocks[i];
+    }
+    appendFrame(out, FrameKind::BlockTrace, session, sequence, count,
+                payload);
+}
+
+std::vector<std::uint8_t>
+encodeEventStream(const std::vector<PathEvent> &stream,
+                  std::uint64_t session, std::size_t frame_events)
+{
+    HOTPATH_ASSERT(frame_events >= 1 &&
+                       frame_events <= kMaxFrameEvents,
+                   "invalid frame_events");
+    std::vector<std::uint8_t> out;
+    std::uint64_t sequence = 0;
+    std::size_t i = 0;
+    do {
+        const std::size_t n =
+            std::min(frame_events, stream.size() - i);
+        appendEventFrame(out, session, sequence++, stream.data() + i,
+                         n);
+        i += n;
+    } while (i < stream.size());
+    return out;
+}
+
+DecodeStatus
+peekFrameHeader(const std::uint8_t *data, std::size_t size,
+                std::size_t offset, FrameHeader &header,
+                std::size_t &frame_end)
+{
+    std::size_t crc_begin = 0;
+    std::size_t payload_begin = 0;
+    std::size_t payload_len = 0;
+    std::uint64_t count = 0;
+    return parseHeader(data, size, offset, header, crc_begin,
+                       payload_begin, payload_len, count, frame_end);
+}
+
+DecodeStatus
+decodeFrame(const std::uint8_t *data, std::size_t size,
+            std::size_t &offset, DecodedFrame &out)
+{
+    std::size_t crc_begin = 0;
+    std::size_t payload_begin = 0;
+    std::size_t payload_len = 0;
+    std::uint64_t count = 0;
+    std::size_t frame_end = 0;
+    const DecodeStatus header_status =
+        parseHeader(data, size, offset, out.header, crc_begin,
+                    payload_begin, payload_len, count, frame_end);
+    if (header_status != DecodeStatus::Ok)
+        return header_status;
+
+    const std::size_t payload_end = payload_begin + payload_len;
+    const std::uint32_t want = readU32le(data + payload_end);
+    if (crc32(data + crc_begin, payload_end - crc_begin) != want)
+        return DecodeStatus::BadCrc;
+
+    out.events.clear();
+    out.blocks.clear();
+    std::size_t cur = payload_begin;
+    if (out.header.kind == FrameKind::PathEvents) {
+        out.events.reserve(count);
+        PathEvent prev;
+        prev.path = 0;
+        prev.head = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (!readDelta32(data, payload_end, cur, prev.path) ||
+                !readDelta32(data, payload_end, cur, prev.head) ||
+                !readDelta32(data, payload_end, cur, prev.blocks) ||
+                !readDelta32(data, payload_end, cur, prev.branches) ||
+                !readDelta32(data, payload_end, cur,
+                             prev.instructions))
+                return DecodeStatus::BadPayload;
+            out.events.push_back(prev);
+        }
+    } else {
+        out.blocks.reserve(count);
+        BlockId prev = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (!readDelta32(data, payload_end, cur, prev))
+                return DecodeStatus::BadPayload;
+            out.blocks.push_back(prev);
+        }
+    }
+    if (cur != payload_end)
+        return DecodeStatus::BadPayload; // trailing junk in payload
+    offset = frame_end;
+    return DecodeStatus::Ok;
+}
+
+std::vector<std::uint8_t>
+encodeTraceLog(const TraceLog &log, std::uint64_t session,
+               std::size_t frame_events)
+{
+    HOTPATH_ASSERT(frame_events >= 1 &&
+                       frame_events <= kMaxFrameEvents,
+                   "invalid frame_events");
+    const std::vector<BlockId> &seq = log.sequence();
+    std::vector<std::uint8_t> out;
+    std::uint64_t sequence = 0;
+    std::size_t i = 0;
+    do {
+        const std::size_t n = std::min(frame_events, seq.size() - i);
+        appendBlockFrame(out, session, sequence++, seq.data() + i, n);
+        i += n;
+    } while (i < seq.size());
+    return out;
+}
+
+DecodeStatus
+decodeTraceLog(const std::uint8_t *data, std::size_t size,
+               TraceLog &out)
+{
+    std::size_t offset = 0;
+    DecodedFrame frame;
+    while (offset < size) {
+        const DecodeStatus status =
+            decodeFrame(data, size, offset, frame);
+        if (status != DecodeStatus::Ok)
+            return status;
+        if (frame.header.kind != FrameKind::BlockTrace)
+            return DecodeStatus::BadKind;
+        out.appendAll(frame.blocks);
+    }
+    return DecodeStatus::Ok;
+}
+
+} // namespace hotpath::wire

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The binary wire format for branch-event batches (the engine's
+ * ingestion currency).
+ *
+ * A *frame* carries one batch of events for one session:
+ *
+ *   magic      2 bytes   'H' 'F'
+ *   kind       1 byte    1 = path events, 2 = block trace
+ *   session    varint    client/session identifier
+ *   sequence   varint    per-session frame sequence number
+ *   count      varint    events in the payload
+ *   payloadLen varint    payload size in bytes
+ *   payload    bytes     delta-encoded events (see below)
+ *   crc        4 bytes   CRC-32 (little endian) over kind..payload
+ *
+ * Integers are LEB128 varints; deltas are zigzag-mapped so small
+ * negative jumps stay small on the wire. Path-event payloads encode
+ * each field as a delta against the previous event in the frame
+ * (loop bursts repeat the same path, so a burst costs 5 bytes per
+ * event); block-trace payloads encode consecutive block ids as
+ * deltas - the software analogue of PC-delta branch-trace formats.
+ *
+ * Decoding is defensive, not trusting: every malformed input maps to
+ * a DecodeStatus instead of a panic, because frames arrive from
+ * outside the process. The CRC covers the header fields after the
+ * magic as well as the payload, so any single corrupted byte in a
+ * frame is detected.
+ */
+
+#ifndef HOTPATH_ENGINE_WIRE_FORMAT_HH
+#define HOTPATH_ENGINE_WIRE_FORMAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/types.hh"
+#include "paths/path_event.hh"
+
+namespace hotpath
+{
+
+class TraceLog;
+
+namespace wire
+{
+
+/** What a frame's payload contains. */
+enum class FrameKind : std::uint8_t
+{
+    PathEvents = 1,
+    BlockTrace = 2,
+};
+
+/** Frame metadata (everything before the payload). */
+struct FrameHeader
+{
+    std::uint64_t session = 0;
+    std::uint64_t sequence = 0;
+    FrameKind kind = FrameKind::PathEvents;
+};
+
+/** Outcome of decoding one frame. */
+enum class DecodeStatus
+{
+    Ok,
+    /** Buffer ends before the frame does (stream cut short). */
+    Truncated,
+    BadMagic,
+    BadKind,
+    /** count/payloadLen exceed the sanity caps. */
+    BadLength,
+    BadCrc,
+    /** Payload does not decode to exactly `count` in-range events. */
+    BadPayload,
+};
+
+/** Stable name for reports and tests. */
+const char *decodeStatusName(DecodeStatus status);
+
+/** One decoded frame; exactly one of events/blocks is populated. */
+struct DecodedFrame
+{
+    FrameHeader header;
+    std::vector<PathEvent> events;
+    std::vector<BlockId> blocks;
+};
+
+/** Sanity caps enforced by the decoder. */
+constexpr std::size_t kMaxFrameEvents = std::size_t{1} << 20;
+constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 26;
+
+// Primitive encodings (exposed for the property tests) -------------
+
+/** Append a LEB128 varint. */
+void appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/**
+ * Read a LEB128 varint at `offset`, advancing it. Returns false on
+ * truncation or a varint longer than 10 bytes.
+ */
+bool readVarint(const std::uint8_t *data, std::size_t size,
+                std::size_t &offset, std::uint64_t &v);
+
+/** Zigzag map signed -> unsigned (small magnitudes stay small). */
+std::uint64_t zigzagEncode(std::int64_t v);
+std::int64_t zigzagDecode(std::uint64_t v);
+
+/** CRC-32 (IEEE 802.3 polynomial, bit-reflected). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+// Frame encoding ---------------------------------------------------
+
+/** Append one path-event frame for `session` to `out`. */
+void appendEventFrame(std::vector<std::uint8_t> &out,
+                      std::uint64_t session, std::uint64_t sequence,
+                      const PathEvent *events, std::size_t count);
+
+void appendEventFrame(std::vector<std::uint8_t> &out,
+                      std::uint64_t session, std::uint64_t sequence,
+                      const std::vector<PathEvent> &events);
+
+/** Append one block-trace frame for `session` to `out`. */
+void appendBlockFrame(std::vector<std::uint8_t> &out,
+                      std::uint64_t session, std::uint64_t sequence,
+                      const BlockId *blocks, std::size_t count);
+
+/**
+ * Encode a whole event stream as consecutive frames (sequence 0..n)
+ * of at most `frame_events` events each. This is the one on-disk /
+ * on-wire event encoding; workload/stream_io delegates to it.
+ */
+std::vector<std::uint8_t>
+encodeEventStream(const std::vector<PathEvent> &stream,
+                  std::uint64_t session,
+                  std::size_t frame_events = 4096);
+
+// Frame decoding ---------------------------------------------------
+
+/**
+ * Parse only the header of the frame at `offset` (no payload walk,
+ * no CRC). `frame_end` receives the offset one past the frame's CRC.
+ * This is what the engine's ingest path uses to route a frame to its
+ * shard without paying for a full decode.
+ */
+DecodeStatus peekFrameHeader(const std::uint8_t *data,
+                             std::size_t size, std::size_t offset,
+                             FrameHeader &header,
+                             std::size_t &frame_end);
+
+/**
+ * Fully decode (and CRC-check) the frame at `offset`. On Ok,
+ * `offset` advances past the frame and `out` holds the events.
+ * On any error `offset` is untouched.
+ */
+DecodeStatus decodeFrame(const std::uint8_t *data, std::size_t size,
+                         std::size_t &offset, DecodedFrame &out);
+
+// sim::TraceLog round trip -----------------------------------------
+
+/**
+ * Encode a recorded execution trace as block-trace frames (the
+ * "export a native run, serve it later" path).
+ */
+std::vector<std::uint8_t> encodeTraceLog(const TraceLog &log,
+                                         std::uint64_t session,
+                                         std::size_t frame_events = 4096);
+
+/**
+ * Decode consecutive block-trace frames back into `out` (appending,
+ * in frame order). Stops at the first malformed frame and returns
+ * its status; Ok means the whole buffer decoded.
+ */
+DecodeStatus decodeTraceLog(const std::uint8_t *data,
+                            std::size_t size, TraceLog &out);
+
+} // namespace wire
+} // namespace hotpath
+
+#endif // HOTPATH_ENGINE_WIRE_FORMAT_HH

@@ -22,6 +22,12 @@ TraceLog::onBlock(const BasicBlock &block)
 }
 
 void
+TraceLog::appendAll(const std::vector<BlockId> &ids)
+{
+    blocks.insert(blocks.end(), ids.begin(), ids.end());
+}
+
+void
 TraceLog::save(std::ostream &os) const
 {
     const std::uint64_t magic = kTraceMagic;

@@ -38,6 +38,12 @@ class TraceLog : public ExecutionListener
     /** Append a block id directly (for synthetic traces in tests). */
     void append(BlockId block) { blocks.push_back(block); }
 
+    /** Bulk append (wire-format import, trace stitching). */
+    void appendAll(const std::vector<BlockId> &ids);
+
+    /** Drop all recorded blocks. */
+    void clear() { blocks.clear(); }
+
     /** Serialize to a binary stream. */
     void save(std::ostream &os) const;
 

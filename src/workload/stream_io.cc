@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "engine/wire_format.hh"
 #include "support/logging.hh"
 
 namespace hotpath
@@ -13,16 +14,12 @@ namespace hotpath
 namespace
 {
 
-constexpr std::uint64_t kStreamMagic = 0x4850455653313000ull;
+/** v2 container: this magic, u64 event count, then wire frames. */
+constexpr std::uint64_t kStreamMagic = 0x4850455653323000ull;
+/** v1 (raw struct dump) magic, recognized only to explain itself. */
+constexpr std::uint64_t kStreamMagicV1 = 0x4850455653313000ull;
 
-struct PackedEvent
-{
-    PathIndex path;
-    HeadIndex head;
-    std::uint32_t blocks;
-    std::uint32_t branches;
-    std::uint32_t instructions;
-};
+constexpr std::size_t kEventsPerFrame = 4096;
 
 } // namespace
 
@@ -33,13 +30,12 @@ savePathStream(std::ostream &os, const std::vector<PathEvent> &stream)
     const std::uint64_t count = stream.size();
     os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
     os.write(reinterpret_cast<const char *>(&count), sizeof(count));
-    for (const PathEvent &event : stream) {
-        const PackedEvent packed = {event.path, event.head,
-                                    event.blocks, event.branches,
-                                    event.instructions};
-        os.write(reinterpret_cast<const char *>(&packed),
-                 sizeof(packed));
-    }
+
+    const std::vector<std::uint8_t> frames =
+        wire::encodeEventStream(stream, /*session=*/0,
+                                kEventsPerFrame);
+    os.write(reinterpret_cast<const char *>(frames.data()),
+             static_cast<std::streamsize>(frames.size()));
     HOTPATH_ASSERT(os.good(), "stream write failed");
 }
 
@@ -49,25 +45,42 @@ loadPathStream(std::istream &is)
     std::uint64_t magic = 0;
     std::uint64_t count = 0;
     is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    HOTPATH_ASSERT(is.good() && magic == kStreamMagic,
-                   "bad path-stream header");
+    HOTPATH_ASSERT(is.good(), "truncated path-stream header");
+    HOTPATH_ASSERT(magic != kStreamMagicV1,
+                   "v1 path-stream container is no longer readable; "
+                   "re-materialize and re-save the stream");
+    HOTPATH_ASSERT(magic == kStreamMagic, "bad path-stream header");
     is.read(reinterpret_cast<char *>(&count), sizeof(count));
     HOTPATH_ASSERT(is.good(), "truncated path-stream header");
 
+    // Slurp the frame section (experiment artifacts are in-memory
+    // sized) and decode frame by frame.
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+
     std::vector<PathEvent> stream;
     stream.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        PackedEvent packed;
-        is.read(reinterpret_cast<char *>(&packed), sizeof(packed));
-        HOTPATH_ASSERT(is.good(), "truncated path-stream body");
-        PathEvent event;
-        event.path = packed.path;
-        event.head = packed.head;
-        event.blocks = packed.blocks;
-        event.branches = packed.branches;
-        event.instructions = packed.instructions;
-        stream.push_back(event);
+    std::size_t offset = 0;
+    std::uint64_t expected_sequence = 0;
+    wire::DecodedFrame frame;
+    while (offset < bytes.size()) {
+        const wire::DecodeStatus status = wire::decodeFrame(
+            bytes.data(), bytes.size(), offset, frame);
+        HOTPATH_ASSERT(status == wire::DecodeStatus::Ok,
+                       "malformed path-stream frame: ",
+                       wire::decodeStatusName(status));
+        HOTPATH_ASSERT(frame.header.kind ==
+                           wire::FrameKind::PathEvents,
+                       "path-stream container holds a non-event "
+                       "frame");
+        HOTPATH_ASSERT(frame.header.sequence == expected_sequence++,
+                       "path-stream frames out of sequence");
+        stream.insert(stream.end(), frame.events.begin(),
+                      frame.events.end());
     }
+    HOTPATH_ASSERT(stream.size() == count,
+                   "path-stream event count mismatch");
     return stream;
 }
 

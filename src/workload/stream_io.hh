@@ -5,9 +5,19 @@
  * Materialized streams (and the traces the CFG pipeline produces
  * through the registry) can be saved to disk and replayed later, so
  * an expensive workload synthesis or recording runs once and the
- * sweeps and system models consume the artifact. The format is a
- * simple versioned binary container (host endianness; these are
- * local experiment artifacts, not interchange files).
+ * sweeps and system models consume the artifact.
+ *
+ * MIGRATION NOTE (container v2): the original container was a raw
+ * host-endian struct dump private to this module. There is now
+ * exactly one event encoding in the tree - the engine wire format
+ * (engine/wire_format.hh) - and this module delegates to it: a v2
+ * container is a 16-byte header (magic, event count) followed by
+ * standard wire frames (session 0, sequence 0..n, varint + delta
+ * encoded, CRC-checked). Files written by the v1 code cannot be
+ * loaded anymore; loading one fails with an explicit "re-materialize
+ * the stream" message. The v2 format is also what the streaming
+ * engine accepts over its ingest path, so a saved stream doubles as
+ * a replayable serving workload.
  */
 
 #ifndef HOTPATH_WORKLOAD_STREAM_IO_HH
@@ -21,7 +31,7 @@
 namespace hotpath
 {
 
-/** Write a stream to a binary container. */
+/** Write a stream to a binary container (wire-format frames). */
 void savePathStream(std::ostream &os,
                     const std::vector<PathEvent> &stream);
 

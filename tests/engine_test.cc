@@ -1,0 +1,632 @@
+/**
+ * @file
+ * The streaming engine's contract tests: wire-format round trips and
+ * defensive decoding (truncation and corruption never crash, every
+ * malformed frame maps to a status), session LRU eviction under the
+ * capacity cap, and the determinism guarantee - a threaded engine's
+ * per-session predictions are bit-identical to the serial fallback
+ * and to a hand-rolled in-process replay.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamo/fragment_cache.hh"
+#include "engine/engine.hh"
+#include "engine/session.hh"
+#include "engine/session_table.hh"
+#include "engine/wire_format.hh"
+#include "predict/net_predictor.hh"
+#include "sim/trace_log.hh"
+#include "support/random.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+using namespace hotpath::engine;
+
+namespace
+{
+
+std::vector<PathEvent>
+syntheticEvents(std::size_t count, std::uint64_t seed)
+{
+    // Loop-burst shaped: runs of one path with occasional jumps, the
+    // pattern the delta encoding is built for, plus full-range
+    // outliers to exercise the zigzag width handling.
+    Rng rng(seed);
+    std::vector<PathEvent> events;
+    events.reserve(count);
+    PathEvent event;
+    event.path = 7;
+    event.head = 3;
+    event.blocks = 5;
+    event.branches = 4;
+    event.instructions = 40;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (rng.nextBool(0.1)) {
+            event.path = static_cast<PathIndex>(rng.next());
+            event.head = static_cast<HeadIndex>(rng.next());
+            event.blocks = static_cast<std::uint32_t>(rng.next());
+            event.branches = static_cast<std::uint32_t>(rng.next());
+            event.instructions =
+                static_cast<std::uint32_t>(rng.next());
+        }
+        events.push_back(event);
+    }
+    return events;
+}
+
+bool
+sameEvent(const PathEvent &a, const PathEvent &b)
+{
+    return a.path == b.path && a.head == b.head &&
+           a.blocks == b.blocks && a.branches == b.branches &&
+           a.instructions == b.instructions;
+}
+
+} // namespace
+
+// Primitive encodings ----------------------------------------------
+
+TEST(WireFormat, VarintRoundTripsBoundaryValues)
+{
+    const std::uint64_t values[] = {0,
+                                    1,
+                                    127,
+                                    128,
+                                    16383,
+                                    16384,
+                                    (1ull << 32) - 1,
+                                    1ull << 32,
+                                    ~0ull};
+    for (std::uint64_t v : values) {
+        std::vector<std::uint8_t> buf;
+        wire::appendVarint(buf, v);
+        std::size_t offset = 0;
+        std::uint64_t decoded = 0;
+        ASSERT_TRUE(wire::readVarint(buf.data(), buf.size(), offset,
+                                     decoded));
+        EXPECT_EQ(decoded, v);
+        EXPECT_EQ(offset, buf.size());
+    }
+}
+
+TEST(WireFormat, VarintRejectsTruncationAndOverlength)
+{
+    std::vector<std::uint8_t> buf;
+    wire::appendVarint(buf, ~0ull);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+        std::size_t offset = 0;
+        std::uint64_t v = 0;
+        EXPECT_FALSE(wire::readVarint(buf.data(), cut, offset, v));
+    }
+    // Eleven continuation bytes can never be a valid 64-bit varint.
+    const std::vector<std::uint8_t> runaway(11, 0x80);
+    std::size_t offset = 0;
+    std::uint64_t v = 0;
+    EXPECT_FALSE(
+        wire::readVarint(runaway.data(), runaway.size(), offset, v));
+}
+
+TEST(WireFormat, ZigzagIsAnInvolutionAndKeepsSmallMagnitudesSmall)
+{
+    const std::int64_t values[] = {0, -1, 1, -2, 2, 1 << 20,
+                                   -(1 << 20),
+                                   std::numeric_limits<std::int64_t>::min(),
+                                   std::numeric_limits<std::int64_t>::max()};
+    for (std::int64_t v : values)
+        EXPECT_EQ(wire::zigzagDecode(wire::zigzagEncode(v)), v);
+    EXPECT_EQ(wire::zigzagEncode(-1), 1u);
+    EXPECT_EQ(wire::zigzagEncode(1), 2u);
+}
+
+TEST(WireFormat, Crc32MatchesKnownVector)
+{
+    // The classic IEEE test vector.
+    const char *s = "123456789";
+    EXPECT_EQ(wire::crc32(reinterpret_cast<const std::uint8_t *>(s),
+                          9),
+              0xCBF43926u);
+}
+
+// Frame round trips ------------------------------------------------
+
+TEST(WireFormat, EventStreamRoundTripsAcrossFrames)
+{
+    const std::vector<PathEvent> events = syntheticEvents(10000, 11);
+    // Frame size 257 forces many frames plus a ragged tail.
+    const std::vector<std::uint8_t> bytes =
+        wire::encodeEventStream(events, /*session=*/42, 257);
+
+    std::vector<PathEvent> decoded;
+    std::size_t offset = 0;
+    std::uint64_t sequence = 0;
+    wire::DecodedFrame frame;
+    while (offset < bytes.size()) {
+        ASSERT_EQ(wire::decodeFrame(bytes.data(), bytes.size(),
+                                    offset, frame),
+                  wire::DecodeStatus::Ok);
+        EXPECT_EQ(frame.header.session, 42u);
+        EXPECT_EQ(frame.header.sequence, sequence++);
+        EXPECT_EQ(frame.header.kind, wire::FrameKind::PathEvents);
+        decoded.insert(decoded.end(), frame.events.begin(),
+                       frame.events.end());
+    }
+    ASSERT_EQ(decoded.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i)
+        ASSERT_TRUE(sameEvent(decoded[i], events[i])) << "at " << i;
+}
+
+TEST(WireFormat, EmptyFrameRoundTrips)
+{
+    std::vector<std::uint8_t> bytes;
+    wire::appendEventFrame(bytes, 9, 0, nullptr, 0);
+    std::size_t offset = 0;
+    wire::DecodedFrame frame;
+    ASSERT_EQ(
+        wire::decodeFrame(bytes.data(), bytes.size(), offset, frame),
+        wire::DecodeStatus::Ok);
+    EXPECT_TRUE(frame.events.empty());
+    EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(WireFormat, TraceLogRoundTripsThroughBlockFrames)
+{
+    TraceLog log;
+    Rng rng(5);
+    BlockId block = 100;
+    for (int i = 0; i < 5000; ++i) {
+        // Mostly small forward/backward hops, sometimes a far jump.
+        block = rng.nextBool(0.05)
+                    ? static_cast<BlockId>(rng.next())
+                    : static_cast<BlockId>(
+                          block + rng.nextInRange(-3, 3));
+        log.append(block);
+    }
+
+    const std::vector<std::uint8_t> bytes =
+        wire::encodeTraceLog(log, /*session=*/7, /*frame_events=*/777);
+    TraceLog decoded;
+    ASSERT_EQ(wire::decodeTraceLog(bytes.data(), bytes.size(),
+                                   decoded),
+              wire::DecodeStatus::Ok);
+    EXPECT_EQ(decoded.sequence(), log.sequence());
+}
+
+TEST(WireFormat, PeekAgreesWithFullDecode)
+{
+    const std::vector<PathEvent> events = syntheticEvents(100, 3);
+    std::vector<std::uint8_t> bytes;
+    wire::appendEventFrame(bytes, 123456, 77, events.data(),
+                           events.size());
+
+    wire::FrameHeader header;
+    std::size_t frame_end = 0;
+    ASSERT_EQ(wire::peekFrameHeader(bytes.data(), bytes.size(), 0,
+                                    header, frame_end),
+              wire::DecodeStatus::Ok);
+    EXPECT_EQ(header.session, 123456u);
+    EXPECT_EQ(header.sequence, 77u);
+    EXPECT_EQ(frame_end, bytes.size());
+}
+
+// Defensive decoding: property tests -------------------------------
+
+TEST(WireFormat, TruncationAtEveryLengthIsRejectedWithoutCrashing)
+{
+    const std::vector<PathEvent> events = syntheticEvents(64, 21);
+    std::vector<std::uint8_t> bytes;
+    wire::appendEventFrame(bytes, 5, 0, events.data(), events.size());
+
+    wire::DecodedFrame frame;
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        std::size_t offset = 0;
+        const wire::DecodeStatus status =
+            wire::decodeFrame(bytes.data(), cut, offset, frame);
+        EXPECT_NE(status, wire::DecodeStatus::Ok) << "cut=" << cut;
+        EXPECT_EQ(offset, 0u) << "offset moved on error, cut=" << cut;
+    }
+}
+
+TEST(WireFormat, EverySingleByteCorruptionIsDetected)
+{
+    const std::vector<PathEvent> events = syntheticEvents(32, 8);
+    std::vector<std::uint8_t> bytes;
+    wire::appendEventFrame(bytes, 3, 1, events.data(), events.size());
+
+    // The CRC covers kind..payload and the CRC bytes themselves are
+    // compared, so any single-byte flip anywhere in the frame must
+    // surface as a non-Ok status (which one depends on whether the
+    // flip breaks structure before the CRC check runs).
+    wire::DecodedFrame frame;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        for (std::uint8_t flip : {std::uint8_t{0x01},
+                                  std::uint8_t{0x80},
+                                  std::uint8_t{0xff}}) {
+            std::vector<std::uint8_t> corrupt = bytes;
+            corrupt[i] ^= flip;
+            std::size_t offset = 0;
+            const wire::DecodeStatus status = wire::decodeFrame(
+                corrupt.data(), corrupt.size(), offset, frame);
+            EXPECT_NE(status, wire::DecodeStatus::Ok)
+                << "byte " << i << " flip " << int(flip);
+        }
+    }
+}
+
+TEST(WireFormat, RandomGarbageNeverDecodes)
+{
+    Rng rng(99);
+    wire::DecodedFrame frame;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> junk(rng.nextBounded(256));
+        for (auto &byte : junk)
+            byte = static_cast<std::uint8_t>(rng.next());
+        // Avoid the astronomically unlikely valid frame by breaking
+        // the magic when the draw happens to produce it.
+        if (junk.size() >= 2 && junk[0] == 'H' && junk[1] == 'F')
+            junk[0] = 'X';
+        std::size_t offset = 0;
+        EXPECT_NE(wire::decodeFrame(junk.data(), junk.size(), offset,
+                                    frame),
+                  wire::DecodeStatus::Ok);
+    }
+}
+
+TEST(WireFormat, OversizedCountIsBadLengthNotAnAllocation)
+{
+    // Hand-build a frame claiming 2^40 events; the decoder must
+    // refuse from the declared count alone, before touching payload.
+    std::vector<std::uint8_t> bytes;
+    bytes.push_back('H');
+    bytes.push_back('F');
+    const std::size_t crc_begin = bytes.size();
+    bytes.push_back(1); // kind = PathEvents
+    wire::appendVarint(bytes, 1);          // session
+    wire::appendVarint(bytes, 0);          // sequence
+    wire::appendVarint(bytes, 1ull << 40); // count
+    wire::appendVarint(bytes, 0);          // payloadLen
+    const std::uint32_t crc = wire::crc32(bytes.data() + crc_begin,
+                                          bytes.size() - crc_begin);
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(
+            static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
+
+    std::size_t offset = 0;
+    wire::DecodedFrame frame;
+    EXPECT_EQ(
+        wire::decodeFrame(bytes.data(), bytes.size(), offset, frame),
+        wire::DecodeStatus::BadLength);
+}
+
+// Session ----------------------------------------------------------
+
+TEST(Session, CountsSequenceGaps)
+{
+    Session session(1, SessionConfig{});
+    wire::DecodedFrame frame;
+    frame.header.session = 1;
+    frame.header.sequence = 0;
+    session.apply(frame);
+    frame.header.sequence = 1;
+    session.apply(frame);
+    frame.header.sequence = 5; // frames 2..4 lost
+    session.apply(frame);
+    frame.header.sequence = 6;
+    session.apply(frame);
+    EXPECT_EQ(session.stats().framesApplied, 4u);
+    EXPECT_EQ(session.stats().sequenceGaps, 1u);
+}
+
+TEST(Session, CachedPathsBypassTheProfiler)
+{
+    SessionConfig config;
+    config.predictionDelay = 3;
+    Session session(1, config);
+
+    PathEvent event;
+    event.path = 9;
+    event.head = 2;
+    event.instructions = 10;
+    // Three head executions arm the prediction; the third predicts
+    // and caches the path, after which events are cache hits.
+    for (int i = 0; i < 3; ++i)
+        session.consume(event);
+    EXPECT_EQ(session.stats().predictions, 1u);
+    session.consume(event);
+    session.consume(event);
+    EXPECT_EQ(session.stats().cachedEvents, 2u);
+    EXPECT_EQ(session.stats().interpretedEvents, 3u);
+    EXPECT_EQ(session.stats().eventsProcessed, 5u);
+}
+
+// Session table ----------------------------------------------------
+
+TEST(SessionTable, EvictsLeastRecentlyActiveWhenFull)
+{
+    SessionTableConfig config;
+    config.shardCount = 1; // single stripe makes LRU order total
+    config.maxSessions = 3;
+    ShardedSessionTable table(config);
+
+    const auto touch = [&](std::uint64_t id) {
+        table.withSession(id, [](Session &) {});
+    };
+    touch(1);
+    touch(2);
+    touch(3);
+    EXPECT_EQ(table.liveSessions(), 3u);
+
+    touch(1);  // refresh 1: LRU order is now 2, 3, 1
+    touch(4);  // evicts 2
+    EXPECT_EQ(table.liveSessions(), 3u);
+    EXPECT_FALSE(table.peekSession(2, [](const Session &) {}));
+    EXPECT_TRUE(table.peekSession(3, [](const Session &) {}));
+    EXPECT_TRUE(table.peekSession(1, [](const Session &) {}));
+
+    touch(5); // evicts 3 (peeking above did not refresh it)
+    EXPECT_FALSE(table.peekSession(3, [](const Session &) {}));
+    EXPECT_TRUE(table.peekSession(1, [](const Session &) {}));
+
+    const SessionTableStats stats = table.stats();
+    EXPECT_EQ(stats.created, 5u);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_EQ(stats.live, 3u);
+}
+
+TEST(SessionTable, ShardRoutingIsStableAndInRange)
+{
+    SessionTableConfig config;
+    config.shardCount = 5; // rounds up to 8
+    ShardedSessionTable table(config);
+    EXPECT_EQ(table.shardCount(), 8u);
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+        const std::size_t shard = table.shardOf(id);
+        EXPECT_LT(shard, table.shardCount());
+        EXPECT_EQ(shard, table.shardOf(id));
+    }
+}
+
+// Engine -----------------------------------------------------------
+
+namespace
+{
+
+/** Frames for one synthetic client session. */
+struct ClientTraffic
+{
+    std::uint64_t id = 0;
+    std::vector<PathEvent> events;
+    std::vector<std::vector<std::uint8_t>> frames;
+};
+
+std::vector<ClientTraffic>
+makeTraffic(std::size_t sessions, std::size_t events_per_session,
+            std::size_t events_per_frame, std::uint64_t seed)
+{
+    std::vector<ClientTraffic> traffic;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        ClientTraffic client;
+        client.id = 1 + s;
+        // Loop-heavy synthetic streams with per-session structure.
+        Rng rng(seed + s);
+        PathEvent event;
+        for (std::size_t i = 0; i < events_per_session; ++i) {
+            const std::uint32_t loop =
+                static_cast<std::uint32_t>(rng.nextBounded(8));
+            event.path = loop * 10 +
+                         static_cast<std::uint32_t>(
+                             rng.nextBounded(3));
+            event.head = loop;
+            event.blocks = 4 + loop;
+            event.branches = 3 + loop;
+            event.instructions = 30 + 5 * loop;
+            client.events.push_back(event);
+        }
+        std::uint64_t sequence = 0;
+        for (std::size_t i = 0; i < client.events.size();
+             i += events_per_frame) {
+            const std::size_t n = std::min(
+                events_per_frame, client.events.size() - i);
+            std::vector<std::uint8_t> frame;
+            wire::appendEventFrame(frame, client.id, sequence++,
+                                   client.events.data() + i, n);
+            client.frames.push_back(std::move(frame));
+        }
+        traffic.push_back(std::move(client));
+    }
+    return traffic;
+}
+
+EngineConfig
+recordingConfig(std::size_t workers)
+{
+    EngineConfig config;
+    config.workerThreads = workers;
+    config.queueCapacityFrames = 8; // small: exercise backpressure
+    config.sessions.shardCount = 8;
+    config.sessions.session.predictionDelay = 13;
+    config.sessions.session.recordPredictions = true;
+    return config;
+}
+
+} // namespace
+
+TEST(Engine, SerialModeMatchesHandRolledReplay)
+{
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(4, 4000, 128, 17);
+
+    Engine eng(recordingConfig(0));
+    ASSERT_TRUE(eng.serial());
+    for (const ClientTraffic &client : traffic)
+        for (const auto &frame : client.frames)
+            ASSERT_TRUE(eng.submit(frame));
+
+    for (const ClientTraffic &client : traffic) {
+        // The reference replay: the exact components a session embeds.
+        NetPredictor predictor(13);
+        FragmentCache cache(0, FragmentCache::EvictionPolicy::EvictLru);
+        std::vector<PathIndex> expected;
+        for (const PathEvent &event : client.events) {
+            if (cache.find(event.path) != nullptr)
+                continue;
+            if (predictor.observe(event)) {
+                cache.insert(event.path, event.instructions);
+                expected.push_back(event.path);
+            }
+        }
+        EXPECT_EQ(eng.predictionsFor(client.id), expected)
+            << "session " << client.id;
+        ASSERT_FALSE(expected.empty());
+    }
+
+    const EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.framesSubmitted, stats.framesDecoded);
+    EXPECT_EQ(stats.framesRejected, 0u);
+    EXPECT_EQ(stats.eventsProcessed, 4u * 4000u);
+}
+
+TEST(Engine, ThreadedResultsAreIdenticalToSerialPerSession)
+{
+    const std::size_t kSessions = 8;
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(kSessions, 3000, 64, 29);
+
+    // Serial reference run.
+    std::map<std::uint64_t, std::vector<PathIndex>> expected;
+    {
+        Engine serial(recordingConfig(0));
+        for (const ClientTraffic &client : traffic)
+            for (const auto &frame : client.frames)
+                serial.submit(frame);
+        for (const ClientTraffic &client : traffic)
+            expected[client.id] = serial.predictionsFor(client.id);
+    }
+
+    // Threaded runs at several worker counts, frames produced by
+    // concurrent producers (each owning a disjoint session subset, as
+    // the ordering contract requires).
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        Engine eng(recordingConfig(workers));
+        ASSERT_FALSE(eng.serial());
+
+        std::vector<std::thread> producers;
+        const std::size_t kProducers = 4;
+        for (std::size_t p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&, p] {
+                for (std::size_t s = p; s < traffic.size();
+                     s += kProducers)
+                    for (const auto &frame : traffic[s].frames)
+                        ASSERT_TRUE(eng.submit(frame));
+            });
+        }
+        for (std::thread &producer : producers)
+            producer.join();
+        eng.drain();
+
+        for (const ClientTraffic &client : traffic)
+            EXPECT_EQ(eng.predictionsFor(client.id),
+                      expected[client.id])
+                << "workers=" << workers << " session "
+                << client.id;
+
+        const EngineStats stats = eng.stats();
+        EXPECT_EQ(stats.framesRejected, 0u);
+        EXPECT_EQ(stats.eventsProcessed, kSessions * 3000u);
+        EXPECT_EQ(stats.sessionsCreated, kSessions);
+        eng.shutdown();
+    }
+}
+
+TEST(Engine, RejectsCorruptFramesAndKeepsServing)
+{
+    Engine eng(recordingConfig(2));
+
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(1, 1000, 100, 31);
+    const ClientTraffic &client = traffic[0];
+
+    for (std::size_t i = 0; i < client.frames.size(); ++i) {
+        if (i % 2 == 1) {
+            // Flip a payload byte: the header still routes, the
+            // worker's CRC check rejects.
+            std::vector<std::uint8_t> corrupt = client.frames[i];
+            corrupt[corrupt.size() / 2] ^= 0x40;
+            eng.submit(std::move(corrupt));
+        } else {
+            eng.submit(client.frames[i]);
+        }
+    }
+    // A frame whose header does not parse is rejected at submit.
+    EXPECT_FALSE(eng.submit({'X', 'Y', 1, 2, 3}));
+    eng.drain();
+
+    const EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.framesSubmitted, client.frames.size() + 1);
+    EXPECT_EQ(stats.framesDecoded, client.frames.size() / 2);
+    EXPECT_EQ(stats.framesRejected,
+              client.frames.size() - client.frames.size() / 2 + 1);
+    EXPECT_GT(stats.rejects.badCrc + stats.rejects.badPayload +
+                  stats.rejects.truncated,
+              0u);
+    EXPECT_GT(stats.rejects.badMagic, 0u);
+    // The intact frames were still served.
+    EXPECT_EQ(stats.eventsProcessed,
+              100u * (client.frames.size() -
+                      client.frames.size() / 2));
+    eng.shutdown();
+}
+
+TEST(Engine, EvictionCapHoldsUnderManySessions)
+{
+    EngineConfig config;
+    config.workerThreads = 2;
+    config.sessions.shardCount = 4;
+    config.sessions.maxSessions = 16;
+    Engine eng(config);
+
+    PathEvent event;
+    event.path = 1;
+    event.head = 1;
+    event.instructions = 10;
+    for (std::uint64_t id = 1; id <= 200; ++id)
+        ASSERT_TRUE(eng.submitEvents(id, 0, &event, 1));
+    eng.drain();
+
+    const EngineStats stats = eng.stats();
+    // Per-shard cap is 16/4 = 4, so at most 16 stay resident.
+    EXPECT_LE(stats.sessionsLive, 16u);
+    EXPECT_EQ(stats.sessionsCreated, 200u);
+    EXPECT_EQ(stats.sessionsCreated - stats.sessionsEvicted,
+              stats.sessionsLive);
+    eng.shutdown();
+}
+
+TEST(Engine, BackpressureBoundsTheQueuesNotTheTraffic)
+{
+    EngineConfig config;
+    config.workerThreads = 1;
+    config.queueCapacityFrames = 2;
+    config.maxBatchFrames = 1;
+    config.sessions.shardCount = 2;
+    Engine eng(config);
+
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(2, 2000, 20, 41);
+    for (const ClientTraffic &client : traffic)
+        for (const auto &frame : client.frames)
+            ASSERT_TRUE(eng.submit(frame));
+    eng.drain();
+
+    const EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.eventsProcessed, 2u * 2000u);
+    for (const std::size_t hw : stats.queueHighWater)
+        EXPECT_LE(hw, 2u);
+    eng.shutdown();
+}
