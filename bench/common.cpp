@@ -52,6 +52,24 @@ seedFlag(int argc, char **argv, std::uint64_t fallback)
     return flagU64(argc, argv, "seed", fallback);
 }
 
+std::size_t
+jobsFlag(int argc, char **argv)
+{
+    const std::uint64_t jobs =
+        flagU64(argc, argv, "jobs", ThreadPool::defaultThreads());
+    if (jobs == 0)
+        fatal("--jobs must be at least 1");
+    return static_cast<std::size_t>(jobs);
+}
+
+ThreadPoolConfig
+jobsPoolConfig(std::size_t jobs)
+{
+    ThreadPoolConfig config;
+    config.threads = jobs <= 1 ? 0 : jobs;
+    return config;
+}
+
 TelemetryScope::TelemetryScope(int argc, char **argv,
                                std::string report_title)
     : title(std::move(report_title))
@@ -76,43 +94,68 @@ TelemetryScope::~TelemetryScope()
 std::vector<BenchmarkSweep>
 runFigureSweeps(const SweepSetup &setup)
 {
-    std::vector<BenchmarkSweep> sweeps;
+    const std::vector<SpecTarget> &targets = specTargets();
+    ThreadPool pool(jobsPoolConfig(setup.jobs));
 
-    for (const SpecTarget &target : specTargets()) {
+    // Stage 1: materialize every benchmark's stream and oracle, one
+    // task per benchmark. Each workload is seeded independently, so
+    // the streams are identical at any worker count.
+    struct Materialized
+    {
+        std::vector<PathEvent> stream;
+        OracleProfile oracle;
+        std::vector<std::uint64_t> delays;
+    };
+    std::vector<Materialized> inputs(targets.size());
+    pool.parallelFor(targets.size(), [&](std::size_t i) {
         WorkloadConfig config;
         config.flowScale = setup.flowScale;
         config.hotFraction = setup.hotFraction;
         config.seed = setup.seed;
-        CalibratedWorkload workload(target, config);
+        CalibratedWorkload workload(targets[i], config);
 
-        const std::vector<PathEvent> stream =
-            workload.materializeStream();
-        OracleProfile oracle;
-        for (std::uint64_t t = 0; t < stream.size(); ++t)
-            oracle.onPathEvent(stream[t], t);
+        Materialized &input = inputs[i];
+        input.stream = workload.materializeStream();
+        for (std::uint64_t t = 0; t < input.stream.size(); ++t)
+            input.oracle.onPathEvent(input.stream[t], t);
 
         // The ladder never exceeds the stream (a delay longer than
         // the flow predicts nothing at all).
-        const std::uint64_t cap =
-            std::min<std::uint64_t>(setup.maxDelay, stream.size());
-        const std::vector<std::uint64_t> delays =
-            defaultDelaySchedule(cap);
+        const std::uint64_t cap = std::min<std::uint64_t>(
+            setup.maxDelay, input.stream.size());
+        input.delays = defaultDelaySchedule(cap);
+    });
 
+    // Stage 2: the full (benchmark x scheme x delay) matrix, one
+    // task per sweep point, merged back in schedule order.
+    std::vector<SweepJob> jobs;
+    jobs.reserve(targets.size() * 2);
+    for (const Materialized &input : inputs) {
+        SweepJob job;
+        job.stream = &input.stream;
+        job.oracle = &input.oracle;
+        job.delays = input.delays;
+        job.hotFraction = setup.hotFraction;
+        job.factory = [](std::uint64_t delay) {
+            return std::make_unique<PathProfilePredictor>(delay);
+        };
+        jobs.push_back(job);
+        job.factory = [](std::uint64_t delay) {
+            return std::make_unique<NetPredictor>(delay);
+        };
+        jobs.push_back(std::move(job));
+    }
+    std::vector<std::vector<SweepPoint>> results =
+        runSweepJobs(jobs, pool);
+
+    std::vector<BenchmarkSweep> sweeps;
+    sweeps.reserve(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
         BenchmarkSweep sweep;
-        sweep.name = std::string(target.name);
-        sweep.flow = stream.size();
-        sweep.pathProfile = delaySweep(
-            stream, oracle,
-            [](std::uint64_t delay) {
-                return std::make_unique<PathProfilePredictor>(delay);
-            },
-            delays, setup.hotFraction);
-        sweep.net = delaySweep(
-            stream, oracle,
-            [](std::uint64_t delay) {
-                return std::make_unique<NetPredictor>(delay);
-            },
-            delays, setup.hotFraction);
+        sweep.name = std::string(targets[i].name);
+        sweep.flow = inputs[i].stream.size();
+        sweep.pathProfile = std::move(results[2 * i]);
+        sweep.net = std::move(results[2 * i + 1]);
         sweeps.push_back(std::move(sweep));
     }
     return sweeps;

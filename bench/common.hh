@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "metrics/parallel_sweep.hh"
 #include "metrics/sweep.hh"
+#include "support/thread_pool.hh"
 #include "telemetry/telemetry.hh"
 #include "workload/synthesis.hh"
 
@@ -72,6 +74,21 @@ std::uint64_t flagU64(int argc, char **argv, const char *name,
 std::uint64_t seedFlag(int argc, char **argv,
                        std::uint64_t fallback = 42);
 
+/**
+ * The shared `--jobs=<N>` flag: worker threads for the sweep-style
+ * benches (default: hardware concurrency). `--jobs=1` is the serial
+ * reference; every bench's output is byte-identical across jobs
+ * values - the flag only changes the wall clock.
+ */
+std::size_t jobsFlag(int argc, char **argv);
+
+/**
+ * Pool configuration a `--jobs=N` value asks for: N worker threads
+ * for N > 1, and the inline (zero-thread) serial pool for N <= 1, so
+ * jobs=1 really is the unthreaded reference run.
+ */
+ThreadPoolConfig jobsPoolConfig(std::size_t jobs);
+
 /** Both schemes swept over one benchmark's stream. */
 struct BenchmarkSweep
 {
@@ -89,6 +106,8 @@ struct SweepSetup
     std::uint64_t seed = 42;
     /** Cap of the delay ladder (paper: 1,000,000). */
     std::uint64_t maxDelay = 1000000;
+    /** Worker threads for the sweep matrix (1 = serial). */
+    std::size_t jobs = 1;
 };
 
 /** Run the Figure 2/3 sweeps for every benchmark in the paper. */

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Perf-smoke baseline tooling for the bench binaries.
+
+Two subcommands:
+
+  collect   Merge a google-benchmark JSON dump (micro_profiling_overhead
+            --benchmark_format=json) and engine_throughput's --json
+            output into one BENCH_sweep.json snapshot.
+
+  compare   Diff a current BENCH_sweep.json against the checked-in
+            baseline (bench/baseline/BENCH_sweep.json). Exits nonzero
+            when the run regressed.
+
+What counts as a regression:
+
+  * Deterministic counters (events, points, counters per benchmark;
+    events/predictions per engine row) must match the baseline
+    EXACTLY - these are seed-derived workload facts, so any drift is a
+    behavior change, not noise.
+  * Work-rate counters (probes_per_op, ops_per_event) and per-item
+    times normalized to BM_ReplayOnly may drift up to --threshold
+    (default 15%). Normalizing to the replay-only baseline makes the
+    check portable across machines: it compares each scheme's
+    overhead RATIO, not absolute nanoseconds.
+  * Engine throughput rows are compared on their deterministic fields
+    only; events/second is reported but never gates (CI runners vary
+    too much run to run).
+
+To refresh the baseline after an intentional perf change:
+
+    ./compare_bench.py collect --micro micro.json --engine engine.json \
+        -o baseline/BENCH_sweep.json
+"""
+
+import argparse
+import json
+import sys
+
+# Counters that must not move at all between runs with the same seed.
+EXACT_COUNTERS = ("events", "points", "counters")
+# Counters allowed to drift within the threshold.
+RATE_COUNTERS = ("probes_per_op", "ops_per_event")
+# The bench every per-item time is normalized against.
+TIME_BASELINE = "BM_ReplayOnly"
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def collect(args):
+    with open(args.micro) as f:
+        micro_raw = json.load(f)
+
+    micro = {}
+    for bench in micro_raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS[bench.get("time_unit", "ns")]
+        entry = {
+            "real_time_ns": bench["real_time"] * unit,
+            "items_per_second": bench.get("items_per_second"),
+            "counters": {},
+        }
+        for key in EXACT_COUNTERS + RATE_COUNTERS:
+            if key in bench:
+                entry["counters"][key] = bench[key]
+        micro[bench["name"]] = entry
+
+    out = {"schema": 1, "micro": micro}
+    if args.engine:
+        with open(args.engine) as f:
+            out["engine"] = json.load(f)
+
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}: {len(micro)} micro benches"
+          + (", engine ladder" if args.engine else ""))
+    return 0
+
+
+def per_item_ns(entry):
+    ips = entry.get("items_per_second")
+    if ips:
+        return 1e9 / ips
+    return entry["real_time_ns"]
+
+
+def compare(args):
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = []
+    notes = []
+
+    base_micro = base.get("micro", {})
+    cur_micro = cur.get("micro", {})
+    for name in sorted(base_micro):
+        if name not in cur_micro:
+            failures.append(f"{name}: missing from current run")
+    for name in sorted(cur_micro):
+        if name not in base_micro:
+            notes.append(f"{name}: new bench (no baseline; skipped)")
+
+    common = [n for n in sorted(base_micro) if n in cur_micro]
+
+    # Deterministic and rate counters.
+    for name in common:
+        bc = base_micro[name]["counters"]
+        cc = cur_micro[name]["counters"]
+        for key in EXACT_COUNTERS:
+            if key in bc:
+                if key not in cc:
+                    failures.append(f"{name}.{key}: counter vanished")
+                elif bc[key] != cc[key]:
+                    failures.append(
+                        f"{name}.{key}: {bc[key]} -> {cc[key]} "
+                        "(deterministic counter changed: behavior "
+                        "regression, not noise)")
+        for key in RATE_COUNTERS:
+            if key in bc and key in cc and bc[key] > 0:
+                rel = cc[key] / bc[key] - 1.0
+                if rel > args.threshold:
+                    failures.append(
+                        f"{name}.{key}: {bc[key]:.3f} -> "
+                        f"{cc[key]:.3f} (+{100 * rel:.1f}%)")
+
+    # Per-item time, normalized to the replay-only floor.
+    if TIME_BASELINE in base_micro and TIME_BASELINE in cur_micro:
+        base_floor = per_item_ns(base_micro[TIME_BASELINE])
+        cur_floor = per_item_ns(cur_micro[TIME_BASELINE])
+        for name in common:
+            if name == TIME_BASELINE:
+                continue
+            base_ratio = per_item_ns(base_micro[name]) / base_floor
+            cur_ratio = per_item_ns(cur_micro[name]) / cur_floor
+            rel = cur_ratio / base_ratio - 1.0
+            line = (f"{name}: {base_ratio:.2f}x -> {cur_ratio:.2f}x "
+                    f"replay-only cost ({100 * rel:+.1f}%)")
+            if rel > args.threshold:
+                failures.append(line)
+            else:
+                notes.append(line)
+
+    # Engine ladder: deterministic fields gate, throughput informs.
+    base_rows = base.get("engine", {}).get("rows", [])
+    cur_rows = {r["workers"]: r
+                for r in cur.get("engine", {}).get("rows", [])}
+    for row in base_rows:
+        workers = row["workers"]
+        if workers not in cur_rows:
+            failures.append(f"engine workers={workers}: row missing")
+            continue
+        current = cur_rows[workers]
+        for key in ("events", "predictions"):
+            if row[key] != current[key]:
+                failures.append(
+                    f"engine workers={workers}.{key}: "
+                    f"{row[key]} -> {current[key]} (deterministic)")
+        notes.append(
+            f"engine workers={workers}: "
+            f"{row['events_per_second']:.0f} -> "
+            f"{current['events_per_second']:.0f} events/s "
+            "(informational)")
+
+    for line in notes:
+        print(f"  note: {line}")
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regressions vs {args.baseline} "
+          f"(threshold {100 * args.threshold:.0f}%)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_collect = sub.add_parser("collect",
+                               help="merge bench output into one "
+                                    "BENCH_sweep.json")
+    p_collect.add_argument("--micro", required=True,
+                           help="google-benchmark JSON from "
+                                "micro_profiling_overhead")
+    p_collect.add_argument("--engine",
+                           help="engine_throughput --json output")
+    p_collect.add_argument("-o", "--output", required=True)
+    p_collect.set_defaults(func=collect)
+
+    p_compare = sub.add_parser("compare",
+                               help="diff a run against the baseline")
+    p_compare.add_argument("baseline")
+    p_compare.add_argument("current")
+    p_compare.add_argument("--threshold", type=float, default=0.15,
+                           help="allowed relative slowdown "
+                                "(default 0.15)")
+    p_compare.set_defaults(func=compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

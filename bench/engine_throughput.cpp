@@ -15,6 +15,8 @@
  *   --frame=<n>       events per frame (default 512)
  *   --threads=<list>  not a list flag; the ladder is 0 (serial),
  *                     1, 2, 4, 8 workers
+ *   --json=<path>     machine-readable results (the perf-smoke CI
+ *                     job feeds this to compare_bench.py)
  *   --telemetry-out=<path>  RunReport with engine.* metrics
  *
  * Scaling is reported honestly against the detected hardware
@@ -24,6 +26,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -176,18 +179,21 @@ main(int argc, char **argv)
     // Warm the allocator and page cache once before timing.
     runOnce(sessions, 0);
 
+    const std::size_t worker_ladder[] = {0u, 1u, 2u, 4u, 8u};
+    std::vector<RunResult> results;
+    for (std::size_t workers : worker_ladder)
+        results.push_back(runOnce(sessions, workers));
+    const double serial_eps = results[0].eventsPerSecond();
+
     TextTable table;
     table.setHeader({"Workers", "Seconds", "Events/sec", "Speedup",
                      "Predictions", "Backpressure waits"});
-    double serial_eps = 0.0;
-    for (std::size_t workers : {0u, 1u, 2u, 4u, 8u}) {
-        const RunResult result = runOnce(sessions, workers);
-        if (workers == 0)
-            serial_eps = result.eventsPerSecond();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &result = results[i];
         table.beginRow();
-        table.addCell(workers == 0
+        table.addCell(worker_ladder[i] == 0
                           ? std::string("0 (serial)")
-                          : std::to_string(workers));
+                          : std::to_string(worker_ladder[i]));
         table.addCell(result.seconds, 3);
         table.addCell(result.eventsPerSecond(), 0);
         table.addCell(serial_eps > 0.0
@@ -202,5 +208,30 @@ main(int argc, char **argv)
     std::cout << "\nEvery session's predictions are identical across "
                  "all rows (asserted by tests/engine_test.cc); the "
                  "rows differ only in wall clock.\n";
+
+    const std::string json_path =
+        bench::flagValue(argc, argv, "json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << "{\n"
+            << "  \"seed\": " << seed << ",\n"
+            << "  \"sessions\": " << num_sessions << ",\n"
+            << "  \"events_per_frame\": " << events_per_frame << ",\n"
+            << "  \"total_events\": " << total_events << ",\n"
+            << "  \"rows\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const RunResult &result = results[i];
+            out << "    {\"workers\": " << worker_ladder[i]
+                << ", \"seconds\": " << result.seconds
+                << ", \"events_per_second\": "
+                << result.eventsPerSecond()
+                << ", \"events\": " << result.events
+                << ", \"predictions\": " << result.predictions
+                << ", \"backpressure_waits\": "
+                << result.backpressureWaits << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+    }
     return 0;
 }

@@ -61,25 +61,36 @@ main(int argc, char **argv)
          FragmentCache::EvictionPolicy::EvictLru, false},
     };
 
-    TextTable table;
-    table.setHeader({"Policy", "Speedup", "Flushes", "Evictions",
-                     "Fragments", "Interpreted"});
-    for (const Config &config : configs) {
+    // Each policy replays the shared stream against its own
+    // DynamoSystem, so the four runs are independent tasks; reports
+    // are merged back in config order for a stable table.
+    constexpr std::size_t kConfigs =
+        sizeof(configs) / sizeof(configs[0]);
+    std::vector<DynamoReport> reports(kConfigs);
+    ThreadPool pool(
+        bench::jobsPoolConfig(bench::jobsFlag(argc, argv)));
+    pool.parallelFor(kConfigs, [&](std::size_t i) {
         DynamoConfig dconfig;
         dconfig.scheme = PredictionScheme::Net;
         dconfig.predictionDelay = 50;
-        dconfig.enableFlush = config.heuristic;
+        dconfig.enableFlush = configs[i].heuristic;
         dconfig.flush.warmupWindows = 8;
-        dconfig.cacheCapacityInstr = config.capacity;
-        dconfig.cachePolicy = config.policy;
+        dconfig.cacheCapacityInstr = configs[i].capacity;
+        dconfig.cachePolicy = configs[i].policy;
 
         DynamoSystem system(dconfig);
         for (std::uint64_t t = 0; t < stream.size(); ++t)
             system.onPathEvent(stream[t], t);
-        const DynamoReport report = system.report();
+        reports[i] = system.report();
+    });
 
+    TextTable table;
+    table.setHeader({"Policy", "Speedup", "Flushes", "Evictions",
+                     "Fragments", "Interpreted"});
+    for (std::size_t i = 0; i < kConfigs; ++i) {
+        const DynamoReport &report = reports[i];
         table.beginRow();
-        table.addCell(std::string(config.label));
+        table.addCell(std::string(configs[i].label));
         table.addPercentCell(report.speedupPercent(), 2);
         table.addCell(report.cacheFlushes);
         table.addCell(report.cacheEvictions);

@@ -115,41 +115,65 @@ main(int argc, char **argv)
                      "PathProfile noise", "NET-1-tail hit",
                      "MRET hit"});
 
+    // The (K, d) grid, flattened so each combo is an independent
+    // task: every combo seeds its own Rng from (base_seed, K, d), so
+    // the rows are identical at any --jobs value.
+    struct Combo
+    {
+        std::size_t k;
+        double d;
+    };
+    std::vector<Combo> combos;
     for (std::size_t k : {2u, 5u}) {
         std::vector<double> shares = {0.9, 0.7, 0.5};
         if (1.0 / static_cast<double>(k) < 0.5)
             shares.push_back(1.0 / static_cast<double>(k));
-        for (double d : shares) {
-            Rng rng(base_seed + k * 100 +
-                    static_cast<std::uint64_t>(d * 1000));
-            const std::vector<PathEvent> stream =
-                loopStream(k, d, kIterations, kHeads, rng);
+        for (double d : shares)
+            combos.push_back({k, d});
+    }
 
-            NetPredictor net(kDelay);
-            PathProfilePredictor pp(kDelay);
-            NetPredictor single(kDelay, /*re_arm=*/false);
-            MretPredictor mret(kDelay);
-            const EvalResult net_result =
-                evaluatePredictor(stream, net, 0.001);
-            const EvalResult pp_result =
-                evaluatePredictor(stream, pp, 0.001);
-            const EvalResult single_result =
-                evaluatePredictor(stream, single, 0.001);
-            const EvalResult mret_result =
-                evaluatePredictor(stream, mret, 0.001);
+    struct Row
+    {
+        double firstPick = 0.0;
+        EvalResult net;
+        EvalResult pp;
+        EvalResult single;
+        EvalResult mret;
+    };
+    std::vector<Row> rows(combos.size());
+    ThreadPool pool(
+        bench::jobsPoolConfig(bench::jobsFlag(argc, argv)));
+    pool.parallelFor(combos.size(), [&](std::size_t i) {
+        const auto [k, d] = combos[i];
+        Rng rng(base_seed + k * 100 +
+                static_cast<std::uint64_t>(d * 1000));
+        const std::vector<PathEvent> stream =
+            loopStream(k, d, kIterations, kHeads, rng);
 
-            table.beginRow();
-            table.addCell(static_cast<std::uint64_t>(k));
-            table.addCell(d, 2);
-            table.addPercentCell(
-                firstPickAccuracy(stream, k, kHeads, kDelay), 1);
-            table.addPercentCell(net_result.hitRatePercent(), 2);
-            table.addPercentCell(net_result.noiseRatePercent(), 2);
-            table.addPercentCell(pp_result.hitRatePercent(), 2);
-            table.addPercentCell(pp_result.noiseRatePercent(), 2);
-            table.addPercentCell(single_result.hitRatePercent(), 2);
-            table.addPercentCell(mret_result.hitRatePercent(), 2);
-        }
+        NetPredictor net(kDelay);
+        PathProfilePredictor pp(kDelay);
+        NetPredictor single(kDelay, /*re_arm=*/false);
+        MretPredictor mret(kDelay);
+        Row &row = rows[i];
+        row.firstPick = firstPickAccuracy(stream, k, kHeads, kDelay);
+        row.net = evaluatePredictor(stream, net, 0.001);
+        row.pp = evaluatePredictor(stream, pp, 0.001);
+        row.single = evaluatePredictor(stream, single, 0.001);
+        row.mret = evaluatePredictor(stream, mret, 0.001);
+    });
+
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        const Row &row = rows[i];
+        table.beginRow();
+        table.addCell(static_cast<std::uint64_t>(combos[i].k));
+        table.addCell(combos[i].d, 2);
+        table.addPercentCell(row.firstPick, 1);
+        table.addPercentCell(row.net.hitRatePercent(), 2);
+        table.addPercentCell(row.net.noiseRatePercent(), 2);
+        table.addPercentCell(row.pp.hitRatePercent(), 2);
+        table.addPercentCell(row.pp.noiseRatePercent(), 2);
+        table.addPercentCell(row.single.hitRatePercent(), 2);
+        table.addPercentCell(row.mret.hitRatePercent(), 2);
     }
     table.print(std::cout);
 

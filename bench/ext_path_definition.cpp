@@ -124,17 +124,29 @@ main(int argc, char **argv)
     machine.addListener(&log);
     machine.run(400000);
 
+    // Both parts replay the shared (read-only) trace log, so the
+    // definition pair and the cap ladder fan out across the pool;
+    // rows are merged back in ladder order.
+    ThreadPool pool(
+        bench::jobsPoolConfig(bench::jobsFlag(argc, argv)));
+
     std::cout << "Part 1: interprocedural (paper Section 3) vs "
                  "intraprocedural paths over the same execution\n\n";
+    const bool definitions[] = {true, false};
+    DefinitionStats definition_stats[2];
+    pool.parallelFor(2, [&](std::size_t i) {
+        definition_stats[i] =
+            measure(synth.program(), log, definitions[i]);
+    });
+
     TextTable table;
     table.setHeader({"Definition", "Distinct paths", "Executions",
                      "Mean blocks", "0.1% hot paths", "% hot flow"});
-    for (const bool inter : {true, false}) {
-        const DefinitionStats stats =
-            measure(synth.program(), log, inter);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const DefinitionStats &stats = definition_stats[i];
         table.beginRow();
-        table.addCell(std::string(inter ? "interprocedural"
-                                        : "intraprocedural"));
+        table.addCell(std::string(definitions[i] ? "interprocedural"
+                                                 : "intraprocedural"));
         table.addCell(static_cast<std::uint64_t>(stats.distinctPaths));
         table.addCell(stats.pathExecutions);
         table.addCell(stats.meanBlocks, 2);
@@ -152,20 +164,33 @@ main(int argc, char **argv)
                  "unfolding, is exercised in the splitter tests.\n\n";
 
     std::cout << "Part 2: NET trace length cap sweep\n\n";
+    const std::uint32_t cap_ladder[] = {4u, 8u, 16u, 32u, 64u, 256u};
+    constexpr std::size_t kCaps =
+        sizeof(cap_ladder) / sizeof(cap_ladder[0]);
+    struct CapRow
+    {
+        LengthSink sink;
+        std::uint64_t breakpoints = 0;
+    };
+    std::vector<CapRow> cap_rows(kCaps);
+    pool.parallelFor(kCaps, [&](std::size_t i) {
+        CapRow &row = cap_rows[i];
+        NetTraceBuilderConfig net_config;
+        net_config.hotThreshold = 50;
+        net_config.maxBlocks = cap_ladder[i];
+        net_config.reArm = true;
+        NetTraceBuilder net(row.sink, net_config);
+        log.replay(synth.program(), {&net});
+        row.breakpoints = net.collectionCost().breakpointsPlaced;
+    });
+
     TextTable caps;
     caps.setHeader({"maxBlocks", "Traces", "Truncated", "Mean blocks",
                     "Breakpoints"});
-    for (const std::uint32_t cap : {4u, 8u, 16u, 32u, 64u, 256u}) {
-        LengthSink sink;
-        NetTraceBuilderConfig net_config;
-        net_config.hotThreshold = 50;
-        net_config.maxBlocks = cap;
-        net_config.reArm = true;
-        NetTraceBuilder net(sink, net_config);
-        log.replay(synth.program(), {&net});
-
+    for (std::size_t i = 0; i < kCaps; ++i) {
+        const LengthSink &sink = cap_rows[i].sink;
         caps.beginRow();
-        caps.addCell(static_cast<std::uint64_t>(cap));
+        caps.addCell(static_cast<std::uint64_t>(cap_ladder[i]));
         caps.addCell(sink.traces);
         caps.addPercentCell(sink.traces == 0
                                 ? 0.0
@@ -179,7 +204,7 @@ main(int argc, char **argv)
                          : static_cast<double>(sink.blocks) /
                                static_cast<double>(sink.traces),
                      2);
-        caps.addCell(net.collectionCost().breakpointsPlaced);
+        caps.addCell(cap_rows[i].breakpoints);
     }
     caps.print(std::cout);
     std::cout << "\nExpected shape: small caps truncate most traces "

@@ -33,6 +33,7 @@ main(int argc, char **argv)
     if (argc > 1 && std::string(argv[1]) == "--csv") {
         SweepSetup setup;
         setup.seed = seedFlag(argc, argv, setup.seed);
+        setup.jobs = jobsFlag(argc, argv);
         printCurveCsv(std::cout, runFigureSweeps(setup));
         return 0;
     }
@@ -42,6 +43,7 @@ main(int argc, char **argv)
 
     SweepSetup setup;
     setup.seed = seedFlag(argc, argv, setup.seed);
+    setup.jobs = jobsFlag(argc, argv);
     const std::vector<BenchmarkSweep> sweeps = runFigureSweeps(setup);
 
     std::cout << "Summary (the paper quotes ~97.5% average hit rate "

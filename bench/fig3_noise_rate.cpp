@@ -67,6 +67,7 @@ main(int argc, char **argv)
     if (argc > 1 && std::string(argv[1]) == "--csv") {
         SweepSetup setup;
         setup.seed = seedFlag(argc, argv, setup.seed);
+        setup.jobs = jobsFlag(argc, argv);
         printCurveCsv(std::cout, runFigureSweeps(setup));
         return 0;
     }
@@ -76,6 +77,7 @@ main(int argc, char **argv)
 
     SweepSetup setup;
     setup.seed = seedFlag(argc, argv, setup.seed);
+    setup.jobs = jobsFlag(argc, argv);
     const std::vector<BenchmarkSweep> sweeps = runFigureSweeps(setup);
 
     std::cout << "Summary (paper: ~65% path-profile vs ~56% NET noise "

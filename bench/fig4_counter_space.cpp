@@ -34,12 +34,25 @@ main(int argc, char **argv)
     table.setHeader({"Benchmark", "NET counters",
                      "PathProfile counters", "Ratio"});
 
-    RunningStat ratios;
-    for (const SpecTarget &target : specTargets()) {
+    // One task per benchmark; rows are merged back in target order,
+    // so the table is byte-identical at any --jobs value.
+    const std::vector<SpecTarget> &targets = specTargets();
+    struct Row
+    {
+        std::size_t netCounters = 0;
+        std::size_t pathCounters = 0;
+        double ratio = 0.0;
+    };
+    std::vector<Row> rows(targets.size());
+    ThreadPool pool(
+        bench::jobsPoolConfig(bench::jobsFlag(argc, argv)));
+    const std::uint64_t seed =
+        bench::seedFlag(argc, argv, WorkloadConfig().seed);
+    pool.parallelFor(targets.size(), [&](std::size_t i) {
         WorkloadConfig config;
         config.flowScale = 1e-3;
-        config.seed = bench::seedFlag(argc, argv, config.seed);
-        CalibratedWorkload workload(target, config);
+        config.seed = seed;
+        CalibratedWorkload workload(targets[i], config);
 
         PathProfilePredictor paths(~0ull);
         NetPredictor heads(~0ull);
@@ -49,18 +62,22 @@ main(int argc, char **argv)
             heads.observe(event);
         });
 
-        const double ratio =
+        rows[i].netCounters = heads.countersAllocated();
+        rows[i].pathCounters = paths.countersAllocated();
+        rows[i].ratio =
             static_cast<double>(heads.countersAllocated()) /
             static_cast<double>(paths.countersAllocated());
-        ratios.add(ratio);
+    });
 
+    RunningStat ratios;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const Row &row = rows[i];
+        ratios.add(row.ratio);
         table.beginRow();
-        table.addCell(std::string(target.name));
-        table.addCell(
-            static_cast<std::uint64_t>(heads.countersAllocated()));
-        table.addCell(
-            static_cast<std::uint64_t>(paths.countersAllocated()));
-        table.addCell(ratio, 3);
+        table.addCell(std::string(targets[i].name));
+        table.addCell(static_cast<std::uint64_t>(row.netCounters));
+        table.addCell(static_cast<std::uint64_t>(row.pathCounters));
+        table.addCell(row.ratio, 3);
     }
     table.beginRow();
     table.addCell(std::string("Average"));

@@ -23,6 +23,9 @@
 
 #include "common.hh"
 
+#include "metrics/oracle.hh"
+#include "metrics/parallel_sweep.hh"
+#include "metrics/sweep.hh"
 #include "paths/ball_larus.hh"
 #include "paths/registry.hh"
 #include "paths/splitter.hh"
@@ -104,6 +107,10 @@ BM_NetPredictorObserve(benchmark::State &state)
     }
     state.counters["counters"] =
         static_cast<double>(predictor.countersAllocated());
+    state.counters["events"] = static_cast<double>(stream.size());
+    state.counters["ops_per_event"] = benchmark::Counter(
+        static_cast<double>(predictor.cost().total()),
+        benchmark::Counter::kAvgIterations);
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NetPredictorObserve);
@@ -120,6 +127,10 @@ BM_PathProfilePredictorObserve(benchmark::State &state)
     }
     state.counters["counters"] =
         static_cast<double>(predictor.countersAllocated());
+    state.counters["events"] = static_cast<double>(stream.size());
+    state.counters["ops_per_event"] = benchmark::Counter(
+        static_cast<double>(predictor.cost().total()),
+        benchmark::Counter::kAvgIterations);
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PathProfilePredictorObserve);
@@ -133,6 +144,14 @@ BM_CounterTableIncrement(benchmark::State &state)
         benchmark::DoNotOptimize(table.increment(key));
         key = key % 4096 + 1;
     }
+    // Mean probe-chain length per increment: a hashing or tombstone
+    // regression moves this counter even when the wall clock hides it
+    // in noise, so compare_bench.py watches it.
+    state.counters["probes_per_op"] =
+        benchmark::Counter(static_cast<double>(table.probes()),
+                           benchmark::Counter::kAvgIterations);
+    state.counters["counters"] =
+        static_cast<double>(table.size());
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CounterTableIncrement);
@@ -160,6 +179,8 @@ BM_ReplayOnly(benchmark::State &state)
     SharedTrace &shared = sharedTrace();
     for (auto _ : state)
         shared.log.replay(shared.synth->program(), {});
+    state.counters["events"] =
+        static_cast<double>(shared.log.size());
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(
                                 shared.log.size()));
@@ -288,16 +309,109 @@ BM_NetTraceBuilderReplay(benchmark::State &state)
 }
 BENCHMARK(BM_NetTraceBuilderReplay);
 
+// Delay-sweep wall clock ---------------------------------------------
+
+namespace
+{
+
+/** --jobs=<n> for the parallel sweep bench (default: hardware). */
+std::size_t gJobs = 1;
+
+/** The sweep inputs, derived once from the shared stream. */
+struct SweepInputs
+{
+    SweepInputs()
+    {
+        const std::vector<PathEvent> &stream = sharedStream();
+        for (std::uint64_t t = 0; t < stream.size(); ++t)
+            oracle.onPathEvent(stream[t], t);
+        delays = defaultDelaySchedule(
+            std::min<std::uint64_t>(100000, stream.size()));
+    }
+
+    OracleProfile oracle;
+    std::vector<std::uint64_t> delays;
+};
+
+SweepInputs &
+sweepInputs()
+{
+    static SweepInputs inputs;
+    return inputs;
+}
+
+PredictorFactory
+netFactory()
+{
+    return [](std::uint64_t delay) {
+        return std::make_unique<NetPredictor>(delay);
+    };
+}
+
+void
+recordSweepCounters(benchmark::State &state,
+                    const std::vector<SweepPoint> &points)
+{
+    const SweepInputs &inputs = sweepInputs();
+    state.counters["points"] = static_cast<double>(points.size());
+    state.counters["events"] =
+        static_cast<double>(sharedStream().size());
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(sharedStream().size() *
+                                  inputs.delays.size()));
+}
+
+} // namespace
+
+/** One full serial delay ladder: the perf-smoke "sweep wall-clock". */
+static void
+BM_DelaySweep(benchmark::State &state)
+{
+    const std::vector<PathEvent> &stream = sharedStream();
+    SweepInputs &inputs = sweepInputs();
+    std::vector<SweepPoint> points;
+    for (auto _ : state) {
+        points = delaySweep(stream, inputs.oracle, netFactory(),
+                            inputs.delays, 0.001);
+        benchmark::DoNotOptimize(points.data());
+    }
+    recordSweepCounters(state, points);
+}
+BENCHMARK(BM_DelaySweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/** The same ladder through the pool at --jobs workers. */
+static void
+BM_DelaySweepParallel(benchmark::State &state)
+{
+    const std::vector<PathEvent> &stream = sharedStream();
+    SweepInputs &inputs = sweepInputs();
+    ThreadPool pool(hotpath::bench::jobsPoolConfig(gJobs));
+    std::vector<SweepPoint> points;
+    for (auto _ : state) {
+        points = delaySweepParallel(stream, inputs.oracle,
+                                    netFactory(), inputs.delays, pool,
+                                    0.001);
+        benchmark::DoNotOptimize(points.data());
+    }
+    recordSweepCounters(state, points);
+    state.counters["jobs"] = static_cast<double>(gJobs);
+}
+BENCHMARK(BM_DelaySweepParallel)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 int
 main(int argc, char **argv)
 {
     gSeed = hotpath::bench::seedFlag(argc, argv, 42);
+    gJobs = hotpath::bench::jobsFlag(argc, argv);
 
-    // Strip --seed before handing argv to google-benchmark, which
-    // rejects flags it does not know.
+    // Strip --seed/--jobs before handing argv to google-benchmark,
+    // which rejects flags it does not know.
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
-        if (std::string(argv[i]).rfind("--seed=", 0) != 0)
+        const std::string arg(argv[i]);
+        if (arg.rfind("--seed=", 0) != 0 &&
+            arg.rfind("--jobs=", 0) != 0)
             args.push_back(argv[i]);
     }
     int bench_argc = static_cast<int>(args.size());

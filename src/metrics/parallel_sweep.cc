@@ -1,0 +1,70 @@
+#include "metrics/parallel_sweep.hh"
+
+#include "support/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace hotpath
+{
+
+std::vector<std::vector<SweepPoint>>
+runSweepJobs(const std::vector<SweepJob> &jobs, ThreadPool &pool)
+{
+    // Flatten the matrix into (job, delay) coordinates up front so
+    // the fan-out below is one task per point and the merge is a
+    // plain indexed write - schedule order survives any completion
+    // order.
+    struct PointRef
+    {
+        std::size_t job = 0;
+        std::size_t slot = 0;
+    };
+    std::vector<PointRef> points;
+    std::vector<std::vector<SweepPoint>> results(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const SweepJob &job = jobs[j];
+        HOTPATH_ASSERT(job.stream != nullptr && job.oracle != nullptr,
+                       "sweep job without a stream/oracle");
+        HOTPATH_ASSERT(job.factory != nullptr,
+                       "sweep job without a predictor factory");
+        results[j].resize(job.delays.size());
+        for (std::size_t d = 0; d < job.delays.size(); ++d)
+            points.push_back({j, d});
+    }
+
+    telemetry::Counter *tm_points =
+        telemetry::counter("metrics.parallel_sweep.points");
+
+    pool.parallelFor(points.size(), [&](std::size_t i) {
+        const PointRef ref = points[i];
+        const SweepJob &job = jobs[ref.job];
+        const std::uint64_t delay = job.delays[ref.slot];
+        std::unique_ptr<HotPathPredictor> predictor =
+            job.factory(delay);
+        HOTPATH_ASSERT(predictor != nullptr);
+        SweepPoint &point = results[ref.job][ref.slot];
+        point.delay = delay;
+        point.result = evaluatePredictor(*job.stream, *job.oracle,
+                                         *predictor, job.hotFraction);
+        if (tm_points)
+            tm_points->add();
+    });
+    return results;
+}
+
+std::vector<SweepPoint>
+delaySweepParallel(const std::vector<PathEvent> &stream,
+                   const OracleProfile &oracle,
+                   const PredictorFactory &factory,
+                   const std::vector<std::uint64_t> &delays,
+                   ThreadPool &pool, double hot_fraction)
+{
+    std::vector<SweepJob> jobs(1);
+    jobs[0].stream = &stream;
+    jobs[0].oracle = &oracle;
+    jobs[0].factory = factory;
+    jobs[0].delays = delays;
+    jobs[0].hotFraction = hot_fraction;
+    return std::move(runSweepJobs(jobs, pool)[0]);
+}
+
+} // namespace hotpath

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parallel delay-sweep runner.
+ *
+ * The figure sweeps replay the same event stream once per (predictor
+ * family x delay x benchmark) point, and every point is independent:
+ * it gets a fresh predictor from its factory and only reads the
+ * shared stream and oracle. This module fans those points across a
+ * bounded ThreadPool and merges the results back in schedule order,
+ * so the output vectors are bit-identical to the serial delaySweep()
+ * regardless of worker count or scheduling - the only thing that
+ * changes with --jobs is the wall clock.
+ */
+
+#ifndef HOTPATH_METRICS_PARALLEL_SWEEP_HH
+#define HOTPATH_METRICS_PARALLEL_SWEEP_HH
+
+#include "metrics/sweep.hh"
+#include "support/thread_pool.hh"
+
+namespace hotpath
+{
+
+/**
+ * One delay ladder over one stream: the unit the runner schedules.
+ * The stream and oracle are borrowed and must outlive the run; every
+ * scheduled point builds its own predictor, so jobs never share
+ * mutable state.
+ */
+struct SweepJob
+{
+    const std::vector<PathEvent> *stream = nullptr;
+    const OracleProfile *oracle = nullptr;
+    PredictorFactory factory;
+    std::vector<std::uint64_t> delays;
+    double hotFraction = 0.001;
+};
+
+/**
+ * Evaluate every job's ladder, fanning all (job x delay) points
+ * across `pool`. Result `i` holds job `i`'s points in delay-schedule
+ * order, exactly as delaySweep() would have produced them.
+ */
+std::vector<std::vector<SweepPoint>>
+runSweepJobs(const std::vector<SweepJob> &jobs, ThreadPool &pool);
+
+/**
+ * Parallel drop-in for delaySweep(): one ladder over one stream,
+ * points fanned across `pool`.
+ */
+std::vector<SweepPoint>
+delaySweepParallel(const std::vector<PathEvent> &stream,
+                   const OracleProfile &oracle,
+                   const PredictorFactory &factory,
+                   const std::vector<std::uint64_t> &delays,
+                   ThreadPool &pool, double hot_fraction = 0.001);
+
+} // namespace hotpath
+
+#endif // HOTPATH_METRICS_PARALLEL_SWEEP_HH

@@ -46,8 +46,17 @@ CounterTable::probeIndex(std::uint64_t key) const
 void
 CounterTable::grow()
 {
+    // Erase-heavy schemes (retiring predictors) can fill the table
+    // with tombstones while holding few live counters; doubling on
+    // every such fill would balloon the backing array. When the dead
+    // slots dominate, rehash at the same capacity instead - the
+    // rehash drops every tombstone, so usedSlots falls back to
+    // liveCount (under half the array, well below the 75% growth
+    // threshold) and the insert that triggered us makes progress.
     std::vector<Slot> old = std::move(slots);
-    slots.assign(old.size() * 2, Slot{});
+    const std::size_t capacity =
+        liveCount * 2 < old.size() ? old.size() : old.size() * 2;
+    slots.assign(capacity, Slot{});
     usedSlots = 0;
     liveCount = 0;
     for (const Slot &slot : old) {

@@ -64,7 +64,14 @@ BehaviorModel::finalize()
         }
 
         // Indirect samplers: overrides here, else phase-0 entry, else
-        // uniform built on demand in sampleIndirect().
+        // the uniform fallback in sampleIndirect(). The sparse
+        // overrides compile into a dense per-block slot array so the
+        // per-branch lookup is one load.
+        phase.indirectSlot.assign(prog.numBlocks(), -1);
+        if (pi > 0) {
+            phase.indirectSlot = compiled[0].indirectSlot;
+            phase.samplers = compiled[0].samplers;
+        }
         for (const auto &[block, weights] : spec.indirectWeights) {
             HOTPATH_ASSERT(block < prog.numBlocks(), "bad block id");
             const BasicBlock &b = prog.block(block);
@@ -72,12 +79,14 @@ BehaviorModel::finalize()
                            "indirect weights on a non-indirect block");
             HOTPATH_ASSERT(weights.size() == b.successors.size(),
                            "weight count != successor count");
-            phase.indirect.emplace(block, AliasSampler(weights));
-        }
-        if (pi > 0) {
-            for (const auto &[block, sampler] : compiled[0].indirect) {
-                if (!phase.indirect.count(block))
-                    phase.indirect.emplace(block, sampler);
+            const std::int32_t slot = phase.indirectSlot[block];
+            if (slot >= 0) {
+                phase.samplers[static_cast<std::size_t>(slot)] =
+                    AliasSampler(weights);
+            } else {
+                phase.indirectSlot[block] =
+                    static_cast<std::int32_t>(phase.samplers.size());
+                phase.samplers.emplace_back(weights);
             }
         }
 
@@ -103,25 +112,6 @@ BehaviorModel::phaseAt(std::uint64_t blocks_executed) const
         }
     }
     return compiled.size() - 1; // past the schedule: stay in the last
-}
-
-double
-BehaviorModel::takenProbability(std::size_t phase, BlockId block) const
-{
-    HOTPATH_ASSERT(isFinalized && phase < compiled.size());
-    return compiled[phase].takenProb[block];
-}
-
-std::size_t
-BehaviorModel::sampleIndirect(std::size_t phase, BlockId block,
-                              Rng &rng) const
-{
-    HOTPATH_ASSERT(isFinalized && phase < compiled.size());
-    const auto it = compiled[phase].indirect.find(block);
-    if (it != compiled[phase].indirect.end())
-        return it->second.sample(rng);
-    // Uniform fallback over the successors.
-    return rng.nextBounded(prog.block(block).successors.size());
 }
 
 } // namespace hotpath

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cfg/program.hh"
+#include "support/logging.hh"
 #include "support/random.hh"
 
 namespace hotpath
@@ -41,6 +42,11 @@ struct PhaseSpec
  * Time-phased branch behaviour for one Program. Phase 0 also provides
  * the base behaviour; later phases fall back to phase 0 for any block
  * they do not override.
+ *
+ * finalize() compiles the sparse per-phase override maps into dense
+ * per-block arrays indexed by BlockId, so the Machine's inner loop
+ * never touches a hash table: a conditional costs one array load, an
+ * indirect one array load plus an alias-table draw.
  */
 class BehaviorModel
 {
@@ -62,18 +68,47 @@ class BehaviorModel
     /** Phase index active after `blocks_executed` blocks. */
     std::size_t phaseAt(std::uint64_t blocks_executed) const;
 
+    /**
+     * Cumulative block boundary at which `phase` ends (0 = open
+     * ended). Lets callers track the active phase incrementally
+     * instead of re-scanning the schedule per block.
+     */
+    std::uint64_t
+    phaseEndBlock(std::size_t phase) const
+    {
+        HOTPATH_ASSERT(isFinalized && phase < compiled.size());
+        return compiled[phase].endBlock;
+    }
+
     /** Taken probability of a conditional block in a phase. */
-    double takenProbability(std::size_t phase, BlockId block) const;
+    double
+    takenProbability(std::size_t phase, BlockId block) const
+    {
+        HOTPATH_ASSERT(isFinalized && phase < compiled.size());
+        return compiled[phase].takenProb[block];
+    }
 
     /** Sample a successor index for an indirect block in a phase. */
-    std::size_t sampleIndirect(std::size_t phase, BlockId block,
-                               Rng &rng) const;
+    std::size_t
+    sampleIndirect(std::size_t phase, BlockId block, Rng &rng) const
+    {
+        HOTPATH_ASSERT(isFinalized && phase < compiled.size());
+        const CompiledPhase &cp = compiled[phase];
+        const std::int32_t slot = cp.indirectSlot[block];
+        if (slot >= 0)
+            return cp.samplers[static_cast<std::size_t>(slot)]
+                .sample(rng);
+        // Uniform fallback over the successors.
+        return rng.nextBounded(prog.block(block).successors.size());
+    }
 
   private:
     struct CompiledPhase
     {
         std::vector<double> takenProb;
-        std::unordered_map<BlockId, AliasSampler> indirect;
+        /** Per-block index into `samplers`; -1 = uniform fallback. */
+        std::vector<std::int32_t> indirectSlot;
+        std::vector<AliasSampler> samplers;
         std::uint64_t endBlock = 0; // cumulative boundary, 0 = open
     };
 

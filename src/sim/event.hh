@@ -11,6 +11,8 @@
 #ifndef HOTPATH_SIM_EVENT_HH
 #define HOTPATH_SIM_EVENT_HH
 
+#include <cstddef>
+
 #include "cfg/basic_block.hh"
 
 namespace hotpath
@@ -36,8 +38,33 @@ struct TransferEvent
 };
 
 /**
+ * One executed block together with its outgoing transfer, as the
+ * Machine batches them. The per-record hook order is onBlock, then
+ * onProgramEnd (when flagged), then onTransfer (when present) -
+ * exactly the order a live unbatched run dispatches.
+ */
+struct ExecutionRecord
+{
+    /** The block that executed (owned by the Program). */
+    const BasicBlock *block = nullptr;
+    /** Its outgoing transfer; meaningful iff hasTransfer. */
+    TransferEvent transfer;
+    /** The entry procedure returned after this block. */
+    bool programEnd = false;
+    /** False only for the final block of a non-restarting run. */
+    bool hasTransfer = false;
+};
+
+/**
  * Observer interface for dynamic execution. Default implementations
  * ignore everything so listeners override only what they need.
+ *
+ * Event sources (the Machine, TraceLog::replay) deliver execution in
+ * batches: one onBatch() virtual call per listener per few hundred
+ * blocks instead of two per block. The default onBatch() replays the
+ * batch through the fine-grained hooks, so existing listeners see the
+ * exact event sequence they always did; hot listeners may override
+ * onBatch() directly and skip the per-event virtual dispatch.
  */
 class ExecutionListener
 {
@@ -52,6 +79,20 @@ class ExecutionListener
 
     /** The outermost procedure returned (one program run finished). */
     virtual void onProgramEnd() {}
+
+    /** A batch of executed blocks; see class comment. */
+    virtual void
+    onBatch(const ExecutionRecord *records, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            const ExecutionRecord &record = records[i];
+            onBlock(*record.block);
+            if (record.programEnd)
+                onProgramEnd();
+            if (record.hasTransfer)
+                onTransfer(record.transfer);
+        }
+    }
 };
 
 } // namespace hotpath

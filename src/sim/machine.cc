@@ -25,10 +25,42 @@ Machine::addListener(ExecutionListener *listener)
     listeners.push_back(listener);
 }
 
-BlockId
-Machine::step(const BasicBlock &block, TransferEvent &event)
+void
+Machine::flushBatch()
 {
-    const std::size_t phase = model.phaseAt(blockCount);
+    if (batch.empty())
+        return;
+    for (ExecutionListener *l : listeners)
+        l->onBatch(batch.data(), batch.size());
+    batch.clear();
+}
+
+std::size_t
+Machine::currentPhase()
+{
+    if (!phaseCursorValid) {
+        // Lazy: the model may be finalized after the Machine is
+        // constructed, but must be by the first run().
+        phaseIndex = model.phaseAt(blockCount);
+        phaseEnd = model.phaseEndBlock(phaseIndex);
+        phaseCursorValid = true;
+    }
+    while (phaseEnd != 0 && blockCount >= phaseEnd) {
+        if (phaseIndex + 1 >= model.numPhases()) {
+            phaseEnd = 0; // past the schedule: stay in the last
+            break;
+        }
+        ++phaseIndex;
+        phaseEnd = model.phaseEndBlock(phaseIndex);
+    }
+    return phaseIndex;
+}
+
+BlockId
+Machine::step(const BasicBlock &block, ExecutionRecord &record)
+{
+    const std::size_t phase = currentPhase();
+    TransferEvent &event = record.transfer;
     BlockId next = kInvalidBlock;
     event.from = block.id;
     event.site = block.branchSite();
@@ -72,8 +104,7 @@ Machine::step(const BasicBlock &block, TransferEvent &event)
         if (callStack.empty()) {
             // Entry procedure returned: one program run finished.
             ++runCount;
-            for (ExecutionListener *l : listeners)
-                l->onProgramEnd();
+            record.programEnd = true;
             if (!cfg.restartOnExit) {
                 finished = true;
                 return kInvalidBlock;
@@ -102,23 +133,29 @@ Machine::run(std::uint64_t max_blocks)
     const std::uint64_t instr_before = instrCount;
     const std::uint64_t runs_before = runCount;
 
+    // Listener dispatch is batched: records accumulate here and are
+    // delivered kBatchBlocks at a time, one onBatch() virtual call
+    // per listener per batch instead of two calls per block.
+    batch.reserve(kBatchBlocks);
+
     std::uint64_t executed = 0;
     while (executed < max_blocks && !finished) {
         const BasicBlock &block = prog.block(current);
-        for (ExecutionListener *l : listeners)
-            l->onBlock(block);
+        ExecutionRecord &record = batch.emplace_back();
+        record.block = &block;
         ++blockCount;
         ++executed;
         instrCount += block.instrCount;
 
-        TransferEvent event;
-        const BlockId next = step(block, event);
+        const BlockId next = step(block, record);
         if (next == kInvalidBlock)
             break;
-        for (ExecutionListener *l : listeners)
-            l->onTransfer(event);
+        record.hasTransfer = true;
         current = next;
+        if (batch.size() >= kBatchBlocks)
+            flushBatch();
     }
+    flushBatch();
 
     if (tmBlocks)
         tmBlocks->add(executed);

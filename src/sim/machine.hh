@@ -74,8 +74,17 @@ class Machine
     std::size_t callDepthHighWater() const { return depthHighWater; }
 
   private:
+    /** Blocks buffered between listener dispatches. */
+    static constexpr std::size_t kBatchBlocks = 256;
+
     /** Pick the dynamic successor of `block`; kInvalidBlock = exit. */
-    BlockId step(const BasicBlock &block, TransferEvent &event);
+    BlockId step(const BasicBlock &block, ExecutionRecord &record);
+
+    /** Deliver the buffered records to every listener. */
+    void flushBatch();
+
+    /** Active phase, advanced as blockCount crosses boundaries. */
+    std::size_t currentPhase();
 
     const Program &prog;
     const BehaviorModel &model;
@@ -85,11 +94,17 @@ class Machine
     BlockId current;
     std::vector<BlockId> callStack;
     std::vector<ExecutionListener *> listeners;
+    std::vector<ExecutionRecord> batch;
     std::uint64_t blockCount = 0;
     std::uint64_t instrCount = 0;
     std::uint64_t runCount = 0;
     std::size_t depthHighWater = 0;
     bool finished = false;
+
+    // Incremental phase cursor; replaces a per-block schedule scan.
+    std::size_t phaseIndex = 0;
+    std::uint64_t phaseEnd = 0;
+    bool phaseCursorValid = false;
 
     // Telemetry handles; nullptr when no registry was attached at
     // construction time (the common, uninstrumented case).

@@ -29,6 +29,10 @@ class TraceLog : public ExecutionListener
     /** Record from a live Machine (attach via addListener). */
     void onBlock(const BasicBlock &block) override;
 
+    /** Batched recording: one append loop per Machine batch. */
+    void onBatch(const ExecutionRecord *records,
+                 std::size_t count) override;
+
     /** Number of recorded block executions. */
     std::size_t size() const { return blocks.size(); }
     bool empty() const { return blocks.empty(); }

@@ -1,0 +1,156 @@
+#include "support/thread_pool.hh"
+
+#include <atomic>
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+std::atomic<ThreadPoolSink> gPoolSink{nullptr};
+
+void
+emitPoolEvent(ThreadPoolEvent event, std::uint64_t value)
+{
+    if (ThreadPoolSink sink =
+            gPoolSink.load(std::memory_order_acquire)) {
+        sink(event, value);
+    }
+}
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ThreadPoolSink
+setThreadPoolSink(ThreadPoolSink sink)
+{
+    return gPoolSink.exchange(sink, std::memory_order_acq_rel);
+}
+
+ThreadPool::ThreadPool(ThreadPoolConfig config)
+    : queueCapacity(config.queueCapacity < 1 ? 1
+                                             : config.queueCapacity)
+{
+    workers.reserve(config.threads);
+    for (std::size_t i = 0; i < config.threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::runTask(Task &task)
+{
+    const std::uint64_t start = nowNanos();
+    task();
+    emitPoolEvent(ThreadPoolEvent::TaskDone, nowNanos() - start);
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    HOTPATH_ASSERT(task != nullptr);
+
+    if (workers.empty()) {
+        // Inline mode: the serial reference path. Count the task so
+        // stats() reads the same either way.
+        runTask(task);
+        std::lock_guard<std::mutex> lock(mu);
+        ++counts.tasksExecuted;
+        return;
+    }
+
+    std::size_t depth = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (queue.size() >= queueCapacity) {
+            ++counts.submitWaits;
+            emitPoolEvent(ThreadPoolEvent::SubmitWait, 1);
+            spaceAvailable.wait(lock, [this] {
+                return queue.size() < queueCapacity;
+            });
+        }
+        queue.push_back(std::move(task));
+        ++inFlight;
+        depth = queue.size();
+        if (depth > counts.queueHighWater)
+            counts.queueHighWater = depth;
+    }
+    emitPoolEvent(ThreadPoolEvent::QueueDepth, depth);
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle.wait(lock, [this] { return inFlight == 0; });
+}
+
+ThreadPoolStats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counts;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            workAvailable.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        spaceAvailable.notify_one();
+
+        runTask(task);
+
+        bool drained = false;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++counts.tasksExecuted;
+            drained = --inFlight == 0;
+        }
+        if (drained)
+            idle.notify_all();
+    }
+}
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+} // namespace hotpath

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Bounded fixed-size thread pool for experiment fan-out.
+ *
+ * The sweep matrices behind the paper's figures are embarrassingly
+ * parallel - every (predictor family x delay x benchmark) point is an
+ * independent replay over a read-only event stream - so the pool is
+ * deliberately simple: N workers draining one bounded FIFO queue, no
+ * work stealing, no task priorities. Determinism comes from the
+ * callers, who index results by task id instead of completion order;
+ * the pool only promises that every submitted task runs exactly once.
+ *
+ * A pool constructed with zero threads degenerates to inline
+ * execution on the calling thread, which is the bit-identical serial
+ * reference the equivalence tests compare against.
+ */
+
+#ifndef HOTPATH_SUPPORT_THREAD_POOL_HH
+#define HOTPATH_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hotpath
+{
+
+/** Pool activity visible to an observer (telemetry). */
+enum class ThreadPoolEvent
+{
+    /** A task finished; value = execution nanoseconds. */
+    TaskDone,
+    /** Queue depth sampled at submit; value = depth in tasks. */
+    QueueDepth,
+    /** submit() blocked on a full queue; value unused. */
+    SubmitWait,
+};
+
+/**
+ * Pool events funnel through one process-wide sink function so an
+ * observer can watch every pool without patching call sites - the
+ * same inversion support/logging uses for warn()/inform(): support
+ * cannot depend on telemetry, so the telemetry layer installs a
+ * bridge here while a registry is attached. Sinks must be callable
+ * from multiple threads.
+ */
+using ThreadPoolSink = void (*)(ThreadPoolEvent event,
+                                std::uint64_t value);
+
+/**
+ * Replace the pool sink process-wide (nullptr = none). Returns the
+ * previously installed sink. Safe to call concurrently with pools.
+ */
+ThreadPoolSink setThreadPoolSink(ThreadPoolSink sink);
+
+/** Point-in-time accounting of one pool. */
+struct ThreadPoolStats
+{
+    std::uint64_t tasksExecuted = 0;
+    std::uint64_t submitWaits = 0;
+    std::size_t queueHighWater = 0;
+};
+
+/** Pool parameters. */
+struct ThreadPoolConfig
+{
+    /** Worker threads; 0 = run every task inline in submit(). */
+    std::size_t threads = 1;
+
+    /** Queue bound in tasks; submit() blocks when full. */
+    std::size_t queueCapacity = 1024;
+};
+
+/** Fixed-size bounded worker pool; see file comment. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    explicit ThreadPool(ThreadPoolConfig config);
+
+    /** Convenience: `threads` workers, default queue bound. */
+    explicit ThreadPool(std::size_t threads)
+        : ThreadPool(ThreadPoolConfig{threads, 1024})
+    {
+    }
+
+    /** Waits for queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one task (runs it inline when the pool has no
+     * workers). Blocks while the queue is full. Tasks must not
+     * throw; a task that does aborts via std::terminate, matching
+     * the library's panic-on-bug convention.
+     */
+    void submit(Task task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    /** Worker count (0 = inline mode). */
+    std::size_t threadCount() const { return workers.size(); }
+
+    /** Accounting snapshot (takes the pool lock briefly). */
+    ThreadPoolStats stats() const;
+
+    /**
+     * Run fn(0) .. fn(n-1), fanning across the workers, and wait for
+     * all of them. With zero workers this is a plain serial loop.
+     * `fn` must be safe to invoke concurrently for distinct indices.
+     */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        if (workers.empty()) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            submit([&fn, i] { fn(i); });
+        wait();
+    }
+
+    /**
+     * The default worker count for `--jobs`: the hardware
+     * concurrency, or 1 when the runtime cannot report it.
+     */
+    static std::size_t defaultThreads();
+
+  private:
+    void workerLoop();
+    void runTask(Task &task);
+
+    mutable std::mutex mu;
+    std::condition_variable workAvailable;
+    std::condition_variable spaceAvailable;
+    std::condition_variable idle;
+    std::deque<Task> queue;
+    std::size_t queueCapacity;
+    std::size_t inFlight = 0; // queued + currently executing
+    bool stopping = false;
+    ThreadPoolStats counts;
+    std::vector<std::thread> workers;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_SUPPORT_THREAD_POOL_HH

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace hotpath::telemetry
 {
@@ -24,12 +25,43 @@ logBridge(LogLevel level, const std::string &message)
          message);
 }
 
+/**
+ * Bridges thread-pool activity into the attached registry (support
+ * cannot link telemetry, so the pool publishes through the sink
+ * installed by attachRegistry). Pool events are per-task, not
+ * per-profiled-event, so the registry lookup per event is cheap
+ * relative to the work a task represents.
+ */
+void
+poolBridge(ThreadPoolEvent event, std::uint64_t value)
+{
+    switch (event) {
+      case ThreadPoolEvent::TaskDone:
+        if (Counter *tasks = counter("support.thread_pool.tasks"))
+            tasks->add();
+        if (Histogram *nanos =
+                histogram("support.thread_pool.task_nanos"))
+            nanos->record(value);
+        break;
+      case ThreadPoolEvent::QueueDepth:
+        if (Gauge *depth = gauge("support.thread_pool.queue_depth"))
+            depth->recordMax(static_cast<std::int64_t>(value));
+        break;
+      case ThreadPoolEvent::SubmitWait:
+        if (Counter *waits =
+                counter("support.thread_pool.submit_waits"))
+            waits->add(value);
+        break;
+    }
+}
+
 } // namespace
 
 void
 attachRegistry(MetricRegistry *registry)
 {
     globalRegistry.store(registry, std::memory_order_release);
+    setThreadPoolSink(registry ? &poolBridge : nullptr);
 }
 
 MetricRegistry *

@@ -130,6 +130,45 @@ TEST(CounterTableTest, RandomizedAgainstReference)
         EXPECT_EQ(table.lookup(key), count);
 }
 
+TEST(CounterTableTest, TombstoneChurnDoesNotGrowTable)
+{
+    // A retiring scheme inserts and erases a steady trickle of keys:
+    // the live count stays tiny while tombstones pile up. The table
+    // must rehash those tombstones away at constant capacity, not
+    // double on every fill.
+    CounterTable table(64);
+    const std::size_t initial = table.memoryBytes();
+    for (std::uint64_t key = 1; key <= 100000; ++key) {
+        table.increment(key);
+        table.erase(key);
+    }
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.memoryBytes(), initial);
+}
+
+TEST(CounterTableTest, ProbeLengthStaysShortAfterChurn)
+{
+    // With tombstones rehashed away, lookups after heavy churn must
+    // stay O(1): the mean probe chain over the surviving keys is
+    // asserted to stay near 1, far below a tombstone-laden scan.
+    CounterTable table(64);
+    constexpr std::uint64_t kLive = 24;
+    for (std::uint64_t key = 1; key <= 100000; ++key) {
+        table.increment(key);
+        if (key > kLive)
+            table.erase(key);
+    }
+    ASSERT_EQ(table.size(), kLive);
+
+    const std::uint64_t probes_before = table.probes();
+    for (std::uint64_t key = 1; key <= kLive; ++key)
+        EXPECT_EQ(table.lookup(key), 1u);
+    const double mean_probes =
+        static_cast<double>(table.probes() - probes_before) / kLive;
+    EXPECT_LT(mean_probes, 3.0) << "lookup chains degraded: mean "
+                                << mean_probes << " probes per lookup";
+}
+
 TEST(CounterTableDeathTest, ZeroKeyRejected)
 {
     CounterTable table;
