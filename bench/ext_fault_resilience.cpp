@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Extension study: fault injection rate x recovery policy, measuring
+ * how much of the clean run's signal the streaming engine retains
+ * while wire corruption, frame loss, reordering and allocation
+ * failures are injected against it.
+ *
+ * Every sweep row runs the engine in serial mode with a fixed fault
+ * seed, so the injection schedule - and therefore the whole table -
+ * is deterministic: two runs with the same --fault-seed produce
+ * byte-identical output. Each row also re-checks the frame
+ * conservation invariants (nothing is ever lost silently; every
+ * injected fault is matched by a reject, drop or recovery counter)
+ * and the bench exits non-zero if any row breaks them.
+ *
+ * Flags (all optional):
+ *   --fault-seed=<u64>  fault-injection schedule seed (default 7)
+ *   --seed=<u64>        workload synthesis seed (default 42)
+ *   --sessions=<n>      concurrent client sessions (default 8)
+ *   --frame=<n>         events per frame (default 256)
+ *   --timing            additionally run the (non-deterministic)
+ *                       threaded overload table: worker stalls,
+ *                       watchdog releases and drop-oldest shedding
+ *   --telemetry-out=<path>  RunReport with engine.fault.* metrics
+ *
+ * Columns:
+ *   injected    total faults the injector fired (all sites)
+ *   corrupt     frames damaged in flight (bit flips + truncations)
+ *   quarantined frames rejected and skipped by resync
+ *   backoff     frames dropped while their session was in backoff
+ *   alloc       frames dropped by injected allocation failures
+ *   P/R/A       sessions poisoned / rebuilt / re-admitted
+ *   events %    events processed vs the clean run
+ *   pred %      clean run's predicted path set still predicted
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "engine/engine.hh"
+#include "engine/wire_format.hh"
+#include "support/fault_injector.hh"
+#include "support/table.hh"
+#include "workload/synthesis.hh"
+
+using namespace hotpath;
+
+namespace
+{
+
+/** One session's pre-encoded frames. */
+struct SessionFrames
+{
+    std::uint64_t id = 0;
+    std::vector<std::vector<std::uint8_t>> frames;
+};
+
+std::vector<SessionFrames>
+encodeSessions(std::uint64_t seed, std::size_t sessions,
+               std::size_t events_per_frame)
+{
+    const std::vector<SpecTarget> &targets = specTargets();
+    std::vector<SessionFrames> out;
+    out.reserve(sessions);
+    for (std::size_t s = 0; s < sessions; ++s) {
+        WorkloadConfig config;
+        config.flowScale = 1e-4;
+        config.seed = seed + s;
+        CalibratedWorkload workload(targets[s % targets.size()],
+                                    config);
+        const std::vector<PathEvent> stream =
+            workload.materializeStream();
+
+        SessionFrames sf;
+        sf.id = 1 + s;
+        std::uint64_t sequence = 0;
+        for (std::size_t i = 0; i < stream.size();
+             i += events_per_frame) {
+            const std::size_t n =
+                std::min(events_per_frame, stream.size() - i);
+            std::vector<std::uint8_t> frame;
+            wire::appendEventFrame(frame, sf.id, sequence++,
+                                   stream.data() + i, n);
+            sf.frames.push_back(std::move(frame));
+        }
+        out.push_back(std::move(sf));
+    }
+    return out;
+}
+
+/** A recovery policy under test. */
+struct Policy
+{
+    const char *name;
+    std::uint64_t errorBudget; // 0 = budget disabled
+};
+
+/** Everything one sweep row reports. */
+struct RowResult
+{
+    engine::EngineStats stats;
+    std::uint64_t events = 0;
+    /** Distinct predicted paths per session. */
+    std::vector<std::set<PathIndex>> predicted;
+    bool conserved = false;
+};
+
+engine::EngineConfig
+rowConfig(double rate, const Policy &policy, std::uint64_t fault_seed)
+{
+    engine::EngineConfig config;
+    config.workerThreads = 0; // serial: deterministic schedule
+    config.sessions.session.recordPredictions = true;
+    config.sessions.session.errorBudget = policy.errorBudget;
+    if (rate > 0.0) {
+        config.faults.seed = fault_seed;
+        config.faults.site(fault::Site::WireBitFlip).probability =
+            rate;
+        config.faults.site(fault::Site::WireTruncate).probability =
+            rate / 2.0;
+        config.faults.site(fault::Site::FrameDrop).probability =
+            rate / 2.0;
+        config.faults.site(fault::Site::FrameDelay).probability =
+            rate / 4.0;
+        // Alloc opportunities only occur at session creation - a
+        // handful per run - so a probability would never fire; a
+        // deterministic every-3rd schedule exercises the path.
+        config.faults.site(fault::Site::AllocFail).everyN = 3;
+    }
+    return config;
+}
+
+RowResult
+runRow(const std::vector<SessionFrames> &sessions,
+       const engine::EngineConfig &config)
+{
+    engine::Engine eng(config);
+    std::size_t max_frames = 0;
+    for (const SessionFrames &sf : sessions)
+        max_frames = std::max(max_frames, sf.frames.size());
+    for (std::size_t i = 0; i < max_frames; ++i)
+        for (const SessionFrames &sf : sessions)
+            if (i < sf.frames.size())
+                eng.submit(sf.frames[i]);
+    eng.drain();
+
+    RowResult row;
+    row.stats = eng.stats();
+    row.events = row.stats.eventsProcessed;
+    for (const SessionFrames &sf : sessions) {
+        const std::vector<PathIndex> paths =
+            eng.predictionsFor(sf.id);
+        row.predicted.emplace_back(paths.begin(), paths.end());
+    }
+
+    // Frame conservation: every submitted frame is accounted for as
+    // rejected, visibly dropped, shed or decoded - and every decoded
+    // frame as applied or visibly dropped.
+    const engine::FaultRecoveryStats &fault = row.stats.fault;
+    row.conserved =
+        row.stats.framesSubmitted ==
+            row.stats.framesRejected + fault.injectedDrops +
+                fault.shedFrames + row.stats.framesDecoded &&
+        row.stats.framesDecoded ==
+            fault.framesApplied + fault.backoffDroppedFrames +
+                fault.allocDroppedFrames &&
+        fault.framesQuarantined == row.stats.framesRejected &&
+        fault.injectedAllocFails == fault.allocDroppedFrames;
+    return row;
+}
+
+/** % of the clean run's predicted path set still predicted. */
+double
+predictionRetention(const RowResult &clean, const RowResult &row)
+{
+    std::size_t kept = 0;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < clean.predicted.size(); ++s) {
+        total += clean.predicted[s].size();
+        for (const PathIndex path : clean.predicted[s])
+            kept += row.predicted[s].count(path);
+    }
+    return total == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(kept) /
+                     static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::TelemetryScope telemetry(argc, argv,
+                                    "ext_fault_resilience");
+
+    const std::uint64_t seed = bench::seedFlag(argc, argv, 42);
+    const std::uint64_t fault_seed =
+        bench::flagU64(argc, argv, "fault-seed", 7);
+    const std::size_t num_sessions = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "sessions", 8));
+    const std::size_t events_per_frame = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "frame", 256));
+    bool timing = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--timing")
+            timing = true;
+
+    std::cout << "Fault resilience: injection rate x recovery "
+                 "policy on the streaming engine\n\n";
+
+    const std::vector<SessionFrames> sessions =
+        encodeSessions(seed, num_sessions, events_per_frame);
+    std::uint64_t total_frames = 0;
+    for (const SessionFrames &sf : sessions)
+        total_frames += sf.frames.size();
+    std::cout << num_sessions << " sessions, " << total_frames
+              << " frames (" << events_per_frame
+              << " events/frame), workload seed " << seed
+              << ", fault seed " << fault_seed << "\n"
+              << "Serial engine: the injection schedule, and this "
+                 "whole table, are deterministic.\n\n";
+
+    const Policy policies[] = {
+        {"off", 0},
+        {"lenient", 4},
+        {"strict", 1},
+    };
+    const double rates[] = {0.0, 0.005, 0.02, 0.05};
+
+    // Clean reference: no faults; the budget is irrelevant when
+    // nothing corrupts, so any policy gives the same run.
+    const RowResult clean =
+        runRow(sessions, rowConfig(0.0, policies[0], fault_seed));
+
+    TextTable table;
+    table.setHeader({"Rate %", "Policy", "Injected", "Corrupt",
+                     "Quarantined", "Backoff", "Alloc", "P/R/A",
+                     "Events %", "Pred %"});
+    bool all_conserved = true;
+    for (const double rate : rates) {
+        for (const Policy &policy : policies) {
+            // Rate 0 makes the policies indistinguishable; print the
+            // single clean row once.
+            if (rate == 0.0 && policy.errorBudget != 0)
+                continue;
+            const RowResult row = runRow(
+                sessions, rowConfig(rate, policy, fault_seed));
+            all_conserved = all_conserved && row.conserved;
+
+            const engine::FaultRecoveryStats &fault =
+                row.stats.fault;
+            const std::uint64_t injected =
+                fault.injectedBitFlips + fault.injectedTruncations +
+                fault.injectedDrops + fault.injectedDelays +
+                fault.injectedStalls + fault.injectedAllocFails;
+            table.beginRow();
+            table.addCell(rate * 100.0, 1);
+            table.addCell(policy.name);
+            table.addCell(injected);
+            table.addCell(fault.corruptFrames);
+            table.addCell(fault.framesQuarantined);
+            table.addCell(fault.backoffDroppedFrames);
+            table.addCell(fault.allocDroppedFrames);
+            table.addCell(std::to_string(fault.sessionsPoisoned) +
+                          "/" +
+                          std::to_string(fault.sessionsRebuilt) +
+                          "/" +
+                          std::to_string(fault.sessionsReadmitted));
+            table.addCell(clean.events == 0
+                              ? 100.0
+                              : 100.0 *
+                                    static_cast<double>(row.events) /
+                                    static_cast<double>(clean.events),
+                          2);
+            table.addCell(predictionRetention(clean, row), 2);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nfault accounting: "
+              << (all_conserved ? "OK" : "BROKEN")
+              << " (submitted == rejected + dropped + shed + "
+                 "decoded; decoded == applied + backoff + alloc; "
+                 "quarantined == rejected)\n";
+
+    std::cout << "\nReading the table: with the budget off, "
+                 "corruption costs exactly the quarantined frames "
+                 "and the engine degrades gracefully. Tight budgets "
+                 "amplify the damage: every poisoning throws away "
+                 "the session's predictor state (rebuild) and an "
+                 "exponentially growing backoff window of healthy "
+                 "frames - aggressive quarantine trades signal for "
+                 "isolation. Less intervention retains more.\n";
+
+    if (timing) {
+        std::cout << "\nThreaded overload (--timing; wall-clock "
+                     "dependent, NOT deterministic):\n";
+        engine::EngineConfig config;
+        config.workerThreads = 2;
+        config.queueCapacityFrames = 8;
+        config.maxBatchFrames = 4;
+        config.overloadPolicy = engine::OverloadPolicy::DropOldest;
+        config.degradation.spike.windowEvents = 16;
+        config.degradation.spike.spikeFloor = 4;
+        config.degradation.spike.spikeFactor = 1.0;
+        config.degradation.spike.smoothing = 0.5;
+        config.degradation.spike.warmupWindows = 1;
+        config.degradation.degradedWindows = 2;
+        config.sessions.session.recordPredictions = true;
+        config.faults.seed = fault_seed;
+        config.faults.site(fault::Site::WorkerStall).everyN = 8;
+
+        engine::Engine eng(config);
+        std::size_t max_frames = 0;
+        for (const SessionFrames &sf : sessions)
+            max_frames = std::max(max_frames, sf.frames.size());
+        for (std::size_t i = 0; i < max_frames; ++i)
+            for (const SessionFrames &sf : sessions)
+                if (i < sf.frames.size())
+                    eng.submit(sf.frames[i]);
+        eng.drain();
+        eng.shutdown();
+        const engine::EngineStats stats = eng.stats();
+
+        TextTable overload;
+        overload.setHeader({"Stalls", "Released", "Shed frames",
+                            "Degraded entries", "Events %"});
+        overload.beginRow();
+        overload.addCell(stats.fault.workersStalled);
+        overload.addCell(stats.fault.workersUnstalled);
+        overload.addCell(stats.fault.shedFrames);
+        overload.addCell(stats.fault.degradedEntries);
+        overload.addCell(
+            clean.events == 0
+                ? 100.0
+                : 100.0 *
+                      static_cast<double>(stats.eventsProcessed) /
+                      static_cast<double>(clean.events),
+            2);
+        overload.print(std::cout);
+    }
+
+    return all_conserved ? 0 : 1;
+}

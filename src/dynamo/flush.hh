@@ -67,6 +67,85 @@ class PredictionRateMonitor
     double average = 0.0;
 };
 
+/** Whether a degradation policy is currently shedding load. */
+enum class DegradationMode
+{
+    /** Full service. */
+    Normal,
+    /** Overloaded: shed work until pressure subsides. */
+    Degraded,
+};
+
+/**
+ * Tunables for DegradationPolicy. Reuses FlushHeuristicConfig for
+ * the windowing: "pressure per window spikes above a moving
+ * average" is judged exactly like "predictions per window" in the
+ * flush heuristic - the same phase-shift detector, pointed at
+ * overload instead of at new-path rate.
+ */
+struct DegradationPolicyConfig
+{
+    /** Window length, spike threshold, EMA smoothing and warmup -
+     *  interpreted over *pressure* signals instead of predictions. */
+    FlushHeuristicConfig spike{};
+
+    /** Pressure-free windows required before leaving degraded mode. */
+    std::uint64_t degradedWindows = 4;
+};
+
+/**
+ * Dynamo's flush-on-spike heuristic generalized into an overload
+ * detector (paper Section 6.1; see PredictionRateMonitor). Feed it
+ * one signal per unit of work (`pressure` = this unit met overload,
+ * e.g. a full queue); it buckets signals into windows, tracks a
+ * moving average of pressure per window, and switches to Degraded
+ * when a window spikes above the average. Degraded mode persists
+ * while pressure continues and decays back to Normal after
+ * `degradedWindows` quiet windows, followed by a warmup cooldown so
+ * the recovery burst cannot immediately re-trigger - the exact
+ * settle() discipline the cache flush uses.
+ *
+ * The engine consults one policy per shard to decide when a
+ * saturated queue may shed its oldest frame; src/dynamo keeps the
+ * prediction-rate monitor for cache flushes. Both share this file so
+ * the two degradation paths stay one heuristic.
+ */
+class DegradationPolicy
+{
+  public:
+    /** Build a policy; asserts on degenerate configuration. */
+    explicit DegradationPolicy(DegradationPolicyConfig config = {});
+
+    /**
+     * Record one unit of work; `pressure` marks it as having met
+     * overload. Returns the mode in effect for the *next* unit.
+     */
+    DegradationMode onEvent(bool pressure);
+
+    /** Current mode. */
+    DegradationMode mode() const { return state; }
+
+    /** Times the policy switched Normal -> Degraded. */
+    std::uint64_t degradedEntries() const { return entries; }
+
+    /** Completed windows observed. */
+    std::uint64_t windowsSeen() const { return windows; }
+
+    /** Moving average of pressure signals per window. */
+    double movingAverage() const { return average; }
+
+  private:
+    DegradationPolicyConfig cfg;
+    std::uint64_t eventsInWindow = 0;
+    std::uint64_t pressureInWindow = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t cooldownLeft;
+    std::uint64_t degradedLeft = 0;
+    std::uint64_t entries = 0;
+    double average = 0.0;
+    DegradationMode state = DegradationMode::Normal;
+};
+
 } // namespace hotpath
 
 #endif // HOTPATH_DYNAMO_FLUSH_HH

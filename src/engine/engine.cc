@@ -1,6 +1,7 @@
 #include "engine/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "support/logging.hh"
@@ -37,6 +38,11 @@ Engine::Engine(EngineConfig config)
                    "queue capacity must be at least one frame");
     HOTPATH_ASSERT(cfg.maxBatchFrames >= 1,
                    "batch size must be at least one frame");
+    HOTPATH_ASSERT(cfg.delayWindowFrames >= 1,
+                   "delay window must be at least one frame");
+
+    if (fault::kCompiledIn && cfg.faults.enabled())
+        injector = std::make_unique<fault::FaultInjector>(cfg.faults);
 
     tmFramesDecoded = telemetry::counter("engine.frames.decoded");
     tmFramesRejected = telemetry::counter("engine.frames.rejected");
@@ -47,11 +53,68 @@ Engine::Engine(EngineConfig config)
     tmQueueDepth = telemetry::gauge("engine.queue.depth");
     tmBatchSize = telemetry::histogram("engine.batch.size");
 
+    // Resilience metrics exist only when a resilience feature is on,
+    // so default runs keep their RunReports byte-stable.
+    const bool resilient =
+        injector != nullptr ||
+        cfg.sessions.session.errorBudget > 0 ||
+        cfg.overloadPolicy == OverloadPolicy::DropOldest ||
+        cfg.watchdogIntervalMs > 0;
+    if (resilient) {
+        for (std::size_t s = 0; s < fault::kSiteCount; ++s)
+            tmInjected[s] = telemetry::counter(
+                std::string("engine.fault.injected.") +
+                fault::siteName(static_cast<fault::Site>(s)));
+        tmCorruptFrames =
+            telemetry::counter("engine.fault.frames.corrupted");
+        tmPoisoned =
+            telemetry::counter("engine.fault.sessions.poisoned");
+        tmAllocFailures =
+            telemetry::counter("engine.fault.alloc.failures");
+        tmOverloadSpikes =
+            telemetry::counter("engine.fault.overload.spikes");
+        tmWorkerStalled =
+            telemetry::counter("engine.fault.worker.stalled");
+        tmQuarantined =
+            telemetry::counter("engine.recovered.frames.quarantined");
+        tmDelayedDelivered = telemetry::counter(
+            "engine.recovered.frames.delayed.delivered");
+        tmRebuilt =
+            telemetry::counter("engine.recovered.sessions.rebuilt");
+        tmReadmitted = telemetry::counter(
+            "engine.recovered.sessions.readmitted");
+        tmBackoffDropped =
+            telemetry::counter("engine.recovered.backoff.frames");
+        tmShed = telemetry::counter("engine.recovered.shed.frames");
+        tmWorkerUnstalled =
+            telemetry::counter("engine.recovered.worker.unstalled");
+    }
+
+    if (injector && injector->armed(fault::Site::AllocFail)) {
+        table.setAllocFailHook([this] {
+            const bool fail =
+                injector->shouldInject(fault::Site::AllocFail);
+            if (fail) {
+                if (tmInjected[static_cast<std::size_t>(
+                        fault::Site::AllocFail)])
+                    tmInjected[static_cast<std::size_t>(
+                                   fault::Site::AllocFail)]
+                        ->add(1);
+                if (tmAllocFailures)
+                    tmAllocFailures->add(1);
+            }
+            return fail;
+        });
+    }
+
     const std::size_t shard_count = table.shardCount();
     queues.reserve(shard_count);
     tmShardFrames.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
         queues.push_back(std::make_unique<ShardQueue>());
+        if (cfg.overloadPolicy == OverloadPolicy::DropOldest)
+            queues.back()->degradation =
+                std::make_unique<DegradationPolicy>(cfg.degradation);
         tmShardFrames.push_back(telemetry::counter(
             "engine.shard." + std::to_string(i) + ".frames"));
     }
@@ -73,6 +136,14 @@ Engine::Engine(EngineConfig config)
     workers.reserve(worker_count);
     for (std::size_t w = 0; w < worker_count; ++w)
         workers.emplace_back(&Engine::workerLoop, this, w);
+
+    // An armed stall without a watchdog would hang drain(): the
+    // watchdog is what releases injected stalls.
+    if (cfg.watchdogIntervalMs == 0 && injector &&
+        injector->armed(fault::Site::WorkerStall))
+        cfg.watchdogIntervalMs = 10;
+    if (cfg.watchdogIntervalMs > 0)
+        watchdog = std::thread(&Engine::watchdogLoop, this);
 }
 
 Engine::~Engine()
@@ -87,6 +158,10 @@ Engine::countReject(wire::DecodeStatus status)
         1, std::memory_order_relaxed);
     if (tmFramesRejected)
         tmFramesRejected->add(1);
+    // A reject is a quarantine: the frame is skipped and counted,
+    // never allowed to take the session or the engine down.
+    if (tmQuarantined)
+        tmQuarantined->add(1);
     // One diagnostic per engine; rejections after the first are
     // visible in stats() without flooding the log from workers.
     if (!warnedReject.exchange(true, std::memory_order_relaxed))
@@ -98,8 +173,74 @@ Engine::countReject(wire::DecodeStatus status)
 bool
 Engine::submit(std::vector<std::uint8_t> frame)
 {
-    framesSubmitted.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t submitted =
+        framesSubmitted.fetch_add(1, std::memory_order_relaxed) + 1;
 
+    if (fault::kCompiledIn && injector) {
+        std::uint64_t aux = 0;
+        if (injector->armed(fault::Site::FrameDrop) &&
+            injector->shouldInject(fault::Site::FrameDrop)) {
+            // Simulated network loss: the producer sees success.
+            if (tmInjected[static_cast<std::size_t>(
+                    fault::Site::FrameDrop)])
+                tmInjected[static_cast<std::size_t>(
+                               fault::Site::FrameDrop)]
+                    ->add(1);
+            return true;
+        }
+        bool corrupted = false;
+        if (injector->armed(fault::Site::WireTruncate) &&
+            injector->shouldInject(fault::Site::WireTruncate, &aux) &&
+            frame.size() > 3) {
+            frame.resize(3 + aux % (frame.size() - 3));
+            corrupted = true;
+            if (tmInjected[static_cast<std::size_t>(
+                    fault::Site::WireTruncate)])
+                tmInjected[static_cast<std::size_t>(
+                               fault::Site::WireTruncate)]
+                    ->add(1);
+        }
+        if (injector->armed(fault::Site::WireBitFlip) &&
+            injector->shouldInject(fault::Site::WireBitFlip, &aux) &&
+            !frame.empty()) {
+            frame[(aux >> 3) % frame.size()] ^=
+                static_cast<std::uint8_t>(1u << (aux & 7));
+            corrupted = true;
+            if (tmInjected[static_cast<std::size_t>(
+                    fault::Site::WireBitFlip)])
+                tmInjected[static_cast<std::size_t>(
+                               fault::Site::WireBitFlip)]
+                    ->add(1);
+        }
+        if (corrupted) {
+            corruptFrames.fetch_add(1, std::memory_order_relaxed);
+            if (tmCorruptFrames)
+                tmCorruptFrames->add(1);
+        }
+        if (injector->armed(fault::Site::FrameDelay) &&
+            injector->shouldInject(fault::Site::FrameDelay)) {
+            if (tmInjected[static_cast<std::size_t>(
+                    fault::Site::FrameDelay)])
+                tmInjected[static_cast<std::size_t>(
+                               fault::Site::FrameDelay)]
+                    ->add(1);
+            std::lock_guard<std::mutex> lock(delayMu);
+            delayed.push_back(
+                {std::move(frame),
+                 submitted + cfg.delayWindowFrames});
+            return true;
+        }
+        // Redeliver held frames whose window has passed (out of
+        // order relative to their original submission).
+        flushDelayed(false);
+    }
+
+    return routeFrame(std::move(frame));
+}
+
+bool
+Engine::routeFrame(std::vector<std::uint8_t> frame)
+{
     wire::FrameHeader header;
     std::size_t frame_end = 0;
     const wire::DecodeStatus status = wire::peekFrameHeader(
@@ -125,7 +266,31 @@ Engine::submit(std::vector<std::uint8_t> frame)
     pendingFrames.fetch_add(1, std::memory_order_relaxed);
     {
         std::unique_lock<std::mutex> lock(queue.mu);
-        if (queue.frames.size() >= cfg.queueCapacityFrames) {
+        bool saturated =
+            queue.frames.size() >= cfg.queueCapacityFrames;
+        bool shed_oldest = false;
+        if (queue.degradation) {
+            // Dynamo's flush-on-spike heuristic, pointed at queue
+            // pressure: only *sustained* saturation flips the shard
+            // into load shedding; a transient burst still blocks.
+            const DegradationMode prev = queue.degradation->mode();
+            const DegradationMode mode =
+                queue.degradation->onEvent(saturated);
+            if (prev == DegradationMode::Normal &&
+                mode == DegradationMode::Degraded && tmOverloadSpikes)
+                tmOverloadSpikes->add(1);
+            shed_oldest =
+                saturated && mode == DegradationMode::Degraded;
+        }
+        if (shed_oldest) {
+            // Degraded: admit the fresh frame by shedding the oldest
+            // queued one (stale profile data is the cheapest loss).
+            queue.frames.pop_front();
+            framesShed.fetch_add(1, std::memory_order_relaxed);
+            if (tmShed)
+                tmShed->add(1);
+            noteFrameDone(1);
+        } else if (saturated) {
             ++queue.backpressureWaits;
             if (tmBackpressure)
                 tmBackpressure->add(1);
@@ -163,6 +328,96 @@ Engine::submitEvents(std::uint64_t session, std::uint64_t sequence,
     return submit(std::move(frame));
 }
 
+std::uint64_t
+Engine::submitBuffer(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t routed = 0;
+    std::size_t offset = 0;
+    wire::FrameHeader header;
+    while (offset < size) {
+        std::size_t frame_end = 0;
+        const wire::DecodeStatus status = wire::peekFrameHeader(
+            data, size, offset, header, frame_end);
+        if (status == wire::DecodeStatus::Ok) {
+            submit(std::vector<std::uint8_t>(data + offset,
+                                             data + frame_end));
+            ++routed;
+            offset = frame_end;
+            continue;
+        }
+        // Quarantine the unparseable region as one lost frame and
+        // resync at the next CRC-valid frame boundary.
+        framesSubmitted.fetch_add(1, std::memory_order_relaxed);
+        countReject(status);
+        offset = wire::findNextFrame(data, size, offset + 1);
+    }
+    return routed;
+}
+
+void
+Engine::flushDelayed(bool all)
+{
+    for (;;) {
+        std::vector<std::uint8_t> frame;
+        {
+            std::lock_guard<std::mutex> lock(delayMu);
+            if (delayed.empty())
+                return;
+            if (!all && delayed.front().releaseAt >
+                            framesSubmitted.load(
+                                std::memory_order_relaxed))
+                return;
+            frame = std::move(delayed.front().bytes);
+            delayed.pop_front();
+        }
+        delayedDelivered.fetch_add(1, std::memory_order_relaxed);
+        if (tmDelayedDelivered)
+            tmDelayedDelivered->add(1);
+        // Already counted in framesSubmitted at original submission.
+        routeFrame(std::move(frame));
+    }
+}
+
+void
+Engine::attributeDecodeError(const std::vector<std::uint8_t> &frame)
+{
+    const SessionConfig &scfg = cfg.sessions.session;
+    if (scfg.errorBudget == 0)
+        return;
+    wire::FrameHeader header;
+    std::size_t frame_end = 0;
+    if (wire::peekFrameHeader(frame.data(), frame.size(), 0, header,
+                              frame_end) != wire::DecodeStatus::Ok)
+        return; // no session id worth trusting
+
+    bool poisoned = false;
+    std::uint32_t generation = 0;
+    table.withSession(header.session, [&](Session &session) {
+        if (session.noteDecodeError()) {
+            poisoned = true;
+            generation = session.generation();
+        }
+    });
+    if (!poisoned)
+        return;
+
+    sessionsPoisoned.fetch_add(1, std::memory_order_relaxed);
+    if (tmPoisoned)
+        tmPoisoned->add(1);
+    // Evict-and-rebuild, with exponential re-admission backoff: each
+    // poisoning doubles the number of frames dropped before the
+    // fresh session accepts traffic again.
+    const std::uint64_t backoff =
+        scfg.backoffBaseFrames
+        << std::min<std::uint32_t>(generation,
+                                   scfg.backoffMaxExponent);
+    table.rebuildSession(header.session, [&](Session &session) {
+        session.enterBackoff(backoff, generation + 1);
+    });
+    if (tmRebuilt)
+        tmRebuilt->add(1);
+}
+
 void
 Engine::processFrame(const std::vector<std::uint8_t> &frame,
                      wire::DecodedFrame &scratch)
@@ -172,6 +427,7 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
         wire::decodeFrame(frame.data(), frame.size(), offset, scratch);
     if (status != wire::DecodeStatus::Ok) {
         countReject(status);
+        attributeDecodeError(frame);
         return;
     }
     if (scratch.header.kind != wire::FrameKind::PathEvents) {
@@ -182,17 +438,48 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
     }
 
     framesDecoded.fetch_add(1, std::memory_order_relaxed);
-    eventsProcessed.fetch_add(scratch.events.size(),
-                              std::memory_order_relaxed);
     if (tmFramesDecoded)
         tmFramesDecoded->add(1);
+
+    bool applied = false;
+    bool readmitted = false;
+    std::uint64_t predicted = 0;
+    const bool resident = table.withSession(
+        scratch.header.session, [&](Session &session) {
+            if (session.consumeBackoffSlot()) {
+                // Re-admission backoff: drop the frame; the last
+                // dropped frame re-admits the session.
+                if (!session.inBackoff())
+                    readmitted = true;
+                return;
+            }
+            applied = true;
+            predicted = session.apply(scratch);
+        });
+    if (!resident) {
+        // Session creation refused (injected allocation failure):
+        // the decoded frame is dropped, visibly.
+        allocDropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (!applied) {
+        backoffDropped.fetch_add(1, std::memory_order_relaxed);
+        if (tmBackoffDropped)
+            tmBackoffDropped->add(1);
+        if (readmitted) {
+            sessionsReadmitted.fetch_add(1,
+                                         std::memory_order_relaxed);
+            if (tmReadmitted)
+                tmReadmitted->add(1);
+        }
+        return;
+    }
+
+    framesAppliedCount.fetch_add(1, std::memory_order_relaxed);
+    eventsProcessed.fetch_add(scratch.events.size(),
+                              std::memory_order_relaxed);
     if (tmEvents)
         tmEvents->add(scratch.events.size());
-
-    std::uint64_t predicted = 0;
-    table.withSession(scratch.header.session, [&](Session &session) {
-        predicted = session.apply(scratch);
-    });
     if (predicted != 0) {
         predictionsMade.fetch_add(predicted,
                                   std::memory_order_relaxed);
@@ -219,6 +506,7 @@ Engine::workerLoop(std::size_t worker_index)
     std::vector<std::vector<std::uint8_t>> batch;
 
     while (true) {
+        self.heartbeat.fetch_add(1, std::memory_order_relaxed);
         bool did_work = false;
         for (const std::size_t shard_index : self.shards) {
             ShardQueue &queue = *queues[shard_index];
@@ -251,8 +539,33 @@ Engine::workerLoop(std::size_t worker_index)
                 processFrame(frame, scratch);
             noteFrameDone(batch.size());
         }
-        if (did_work)
+        if (did_work) {
+            if (fault::kCompiledIn && injector &&
+                injector->armed(fault::Site::WorkerStall) &&
+                injector->shouldInject(fault::Site::WorkerStall)) {
+                // Cooperative injected stall: park until the
+                // watchdog notices and releases us (or shutdown).
+                workersStalledCount.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (tmWorkerStalled)
+                    tmWorkerStalled->add(1);
+                if (tmInjected[static_cast<std::size_t>(
+                        fault::Site::WorkerStall)])
+                    tmInjected[static_cast<std::size_t>(
+                                   fault::Site::WorkerStall)]
+                        ->add(1);
+                self.stalled.store(true, std::memory_order_release);
+                while (!self.stallRelease.load(
+                           std::memory_order_acquire) &&
+                       !stopping.load(std::memory_order_acquire))
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                self.stalled.store(false, std::memory_order_relaxed);
+                self.stallRelease.store(false,
+                                        std::memory_order_relaxed);
+            }
             continue;
+        }
 
         std::unique_lock<std::mutex> lock(self.mu);
         if (stopping.load(std::memory_order_acquire)) {
@@ -277,8 +590,55 @@ Engine::workerLoop(std::size_t worker_index)
 }
 
 void
+Engine::watchdogLoop()
+{
+    std::vector<std::uint64_t> last_beat(workerStates.size(), 0);
+    std::unique_lock<std::mutex> lock(watchdogMu);
+    while (!stopping.load(std::memory_order_acquire)) {
+        watchdogCv.wait_for(
+            lock, std::chrono::milliseconds(cfg.watchdogIntervalMs),
+            [&] { return stopping.load(std::memory_order_acquire); });
+        if (stopping.load(std::memory_order_acquire))
+            return;
+        for (std::size_t w = 0; w < workerStates.size(); ++w) {
+            WorkerState &worker = *workerStates[w];
+            if (worker.stalled.load(std::memory_order_acquire)) {
+                // Injected stall: release the worker and count the
+                // recovery.
+                worker.stallRelease.store(true,
+                                          std::memory_order_release);
+                workersUnstalledCount.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (tmWorkerUnstalled)
+                    tmWorkerUnstalled->add(1);
+                continue;
+            }
+            const std::uint64_t beat =
+                worker.heartbeat.load(std::memory_order_relaxed);
+            if (beat == last_beat[w] &&
+                pendingFrames.load(std::memory_order_acquire) > 0) {
+                // A silent worker while frames are pending. This is
+                // an observation, not proof - the pending frames may
+                // belong to another worker's shards - so it counts
+                // and warns without intervening.
+                stallDetections.fetch_add(1,
+                                          std::memory_order_relaxed);
+                if (!warnedStall.exchange(true,
+                                          std::memory_order_relaxed))
+                    warn("engine: watchdog saw a silent worker with "
+                         "pending frames");
+            }
+            last_beat[w] = beat;
+        }
+    }
+}
+
+void
 Engine::drain()
 {
+    // Delayed frames count as unfinished work: deliver them first so
+    // a drained engine has truly processed everything it accepted.
+    flushDelayed(true);
     if (workers.empty())
         return; // serial mode processes inline; nothing queued
     std::unique_lock<std::mutex> lock(drainMu);
@@ -290,20 +650,32 @@ Engine::drain()
 void
 Engine::shutdown()
 {
-    if (workers.empty())
+    flushDelayed(true);
+    if (workers.empty() && !watchdog.joinable())
         return;
-    drain();
-    stopping.store(true, std::memory_order_release);
-    for (const auto &worker : workerStates) {
-        {
-            std::lock_guard<std::mutex> lock(worker->mu);
-            worker->wake = true;
+    if (!workers.empty()) {
+        drain();
+        stopping.store(true, std::memory_order_release);
+        for (const auto &worker : workerStates) {
+            {
+                std::lock_guard<std::mutex> lock(worker->mu);
+                worker->wake = true;
+            }
+            worker->workAvailable.notify_all();
         }
-        worker->workAvailable.notify_all();
+        for (std::thread &thread : workers)
+            thread.join();
+        workers.clear();
+    } else {
+        stopping.store(true, std::memory_order_release);
     }
-    for (std::thread &thread : workers)
-        thread.join();
-    workers.clear();
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMu);
+        }
+        watchdogCv.notify_all();
+        watchdog.join();
+    }
 }
 
 EngineStats
@@ -338,11 +710,53 @@ Engine::stats() const
     stats.sessionsEvicted = table_stats.evicted;
     stats.sessionsLive = table_stats.live;
 
+    if (injector) {
+        stats.fault.injectedBitFlips =
+            injector->counters(fault::Site::WireBitFlip).injected;
+        stats.fault.injectedTruncations =
+            injector->counters(fault::Site::WireTruncate).injected;
+        stats.fault.injectedDrops =
+            injector->counters(fault::Site::FrameDrop).injected;
+        stats.fault.injectedDelays =
+            injector->counters(fault::Site::FrameDelay).injected;
+        stats.fault.injectedStalls =
+            injector->counters(fault::Site::WorkerStall).injected;
+        stats.fault.injectedAllocFails =
+            injector->counters(fault::Site::AllocFail).injected;
+    }
+    stats.fault.corruptFrames =
+        corruptFrames.load(std::memory_order_relaxed);
+    stats.fault.framesQuarantined = stats.rejects.total();
+    stats.fault.delayedDelivered =
+        delayedDelivered.load(std::memory_order_relaxed);
+    stats.fault.sessionsPoisoned =
+        sessionsPoisoned.load(std::memory_order_relaxed);
+    stats.fault.sessionsRebuilt = table_stats.rebuilt;
+    stats.fault.sessionsReadmitted =
+        sessionsReadmitted.load(std::memory_order_relaxed);
+    stats.fault.backoffDroppedFrames =
+        backoffDropped.load(std::memory_order_relaxed);
+    stats.fault.allocDroppedFrames =
+        allocDropped.load(std::memory_order_relaxed);
+    stats.fault.shedFrames =
+        framesShed.load(std::memory_order_relaxed);
+    stats.fault.workersStalled =
+        workersStalledCount.load(std::memory_order_relaxed);
+    stats.fault.workersUnstalled =
+        workersUnstalledCount.load(std::memory_order_relaxed);
+    stats.fault.stallDetections =
+        stallDetections.load(std::memory_order_relaxed);
+    stats.fault.framesApplied =
+        framesAppliedCount.load(std::memory_order_relaxed);
+
     stats.queueHighWater.reserve(queues.size());
     for (const auto &queue : queues) {
         std::lock_guard<std::mutex> lock(queue->mu);
         stats.queueHighWater.push_back(queue->highWater);
         stats.backpressureWaits += queue->backpressureWaits;
+        if (queue->degradation)
+            stats.fault.degradedEntries +=
+                queue->degradation->degradedEntries();
     }
     return stats;
 }

@@ -27,6 +27,21 @@
  * With workerThreads == 0 the engine runs in serial fallback mode:
  * submit() decodes and applies the frame inline on the caller's
  * thread, with no queues and no locks beyond the session table's.
+ *
+ * Resilience: the engine degrades instead of dying. Corrupt frames
+ * are quarantined (counted, skipped) rather than aborting the
+ * session; a session that keeps producing decode errors exhausts its
+ * error budget, is rebuilt from scratch and re-admitted after an
+ * exponential backoff; a watchdog releases stalled workers; and
+ * under sustained queue saturation a Dynamo-style spike detector
+ * (DegradationPolicy, shared with the fragment-cache flush heuristic
+ * in src/dynamo/flush.hh) switches a shard to drop-oldest load
+ * shedding. Every such path is observable through
+ * `engine.fault.*` / `engine.recovered.*` metrics and
+ * EngineStats::fault. Faults themselves can be injected
+ * deterministically via EngineConfig::faults
+ * (support/fault_injector.hh) to exercise all of it in tests and the
+ * ext_fault_resilience bench.
  */
 
 #ifndef HOTPATH_ENGINE_ENGINE_HH
@@ -42,8 +57,10 @@
 #include <thread>
 #include <vector>
 
+#include "dynamo/flush.hh"
 #include "engine/session_table.hh"
 #include "engine/wire_format.hh"
+#include "support/fault_injector.hh"
 
 namespace hotpath
 {
@@ -57,6 +74,20 @@ class Histogram;
 
 namespace engine
 {
+
+/** What to do with new frames when a shard queue is saturated. */
+enum class OverloadPolicy
+{
+    /** Block the producer until the worker drains room (default). */
+    Block,
+    /**
+     * Normally block, but once the shard's DegradationPolicy judges
+     * the saturation a sustained overload spike, shed the *oldest*
+     * queued frame to admit the new one (freshest-data-wins), counted
+     * in engine.recovered.shed.frames.
+     */
+    DropOldest,
+};
 
 /** Engine parameters. */
 struct EngineConfig
@@ -73,18 +104,47 @@ struct EngineConfig
 
     /** Session table (shard count, capacity cap, session config). */
     SessionTableConfig sessions;
+
+    /** Behaviour when a shard queue saturates. */
+    OverloadPolicy overloadPolicy = OverloadPolicy::Block;
+
+    /** Overload spike detector tuning (one policy per shard);
+     *  only consulted under OverloadPolicy::DropOldest. */
+    DegradationPolicyConfig degradation;
+
+    /** Deterministic fault-injection plan; the default (nothing
+     *  armed) creates no injector and adds no work to any path. */
+    fault::FaultPlan faults;
+
+    /**
+     * Watchdog poll interval in milliseconds; 0 = no watchdog
+     * thread. Auto-set to 10 ms when a WorkerStall fault is armed in
+     * a threaded engine, so injected stalls are always released.
+     */
+    std::uint64_t watchdogIntervalMs = 0;
+
+    /** How long an injected FrameDelay holds a frame, measured in
+     *  subsequently submitted frames. */
+    std::uint64_t delayWindowFrames = 8;
 };
 
 /** Why a submitted frame was rejected. */
 struct RejectBreakdown
 {
+    /** Frame shorter than its header/payload claims. */
     std::uint64_t truncated = 0;
+    /** Missing 'H''F' frame magic. */
     std::uint64_t badMagic = 0;
+    /** Unknown or unexpected frame kind. */
     std::uint64_t badKind = 0;
+    /** count/payloadLen beyond the sanity caps. */
     std::uint64_t badLength = 0;
+    /** CRC-32 mismatch (corruption in flight). */
     std::uint64_t badCrc = 0;
+    /** Payload did not decode to the declared events. */
     std::uint64_t badPayload = 0;
 
+    /** Sum of all reject reasons. */
     std::uint64_t
     total() const
     {
@@ -93,23 +153,97 @@ struct RejectBreakdown
     }
 };
 
+/**
+ * Fault and recovery accounting. The `injected*` counters say what
+ * the fault plan did to the traffic; the rest say how the engine
+ * absorbed it. Frame conservation holds at any quiescent point
+ * (after drain()):
+ *
+ *   framesSubmitted == framesRejected + injectedDrops + shedFrames
+ *                      + framesDecoded
+ *   framesDecoded   == framesApplied + backoffDroppedFrames
+ *                      + allocDroppedFrames
+ *
+ * so no frame is ever lost silently - every injected fault shows up
+ * in exactly one recovery counter.
+ */
+struct FaultRecoveryStats
+{
+    /** Injected single-bit frame corruptions. */
+    std::uint64_t injectedBitFlips = 0;
+    /** Injected frame truncations. */
+    std::uint64_t injectedTruncations = 0;
+    /** Injected frame drops (simulated network loss). */
+    std::uint64_t injectedDrops = 0;
+    /** Injected frame delays (held + redelivered out of order). */
+    std::uint64_t injectedDelays = 0;
+    /** Injected worker stalls. */
+    std::uint64_t injectedStalls = 0;
+    /** Injected allocation failures (session creation refused). */
+    std::uint64_t injectedAllocFails = 0;
+    /** Distinct frames damaged by bit-flip and/or truncation. */
+    std::uint64_t corruptFrames = 0;
+
+    /** Corrupt frames quarantined (== framesRejected; every reject
+     *  is a quarantine, never an abort). */
+    std::uint64_t framesQuarantined = 0;
+    /** Delayed frames redelivered (none remain held after drain). */
+    std::uint64_t delayedDelivered = 0;
+    /** Sessions that exhausted their error budget. */
+    std::uint64_t sessionsPoisoned = 0;
+    /** Poisoned sessions replaced with a fresh session. */
+    std::uint64_t sessionsRebuilt = 0;
+    /** Rebuilt sessions re-admitted after backoff expired. */
+    std::uint64_t sessionsReadmitted = 0;
+    /** Decoded frames dropped during re-admission backoff. */
+    std::uint64_t backoffDroppedFrames = 0;
+    /** Decoded frames dropped because session creation failed. */
+    std::uint64_t allocDroppedFrames = 0;
+    /** Frames shed (oldest-first) in degraded overload mode. */
+    std::uint64_t shedFrames = 0;
+    /** Times any shard entered degraded (load-shedding) mode. */
+    std::uint64_t degradedEntries = 0;
+    /** Workers parked by an injected stall. */
+    std::uint64_t workersStalled = 0;
+    /** Stalled workers released by the watchdog. */
+    std::uint64_t workersUnstalled = 0;
+    /** Watchdog observations of a silent worker with pending work. */
+    std::uint64_t stallDetections = 0;
+    /** Frames decoded AND applied to a session. */
+    std::uint64_t framesApplied = 0;
+};
+
 /** Consistent snapshot of the engine's accounting. */
 struct EngineStats
 {
+    /** Frames handed to submit(). */
     std::uint64_t framesSubmitted = 0;
+    /** Frames that decoded cleanly. */
     std::uint64_t framesDecoded = 0;
+    /** Frames rejected (sum of `rejects`). */
     std::uint64_t framesRejected = 0;
+    /** Reject reasons. */
     RejectBreakdown rejects;
 
+    /** Events consumed by sessions. */
     std::uint64_t eventsProcessed = 0;
+    /** Predictions made across all sessions. */
     std::uint64_t predictions = 0;
+    /** Worker batches popped from shard queues. */
     std::uint64_t batches = 0;
 
+    /** Sessions created by the table. */
     std::uint64_t sessionsCreated = 0;
+    /** Sessions evicted by the LRU cap. */
     std::uint64_t sessionsEvicted = 0;
+    /** Sessions currently resident. */
     std::size_t sessionsLive = 0;
 
+    /** Times submit() blocked on a full shard queue. */
     std::uint64_t backpressureWaits = 0;
+
+    /** Fault-injection and recovery accounting. */
+    FaultRecoveryStats fault;
 
     /** Per-shard queue high-water marks (frames). */
     std::vector<std::size_t> queueHighWater;
@@ -119,6 +253,8 @@ struct EngineStats
 class Engine
 {
   public:
+    /** Build the engine; spawns workers (and, when configured, the
+     *  watchdog) immediately. */
     explicit Engine(EngineConfig config);
 
     /** Drains and stops the workers. */
@@ -144,12 +280,24 @@ class Engine
     bool submitEvents(std::uint64_t session, std::uint64_t sequence,
                       const PathEvent *events, std::size_t count);
 
-    /** Block until every queued frame has been fully processed. */
+    /**
+     * Ingest a buffer of consecutive frames. Frames that parse are
+     * routed individually; a region that does not parse is
+     * quarantined and ingestion resyncs at the next CRC-valid frame
+     * boundary (wire::findNextFrame) instead of abandoning the rest
+     * of the buffer. Returns the number of frames routed.
+     */
+    std::uint64_t submitBuffer(const std::uint8_t *data,
+                               std::size_t size);
+
+    /** Block until every queued (and delayed) frame has been fully
+     *  processed. */
     void drain();
 
     /** Drain, then stop and join the workers (idempotent). */
     void shutdown();
 
+    /** True when running in serial fallback mode (no workers). */
     bool serial() const { return workers.empty() && cfg.workerThreads == 0; }
 
     /** Aggregate accounting (takes the stripe locks briefly). */
@@ -168,7 +316,14 @@ class Engine
      *  populated when the session config records predictions). */
     std::vector<PathIndex> predictionsFor(std::uint64_t session_id) const;
 
+    /** The underlying session table (read-only). */
     const ShardedSessionTable &sessions() const { return table; }
+
+    /** The fault injector, or nullptr when no fault is armed. */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return injector.get();
+    }
 
   private:
     struct ShardQueue
@@ -179,6 +334,9 @@ class Engine
         std::size_t highWater = 0;
         std::uint64_t backpressureWaits = 0;
         std::size_t worker = 0; // owning worker index
+        // Overload spike detector (consulted under mu when the
+        // overload policy is DropOldest).
+        std::unique_ptr<DegradationPolicy> degradation;
     };
 
     struct WorkerState
@@ -187,32 +345,61 @@ class Engine
         std::condition_variable workAvailable;
         bool wake = false;
         std::vector<std::size_t> shards; // owned shard indices
+        // Liveness signals read by the watchdog.
+        std::atomic<std::uint64_t> heartbeat{0};
+        std::atomic<bool> stalled{false};
+        std::atomic<bool> stallRelease{false};
+    };
+
+    struct DelayedFrame
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t releaseAt = 0; // framesSubmitted watermark
     };
 
     void workerLoop(std::size_t worker_index);
+    void watchdogLoop();
 
     /** Decode + apply one frame on the owning worker (or inline in
      *  serial mode). */
     void processFrame(const std::vector<std::uint8_t> &frame,
                       wire::DecodedFrame &scratch);
 
+    /** Post-injection routing shared by submit(), submitBuffer() and
+     *  delayed redelivery: header peek, reject, enqueue or inline. */
+    bool routeFrame(std::vector<std::uint8_t> frame);
+
+    /** Attribute a decode failure to its session's error budget;
+     *  poisons/rebuilds when the budget is exhausted. */
+    void attributeDecodeError(const std::vector<std::uint8_t> &frame);
+
+    /** Redeliver held delayed frames (all of them when `all`). */
+    void flushDelayed(bool all);
+
     void countReject(wire::DecodeStatus status);
     void noteFrameDone(std::uint64_t count = 1);
 
     EngineConfig cfg;
     ShardedSessionTable table;
+    std::unique_ptr<fault::FaultInjector> injector;
 
     std::vector<std::unique_ptr<ShardQueue>> queues;
     std::vector<std::unique_ptr<WorkerState>> workerStates;
     std::vector<std::thread> workers;
+    std::thread watchdog;
 
     std::atomic<bool> stopping{false};
     std::atomic<bool> warnedReject{false};
+    std::atomic<bool> warnedStall{false};
     std::atomic<std::uint64_t> pendingFrames{0};
     /** Serial-mode decode scratch (serial submit is single-caller). */
     wire::DecodedFrame serialScratch;
     mutable std::mutex drainMu;
     std::condition_variable drainCv;
+    std::mutex watchdogMu;
+    std::condition_variable watchdogCv;
+    std::mutex delayMu;
+    std::deque<DelayedFrame> delayed;
 
     // Aggregates maintained with relaxed atomics (read by stats()).
     std::atomic<std::uint64_t> framesSubmitted{0};
@@ -221,6 +408,19 @@ class Engine
     std::atomic<std::uint64_t> predictionsMade{0};
     std::atomic<std::uint64_t> batchesPopped{0};
     std::atomic<std::uint64_t> rejectCounts[6]{};
+
+    // Fault/recovery accounting (see FaultRecoveryStats).
+    std::atomic<std::uint64_t> corruptFrames{0};
+    std::atomic<std::uint64_t> delayedDelivered{0};
+    std::atomic<std::uint64_t> sessionsPoisoned{0};
+    std::atomic<std::uint64_t> sessionsReadmitted{0};
+    std::atomic<std::uint64_t> backoffDropped{0};
+    std::atomic<std::uint64_t> allocDropped{0};
+    std::atomic<std::uint64_t> framesShed{0};
+    std::atomic<std::uint64_t> framesAppliedCount{0};
+    std::atomic<std::uint64_t> workersStalledCount{0};
+    std::atomic<std::uint64_t> workersUnstalledCount{0};
+    std::atomic<std::uint64_t> stallDetections{0};
 
     // Telemetry handles; nullptr when telemetry is not attached.
     telemetry::Counter *tmFramesDecoded = nullptr;
@@ -232,6 +432,23 @@ class Engine
     telemetry::Gauge *tmQueueDepth = nullptr;
     telemetry::Histogram *tmBatchSize = nullptr;
     std::vector<telemetry::Counter *> tmShardFrames;
+
+    // Resilience telemetry; created only when a resilience feature
+    // (fault plan, error budget, shedding, watchdog) is enabled so
+    // default runs keep their RunReports unchanged.
+    telemetry::Counter *tmInjected[fault::kSiteCount] = {};
+    telemetry::Counter *tmCorruptFrames = nullptr;
+    telemetry::Counter *tmQuarantined = nullptr;
+    telemetry::Counter *tmDelayedDelivered = nullptr;
+    telemetry::Counter *tmPoisoned = nullptr;
+    telemetry::Counter *tmRebuilt = nullptr;
+    telemetry::Counter *tmReadmitted = nullptr;
+    telemetry::Counter *tmBackoffDropped = nullptr;
+    telemetry::Counter *tmAllocFailures = nullptr;
+    telemetry::Counter *tmShed = nullptr;
+    telemetry::Counter *tmOverloadSpikes = nullptr;
+    telemetry::Counter *tmWorkerStalled = nullptr;
+    telemetry::Counter *tmWorkerUnstalled = nullptr;
 };
 
 } // namespace engine

@@ -54,4 +54,27 @@ Session::apply(const wire::DecodedFrame &frame)
     return predicted;
 }
 
+bool
+Session::noteDecodeError()
+{
+    ++st.decodeErrors;
+    return cfg.errorBudget != 0 && st.decodeErrors >= cfg.errorBudget;
+}
+
+void
+Session::enterBackoff(std::uint64_t frames, std::uint32_t generation)
+{
+    backoffLeft = frames;
+    poisonGeneration = generation;
+}
+
+bool
+Session::consumeBackoffSlot()
+{
+    if (backoffLeft == 0)
+        return false;
+    --backoffLeft;
+    return true;
+}
+
 } // namespace hotpath::engine

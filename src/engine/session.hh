@@ -24,6 +24,8 @@
 #include "engine/wire_format.hh"
 #include "predict/net_predictor.hh"
 
+/** The streaming prediction engine: sessions, the sharded session
+ *  table, and the worker/queue machinery that serves them. */
 namespace hotpath::engine
 {
 
@@ -50,28 +52,51 @@ struct SessionConfig
      * leave it off to keep sessions small.
      */
     bool recordPredictions = false;
+
+    /**
+     * Decode errors (CRC/payload failures attributable to this
+     * session) tolerated before the session is declared poisoned and
+     * rebuilt from scratch. 0 disables the budget: errors are counted
+     * but never poison.
+     */
+    std::uint64_t errorBudget = 0;
+
+    /** Re-admission backoff after the first poisoning, measured in
+     *  decoded frames dropped (doubles with each poisoning). */
+    std::uint64_t backoffBaseFrames = 16;
+
+    /** Cap on the backoff doubling: backoff never exceeds
+     *  backoffBaseFrames << backoffMaxExponent. */
+    std::uint32_t backoffMaxExponent = 10;
 };
 
 /** Counters one session accumulates over its lifetime. */
 struct SessionStats
 {
+    /** Frames applied to the predictor. */
     std::uint64_t framesApplied = 0;
+    /** Events consumed across all applied frames. */
     std::uint64_t eventsProcessed = 0;
     /** Events answered from the fragment cache. */
     std::uint64_t cachedEvents = 0;
     /** Events that went through the profiler/predictor. */
     std::uint64_t interpretedEvents = 0;
+    /** Predictions (hot-path promotions) made. */
     std::uint64_t predictions = 0;
     /** Frames whose sequence number skipped ahead (lost frames). */
     std::uint64_t sequenceGaps = 0;
+    /** Decode errors attributed to this session identity. */
+    std::uint64_t decodeErrors = 0;
 };
 
 /** One client's predictor, fragment cache and statistics. */
 class Session
 {
   public:
+    /** Build a fresh session (empty predictor and cache). */
     Session(std::uint64_t id, const SessionConfig &config);
 
+    /** The client identity this session serves. */
     std::uint64_t id() const { return sessionId; }
 
     /**
@@ -90,6 +115,7 @@ class Session
      */
     std::uint64_t apply(const wire::DecodedFrame &frame);
 
+    /** Lifetime counters. */
     const SessionStats &stats() const { return st; }
 
     /** Ordered predicted paths (empty unless recordPredictions). */
@@ -104,7 +130,44 @@ class Session
         return predictor.countersAllocated();
     }
 
+    /** The session's fragment cache (read-only). */
     const FragmentCache &cache() const { return fragments; }
+
+    // Error budget & re-admission backoff --------------------------
+
+    /**
+     * Record one decode error attributed to this session identity.
+     * Returns true when the error budget (SessionConfig::errorBudget)
+     * is now exhausted - the session is *poisoned* and the engine
+     * rebuilds it (ShardedSessionTable::rebuildSession). Always
+     * returns false when the budget is disabled (0).
+     */
+    bool noteDecodeError();
+
+    /**
+     * Start re-admission backoff on a freshly rebuilt session: the
+     * next `frames` decoded frames for this identity are dropped
+     * before the session accepts traffic again. `generation` is the
+     * number of poisonings this identity has suffered, carried across
+     * rebuilds so the backoff can grow exponentially.
+     */
+    void enterBackoff(std::uint64_t frames, std::uint32_t generation);
+
+    /** True while re-admission backoff is still dropping frames. */
+    bool inBackoff() const { return backoffLeft > 0; }
+
+    /** Decoded frames still to be dropped before re-admission. */
+    std::uint64_t backoffRemaining() const { return backoffLeft; }
+
+    /**
+     * Consume one backoff slot for an arriving decoded frame.
+     * Returns true when the frame must be dropped (backoff was
+     * active); false once the session is (re)admitted.
+     */
+    bool consumeBackoffSlot();
+
+    /** Number of times this session identity has been poisoned. */
+    std::uint32_t generation() const { return poisonGeneration; }
 
   private:
     std::uint64_t sessionId;
@@ -115,6 +178,8 @@ class Session
     std::vector<PathIndex> predictionLog;
     bool sawFrame = false;
     std::uint64_t lastSequence = 0;
+    std::uint64_t backoffLeft = 0;
+    std::uint32_t poisonGeneration = 0;
 };
 
 } // namespace hotpath::engine

@@ -56,7 +56,7 @@ ShardedSessionTable::shardOf(std::uint64_t session_id) const
            (shards.size() - 1);
 }
 
-void
+bool
 ShardedSessionTable::withSession(
     std::uint64_t session_id,
     const std::function<void(Session &)> &fn)
@@ -66,6 +66,10 @@ ShardedSessionTable::withSession(
 
     auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
+        if (allocFailHook && allocFailHook()) {
+            ++shard.allocFailures;
+            return false;
+        }
         if (perShardCap != 0 &&
             shard.sessions.size() >= perShardCap) {
             // Shard full: drop its least-recently-active session.
@@ -97,6 +101,45 @@ ShardedSessionTable::withSession(
     }
 
     fn(*it->second.session);
+    return true;
+}
+
+void
+ShardedSessionTable::rebuildSession(
+    std::uint64_t session_id,
+    const std::function<void(Session &)> &init)
+{
+    Shard &shard = *shards[shardOf(session_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end()) {
+        // Evicted between poisoning and rebuild: recreate.
+        shard.lru.push_front(session_id);
+        Shard::Entry entry;
+        entry.session =
+            std::make_unique<Session>(session_id, cfg.session);
+        entry.lruPos = shard.lru.begin();
+        it = shard.sessions.emplace(session_id, std::move(entry))
+                 .first;
+        ++shard.created;
+        if (tmCreated)
+            tmCreated->add(1);
+        if (tmLive)
+            tmLive->add(1);
+    } else {
+        it->second.session =
+            std::make_unique<Session>(session_id, cfg.session);
+    }
+    ++shard.rebuilt;
+    if (init)
+        init(*it->second.session);
+}
+
+void
+ShardedSessionTable::setAllocFailHook(std::function<bool()> hook)
+{
+    allocFailHook = std::move(hook);
 }
 
 bool
@@ -158,6 +201,8 @@ ShardedSessionTable::stats() const
         std::lock_guard<std::mutex> lock(shard->mu);
         stats.created += shard->created;
         stats.evicted += shard->evicted;
+        stats.rebuilt += shard->rebuilt;
+        stats.allocFailures += shard->allocFailures;
         stats.live += shard->sessions.size();
     }
     return stats;

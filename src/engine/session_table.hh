@@ -59,8 +59,15 @@ struct SessionTableConfig
 /** Lifetime counters for the table. */
 struct SessionTableStats
 {
+    /** Sessions created (including re-creations after eviction). */
     std::uint64_t created = 0;
+    /** Sessions evicted by the LRU capacity cap. */
     std::uint64_t evicted = 0;
+    /** Poisoned sessions replaced in place (rebuildSession). */
+    std::uint64_t rebuilt = 0;
+    /** Session creations refused by the allocation-failure hook. */
+    std::uint64_t allocFailures = 0;
+    /** Sessions currently resident. */
     std::size_t live = 0;
 };
 
@@ -68,6 +75,7 @@ struct SessionTableStats
 class ShardedSessionTable
 {
   public:
+    /** Build an empty table with config.shardCount stripes. */
     explicit ShardedSessionTable(SessionTableConfig config);
 
     /** Actual shard count (power of two). */
@@ -80,10 +88,33 @@ class ShardedSessionTable
      * Run `fn` on the session, creating it (possibly evicting the
      * shard's LRU session) if absent. The shard lock is held for the
      * duration, serializing against every other access to sessions
-     * in the same stripe.
+     * in the same stripe. Returns false - without running `fn` - only
+     * when the session had to be created and the allocation-failure
+     * hook refused the allocation.
      */
-    void withSession(std::uint64_t session_id,
+    bool withSession(std::uint64_t session_id,
                      const std::function<void(Session &)> &fn);
+
+    /**
+     * Replace a poisoned session with a fresh one in place (same id,
+     * same LRU position; counters and predictor state are discarded).
+     * `init` runs on the replacement under the shard lock - the
+     * engine uses it to arm re-admission backoff. Creates the session
+     * if it was not resident (eviction may have raced the rebuild).
+     * The allocation-failure hook is NOT consulted: recovery must not
+     * be starved by the fault it is recovering from.
+     */
+    void rebuildSession(std::uint64_t session_id,
+                        const std::function<void(Session &)> &init);
+
+    /**
+     * Install a hook consulted before each *new* session allocation;
+     * returning true makes the allocation fail (withSession returns
+     * false). Used by the fault injector to simulate allocation
+     * failure; pass nullptr to uninstall. Not thread-safe against
+     * concurrent table use - install before traffic starts.
+     */
+    void setAllocFailHook(std::function<bool()> hook);
 
     /**
      * Run `fn` on the session if it is resident; returns false
@@ -99,7 +130,10 @@ class ShardedSessionTable
     /** Drop one session; returns true if it was resident. */
     bool erase(std::uint64_t session_id);
 
+    /** Number of resident sessions (sums the shards, under locks). */
     std::size_t liveSessions() const;
+
+    /** Aggregated lifetime counters across all shards. */
     SessionTableStats stats() const;
 
   private:
@@ -116,11 +150,14 @@ class ShardedSessionTable
         std::unordered_map<std::uint64_t, Entry> sessions;
         std::uint64_t created = 0;
         std::uint64_t evicted = 0;
+        std::uint64_t rebuilt = 0;
+        std::uint64_t allocFailures = 0;
     };
 
     SessionTableConfig cfg;
     std::size_t perShardCap; // 0 = uncapped
     std::vector<std::unique_ptr<Shard>> shards;
+    std::function<bool()> allocFailHook;
 
     // Telemetry handles; nullptr when telemetry is not attached.
     telemetry::Counter *tmCreated = nullptr;

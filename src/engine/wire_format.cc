@@ -349,6 +349,31 @@ decodeFrame(const std::uint8_t *data, std::size_t size,
     return DecodeStatus::Ok;
 }
 
+std::size_t
+findNextFrame(const std::uint8_t *data, std::size_t size,
+              std::size_t from)
+{
+    FrameHeader header;
+    for (std::size_t at = from; at + 2 <= size; ++at) {
+        if (data[at] != kMagic0 || data[at + 1] != kMagic1)
+            continue;
+        std::size_t crc_begin = 0;
+        std::size_t payload_begin = 0;
+        std::size_t payload_len = 0;
+        std::uint64_t count = 0;
+        std::size_t frame_end = 0;
+        if (parseHeader(data, size, at, header, crc_begin,
+                        payload_begin, payload_len, count,
+                        frame_end) != DecodeStatus::Ok)
+            continue;
+        const std::size_t payload_end = payload_begin + payload_len;
+        if (crc32(data + crc_begin, payload_end - crc_begin) ==
+            readU32le(data + payload_end))
+            return at;
+    }
+    return size;
+}
+
 std::vector<std::uint8_t>
 encodeTraceLog(const TraceLog &log, std::uint64_t session,
                std::size_t frame_events)
@@ -384,6 +409,41 @@ decodeTraceLog(const std::uint8_t *data, std::size_t size,
         out.appendAll(frame.blocks);
     }
     return DecodeStatus::Ok;
+}
+
+std::uint64_t
+decodeTraceLogResilient(const std::uint8_t *data, std::size_t size,
+                        TraceLog &out, ResyncStats *stats)
+{
+    ResyncStats local;
+    std::size_t offset = 0;
+    DecodedFrame frame;
+    while (offset < size) {
+        const std::size_t at = offset;
+        const DecodeStatus status =
+            decodeFrame(data, size, offset, frame);
+        if (status == DecodeStatus::Ok) {
+            if (frame.header.kind == FrameKind::BlockTrace) {
+                out.appendAll(frame.blocks);
+                ++local.framesDecoded;
+            } else {
+                // Valid frame of a foreign kind: quarantine it whole
+                // (decodeFrame already advanced past it).
+                ++local.framesQuarantined;
+                local.bytesSkipped += offset - at;
+            }
+            continue;
+        }
+        // Quarantine: skip at least one byte, then resync at the
+        // next frame whose CRC checks out.
+        ++local.framesQuarantined;
+        const std::size_t next = findNextFrame(data, size, at + 1);
+        local.bytesSkipped += next - at;
+        offset = next;
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return local.framesDecoded;
 }
 
 } // namespace hotpath::wire

@@ -42,34 +42,44 @@ namespace hotpath
 
 class TraceLog;
 
+/** The CRC-framed varint wire format; see the file comment. */
 namespace wire
 {
 
 /** What a frame's payload contains. */
 enum class FrameKind : std::uint8_t
 {
+    /** Delta-encoded PathEvent batch. */
     PathEvents = 1,
+    /** Delta-encoded basic-block id trace. */
     BlockTrace = 2,
 };
 
 /** Frame metadata (everything before the payload). */
 struct FrameHeader
 {
+    /** Client/session identifier. */
     std::uint64_t session = 0;
+    /** Per-session frame sequence number. */
     std::uint64_t sequence = 0;
+    /** Payload encoding. */
     FrameKind kind = FrameKind::PathEvents;
 };
 
 /** Outcome of decoding one frame. */
 enum class DecodeStatus
 {
+    /** Frame decoded and CRC-verified. */
     Ok,
     /** Buffer ends before the frame does (stream cut short). */
     Truncated,
+    /** Missing the 'H''F' frame magic. */
     BadMagic,
+    /** Unknown FrameKind byte. */
     BadKind,
     /** count/payloadLen exceed the sanity caps. */
     BadLength,
+    /** CRC-32 mismatch (corruption in flight). */
     BadCrc,
     /** Payload does not decode to exactly `count` in-range events. */
     BadPayload,
@@ -81,13 +91,17 @@ const char *decodeStatusName(DecodeStatus status);
 /** One decoded frame; exactly one of events/blocks is populated. */
 struct DecodedFrame
 {
+    /** The frame's metadata. */
     FrameHeader header;
+    /** Payload for FrameKind::PathEvents. */
     std::vector<PathEvent> events;
+    /** Payload for FrameKind::BlockTrace. */
     std::vector<BlockId> blocks;
 };
 
-/** Sanity caps enforced by the decoder. */
+/** Decoder sanity cap on events per frame. */
 constexpr std::size_t kMaxFrameEvents = std::size_t{1} << 20;
+/** Decoder sanity cap on payload bytes per frame. */
 constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 26;
 
 // Primitive encodings (exposed for the property tests) -------------
@@ -104,6 +118,7 @@ bool readVarint(const std::uint8_t *data, std::size_t size,
 
 /** Zigzag map signed -> unsigned (small magnitudes stay small). */
 std::uint64_t zigzagEncode(std::int64_t v);
+/** Inverse of zigzagEncode. */
 std::int64_t zigzagDecode(std::uint64_t v);
 
 /** CRC-32 (IEEE 802.3 polynomial, bit-reflected). */
@@ -117,6 +132,7 @@ void appendEventFrame(std::vector<std::uint8_t> &out,
                       std::uint64_t session, std::uint64_t sequence,
                       const PathEvent *events, std::size_t count);
 
+/** Vector convenience overload of appendEventFrame. */
 void appendEventFrame(std::vector<std::uint8_t> &out,
                       std::uint64_t session, std::uint64_t sequence,
                       const std::vector<PathEvent> &events);
@@ -157,6 +173,32 @@ DecodeStatus peekFrameHeader(const std::uint8_t *data,
 DecodeStatus decodeFrame(const std::uint8_t *data, std::size_t size,
                          std::size_t &offset, DecodedFrame &out);
 
+// Corruption recovery ----------------------------------------------
+
+/**
+ * Scan forward from `from` for the next offset at which a complete,
+ * CRC-valid frame begins (magic, parseable header, matching CRC).
+ * Returns `size` when no such frame exists. This is the resync
+ * primitive: after a corrupt frame, skip to the next trustworthy
+ * frame boundary instead of abandoning the rest of the buffer. A
+ * candidate magic inside a corrupt region is rejected unless the
+ * whole frame it claims checks out, so resync cannot fabricate
+ * events from garbage.
+ */
+std::size_t findNextFrame(const std::uint8_t *data, std::size_t size,
+                          std::size_t from);
+
+/** What a resilient multi-frame decode survived. */
+struct ResyncStats
+{
+    /** Frames decoded and delivered. */
+    std::uint64_t framesDecoded = 0;
+    /** Corrupt frames quarantined (skipped after a failed decode). */
+    std::uint64_t framesQuarantined = 0;
+    /** Bytes discarded while scanning for the next valid frame. */
+    std::uint64_t bytesSkipped = 0;
+};
+
 // sim::TraceLog round trip -----------------------------------------
 
 /**
@@ -174,6 +216,18 @@ std::vector<std::uint8_t> encodeTraceLog(const TraceLog &log,
  */
 DecodeStatus decodeTraceLog(const std::uint8_t *data,
                             std::size_t size, TraceLog &out);
+
+/**
+ * Like decodeTraceLog, but a malformed frame is quarantined and the
+ * decode resyncs at the next CRC-valid frame boundary
+ * (findNextFrame) instead of stopping. Appends every decodable
+ * frame's blocks to `out` in buffer order; `stats` (optional)
+ * receives the damage accounting. Returns the number of frames
+ * delivered.
+ */
+std::uint64_t decodeTraceLogResilient(const std::uint8_t *data,
+                                      std::size_t size, TraceLog &out,
+                                      ResyncStats *stats = nullptr);
 
 } // namespace wire
 } // namespace hotpath

@@ -14,6 +14,9 @@
 #include <sstream>
 #include <string>
 
+/** NET hot-path prediction, reproduced: every component of the
+ *  library - support utilities, simulation, profiling, prediction,
+ *  the Dynamo model and the streaming engine - lives here. */
 namespace hotpath
 {
 
@@ -26,7 +29,9 @@ namespace hotpath
 /** Severity of a routed log message. */
 enum class LogLevel
 {
+    /** Unexpected but non-fatal condition (warn()). */
     Warn,
+    /** Status/progress message (inform()). */
     Inform,
 };
 
@@ -63,9 +68,12 @@ void setInformEnabled(bool enabled);
 /** Current state of the inform() toggle. */
 bool informEnabled();
 
+/** Implementation details of the logging macros; not public API. */
 namespace detail
 {
 
+/** Stream-concatenate the arguments into one string
+ *  (HOTPATH_ASSERT's message builder). */
 template <typename... Args>
 std::string
 concat(Args &&...args)

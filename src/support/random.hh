@@ -26,6 +26,7 @@ namespace hotpath
 class SplitMix64
 {
   public:
+    /** Seed the sequence; equal seeds give equal sequences. */
     explicit SplitMix64(std::uint64_t seed) : state(seed) {}
 
     /** Next 64-bit value. */
@@ -42,8 +43,11 @@ class SplitMix64
 class Rng
 {
   public:
+    /** Output type (UniformRandomBitGenerator requirement). */
     using result_type = std::uint64_t;
 
+    /** Seed via SplitMix64 state expansion; equal seeds give equal
+     *  streams on every platform. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Next raw 64-bit value. */
@@ -52,7 +56,9 @@ class Rng
     /** UniformRandomBitGenerator interface. */
     std::uint64_t operator()() { return next(); }
 
+    /** Smallest value next() can return. */
     static constexpr std::uint64_t min() { return 0; }
+    /** Largest value next() can return. */
     static constexpr std::uint64_t max() { return ~0ull; }
 
     /** Uniform integer in [0, bound), bound > 0, without modulo bias. */

@@ -34,8 +34,11 @@ class RunningStat
     /** Sample standard deviation. */
     double stddev() const;
 
+    /** Smallest sample seen (0 if empty). */
     double min() const { return n ? lo : 0.0; }
+    /** Largest sample seen (0 if empty). */
     double max() const { return n ? hi : 0.0; }
+    /** Sum of all samples. */
     double sum() const { return total; }
 
   private:
@@ -54,15 +57,21 @@ class RunningStat
 class Histogram
 {
   public:
+    /** Build with `buckets` uniform buckets spanning [lo, hi). */
     Histogram(double lo, double hi, std::size_t buckets);
 
     /** Add one sample. */
     void add(double x);
 
+    /** Total samples added (including out-of-range). */
     std::uint64_t count() const { return total; }
+    /** Samples in bucket i. */
     std::uint64_t bucketCount(std::size_t i) const { return counts[i]; }
+    /** Number of in-range buckets. */
     std::size_t buckets() const { return counts.size(); }
+    /** Samples below the range. */
     std::uint64_t underflow() const { return below; }
+    /** Samples at or above the range. */
     std::uint64_t overflow() const { return above; }
 
     /**

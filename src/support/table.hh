@@ -31,8 +31,11 @@ class TextTable
 
     /** Append a cell to the current row. */
     void addCell(std::string value);
+    /** Append a fixed-precision numeric cell. */
     void addCell(double value, int precision = 2);
+    /** Append an integer cell with thousands separators. */
     void addCell(std::uint64_t value);
+    /** Append a signed integer cell with thousands separators. */
     void addCell(std::int64_t value);
 
     /** Convenience: percentage cell, e.g. 97.53 -> "97.53%". */
@@ -44,6 +47,7 @@ class TextTable
     /** Render as CSV. */
     void printCsv(std::ostream &os) const;
 
+    /** Data rows added so far (header excluded). */
     std::size_t rowCount() const { return rows.size(); }
 
   private:

@@ -61,8 +61,11 @@ ThreadPoolSink setThreadPoolSink(ThreadPoolSink sink);
 /** Point-in-time accounting of one pool. */
 struct ThreadPoolStats
 {
+    /** Tasks that have finished executing. */
     std::uint64_t tasksExecuted = 0;
+    /** Times submit() blocked on a full queue. */
     std::uint64_t submitWaits = 0;
+    /** Deepest queue observed at submit time. */
     std::size_t queueHighWater = 0;
 };
 
@@ -80,8 +83,10 @@ struct ThreadPoolConfig
 class ThreadPool
 {
   public:
+    /** Unit of work: a nullary callable that must not throw. */
     using Task = std::function<void()>;
 
+    /** Build a pool; spawns config.threads workers immediately. */
     explicit ThreadPool(ThreadPoolConfig config);
 
     /** Convenience: `threads` workers, default queue bound. */
