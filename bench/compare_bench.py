@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke baseline tooling for the bench binaries.
 
-Two subcommands:
+Three subcommands:
 
   collect   Merge a google-benchmark JSON dump (micro_profiling_overhead
             --benchmark_format=json) and engine_throughput's --json
@@ -10,6 +10,12 @@ Two subcommands:
   compare   Diff a current BENCH_sweep.json against the checked-in
             baseline (bench/baseline/BENCH_sweep.json). Exits nonzero
             when the run regressed.
+
+  netcheck  Assert a net_loadgen --json report is healthy: frame
+            conservation held across client/server/engine and the
+            server actually served predictions. Latency percentiles
+            are printed for the log but never gate - on shared CI
+            runners they measure queueing, not the server.
 
 What counts as a regression:
 
@@ -177,6 +183,40 @@ def compare(args):
     return 0
 
 
+def netcheck(args):
+    with open(args.report) as f:
+        run = json.load(f)
+
+    failures = []
+    if not run.get("conservation_ok", False):
+        failures.append(
+            "conservation_ok is false: frames were lost between "
+            "client, server, and engine counters")
+    served = run.get("predictions_served", 0)
+    if served <= 0:
+        failures.append("predictions_served is 0: the server "
+                        "answered frames but never predicted")
+    broken = run.get("broken_connections", 0)
+    if broken:
+        failures.append(f"{broken} connection(s) broke mid-run")
+
+    lat = run.get("latency_us", {})
+    print(f"netcheck {args.report}: "
+          f"{run.get('frames_sent', 0)} frames sent, "
+          f"{run.get('replies_received', 0)} replies, "
+          f"{served} predictions served")
+    print(f"  latency us (informational): p50={lat.get('p50')} "
+          f"p99={lat.get('p99')} p999={lat.get('p999')} "
+          f"max={lat.get('max')} samples={lat.get('samples')}")
+
+    if failures:
+        for line in failures:
+            print(f"  FAIL: {line}", file=sys.stderr)
+        return 1
+    print("  OK: conservation held and predictions were served")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -200,6 +240,12 @@ def main():
                            help="allowed relative slowdown "
                                 "(default 0.15)")
     p_compare.set_defaults(func=compare)
+
+    p_net = sub.add_parser("netcheck",
+                           help="assert a net_loadgen --json report "
+                                "is healthy")
+    p_net.add_argument("report", help="net_loadgen --json output")
+    p_net.set_defaults(func=netcheck)
 
     args = parser.parse_args()
     return args.func(args)

@@ -23,6 +23,7 @@
 
 #include "common.hh"
 
+#include "engine/wire_format.hh"
 #include "metrics/oracle.hh"
 #include "metrics/parallel_sweep.hh"
 #include "metrics/sweep.hh"
@@ -170,6 +171,37 @@ BM_SignatureShift(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SignatureShift);
+
+static void
+BM_WireEncode(benchmark::State &state)
+{
+    const auto &stream = sharedStream();
+    constexpr std::size_t kFrameEvents = 256;
+    std::vector<std::uint8_t> frame;
+    std::size_t i = 0;
+    std::uint64_t sequence = 0;
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        if (i + kFrameEvents > stream.size())
+            i = 0;
+        // clear() keeps capacity: after the first frame the encoder's
+        // up-front reserve never reallocates, which is the steady
+        // state a streaming producer sees.
+        frame.clear();
+        wire::appendEventFrame(frame, 1, sequence++,
+                               stream.data() + i, kFrameEvents);
+        benchmark::DoNotOptimize(frame.data());
+        bytes += frame.size();
+        i += kFrameEvents;
+    }
+    state.counters["frame_bytes"] = benchmark::Counter(
+        static_cast<double>(bytes), benchmark::Counter::kAvgIterations);
+    state.counters["events"] = static_cast<double>(kFrameEvents);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kFrameEvents));
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WireEncode);
 
 // CFG-level profiler costs (per executed block) ----------------------
 

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Open-loop load generator for the TCP serving layer: N client
+ * connections each submit event frames at a fixed rate (open loop:
+ * the send schedule does not wait for replies), latencies are
+ * measured per frame from send to CRC-verified prediction reply, and
+ * the run reports throughput plus exact p50/p99/p999 percentiles
+ * computed from the raw samples (the telemetry histograms' log2
+ * buckets are too coarse for tail percentiles).
+ *
+ * By default the bench hosts the full stack in-process - Engine +
+ * net::Server on an ephemeral loopback port - which also lets it
+ * verify frame conservation across the client/server/engine
+ * boundary at drain:
+ *
+ *   client frames sent  == server frames in + engine rejects
+ *   engine submitted    == rejected + injected drops + shed + decoded
+ *   engine decoded      == server responses out + responses dropped
+ *   client replies      == server responses out
+ *
+ * With --connect=host:port it drives an external server instead
+ * (conservation then reduces to replies == sent).
+ *
+ * Flags:
+ *   --connections=<n>   client connections (default 8)
+ *   --rate=<fps>        frames/second per connection (default 2000;
+ *                       0 = as fast as the socket accepts)
+ *   --duration-ms=<ms>  send window per connection (default 2000)
+ *   --frame=<n>         events per small frame (default 256)
+ *   --mix=<pct>         percent of frames that are large (4x
+ *                       --frame events; default 10)
+ *   --sessions=<n>      sessions per connection (default 4)
+ *   --seed=<u64>        workload seed (default 42)
+ *   --reactors=<n>      server reactor threads (default 2)
+ *   --workers=<n>       engine worker threads (default 2)
+ *   --connect=<host:port>  drive an external server
+ *   --json=<path>       machine-readable summary (the net-smoke CI
+ *                       job feeds this to compare_bench.py netcheck)
+ *   --telemetry-out=<path> RunReport with netload.* gauges
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common.hh"
+#include "engine/engine.hh"
+#include "engine/wire_format.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "support/random.hh"
+#include "support/table.hh"
+
+using namespace hotpath;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+/** Everything one connection thread reports back. */
+struct ConnResult
+{
+    std::uint64_t framesSent = 0;
+    std::uint64_t repliesReceived = 0;
+    std::uint64_t predictions = 0;
+    bool broken = false;
+    /** Send-to-reply latency samples in microseconds. */
+    std::vector<std::uint64_t> latenciesUs;
+};
+
+/** Deterministic loop-heavy events (same shape as the engine
+ *  benches) so predictions actually fire. */
+std::vector<PathEvent>
+makeEvents(std::uint64_t seed, std::size_t count)
+{
+    std::vector<PathEvent> events(count);
+    SplitMix64 rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint32_t loop =
+            static_cast<std::uint32_t>(rng.next() % 8);
+        events[i].path = loop * 10;
+        events[i].head = loop;
+        events[i].blocks = 4 + loop;
+        events[i].branches = 3 + loop;
+        events[i].instructions = 30 + 5 * loop;
+    }
+    return events;
+}
+
+struct LoadConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t connections = 8;
+    std::uint64_t ratePerConn = 2000;
+    std::uint64_t durationMs = 2000;
+    std::size_t frameEvents = 256;
+    std::uint64_t largePct = 10;
+    std::size_t sessionsPerConn = 4;
+    std::uint64_t seed = 42;
+};
+
+/** One connection's open-loop run: send on schedule, poll replies
+ *  opportunistically, then linger until every reply arrived (or the
+ *  response timeout expires). */
+ConnResult
+runConnection(const LoadConfig &cfg, std::size_t conn_index)
+{
+    ConnResult result;
+    net::ClientConfig clientCfg;
+    clientCfg.host = cfg.host;
+    clientCfg.port = cfg.port;
+    net::Client client(clientCfg);
+    if (!client.connect()) {
+        result.broken = true;
+        return result;
+    }
+
+    // Pre-encode one small and one large frame payload per session;
+    // sequence numbers are patched per send by re-encoding (cheap
+    // relative to the socket work, and keeps frames CRC-valid).
+    const std::vector<PathEvent> smallEvents =
+        makeEvents(cfg.seed + conn_index, cfg.frameEvents);
+    const std::vector<PathEvent> largeEvents =
+        makeEvents(cfg.seed + conn_index + 7777,
+                   cfg.frameEvents * 4);
+
+    SplitMix64 mixRng(cfg.seed * 31 + conn_index);
+    std::unordered_map<std::uint64_t, Clock::time_point> inFlight;
+    std::vector<net::PredictionReply> replies;
+    std::vector<std::uint8_t> frame;
+
+    const auto start = Clock::now();
+    const auto sendDeadline =
+        start + std::chrono::milliseconds(cfg.durationMs);
+    const auto interval =
+        cfg.ratePerConn > 0
+            ? std::chrono::nanoseconds(1000000000ull /
+                                       cfg.ratePerConn)
+            : std::chrono::nanoseconds(0);
+    auto nextSend = start;
+    std::vector<std::uint64_t> sequences(cfg.sessionsPerConn, 0);
+
+    const auto recordReplies = [&]() {
+        for (const auto &reply : replies) {
+            const std::uint64_t key =
+                reply.session * 1000003ull + reply.sequence;
+            const auto it = inFlight.find(key);
+            if (it != inFlight.end()) {
+                const auto us = std::chrono::duration_cast<
+                    std::chrono::microseconds>(Clock::now() -
+                                               it->second);
+                result.latenciesUs.push_back(
+                    static_cast<std::uint64_t>(us.count()));
+                inFlight.erase(it);
+            }
+            ++result.repliesReceived;
+            result.predictions += reply.predictions.size();
+        }
+        replies.clear();
+    };
+
+    while (true) {
+        const auto now = Clock::now();
+        if (now >= sendDeadline)
+            break;
+        if (now >= nextSend) {
+            const std::size_t lane =
+                static_cast<std::size_t>(mixRng.next()) %
+                cfg.sessionsPerConn;
+            // Session ids are globally unique per (connection,
+            // lane), so server-side sessions never alias.
+            const std::uint64_t session =
+                1 + conn_index * cfg.sessionsPerConn + lane;
+            const bool large =
+                mixRng.next() % 100 < cfg.largePct;
+            const std::vector<PathEvent> &events =
+                large ? largeEvents : smallEvents;
+            const std::uint64_t sequence = sequences[lane]++;
+            frame.clear();
+            wire::appendEventFrame(frame, session, sequence,
+                                   events.data(), events.size());
+            inFlight.emplace(session * 1000003ull + sequence,
+                             Clock::now());
+            if (!client.sendFrame(frame.data(), frame.size())) {
+                result.broken = true;
+                return result;
+            }
+            ++result.framesSent;
+            nextSend += interval;
+            if (nextSend + interval * 64 < Clock::now())
+                nextSend = Clock::now(); // fell far behind: reset
+            if (client.poll(replies, 0) < 0) {
+                result.broken = true;
+                return result;
+            }
+            recordReplies();
+            continue;
+        }
+        // Not due yet: block on replies until the next send time
+        // instead of spinning (a busy loop starves the server and
+        // engine threads on small machines).
+        const auto waitMs = std::chrono::duration_cast<
+            std::chrono::milliseconds>(nextSend - now);
+        const int got = client.poll(
+            replies,
+            static_cast<std::uint64_t>(
+                waitMs.count() > 0 ? waitMs.count() : 0));
+        if (got < 0) {
+            result.broken = true;
+            return result;
+        }
+        recordReplies();
+    }
+
+    // Linger: collect every outstanding reply (bounded by the
+    // client's response timeout per poll round).
+    const auto lingerDeadline =
+        Clock::now() +
+        std::chrono::milliseconds(clientCfg.responseTimeoutMs);
+    while (result.repliesReceived < result.framesSent &&
+           Clock::now() < lingerDeadline) {
+        const int got = client.poll(replies, 50);
+        if (got < 0)
+            break;
+        recordReplies();
+    }
+    return result;
+}
+
+std::uint64_t
+percentile(const std::vector<std::uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::TelemetryScope telemetry(argc, argv, "net_loadgen");
+
+    LoadConfig cfg;
+    cfg.connections = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "connections", 8));
+    cfg.ratePerConn = bench::flagU64(argc, argv, "rate", 2000);
+    cfg.durationMs =
+        bench::flagU64(argc, argv, "duration-ms", 2000);
+    cfg.frameEvents = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "frame", 256));
+    cfg.largePct = bench::flagU64(argc, argv, "mix", 10);
+    cfg.sessionsPerConn = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "sessions", 4));
+    cfg.seed = bench::seedFlag(argc, argv, 42);
+    const std::size_t reactorThreads = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "reactors", 2));
+    const std::size_t workerThreads = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "workers", 2));
+    const std::string connect =
+        bench::flagValue(argc, argv, "connect");
+
+    // In-process stack unless --connect targets a live server.
+    std::unique_ptr<engine::Engine> eng;
+    std::unique_ptr<net::Server> server;
+    const bool inProcess = connect.empty();
+    if (inProcess) {
+        engine::EngineConfig engineCfg;
+        engineCfg.workerThreads = workerThreads;
+        engineCfg.sessions.shardCount = 16;
+        eng = std::make_unique<engine::Engine>(engineCfg);
+        net::ServerConfig serverCfg;
+        serverCfg.reactorThreads = reactorThreads;
+        server = std::make_unique<net::Server>(*eng, serverCfg);
+        if (!server->start()) {
+            std::cerr << "net_loadgen: server start failed\n";
+            return 1;
+        }
+        cfg.port = server->port();
+    } else {
+        const std::size_t colon = connect.find(':');
+        if (colon == std::string::npos) {
+            std::cerr << "net_loadgen: --connect expects "
+                         "host:port\n";
+            return 1;
+        }
+        cfg.host = connect.substr(0, colon);
+        cfg.port = static_cast<std::uint16_t>(
+            std::stoul(connect.substr(colon + 1)));
+    }
+
+    std::cout << "Net loadgen: " << cfg.connections
+              << " connections x " << cfg.ratePerConn
+              << " frames/s x " << cfg.durationMs << " ms, "
+              << cfg.frameEvents << " events/frame ("
+              << cfg.largePct << "% large), seed " << cfg.seed
+              << (inProcess ? " [in-process server]"
+                            : " [external server]")
+              << "\n\n";
+
+    const auto start = Clock::now();
+    std::vector<ConnResult> results(cfg.connections);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(cfg.connections);
+        for (std::size_t c = 0; c < cfg.connections; ++c) {
+            threads.emplace_back([&cfg, &results, c] {
+                results[c] = runConnection(cfg, c);
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    if (server)
+        server->drain();
+
+    ConnResult total;
+    std::vector<std::uint64_t> latencies;
+    std::size_t brokenConns = 0;
+    for (const ConnResult &r : results) {
+        total.framesSent += r.framesSent;
+        total.repliesReceived += r.repliesReceived;
+        total.predictions += r.predictions;
+        brokenConns += r.broken ? 1 : 0;
+        latencies.insert(latencies.end(), r.latenciesUs.begin(),
+                         r.latenciesUs.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const std::uint64_t p50 = percentile(latencies, 0.50);
+    const std::uint64_t p99 = percentile(latencies, 0.99);
+    const std::uint64_t p999 = percentile(latencies, 0.999);
+    const std::uint64_t pmax =
+        latencies.empty() ? 0 : latencies.back();
+    const double fps =
+        elapsed > 0.0
+            ? static_cast<double>(total.repliesReceived) / elapsed
+            : 0.0;
+
+    // Conservation at drain (in-process only: we can see all three
+    // layers).
+    bool conservationOk = total.repliesReceived == total.framesSent;
+    engine::EngineStats engineStats;
+    net::NetStats netStats;
+    if (inProcess) {
+        server->stop();
+        engineStats = eng->stats();
+        netStats = server->stats();
+        const std::uint64_t absorbed =
+            engineStats.framesRejected +
+            engineStats.fault.injectedDrops +
+            engineStats.fault.shedFrames +
+            engineStats.framesDecoded;
+        conservationOk =
+            total.framesSent == netStats.framesIn &&
+            engineStats.framesSubmitted == absorbed &&
+            engineStats.framesDecoded ==
+                netStats.responsesOut + netStats.responsesDropped &&
+            total.repliesReceived == netStats.responsesOut;
+    }
+
+    TextTable table;
+    table.setHeader({"Metric", "Value"});
+    const auto row = [&table](const std::string &name,
+                              const std::string &value) {
+        table.beginRow();
+        table.addCell(name);
+        table.addCell(value);
+    };
+    row("frames sent", std::to_string(total.framesSent));
+    row("replies received", std::to_string(total.repliesReceived));
+    row("predictions served", std::to_string(total.predictions));
+    row("replies/sec", std::to_string(static_cast<std::uint64_t>(fps)));
+    row("p50 latency (us)", std::to_string(p50));
+    row("p99 latency (us)", std::to_string(p99));
+    row("p999 latency (us)", std::to_string(p999));
+    row("max latency (us)", std::to_string(pmax));
+    if (inProcess) {
+        row("server read pauses",
+            std::to_string(netStats.readPauses));
+        row("responses dropped",
+            std::to_string(netStats.responsesDropped));
+        row("conservation", conservationOk ? "ok" : "VIOLATED");
+    }
+    table.print(std::cout);
+    if (brokenConns > 0) {
+        std::cout << "\nwarning: " << brokenConns
+                  << " connection(s) broke mid-run\n";
+    }
+
+    // Publish the summary as netload.* gauges so --telemetry-out
+    // folds it into the RunReport.
+    if (auto *g = telemetry::gauge("netload.frames.sent"))
+        g->set(static_cast<std::int64_t>(total.framesSent));
+    if (auto *g = telemetry::gauge("netload.replies.received"))
+        g->set(static_cast<std::int64_t>(total.repliesReceived));
+    if (auto *g = telemetry::gauge("netload.predictions.served"))
+        g->set(static_cast<std::int64_t>(total.predictions));
+    if (auto *g = telemetry::gauge("netload.latency.p50.us"))
+        g->set(static_cast<std::int64_t>(p50));
+    if (auto *g = telemetry::gauge("netload.latency.p99.us"))
+        g->set(static_cast<std::int64_t>(p99));
+    if (auto *g = telemetry::gauge("netload.latency.p999.us"))
+        g->set(static_cast<std::int64_t>(p999));
+    if (auto *g = telemetry::gauge("netload.conservation.ok"))
+        g->set(conservationOk ? 1 : 0);
+
+    const std::string json_path =
+        bench::flagValue(argc, argv, "json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << "{\n"
+            << "  \"connections\": " << cfg.connections << ",\n"
+            << "  \"rate_per_connection\": " << cfg.ratePerConn
+            << ",\n"
+            << "  \"duration_ms\": " << cfg.durationMs << ",\n"
+            << "  \"frame_events\": " << cfg.frameEvents << ",\n"
+            << "  \"large_pct\": " << cfg.largePct << ",\n"
+            << "  \"seed\": " << cfg.seed << ",\n"
+            << "  \"in_process\": " << (inProcess ? "true" : "false")
+            << ",\n"
+            << "  \"frames_sent\": " << total.framesSent << ",\n"
+            << "  \"replies_received\": " << total.repliesReceived
+            << ",\n"
+            << "  \"predictions_served\": " << total.predictions
+            << ",\n"
+            << "  \"broken_connections\": " << brokenConns << ",\n"
+            << "  \"replies_per_second\": " << fps << ",\n"
+            << "  \"latency_us\": {\"p50\": " << p50
+            << ", \"p99\": " << p99 << ", \"p999\": " << p999
+            << ", \"max\": " << pmax
+            << ", \"samples\": " << latencies.size() << "},\n";
+        if (inProcess) {
+            out << "  \"server\": {"
+                << "\"frames_in\": " << netStats.framesIn
+                << ", \"responses_out\": " << netStats.responsesOut
+                << ", \"responses_dropped\": "
+                << netStats.responsesDropped
+                << ", \"read_pauses\": " << netStats.readPauses
+                << ", \"accepted\": " << netStats.accepted
+                << ", \"shed\": " << netStats.shed << "},\n"
+                << "  \"engine\": {"
+                << "\"submitted\": " << engineStats.framesSubmitted
+                << ", \"rejected\": " << engineStats.framesRejected
+                << ", \"decoded\": " << engineStats.framesDecoded
+                << ", \"shed\": " << engineStats.fault.shedFrames
+                << ", \"predictions\": " << engineStats.predictions
+                << "},\n";
+        }
+        out << "  \"conservation_ok\": "
+            << (conservationOk ? "true" : "false") << "\n"
+            << "}\n";
+    }
+    return conservationOk ? 0 : 1;
+}

@@ -1,28 +1,36 @@
 /**
  * @file
  * Serving demo: the streaming prediction engine fed by several
- * concurrent clients over the binary wire format.
+ * concurrent clients over the binary wire format - in-process, or
+ * split across a TCP connection with the net:: serving layer.
  *
- * Four producer threads each encode their own clients' path-event
- * streams into CRC-framed wire batches and submit them to a shared
- * 4-worker engine - the shape of a profiling service where many
- * instrumented processes ship branch events to one predictor box.
- * Frames route by session id to a fixed shard, so every client's
- * events are processed in order and its predictions come out exactly
- * as an in-process replay would produce them.
+ * Three modes:
  *
- * Prints per-session stats (events, cache hits, predictions), the
- * engine totals (frames decoded/rejected, queue high-water marks),
- * and - when telemetry is attached - the machine-readable RunReport
- * with the engine.* metrics.
+ *   --inproc (default)  Four producer threads each encode their own
+ *       clients' path-event streams into CRC-framed wire batches and
+ *       submit them to a shared 4-worker engine - the shape of a
+ *       profiling service where many instrumented processes ship
+ *       branch events to one predictor box.
  *
- * Usage: prediction_service [--seed=<u64>] [--report]
- *   --report   print the telemetry RunReport JSON on stdout
+ *   --serve [--port=<n>]  Host the same engine behind the epoll TCP
+ *       server and block until SIGTERM/SIGINT, then drain gracefully
+ *       (every accepted frame answered) and print the serving stats.
+ *
+ *   --connect=<host:port>  Run the 12-client workload against a
+ *       --serve process over TCP and print the per-session
+ *       predictions assembled from the reply frames - byte-identical
+ *       to what --inproc computes (tests/net_test.cc asserts this).
+ *
+ * Shared flags:
+ *   --seed=<u64>   workload synthesis seed (default 42)
+ *   --report       print the telemetry RunReport JSON on stdout
  */
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -30,6 +38,8 @@
 
 #include "engine/engine.hh"
 #include "engine/wire_format.hh"
+#include "net/client.hh"
+#include "net/server.hh"
 #include "support/table.hh"
 #include "telemetry/run_report.hh"
 #include "telemetry/telemetry.hh"
@@ -39,6 +49,10 @@ using namespace hotpath;
 
 namespace
 {
+
+constexpr std::size_t kProducers = 4;
+constexpr std::size_t kClientsPerProducer = 3;
+constexpr std::size_t kEventsPerFrame = 256;
 
 std::uint64_t
 seedArg(int argc, char **argv)
@@ -60,26 +74,61 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::string
+valueArg(int argc, char **argv, const char *prefix)
 {
-    const std::uint64_t seed = seedArg(argc, argv);
-    const bool want_report = hasFlag(argc, argv, "--report");
+    const std::size_t len = std::strlen(prefix);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix, len) == 0)
+            return std::string(argv[i] + len);
+    }
+    return "";
+}
 
-    // Attach telemetry before the engine so it finds the registry.
-    telemetry::TelemetrySession telemetry("");
-
-    constexpr std::size_t kProducers = 4;
-    constexpr std::size_t kClientsPerProducer = 3;
-    constexpr std::size_t kEventsPerFrame = 256;
-
+engine::EngineConfig
+engineConfig()
+{
     engine::EngineConfig config;
     config.workerThreads = 4;
     config.sessions.shardCount = 16;
     config.sessions.session.predictionDelay = 50;
-    engine::Engine eng(config);
+    return config;
+}
+
+/** One client session's calibrated event stream. */
+std::vector<PathEvent>
+sessionStream(std::uint64_t seed, std::uint64_t session_id)
+{
+    const std::vector<SpecTarget> &targets = specTargets();
+    WorkloadConfig wconfig;
+    wconfig.flowScale = 1e-4;
+    wconfig.seed = seed + session_id;
+    CalibratedWorkload workload(
+        targets[(session_id - 1) % targets.size()], wconfig);
+    return workload.materializeStream();
+}
+
+void
+printEngineTotals(const engine::Engine &eng)
+{
+    const engine::EngineStats stats = eng.stats();
+    std::cout << "\nEngine totals: " << stats.framesDecoded
+              << " frames decoded, " << stats.framesRejected
+              << " rejected, " << stats.eventsProcessed << " events, "
+              << stats.predictions << " predictions, "
+              << stats.sessionsLive << " sessions live, "
+              << stats.backpressureWaits << " backpressure waits\n";
+    std::cout << "Queue high-water marks (frames):";
+    for (std::size_t hw : stats.queueHighWater)
+        std::cout << " " << hw;
+    std::cout << "\n";
+}
+
+/** The original demo: producers and engine in one process. */
+int
+runInproc(std::uint64_t seed)
+{
+    engine::Engine eng(engineConfig());
 
     // Each producer owns a disjoint set of client sessions - one
     // session's frames must come from one producer to keep their
@@ -87,19 +136,11 @@ main(int argc, char **argv)
     std::vector<std::thread> producers;
     for (std::size_t p = 0; p < kProducers; ++p) {
         producers.emplace_back([&, p] {
-            const std::vector<SpecTarget> &targets = specTargets();
             for (std::size_t c = 0; c < kClientsPerProducer; ++c) {
                 const std::uint64_t session_id =
                     1 + p * kClientsPerProducer + c;
-                WorkloadConfig wconfig;
-                wconfig.flowScale = 1e-4;
-                wconfig.seed = seed + session_id;
-                CalibratedWorkload workload(
-                    targets[(session_id - 1) % targets.size()],
-                    wconfig);
                 const std::vector<PathEvent> stream =
-                    workload.materializeStream();
-
+                    sessionStream(seed, session_id);
                 std::uint64_t sequence = 0;
                 for (std::size_t i = 0; i < stream.size();
                      i += kEventsPerFrame) {
@@ -136,25 +177,149 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
-    const engine::EngineStats stats = eng.stats();
-    std::cout << "\nEngine totals: " << stats.framesDecoded
-              << " frames decoded, " << stats.framesRejected
-              << " rejected, " << stats.eventsProcessed << " events, "
-              << stats.predictions << " predictions, "
-              << stats.sessionsLive << " sessions live, "
-              << stats.backpressureWaits << " backpressure waits\n";
-    std::cout << "Queue high-water marks (frames):";
-    for (std::size_t hw : stats.queueHighWater)
-        std::cout << " " << hw;
-    std::cout << "\n";
-
+    printEngineTotals(eng);
     eng.shutdown();
+    return 0;
+}
 
-    if (want_report) {
+/** Host the engine behind the TCP server until SIGTERM/SIGINT. */
+int
+runServe(std::uint16_t port)
+{
+    engine::Engine eng(engineConfig());
+    net::ServerConfig serverCfg;
+    serverCfg.port = port;
+    serverCfg.reactorThreads = 2;
+    net::Server server(eng, serverCfg);
+    net::Server::installSignalHandlers();
+    if (!server.start())
+        return 1;
+
+    std::cout << "prediction_service: serving on 127.0.0.1:"
+              << server.port()
+              << " (SIGTERM/SIGINT drains and exits)\n"
+              << std::flush;
+    while (!net::Server::signalDrainRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::cout << "prediction_service: draining...\n";
+    server.drain();
+    server.stop();
+
+    const net::NetStats stats = server.stats();
+    std::cout << "Served " << stats.framesIn << " frames over "
+              << stats.accepted << " connections: "
+              << stats.responsesOut << " replies, "
+              << stats.responsesDropped << " dropped, "
+              << stats.framesResynced << " resyncs, "
+              << stats.readPauses << " read pauses\n";
+    printEngineTotals(eng);
+    eng.shutdown();
+    return 0;
+}
+
+/** Run the 12-client workload against a --serve process. */
+int
+runConnect(const std::string &target, std::uint64_t seed)
+{
+    const std::size_t colon = target.find(':');
+    if (colon == std::string::npos) {
+        std::cerr << "--connect expects host:port\n";
+        return 1;
+    }
+    net::ClientConfig clientCfg;
+    clientCfg.host = target.substr(0, colon);
+    clientCfg.port = static_cast<std::uint16_t>(
+        std::stoul(target.substr(colon + 1)));
+    net::Client client(clientCfg);
+    if (!client.connect()) {
+        std::cerr << "connect to " << target << " failed after "
+                  << clientCfg.connectAttempts << " attempts\n";
+        return 1;
+    }
+
+    std::uint64_t framesSent = 0;
+    std::map<std::uint64_t, std::uint64_t> framesPerSession;
+    for (std::uint64_t id = 1;
+         id <= kProducers * kClientsPerProducer; ++id) {
+        const std::vector<PathEvent> stream =
+            sessionStream(seed, id);
+        std::uint64_t sequence = 0;
+        for (std::size_t i = 0; i < stream.size();
+             i += kEventsPerFrame) {
+            const std::size_t n =
+                std::min(kEventsPerFrame, stream.size() - i);
+            if (!client.sendEvents(id, sequence++,
+                                   stream.data() + i, n)) {
+                std::cerr << "connection broke mid-stream\n";
+                return 1;
+            }
+            ++framesSent;
+            ++framesPerSession[id];
+        }
+    }
+
+    std::vector<net::PredictionReply> replies;
+    if (!client.awaitResponses(framesSent, replies)) {
+        std::cerr << "timed out waiting for replies ("
+                  << replies.size() << "/" << framesSent << ")\n";
+        return 1;
+    }
+
+    std::map<std::uint64_t, std::uint64_t> predictions;
+    for (const auto &reply : replies)
+        predictions[reply.session] += reply.predictions.size();
+
+    std::cout << "Per-session results over TCP (" << target
+              << ", seed " << seed << "):\n\n";
+    TextTable table;
+    table.setHeader({"Session", "Frames", "Replies", "Predictions"});
+    for (const auto &[id, frames] : framesPerSession) {
+        table.beginRow();
+        table.addCell(id);
+        table.addCell(frames);
+        table.addCell(frames); // one reply per frame by contract
+        table.addCell(predictions[id]);
+    }
+    table.print(std::cout);
+
+    const net::ClientStats &stats = client.stats();
+    std::cout << "\nClient totals: " << stats.framesSent
+              << " frames sent (" << stats.bytesOut << " bytes), "
+              << stats.responsesReceived << " replies ("
+              << stats.bytesIn << " bytes), " << stats.resyncs
+              << " resyncs\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed = seedArg(argc, argv);
+    const bool want_report = hasFlag(argc, argv, "--report");
+
+    // Attach telemetry before the engine so it finds the registry.
+    telemetry::TelemetrySession telemetry("");
+
+    int rc = 0;
+    const std::string target = valueArg(argc, argv, "--connect=");
+    if (hasFlag(argc, argv, "--serve")) {
+        const std::string port = valueArg(argc, argv, "--port=");
+        rc = runServe(static_cast<std::uint16_t>(
+            port.empty() ? 0 : std::stoul(port)));
+    } else if (!target.empty()) {
+        rc = runConnect(target, seed);
+    } else {
+        rc = runInproc(seed);
+    }
+
+    if (rc == 0 && want_report) {
         std::cout << "\n";
         telemetry::RunReport::capture(telemetry.registry(),
                                       "prediction_service")
             .writeJson(std::cout);
     }
-    return 0;
+    return rc;
 }

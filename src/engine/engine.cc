@@ -171,7 +171,7 @@ Engine::countReject(wire::DecodeStatus status)
 }
 
 bool
-Engine::submit(std::vector<std::uint8_t> frame)
+Engine::submit(std::vector<std::uint8_t> frame, std::uint64_t tag)
 {
     const std::uint64_t submitted =
         framesSubmitted.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -226,7 +226,7 @@ Engine::submit(std::vector<std::uint8_t> frame)
                     ->add(1);
             std::lock_guard<std::mutex> lock(delayMu);
             delayed.push_back(
-                {std::move(frame),
+                {std::move(frame), tag,
                  submitted + cfg.delayWindowFrames});
             return true;
         }
@@ -235,11 +235,37 @@ Engine::submit(std::vector<std::uint8_t> frame)
         flushDelayed(false);
     }
 
-    return routeFrame(std::move(frame));
+    return routeFrame(frame, tag, /*blocking=*/true) ==
+           SubmitStatus::Accepted;
 }
 
-bool
-Engine::routeFrame(std::vector<std::uint8_t> frame)
+SubmitStatus
+Engine::trySubmit(std::vector<std::uint8_t> &frame, std::uint64_t tag)
+{
+    const SubmitStatus status =
+        routeFrame(frame, tag, /*blocking=*/false);
+    // Backpressure leaves the frame with the caller and must not
+    // disturb the conservation ledger; everything else was taken.
+    if (status != SubmitStatus::Backpressure)
+        framesSubmitted.fetch_add(1, std::memory_order_relaxed);
+    return status;
+}
+
+void
+Engine::setFrameCallback(FrameCallback callback)
+{
+    frameCallback = std::move(callback);
+}
+
+std::size_t
+Engine::evictIdleSessions(std::uint64_t max_age)
+{
+    return table.evictIdle(max_age);
+}
+
+SubmitStatus
+Engine::routeFrame(std::vector<std::uint8_t> &frame,
+                   std::uint64_t tag, bool blocking)
 {
     wire::FrameHeader header;
     std::size_t frame_end = 0;
@@ -247,23 +273,22 @@ Engine::routeFrame(std::vector<std::uint8_t> frame)
         frame.data(), frame.size(), 0, header, frame_end);
     if (status != wire::DecodeStatus::Ok) {
         countReject(status);
-        return false;
+        return SubmitStatus::Rejected;
     }
     if (frame_end != frame.size()) {
         // submit() takes exactly one frame per call.
         countReject(wire::DecodeStatus::BadLength);
-        return false;
+        return SubmitStatus::Rejected;
     }
 
     if (workers.empty()) {
         // Serial fallback: the caller's thread is the worker.
-        processFrame(frame, serialScratch);
-        return true;
+        processFrame(frame, tag, serialScratch, serialPredScratch);
+        return SubmitStatus::Accepted;
     }
 
     const std::size_t shard_index = table.shardOf(header.session);
     ShardQueue &queue = *queues[shard_index];
-    pendingFrames.fetch_add(1, std::memory_order_relaxed);
     {
         std::unique_lock<std::mutex> lock(queue.mu);
         bool saturated =
@@ -291,6 +316,8 @@ Engine::routeFrame(std::vector<std::uint8_t> frame)
                 tmShed->add(1);
             noteFrameDone(1);
         } else if (saturated) {
+            if (!blocking)
+                return SubmitStatus::Backpressure;
             ++queue.backpressureWaits;
             if (tmBackpressure)
                 tmBackpressure->add(1);
@@ -299,7 +326,8 @@ Engine::routeFrame(std::vector<std::uint8_t> frame)
                        cfg.queueCapacityFrames;
             });
         }
-        queue.frames.push_back(std::move(frame));
+        pendingFrames.fetch_add(1, std::memory_order_relaxed);
+        queue.frames.push_back({std::move(frame), tag});
         queue.highWater =
             std::max(queue.highWater, queue.frames.size());
         if (tmQueueDepth)
@@ -316,7 +344,7 @@ Engine::routeFrame(std::vector<std::uint8_t> frame)
         worker.wake = true;
     }
     worker.workAvailable.notify_one();
-    return true;
+    return SubmitStatus::Accepted;
 }
 
 bool
@@ -359,6 +387,7 @@ Engine::flushDelayed(bool all)
 {
     for (;;) {
         std::vector<std::uint8_t> frame;
+        std::uint64_t tag = 0;
         {
             std::lock_guard<std::mutex> lock(delayMu);
             if (delayed.empty())
@@ -368,13 +397,14 @@ Engine::flushDelayed(bool all)
                                 std::memory_order_relaxed))
                 return;
             frame = std::move(delayed.front().bytes);
+            tag = delayed.front().tag;
             delayed.pop_front();
         }
         delayedDelivered.fetch_add(1, std::memory_order_relaxed);
         if (tmDelayedDelivered)
             tmDelayedDelivered->add(1);
         // Already counted in framesSubmitted at original submission.
-        routeFrame(std::move(frame));
+        routeFrame(frame, tag, /*blocking=*/true);
     }
 }
 
@@ -420,7 +450,8 @@ Engine::attributeDecodeError(const std::vector<std::uint8_t> &frame)
 
 void
 Engine::processFrame(const std::vector<std::uint8_t> &frame,
-                     wire::DecodedFrame &scratch)
+                     std::uint64_t tag, wire::DecodedFrame &scratch,
+                     std::vector<wire::PredictionRecord> &preds)
 {
     std::size_t offset = 0;
     const wire::DecodeStatus status =
@@ -431,8 +462,8 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
         return;
     }
     if (scratch.header.kind != wire::FrameKind::PathEvents) {
-        // The serving path consumes path events; block-trace frames
-        // are an offline interchange format (see wire_format.hh).
+        // The serving path consumes path events; other frame kinds
+        // are interchange/reply formats (see wire_format.hh).
         countReject(wire::DecodeStatus::BadKind);
         return;
     }
@@ -444,6 +475,8 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
     bool applied = false;
     bool readmitted = false;
     std::uint64_t predicted = 0;
+    preds.clear();
+    const bool want_records = static_cast<bool>(frameCallback);
     const bool resident = table.withSession(
         scratch.header.session, [&](Session &session) {
             if (session.consumeBackoffSlot()) {
@@ -454,15 +487,26 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
                 return;
             }
             applied = true;
-            predicted = session.apply(scratch);
+            predicted = session.apply(
+                scratch, want_records ? &preds : nullptr);
         });
-    if (!resident) {
+    if (resident && applied) {
+        framesAppliedCount.fetch_add(1, std::memory_order_relaxed);
+        eventsProcessed.fetch_add(scratch.events.size(),
+                                  std::memory_order_relaxed);
+        if (tmEvents)
+            tmEvents->add(scratch.events.size());
+        if (predicted != 0) {
+            predictionsMade.fetch_add(predicted,
+                                      std::memory_order_relaxed);
+            if (tmPredictions)
+                tmPredictions->add(predicted);
+        }
+    } else if (!resident) {
         // Session creation refused (injected allocation failure):
         // the decoded frame is dropped, visibly.
         allocDropped.fetch_add(1, std::memory_order_relaxed);
-        return;
-    }
-    if (!applied) {
+    } else {
         backoffDropped.fetch_add(1, std::memory_order_relaxed);
         if (tmBackoffDropped)
             tmBackoffDropped->add(1);
@@ -472,19 +516,22 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
             if (tmReadmitted)
                 tmReadmitted->add(1);
         }
-        return;
     }
 
-    framesAppliedCount.fetch_add(1, std::memory_order_relaxed);
-    eventsProcessed.fetch_add(scratch.events.size(),
-                              std::memory_order_relaxed);
-    if (tmEvents)
-        tmEvents->add(scratch.events.size());
-    if (predicted != 0) {
-        predictionsMade.fetch_add(predicted,
-                                  std::memory_order_relaxed);
-        if (tmPredictions)
-            tmPredictions->add(predicted);
+    if (frameCallback) {
+        // Every decoded frame gets a completion - dropped ones too,
+        // so a pipelined client is never left waiting on a frame the
+        // engine consumed but chose not to apply.
+        FrameOutcome outcome;
+        outcome.session = scratch.header.session;
+        outcome.sequence = scratch.header.sequence;
+        outcome.tag = tag;
+        outcome.events =
+            static_cast<std::uint32_t>(scratch.events.size());
+        outcome.applied = applied;
+        outcome.predictions = preds.data();
+        outcome.predictionCount = preds.size();
+        frameCallback(outcome);
     }
 }
 
@@ -503,7 +550,8 @@ Engine::workerLoop(std::size_t worker_index)
 {
     WorkerState &self = *workerStates[worker_index];
     wire::DecodedFrame scratch;
-    std::vector<std::vector<std::uint8_t>> batch;
+    std::vector<wire::PredictionRecord> predScratch;
+    std::vector<QueuedFrame> batch;
 
     while (true) {
         self.heartbeat.fetch_add(1, std::memory_order_relaxed);
@@ -535,8 +583,9 @@ Engine::workerLoop(std::size_t worker_index)
             if (tmShardFrames[shard_index])
                 tmShardFrames[shard_index]->add(batch.size());
 
-            for (const std::vector<std::uint8_t> &frame : batch)
-                processFrame(frame, scratch);
+            for (const QueuedFrame &frame : batch)
+                processFrame(frame.bytes, frame.tag, scratch,
+                             predScratch);
             noteFrameDone(batch.size());
         }
         if (did_work) {
@@ -708,6 +757,7 @@ Engine::stats() const
     const SessionTableStats table_stats = table.stats();
     stats.sessionsCreated = table_stats.created;
     stats.sessionsEvicted = table_stats.evicted;
+    stats.sessionsIdleEvicted = table_stats.idleEvicted;
     stats.sessionsLive = table_stats.live;
 
     if (injector) {

@@ -89,6 +89,54 @@ enum class OverloadPolicy
     DropOldest,
 };
 
+/** Outcome of a nonblocking trySubmit(). */
+enum class SubmitStatus
+{
+    /** Frame routed (or rejected-and-counted); ownership taken. */
+    Accepted,
+    /** Header did not parse; frame counted as rejected. */
+    Rejected,
+    /**
+     * The target shard queue is saturated and the caller asked not
+     * to block. The frame is untouched and uncounted - retry later.
+     */
+    Backpressure,
+};
+
+/**
+ * What happened to one decoded frame, delivered to the completion
+ * callback (EngineConfig-independent: install with
+ * Engine::setFrameCallback). `predictions` points at worker-local
+ * scratch that is only valid for the duration of the callback.
+ */
+struct FrameOutcome
+{
+    /** Session the frame belonged to. */
+    std::uint64_t session = 0;
+    /** The frame's sequence number. */
+    std::uint64_t sequence = 0;
+    /** Caller-supplied routing tag from submit()/trySubmit() (the
+     *  net server stores the originating connection id here). */
+    std::uint64_t tag = 0;
+    /** Events the frame carried. */
+    std::uint32_t events = 0;
+    /** False when the frame decoded but was dropped (re-admission
+     *  backoff or allocation failure). */
+    bool applied = false;
+    /** Predictions the frame triggered (callback-scoped storage). */
+    const wire::PredictionRecord *predictions = nullptr;
+    /** Number of records behind `predictions`. */
+    std::size_t predictionCount = 0;
+};
+
+/**
+ * Completion callback for decoded frames. Runs on the worker that
+ * owns the frame's shard (or on the submitting thread in serial
+ * mode), so per-session invocations are ordered; keep it cheap - the
+ * shard's other sessions wait behind it.
+ */
+using FrameCallback = std::function<void(const FrameOutcome &)>;
+
 /** Engine parameters. */
 struct EngineConfig
 {
@@ -236,6 +284,8 @@ struct EngineStats
     std::uint64_t sessionsCreated = 0;
     /** Sessions evicted by the LRU cap. */
     std::uint64_t sessionsEvicted = 0;
+    /** Sessions retired by the idle sweep (evictIdleSessions). */
+    std::uint64_t sessionsIdleEvicted = 0;
     /** Sessions currently resident. */
     std::size_t sessionsLive = 0;
 
@@ -269,9 +319,41 @@ class Engine
      * (returns false). Blocks while the target shard's queue is full.
      * Payload errors (bad CRC, bad payload) surface asynchronously in
      * stats().framesRejected. Must not be called during or after
-     * shutdown().
+     * shutdown(). `tag` is an opaque value carried to the completion
+     * callback (see FrameOutcome::tag).
      */
-    bool submit(std::vector<std::uint8_t> frame);
+    bool submit(std::vector<std::uint8_t> frame,
+                std::uint64_t tag = 0);
+
+    /**
+     * Nonblocking submit for event-loop callers: behaves like
+     * submit() except that a saturated shard queue returns
+     * SubmitStatus::Backpressure immediately, leaving `frame` intact
+     * and uncounted so the caller can park it and retry. Unlike
+     * submit(), the fault-injection preamble (drop/corrupt/delay) is
+     * not applied - a network caller's faults happen on the socket,
+     * not in the producer.
+     */
+    SubmitStatus trySubmit(std::vector<std::uint8_t> &frame,
+                           std::uint64_t tag = 0);
+
+    /**
+     * Install (or clear, with nullptr) the per-frame completion
+     * callback. Not thread-safe against in-flight traffic: install
+     * before the first submit. Enabling the callback also makes
+     * workers collect the (head, path) prediction records each frame
+     * triggers, which the callback receives.
+     */
+    void setFrameCallback(FrameCallback callback);
+
+    /**
+     * Retire sessions idle for more than `max_age` table activity
+     * ticks (ShardedSessionTable::evictIdle). Safe to call
+     * concurrently with traffic; a retired session that speaks again
+     * is recreated from scratch, so callers should sweep with ages
+     * well past their clients' silence threshold.
+     */
+    std::size_t evictIdleSessions(std::uint64_t max_age);
 
     /**
      * Convenience producer: encode `count` events as one frame for
@@ -326,11 +408,18 @@ class Engine
     }
 
   private:
+    /** One queued frame plus its caller routing tag. */
+    struct QueuedFrame
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t tag = 0;
+    };
+
     struct ShardQueue
     {
         std::mutex mu;
         std::condition_variable spaceAvailable;
-        std::deque<std::vector<std::uint8_t>> frames;
+        std::deque<QueuedFrame> frames;
         std::size_t highWater = 0;
         std::uint64_t backpressureWaits = 0;
         std::size_t worker = 0; // owning worker index
@@ -354,6 +443,7 @@ class Engine
     struct DelayedFrame
     {
         std::vector<std::uint8_t> bytes;
+        std::uint64_t tag = 0;
         std::uint64_t releaseAt = 0; // framesSubmitted watermark
     };
 
@@ -361,13 +451,17 @@ class Engine
     void watchdogLoop();
 
     /** Decode + apply one frame on the owning worker (or inline in
-     *  serial mode). */
+     *  serial mode); fires the completion callback when installed. */
     void processFrame(const std::vector<std::uint8_t> &frame,
-                      wire::DecodedFrame &scratch);
+                      std::uint64_t tag, wire::DecodedFrame &scratch,
+                      std::vector<wire::PredictionRecord> &preds);
 
-    /** Post-injection routing shared by submit(), submitBuffer() and
-     *  delayed redelivery: header peek, reject, enqueue or inline. */
-    bool routeFrame(std::vector<std::uint8_t> frame);
+    /** Post-injection routing shared by submit(), trySubmit(),
+     *  submitBuffer() and delayed redelivery: header peek, reject,
+     *  enqueue or inline. On Backpressure (nonblocking callers only)
+     *  `frame` is left intact. */
+    SubmitStatus routeFrame(std::vector<std::uint8_t> &frame,
+                            std::uint64_t tag, bool blocking);
 
     /** Attribute a decode failure to its session's error budget;
      *  poisons/rebuilds when the budget is exhausted. */
@@ -394,6 +488,10 @@ class Engine
     std::atomic<std::uint64_t> pendingFrames{0};
     /** Serial-mode decode scratch (serial submit is single-caller). */
     wire::DecodedFrame serialScratch;
+    /** Serial-mode prediction-record scratch. */
+    std::vector<wire::PredictionRecord> serialPredScratch;
+    /** Per-frame completion callback; empty unless installed. */
+    FrameCallback frameCallback;
     mutable std::mutex drainMu;
     std::condition_variable drainCv;
     std::mutex watchdogMu;

@@ -36,7 +36,8 @@ Session::consume(const PathEvent &event)
 }
 
 std::uint64_t
-Session::apply(const wire::DecodedFrame &frame)
+Session::apply(const wire::DecodedFrame &frame,
+               std::vector<wire::PredictionRecord> *predictions_out)
 {
     HOTPATH_ASSERT(frame.header.session == sessionId,
                    "frame routed to the wrong session");
@@ -49,8 +50,13 @@ Session::apply(const wire::DecodedFrame &frame)
     lastSequence = sequence;
 
     std::uint64_t predicted = 0;
-    for (const PathEvent &event : frame.events)
-        predicted += consume(event) ? 1 : 0;
+    for (const PathEvent &event : frame.events) {
+        if (!consume(event))
+            continue;
+        ++predicted;
+        if (predictions_out != nullptr)
+            predictions_out->push_back({event.head, event.path});
+    }
     return predicted;
 }
 

@@ -111,9 +111,15 @@ class Session
     /**
      * Apply one decoded frame in order: sequence-gap accounting, then
      * consume() for every event. The frame must belong to this
-     * session. Returns the number of predictions it triggered.
+     * session. Returns the number of predictions it triggered. When
+     * `predictions_out` is non-null, every prediction the frame
+     * triggered is appended to it as a (head, path) record - the
+     * serving layer encodes these back to the originating connection.
      */
-    std::uint64_t apply(const wire::DecodedFrame &frame);
+    std::uint64_t
+    apply(const wire::DecodedFrame &frame,
+          std::vector<wire::PredictionRecord> *predictions_out =
+              nullptr);
 
     /** Lifetime counters. */
     const SessionStats &stats() const { return st; }

@@ -46,6 +46,8 @@ ShardedSessionTable::ShardedSessionTable(SessionTableConfig config)
 
     tmCreated = telemetry::counter("engine.sessions.created");
     tmEvicted = telemetry::counter("engine.sessions.evicted");
+    tmIdleEvicted =
+        telemetry::counter("engine.sessions.evicted.idle");
     tmLive = telemetry::gauge("engine.sessions.live");
 }
 
@@ -62,6 +64,8 @@ ShardedSessionTable::withSession(
     const std::function<void(Session &)> &fn)
 {
     Shard &shard = *shards[shardOf(session_id)];
+    const std::uint64_t tick =
+        activityClock.fetch_add(1, std::memory_order_relaxed) + 1;
     std::lock_guard<std::mutex> lock(shard.mu);
 
     auto it = shard.sessions.find(session_id);
@@ -99,6 +103,7 @@ ShardedSessionTable::withSession(
         shard.lru.splice(shard.lru.begin(), shard.lru,
                          it->second.lruPos);
     }
+    it->second.lastActive = tick;
 
     fn(*it->second.session);
     return true;
@@ -120,6 +125,8 @@ ShardedSessionTable::rebuildSession(
         entry.session =
             std::make_unique<Session>(session_id, cfg.session);
         entry.lruPos = shard.lru.begin();
+        entry.lastActive =
+            activityClock.load(std::memory_order_relaxed);
         it = shard.sessions.emplace(session_id, std::move(entry))
                  .first;
         ++shard.created;
@@ -183,6 +190,38 @@ ShardedSessionTable::erase(std::uint64_t session_id)
 }
 
 std::size_t
+ShardedSessionTable::evictIdle(std::uint64_t max_age)
+{
+    const std::uint64_t now =
+        activityClock.load(std::memory_order_relaxed);
+    std::size_t evicted = 0;
+    for (const auto &shard_ptr : shards) {
+        Shard &shard = *shard_ptr;
+        std::lock_guard<std::mutex> lock(shard.mu);
+        // Per-shard LRU order matches lastActive order (every touch
+        // moves the entry to the front with a newer tick), so the
+        // sweep only ever inspects the stale tail.
+        while (!shard.lru.empty()) {
+            const std::uint64_t victim = shard.lru.back();
+            const auto it = shard.sessions.find(victim);
+            HOTPATH_ASSERT(it != shard.sessions.end(),
+                           "LRU entry without a session");
+            if (now - it->second.lastActive <= max_age)
+                break;
+            shard.lru.pop_back();
+            shard.sessions.erase(it);
+            ++shard.idleEvicted;
+            ++evicted;
+            if (tmIdleEvicted)
+                tmIdleEvicted->add(1);
+            if (tmLive)
+                tmLive->add(-1);
+        }
+    }
+    return evicted;
+}
+
+std::size_t
 ShardedSessionTable::liveSessions() const
 {
     std::size_t live = 0;
@@ -201,6 +240,7 @@ ShardedSessionTable::stats() const
         std::lock_guard<std::mutex> lock(shard->mu);
         stats.created += shard->created;
         stats.evicted += shard->evicted;
+        stats.idleEvicted += shard->idleEvicted;
         stats.rebuilt += shard->rebuilt;
         stats.allocFailures += shard->allocFailures;
         stats.live += shard->sessions.size();

@@ -18,6 +18,7 @@
 #ifndef HOTPATH_ENGINE_SESSION_TABLE_HH
 #define HOTPATH_ENGINE_SESSION_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -63,6 +64,8 @@ struct SessionTableStats
     std::uint64_t created = 0;
     /** Sessions evicted by the LRU capacity cap. */
     std::uint64_t evicted = 0;
+    /** Sessions retired by evictIdle() (idle sweep). */
+    std::uint64_t idleEvicted = 0;
     /** Poisoned sessions replaced in place (rebuildSession). */
     std::uint64_t rebuilt = 0;
     /** Session creations refused by the allocation-failure hook. */
@@ -130,6 +133,24 @@ class ShardedSessionTable
     /** Drop one session; returns true if it was resident. */
     bool erase(std::uint64_t session_id);
 
+    /**
+     * Retire every session whose last activity is more than `max_age`
+     * activity ticks in the past, and return how many were evicted.
+     * The table keeps a logical activity clock - each withSession()
+     * access is one tick - so "age" is measured in how much traffic
+     * the table as a whole has seen since the session was touched,
+     * not wall time; a quiet table never ages anyone out. This is the
+     * server's idle-connection sweep companion: when a connection
+     * times out, the matching predictor state goes too.
+     */
+    std::size_t evictIdle(std::uint64_t max_age);
+
+    /** Current value of the logical activity clock (ticks). */
+    std::uint64_t activityTicks() const
+    {
+        return activityClock.load(std::memory_order_relaxed);
+    }
+
     /** Number of resident sessions (sums the shards, under locks). */
     std::size_t liveSessions() const;
 
@@ -146,10 +167,13 @@ class ShardedSessionTable
         {
             std::unique_ptr<Session> session;
             std::list<std::uint64_t>::iterator lruPos;
+            /** Activity-clock tick of the last withSession access. */
+            std::uint64_t lastActive = 0;
         };
         std::unordered_map<std::uint64_t, Entry> sessions;
         std::uint64_t created = 0;
         std::uint64_t evicted = 0;
+        std::uint64_t idleEvicted = 0;
         std::uint64_t rebuilt = 0;
         std::uint64_t allocFailures = 0;
     };
@@ -158,10 +182,13 @@ class ShardedSessionTable
     std::size_t perShardCap; // 0 = uncapped
     std::vector<std::unique_ptr<Shard>> shards;
     std::function<bool()> allocFailHook;
+    /** Table-wide logical clock; one tick per withSession access. */
+    std::atomic<std::uint64_t> activityClock{0};
 
     // Telemetry handles; nullptr when telemetry is not attached.
     telemetry::Counter *tmCreated = nullptr;
     telemetry::Counter *tmEvicted = nullptr;
+    telemetry::Counter *tmIdleEvicted = nullptr;
     telemetry::Gauge *tmLive = nullptr;
 };
 

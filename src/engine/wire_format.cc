@@ -86,6 +86,10 @@ appendFrame(std::vector<std::uint8_t> &out, FrameKind kind,
             std::uint64_t count,
             const std::vector<std::uint8_t> &payload)
 {
+    // Worst-case frame envelope: magic + kind + four 10-byte varints
+    // + payload + CRC. One reservation up front instead of letting
+    // the vector regrow through the header/payload/CRC appends.
+    out.reserve(out.size() + 3 + 4 * 10 + payload.size() + kCrcBytes);
     out.push_back(kMagic0);
     out.push_back(kMagic1);
     const std::size_t crc_begin = out.size();
@@ -121,7 +125,8 @@ parseHeader(const std::uint8_t *data, std::size_t size,
         return DecodeStatus::Truncated;
     const std::uint8_t kind = data[cur++];
     if (kind != static_cast<std::uint8_t>(FrameKind::PathEvents) &&
-        kind != static_cast<std::uint8_t>(FrameKind::BlockTrace))
+        kind != static_cast<std::uint8_t>(FrameKind::BlockTrace) &&
+        kind != static_cast<std::uint8_t>(FrameKind::Predictions))
         return DecodeStatus::BadKind;
     header.kind = static_cast<FrameKind>(kind);
 
@@ -263,6 +268,27 @@ appendBlockFrame(std::vector<std::uint8_t> &out, std::uint64_t session,
                 payload);
 }
 
+void
+appendPredictionFrame(std::vector<std::uint8_t> &out,
+                      std::uint64_t session, std::uint64_t sequence,
+                      const PredictionRecord *records,
+                      std::size_t count)
+{
+    HOTPATH_ASSERT(count <= kMaxFrameEvents,
+                   "prediction frame exceeds kMaxFrameEvents");
+    std::vector<std::uint8_t> payload;
+    payload.reserve(count * 4);
+    PredictionRecord prev;
+    for (std::size_t i = 0; i < count; ++i) {
+        const PredictionRecord &r = records[i];
+        appendDelta(payload, prev.head, r.head);
+        appendDelta(payload, prev.path, r.path);
+        prev = r;
+    }
+    appendFrame(out, FrameKind::Predictions, session, sequence, count,
+                payload);
+}
+
 std::vector<std::uint8_t>
 encodeEventStream(const std::vector<PathEvent> &stream,
                   std::uint64_t session, std::size_t frame_events)
@@ -271,6 +297,15 @@ encodeEventStream(const std::vector<PathEvent> &stream,
                        frame_events <= kMaxFrameEvents,
                    "invalid frame_events");
     std::vector<std::uint8_t> out;
+    // Size the stream buffer once from the batch hint: ~5 payload
+    // bytes per delta-encoded event plus a generous per-frame
+    // envelope, so the whole encode runs without a reallocation in
+    // the common (loop-burst) case.
+    const std::size_t frames =
+        stream.empty() ? 1
+                       : (stream.size() + frame_events - 1) /
+                             frame_events;
+    out.reserve(stream.size() * 5 + frames * 48);
     std::uint64_t sequence = 0;
     std::size_t i = 0;
     do {
@@ -318,8 +353,18 @@ decodeFrame(const std::uint8_t *data, std::size_t size,
 
     out.events.clear();
     out.blocks.clear();
+    out.predictions.clear();
     std::size_t cur = payload_begin;
-    if (out.header.kind == FrameKind::PathEvents) {
+    if (out.header.kind == FrameKind::Predictions) {
+        out.predictions.reserve(count);
+        PredictionRecord prev;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (!readDelta32(data, payload_end, cur, prev.head) ||
+                !readDelta32(data, payload_end, cur, prev.path))
+                return DecodeStatus::BadPayload;
+            out.predictions.push_back(prev);
+        }
+    } else if (out.header.kind == FrameKind::PathEvents) {
         out.events.reserve(count);
         PathEvent prev;
         prev.path = 0;
@@ -371,6 +416,48 @@ findNextFrame(const std::uint8_t *data, std::size_t size,
             readU32le(data + payload_end))
             return at;
     }
+    return size;
+}
+
+std::size_t
+findFrameBoundary(const std::uint8_t *data, std::size_t size,
+                  std::size_t from, bool *complete)
+{
+    FrameHeader header;
+    for (std::size_t at = from; at < size; ++at) {
+        if (data[at] != kMagic0)
+            continue;
+        if (at + 1 < size && data[at + 1] != kMagic1)
+            continue;
+        std::size_t crc_begin = 0;
+        std::size_t payload_begin = 0;
+        std::size_t payload_len = 0;
+        std::uint64_t count = 0;
+        std::size_t frame_end = 0;
+        const DecodeStatus status =
+            parseHeader(data, size, at, header, crc_begin,
+                        payload_begin, payload_len, count, frame_end);
+        if (status == DecodeStatus::Ok) {
+            const std::size_t payload_end =
+                payload_begin + payload_len;
+            if (crc32(data + crc_begin, payload_end - crc_begin) ==
+                readU32le(data + payload_end)) {
+                *complete = true;
+                return at;
+            }
+            continue; // CRC-invalid candidate: keep scanning
+        }
+        if (status == DecodeStatus::Truncated) {
+            // Plausible frame still arriving: hand the tail back to
+            // the caller. If more bytes later prove it corrupt, the
+            // next resync resumes from here, so no byte is scanned
+            // twice as complete garbage.
+            *complete = false;
+            return at;
+        }
+        // BadKind / BadLength / BadMagic: corrupt candidate, go on.
+    }
+    *complete = false;
     return size;
 }
 

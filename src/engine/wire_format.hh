@@ -6,7 +6,8 @@
  * A *frame* carries one batch of events for one session:
  *
  *   magic      2 bytes   'H' 'F'
- *   kind       1 byte    1 = path events, 2 = block trace
+ *   kind       1 byte    1 = path events, 2 = block trace,
+ *                        3 = prediction replies
  *   session    varint    client/session identifier
  *   sequence   varint    per-session frame sequence number
  *   count      varint    events in the payload
@@ -53,6 +54,21 @@ enum class FrameKind : std::uint8_t
     PathEvents = 1,
     /** Delta-encoded basic-block id trace. */
     BlockTrace = 2,
+    /** Delta-encoded prediction records (server -> client replies). */
+    Predictions = 3,
+};
+
+/**
+ * One hot-path prediction as it travels back to the client: the path
+ * head whose counter crossed the delay threshold and the predicted
+ * tail fragment (dense path id) promoted into the fragment cache.
+ */
+struct PredictionRecord
+{
+    /** Head block whose execution triggered the prediction. */
+    HeadIndex head = 0;
+    /** Predicted hot path (tail fragment) id. */
+    PathIndex path = 0;
 };
 
 /** Frame metadata (everything before the payload). */
@@ -88,7 +104,7 @@ enum class DecodeStatus
 /** Stable name for reports and tests. */
 const char *decodeStatusName(DecodeStatus status);
 
-/** One decoded frame; exactly one of events/blocks is populated. */
+/** One decoded frame; exactly one payload vector is populated. */
 struct DecodedFrame
 {
     /** The frame's metadata. */
@@ -97,6 +113,8 @@ struct DecodedFrame
     std::vector<PathEvent> events;
     /** Payload for FrameKind::BlockTrace. */
     std::vector<BlockId> blocks;
+    /** Payload for FrameKind::Predictions. */
+    std::vector<PredictionRecord> predictions;
 };
 
 /** Decoder sanity cap on events per frame. */
@@ -143,6 +161,17 @@ void appendBlockFrame(std::vector<std::uint8_t> &out,
                       const BlockId *blocks, std::size_t count);
 
 /**
+ * Append one prediction-reply frame for `session` to `out`. The
+ * sequence echoes the event frame the predictions came from, so a
+ * pipelined client can match replies to its in-flight submissions.
+ */
+void appendPredictionFrame(std::vector<std::uint8_t> &out,
+                           std::uint64_t session,
+                           std::uint64_t sequence,
+                           const PredictionRecord *records,
+                           std::size_t count);
+
+/**
  * Encode a whole event stream as consecutive frames (sequence 0..n)
  * of at most `frame_events` events each. This is the one on-disk /
  * on-wire event encoding; workload/stream_io delegates to it.
@@ -187,6 +216,19 @@ DecodeStatus decodeFrame(const std::uint8_t *data, std::size_t size,
  */
 std::size_t findNextFrame(const std::uint8_t *data, std::size_t size,
                           std::size_t from);
+
+/**
+ * Streaming variant of findNextFrame for socket reassembly buffers,
+ * where the last frame is usually still arriving. Scans forward from
+ * `from` for the next offset holding either a complete CRC-valid
+ * frame (`*complete = true`) or a plausible frame cut short by the
+ * end of the buffer (`*complete = false`: keep those bytes and retry
+ * after the next read). Returns `size` with `*complete = false` when
+ * everything up to the end is garbage and can be discarded.
+ */
+std::size_t findFrameBoundary(const std::uint8_t *data,
+                              std::size_t size, std::size_t from,
+                              bool *complete);
 
 /** What a resilient multi-frame decode survived. */
 struct ResyncStats

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * net::Client implementation; see client.hh for the design.
+ */
+
+#include "net/client.hh"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace hotpath::net
+{
+
+namespace
+{
+
+/** Wait for `events` on `fd`, at most `timeout_ms`. Returns false on
+ *  timeout or poll error. */
+bool
+waitFor(int fd, short events, std::uint64_t timeout_ms)
+{
+    pollfd pfd{fd, events, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    return ready > 0;
+}
+
+} // namespace
+
+Client::Client(ClientConfig config) : cfg(std::move(config)) {}
+
+bool
+Client::connect()
+{
+    for (std::uint32_t attempt = 0; attempt < cfg.connectAttempts;
+         ++attempt) {
+        if (attempt > 0) {
+            ++counters.connectRetries;
+            const std::uint32_t exponent =
+                attempt - 1 < cfg.retryMaxExponent
+                    ? attempt - 1
+                    : cfg.retryMaxExponent;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                cfg.retryBaseMs << exponent));
+        }
+        fd = connectTcp(cfg.host, cfg.port);
+        if (fd.valid())
+            return true;
+    }
+    return false;
+}
+
+bool
+Client::sendFrame(const std::uint8_t *data, std::size_t size)
+{
+    if (!fd.valid())
+        return false;
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t wrote =
+            ::write(fd.get(), data + off, size - off);
+        if (wrote > 0) {
+            off += static_cast<std::size_t>(wrote);
+            counters.bytesOut += static_cast<std::uint64_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!waitFor(fd.get(), POLLOUT, cfg.responseTimeoutMs)) {
+                close();
+                return false;
+            }
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        close();
+        return false;
+    }
+    ++counters.framesSent;
+    return true;
+}
+
+bool
+Client::sendEvents(std::uint64_t session, std::uint64_t sequence,
+                   const PathEvent *events, std::size_t count)
+{
+    encodeScratch.clear();
+    wire::appendEventFrame(encodeScratch, session, sequence, events,
+                           count);
+    return sendFrame(encodeScratch.data(), encodeScratch.size());
+}
+
+int
+Client::decodeReplies(std::vector<PredictionReply> &replies)
+{
+    int appended = 0;
+    std::size_t off = 0;
+    wire::DecodedFrame frame;
+    while (off < in.size()) {
+        const wire::DecodeStatus status =
+            wire::decodeFrame(in.data(), in.size(), off, frame);
+        if (status == wire::DecodeStatus::Ok) {
+            if (frame.header.kind == wire::FrameKind::Predictions) {
+                replies.push_back({frame.header.session,
+                                   frame.header.sequence,
+                                   std::move(frame.predictions)});
+                frame.predictions.clear();
+                ++counters.responsesReceived;
+                ++appended;
+            }
+            // Non-prediction frames from a server would be a
+            // protocol surprise; skip them quietly.
+            continue;
+        }
+        if (status == wire::DecodeStatus::Truncated)
+            break; // reply still arriving
+        // Corrupt reply: resync at the next trustworthy boundary,
+        // exactly as the server treats requests.
+        bool complete = false;
+        const std::size_t next = wire::findFrameBoundary(
+            in.data(), in.size(), off + 1, &complete);
+        ++counters.resyncs;
+        counters.resyncBytesSkipped += next - off;
+        off = next;
+        if (!complete)
+            break;
+    }
+    if (off > 0)
+        in.erase(in.begin(),
+                 in.begin() + static_cast<std::ptrdiff_t>(off));
+    return appended;
+}
+
+int
+Client::poll(std::vector<PredictionReply> &replies,
+             std::uint64_t timeout_ms)
+{
+    if (!fd.valid())
+        return -1;
+
+    // Serve from already-buffered bytes before touching the socket.
+    int appended = decodeReplies(replies);
+    if (appended > 0)
+        return appended;
+
+    if (!waitFor(fd.get(), POLLIN, timeout_ms))
+        return 0;
+
+    std::uint8_t chunk[64 * 1024];
+    while (true) {
+        const ssize_t got = ::read(fd.get(), chunk, sizeof(chunk));
+        if (got > 0) {
+            in.insert(in.end(), chunk,
+                      chunk + static_cast<std::size_t>(got));
+            counters.bytesIn += static_cast<std::uint64_t>(got);
+            if (static_cast<std::size_t>(got) < sizeof(chunk))
+                break;
+            continue;
+        }
+        if (got == 0) {
+            close(); // server went away; decode what we have
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        close();
+        return -1;
+    }
+    appended = decodeReplies(replies);
+    if (appended == 0 && !fd.valid())
+        return -1;
+    return appended;
+}
+
+bool
+Client::awaitResponses(std::size_t count,
+                       std::vector<PredictionReply> &replies)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() +
+        std::chrono::milliseconds(cfg.responseTimeoutMs);
+    std::size_t received = 0;
+    while (received < count) {
+        const auto now = Clock::now();
+        if (now >= deadline)
+            return false;
+        const auto leftMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count();
+        const int got = poll(
+            replies, static_cast<std::uint64_t>(leftMs));
+        if (got < 0)
+            return false;
+        received += static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool
+Client::call(std::uint64_t session, std::uint64_t sequence,
+             const PathEvent *events, std::size_t count,
+             PredictionReply &reply)
+{
+    if (!sendEvents(session, sequence, events, count))
+        return false;
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() +
+        std::chrono::milliseconds(cfg.responseTimeoutMs);
+    std::vector<PredictionReply> batch;
+    while (Clock::now() < deadline) {
+        const auto leftMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        batch.clear();
+        const int got = poll(
+            batch,
+            static_cast<std::uint64_t>(leftMs > 0 ? leftMs : 0));
+        if (got < 0)
+            return false;
+        for (auto &candidate : batch) {
+            if (candidate.session == session &&
+                candidate.sequence == sequence) {
+                reply = std::move(candidate);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace hotpath::net

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Client library for the TCP serving layer.
+ *
+ * Two usage styles over one connection: synchronous call() (send one
+ * event frame, wait for its prediction reply) and pipelined
+ * sendEvents() + poll()/awaitResponses() (keep many frames in flight
+ * and collect replies as they arrive - the loadgen's open-loop mode).
+ *
+ * Responses are CRC-verified by wire::decodeFrame; a corrupt region
+ * in the reply stream is skipped with wire::findFrameBoundary, the
+ * same resync discipline the server applies to requests, so one
+ * damaged reply never desynchronizes the connection.
+ *
+ * connect() retries with exponential backoff (base * 2^attempt,
+ * capped), which lets a client race a server that is still binding -
+ * the pattern the loopback tests and the --connect demo rely on.
+ */
+
+#ifndef HOTPATH_NET_CLIENT_HH
+#define HOTPATH_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/wire_format.hh"
+#include "net/socket.hh"
+
+namespace hotpath::net
+{
+
+/** Client connection parameters. */
+struct ClientConfig
+{
+    /** Server IPv4 address (dotted quad). */
+    std::string host = "127.0.0.1";
+
+    /** Server TCP port. */
+    std::uint16_t port = 0;
+
+    /** Connection attempts before connect() gives up. */
+    std::uint32_t connectAttempts = 5;
+
+    /** Backoff after the first failed attempt, in milliseconds;
+     *  doubles per retry (base * 2^attempt). */
+    std::uint64_t retryBaseMs = 10;
+
+    /** Cap on the backoff exponent, bounding the longest sleep at
+     *  retryBaseMs * 2^retryMaxExponent. */
+    std::uint32_t retryMaxExponent = 6;
+
+    /** Longest a blocking wait (call(), awaitResponses()) spends
+     *  waiting for replies, in milliseconds. */
+    std::uint64_t responseTimeoutMs = 5000;
+};
+
+/** One prediction reply, matched to its request by
+ *  (session, sequence). */
+struct PredictionReply
+{
+    /** Session the predictions belong to. */
+    std::uint64_t session = 0;
+
+    /** Sequence of the event frame that produced them. */
+    std::uint64_t sequence = 0;
+
+    /** The predictions (may be empty: the frame was processed but
+     *  predicted nothing, or was dropped under overload). */
+    std::vector<wire::PredictionRecord> predictions;
+};
+
+/** Client-side connection counters. */
+struct ClientStats
+{
+    /** Bytes written to the socket. */
+    std::uint64_t bytesOut = 0;
+    /** Bytes read from the socket. */
+    std::uint64_t bytesIn = 0;
+    /** Event frames sent. */
+    std::uint64_t framesSent = 0;
+    /** Prediction replies received (CRC-verified). */
+    std::uint64_t responsesReceived = 0;
+    /** Corrupt reply regions resynced past. */
+    std::uint64_t resyncs = 0;
+    /** Bytes skipped while resyncing. */
+    std::uint64_t resyncBytesSkipped = 0;
+    /** Failed connection attempts that were retried. */
+    std::uint64_t connectRetries = 0;
+};
+
+/** One client connection; see the file comment. Not thread-safe:
+ *  one Client per thread. */
+class Client
+{
+  public:
+    /** Configure a client; no connection is made until connect(). */
+    explicit Client(ClientConfig config);
+
+    /** Closes the connection. */
+    ~Client() = default;
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect with exponential-backoff retries; returns false when
+     *  every attempt failed. */
+    bool connect();
+
+    /** True while the connection is usable. */
+    bool connected() const { return fd.valid(); }
+
+    /** Close the connection (idempotent). */
+    void close() { fd.reset(); }
+
+    /**
+     * Encode and send one path-event frame (pipelined: does not wait
+     * for the reply). Blocks only on socket backpressure. Returns
+     * false when the connection broke.
+     */
+    bool sendEvents(std::uint64_t session, std::uint64_t sequence,
+                    const PathEvent *events,
+                    std::size_t count);
+
+    /** Send pre-encoded frame bytes (loadgen's fast path). */
+    bool sendFrame(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * Read whatever replies have arrived, waiting at most
+     * `timeout_ms` for the first byte, and append them to `replies`.
+     * Returns the number appended; 0 on timeout, -1 when the
+     * connection broke.
+     */
+    int poll(std::vector<PredictionReply> &replies,
+             std::uint64_t timeout_ms);
+
+    /**
+     * Wait until `count` more replies have been appended to
+     * `replies` (bounded by ClientConfig::responseTimeoutMs
+     * overall). Returns false on timeout or a broken connection.
+     */
+    bool awaitResponses(std::size_t count,
+                        std::vector<PredictionReply> &replies);
+
+    /**
+     * Synchronous round trip: send one event frame and wait for the
+     * reply matching (session, sequence). Earlier pipelined replies
+     * that arrive meanwhile are discarded. Returns false on timeout
+     * or a broken connection.
+     */
+    bool call(std::uint64_t session, std::uint64_t sequence,
+              const PathEvent *events, std::size_t count,
+              PredictionReply &reply);
+
+    /** Connection counters so far. */
+    const ClientStats &stats() const { return counters; }
+
+  private:
+    /** Decode every complete reply frame in `in`; resync past
+     *  corrupt regions. Appends to `replies`, returns the number
+     *  appended. */
+    int decodeReplies(std::vector<PredictionReply> &replies);
+
+    ClientConfig cfg;
+    Fd fd;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> encodeScratch;
+    ClientStats counters;
+};
+
+} // namespace hotpath::net
+
+#endif // HOTPATH_NET_CLIENT_HH

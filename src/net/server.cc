@@ -1,0 +1,804 @@
+/**
+ * @file
+ * net::Server implementation; see server.hh for the design.
+ */
+
+#include "net/server.hh"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "engine/wire_format.hh"
+#include "support/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace hotpath::net
+{
+
+namespace
+{
+
+/** epoll data value reserved for the wakeup eventfd. */
+constexpr std::uint64_t kWakeupId = 0;
+
+/** Bits of the routing tag that carry the connection id; the top 16
+ *  carry the reactor index. Tag 0 never names a connection (ids start
+ *  at 1), so frames submitted by non-network producers are simply not
+ *  answered over a socket. */
+constexpr std::uint64_t kConnTagMask = (std::uint64_t{1} << 48) - 1;
+
+std::uint64_t
+makeTag(std::size_t reactor_index, std::uint64_t conn_id)
+{
+    return (static_cast<std::uint64_t>(reactor_index) << 48) |
+           (conn_id & kConnTagMask);
+}
+
+volatile std::sig_atomic_t gDrainRequested = 0;
+
+void
+onDrainSignal(int)
+{
+    gDrainRequested = 1;
+}
+
+} // namespace
+
+void
+Server::installSignalHandlers()
+{
+    std::signal(SIGTERM, onDrainSignal);
+    std::signal(SIGINT, onDrainSignal);
+}
+
+bool
+Server::signalDrainRequested()
+{
+    return gDrainRequested != 0;
+}
+
+Server::Server(engine::Engine &engine, ServerConfig config)
+    : eng(engine), cfg(std::move(config))
+{
+    if (cfg.reactorThreads == 0)
+        cfg.reactorThreads = 1;
+    if (cfg.tickMs == 0)
+        cfg.tickMs = 1;
+    if (cfg.faults.enabled())
+        injector = std::make_unique<fault::FaultInjector>(cfg.faults);
+
+    tmAccepted = telemetry::counter("net.connections.accepted");
+    tmClosed = telemetry::counter("net.connections.closed");
+    tmIdleClosed = telemetry::counter("net.connections.idle.closed");
+    tmShed = telemetry::counter("net.connections.shed");
+    tmResets = telemetry::counter("net.connections.reset");
+    tmAcceptFailures = telemetry::counter("net.accept.failures");
+    tmBytesIn = telemetry::counter("net.bytes.in");
+    tmBytesOut = telemetry::counter("net.bytes.out");
+    tmFramesIn = telemetry::counter("net.frames.in");
+    tmResponsesOut = telemetry::counter("net.responses.out");
+    tmResponsesDropped = telemetry::counter("net.responses.dropped");
+    tmResynced = telemetry::counter("net.frames.resynced");
+    tmResyncBytes = telemetry::counter("net.resync.bytes.skipped");
+    tmReadPauses = telemetry::counter("net.read.pauses");
+    tmActive = telemetry::gauge("net.connections.active");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    HOTPATH_ASSERT(!started.load(), "server already started");
+    HOTPATH_ASSERT(!eng.serial() || cfg.reactorThreads == 1,
+                   "a serial-mode engine requires exactly one "
+                   "reactor thread");
+
+    listener = listenTcp(cfg.bindAddress, cfg.port, &boundPort);
+    if (!listener.valid()) {
+        warn(detail::concat("net: bind ", cfg.bindAddress, ":",
+                            cfg.port, " failed: ",
+                            std::strerror(errno)));
+        return false;
+    }
+
+    reactors.clear();
+    for (std::size_t i = 0; i < cfg.reactorThreads; ++i) {
+        auto reactor = std::make_unique<Reactor>();
+        reactor->index = i;
+        reactor->epoll = Fd(::epoll_create1(0));
+        reactor->wakeup = Fd(::eventfd(0, EFD_NONBLOCK));
+        if (!reactor->epoll.valid() || !reactor->wakeup.valid()) {
+            warn("net: epoll/eventfd creation failed");
+            reactors.clear();
+            listener.reset();
+            return false;
+        }
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = kWakeupId;
+        ::epoll_ctl(reactor->epoll.get(), EPOLL_CTL_ADD,
+                    reactor->wakeup.get(), &ev);
+        if (cfg.shedConnections) {
+            reactor->shedPolicy = std::make_unique<DegradationPolicy>(
+                cfg.degradation);
+        }
+        reactors.push_back(std::move(reactor));
+    }
+
+    // Route every completed frame back to the connection that sent
+    // it. The callback runs on an engine worker; it only encodes the
+    // reply and posts it to the owning reactor's inbox.
+    eng.setFrameCallback([this](const engine::FrameOutcome &o) {
+        const std::uint64_t conn = o.tag & kConnTagMask;
+        const std::size_t reactor = static_cast<std::size_t>(
+            o.tag >> 48);
+        if (conn == 0 || reactor >= reactors.size())
+            return;
+        std::vector<std::uint8_t> reply;
+        wire::appendPredictionFrame(reply, o.session, o.sequence,
+                                    o.predictions,
+                                    o.predictionCount);
+        postReply(reactor, conn, std::move(reply));
+    });
+
+    stopping.store(false);
+    draining.store(false);
+    started.store(true);
+    for (auto &reactor : reactors) {
+        Reactor *r = reactor.get();
+        r->thread = std::thread([this, r] { reactorLoop(r->index); });
+    }
+    acceptor = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::acceptPending()
+{
+    while (true) {
+        Fd conn(::accept4(listener.get(), nullptr, nullptr,
+                          SOCK_NONBLOCK));
+        if (!conn.valid()) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            nAcceptFailures.fetch_add(1, std::memory_order_relaxed);
+            if (tmAcceptFailures)
+                tmAcceptFailures->add(1);
+            return;
+        }
+        if (injector && injector->armed(fault::Site::AcceptFail) &&
+            injector->shouldInject(fault::Site::AcceptFail)) {
+            nAcceptFailures.fetch_add(1, std::memory_order_relaxed);
+            if (tmAcceptFailures)
+                tmAcceptFailures->add(1);
+            continue; // Fd closes the socket: connection refused.
+        }
+        setNoDelay(conn.get());
+
+        const std::uint64_t id =
+            nextConnId.fetch_add(1, std::memory_order_relaxed);
+        Reactor &reactor = *reactors[id % reactors.size()];
+        {
+            std::lock_guard<std::mutex> lock(reactor.inboxMu);
+            reactor.pendingConns.push_back(std::move(conn));
+            reactor.pendingConnIds.push_back(id);
+            reactor.flushed.store(false, std::memory_order_relaxed);
+        }
+        nAccepted.fetch_add(1, std::memory_order_relaxed);
+        if (tmAccepted)
+            tmAccepted->add(1);
+        wakeReactor(reactor);
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping.load() && !draining.load()) {
+        pollfd pfd{listener.get(), POLLIN, 0};
+        const int ready = ::poll(&pfd, 1,
+                                 static_cast<int>(cfg.tickMs));
+        if (ready > 0)
+            acceptPending();
+    }
+    // On drain, sweep the backlog one last time: a client that
+    // finished its TCP handshake before drain() began is owed
+    // service even if this thread had not accepted it yet.
+    if (draining.load() && !stopping.load())
+        acceptPending();
+}
+
+void
+Server::wakeReactor(Reactor &reactor)
+{
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t written =
+        ::write(reactor.wakeup.get(), &one, sizeof(one));
+}
+
+void
+Server::postReply(std::size_t reactor_index, std::uint64_t conn_id,
+                  std::vector<std::uint8_t> bytes)
+{
+    Reactor &reactor = *reactors[reactor_index];
+    {
+        std::lock_guard<std::mutex> lock(reactor.inboxMu);
+        reactor.pendingReplies.push_back(
+            {conn_id, std::move(bytes)});
+        reactor.flushed.store(false, std::memory_order_relaxed);
+    }
+    wakeReactor(reactor);
+}
+
+void
+Server::reactorLoop(std::size_t index)
+{
+    Reactor &reactor = *reactors[index];
+    std::array<epoll_event, 64> events;
+    auto lastTick = std::chrono::steady_clock::now();
+    const auto tickLen = std::chrono::milliseconds(cfg.tickMs);
+
+    while (!stopping.load()) {
+        const int n = ::epoll_wait(reactor.epoll.get(),
+                                   events.data(),
+                                   static_cast<int>(events.size()),
+                                   static_cast<int>(cfg.tickMs));
+        if (stopping.load())
+            break;
+        drainInbox(reactor);
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t id = events[i].data.u64;
+            if (id == kWakeupId) {
+                std::uint64_t drainCounter = 0;
+                while (::read(reactor.wakeup.get(), &drainCounter,
+                              sizeof(drainCounter)) > 0) {
+                }
+                continue;
+            }
+            const auto it = reactor.conns.find(id);
+            if (it == reactor.conns.end())
+                continue; // closed earlier this sweep
+            Connection &conn = it->second;
+            if (events[i].events & EPOLLOUT) {
+                conn.writable = true;
+                flushOutput(reactor, conn);
+            }
+            if (events[i].events &
+                (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+                handleReadable(reactor, conn);
+            }
+        }
+        drainInbox(reactor);
+
+        const auto now = std::chrono::steady_clock::now();
+        if (now - lastTick >= tickLen) {
+            lastTick = now;
+            maintenance(reactor, index);
+        }
+    }
+}
+
+void
+Server::drainInbox(Reactor &reactor)
+{
+    std::vector<Fd> conns;
+    std::vector<std::uint64_t> ids;
+    std::deque<Reactor::Reply> replies;
+    {
+        std::lock_guard<std::mutex> lock(reactor.inboxMu);
+        conns.swap(reactor.pendingConns);
+        ids.swap(reactor.pendingConnIds);
+        replies.swap(reactor.pendingReplies);
+    }
+
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+        Connection conn;
+        conn.id = ids[i];
+        conn.fd = std::move(conns[i]);
+        conn.lastActivityTick = reactor.tick;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+        ev.data.u64 = conn.id;
+        if (::epoll_ctl(reactor.epoll.get(), EPOLL_CTL_ADD,
+                        conn.fd.get(), &ev) != 0) {
+            nClosed.fetch_add(1, std::memory_order_relaxed);
+            if (tmClosed)
+                tmClosed->add(1);
+            continue;
+        }
+        const std::uint64_t id = conn.id;
+        reactor.conns.emplace(id, std::move(conn));
+        nActive.fetch_add(1, std::memory_order_relaxed);
+        if (tmActive)
+            tmActive->add(1);
+    }
+
+    for (auto &reply : replies) {
+        const auto it = reactor.conns.find(reply.conn);
+        if (it == reactor.conns.end()) {
+            // The connection died before its reply; account for the
+            // orphaned response so conservation still balances.
+            nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
+            if (tmResponsesDropped)
+                tmResponsesDropped->add(1);
+            continue;
+        }
+        Connection &conn = it->second;
+        if (conn.inFlight > 0)
+            --conn.inFlight;
+        const std::size_t backlog = conn.out.size() - conn.outOff;
+        if (backlog + reply.bytes.size() > cfg.maxOutBufferBytes) {
+            nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
+            if (tmResponsesDropped)
+                tmResponsesDropped->add(1);
+            continue;
+        }
+        conn.out.insert(conn.out.end(), reply.bytes.begin(),
+                        reply.bytes.end());
+        nResponsesOut.fetch_add(1, std::memory_order_relaxed);
+        if (tmResponsesOut)
+            tmResponsesOut->add(1);
+        flushOutput(reactor, conn);
+        if (connDone(conn))
+            closeConnection(reactor, conn.id);
+    }
+}
+
+bool
+Server::connDone(const Connection &conn) const
+{
+    // Leftover reassembly bytes are deliberately not considered:
+    // once the peer half-closed, an incomplete tail frame can never
+    // complete, and processInput has already consumed every frame
+    // that did.
+    return conn.readClosed && !conn.paused && conn.inFlight == 0 &&
+           conn.outOff == conn.out.size();
+}
+
+void
+Server::handleReadable(Reactor &reactor, Connection &conn)
+{
+    if (injector && injector->armed(fault::Site::ConnReset) &&
+        injector->shouldInject(fault::Site::ConnReset)) {
+        nResets.fetch_add(1, std::memory_order_relaxed);
+        if (tmResets)
+            tmResets->add(1);
+        closeConnection(reactor, conn.id);
+        return;
+    }
+
+    while (!conn.paused && !conn.readClosed) {
+        const std::size_t old = conn.in.size();
+        conn.in.resize(old + cfg.readChunkBytes);
+        const ssize_t got =
+            ::read(conn.fd.get(), conn.in.data() + old,
+                   cfg.readChunkBytes);
+        if (got > 0) {
+            conn.in.resize(old + static_cast<std::size_t>(got));
+            nBytesIn.fetch_add(static_cast<std::uint64_t>(got),
+                               std::memory_order_relaxed);
+            if (tmBytesIn)
+                tmBytesIn->add(static_cast<std::uint64_t>(got));
+            conn.lastActivityTick = reactor.tick;
+            reactor.sawReads = true;
+            if (!processInput(reactor, conn)) {
+                closeConnection(reactor, conn.id);
+                return;
+            }
+            // Keep reading to EAGAIN (or 0): with edge-triggered
+            // epoll, a FIN already queued behind these bytes will
+            // never raise another edge, so stopping at a short read
+            // would miss the peer's half-close.
+            continue;
+        }
+        conn.in.resize(old);
+        if (got == 0) {
+            conn.readClosed = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        // ECONNRESET and friends: the peer is gone.
+        closeConnection(reactor, conn.id);
+        return;
+    }
+    if (connDone(conn))
+        closeConnection(reactor, conn.id);
+}
+
+bool
+Server::processInput(Reactor &reactor, Connection &conn)
+{
+    const std::uint8_t *data = conn.in.data();
+    const std::size_t size = conn.in.size();
+    std::size_t off = 0;
+
+    while (!conn.paused && off < size) {
+        wire::FrameHeader header;
+        std::size_t frameEnd = 0;
+        const wire::DecodeStatus status =
+            wire::peekFrameHeader(data, size, off, header, frameEnd);
+        if (status == wire::DecodeStatus::Ok) {
+            std::vector<std::uint8_t> frame(data + off,
+                                            data + frameEnd);
+            off = frameEnd;
+            const engine::SubmitStatus submitted = eng.trySubmit(
+                frame, makeTag(reactor.index, conn.id));
+            if (submitted == engine::SubmitStatus::Backpressure) {
+                // Park the frame and stop reading this socket: the
+                // kernel buffer fills and TCP pushes back.
+                conn.parked = std::move(frame);
+                conn.paused = true;
+                nReadPauses.fetch_add(1, std::memory_order_relaxed);
+                if (tmReadPauses)
+                    tmReadPauses->add(1);
+                break;
+            }
+            if (submitted == engine::SubmitStatus::Accepted) {
+                ++conn.inFlight;
+                nFramesIn.fetch_add(1, std::memory_order_relaxed);
+                if (tmFramesIn)
+                    tmFramesIn->add(1);
+            }
+            // Rejected frames were counted by the engine (rejected
+            // at the door); no reply will come, nothing in flight.
+            continue;
+        }
+        if (status == wire::DecodeStatus::Truncated)
+            break; // tail frame still arriving
+        // Corrupt region: resync at the next trustworthy boundary.
+        bool complete = false;
+        const std::size_t next =
+            wire::findFrameBoundary(data, size, off + 1, &complete);
+        nResynced.fetch_add(1, std::memory_order_relaxed);
+        if (tmResynced)
+            tmResynced->add(1);
+        nResyncBytes.fetch_add(next - off, std::memory_order_relaxed);
+        if (tmResyncBytes)
+            tmResyncBytes->add(next - off);
+        off = next;
+        if (!complete)
+            break;
+    }
+
+    if (off > 0)
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() +
+                          static_cast<std::ptrdiff_t>(off));
+    // A peer that buffers this much without completing a frame is
+    // speaking a different protocol; cut it loose.
+    return conn.in.size() <= cfg.maxInBufferBytes;
+}
+
+void
+Server::flushOutput(Reactor &reactor, Connection &conn)
+{
+    (void)reactor;
+    while (conn.writable && conn.outOff < conn.out.size()) {
+        std::size_t want = conn.out.size() - conn.outOff;
+        bool split = false;
+        if (want > 1 && injector &&
+            injector->armed(fault::Site::SockPartialWrite)) {
+            std::uint64_t aux = 0;
+            if (injector->shouldInject(fault::Site::SockPartialWrite,
+                                       &aux)) {
+                want = 1 + static_cast<std::size_t>(
+                               aux % (want - 1));
+                split = true;
+            }
+        }
+        const ssize_t wrote =
+            ::write(conn.fd.get(), conn.out.data() + conn.outOff,
+                    want);
+        if (wrote > 0) {
+            conn.outOff += static_cast<std::size_t>(wrote);
+            nBytesOut.fetch_add(static_cast<std::uint64_t>(wrote),
+                                std::memory_order_relaxed);
+            if (tmBytesOut)
+                tmBytesOut->add(static_cast<std::uint64_t>(wrote));
+            if (split)
+                break; // deliver the rest on a later tick
+            continue;
+        }
+        if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            conn.writable = false;
+            break;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        // Write error: the peer reset. Drop every buffer so the
+        // connDone close path can run once in-flight replies drain.
+        conn.out.clear();
+        conn.outOff = 0;
+        conn.in.clear();
+        conn.parked.clear();
+        conn.paused = false;
+        conn.readClosed = true;
+        break;
+    }
+    if (conn.outOff == conn.out.size()) {
+        conn.out.clear();
+        conn.outOff = 0;
+    } else if (conn.outOff > (std::size_t{64} << 10)) {
+        conn.out.erase(conn.out.begin(),
+                       conn.out.begin() +
+                           static_cast<std::ptrdiff_t>(conn.outOff));
+        conn.outOff = 0;
+    }
+}
+
+void
+Server::maintenance(Reactor &reactor, std::size_t index)
+{
+    ++reactor.tick;
+
+    // Resume paused connections first. handleReadable can close a
+    // connection, so this runs over a snapshot of ids, never inside
+    // a live map iteration.
+    std::vector<std::uint64_t> pausedIds;
+    for (const auto &[id, conn] : reactor.conns) {
+        if (conn.paused)
+            pausedIds.push_back(id);
+    }
+    for (const std::uint64_t id : pausedIds) {
+        const auto it = reactor.conns.find(id);
+        if (it == reactor.conns.end())
+            continue;
+        Connection &conn = it->second;
+        const engine::SubmitStatus submitted =
+            eng.trySubmit(conn.parked, makeTag(index, id));
+        if (submitted == engine::SubmitStatus::Backpressure)
+            continue;
+        if (submitted == engine::SubmitStatus::Accepted) {
+            ++conn.inFlight;
+            nFramesIn.fetch_add(1, std::memory_order_relaxed);
+            if (tmFramesIn)
+                tmFramesIn->add(1);
+        }
+        conn.parked.clear();
+        conn.paused = false;
+        // Resume: drain what we already buffered, then the socket
+        // (the edge may not re-fire for bytes that arrived while we
+        // were not reading).
+        if (!processInput(reactor, conn)) {
+            closeConnection(reactor, id);
+            continue;
+        }
+        if (!conn.paused)
+            handleReadable(reactor, conn);
+    }
+
+    bool anyPaused = false;
+    bool anyPartialInput = false;
+    std::vector<std::uint64_t> toClose;
+    std::vector<std::uint64_t> idleClose;
+
+    for (auto &[id, conn] : reactor.conns) {
+        if (conn.paused)
+            anyPaused = true;
+        if (conn.writable && conn.outOff < conn.out.size())
+            flushOutput(reactor, conn); // partial-write retries
+        if (!conn.in.empty())
+            anyPartialInput = true;
+        if (connDone(conn)) {
+            toClose.push_back(id);
+        } else if (cfg.idleTimeoutTicks != 0 && conn.inFlight == 0 &&
+                   reactor.tick - conn.lastActivityTick >
+                       cfg.idleTimeoutTicks) {
+            idleClose.push_back(id);
+        }
+    }
+    for (const std::uint64_t id : toClose)
+        closeConnection(reactor, id);
+    const bool sweptIdle = !idleClose.empty();
+    for (const std::uint64_t id : idleClose) {
+        if (reactor.conns.find(id) == reactor.conns.end())
+            continue;
+        nIdleClosed.fetch_add(1, std::memory_order_relaxed);
+        if (tmIdleClosed)
+            tmIdleClosed->add(1);
+        closeConnection(reactor, id);
+    }
+    // When the idle sweep retires connections, retire the engine
+    // sessions that went idle with them (reactor 0 only, so the
+    // sweep runs once per tick, not once per reactor).
+    if (sweptIdle && index == 0 && cfg.sessionIdleAge != 0)
+        eng.evictIdleSessions(cfg.sessionIdleAge);
+
+    // Overload shedding: sustained pauses are the pressure signal;
+    // degraded mode sheds whole paused connections oldest-first
+    // rather than letting every client stall.
+    if (reactor.shedPolicy != nullptr) {
+        const DegradationMode mode =
+            reactor.shedPolicy->onEvent(anyPaused);
+        if (mode == DegradationMode::Degraded && anyPaused) {
+            std::uint64_t victim = 0;
+            for (const auto &[id, conn] : reactor.conns) {
+                if (conn.paused && (victim == 0 || id < victim))
+                    victim = id;
+            }
+            if (victim != 0) {
+                nShed.fetch_add(1, std::memory_order_relaxed);
+                if (tmShed)
+                    tmShed->add(1);
+                closeConnection(reactor, victim);
+            }
+        }
+    }
+
+    const bool quiet = !reactor.sawReads && !anyPaused &&
+                       !anyPartialInput;
+    reactor.sawReads = false;
+    if (quiet) {
+        reactor.quietTicks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        reactor.quietTicks.store(0, std::memory_order_relaxed);
+    }
+
+    bool flushed = true;
+    for (const auto &[id, conn] : reactor.conns) {
+        if (conn.outOff != conn.out.size()) {
+            flushed = false;
+            break;
+        }
+    }
+    if (flushed) {
+        std::lock_guard<std::mutex> lock(reactor.inboxMu);
+        flushed = reactor.pendingReplies.empty();
+        reactor.flushed.store(flushed, std::memory_order_relaxed);
+    } else {
+        reactor.flushed.store(false, std::memory_order_relaxed);
+    }
+}
+
+void
+Server::closeConnection(Reactor &reactor, std::uint64_t conn_id)
+{
+    const auto it = reactor.conns.find(conn_id);
+    if (it == reactor.conns.end())
+        return;
+    // Replies still owed to this connection will find it gone and be
+    // counted as dropped when they arrive (drainInbox).
+    reactor.conns.erase(it); // Fd close drops the epoll entry
+    nClosed.fetch_add(1, std::memory_order_relaxed);
+    if (tmClosed)
+        tmClosed->add(1);
+    nActive.fetch_sub(1, std::memory_order_relaxed);
+    if (tmActive)
+        tmActive->add(-1);
+}
+
+void
+Server::drain()
+{
+    if (!started.load() || draining.load())
+        return;
+    draining.store(true);
+    if (acceptor.joinable())
+        acceptor.join();
+    listener.reset(); // new connections are refused from here on
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(cfg.drainTimeoutMs);
+    const auto tickLen = std::chrono::milliseconds(cfg.tickMs);
+
+    // Phase 1: wait for the read side to go quiet - no reads, no
+    // parked frames, no partial input - for three consecutive ticks
+    // on every reactor. Quiet is re-earned from zero so bytes
+    // already in flight on the loopback get read before the engine
+    // drains.
+    for (auto &reactor : reactors)
+        reactor->quietTicks.store(0, std::memory_order_relaxed);
+    while (Clock::now() < deadline) {
+        bool quiet = true;
+        for (const auto &reactor : reactors) {
+            if (reactor->quietTicks.load(std::memory_order_relaxed) <
+                3) {
+                quiet = false;
+                break;
+            }
+        }
+        if (quiet)
+            break;
+        std::this_thread::sleep_for(tickLen);
+    }
+
+    // Phase 2: every accepted frame is in the engine; wait for the
+    // workers to finish so every reply has been posted back.
+    eng.drain();
+
+    // Phase 3: flush the replies to the sockets (bounded).
+    while (Clock::now() < deadline) {
+        bool flushed = true;
+        for (const auto &reactor : reactors) {
+            if (!reactor->flushed.load(std::memory_order_relaxed)) {
+                flushed = false;
+                break;
+            }
+        }
+        if (flushed)
+            break;
+        for (auto &reactor : reactors)
+            wakeReactor(*reactor);
+        std::this_thread::sleep_for(tickLen);
+    }
+}
+
+void
+Server::stop()
+{
+    if (!started.load())
+        return;
+    drain();
+    stopping.store(true);
+    for (auto &reactor : reactors)
+        wakeReactor(*reactor);
+    if (acceptor.joinable())
+        acceptor.join();
+    for (auto &reactor : reactors) {
+        if (reactor->thread.joinable())
+            reactor->thread.join();
+    }
+    eng.setFrameCallback(nullptr);
+    std::uint64_t open = 0;
+    for (auto &reactor : reactors) {
+        open += reactor->conns.size();
+        reactor->conns.clear();
+    }
+    if (open > 0) {
+        nClosed.fetch_add(open, std::memory_order_relaxed);
+        if (tmClosed)
+            tmClosed->add(open);
+        nActive.fetch_sub(open, std::memory_order_relaxed);
+        if (tmActive)
+            tmActive->add(-static_cast<std::int64_t>(open));
+    }
+    started.store(false);
+}
+
+NetStats
+Server::stats() const
+{
+    NetStats stats;
+    stats.accepted = nAccepted.load(std::memory_order_relaxed);
+    stats.closed = nClosed.load(std::memory_order_relaxed);
+    stats.idleClosed = nIdleClosed.load(std::memory_order_relaxed);
+    stats.shed = nShed.load(std::memory_order_relaxed);
+    stats.resets = nResets.load(std::memory_order_relaxed);
+    stats.acceptFailures =
+        nAcceptFailures.load(std::memory_order_relaxed);
+    stats.bytesIn = nBytesIn.load(std::memory_order_relaxed);
+    stats.bytesOut = nBytesOut.load(std::memory_order_relaxed);
+    stats.framesIn = nFramesIn.load(std::memory_order_relaxed);
+    stats.responsesOut =
+        nResponsesOut.load(std::memory_order_relaxed);
+    stats.responsesDropped =
+        nResponsesDropped.load(std::memory_order_relaxed);
+    stats.framesResynced = nResynced.load(std::memory_order_relaxed);
+    stats.resyncBytesSkipped =
+        nResyncBytes.load(std::memory_order_relaxed);
+    stats.readPauses = nReadPauses.load(std::memory_order_relaxed);
+    stats.activeConnections = static_cast<std::size_t>(
+        nActive.load(std::memory_order_relaxed));
+    return stats;
+}
+
+} // namespace hotpath::net

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * The non-blocking TCP server that exposes engine::Engine over the
+ * hotpath_wire frame format.
+ *
+ * Threading model: one acceptor thread plus N reactor threads. Each
+ * accepted connection is assigned to one reactor for its whole life,
+ * and a reactor's connections are touched only by its own thread, so
+ * connection state needs no locks. Reactors run edge-triggered epoll
+ * with an eventfd wakeup for cross-thread handoff (new connections
+ * from the acceptor, prediction replies from engine workers).
+ *
+ * Ingest path: bytes are read into a per-connection reassembly
+ * buffer; complete frames are handed to Engine::trySubmit with the
+ * connection id as the routing tag. A region that fails the header
+ * parse is resynced at the next CRC-valid frame boundary
+ * (wire::findFrameBoundary), so line noise costs exactly the bytes
+ * it damaged.
+ *
+ * Backpressure chain: when a frame's shard queue is saturated,
+ * trySubmit returns Backpressure and the reactor *stops reading that
+ * socket* (the frame is parked, the kernel receive buffer fills, TCP
+ * flow control pushes back to the client). Parked connections are
+ * retried every maintenance tick. When connection shedding is
+ * enabled, sustained pauses feed a DegradationPolicy (the Dynamo
+ * flush-on-spike heuristic) and degraded mode sheds whole paused
+ * connections oldest-first instead of stalling the reactor.
+ *
+ * Response path: the engine's completion callback encodes each
+ * decoded frame's predictions as a FrameKind::Predictions frame and
+ * posts it to the owning reactor, which appends it to the
+ * connection's write buffer and flushes opportunistically (partial
+ * writes and EPOLLOUT handled).
+ *
+ * Shutdown: drain() stops accepting, waits for the read side to go
+ * quiet, drains the engine and flushes every reply before stop()
+ * tears the threads down - the SIGTERM path for a serving binary
+ * (see installSignalHandlers()).
+ */
+
+#ifndef HOTPATH_NET_SERVER_HH
+#define HOTPATH_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dynamo/flush.hh"
+#include "engine/engine.hh"
+#include "net/socket.hh"
+#include "support/fault_injector.hh"
+
+namespace hotpath
+{
+
+namespace telemetry
+{
+class Counter;
+class Gauge;
+} // namespace telemetry
+
+namespace net
+{
+
+/** Server parameters. */
+struct ServerConfig
+{
+    /** IPv4 address to bind (dotted quad). */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 binds an ephemeral port (read it back with
+     *  Server::port()). */
+    std::uint16_t port = 0;
+
+    /** Reactor (event-loop) threads. With a serial-mode engine this
+     *  must be 1: serial submits process inline on the caller. */
+    std::size_t reactorThreads = 2;
+
+    /** Bytes per read(2) call on a readable socket. */
+    std::size_t readChunkBytes = 64 * 1024;
+
+    /**
+     * Cap on a connection's reassembly buffer. A peer that streams
+     * this much without completing a frame is speaking garbage (or
+     * hostile lengths) and is disconnected.
+     */
+    std::size_t maxInBufferBytes = std::size_t{1} << 20;
+
+    /** Cap on a connection's unsent reply backlog; replies beyond it
+     *  are dropped (counted) rather than buffering without bound. */
+    std::size_t maxOutBufferBytes = std::size_t{1} << 20;
+
+    /** Reactor maintenance tick in milliseconds (paused-connection
+     *  retry, idle sweep, flush retry). */
+    std::uint64_t tickMs = 10;
+
+    /**
+     * Close a connection after this many maintenance ticks without
+     * inbound traffic (0 = never). Connections with replies still
+     * owed are exempt until they are answered.
+     */
+    std::uint64_t idleTimeoutTicks = 0;
+
+    /**
+     * When an idle sweep closes connections, also retire engine
+     * sessions idle for more than this many table activity ticks
+     * (Engine::evictIdleSessions); 0 = leave sessions resident.
+     */
+    std::uint64_t sessionIdleAge = 0;
+
+    /** Enable overload connection shedding: sustained backpressure
+     *  pauses flip a per-reactor DegradationPolicy into degraded
+     *  mode, which sheds paused connections oldest-first. */
+    bool shedConnections = false;
+
+    /** Spike detector tuning for connection shedding. */
+    DegradationPolicyConfig degradation;
+
+    /** Deterministic fault plan for the socket-level sites
+     *  (SockPartialWrite, ConnReset, AcceptFail). */
+    fault::FaultPlan faults;
+
+    /** Longest drain() will wait for reply flushing, in
+     *  milliseconds. */
+    std::uint64_t drainTimeoutMs = 5000;
+};
+
+/** Aggregate serving counters (mirrored in net.* telemetry). */
+struct NetStats
+{
+    /** Connections accepted. */
+    std::uint64_t accepted = 0;
+    /** Connections closed for any reason. */
+    std::uint64_t closed = 0;
+    /** Connections closed by the idle sweep. */
+    std::uint64_t idleClosed = 0;
+    /** Connections shed by overload degradation. */
+    std::uint64_t shed = 0;
+    /** Connections dropped by an injected reset. */
+    std::uint64_t resets = 0;
+    /** Accepts refused (injected or real accept failure). */
+    std::uint64_t acceptFailures = 0;
+    /** Bytes read off sockets. */
+    std::uint64_t bytesIn = 0;
+    /** Bytes written to sockets. */
+    std::uint64_t bytesOut = 0;
+    /** Complete frames handed to the engine. */
+    std::uint64_t framesIn = 0;
+    /** Prediction replies written. */
+    std::uint64_t responsesOut = 0;
+    /** Replies dropped (overflow or the connection died first). */
+    std::uint64_t responsesDropped = 0;
+    /** Corrupt regions resynced past in the ingest stream. */
+    std::uint64_t framesResynced = 0;
+    /** Bytes skipped while resyncing. */
+    std::uint64_t resyncBytesSkipped = 0;
+    /** Times a connection was paused for shard-queue backpressure. */
+    std::uint64_t readPauses = 0;
+    /** Connections currently open. */
+    std::size_t activeConnections = 0;
+};
+
+/** The epoll serving front end; see the file comment. */
+class Server
+{
+  public:
+    /**
+     * Bind the server to `engine`. The engine must outlive the
+     * server, must not be in serial mode unless reactorThreads == 1,
+     * and must not yet carry traffic: start() installs the engine's
+     * completion callback.
+     */
+    Server(engine::Engine &engine, ServerConfig config);
+
+    /** Stops and joins everything still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen and spawn the acceptor and reactor threads.
+     *  Returns false (with a log line) when the bind fails. */
+    bool start();
+
+    /** The bound TCP port (valid after start()). */
+    std::uint16_t port() const { return boundPort; }
+
+    /**
+     * Graceful drain: close the listener, wait for inbound traffic
+     * to go quiet, drain the engine so every accepted frame is
+     * answered, and flush the replies (bounded by
+     * ServerConfig::drainTimeoutMs). Connections stay open - clients
+     * read their last replies - until stop().
+     */
+    void drain();
+
+    /** drain(), then stop and join all threads and close every
+     *  connection (idempotent). */
+    void stop();
+
+    /** Aggregate serving counters. */
+    NetStats stats() const;
+
+    /** The socket-fault injector, or nullptr when none is armed. */
+    const fault::FaultInjector *
+    faultInjector() const
+    {
+        return injector.get();
+    }
+
+    /**
+     * Install SIGTERM/SIGINT handlers that set a process-wide drain
+     * flag (async-signal-safe; the handler only stores a flag). A
+     * serving binary polls signalDrainRequested() and calls drain()
+     * + stop() itself - signal context never touches the server.
+     */
+    static void installSignalHandlers();
+
+    /** True once SIGTERM/SIGINT was received after
+     *  installSignalHandlers(). */
+    static bool signalDrainRequested();
+
+  private:
+    /** One live connection; owned and touched only by its reactor. */
+    struct Connection
+    {
+        Fd fd;
+        std::uint64_t id = 0;
+        /** Frame reassembly buffer (unparsed prefix of the stream). */
+        std::vector<std::uint8_t> in;
+        /** Unsent reply bytes; `outOff` marks the flushed prefix. */
+        std::vector<std::uint8_t> out;
+        std::size_t outOff = 0;
+        /** Frame parked by trySubmit Backpressure. */
+        std::vector<std::uint8_t> parked;
+        bool paused = false;
+        /** Writability per last write attempt (edge-triggered). */
+        bool writable = true;
+        /** Peer half-closed its write side (read returned 0). */
+        bool readClosed = false;
+        /** Frames submitted whose replies have not yet been posted
+         *  back to this reactor. */
+        std::uint64_t inFlight = 0;
+        std::uint64_t lastActivityTick = 0;
+    };
+
+    /** One reactor thread's state. */
+    struct Reactor
+    {
+        Fd epoll;
+        Fd wakeup; // eventfd; epoll data tag kWakeupId
+        std::thread thread;
+        std::size_t index = 0;
+        std::unordered_map<std::uint64_t, Connection> conns;
+        std::unique_ptr<DegradationPolicy> shedPolicy;
+        std::uint64_t tick = 0;
+        /** Reads seen since the last maintenance pass
+         *  (reactor-thread-only; feeds quiet detection). */
+        bool sawReads = false;
+
+        std::mutex inboxMu;
+        std::vector<Fd> pendingConns;
+        std::vector<std::uint64_t> pendingConnIds;
+        struct Reply
+        {
+            std::uint64_t conn = 0;
+            std::vector<std::uint8_t> bytes;
+        };
+        std::deque<Reply> pendingReplies;
+
+        /** Consecutive maintenance ticks with no reads, no parked
+         *  frames and no partial input (read by drain()). */
+        std::atomic<std::uint64_t> quietTicks{0};
+        /** True when the inbox and every write buffer are empty. */
+        std::atomic<bool> flushed{true};
+    };
+
+    void acceptLoop();
+    /** Accept until the backlog is empty (EAGAIN). */
+    void acceptPending();
+    void reactorLoop(std::size_t index);
+    /** True when a half-closed connection has nothing left to do
+     *  (no parked frame, no reply owed, no unflushed bytes). */
+    bool connDone(const Connection &conn) const;
+    void handleReadable(Reactor &reactor, Connection &conn);
+    /** Parse and submit every complete frame in conn.in; returns
+     *  false when the connection must be closed. */
+    bool processInput(Reactor &reactor, Connection &conn);
+    void flushOutput(Reactor &reactor, Connection &conn);
+    void maintenance(Reactor &reactor, std::size_t index);
+    void drainInbox(Reactor &reactor);
+    void closeConnection(Reactor &reactor, std::uint64_t conn_id);
+    void postReply(std::size_t reactor_index, std::uint64_t conn_id,
+                   std::vector<std::uint8_t> bytes);
+    void wakeReactor(Reactor &reactor);
+
+    engine::Engine &eng;
+    ServerConfig cfg;
+    std::unique_ptr<fault::FaultInjector> injector;
+    Fd listener;
+    std::uint16_t boundPort = 0;
+    std::thread acceptor;
+    std::vector<std::unique_ptr<Reactor>> reactors;
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> draining{false};
+    std::atomic<bool> started{false};
+    std::atomic<std::uint64_t> nextConnId{1};
+
+    // Aggregates (relaxed atomics, read by stats()).
+    std::atomic<std::uint64_t> nAccepted{0};
+    std::atomic<std::uint64_t> nClosed{0};
+    std::atomic<std::uint64_t> nIdleClosed{0};
+    std::atomic<std::uint64_t> nShed{0};
+    std::atomic<std::uint64_t> nResets{0};
+    std::atomic<std::uint64_t> nAcceptFailures{0};
+    std::atomic<std::uint64_t> nBytesIn{0};
+    std::atomic<std::uint64_t> nBytesOut{0};
+    std::atomic<std::uint64_t> nFramesIn{0};
+    std::atomic<std::uint64_t> nResponsesOut{0};
+    std::atomic<std::uint64_t> nResponsesDropped{0};
+    std::atomic<std::uint64_t> nResynced{0};
+    std::atomic<std::uint64_t> nResyncBytes{0};
+    std::atomic<std::uint64_t> nReadPauses{0};
+    std::atomic<std::uint64_t> nActive{0};
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmAccepted = nullptr;
+    telemetry::Counter *tmClosed = nullptr;
+    telemetry::Counter *tmIdleClosed = nullptr;
+    telemetry::Counter *tmShed = nullptr;
+    telemetry::Counter *tmResets = nullptr;
+    telemetry::Counter *tmAcceptFailures = nullptr;
+    telemetry::Counter *tmBytesIn = nullptr;
+    telemetry::Counter *tmBytesOut = nullptr;
+    telemetry::Counter *tmFramesIn = nullptr;
+    telemetry::Counter *tmResponsesOut = nullptr;
+    telemetry::Counter *tmResponsesDropped = nullptr;
+    telemetry::Counter *tmResynced = nullptr;
+    telemetry::Counter *tmResyncBytes = nullptr;
+    telemetry::Counter *tmReadPauses = nullptr;
+    telemetry::Gauge *tmActive = nullptr;
+};
+
+} // namespace net
+} // namespace hotpath
+
+#endif // HOTPATH_NET_SERVER_HH

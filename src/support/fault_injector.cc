@@ -21,6 +21,12 @@ siteName(Site site)
         return "stall";
     case Site::AllocFail:
         return "allocfail";
+    case Site::SockPartialWrite:
+        return "partialwrite";
+    case Site::ConnReset:
+        return "connreset";
+    case Site::AcceptFail:
+        return "acceptfail";
     }
     return "unknown";
 }
@@ -46,6 +52,7 @@ namespace
 constexpr std::uint64_t kSiteKey[kSiteCount] = {
     0x9e3779b97f4a7c15ull, 0xbf58476d1ce4e5b9ull, 0x94d049bb133111ebull,
     0xd6e8feb86659fd93ull, 0xa0761d6478bd642full, 0xe7037ed1a0b428dbull,
+    0x8ebc6af09c88c6e3ull, 0x589965cc75374cc3ull, 0x1d8e4e27c47d124full,
 };
 
 // SplitMix64 finalizer: a strong 64-bit bijective mixer.

@@ -57,10 +57,16 @@ enum class Site : std::size_t
     WorkerStall,
     /** Fail a resource allocation (session creation). */
     AllocFail,
+    /** Split a socket write so only a prefix is delivered at once. */
+    SockPartialWrite,
+    /** Reset (abruptly close) an established connection. */
+    ConnReset,
+    /** Fail an accept(2) on the listening socket. */
+    AcceptFail,
 };
 
 /** Number of distinct injection sites. */
-constexpr std::size_t kSiteCount = 6;
+constexpr std::size_t kSiteCount = 9;
 
 /** Stable lower-case site name for tables and metrics. */
 const char *siteName(Site site);

@@ -379,6 +379,70 @@ TEST(SessionTable, EvictsLeastRecentlyActiveWhenFull)
     EXPECT_EQ(stats.live, 3u);
 }
 
+TEST(SessionTable, EvictIdleRetiresOnlyStaleSessions)
+{
+    SessionTableConfig config;
+    config.shardCount = 1;
+    ShardedSessionTable table(config);
+
+    const auto touch = [&](std::uint64_t id) {
+        table.withSession(id, [](Session &) {});
+    };
+    touch(1); // activity tick 1
+    touch(2); // activity tick 2
+    touch(3); // activity tick 3
+    touch(3); // ticks 4..8 keep 3 fresh and age 1 and 2
+    touch(3);
+    touch(3);
+    touch(3);
+    touch(3);
+    EXPECT_EQ(table.activityTicks(), 8u);
+
+    // max_age 5: session 1 (age 7) and 2 (age 6) are stale, 3 is
+    // current.
+    EXPECT_EQ(table.evictIdle(5), 2u);
+    EXPECT_FALSE(table.peekSession(1, [](const Session &) {}));
+    EXPECT_FALSE(table.peekSession(2, [](const Session &) {}));
+    EXPECT_TRUE(table.peekSession(3, [](const Session &) {}));
+
+    // Nothing further is stale; the sweep is idempotent.
+    EXPECT_EQ(table.evictIdle(5), 0u);
+
+    const SessionTableStats stats = table.stats();
+    EXPECT_EQ(stats.idleEvicted, 2u);
+    EXPECT_EQ(stats.evicted, 0u); // idle sweep is not LRU pressure
+    EXPECT_EQ(stats.live, 1u);
+}
+
+TEST(Engine, EvictIdleSessionsSurfacesInStats)
+{
+    EngineConfig config;
+    config.workerThreads = 0; // serial: counts are exact
+    config.sessions.shardCount = 1;
+    Engine eng(config);
+
+    std::vector<PathEvent> events(64);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        events[i].path = static_cast<PathIndex>((i % 8) * 10);
+        events[i].head = static_cast<HeadIndex>(i % 8);
+        events[i].blocks = 4;
+        events[i].branches = 3;
+        events[i].instructions = 30;
+    }
+    ASSERT_TRUE(eng.submitEvents(21, 0, events.data(), events.size()));
+    for (std::uint64_t seq = 0; seq < 8; ++seq) {
+        ASSERT_TRUE(
+            eng.submitEvents(22, seq, events.data(), events.size()));
+    }
+
+    // Session 21 saw one frame then went silent for eight; 22 is
+    // current.
+    EXPECT_EQ(eng.evictIdleSessions(4), 1u);
+    const EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.sessionsIdleEvicted, 1u);
+    EXPECT_EQ(stats.sessionsLive, 1u);
+}
+
 TEST(SessionTable, ShardRoutingIsStableAndInRange)
 {
     SessionTableConfig config;

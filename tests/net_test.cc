@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Serving-layer tests: streaming frame-boundary resync, loopback
+ * byte-identity between TCP and in-process serving, torn-frame
+ * reassembly, corrupt-stream resync on a live connection, injected
+ * partial writes and connection resets, abrupt client death
+ * mid-batch, graceful drain, and client connect backoff.
+ *
+ * Every server here binds an ephemeral loopback port, so tests run
+ * in parallel without port collisions.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hh"
+#include "engine/wire_format.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
+
+using namespace hotpath;
+using namespace hotpath::engine;
+
+namespace
+{
+
+/** Loop-heavy deterministic event frames for one session (the same
+ *  shape the engine determinism tests replay). */
+std::vector<std::vector<std::uint8_t>>
+makeFrames(std::uint64_t session, std::size_t frames,
+           std::size_t events_per_frame)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    for (std::size_t f = 0; f < frames; ++f) {
+        std::vector<PathEvent> events;
+        for (std::size_t i = 0; i < events_per_frame; ++i) {
+            const std::uint32_t loop = static_cast<std::uint32_t>(
+                (f * events_per_frame + i + session) % 8);
+            PathEvent event;
+            event.path = loop * 10;
+            event.head = loop;
+            event.blocks = 4 + loop;
+            event.branches = 3 + loop;
+            event.instructions = 30 + 5 * loop;
+            events.push_back(event);
+        }
+        std::vector<std::uint8_t> frame;
+        wire::appendEventFrame(frame, session, f, events);
+        out.push_back(std::move(frame));
+    }
+    return out;
+}
+
+/** Engine config that records per-session predictions, so TCP
+ *  results can be compared with Engine::predictionsFor(). */
+EngineConfig
+recordingConfig(std::size_t workers)
+{
+    EngineConfig config;
+    config.workerThreads = workers;
+    config.sessions.shardCount = 8;
+    config.sessions.session.predictionDelay = 13;
+    config.sessions.session.recordPredictions = true;
+    return config;
+}
+
+/** Server config tuned for fast tests (short maintenance tick). */
+net::ServerConfig
+testServerConfig()
+{
+    net::ServerConfig config;
+    config.tickMs = 2;
+    config.reactorThreads = 2;
+    return config;
+}
+
+/** The predicted path ids a client received for one session, in
+ *  sequence order. */
+std::vector<PathIndex>
+clientPaths(const std::vector<net::PredictionReply> &replies,
+            std::uint64_t session)
+{
+    std::vector<const net::PredictionReply *> mine;
+    for (const auto &reply : replies)
+        if (reply.session == session)
+            mine.push_back(&reply);
+    std::sort(mine.begin(), mine.end(),
+              [](const auto *a, const auto *b) {
+                  return a->sequence < b->sequence;
+              });
+    std::vector<PathIndex> paths;
+    for (const auto *reply : mine)
+        for (const auto &record : reply->predictions)
+            paths.push_back(record.path);
+    return paths;
+}
+
+} // namespace
+
+// --- wire::findFrameBoundary (streaming resync) -------------------
+
+TEST(FrameBoundary, FindsCompleteFrameAfterGarbage)
+{
+    std::vector<std::uint8_t> buffer(37, 0xAB);
+    std::vector<std::uint8_t> frame;
+    const auto frames = makeFrames(7, 1, 32);
+    buffer.insert(buffer.end(), frames[0].begin(), frames[0].end());
+
+    bool complete = false;
+    const std::size_t at = wire::findFrameBoundary(
+        buffer.data(), buffer.size(), 0, &complete);
+    EXPECT_TRUE(complete);
+    EXPECT_EQ(at, 37u);
+}
+
+TEST(FrameBoundary, ReportsTruncatedTailAsIncomplete)
+{
+    const auto frames = makeFrames(7, 1, 32);
+    std::vector<std::uint8_t> buffer(11, 0xCD);
+    // Append only a prefix of a valid frame: still arriving.
+    buffer.insert(buffer.end(), frames[0].begin(),
+                  frames[0].end() - 5);
+
+    bool complete = true;
+    const std::size_t at = wire::findFrameBoundary(
+        buffer.data(), buffer.size(), 0, &complete);
+    EXPECT_FALSE(complete);
+    EXPECT_EQ(at, 11u);
+}
+
+TEST(FrameBoundary, PureGarbageConsumesWholeBuffer)
+{
+    // 0xAB never matches the 'H' magic, so nothing is plausible.
+    const std::vector<std::uint8_t> buffer(64, 0xAB);
+    bool complete = true;
+    const std::size_t at = wire::findFrameBoundary(
+        buffer.data(), buffer.size(), 0, &complete);
+    EXPECT_FALSE(complete);
+    EXPECT_EQ(at, buffer.size());
+}
+
+// --- loopback serving ---------------------------------------------
+
+TEST(NetServer, LoopbackMatchesInProcessByteForByte)
+{
+    constexpr std::size_t kSessions = 6;
+    constexpr std::size_t kFramesPerSession = 24;
+    constexpr std::size_t kEventsPerFrame = 96;
+
+    Engine served(recordingConfig(2));
+    net::Server server(served, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // The reference engine replays the identical workload without a
+    // network in the way.
+    Engine reference(recordingConfig(2));
+
+    std::size_t sent = 0;
+    for (std::uint64_t session = 1; session <= kSessions; ++session) {
+        const auto frames =
+            makeFrames(session, kFramesPerSession, kEventsPerFrame);
+        for (const auto &frame : frames) {
+            ASSERT_TRUE(
+                client.sendFrame(frame.data(), frame.size()));
+            ASSERT_TRUE(reference.submit(frame));
+            ++sent;
+        }
+    }
+    reference.drain();
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(sent, replies));
+    ASSERT_EQ(replies.size(), sent);
+
+    for (std::uint64_t session = 1; session <= kSessions; ++session) {
+        const std::vector<PathIndex> overTcp =
+            clientPaths(replies, session);
+        EXPECT_EQ(overTcp, served.predictionsFor(session))
+            << "session " << session
+            << ": TCP replies disagree with the serving engine";
+        EXPECT_EQ(overTcp, reference.predictionsFor(session))
+            << "session " << session
+            << ": TCP serving disagrees with in-process replay";
+        EXPECT_FALSE(overTcp.empty());
+    }
+
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_EQ(stats.framesIn, sent);
+    EXPECT_EQ(stats.responsesOut, sent);
+    EXPECT_EQ(stats.responsesDropped, 0u);
+    EXPECT_EQ(stats.framesResynced, 0u);
+}
+
+TEST(NetServer, ReassemblesTornFrames)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // Deliver every frame in 7-byte slivers; the server must
+    // reassemble across read() calls.
+    const auto frames = makeFrames(3, 8, 64);
+    for (const auto &frame : frames) {
+        for (std::size_t off = 0; off < frame.size(); off += 7) {
+            const std::size_t len =
+                std::min<std::size_t>(7, frame.size() - off);
+            ASSERT_TRUE(client.sendFrame(frame.data() + off, len));
+        }
+    }
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(frames.size(), replies));
+    EXPECT_EQ(replies.size(), frames.size());
+    EXPECT_EQ(clientPaths(replies, 3), eng.predictionsFor(3));
+
+    server.stop();
+    EXPECT_EQ(server.stats().framesIn, frames.size());
+}
+
+TEST(NetServer, ResyncsPastCorruptBytesOnTheWire)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // Interleave valid frames with garbage runs (no 'H' bytes, so
+    // the resync scan cannot stall on a fake magic).
+    const auto frames = makeFrames(5, 6, 64);
+    const std::vector<std::uint8_t> garbage(23, 0xAB);
+    for (const auto &frame : frames) {
+        ASSERT_TRUE(
+            client.sendFrame(garbage.data(), garbage.size()));
+        ASSERT_TRUE(client.sendFrame(frame.data(), frame.size()));
+    }
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(frames.size(), replies));
+    EXPECT_EQ(clientPaths(replies, 5), eng.predictionsFor(5));
+
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_EQ(stats.framesIn, frames.size());
+    EXPECT_GT(stats.framesResynced, 0u);
+    EXPECT_GT(stats.resyncBytesSkipped, 0u);
+}
+
+TEST(NetServer, SurvivesInjectedPartialWrites)
+{
+    Engine eng(recordingConfig(2));
+    net::ServerConfig serverCfg = testServerConfig();
+    serverCfg.faults.site(fault::Site::SockPartialWrite).everyN = 1;
+    net::Server server(eng, serverCfg);
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    const auto frames = makeFrames(9, 12, 64);
+    for (const auto &frame : frames)
+        ASSERT_TRUE(client.sendFrame(frame.data(), frame.size()));
+
+    // Every reply is split into a prefix + deferred remainder, yet
+    // arrives intact and CRC-clean.
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(frames.size(), replies));
+    EXPECT_EQ(clientPaths(replies, 9), eng.predictionsFor(9));
+    EXPECT_EQ(client.stats().resyncs, 0u);
+
+    server.stop();
+    ASSERT_NE(server.faultInjector(), nullptr);
+    EXPECT_GT(server.faultInjector()
+                  ->counters(fault::Site::SockPartialWrite)
+                  .injected,
+              0u);
+}
+
+TEST(NetServer, InjectedResetDropsTheConnection)
+{
+    Engine eng(recordingConfig(2));
+    net::ServerConfig serverCfg = testServerConfig();
+    serverCfg.faults.site(fault::Site::ConnReset).everyN = 1;
+    net::Server server(eng, serverCfg);
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    clientCfg.responseTimeoutMs = 2000;
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    const auto frames = makeFrames(2, 1, 32);
+    client.sendFrame(frames[0].data(), frames[0].size());
+
+    // The first read event on the connection injects a reset, so no
+    // reply ever comes and the socket dies.
+    std::vector<net::PredictionReply> replies;
+    EXPECT_FALSE(client.awaitResponses(1, replies));
+
+    server.stop();
+    EXPECT_GT(server.stats().resets, 0u);
+}
+
+TEST(NetServer, InjectedAcceptFailRefusesTheConnection)
+{
+    Engine eng(recordingConfig(2));
+    net::ServerConfig serverCfg = testServerConfig();
+    serverCfg.faults.site(fault::Site::AcceptFail).everyN = 1;
+    net::Server server(eng, serverCfg);
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    clientCfg.responseTimeoutMs = 2000;
+    net::Client client(clientCfg);
+    // The TCP handshake completes via the backlog, but the server
+    // closes the socket straight out of accept().
+    ASSERT_TRUE(client.connect());
+
+    std::vector<net::PredictionReply> replies;
+    EXPECT_LE(client.poll(replies, 1000), 0);
+
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_GT(stats.acceptFailures, 0u);
+    EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST(NetServer, SurvivesClientDeathMidBatch)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+
+    // Client A sends half a frame and vanishes.
+    {
+        net::Client dying(clientCfg);
+        ASSERT_TRUE(dying.connect());
+        const auto frames = makeFrames(11, 1, 64);
+        ASSERT_TRUE(
+            dying.sendFrame(frames[0].data(), frames[0].size() / 2));
+        dying.close();
+    }
+
+    // Client B's full workload is unaffected.
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+    const auto frames = makeFrames(12, 8, 64);
+    for (const auto &frame : frames)
+        ASSERT_TRUE(client.sendFrame(frame.data(), frame.size()));
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(frames.size(), replies));
+    EXPECT_EQ(clientPaths(replies, 12), eng.predictionsFor(12));
+
+    client.close();
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_EQ(stats.accepted, 2u);
+    EXPECT_EQ(stats.closed, 2u);
+    EXPECT_EQ(stats.framesIn, frames.size());
+}
+
+TEST(NetServer, GracefulDrainAnswersEveryAcceptedFrame)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    const auto frames = makeFrames(4, 16, 96);
+    for (const auto &frame : frames)
+        ASSERT_TRUE(client.sendFrame(frame.data(), frame.size()));
+
+    // Drain: every frame the server accepted must be answered and
+    // flushed before drain() returns.
+    server.drain();
+    const net::NetStats afterDrain = server.stats();
+    EXPECT_EQ(afterDrain.framesIn, frames.size());
+    EXPECT_EQ(afterDrain.responsesOut, frames.size());
+
+    // The replies are already in our socket; no further server work.
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(frames.size(), replies));
+    EXPECT_EQ(clientPaths(replies, 4), eng.predictionsFor(4));
+    server.stop();
+}
+
+TEST(NetServer, IdleConnectionsAreSweptClosed)
+{
+    Engine eng(recordingConfig(2));
+    net::ServerConfig serverCfg = testServerConfig();
+    serverCfg.idleTimeoutTicks = 3;
+    net::Server server(eng, serverCfg);
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // Say nothing; the idle sweep (3 ticks x 2 ms) reaps us.
+    std::vector<net::PredictionReply> replies;
+    for (int i = 0; i < 100 && client.connected(); ++i)
+        client.poll(replies, 20);
+    EXPECT_FALSE(client.connected());
+
+    server.stop();
+    EXPECT_GT(server.stats().idleClosed, 0u);
+}
+
+TEST(NetClient, ConnectBacksOffAndGivesUp)
+{
+    // Bind a listener only to learn a port that is then closed, so
+    // nothing is listening when the client retries.
+    std::uint16_t port = 0;
+    {
+        net::Fd probe = net::listenTcp("127.0.0.1", 0, &port);
+        ASSERT_TRUE(probe.valid());
+    }
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = port;
+    clientCfg.connectAttempts = 3;
+    clientCfg.retryBaseMs = 1;
+    net::Client client(clientCfg);
+    EXPECT_FALSE(client.connect());
+    EXPECT_EQ(client.stats().connectRetries, 2u);
+}
