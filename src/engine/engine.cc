@@ -289,6 +289,8 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
 
     const std::size_t shard_index = table.shardOf(header.session);
     ShardQueue &queue = *queues[shard_index];
+    QueuedFrame shed_frame;
+    bool did_shed = false;
     {
         std::unique_lock<std::mutex> lock(queue.mu);
         bool saturated =
@@ -310,7 +312,9 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
         if (shed_oldest) {
             // Degraded: admit the fresh frame by shedding the oldest
             // queued one (stale profile data is the cheapest loss).
+            shed_frame = std::move(queue.frames.front());
             queue.frames.pop_front();
+            did_shed = true;
             framesShed.fetch_add(1, std::memory_order_relaxed);
             if (tmShed)
                 tmShed->add(1);
@@ -337,6 +341,11 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
             tmQueueHighWater->recordMax(
                 static_cast<std::int64_t>(queue.frames.size()));
     }
+    // A shed frame never reaches a worker, so its completion fires
+    // here (outside the queue lock) or its submitter's in-flight
+    // count would never drain.
+    if (did_shed)
+        completeUnapplied(shed_frame.bytes, shed_frame.tag);
 
     WorkerState &worker = *workerStates[queue.worker];
     {
@@ -449,6 +458,24 @@ Engine::attributeDecodeError(const std::vector<std::uint8_t> &frame)
 }
 
 void
+Engine::completeUnapplied(const std::vector<std::uint8_t> &frame,
+                          std::uint64_t tag)
+{
+    if (!frameCallback)
+        return;
+    FrameOutcome outcome;
+    wire::FrameHeader header;
+    std::size_t frame_end = 0;
+    if (wire::peekFrameHeader(frame.data(), frame.size(), 0, header,
+                              frame_end) == wire::DecodeStatus::Ok) {
+        outcome.session = header.session;
+        outcome.sequence = header.sequence;
+    }
+    outcome.tag = tag;
+    frameCallback(outcome);
+}
+
+void
 Engine::processFrame(const std::vector<std::uint8_t> &frame,
                      std::uint64_t tag, wire::DecodedFrame &scratch,
                      std::vector<wire::PredictionRecord> &preds)
@@ -459,12 +486,16 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
     if (status != wire::DecodeStatus::Ok) {
         countReject(status);
         attributeDecodeError(frame);
+        // The frame passed the header peek at submit, so a tagged
+        // caller counted it in flight and is owed a completion.
+        completeUnapplied(frame, tag);
         return;
     }
     if (scratch.header.kind != wire::FrameKind::PathEvents) {
         // The serving path consumes path events; other frame kinds
         // are interchange/reply formats (see wire_format.hh).
         countReject(wire::DecodeStatus::BadKind);
+        completeUnapplied(frame, tag);
         return;
     }
 

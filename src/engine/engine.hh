@@ -104,24 +104,32 @@ enum class SubmitStatus
 };
 
 /**
- * What happened to one decoded frame, delivered to the completion
+ * What happened to one consumed frame, delivered to the completion
  * callback (EngineConfig-independent: install with
- * Engine::setFrameCallback). `predictions` points at worker-local
+ * Engine::setFrameCallback). Every frame the engine takes ownership
+ * of fires exactly one completion - including frames that fail the
+ * full decode (bad CRC/payload), frames of non-PathEvents kinds and
+ * frames shed under overload - so a caller that counts submissions
+ * against completions (the net server's per-connection in-flight
+ * ledger) always balances. `predictions` points at worker-local
  * scratch that is only valid for the duration of the callback.
  */
 struct FrameOutcome
 {
-    /** Session the frame belonged to. */
+    /** Session the frame belonged to (0 when even the header was
+     *  unreadable). */
     std::uint64_t session = 0;
-    /** The frame's sequence number. */
+    /** The frame's sequence number (0 when the header was
+     *  unreadable). */
     std::uint64_t sequence = 0;
     /** Caller-supplied routing tag from submit()/trySubmit() (the
      *  net server stores the originating connection id here). */
     std::uint64_t tag = 0;
-    /** Events the frame carried. */
+    /** Events the frame carried (0 unless it decoded). */
     std::uint32_t events = 0;
-    /** False when the frame decoded but was dropped (re-admission
-     *  backoff or allocation failure). */
+    /** False when the frame was consumed without being applied:
+     *  decode failure, non-PathEvents kind, re-admission backoff,
+     *  allocation failure or overload shedding. */
     bool applied = false;
     /** Predictions the frame triggered (callback-scoped storage). */
     const wire::PredictionRecord *predictions = nullptr;
@@ -130,10 +138,12 @@ struct FrameOutcome
 };
 
 /**
- * Completion callback for decoded frames. Runs on the worker that
+ * Completion callback for consumed frames. Runs on the worker that
  * owns the frame's shard (or on the submitting thread in serial
- * mode), so per-session invocations are ordered; keep it cheap - the
- * shard's other sessions wait behind it.
+ * mode), so per-session invocations are ordered for frames that
+ * reach a worker; a frame shed under overload completes on the
+ * submitting thread and may overtake its session's in-flight
+ * frames. Keep it cheap - the shard's other sessions wait behind it.
  */
 using FrameCallback = std::function<void(const FrameOutcome &)>;
 
@@ -466,6 +476,14 @@ class Engine
     /** Attribute a decode failure to its session's error budget;
      *  poisons/rebuilds when the budget is exhausted. */
     void attributeDecodeError(const std::vector<std::uint8_t> &frame);
+
+    /** Fire the completion callback (applied=false, no predictions)
+     *  for a frame the engine consumed without applying: decode
+     *  failures, non-PathEvents kinds, overload-shed frames. The
+     *  session/sequence are recovered from the frame header (zeros
+     *  when even the header is unreadable). */
+    void completeUnapplied(const std::vector<std::uint8_t> &frame,
+                           std::uint64_t tag);
 
     /** Redeliver held delayed frames (all of them when `all`). */
     void flushDelayed(bool all);

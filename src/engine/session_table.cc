@@ -206,7 +206,12 @@ ShardedSessionTable::evictIdle(std::uint64_t max_age)
             const auto it = shard.sessions.find(victim);
             HOTPATH_ASSERT(it != shard.sessions.end(),
                            "LRU entry without a session");
-            if (now - it->second.lastActive <= max_age)
+            // `now` was sampled before this shard's lock: a racing
+            // withSession can stamp a newer tick, and unsigned
+            // `now - lastActive` would wrap to ~2^64 and evict a
+            // session touched an instant ago.
+            if (it->second.lastActive > now ||
+                now - it->second.lastActive <= max_age)
                 break;
             shard.lru.pop_back();
             shard.sessions.erase(it);

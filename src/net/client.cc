@@ -139,6 +139,22 @@ int
 Client::poll(std::vector<PredictionReply> &replies,
              std::uint64_t timeout_ms)
 {
+    // Replies a call() absorbed while waiting for its own match are
+    // delivered first, in arrival order.
+    if (!stash.empty()) {
+        const int held = static_cast<int>(stash.size());
+        for (auto &reply : stash)
+            replies.push_back(std::move(reply));
+        stash.clear();
+        return held;
+    }
+    return pollSocket(replies, timeout_ms);
+}
+
+int
+Client::pollSocket(std::vector<PredictionReply> &replies,
+                   std::uint64_t timeout_ms)
+{
     if (!fd.valid())
         return -1;
 
@@ -223,18 +239,28 @@ Client::call(std::uint64_t session, std::uint64_t sequence,
                 deadline - Clock::now())
                 .count();
         batch.clear();
-        const int got = poll(
+        // Read the socket directly: serving the stash here would
+        // hand back the replies this loop just stashed and spin
+        // without ever reaching ours.
+        const int got = pollSocket(
             batch,
             static_cast<std::uint64_t>(leftMs > 0 ? leftMs : 0));
         if (got < 0)
             return false;
+        bool matched = false;
         for (auto &candidate : batch) {
-            if (candidate.session == session &&
+            if (!matched && candidate.session == session &&
                 candidate.sequence == sequence) {
                 reply = std::move(candidate);
-                return true;
+                matched = true;
+                continue;
             }
+            // A pipelined reply that arrived alongside ours belongs
+            // to a later poll()/awaitResponses(); keep it.
+            stash.push_back(std::move(candidate));
         }
+        if (matched)
+            return true;
     }
     return false;
 }

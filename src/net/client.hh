@@ -144,9 +144,10 @@ class Client
 
     /**
      * Synchronous round trip: send one event frame and wait for the
-     * reply matching (session, sequence). Earlier pipelined replies
-     * that arrive meanwhile are discarded. Returns false on timeout
-     * or a broken connection.
+     * reply matching (session, sequence). Pipelined replies that
+     * arrive meanwhile are buffered and delivered by a later
+     * poll()/awaitResponses(), so call() composes with pipelined
+     * traffic. Returns false on timeout or a broken connection.
      */
     bool call(std::uint64_t session, std::uint64_t sequence,
               const PathEvent *events, std::size_t count,
@@ -161,10 +162,19 @@ class Client
      *  appended. */
     int decodeReplies(std::vector<PredictionReply> &replies);
 
+    /** poll() minus the stash: decode buffered bytes, then read the
+     *  socket (call()'s receive path, which must not re-consume the
+     *  replies it stashed itself). Same returns as poll(). */
+    int pollSocket(std::vector<PredictionReply> &replies,
+                   std::uint64_t timeout_ms);
+
     ClientConfig cfg;
     Fd fd;
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> encodeScratch;
+    /** Pipelined replies a call() read past while matching its own;
+     *  served (in arrival order) by the next poll(). */
+    std::vector<PredictionReply> stash;
     ClientStats counters;
 };
 

@@ -600,6 +600,7 @@ Server::maintenance(Reactor &reactor, std::size_t index)
         if (connDone(conn)) {
             toClose.push_back(id);
         } else if (cfg.idleTimeoutTicks != 0 && conn.inFlight == 0 &&
+                   conn.outOff == conn.out.size() &&
                    reactor.tick - conn.lastActivityTick >
                        cfg.idleTimeoutTicks) {
             idleClose.push_back(id);
@@ -757,6 +758,12 @@ Server::stop()
         if (reactor->thread.joinable())
             reactor->thread.join();
     }
+    // Reactors could still trySubmit after drain()'s quiet window;
+    // now that they are joined no new submissions are possible, so
+    // one more engine drain guarantees no worker is inside the
+    // frame callback while it is cleared (setFrameCallback is not
+    // safe against in-flight traffic).
+    eng.drain();
     eng.setFrameCallback(nullptr);
     std::uint64_t open = 0;
     for (auto &reactor : reactors) {

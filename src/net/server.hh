@@ -103,7 +103,9 @@ struct ServerConfig
     /**
      * Close a connection after this many maintenance ticks without
      * inbound traffic (0 = never). Connections with replies still
-     * owed are exempt until they are answered.
+     * owed - in flight in the engine or posted but not yet written
+     * to the socket - are exempt until they are answered and
+     * flushed.
      */
     std::uint64_t idleTimeoutTicks = 0;
 

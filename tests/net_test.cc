@@ -4,7 +4,9 @@
  * byte-identity between TCP and in-process serving, torn-frame
  * reassembly, corrupt-stream resync on a live connection, injected
  * partial writes and connection resets, abrupt client death
- * mid-batch, graceful drain, and client connect backoff.
+ * mid-batch, graceful drain, client connect backoff, completion
+ * replies for frames the engine rejects at decode (bad CRC, wrong
+ * kind), and call() composing with pipelined traffic.
  *
  * Every server here binds an ephemeral loopback port, so tests run
  * in parallel without port collisions.
@@ -436,6 +438,125 @@ TEST(NetServer, IdleConnectionsAreSweptClosed)
 
     server.stop();
     EXPECT_GT(server.stats().idleClosed, 0u);
+}
+
+TEST(NetServer, CrcCorruptFrameStillGetsAnEmptyReply)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // Corrupt the CRC of an otherwise valid frame: the header still
+    // parses, so the server submits it and the engine rejects it at
+    // decode. The frame must still be answered (empty predictions),
+    // or the connection's in-flight count would never drain and the
+    // connection would leak until stop().
+    const auto frames = makeFrames(21, 2, 32);
+    std::vector<std::uint8_t> corrupt = frames[0];
+    corrupt.back() ^= 0xFF;
+    ASSERT_TRUE(client.sendFrame(corrupt.data(), corrupt.size()));
+    ASSERT_TRUE(
+        client.sendFrame(frames[1].data(), frames[1].size()));
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(2, replies));
+    ASSERT_EQ(replies.size(), 2u);
+    std::sort(replies.begin(), replies.end(),
+              [](const auto &a, const auto &b) {
+                  return a.sequence < b.sequence;
+              });
+    EXPECT_EQ(replies[0].session, 21u);
+    EXPECT_EQ(replies[0].sequence, 0u);
+    EXPECT_TRUE(replies[0].predictions.empty());
+    EXPECT_EQ(replies[1].sequence, 1u);
+
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_EQ(stats.framesIn, 2u);
+    EXPECT_EQ(stats.responsesOut, 2u);
+    EXPECT_EQ(stats.responsesDropped, 0u);
+    EXPECT_EQ(eng.stats().rejects.badCrc, 1u);
+}
+
+TEST(NetServer, NonEventFrameKindStillGetsAnEmptyReply)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // A Predictions frame is header-valid and CRC-clean, so the
+    // server submits it; the engine consumes only PathEvents frames
+    // and must answer the wrong kind instead of swallowing it.
+    std::vector<std::uint8_t> frame;
+    wire::appendPredictionFrame(frame, 33, 7, nullptr, 0);
+    ASSERT_TRUE(client.sendFrame(frame.data(), frame.size()));
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(1, replies));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].session, 33u);
+    EXPECT_EQ(replies[0].sequence, 7u);
+    EXPECT_TRUE(replies[0].predictions.empty());
+
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_EQ(stats.framesIn, 1u);
+    EXPECT_EQ(stats.responsesOut, 1u);
+    EXPECT_EQ(eng.stats().rejects.badKind, 1u);
+}
+
+TEST(NetClient, CallBuffersPipelinedRepliesForLaterPolls)
+{
+    Engine eng(recordingConfig(2));
+    net::Server server(eng, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // Pipeline a batch for session 41, then issue a synchronous
+    // call() for session 42 before collecting the batch's replies.
+    const auto frames = makeFrames(41, 6, 64);
+    for (const auto &frame : frames)
+        ASSERT_TRUE(client.sendFrame(frame.data(), frame.size()));
+
+    std::vector<PathEvent> events;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        PathEvent event;
+        event.path = i * 10;
+        event.head = i % 4;
+        event.blocks = 4;
+        event.branches = 3;
+        event.instructions = 40;
+        events.push_back(event);
+    }
+    net::PredictionReply reply;
+    ASSERT_TRUE(
+        client.call(42, 0, events.data(), events.size(), reply));
+    EXPECT_EQ(reply.session, 42u);
+    EXPECT_EQ(reply.sequence, 0u);
+
+    // Session-41 replies that call() read past were buffered, not
+    // dropped: poll()/awaitResponses() still delivers all of them.
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(frames.size(), replies));
+    ASSERT_EQ(replies.size(), frames.size());
+    for (const auto &buffered : replies)
+        EXPECT_EQ(buffered.session, 41u);
+
+    server.stop();
 }
 
 TEST(NetClient, ConnectBacksOffAndGivesUp)
