@@ -12,10 +12,12 @@ Three subcommands:
             when the run regressed.
 
   netcheck  Assert a net_loadgen --json report is healthy: frame
-            conservation held across client/server/engine and the
-            server actually served predictions. Latency percentiles
-            are printed for the log but never gate - on shared CI
-            runners they measure queueing, not the server.
+            conservation held across client/server/engine, the
+            server actually served predictions, and (when the run
+            sampled stage spans) every sampled frame that decoded
+            also reached predict, encode, and write-flush. Latency
+            percentiles are printed for the log but never gate - on
+            shared CI runners they measure queueing, not the server.
 
 What counts as a regression:
 
@@ -31,6 +33,13 @@ What counts as a regression:
   * Engine throughput rows are compared on their deterministic fields
     only; events/second is reported but never gates (CI runners vary
     too much run to run).
+  * The self-profiling span_overhead block (engine_throughput
+    --spans=N) gates on two facts: the sampled and unsampled runs
+    must have produced identical events/predictions, and the
+    measured sampling overhead must stay within --span-overhead-max
+    (default 5%). The paired best-of-3 runs happen inside one bench
+    invocation on one machine, so the percentage is comparable even
+    on shared runners.
 
 To refresh the baseline after an intentional perf change:
 
@@ -170,6 +179,28 @@ def compare(args):
             f"{current['events_per_second']:.0f} events/s "
             "(informational)")
 
+    # Self-profiling overhead: the paired off-vs-on measurement from
+    # engine_throughput --spans=N, gated on its own in-run comparison.
+    span = cur.get("engine", {}).get("span_overhead")
+    if span:
+        if not span.get("events_match", False):
+            failures.append(
+                "span_overhead.events_match is false: enabling stage "
+                "spans changed the engine's outputs")
+        pct = span.get("overhead_pct", 0.0)
+        line = (f"span overhead 1/{span.get('sample_every')}: "
+                f"{pct:+.2f}% at {span.get('workers')} workers "
+                f"({span.get('sampled_frames')} frames sampled)")
+        if pct > 100.0 * args.span_overhead_max:
+            failures.append(
+                line + f" exceeds {100 * args.span_overhead_max:.0f}%")
+        else:
+            notes.append(line)
+    elif base.get("engine", {}).get("span_overhead"):
+        failures.append(
+            "span_overhead: baseline has it, current run does not "
+            "(was engine_throughput run without --spans?)")
+
     for line in notes:
         print(f"  note: {line}")
     if failures:
@@ -199,6 +230,31 @@ def netcheck(args):
     broken = run.get("broken_connections", 0)
     if broken:
         failures.append(f"{broken} connection(s) broke mid-run")
+
+    # Stage-span frame conservation: a sampled frame must traverse
+    # the whole pipeline or every per-stage distribution is suspect.
+    spans = run.get("stage_spans")
+    if spans is not None:
+        if not spans.get("conservation_ok", False):
+            failures.append(
+                "stage_spans.conservation_ok is false: sampled "
+                "frames were lost between pipeline stages")
+        counts = {s: spans.get(s, 0)
+                  for s in ("decode", "predict", "write_flush")}
+        if len(set(counts.values())) != 1:
+            failures.append(
+                f"stage histogram counts diverge: {counts}")
+        if spans.get("sampled", 0) <= 0:
+            failures.append(
+                "stage_spans.sampled is 0: the run claims span "
+                "sampling but no frame was ever sampled")
+        print(f"  stage spans 1/{spans.get('sample_every')}: "
+              f"{spans.get('sampled')} of {spans.get('frames_seen')} "
+              f"frames, per-stage counts "
+              + " ".join(f"{s}={spans.get(s, 0)}"
+                         for s in ("read", "decode", "queue_wait",
+                                   "predict", "encode",
+                                   "write_flush")))
 
     lat = run.get("latency_us", {})
     print(f"netcheck {args.report}: "
@@ -239,6 +295,10 @@ def main():
     p_compare.add_argument("--threshold", type=float, default=0.15,
                            help="allowed relative slowdown "
                                 "(default 0.15)")
+    p_compare.add_argument("--span-overhead-max", type=float,
+                           default=0.05,
+                           help="allowed stage-span sampling overhead "
+                                "as a fraction (default 0.05)")
     p_compare.set_defaults(func=compare)
 
     p_net = sub.add_parser("netcheck",

@@ -15,6 +15,16 @@
  *   --frame=<n>       events per frame (default 512)
  *   --threads=<list>  not a list flag; the ladder is 0 (serial),
  *                     1, 2, 4, 8 workers
+ *   --spans=<n>       stage-span sampling stride for an extra paired
+ *                     overhead measurement (default 0 = skip): runs
+ *                     the same workload best-of-3 with spans off and
+ *                     with 1-in-n sampling at --span-workers workers,
+ *                     reports the throughput delta plus a per-stage
+ *                     latency table, and asserts the sampled and
+ *                     unsampled runs processed identical events and
+ *                     predictions. The worker ladder above always
+ *                     runs spans-off so its counters stay exact.
+ *   --span-workers=<n> worker count for the paired runs (default 2)
  *   --json=<path>     machine-readable results (the perf-smoke CI
  *                     job feeds this to compare_bench.py)
  *   --telemetry-out=<path>  RunReport with engine.* metrics
@@ -24,6 +34,7 @@
  * queueing overhead, not parallel speedup.
  */
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -35,6 +46,8 @@
 #include "engine/engine.hh"
 #include "engine/wire_format.hh"
 #include "support/table.hh"
+#include "telemetry/percentiles.hh"
+#include "telemetry/span.hh"
 #include "workload/synthesis.hh"
 
 using namespace hotpath;
@@ -94,6 +107,13 @@ struct RunResult
     std::uint64_t predictions = 0;
     std::uint64_t backpressureWaits = 0;
 
+    /** Stage-span data (only filled when the run sampled spans). */
+    std::uint64_t spanSampled = 0;
+    std::array<telemetry::StageTotals, telemetry::kStageCount>
+        stageTotals{};
+    std::array<telemetry::HistogramSnapshot, telemetry::kStageCount>
+        stageHists{};
+
     double
     eventsPerSecond() const
     {
@@ -104,11 +124,12 @@ struct RunResult
 
 RunResult
 runOnce(const std::vector<SessionFrames> &sessions,
-        std::size_t workers)
+        std::size_t workers, std::uint64_t span_every = 0)
 {
     engine::EngineConfig config;
     config.workerThreads = workers;
     config.sessions.shardCount = 16;
+    config.spanSampleEvery = span_every;
     engine::Engine eng(config);
 
     // Interleave the sessions round-robin, submitting frame i of
@@ -136,7 +157,30 @@ runOnce(const std::vector<SessionFrames> &sessions,
     result.events = stats.eventsProcessed;
     result.predictions = stats.predictions;
     result.backpressureWaits = stats.backpressureWaits;
+    if (const telemetry::SpanRecorder *spans = eng.spanRecorder()) {
+        result.spanSampled = spans->sampledFrames();
+        for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+            const auto stage = static_cast<telemetry::Stage>(s);
+            result.stageTotals[s] = spans->totals(stage);
+            result.stageHists[s] = spans->stageSnapshot(stage);
+        }
+    }
     return result;
+}
+
+/** Lowest wall clock of three identical runs - the standard noise
+ *  dampener for the paired overhead comparison. */
+RunResult
+bestOfThree(const std::vector<SessionFrames> &sessions,
+            std::size_t workers, std::uint64_t span_every)
+{
+    RunResult best;
+    for (int round = 0; round < 3; ++round) {
+        RunResult run = runOnce(sessions, workers, span_every);
+        if (best.seconds == 0.0 || run.seconds < best.seconds)
+            best = run;
+    }
+    return best;
 }
 
 } // namespace
@@ -151,6 +195,10 @@ main(int argc, char **argv)
         bench::flagU64(argc, argv, "sessions", 32));
     const std::size_t events_per_frame = static_cast<std::size_t>(
         bench::flagU64(argc, argv, "frame", 512));
+    const std::uint64_t span_every =
+        bench::flagU64(argc, argv, "spans", 0);
+    const std::size_t span_workers = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "span-workers", 2));
 
     std::cout << "Engine throughput: wire-format ingestion into "
                  "per-session NET predictors\n\n";
@@ -209,6 +257,67 @@ main(int argc, char **argv)
                  "all rows (asserted by tests/engine_test.cc); the "
                  "rows differ only in wall clock.\n";
 
+    // Paired self-profiling overhead measurement: the same workload,
+    // best-of-3, with spans off and with 1-in-N sampling. The CI
+    // perf-smoke job gates overhead_pct at 5%.
+    RunResult spanOff;
+    RunResult spanOn;
+    bool spanEventsMatch = true;
+    double spanOverheadPct = 0.0;
+    if (span_every > 0) {
+        spanOff = bestOfThree(sessions, span_workers, 0);
+        spanOn = bestOfThree(sessions, span_workers, span_every);
+        spanEventsMatch = spanOff.events == spanOn.events &&
+                          spanOff.predictions == spanOn.predictions;
+        const double eps_off = spanOff.eventsPerSecond();
+        spanOverheadPct =
+            eps_off > 0.0
+                ? 100.0 * (eps_off - spanOn.eventsPerSecond()) /
+                      eps_off
+                : 0.0;
+
+        std::cout << "\nStage-span overhead (1/" << span_every
+                  << " sampling, " << span_workers
+                  << " workers, best of 3): "
+                  << static_cast<std::uint64_t>(eps_off)
+                  << " events/s off vs "
+                  << static_cast<std::uint64_t>(
+                         spanOn.eventsPerSecond())
+                  << " events/s on = " << spanOverheadPct
+                  << "% overhead; outputs "
+                  << (spanEventsMatch ? "identical" : "DIVERGED")
+                  << "\n\n";
+
+        TextTable stageTable;
+        stageTable.setHeader({"Stage", "Samples", "p50 (us)",
+                              "p99 (us)", "Mean (us)"});
+        for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+            const telemetry::StageTotals &totals =
+                spanOn.stageTotals[s];
+            if (totals.count == 0)
+                continue; // engine-only runs never see net stages
+            stageTable.beginRow();
+            stageTable.addCell(telemetry::stageName(
+                static_cast<telemetry::Stage>(s)));
+            stageTable.addCell(totals.count);
+            stageTable.addCell(
+                static_cast<double>(telemetry::percentileFromHistogram(
+                    spanOn.stageHists[s], 0.50)) /
+                1000.0);
+            stageTable.addCell(
+                static_cast<double>(telemetry::percentileFromHistogram(
+                    spanOn.stageHists[s], 0.99)) /
+                1000.0);
+            stageTable.addCell(static_cast<double>(totals.sumNs) /
+                               static_cast<double>(totals.count) /
+                               1000.0);
+        }
+        stageTable.print(std::cout);
+        std::cout << "(" << spanOn.spanSampled
+                  << " frames sampled; read/encode/write-flush are "
+                     "server-side stages and do not occur here)\n";
+    }
+
     const std::string json_path =
         bench::flagValue(argc, argv, "json");
     if (!json_path.empty()) {
@@ -231,7 +340,42 @@ main(int argc, char **argv)
                 << result.backpressureWaits << "}"
                 << (i + 1 < results.size() ? "," : "") << "\n";
         }
-        out << "  ]\n}\n";
+        out << "  ]";
+        if (span_every > 0) {
+            out << ",\n  \"span_overhead\": {"
+                << "\"sample_every\": " << span_every
+                << ", \"workers\": " << span_workers
+                << ", \"eps_off\": " << spanOff.eventsPerSecond()
+                << ", \"eps_on\": " << spanOn.eventsPerSecond()
+                << ", \"overhead_pct\": " << spanOverheadPct
+                << ", \"events_match\": "
+                << (spanEventsMatch ? "true" : "false")
+                << ", \"sampled_frames\": " << spanOn.spanSampled
+                << ", \"stages\": [";
+            bool first = true;
+            for (std::size_t s = 0; s < telemetry::kStageCount;
+                 ++s) {
+                const telemetry::StageTotals &totals =
+                    spanOn.stageTotals[s];
+                if (totals.count == 0)
+                    continue;
+                out << (first ? "" : ", ") << "{\"stage\": \""
+                    << telemetry::stageName(
+                           static_cast<telemetry::Stage>(s))
+                    << "\", \"count\": " << totals.count
+                    << ", \"sum_ns\": " << totals.sumNs
+                    << ", \"p50_ns\": "
+                    << telemetry::percentileFromHistogram(
+                           spanOn.stageHists[s], 0.50)
+                    << ", \"p99_ns\": "
+                    << telemetry::percentileFromHistogram(
+                           spanOn.stageHists[s], 0.99)
+                    << "}";
+                first = false;
+            }
+            out << "]}";
+        }
+        out << "\n}\n";
     }
-    return 0;
+    return spanEventsMatch ? 0 : 1;
 }

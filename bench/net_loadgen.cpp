@@ -33,6 +33,11 @@
  *   --seed=<u64>        workload seed (default 42)
  *   --reactors=<n>      server reactor threads (default 2)
  *   --workers=<n>       engine worker threads (default 2)
+ *   --spans=<n>         stage-span sampling stride for the
+ *                       in-process server (default 0 = off); the
+ *                       summary then includes per-stage counts and a
+ *                       frame-conservation check (every sampled
+ *                       decode must reach predict and write-flush)
  *   --connect=<host:port>  drive an external server
  *   --json=<path>       machine-readable summary (the net-smoke CI
  *                       job feeds this to compare_bench.py netcheck)
@@ -40,6 +45,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -57,6 +63,8 @@
 #include "net/server.hh"
 #include "support/random.hh"
 #include "support/table.hh"
+#include "telemetry/percentiles.hh"
+#include "telemetry/span.hh"
 
 using namespace hotpath;
 using Clock = std::chrono::steady_clock;
@@ -235,15 +243,6 @@ runConnection(const LoadConfig &cfg, std::size_t conn_index)
     return result;
 }
 
-std::uint64_t
-percentile(const std::vector<std::uint64_t> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0;
-    const double rank = p * static_cast<double>(sorted.size() - 1);
-    return sorted[static_cast<std::size_t>(rank + 0.5)];
-}
-
 } // namespace
 
 int
@@ -267,6 +266,8 @@ main(int argc, char **argv)
         bench::flagU64(argc, argv, "reactors", 2));
     const std::size_t workerThreads = static_cast<std::size_t>(
         bench::flagU64(argc, argv, "workers", 2));
+    const std::uint64_t spanEvery =
+        bench::flagU64(argc, argv, "spans", 0);
     const std::string connect =
         bench::flagValue(argc, argv, "connect");
 
@@ -281,6 +282,7 @@ main(int argc, char **argv)
         eng = std::make_unique<engine::Engine>(engineCfg);
         net::ServerConfig serverCfg;
         serverCfg.reactorThreads = reactorThreads;
+        serverCfg.spanSampleEvery = spanEvery;
         server = std::make_unique<net::Server>(*eng, serverCfg);
         if (!server->start()) {
             std::cerr << "net_loadgen: server start failed\n";
@@ -338,12 +340,12 @@ main(int argc, char **argv)
         latencies.insert(latencies.end(), r.latenciesUs.begin(),
                          r.latenciesUs.end());
     }
-    std::sort(latencies.begin(), latencies.end());
-    const std::uint64_t p50 = percentile(latencies, 0.50);
-    const std::uint64_t p99 = percentile(latencies, 0.99);
-    const std::uint64_t p999 = percentile(latencies, 0.999);
-    const std::uint64_t pmax =
-        latencies.empty() ? 0 : latencies.back();
+    const telemetry::Percentiles lat =
+        telemetry::percentiles(latencies);
+    const std::uint64_t p50 = lat.p50;
+    const std::uint64_t p99 = lat.p99;
+    const std::uint64_t p999 = lat.p999;
+    const std::uint64_t pmax = lat.max;
     const double fps =
         elapsed > 0.0
             ? static_cast<double>(total.repliesReceived) / elapsed
@@ -371,6 +373,43 @@ main(int argc, char **argv)
             total.repliesReceived == netStats.responsesOut;
     }
 
+    // Stage-span frame conservation (--spans=N, in-process only):
+    // every sampled frame that passed decode must also appear in
+    // predict, encode, and write-flush - a sampled frame the pipeline
+    // lost between stages would skew every per-stage distribution.
+    const bool spansOn = inProcess && spanEvery > 0;
+    bool spanConservationOk = true;
+    std::uint64_t spanFramesSeen = 0;
+    std::uint64_t spanFramesSampled = 0;
+    std::array<telemetry::StageTotals, telemetry::kStageCount>
+        stageTotals{};
+    std::array<telemetry::HistogramSnapshot, telemetry::kStageCount>
+        stageHists{};
+    if (spansOn) {
+        const telemetry::SpanRecorder &spans =
+            server->spanRecorder();
+        spanFramesSeen = spans.framesSeen();
+        spanFramesSampled = spans.sampledFrames();
+        for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+            stageTotals[s] =
+                spans.totals(static_cast<telemetry::Stage>(s));
+            stageHists[s] = spans.stageSnapshot(
+                static_cast<telemetry::Stage>(s));
+        }
+        const std::uint64_t decoded =
+            stageTotals[static_cast<std::size_t>(
+                            telemetry::Stage::Decode)]
+                .count;
+        const auto stageCount = [&](telemetry::Stage stage) {
+            return stageTotals[static_cast<std::size_t>(stage)]
+                .count;
+        };
+        spanConservationOk =
+            decoded == stageCount(telemetry::Stage::Predict) &&
+            decoded == stageCount(telemetry::Stage::Encode) &&
+            decoded == stageCount(telemetry::Stage::WriteFlush);
+    }
+
     TextTable table;
     table.setHeader({"Metric", "Value"});
     const auto row = [&table](const std::string &name,
@@ -394,10 +433,50 @@ main(int argc, char **argv)
             std::to_string(netStats.responsesDropped));
         row("conservation", conservationOk ? "ok" : "VIOLATED");
     }
+    if (spansOn) {
+        row("stage spans (1/" + std::to_string(spanEvery) + ")",
+            std::to_string(spanFramesSampled) + " of " +
+                std::to_string(spanFramesSeen) + " frames");
+        row("span conservation",
+            spanConservationOk ? "ok" : "VIOLATED");
+    }
     table.print(std::cout);
     if (brokenConns > 0) {
         std::cout << "\nwarning: " << brokenConns
                   << " connection(s) broke mid-run\n";
+    }
+
+    if (spansOn) {
+        std::cout << "\nSampled pipeline stage latencies ("
+                  << spanFramesSampled << " of " << spanFramesSeen
+                  << " frames):\n";
+        TextTable stageTable;
+        stageTable.setHeader({"Stage", "Samples", "p50 (us)",
+                              "p99 (us)", "Mean (us)"});
+        for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+            stageTable.beginRow();
+            stageTable.addCell(telemetry::stageName(
+                static_cast<telemetry::Stage>(s)));
+            stageTable.addCell(stageTotals[s].count);
+            stageTable.addCell(
+                static_cast<double>(
+                    telemetry::percentileFromHistogram(
+                        stageHists[s], 0.50)) /
+                1000.0);
+            stageTable.addCell(
+                static_cast<double>(
+                    telemetry::percentileFromHistogram(
+                        stageHists[s], 0.99)) /
+                1000.0);
+            stageTable.addCell(
+                stageTotals[s].count == 0
+                    ? 0.0
+                    : static_cast<double>(stageTotals[s].sumNs) /
+                          static_cast<double>(
+                              stageTotals[s].count) /
+                          1000.0);
+        }
+        stageTable.print(std::cout);
     }
 
     // Publish the summary as netload.* gauges so --telemetry-out
@@ -459,9 +538,33 @@ main(int argc, char **argv)
                 << ", \"predictions\": " << engineStats.predictions
                 << "},\n";
         }
+        if (spansOn) {
+            out << "  \"stage_spans\": {"
+                << "\"sample_every\": " << spanEvery
+                << ", \"frames_seen\": " << spanFramesSeen
+                << ", \"sampled\": " << spanFramesSampled;
+            for (std::size_t s = 0; s < telemetry::kStageCount;
+                 ++s) {
+                const char *name = telemetry::stageName(
+                    static_cast<telemetry::Stage>(s));
+                out << ", \"" << name
+                    << "\": " << stageTotals[s].count << ", \""
+                    << name << "_p50_ns\": "
+                    << telemetry::percentileFromHistogram(
+                           stageHists[s], 0.50)
+                    << ", \"" << name << "_p99_ns\": "
+                    << telemetry::percentileFromHistogram(
+                           stageHists[s], 0.99)
+                    << ", \"" << name << "_sum_ns\": "
+                    << stageTotals[s].sumNs;
+            }
+            out << ", \"conservation_ok\": "
+                << (spanConservationOk ? "true" : "false")
+                << "},\n";
+        }
         out << "  \"conservation_ok\": "
             << (conservationOk ? "true" : "false") << "\n"
             << "}\n";
     }
-    return conservationOk ? 0 : 1;
+    return conservationOk && spanConservationOk ? 0 : 1;
 }

@@ -12,9 +12,14 @@
  *       profiling service where many instrumented processes ship
  *       branch events to one predictor box.
  *
- *   --serve [--port=<n>]  Host the same engine behind the epoll TCP
- *       server and block until SIGTERM/SIGINT, then drain gracefully
- *       (every accepted frame answered) and print the serving stats.
+ *   --serve [--port=<n>] [--admin-port=<n>] [--spans=<n>]  Host the
+ *       same engine behind the epoll TCP server and block until
+ *       SIGTERM/SIGINT, then drain gracefully (every accepted frame
+ *       answered) and print the serving stats. --admin-port exposes
+ *       the HTTP introspection endpoint (/metrics, /healthz,
+ *       /stats; 0 = ephemeral) that examples/engine_top polls;
+ *       --spans sets the stage-span sampling stride (default 64,
+ *       0 = off).
  *
  *   --connect=<host:port>  Run the 12-client workload against a
  *       --serve process over TCP and print the per-session
@@ -184,12 +189,15 @@ runInproc(std::uint64_t seed)
 
 /** Host the engine behind the TCP server until SIGTERM/SIGINT. */
 int
-runServe(std::uint16_t port)
+runServe(std::uint16_t port, int admin_port,
+         std::uint64_t span_every)
 {
     engine::Engine eng(engineConfig());
     net::ServerConfig serverCfg;
     serverCfg.port = port;
     serverCfg.reactorThreads = 2;
+    serverCfg.adminPort = admin_port;
+    serverCfg.spanSampleEvery = span_every;
     net::Server server(eng, serverCfg);
     net::Server::installSignalHandlers();
     if (!server.start())
@@ -197,8 +205,13 @@ runServe(std::uint16_t port)
 
     std::cout << "prediction_service: serving on 127.0.0.1:"
               << server.port()
-              << " (SIGTERM/SIGINT drains and exits)\n"
-              << std::flush;
+              << " (SIGTERM/SIGINT drains and exits)\n";
+    if (admin_port >= 0)
+        std::cout << "prediction_service: admin on http://127.0.0.1:"
+                  << server.adminPort()
+                  << " (/metrics /healthz /stats), stage spans 1/"
+                  << span_every << "\n";
+    std::cout << std::flush;
     while (!net::Server::signalDrainRequested())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
@@ -307,8 +320,18 @@ main(int argc, char **argv)
     const std::string target = valueArg(argc, argv, "--connect=");
     if (hasFlag(argc, argv, "--serve")) {
         const std::string port = valueArg(argc, argv, "--port=");
-        rc = runServe(static_cast<std::uint16_t>(
-            port.empty() ? 0 : std::stoul(port)));
+        const std::string admin =
+            valueArg(argc, argv, "--admin-port=");
+        const std::string spans = valueArg(argc, argv, "--spans=");
+        rc = runServe(
+            static_cast<std::uint16_t>(
+                port.empty() ? 0 : std::stoul(port)),
+            admin.empty() ? -1 : std::stoi(admin),
+            // Serve mode profiles itself by default: 1-in-64 stage
+            // sampling (the perf-smoke-gated rate); --spans=0 turns
+            // it off.
+            spans.empty() ? 64 : std::strtoull(spans.c_str(),
+                                               nullptr, 10));
     } else if (!target.empty()) {
         rc = runConnect(target, seed);
     } else {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/logging.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 
 namespace hotpath::engine
@@ -43,6 +44,15 @@ Engine::Engine(EngineConfig config)
 
     if (fault::kCompiledIn && cfg.faults.enabled())
         injector = std::make_unique<fault::FaultInjector>(cfg.faults);
+
+    if (cfg.spanSampleEvery > 0) {
+        telemetry::SpanConfig span_cfg;
+        span_cfg.sampleEvery = cfg.spanSampleEvery;
+        span_cfg.emitTrace = cfg.spanTrace;
+        ownedSpans =
+            std::make_unique<telemetry::SpanRecorder>(span_cfg);
+        spans = ownedSpans.get();
+    }
 
     tmFramesDecoded = telemetry::counter("engine.frames.decoded");
     tmFramesRejected = telemetry::counter("engine.frames.rejected");
@@ -110,13 +120,21 @@ Engine::Engine(EngineConfig config)
     const std::size_t shard_count = table.shardCount();
     queues.reserve(shard_count);
     tmShardFrames.reserve(shard_count);
+    tmShardDepth.reserve(shard_count);
+    tmShardBlocked.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
         queues.push_back(std::make_unique<ShardQueue>());
         if (cfg.overloadPolicy == OverloadPolicy::DropOldest)
             queues.back()->degradation =
                 std::make_unique<DegradationPolicy>(cfg.degradation);
-        tmShardFrames.push_back(telemetry::counter(
-            "engine.shard." + std::to_string(i) + ".frames"));
+        const std::string prefix =
+            "engine.shard." + std::to_string(i);
+        tmShardFrames.push_back(
+            telemetry::counter(prefix + ".frames"));
+        tmShardDepth.push_back(
+            telemetry::gauge(prefix + ".queue.depth"));
+        tmShardBlocked.push_back(
+            telemetry::counter(prefix + ".backpressure.waits"));
     }
 
     // More workers than shards would only idle: clamp.
@@ -126,8 +144,17 @@ Engine::Engine(EngineConfig config)
         return; // serial fallback mode
 
     workerStates.reserve(worker_count);
-    for (std::size_t w = 0; w < worker_count; ++w)
+    tmWorkerBusy.reserve(worker_count);
+    tmWorkerIdle.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w) {
         workerStates.push_back(std::make_unique<WorkerState>());
+        const std::string prefix =
+            "engine.worker." + std::to_string(w);
+        tmWorkerBusy.push_back(
+            telemetry::counter(prefix + ".busy.ns"));
+        tmWorkerIdle.push_back(
+            telemetry::counter(prefix + ".idle.ns"));
+    }
     for (std::size_t s = 0; s < shard_count; ++s) {
         const std::size_t owner = s % worker_count;
         queues[s]->worker = owner;
@@ -235,20 +262,35 @@ Engine::submit(std::vector<std::uint8_t> frame, std::uint64_t tag)
         flushDelayed(false);
     }
 
-    return routeFrame(frame, tag, /*blocking=*/true) ==
+    // Engine-owned span sampling (EngineConfig::spanSampleEvery)
+    // happens after the fault preamble, so dropped/delayed frames do
+    // not consume a sample without ever recording a stage.
+    std::uint64_t span_ns = 0;
+    if (ownedSpans && ownedSpans->sampleFrame())
+        span_ns = telemetry::monotonicNanos();
+
+    return routeFrame(frame, tag, /*blocking=*/true, span_ns) ==
            SubmitStatus::Accepted;
 }
 
 SubmitStatus
-Engine::trySubmit(std::vector<std::uint8_t> &frame, std::uint64_t tag)
+Engine::trySubmit(std::vector<std::uint8_t> &frame, std::uint64_t tag,
+                  std::uint64_t span_ns)
 {
     const SubmitStatus status =
-        routeFrame(frame, tag, /*blocking=*/false);
+        routeFrame(frame, tag, /*blocking=*/false, span_ns);
     // Backpressure leaves the frame with the caller and must not
     // disturb the conservation ledger; everything else was taken.
     if (status != SubmitStatus::Backpressure)
         framesSubmitted.fetch_add(1, std::memory_order_relaxed);
     return status;
+}
+
+void
+Engine::setSpanRecorder(telemetry::SpanRecorder *recorder)
+{
+    // Clearing restores the engine-owned recorder when one exists.
+    spans = recorder ? recorder : ownedSpans.get();
 }
 
 void
@@ -265,7 +307,8 @@ Engine::evictIdleSessions(std::uint64_t max_age)
 
 SubmitStatus
 Engine::routeFrame(std::vector<std::uint8_t> &frame,
-                   std::uint64_t tag, bool blocking)
+                   std::uint64_t tag, bool blocking,
+                   std::uint64_t span_ns)
 {
     wire::FrameHeader header;
     std::size_t frame_end = 0;
@@ -283,7 +326,8 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
 
     if (workers.empty()) {
         // Serial fallback: the caller's thread is the worker.
-        processFrame(frame, tag, serialScratch, serialPredScratch);
+        processFrame(frame, tag, serialScratch, serialPredScratch,
+                     span_ns);
         return SubmitStatus::Accepted;
     }
 
@@ -325,17 +369,22 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
             ++queue.backpressureWaits;
             if (tmBackpressure)
                 tmBackpressure->add(1);
+            if (tmShardBlocked[shard_index])
+                tmShardBlocked[shard_index]->add(1);
             queue.spaceAvailable.wait(lock, [&] {
                 return queue.frames.size() <
                        cfg.queueCapacityFrames;
             });
         }
         pendingFrames.fetch_add(1, std::memory_order_relaxed);
-        queue.frames.push_back({std::move(frame), tag});
+        queue.frames.push_back({std::move(frame), tag, span_ns});
         queue.highWater =
             std::max(queue.highWater, queue.frames.size());
         if (tmQueueDepth)
             tmQueueDepth->set(
+                static_cast<std::int64_t>(queue.frames.size()));
+        if (tmShardDepth[shard_index])
+            tmShardDepth[shard_index]->set(
                 static_cast<std::int64_t>(queue.frames.size()));
         if (tmQueueHighWater)
             tmQueueHighWater->recordMax(
@@ -478,8 +527,19 @@ Engine::completeUnapplied(const std::vector<std::uint8_t> &frame,
 void
 Engine::processFrame(const std::vector<std::uint8_t> &frame,
                      std::uint64_t tag, wire::DecodedFrame &scratch,
-                     std::vector<wire::PredictionRecord> &preds)
+                     std::vector<wire::PredictionRecord> &preds,
+                     std::uint64_t span_ns)
 {
+    // Stage spans: a sampled frame (span_ns != 0) costs three clock
+    // reads here - queue-wait end / decode start, decode end /
+    // predict start, predict end. Unsampled frames pay one branch.
+    std::uint64_t stage_start = 0;
+    if (span_ns != 0 && spans) {
+        stage_start = telemetry::monotonicNanos();
+        spans->recordStage(telemetry::Stage::QueueWait,
+                           stage_start - span_ns);
+    }
+
     std::size_t offset = 0;
     const wire::DecodeStatus status =
         wire::decodeFrame(frame.data(), frame.size(), offset, scratch);
@@ -503,6 +563,19 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
     if (tmFramesDecoded)
         tmFramesDecoded->add(1);
 
+    // Decode and predict are only recorded past the successful-decode
+    // PathEvents gate, and predict wraps withSession (which runs for
+    // backoff/alloc-dropped frames too) - so the sampled sets of the
+    // decode, predict and downstream reply stages are identical and
+    // per-stage counts check out frame-for-frame (the netcheck
+    // conservation gate relies on this).
+    if (stage_start != 0) {
+        const std::uint64_t now = telemetry::monotonicNanos();
+        spans->recordStage(telemetry::Stage::Decode,
+                           now - stage_start);
+        stage_start = now;
+    }
+
     bool applied = false;
     bool readmitted = false;
     std::uint64_t predicted = 0;
@@ -521,6 +594,10 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
             predicted = session.apply(
                 scratch, want_records ? &preds : nullptr);
         });
+    if (stage_start != 0)
+        spans->recordStage(telemetry::Stage::Predict,
+                           telemetry::monotonicNanos() -
+                               stage_start);
     if (resident && applied) {
         framesAppliedCount.fetch_add(1, std::memory_order_relaxed);
         eventsProcessed.fetch_add(scratch.events.size(),
@@ -562,6 +639,7 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
         outcome.applied = applied;
         outcome.predictions = preds.data();
         outcome.predictionCount = preds.size();
+        outcome.spanSampled = stage_start != 0;
         frameCallback(outcome);
     }
 }
@@ -583,6 +661,9 @@ Engine::workerLoop(std::size_t worker_index)
     wire::DecodedFrame scratch;
     std::vector<wire::PredictionRecord> predScratch;
     std::vector<QueuedFrame> batch;
+    // Busy/idle accounting: one clock read per sweep (not per frame).
+    // Busy covers sweeping and processing, idle the parked wait.
+    std::uint64_t mark = telemetry::monotonicNanos();
 
     while (true) {
         self.heartbeat.fetch_add(1, std::memory_order_relaxed);
@@ -599,9 +680,15 @@ Engine::workerLoop(std::size_t worker_index)
                         std::move(queue.frames.front()));
                     queue.frames.pop_front();
                 }
-                if (n > 0 && tmQueueDepth)
-                    tmQueueDepth->set(static_cast<std::int64_t>(
-                        queue.frames.size()));
+                if (n > 0) {
+                    if (tmQueueDepth)
+                        tmQueueDepth->set(static_cast<std::int64_t>(
+                            queue.frames.size()));
+                    if (tmShardDepth[shard_index])
+                        tmShardDepth[shard_index]->set(
+                            static_cast<std::int64_t>(
+                                queue.frames.size()));
+                }
             }
             if (batch.empty())
                 continue;
@@ -616,10 +703,16 @@ Engine::workerLoop(std::size_t worker_index)
 
             for (const QueuedFrame &frame : batch)
                 processFrame(frame.bytes, frame.tag, scratch,
-                             predScratch);
+                             predScratch, frame.spanNs);
             noteFrameDone(batch.size());
         }
         if (did_work) {
+            const std::uint64_t now = telemetry::monotonicNanos();
+            self.busyNs.fetch_add(now - mark,
+                                  std::memory_order_relaxed);
+            if (tmWorkerBusy[worker_index])
+                tmWorkerBusy[worker_index]->add(now - mark);
+            mark = now;
             if (fault::kCompiledIn && injector &&
                 injector->armed(fault::Site::WorkerStall) &&
                 injector->shouldInject(fault::Site::WorkerStall)) {
@@ -661,11 +754,21 @@ Engine::workerLoop(std::size_t worker_index)
                 return;
             continue;
         }
+        const std::uint64_t before_wait = telemetry::monotonicNanos();
+        self.busyNs.fetch_add(before_wait - mark,
+                              std::memory_order_relaxed);
+        if (tmWorkerBusy[worker_index])
+            tmWorkerBusy[worker_index]->add(before_wait - mark);
         self.workAvailable.wait(lock, [&] {
             return self.wake ||
                    stopping.load(std::memory_order_acquire);
         });
         self.wake = false;
+        mark = telemetry::monotonicNanos();
+        self.idleNs.fetch_add(mark - before_wait,
+                              std::memory_order_relaxed);
+        if (tmWorkerIdle[worker_index])
+            tmWorkerIdle[worker_index]->add(mark - before_wait);
     }
 }
 
@@ -831,13 +934,26 @@ Engine::stats() const
         framesAppliedCount.load(std::memory_order_relaxed);
 
     stats.queueHighWater.reserve(queues.size());
+    stats.queueDepth.reserve(queues.size());
+    stats.queueBackpressureWaits.reserve(queues.size());
     for (const auto &queue : queues) {
         std::lock_guard<std::mutex> lock(queue->mu);
         stats.queueHighWater.push_back(queue->highWater);
+        stats.queueDepth.push_back(queue->frames.size());
+        stats.queueBackpressureWaits.push_back(
+            queue->backpressureWaits);
         stats.backpressureWaits += queue->backpressureWaits;
         if (queue->degradation)
             stats.fault.degradedEntries +=
                 queue->degradation->degradedEntries();
+    }
+    stats.workerBusyNs.reserve(workerStates.size());
+    stats.workerIdleNs.reserve(workerStates.size());
+    for (const auto &worker : workerStates) {
+        stats.workerBusyNs.push_back(
+            worker->busyNs.load(std::memory_order_relaxed));
+        stats.workerIdleNs.push_back(
+            worker->idleNs.load(std::memory_order_relaxed));
     }
     return stats;
 }

@@ -70,6 +70,7 @@ namespace telemetry
 class Counter;
 class Gauge;
 class Histogram;
+class SpanRecorder;
 } // namespace telemetry
 
 namespace engine
@@ -135,6 +136,12 @@ struct FrameOutcome
     const wire::PredictionRecord *predictions = nullptr;
     /** Number of records behind `predictions`. */
     std::size_t predictionCount = 0;
+    /** True when this frame carries a sampled stage span: the engine
+     *  timed its decode/queue-wait/predict stages, and the callback
+     *  owner should time the encode and write-flush stages (the net
+     *  server does). Always false for unsampled frames and for
+     *  frames that failed the full decode. */
+    bool spanSampled = false;
 };
 
 /**
@@ -184,6 +191,19 @@ struct EngineConfig
     /** How long an injected FrameDelay holds a frame, measured in
      *  subsequently submitted frames. */
     std::uint64_t delayWindowFrames = 8;
+
+    /**
+     * Sample every Nth submitted frame for pipeline stage spans
+     * (queue-wait, decode, predict; see telemetry/span.hh); 0 = off.
+     * Only for engines fed directly by producers - when a net::Server
+     * fronts the engine, the server samples at the socket-read
+     * boundary instead (Engine::setSpanRecorder) and this must stay 0.
+     */
+    std::uint64_t spanSampleEvery = 0;
+
+    /** Emit sampled stages as StageSpan trace records too (only
+     *  meaningful with spanSampleEvery != 0). */
+    bool spanTrace = false;
 };
 
 /** Why a submitted frame was rejected. */
@@ -307,6 +327,20 @@ struct EngineStats
 
     /** Per-shard queue high-water marks (frames). */
     std::vector<std::size_t> queueHighWater;
+
+    /** Per-shard queue depth at snapshot time (frames). */
+    std::vector<std::size_t> queueDepth;
+
+    /** Per-shard producer blocks on a saturated queue (sums to
+     *  `backpressureWaits`). */
+    std::vector<std::uint64_t> queueBackpressureWaits;
+
+    /** Per-worker nanoseconds spent processing frames (empty in
+     *  serial mode). */
+    std::vector<std::uint64_t> workerBusyNs;
+
+    /** Per-worker nanoseconds spent parked waiting for work. */
+    std::vector<std::uint64_t> workerIdleNs;
 };
 
 /** The serving engine; see file comment. */
@@ -343,9 +377,35 @@ class Engine
      * submit(), the fault-injection preamble (drop/corrupt/delay) is
      * not applied - a network caller's faults happen on the socket,
      * not in the producer.
+     *
+     * `span_ns` != 0 marks the frame as span-sampled by the caller
+     * and carries the caller's enqueue timestamp
+     * (telemetry::monotonicNanos()): the engine records the frame's
+     * queue-wait, decode and predict stages against the recorder
+     * installed with setSpanRecorder(), and sets
+     * FrameOutcome::spanSampled so the caller can time the reply
+     * stages. Pass 0 (the default) for unsampled frames.
      */
     SubmitStatus trySubmit(std::vector<std::uint8_t> &frame,
-                           std::uint64_t tag = 0);
+                           std::uint64_t tag = 0,
+                           std::uint64_t span_ns = 0);
+
+    /**
+     * Install (or clear, with nullptr) the stage-span recorder used
+     * for span-sampled frames. The engine owns a recorder itself
+     * when EngineConfig::spanSampleEvery != 0; a fronting net::Server
+     * installs its own instead (it samples at the socket-read
+     * boundary). Not thread-safe against in-flight traffic: install
+     * before the first submit, clear only after a drain.
+     */
+    void setSpanRecorder(telemetry::SpanRecorder *recorder);
+
+    /** The active span recorder (engine-owned or installed), or
+     *  nullptr when stage spans are off. */
+    const telemetry::SpanRecorder *spanRecorder() const
+    {
+        return spans;
+    }
 
     /**
      * Install (or clear, with nullptr) the per-frame completion
@@ -423,6 +483,9 @@ class Engine
     {
         std::vector<std::uint8_t> bytes;
         std::uint64_t tag = 0;
+        /** Enqueue timestamp of a span-sampled frame (0 =
+         *  unsampled). */
+        std::uint64_t spanNs = 0;
     };
 
     struct ShardQueue
@@ -448,6 +511,10 @@ class Engine
         std::atomic<std::uint64_t> heartbeat{0};
         std::atomic<bool> stalled{false};
         std::atomic<bool> stallRelease{false};
+        // Utilization accounting (relaxed; read by stats()). Busy
+        // covers batch processing, idle covers the parked wait.
+        std::atomic<std::uint64_t> busyNs{0};
+        std::atomic<std::uint64_t> idleNs{0};
     };
 
     struct DelayedFrame
@@ -461,17 +528,21 @@ class Engine
     void watchdogLoop();
 
     /** Decode + apply one frame on the owning worker (or inline in
-     *  serial mode); fires the completion callback when installed. */
+     *  serial mode); fires the completion callback when installed.
+     *  `span_ns` != 0 marks a span-sampled frame carrying its
+     *  enqueue timestamp. */
     void processFrame(const std::vector<std::uint8_t> &frame,
                       std::uint64_t tag, wire::DecodedFrame &scratch,
-                      std::vector<wire::PredictionRecord> &preds);
+                      std::vector<wire::PredictionRecord> &preds,
+                      std::uint64_t span_ns = 0);
 
     /** Post-injection routing shared by submit(), trySubmit(),
      *  submitBuffer() and delayed redelivery: header peek, reject,
      *  enqueue or inline. On Backpressure (nonblocking callers only)
-     *  `frame` is left intact. */
+     *  `frame` is left intact. `span_ns` as in processFrame(). */
     SubmitStatus routeFrame(std::vector<std::uint8_t> &frame,
-                            std::uint64_t tag, bool blocking);
+                            std::uint64_t tag, bool blocking,
+                            std::uint64_t span_ns = 0);
 
     /** Attribute a decode failure to its session's error budget;
      *  poisons/rebuilds when the budget is exhausted. */
@@ -548,6 +619,17 @@ class Engine
     telemetry::Gauge *tmQueueDepth = nullptr;
     telemetry::Histogram *tmBatchSize = nullptr;
     std::vector<telemetry::Counter *> tmShardFrames;
+    // Contention/utilization instruments (eagerly registered so every
+    // shard and worker appears in reports even at zero).
+    std::vector<telemetry::Gauge *> tmShardDepth;
+    std::vector<telemetry::Counter *> tmShardBlocked;
+    std::vector<telemetry::Counter *> tmWorkerBusy;
+    std::vector<telemetry::Counter *> tmWorkerIdle;
+
+    // Stage-span recorder: engine-owned when cfg.spanSampleEvery != 0,
+    // else whatever setSpanRecorder() installed (the net server's).
+    std::unique_ptr<telemetry::SpanRecorder> ownedSpans;
+    telemetry::SpanRecorder *spans = nullptr;
 
     // Resilience telemetry; created only when a resilience feature
     // (fault plan, error budget, shedding, watchdog) is enabled so

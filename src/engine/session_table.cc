@@ -49,6 +49,7 @@ ShardedSessionTable::ShardedSessionTable(SessionTableConfig config)
     tmIdleEvicted =
         telemetry::counter("engine.sessions.evicted.idle");
     tmLive = telemetry::gauge("engine.sessions.live");
+    tmLockWait = telemetry::histogram("engine.table.lock.wait.ns");
 }
 
 std::size_t
@@ -66,7 +67,16 @@ ShardedSessionTable::withSession(
     Shard &shard = *shards[shardOf(session_id)];
     const std::uint64_t tick =
         activityClock.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+    if (tmLockWait) {
+        // Time the stripe-lock acquisition (two clock reads per
+        // access - only when telemetry is attached).
+        const std::uint64_t before = telemetry::monotonicNanos();
+        lock.lock();
+        tmLockWait->record(telemetry::monotonicNanos() - before);
+    } else {
+        lock.lock();
+    }
 
     auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {

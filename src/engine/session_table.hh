@@ -36,6 +36,7 @@ namespace telemetry
 {
 class Counter;
 class Gauge;
+class Histogram;
 } // namespace telemetry
 
 namespace engine
@@ -190,6 +191,9 @@ class ShardedSessionTable
     telemetry::Counter *tmEvicted = nullptr;
     telemetry::Counter *tmIdleEvicted = nullptr;
     telemetry::Gauge *tmLive = nullptr;
+    /** Stripe-lock acquisition wait on the withSession hot path; a
+     *  fat tail here means sessions are clumping on a stripe. */
+    telemetry::Histogram *tmLockWait = nullptr;
 };
 
 } // namespace engine

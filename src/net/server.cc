@@ -16,9 +16,12 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <sstream>
 
 #include "engine/wire_format.hh"
 #include "support/logging.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/percentiles.hh"
 #include "telemetry/telemetry.hh"
 
 namespace hotpath::net
@@ -67,7 +70,8 @@ Server::signalDrainRequested()
 }
 
 Server::Server(engine::Engine &engine, ServerConfig config)
-    : eng(engine), cfg(std::move(config))
+    : eng(engine), cfg(std::move(config)),
+      spans(telemetry::SpanConfig{cfg.spanSampleEvery, cfg.spanTrace})
 {
     if (cfg.reactorThreads == 0)
         cfg.reactorThreads = 1;
@@ -113,6 +117,19 @@ Server::start()
                             std::strerror(errno)));
         return false;
     }
+    if (cfg.adminPort >= 0) {
+        adminListener = listenTcp(
+            cfg.bindAddress,
+            static_cast<std::uint16_t>(cfg.adminPort),
+            &boundAdminPort);
+        if (!adminListener.valid()) {
+            warn(detail::concat("net: admin bind ", cfg.bindAddress,
+                                ":", cfg.adminPort, " failed: ",
+                                std::strerror(errno)));
+            listener.reset();
+            return false;
+        }
+    }
 
     reactors.clear();
     for (std::size_t i = 0; i < cfg.reactorThreads; ++i) {
@@ -140,7 +157,9 @@ Server::start()
 
     // Route every completed frame back to the connection that sent
     // it. The callback runs on an engine worker; it only encodes the
-    // reply and posts it to the owning reactor's inbox.
+    // reply and posts it to the owning reactor's inbox. For a
+    // span-sampled frame the encode is timed (the engine already
+    // timed queue-wait/decode/predict; see FrameOutcome::spanSampled).
     eng.setFrameCallback([this](const engine::FrameOutcome &o) {
         const std::uint64_t conn = o.tag & kConnTagMask;
         const std::size_t reactor = static_cast<std::size_t>(
@@ -148,11 +167,25 @@ Server::start()
         if (conn == 0 || reactor >= reactors.size())
             return;
         std::vector<std::uint8_t> reply;
-        wire::appendPredictionFrame(reply, o.session, o.sequence,
-                                    o.predictions,
-                                    o.predictionCount);
-        postReply(reactor, conn, std::move(reply));
+        if (o.spanSampled) {
+            const std::uint64_t start = telemetry::monotonicNanos();
+            wire::appendPredictionFrame(reply, o.session, o.sequence,
+                                        o.predictions,
+                                        o.predictionCount);
+            spans.recordStage(telemetry::Stage::Encode,
+                              telemetry::monotonicNanos() - start);
+        } else {
+            wire::appendPredictionFrame(reply, o.session, o.sequence,
+                                        o.predictions,
+                                        o.predictionCount);
+        }
+        postReply(reactor, conn, std::move(reply), o.spanSampled);
     });
+
+    // The server samples at the socket-read boundary; the engine
+    // records the stages it owns against this recorder.
+    if (spans.enabled())
+        eng.setSpanRecorder(&spans);
 
     stopping.store(false);
     draining.store(false);
@@ -162,6 +195,8 @@ Server::start()
         r->thread = std::thread([this, r] { reactorLoop(r->index); });
     }
     acceptor = std::thread([this] { acceptLoop(); });
+    if (adminListener.valid())
+        adminThread = std::thread([this] { adminLoop(); });
     return true;
 }
 
@@ -233,13 +268,13 @@ Server::wakeReactor(Reactor &reactor)
 
 void
 Server::postReply(std::size_t reactor_index, std::uint64_t conn_id,
-                  std::vector<std::uint8_t> bytes)
+                  std::vector<std::uint8_t> bytes, bool sampled)
 {
     Reactor &reactor = *reactors[reactor_index];
     {
         std::lock_guard<std::mutex> lock(reactor.inboxMu);
         reactor.pendingReplies.push_back(
-            {conn_id, std::move(bytes)});
+            {conn_id, std::move(bytes), sampled});
         reactor.flushed.store(false, std::memory_order_relaxed);
     }
     wakeReactor(reactor);
@@ -336,6 +371,10 @@ Server::drainInbox(Reactor &reactor)
             nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
             if (tmResponsesDropped)
                 tmResponsesDropped->add(1);
+            // A sampled reply that will never flush still owes its
+            // write-flush record (zero: nothing was written).
+            if (reply.sampled)
+                spans.recordStage(telemetry::Stage::WriteFlush, 0);
             continue;
         }
         Connection &conn = it->second;
@@ -346,10 +385,16 @@ Server::drainInbox(Reactor &reactor)
             nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
             if (tmResponsesDropped)
                 tmResponsesDropped->add(1);
+            if (reply.sampled)
+                spans.recordStage(telemetry::Stage::WriteFlush, 0);
             continue;
         }
         conn.out.insert(conn.out.end(), reply.bytes.begin(),
                         reply.bytes.end());
+        conn.outEnqueuedTotal += reply.bytes.size();
+        if (reply.sampled)
+            conn.spanWrites.emplace_back(
+                conn.outEnqueuedTotal, telemetry::monotonicNanos());
         nResponsesOut.fetch_add(1, std::memory_order_relaxed);
         if (tmResponsesOut)
             tmResponsesOut->add(1);
@@ -381,6 +426,11 @@ Server::handleReadable(Reactor &reactor, Connection &conn)
         closeConnection(reactor, conn.id);
         return;
     }
+
+    // Start of the Read stage for frames extracted below: the moment
+    // the socket came back readable.
+    if (spans.enabled())
+        conn.readStartNs = telemetry::monotonicNanos();
 
     while (!conn.paused && !conn.readClosed) {
         const std::size_t old = conn.in.size();
@@ -439,12 +489,22 @@ Server::processInput(Reactor &reactor, Connection &conn)
             std::vector<std::uint8_t> frame(data + off,
                                             data + frameEnd);
             off = frameEnd;
+            // Sampling decision at the ingest boundary: a sampled
+            // frame is timestamped here (end of Read, start of
+            // QueueWait) and carries span_ns through the engine.
+            std::uint64_t span_ns = 0;
+            if (spans.sampleFrame()) {
+                span_ns = telemetry::monotonicNanos();
+                spans.recordStage(telemetry::Stage::Read,
+                                  span_ns - conn.readStartNs);
+            }
             const engine::SubmitStatus submitted = eng.trySubmit(
-                frame, makeTag(reactor.index, conn.id));
+                frame, makeTag(reactor.index, conn.id), span_ns);
             if (submitted == engine::SubmitStatus::Backpressure) {
                 // Park the frame and stop reading this socket: the
                 // kernel buffer fills and TCP pushes back.
                 conn.parked = std::move(frame);
+                conn.parkedSpanNs = span_ns;
                 conn.paused = true;
                 nReadPauses.fetch_add(1, std::memory_order_relaxed);
                 if (tmReadPauses)
@@ -509,6 +569,19 @@ Server::flushOutput(Reactor &reactor, Connection &conn)
                     want);
         if (wrote > 0) {
             conn.outOff += static_cast<std::size_t>(wrote);
+            conn.outFlushedTotal +=
+                static_cast<std::uint64_t>(wrote);
+            // Sampled replies fully behind the flushed watermark
+            // have completed their write-flush stage.
+            while (!conn.spanWrites.empty() &&
+                   conn.spanWrites.front().first <=
+                       conn.outFlushedTotal) {
+                spans.recordStage(
+                    telemetry::Stage::WriteFlush,
+                    telemetry::monotonicNanos() -
+                        conn.spanWrites.front().second);
+                conn.spanWrites.pop_front();
+            }
             nBytesOut.fetch_add(static_cast<std::uint64_t>(wrote),
                                 std::memory_order_relaxed);
             if (tmBytesOut)
@@ -525,10 +598,13 @@ Server::flushOutput(Reactor &reactor, Connection &conn)
             continue;
         // Write error: the peer reset. Drop every buffer so the
         // connDone close path can run once in-flight replies drain.
+        settlePendingSpans(conn);
         conn.out.clear();
         conn.outOff = 0;
+        conn.outEnqueuedTotal = conn.outFlushedTotal;
         conn.in.clear();
         conn.parked.clear();
+        conn.parkedSpanNs = 0;
         conn.paused = false;
         conn.readClosed = true;
         break;
@@ -562,8 +638,10 @@ Server::maintenance(Reactor &reactor, std::size_t index)
         if (it == reactor.conns.end())
             continue;
         Connection &conn = it->second;
-        const engine::SubmitStatus submitted =
-            eng.trySubmit(conn.parked, makeTag(index, id));
+        // The parked frame keeps its original sampling decision and
+        // timestamp: the park time IS queueing delay.
+        const engine::SubmitStatus submitted = eng.trySubmit(
+            conn.parked, makeTag(index, id), conn.parkedSpanNs);
         if (submitted == engine::SubmitStatus::Backpressure)
             continue;
         if (submitted == engine::SubmitStatus::Accepted) {
@@ -573,10 +651,13 @@ Server::maintenance(Reactor &reactor, std::size_t index)
                 tmFramesIn->add(1);
         }
         conn.parked.clear();
+        conn.parkedSpanNs = 0;
         conn.paused = false;
         // Resume: drain what we already buffered, then the socket
         // (the edge may not re-fire for bytes that arrived while we
         // were not reading).
+        if (spans.enabled())
+            conn.readStartNs = telemetry::monotonicNanos();
         if (!processInput(reactor, conn)) {
             closeConnection(reactor, id);
             continue;
@@ -670,11 +751,26 @@ Server::maintenance(Reactor &reactor, std::size_t index)
 }
 
 void
+Server::settlePendingSpans(Connection &conn)
+{
+    // Sampled replies this connection will never flush: record the
+    // time they did spend buffered so every sampled frame completes
+    // its write-flush stage exactly once.
+    if (conn.spanWrites.empty())
+        return;
+    const std::uint64_t now = telemetry::monotonicNanos();
+    for (const auto &[target, start] : conn.spanWrites)
+        spans.recordStage(telemetry::Stage::WriteFlush, now - start);
+    conn.spanWrites.clear();
+}
+
+void
 Server::closeConnection(Reactor &reactor, std::uint64_t conn_id)
 {
     const auto it = reactor.conns.find(conn_id);
     if (it == reactor.conns.end())
         return;
+    settlePendingSpans(it->second);
     // Replies still owed to this connection will find it gone and be
     // counted as dropped when they arrive (drainInbox).
     reactor.conns.erase(it); // Fd close drops the epoll entry
@@ -684,6 +780,195 @@ Server::closeConnection(Reactor &reactor, std::uint64_t conn_id)
     nActive.fetch_sub(1, std::memory_order_relaxed);
     if (tmActive)
         tmActive->add(-1);
+}
+
+std::string
+Server::statsJson() const
+{
+    // Flat JSON only - scalar numbers and flat numeric arrays - so
+    // engine_top can scan it with string searches instead of a JSON
+    // parser (the document is RunReport-shaped, not RunReport-deep).
+    const NetStats net = stats();
+    const engine::EngineStats es = eng.stats();
+    std::ostringstream os;
+    os << '{';
+    os << "\"net_accepted\":" << net.accepted
+       << ",\"net_closed\":" << net.closed
+       << ",\"net_active\":" << net.activeConnections
+       << ",\"net_frames_in\":" << net.framesIn
+       << ",\"net_responses_out\":" << net.responsesOut
+       << ",\"net_responses_dropped\":" << net.responsesDropped
+       << ",\"net_bytes_in\":" << net.bytesIn
+       << ",\"net_bytes_out\":" << net.bytesOut
+       << ",\"net_read_pauses\":" << net.readPauses;
+    os << ",\"engine_frames_submitted\":" << es.framesSubmitted
+       << ",\"engine_frames_decoded\":" << es.framesDecoded
+       << ",\"engine_frames_rejected\":" << es.framesRejected
+       << ",\"engine_events\":" << es.eventsProcessed
+       << ",\"engine_predictions\":" << es.predictions
+       << ",\"engine_sessions_live\":" << es.sessionsLive
+       << ",\"engine_backpressure_waits\":" << es.backpressureWaits;
+    const auto arr = [&os](const char *key, const auto &values) {
+        os << ",\"" << key << "\":[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i != 0)
+                os << ',';
+            os << static_cast<std::uint64_t>(values[i]);
+        }
+        os << ']';
+    };
+    arr("engine_queue_depth", es.queueDepth);
+    arr("engine_queue_backpressure_waits",
+        es.queueBackpressureWaits);
+    arr("engine_worker_busy_ns", es.workerBusyNs);
+    arr("engine_worker_idle_ns", es.workerIdleNs);
+    os << ",\"span_sample_every\":" << spans.sampleEvery()
+       << ",\"span_frames_seen\":" << spans.framesSeen()
+       << ",\"span_frames_sampled\":" << spans.sampledFrames();
+    for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+        const auto stage = static_cast<telemetry::Stage>(s);
+        const telemetry::HistogramSnapshot snap =
+            spans.stageSnapshot(stage);
+        const char *name = telemetry::stageName(stage);
+        os << ",\"stage_" << name << "_count\":" << snap.count
+           << ",\"stage_" << name << "_sum_ns\":" << snap.sum
+           << ",\"stage_" << name << "_p50_ns\":"
+           << telemetry::percentileFromHistogram(snap, 0.50)
+           << ",\"stage_" << name << "_p99_ns\":"
+           << telemetry::percentileFromHistogram(snap, 0.99);
+    }
+    os << '}';
+    return os.str();
+}
+
+std::string
+Server::adminResponse(const std::string &path, int &status) const
+{
+    if (path == "/healthz") {
+        if (draining.load(std::memory_order_relaxed)) {
+            status = 503;
+            return "draining\n";
+        }
+        status = 200;
+        return "ok\n";
+    }
+    if (path == "/metrics") {
+        status = 200;
+        std::ostringstream os;
+        if (telemetry::MetricRegistry *registry =
+                telemetry::attachedRegistry())
+            telemetry::writePrometheus(os, registry->snapshot());
+        else
+            os << "# telemetry registry not attached\n";
+        return os.str();
+    }
+    if (path == "/stats") {
+        status = 200;
+        return statsJson();
+    }
+    status = 404;
+    return "not found\n";
+}
+
+void
+Server::serveAdminRequest(Fd &conn)
+{
+    using Clock = std::chrono::steady_clock;
+    // Bounded request read: admin clients are local tools, but a
+    // slow, oversized or malformed request must not wedge the admin
+    // thread (one request at a time is the whole concurrency model).
+    std::string request;
+    char buf[1024];
+    const auto readDeadline =
+        Clock::now() + std::chrono::milliseconds(250);
+    while (request.find('\n') == std::string::npos &&
+           request.size() < 4096 && Clock::now() < readDeadline) {
+        pollfd pfd{conn.get(), POLLIN, 0};
+        if (::poll(&pfd, 1, 50) <= 0)
+            continue;
+        const ssize_t got = ::read(conn.get(), buf, sizeof(buf));
+        if (got > 0) {
+            request.append(buf, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            break;
+        if (errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            continue;
+        return;
+    }
+
+    int status = 400;
+    std::string body = "bad request\n";
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+        const std::size_t end = request.find_first_of(" \r\n", 4);
+        if (end != std::string::npos && end > 4) {
+            path = request.substr(4, end - 4);
+            body = adminResponse(path, status);
+        }
+    }
+
+    const char *reason = status == 200  ? "OK"
+                         : status == 404 ? "Not Found"
+                         : status == 503 ? "Service Unavailable"
+                                         : "Bad Request";
+    const char *contentType =
+        path == "/stats" ? "application/json"
+        : path == "/metrics"
+            ? "text/plain; version=0.0.4; charset=utf-8"
+            : "text/plain; charset=utf-8";
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+       << "Content-Type: " << contentType << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    const std::string response = os.str();
+
+    std::size_t off = 0;
+    const auto writeDeadline =
+        Clock::now() + std::chrono::milliseconds(500);
+    while (off < response.size() && Clock::now() < writeDeadline) {
+        const ssize_t wrote = ::write(
+            conn.get(), response.data() + off, response.size() - off);
+        if (wrote > 0) {
+            off += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 &&
+            (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{conn.get(), POLLOUT, 0};
+            ::poll(&pfd, 1, 50);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+}
+
+void
+Server::adminLoop()
+{
+    // One request per connection, one connection at a time: the
+    // admin plane serves a curl or engine_top poll every few hundred
+    // milliseconds, not traffic. It keeps serving during drain() -
+    // that is when /healthz flipping to 503 matters most - and exits
+    // on stop().
+    while (!stopping.load()) {
+        pollfd pfd{adminListener.get(), POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(cfg.tickMs));
+        if (ready <= 0)
+            continue;
+        Fd conn(::accept4(adminListener.get(), nullptr, nullptr,
+                          SOCK_NONBLOCK));
+        if (!conn.valid())
+            continue;
+        serveAdminRequest(conn);
+    }
 }
 
 void
@@ -754,6 +1039,9 @@ Server::stop()
         wakeReactor(*reactor);
     if (acceptor.joinable())
         acceptor.join();
+    if (adminThread.joinable())
+        adminThread.join();
+    adminListener.reset();
     for (auto &reactor : reactors) {
         if (reactor->thread.joinable())
             reactor->thread.join();
@@ -765,9 +1053,13 @@ Server::stop()
     // safe against in-flight traffic).
     eng.drain();
     eng.setFrameCallback(nullptr);
+    if (spans.enabled())
+        eng.setSpanRecorder(nullptr);
     std::uint64_t open = 0;
     for (auto &reactor : reactors) {
         open += reactor->conns.size();
+        for (auto &[id, conn] : reactor->conns)
+            settlePendingSpans(conn);
         reactor->conns.clear();
     }
     if (open > 0) {

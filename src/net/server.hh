@@ -49,12 +49,14 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dynamo/flush.hh"
 #include "engine/engine.hh"
 #include "net/socket.hh"
 #include "support/fault_injector.hh"
+#include "telemetry/span.hh"
 
 namespace hotpath
 {
@@ -131,6 +133,23 @@ struct ServerConfig
     /** Longest drain() will wait for reply flushing, in
      *  milliseconds. */
     std::uint64_t drainTimeoutMs = 5000;
+
+    /**
+     * Admin (introspection) HTTP listener port: -1 disables it, 0
+     * binds an ephemeral port (read it back with
+     * Server::adminPort()). The listener binds `bindAddress` on a
+     * thread of its own and serves plain HTTP/1.0 GETs: /metrics
+     * (Prometheus text), /healthz (drain state) and /stats (flat
+     * JSON counters consumed by examples/engine_top).
+     */
+    int adminPort = -1;
+
+    /** Sample every Nth inbound frame for pipeline stage spans at
+     *  the socket-read boundary (telemetry/span.hh); 0 = off. */
+    std::uint64_t spanSampleEvery = 0;
+
+    /** Emit sampled stages as StageSpan trace records too. */
+    bool spanTrace = false;
 };
 
 /** Aggregate serving counters (mirrored in net.* telemetry). */
@@ -193,6 +212,17 @@ class Server
     /** The bound TCP port (valid after start()). */
     std::uint16_t port() const { return boundPort; }
 
+    /** The bound admin port (valid after start() when
+     *  ServerConfig::adminPort >= 0; otherwise 0). */
+    std::uint16_t adminPort() const { return boundAdminPort; }
+
+    /** The server's stage-span recorder (disabled unless
+     *  ServerConfig::spanSampleEvery != 0). */
+    const telemetry::SpanRecorder &spanRecorder() const
+    {
+        return spans;
+    }
+
     /**
      * Graceful drain: close the listener, wait for inbound traffic
      * to go quiet, drain the engine so every accepted frame is
@@ -250,6 +280,22 @@ class Server
          *  back to this reactor. */
         std::uint64_t inFlight = 0;
         std::uint64_t lastActivityTick = 0;
+        /** Stage spans: when this socket last became readable
+         *  (start of the Read stage for frames extracted from the
+         *  bytes that follow). Only maintained while sampling. */
+        std::uint64_t readStartNs = 0;
+        /** Enqueue timestamp of a span-sampled parked frame (0 =
+         *  parked frame is unsampled or nothing parked). */
+        std::uint64_t parkedSpanNs = 0;
+        /** Lifetime bytes appended to / flushed from `out` (the
+         *  write-flush stage tracks logical byte watermarks, not
+         *  buffer offsets, because `out` compacts). */
+        std::uint64_t outEnqueuedTotal = 0;
+        std::uint64_t outFlushedTotal = 0;
+        /** Sampled replies awaiting flush: (outEnqueuedTotal
+         *  watermark of the reply's last byte, enqueue time). */
+        std::deque<std::pair<std::uint64_t, std::uint64_t>>
+            spanWrites;
     };
 
     /** One reactor thread's state. */
@@ -273,6 +319,9 @@ class Server
         {
             std::uint64_t conn = 0;
             std::vector<std::uint8_t> bytes;
+            /** Reply to a span-sampled frame: its write-flush stage
+             *  must be recorded exactly once. */
+            bool sampled = false;
         };
         std::deque<Reply> pendingReplies;
 
@@ -299,14 +348,36 @@ class Server
     void drainInbox(Reactor &reactor);
     void closeConnection(Reactor &reactor, std::uint64_t conn_id);
     void postReply(std::size_t reactor_index, std::uint64_t conn_id,
-                   std::vector<std::uint8_t> bytes);
+                   std::vector<std::uint8_t> bytes, bool sampled);
     void wakeReactor(Reactor &reactor);
+    /** Record the write-flush stage for sampled replies that `conn`
+     *  will never flush (close/teardown), keeping the per-stage
+     *  sample counts conserved. */
+    void settlePendingSpans(Connection &conn);
+    /** Admin listener thread: accept + serve one HTTP GET at a
+     *  time. */
+    void adminLoop();
+    /** Serve one admin connection (read request, write response,
+     *  close). */
+    void serveAdminRequest(Fd &conn);
+    /** Response body + status for an admin request path. */
+    std::string adminResponse(const std::string &path,
+                              int &status) const;
+    /** The /stats document: flat JSON (scalars and flat numeric
+     *  arrays only, so engine_top can scan it without a JSON
+     *  parser). */
+    std::string statsJson() const;
 
     engine::Engine &eng;
     ServerConfig cfg;
+    /** Stage-span recorder; sampling at the socket-read boundary. */
+    telemetry::SpanRecorder spans;
     std::unique_ptr<fault::FaultInjector> injector;
     Fd listener;
     std::uint16_t boundPort = 0;
+    Fd adminListener;
+    std::uint16_t boundAdminPort = 0;
+    std::thread adminThread;
     std::thread acceptor;
     std::vector<std::unique_ptr<Reactor>> reactors;
     std::atomic<bool> stopping{false};

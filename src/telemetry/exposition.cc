@@ -1,0 +1,64 @@
+#include "telemetry/exposition.hh"
+
+#include <cctype>
+
+namespace hotpath::telemetry
+{
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    // A leading digit is illegal in the exposition format.
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+writePrometheus(std::ostream &os, const MetricsSnapshot &snapshot)
+{
+    for (const CounterSample &sample : snapshot.counters) {
+        const std::string name = prometheusName(sample.name);
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << sample.value << '\n';
+    }
+    for (const GaugeSample &sample : snapshot.gauges) {
+        const std::string name = prometheusName(sample.name);
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << sample.value << '\n';
+    }
+    for (const HistogramSample &sample : snapshot.histograms) {
+        const std::string name = prometheusName(sample.name);
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < sample.hist.buckets.size();
+             ++b) {
+            if (sample.hist.buckets[b] == 0)
+                continue;
+            cumulative += sample.hist.buckets[b];
+            // Upper edge of log2 bucket b: 0 for the zero bucket,
+            // else 2^b - 1.
+            const std::uint64_t le =
+                b == 0 ? 0
+                       : (b >= 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << b) - 1);
+            os << name << "_bucket{le=\"" << le << "\"} "
+               << cumulative << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << sample.hist.count
+           << '\n'
+           << name << "_sum " << sample.hist.sum << '\n'
+           << name << "_count " << sample.hist.count << '\n';
+    }
+}
+
+} // namespace hotpath::telemetry

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Prometheus text exposition for a MetricsSnapshot.
+ *
+ * Renders the snapshot in the Prometheus text format (version 0.0.4)
+ * served by the net::Server admin endpoint's /metrics path: dotted
+ * instrument names become underscore-separated metric names,
+ * counters and gauges are single samples, and log2 histograms become
+ * cumulative `_bucket{le="..."}` series with `_sum` and `_count`.
+ * The output is deterministic (snapshot order is sorted by name), so
+ * tests can assert on it verbatim.
+ */
+
+#ifndef HOTPATH_TELEMETRY_EXPOSITION_HH
+#define HOTPATH_TELEMETRY_EXPOSITION_HH
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/registry.hh"
+
+namespace hotpath::telemetry
+{
+
+/** Prometheus-safe metric name for a dotted instrument name
+ *  ("net.frames.in" -> "net_frames_in"). */
+std::string prometheusName(const std::string &name);
+
+/** Render the whole snapshot in Prometheus text format. */
+void writePrometheus(std::ostream &os,
+                     const MetricsSnapshot &snapshot);
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_EXPOSITION_HH

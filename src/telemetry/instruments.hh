@@ -104,6 +104,10 @@ struct HistogramSnapshot
     std::uint64_t min = 0;
     std::uint64_t max = 0;
     std::array<std::uint64_t, 65> buckets{};
+
+    /** Percentile estimate over the log2 buckets (`p` in [0, 1]);
+     *  delegates to telemetry::percentileFromHistogram(). */
+    std::uint64_t percentile(double p) const;
 };
 
 /**

@@ -1,0 +1,76 @@
+#include "telemetry/percentiles.hh"
+
+#include <algorithm>
+
+namespace hotpath::telemetry
+{
+
+std::uint64_t
+percentileOfSorted(const std::vector<std::uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+Percentiles
+percentiles(std::vector<std::uint64_t> &samples)
+{
+    std::sort(samples.begin(), samples.end());
+    Percentiles out;
+    out.samples = samples.size();
+    out.p50 = percentileOfSorted(samples, 0.50);
+    out.p99 = percentileOfSorted(samples, 0.99);
+    out.p999 = percentileOfSorted(samples, 0.999);
+    out.max = samples.empty() ? 0 : samples.back();
+    return out;
+}
+
+std::uint64_t
+percentileFromHistogram(const HistogramSnapshot &hist, double p)
+{
+    if (hist.count == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Nearest-rank position among the recorded values, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(hist.count - 1) + 0.5) + 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+        const std::uint64_t in_bucket = hist.buckets[b];
+        if (in_bucket == 0)
+            continue;
+        if (cumulative + in_bucket < rank) {
+            cumulative += in_bucket;
+            continue;
+        }
+        // The rank lands in this bucket; interpolate between the
+        // bucket bounds by its position among the bucket's values.
+        const std::uint64_t lo = Histogram::bucketLowerBound(b);
+        if (b == 0)
+            return 0; // the zero bucket holds exact zeros
+        const std::uint64_t hi =
+            b >= 64 ? ~std::uint64_t{0}
+                    : Histogram::bucketLowerBound(b + 1) - 1;
+        const std::uint64_t into = rank - cumulative; // 1..in_bucket
+        const double frac = in_bucket <= 1
+            ? 0.0
+            : static_cast<double>(into - 1) /
+                  static_cast<double>(in_bucket - 1);
+        return lo + static_cast<std::uint64_t>(
+                        frac * static_cast<double>(hi - lo));
+    }
+    return hist.max;
+}
+
+std::uint64_t
+HistogramSnapshot::percentile(double p) const
+{
+    return percentileFromHistogram(*this, p);
+}
+
+} // namespace hotpath::telemetry

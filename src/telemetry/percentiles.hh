@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared percentile math for latency reporting.
+ *
+ * Two families of estimate live here, used by the benches, the
+ * /stats admin endpoint and HistogramSnapshot::percentile():
+ *
+ *  - exact nearest-rank percentiles over raw sample vectors (what
+ *    net_loadgen measures per reply: log2 histogram buckets are too
+ *    coarse for tail percentiles);
+ *  - interpolated percentiles over a log2 HistogramSnapshot (what
+ *    the sampled stage spans keep: linear interpolation inside the
+ *    winning power-of-two bucket, cheap and registry-friendly).
+ */
+
+#ifndef HOTPATH_TELEMETRY_PERCENTILES_HH
+#define HOTPATH_TELEMETRY_PERCENTILES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/instruments.hh"
+
+namespace hotpath::telemetry
+{
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample vector:
+ * rank = p * (n - 1), rounded to the nearest index. Returns 0 for an
+ * empty vector. `p` is a fraction in [0, 1].
+ */
+std::uint64_t percentileOfSorted(
+    const std::vector<std::uint64_t> &sorted, double p);
+
+/** The percentile set every latency report prints. */
+struct Percentiles
+{
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max = 0;
+    std::size_t samples = 0;
+};
+
+/** Sort `samples` in place and extract p50/p99/p999/max. */
+Percentiles percentiles(std::vector<std::uint64_t> &samples);
+
+/**
+ * Percentile estimated from a log2 HistogramSnapshot: walk the
+ * cumulative counts to the bucket containing the rank, then
+ * interpolate linearly between the bucket's lower and upper bounds
+ * by the rank's position inside the bucket. Returns 0 when the
+ * histogram is empty. `p` is a fraction in [0, 1].
+ */
+std::uint64_t percentileFromHistogram(const HistogramSnapshot &hist,
+                                      double p);
+
+} // namespace hotpath::telemetry
+
+#endif // HOTPATH_TELEMETRY_PERCENTILES_HH

@@ -28,6 +28,8 @@ traceEventName(TraceEventKind kind)
         return "phase_change";
       case TraceEventKind::Log:
         return "log";
+      case TraceEventKind::StageSpan:
+        return "stage_span";
     }
     return "unknown";
 }

@@ -3,13 +3,16 @@
  * Unit tests for the telemetry subsystem: registry registration and
  * snapshots, log-scale histogram bucketing edge cases, JSONL trace
  * sink round-trips, the zero-overhead unattached path, log capture,
- * and the end-to-end acceptance check - a Figure-5 style Dynamo run
- * whose machine-readable report parses as JSON and carries non-zero
- * fragment-cache, predictor and histogram data.
+ * stage-span sampling determinism and lifecycle, the shared
+ * percentile helpers, and the end-to-end acceptance check - a
+ * Figure-5 style Dynamo run whose machine-readable report parses as
+ * JSON and carries non-zero fragment-cache, predictor and histogram
+ * data.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <map>
@@ -22,7 +25,9 @@
 #include "dynamo/system.hh"
 #include "predict/net_predictor.hh"
 #include "support/logging.hh"
+#include "telemetry/percentiles.hh"
 #include "telemetry/run_report.hh"
+#include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "workload/synthesis.hh"
 
@@ -551,6 +556,138 @@ TEST(RunReportTest, CsvHasHeaderAndRows)
     EXPECT_EQ(line, "a.level,gauge,7,,,,");
     ASSERT_TRUE(std::getline(in, line));
     EXPECT_EQ(line, "a.sizes,histogram,,1,16,16,16");
+}
+
+// --- stage spans (telemetry/span.hh) ------------------------------
+
+TEST(SpanRecorderTest, DisabledRecorderSamplesNothing)
+{
+    SpanRecorder spans(SpanConfig{});
+    EXPECT_FALSE(spans.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(spans.sampleFrame());
+    // The disabled path counts nothing: no frames seen, no samples.
+    EXPECT_EQ(spans.framesSeen(), 0u);
+    EXPECT_EQ(spans.sampledFrames(), 0u);
+}
+
+TEST(SpanRecorderTest, SamplingIsDeterministic)
+{
+    // 1-in-4 sampling selects exactly frames 0, 4, 8, ... - a fixed
+    // frame sequence always yields the identical sampled set, which
+    // is what keeps conservation checks exact.
+    SpanConfig config;
+    config.sampleEvery = 4;
+    SpanRecorder spans(config);
+    ASSERT_TRUE(spans.enabled());
+    EXPECT_EQ(spans.sampleEvery(), 4u);
+    for (std::uint64_t frame = 0; frame < 21; ++frame)
+        EXPECT_EQ(spans.sampleFrame(), frame % 4 == 0)
+            << "frame " << frame;
+    EXPECT_EQ(spans.framesSeen(), 21u);
+    EXPECT_EQ(spans.sampledFrames(), 6u); // 0,4,8,12,16,20
+}
+
+TEST(SpanRecorderTest, RecordStageAccumulatesTotalsAndSnapshot)
+{
+    SpanConfig config;
+    config.sampleEvery = 1;
+    SpanRecorder spans(config);
+    spans.recordStage(Stage::Decode, 100);
+    spans.recordStage(Stage::Decode, 300);
+    spans.recordStage(Stage::Decode, 0);
+
+    const StageTotals totals = spans.totals(Stage::Decode);
+    EXPECT_EQ(totals.count, 3u);
+    EXPECT_EQ(totals.sumNs, 400u);
+
+    const HistogramSnapshot snap = spans.stageSnapshot(Stage::Decode);
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.sum, 400u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 300u);
+
+    // Untouched stages stay empty.
+    EXPECT_EQ(spans.totals(Stage::WriteFlush).count, 0u);
+    EXPECT_EQ(spans.stageSnapshot(Stage::WriteFlush).count, 0u);
+}
+
+TEST(SpanRecorderTest, RegistersStageHistogramsEagerlyWhenAttached)
+{
+    TelemetrySession session;
+    SpanConfig config;
+    config.sampleEvery = 8;
+    SpanRecorder spans(config);
+    spans.recordStage(Stage::Predict, 1234);
+
+    const MetricsSnapshot snapshot = session.registry().snapshot();
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto &hist : snapshot.histograms)
+        counts[hist.name] = hist.hist.count;
+    // Every stage histogram exists from construction - including the
+    // ones nothing recorded into yet - so dashboards and the
+    // golden-list audit see the full instrument set at zero.
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+        const std::string name =
+            std::string("net.stage.") +
+            stageName(static_cast<Stage>(s)) + ".ns";
+        ASSERT_TRUE(counts.count(name)) << name;
+    }
+    EXPECT_EQ(counts["net.stage.predict.ns"], 1u);
+    EXPECT_EQ(counts["net.stage.read.ns"], 0u);
+}
+
+TEST(SpanRecorderTest, StageNamesAreStableWireNames)
+{
+    EXPECT_STREQ(stageName(Stage::Read), "read");
+    EXPECT_STREQ(stageName(Stage::Decode), "decode");
+    EXPECT_STREQ(stageName(Stage::QueueWait), "queue_wait");
+    EXPECT_STREQ(stageName(Stage::Predict), "predict");
+    EXPECT_STREQ(stageName(Stage::Encode), "encode");
+    EXPECT_STREQ(stageName(Stage::WriteFlush), "write_flush");
+}
+
+// --- shared percentile helpers (telemetry/percentiles.hh) ---------
+
+TEST(PercentilesTest, NearestRankMatchesHandComputedValues)
+{
+    const std::vector<std::uint64_t> sorted{10, 20, 30, 40, 50,
+                                            60, 70, 80, 90, 100};
+    EXPECT_EQ(percentileOfSorted(sorted, 0.0), 10u);
+    EXPECT_EQ(percentileOfSorted(sorted, 0.50), 60u); // rank 4.5
+    EXPECT_EQ(percentileOfSorted(sorted, 0.99), 100u);
+    EXPECT_EQ(percentileOfSorted(sorted, 1.0), 100u);
+    EXPECT_EQ(percentileOfSorted({}, 0.5), 0u);
+}
+
+TEST(PercentilesTest, PercentilesStructSortsAndExtracts)
+{
+    std::vector<std::uint64_t> samples{50, 10, 40, 30, 20};
+    const Percentiles p = percentiles(samples);
+    EXPECT_EQ(p.samples, 5u);
+    EXPECT_EQ(p.p50, 30u);
+    EXPECT_EQ(p.max, 50u);
+    EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end()));
+}
+
+TEST(PercentilesTest, HistogramPercentileInterpolatesInsideBucket)
+{
+    TelemetrySession session;
+    Histogram *hist = telemetry::histogram("ptest.ns");
+    ASSERT_NE(hist, nullptr);
+    // 100 values in the [64, 127] bucket: every percentile lands
+    // inside that bucket, interpolated between its bounds.
+    for (int i = 0; i < 100; ++i)
+        hist->record(100);
+    const HistogramSnapshot snap = hist->snapshot();
+    const std::uint64_t p50 = percentileFromHistogram(snap, 0.50);
+    EXPECT_GE(p50, 64u);
+    EXPECT_LE(p50, 127u);
+    EXPECT_LE(percentileFromHistogram(snap, 0.01), p50);
+    EXPECT_GE(percentileFromHistogram(snap, 0.99), p50);
+    EXPECT_EQ(percentileFromHistogram(HistogramSnapshot{}, 0.5), 0u);
+    // HistogramSnapshot::percentile is the same math.
+    EXPECT_EQ(snap.percentile(0.5), p50);
 }
 
 /**
