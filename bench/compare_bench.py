@@ -256,6 +256,46 @@ def netcheck(args):
                                    "predict", "encode",
                                    "write_flush")))
 
+    # Cluster tier: the router's ledger must close (every accepted
+    # frame answered exactly once), every surviving backend must
+    # conserve internally, the fleet frame sum must balance on
+    # undisturbed runs, the admin plane must have answered mid-run,
+    # and a deliberate backend kill must actually drive a failover.
+    cl = run.get("cluster")
+    if cl is not None:
+        router = cl.get("router", {})
+        if not cl.get("admin_ok", False):
+            failures.append(
+                "cluster.admin_ok is false: the router's /metrics "
+                "endpoint did not answer during the run")
+        for key, what in (
+                ("router_ledger_ok", "router ledger did not close"),
+                ("backends_ok",
+                 "a surviving backend lost frames internally"),
+                ("fleet_sum_ok",
+                 "fleet frame sum does not balance")):
+            if not cl.get(key, False):
+                failures.append(f"cluster.{key} is false: {what}")
+        if router.get("responses_dropped", 0):
+            failures.append(
+                f"router dropped "
+                f"{router['responses_dropped']} replies")
+        if router.get("inflight", 0) or router.get("parked", 0):
+            failures.append(
+                "router drained with frames still in flight or "
+                "parked")
+        killed = cl.get("killed_backend", -1)
+        if killed >= 0 and router.get("failovers", 0) < 1:
+            failures.append(
+                f"backend {killed} was killed but the router never "
+                "failed over")
+        print(f"  cluster: {cl.get('backends')} backends, "
+              f"{router.get('frames_routed', 0)} routed, "
+              f"{router.get('frames_replayed', 0)} replayed, "
+              f"{router.get('responses_synthesized', 0)} "
+              f"synthesized, {router.get('failovers', 0)} "
+              f"failover(s), killed_backend={killed}")
+
     lat = run.get("latency_us", {})
     print(f"netcheck {args.report}: "
           f"{run.get('frames_sent', 0)} frames sent, "

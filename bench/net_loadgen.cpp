@@ -21,6 +21,25 @@
  * With --connect=host:port it drives an external server instead
  * (conservation then reduces to replies == sent).
  *
+ * With --cluster=N it hosts a whole serving tier in-process - N
+ * Engine + net::Server backends behind one cluster::Router - and
+ * verifies frame conservation across all three layers at drain:
+ *
+ *   loadgen replies     == loadgen frames sent
+ *   router frames in    == responses out + synthesized (+0 dropped),
+ *                          zero in flight, zero parked
+ *   each backend        == its own server/engine conservation
+ *   sum(backend in)     == router frames routed (undisturbed runs)
+ *
+ * --kill-backend=K --kill-after-frames=M stops backend K once the
+ * router has routed M frames - an abrupt connection reset followed
+ * by connect refusal, driving the router's reconnect probe into
+ * failover - and the gate then also requires failovers >= 1 with
+ * every accepted frame still answered. --reset-every=R instead arms
+ * the victim's ConnReset fault site (every Rth socket op) so the
+ * backend drops connections but stays up, exercising the
+ * reconnect-and-replay path without failover.
+ *
  * Flags:
  *   --connections=<n>   client connections (default 8)
  *   --rate=<fps>        frames/second per connection (default 2000;
@@ -39,10 +58,21 @@
  *                       frame-conservation check (every sampled
  *                       decode must reach predict and write-flush)
  *   --connect=<host:port>  drive an external server
- *   --json=<path>       machine-readable summary (the net-smoke CI
- *                       job feeds this to compare_bench.py netcheck)
+ *   --cluster=<n>       host n backends behind an in-process router
+ *                       (0 = single server; excludes --connect)
+ *   --kill-backend=<k>  cluster mode: backend index to kill mid-run
+ *   --kill-after-frames=<m>  kill once the router routed m frames
+ *   --reset-every=<r>   cluster mode: arm the victim's ConnReset
+ *                       fault site to fire every rth opportunity
+ *   --json=<path>       machine-readable summary (the net-smoke and
+ *                       cluster-smoke CI jobs feed this to
+ *                       compare_bench.py netcheck)
  *   --telemetry-out=<path> RunReport with netload.* gauges
  */
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <array>
@@ -56,11 +86,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/router.hh"
 #include "common.hh"
 #include "engine/engine.hh"
 #include "engine/wire_format.hh"
 #include "net/client.hh"
 #include "net/server.hh"
+#include "net/socket.hh"
+#include "support/fault_injector.hh"
 #include "support/random.hh"
 #include "support/table.hh"
 #include "telemetry/percentiles.hh"
@@ -243,6 +276,56 @@ runConnection(const LoadConfig &cfg, std::size_t conn_index)
     return result;
 }
 
+/** One blocking HTTP/1.0 GET against an admin port; returns the
+ *  full response ("" on any failure). Used to prove the router's
+ *  introspection endpoint stays live through a cluster run. */
+std::string
+adminGet(std::uint16_t port, const std::string &path)
+{
+    net::Fd fd = net::connectTcp("127.0.0.1", port);
+    if (!fd.valid())
+        return "";
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    std::size_t off = 0;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(2000);
+    while (off < request.size() && Clock::now() < deadline) {
+        const ssize_t wrote =
+            ::send(fd.get(), request.data() + off,
+                   request.size() - off, MSG_NOSIGNAL);
+        if (wrote > 0) {
+            off += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && (errno == EINTR || errno == EAGAIN ||
+                          errno == EWOULDBLOCK)) {
+            pollfd pfd{fd.get(), POLLOUT, 0};
+            ::poll(&pfd, 1, 20);
+            continue;
+        }
+        return "";
+    }
+    std::string response;
+    char buf[4096];
+    while (Clock::now() < deadline) {
+        const ssize_t got = ::read(fd.get(), buf, sizeof(buf));
+        if (got > 0) {
+            response.append(buf, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            break;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            pollfd pfd{fd.get(), POLLIN, 0};
+            ::poll(&pfd, 1, 20);
+            continue;
+        }
+        if (errno != EINTR)
+            return "";
+    }
+    return response;
+}
+
 } // namespace
 
 int
@@ -270,12 +353,65 @@ main(int argc, char **argv)
         bench::flagU64(argc, argv, "spans", 0);
     const std::string connect =
         bench::flagValue(argc, argv, "connect");
+    const std::size_t clusterN = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "cluster", 0));
+    const std::uint64_t killBackend = bench::flagU64(
+        argc, argv, "kill-backend", ~std::uint64_t{0});
+    const std::uint64_t killAfterFrames =
+        bench::flagU64(argc, argv, "kill-after-frames", 0);
+    const std::uint64_t resetEvery =
+        bench::flagU64(argc, argv, "reset-every", 0);
+    if (clusterN > 0 && !connect.empty()) {
+        std::cerr << "net_loadgen: --cluster and --connect are "
+                     "mutually exclusive\n";
+        return 1;
+    }
 
     // In-process stack unless --connect targets a live server.
     std::unique_ptr<engine::Engine> eng;
     std::unique_ptr<net::Server> server;
-    const bool inProcess = connect.empty();
-    if (inProcess) {
+    std::vector<std::unique_ptr<engine::Engine>> clusterEngines;
+    std::vector<std::unique_ptr<net::Server>> clusterServers;
+    std::unique_ptr<cluster::Router> router;
+    const bool clustered = clusterN > 0;
+    const bool inProcess = connect.empty() && !clustered;
+    if (clustered) {
+        cluster::RouterConfig routerCfg;
+        for (std::size_t i = 0; i < clusterN; ++i) {
+            engine::EngineConfig engineCfg;
+            engineCfg.workerThreads = workerThreads;
+            engineCfg.sessions.shardCount = 16;
+            clusterEngines.push_back(
+                std::make_unique<engine::Engine>(engineCfg));
+            net::ServerConfig serverCfg;
+            serverCfg.reactorThreads = reactorThreads;
+            if (resetEvery > 0 && i == killBackend) {
+                serverCfg.faults.seed = cfg.seed;
+                serverCfg.faults.site(fault::Site::ConnReset)
+                    .everyN = resetEvery;
+            }
+            clusterServers.push_back(std::make_unique<net::Server>(
+                *clusterEngines.back(), serverCfg));
+            if (!clusterServers.back()->start()) {
+                std::cerr << "net_loadgen: backend " << i
+                          << " start failed\n";
+                return 1;
+            }
+            routerCfg.backends.push_back(
+                {"127.0.0.1", clusterServers.back()->port()});
+        }
+        routerCfg.tickMs = 2;
+        routerCfg.retryBaseMs = 1;
+        routerCfg.connectAttempts = 3;
+        routerCfg.retryJitterSeed = cfg.seed;
+        routerCfg.adminPort = 0;
+        router = std::make_unique<cluster::Router>(routerCfg);
+        if (!router->start()) {
+            std::cerr << "net_loadgen: router start failed\n";
+            return 1;
+        }
+        cfg.port = router->port();
+    } else if (inProcess) {
         engine::EngineConfig engineCfg;
         engineCfg.workerThreads = workerThreads;
         engineCfg.sessions.shardCount = 16;
@@ -306,9 +442,36 @@ main(int argc, char **argv)
               << " frames/s x " << cfg.durationMs << " ms, "
               << cfg.frameEvents << " events/frame ("
               << cfg.largePct << "% large), seed " << cfg.seed
-              << (inProcess ? " [in-process server]"
-                            : " [external server]")
+              << (clustered
+                      ? " [in-process cluster: " +
+                            std::to_string(clusterN) + " backends]"
+                      : inProcess ? " [in-process server]"
+                                  : " [external server]")
               << "\n\n";
+
+    // Cluster kill switch: once the router has routed
+    // --kill-after-frames frames, stop the victim backend cold - its
+    // connections reset and its port stops answering, so the
+    // router's reconnect probe must fail over.
+    std::atomic<bool> watcherStop{false};
+    std::atomic<bool> killed{false};
+    std::thread killWatcher;
+    const bool killArmed = clustered && killAfterFrames > 0 &&
+                           killBackend < clusterN;
+    if (killArmed) {
+        killWatcher = std::thread([&] {
+            while (!watcherStop.load()) {
+                if (router->stats().framesRouted >=
+                    killAfterFrames) {
+                    clusterServers[killBackend]->stop();
+                    killed.store(true);
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
 
     const auto start = Clock::now();
     std::vector<ConnResult> results(cfg.connections);
@@ -326,6 +489,34 @@ main(int argc, char **argv)
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
 
+    if (killWatcher.joinable()) {
+        watcherStop.store(true);
+        killWatcher.join();
+    }
+
+    // Probe the admin plane while the router is still serving - the
+    // smoke gate requires /metrics to answer mid-flight, not just
+    // after a clean drain.
+    bool adminOk = true;
+    if (clustered) {
+        const std::string health =
+            adminGet(router->adminPort(), "/healthz");
+        const std::string metrics =
+            adminGet(router->adminPort(), "/metrics");
+        const std::string statsBody =
+            adminGet(router->adminPort(), "/stats");
+        // /metrics serves Prometheus text only when a telemetry
+        // registry is attached (--telemetry-out); it must answer
+        // either way. /stats always carries the router counters.
+        adminOk =
+            health.find("200 OK") != std::string::npos &&
+            metrics.find("200 OK") != std::string::npos &&
+            statsBody.find("\"cluster_frames_in\":") !=
+                std::string::npos;
+    }
+
+    if (router)
+        router->drain();
     if (server)
         server->drain();
 
@@ -356,7 +547,70 @@ main(int argc, char **argv)
     bool conservationOk = total.repliesReceived == total.framesSent;
     engine::EngineStats engineStats;
     net::NetStats netStats;
-    if (inProcess) {
+    cluster::RouterStats routerStats;
+    std::vector<net::NetStats> backendNet(clusterN);
+    std::vector<engine::EngineStats> backendEngine(clusterN);
+    bool routerLedgerOk = true;
+    bool backendsOk = true;
+    bool fleetSumOk = true;
+    std::uint64_t fleetFramesIn = 0;
+    if (clustered) {
+        routerStats = router->stats();
+        router->stop();
+        for (std::size_t i = 0; i < clusterN; ++i) {
+            clusterServers[i]->stop();
+            backendNet[i] = clusterServers[i]->stats();
+            backendEngine[i] = clusterEngines[i]->stats();
+            fleetFramesIn += backendNet[i].framesIn;
+        }
+
+        // Layer 1: the client side - every frame answered once.
+        conservationOk = total.repliesReceived == total.framesSent &&
+                         routerStats.framesIn == total.framesSent;
+
+        // Layer 2: the router's ledger closed - everything accepted
+        // was answered (forwarded or synthesized), nothing left in
+        // flight or parked, nothing dropped.
+        routerLedgerOk =
+            routerStats.framesIn == routerStats.responsesOut +
+                                        routerStats.responsesSynthesized +
+                                        routerStats.responsesDropped &&
+            routerStats.responsesDropped == 0 &&
+            routerStats.inFlightTotal == 0 &&
+            routerStats.parkedFrames == 0;
+
+        // Layer 3: each surviving backend's own server/engine
+        // conservation (the killed backend's mid-stop counters are
+        // not meaningful).
+        for (std::size_t i = 0; i < clusterN; ++i) {
+            if (killed.load() && i == killBackend)
+                continue;
+            const engine::EngineStats &es = backendEngine[i];
+            const net::NetStats &ns = backendNet[i];
+            const std::uint64_t absorbed =
+                es.framesRejected + es.fault.injectedDrops +
+                es.fault.shedFrames + es.framesDecoded;
+            backendsOk = backendsOk &&
+                         es.framesSubmitted == absorbed &&
+                         es.framesDecoded ==
+                             ns.responsesOut + ns.responsesDropped;
+        }
+
+        // Undisturbed runs close the fleet sum exactly: every frame
+        // the router sent arrived somewhere. Kills and resets lose
+        // socket-buffered frames (replayed under new ledger
+        // entries), so only the ledger invariants apply there.
+        if (!killed.load() && resetEvery == 0)
+            fleetSumOk = fleetFramesIn ==
+                         routerStats.framesRouted +
+                             routerStats.framesReplayed +
+                             routerStats.migrationFrames;
+
+        conservationOk = conservationOk && routerLedgerOk &&
+                         backendsOk && fleetSumOk && adminOk &&
+                         (!killed.load() ||
+                          routerStats.failovers >= 1);
+    } else if (inProcess) {
         server->stop();
         engineStats = eng->stats();
         netStats = server->stats();
@@ -431,6 +685,26 @@ main(int argc, char **argv)
             std::to_string(netStats.readPauses));
         row("responses dropped",
             std::to_string(netStats.responsesDropped));
+        row("conservation", conservationOk ? "ok" : "VIOLATED");
+    }
+    if (clustered) {
+        row("router frames routed",
+            std::to_string(routerStats.framesRouted));
+        row("router frames replayed",
+            std::to_string(routerStats.framesReplayed));
+        row("router responses synthesized",
+            std::to_string(routerStats.responsesSynthesized));
+        row("router failovers",
+            std::to_string(routerStats.failovers));
+        row("router backend reconnects",
+            std::to_string(routerStats.backendReconnects));
+        row("backend killed",
+            killed.load() ? std::to_string(killBackend) : "none");
+        row("admin endpoint", adminOk ? "live" : "DEAD");
+        row("router ledger", routerLedgerOk ? "ok" : "VIOLATED");
+        row("backend conservation",
+            backendsOk ? "ok" : "VIOLATED");
+        row("fleet frame sum", fleetSumOk ? "ok" : "VIOLATED");
         row("conservation", conservationOk ? "ok" : "VIOLATED");
     }
     if (spansOn) {
@@ -521,6 +795,71 @@ main(int argc, char **argv)
             << ", \"p99\": " << p99 << ", \"p999\": " << p999
             << ", \"max\": " << pmax
             << ", \"samples\": " << latencies.size() << "},\n";
+        if (clustered) {
+            out << "  \"cluster\": {\n"
+                << "    \"backends\": " << clusterN << ",\n"
+                << "    \"killed_backend\": "
+                << (killed.load()
+                        ? static_cast<std::int64_t>(killBackend)
+                        : -1)
+                << ",\n"
+                << "    \"kill_after_frames\": " << killAfterFrames
+                << ",\n"
+                << "    \"reset_every\": " << resetEvery << ",\n"
+                << "    \"admin_ok\": "
+                << (adminOk ? "true" : "false") << ",\n"
+                << "    \"router\": {"
+                << "\"frames_in\": " << routerStats.framesIn
+                << ", \"frames_routed\": "
+                << routerStats.framesRouted
+                << ", \"frames_replayed\": "
+                << routerStats.framesReplayed
+                << ", \"migration_frames\": "
+                << routerStats.migrationFrames
+                << ", \"responses_out\": "
+                << routerStats.responsesOut
+                << ", \"responses_synthesized\": "
+                << routerStats.responsesSynthesized
+                << ", \"responses_dropped\": "
+                << routerStats.responsesDropped
+                << ", \"failovers\": " << routerStats.failovers
+                << ", \"backend_reconnects\": "
+                << routerStats.backendReconnects
+                << ", \"inflight\": " << routerStats.inFlightTotal
+                << ", \"parked\": " << routerStats.parkedFrames
+                << ", \"backends_live\": "
+                << routerStats.backendsLive << "},\n";
+            const auto jsonArray = [&out](const char *key,
+                                          auto &&value,
+                                          std::size_t n) {
+                out << "    \"" << key << "\": [";
+                for (std::size_t i = 0; i < n; ++i)
+                    out << (i ? ", " : "") << value(i);
+                out << "],\n";
+            };
+            jsonArray("backend_frames_in",
+                      [&](std::size_t i) {
+                          return backendNet[i].framesIn;
+                      },
+                      clusterN);
+            jsonArray("backend_responses_out",
+                      [&](std::size_t i) {
+                          return backendNet[i].responsesOut;
+                      },
+                      clusterN);
+            jsonArray("backend_frames_decoded",
+                      [&](std::size_t i) {
+                          return backendEngine[i].framesDecoded;
+                      },
+                      clusterN);
+            out << "    \"router_ledger_ok\": "
+                << (routerLedgerOk ? "true" : "false") << ",\n"
+                << "    \"backends_ok\": "
+                << (backendsOk ? "true" : "false") << ",\n"
+                << "    \"fleet_sum_ok\": "
+                << (fleetSumOk ? "true" : "false") << "\n"
+                << "  },\n";
+        }
         if (inProcess) {
             out << "  \"server\": {"
                 << "\"frames_in\": " << netStats.framesIn

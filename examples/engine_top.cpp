@@ -15,6 +15,13 @@
  *   - per-worker utilization (busy%) and per-shard queue depth from
  *     the engine's contention instruments.
  *
+ * Pointed at a cluster router admin endpoint instead
+ * (prediction_service --route --admin-port=<n>), the tool detects the
+ * router-shaped /stats document and switches to a fleet view: router
+ * throughput (frames in/routed/replayed, synthesized replies,
+ * migrations, failovers) plus one row per backend with liveness,
+ * in-flight depth, owned sessions, and frames sent.
+ *
  * The /stats document is deliberately flat - scalar numbers and flat
  * numeric arrays only - so this tool scans it with string searches
  * instead of carrying a JSON parser.
@@ -27,6 +34,7 @@
  */
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -86,8 +94,9 @@ httpGet(const std::string &host, std::uint16_t port,
     const auto deadline =
         Clock::now() + std::chrono::milliseconds(timeout_ms);
     while (off < request.size() && Clock::now() < deadline) {
-        const ssize_t wrote = ::write(
-            fd.get(), request.data() + off, request.size() - off);
+        const ssize_t wrote =
+            ::send(fd.get(), request.data() + off,
+                   request.size() - off, MSG_NOSIGNAL);
         if (wrote > 0) {
             off += static_cast<std::size_t>(wrote);
             continue;
@@ -161,6 +170,108 @@ jsonArray(const std::string &doc, const std::string &key)
             ++pos;
     }
     return values;
+}
+
+/** Fleet view for a cluster router /stats document (detected by the
+ *  presence of cluster_frames_in): router throughput counters plus a
+ *  per-backend table driven by the flat backend_* arrays. */
+void
+printRouterSnapshot(const std::string &doc, const std::string &prev,
+                    double interval_s)
+{
+    const std::uint64_t framesIn =
+        jsonU64(doc, "cluster_frames_in");
+    const std::uint64_t responses =
+        jsonU64(doc, "cluster_responses_out");
+    const auto rate = [&](std::uint64_t now, const char *key) {
+        if (prev.empty() || interval_s <= 0)
+            return 0.0;
+        const std::uint64_t before = jsonU64(prev, key);
+        return now >= before
+            ? static_cast<double>(now - before) / interval_s
+            : 0.0;
+    };
+
+    std::cout << "router: connections "
+              << jsonU64(doc, "cluster_active") << " active / "
+              << jsonU64(doc, "cluster_accepted")
+              << " accepted | frames " << framesIn << " ("
+              << static_cast<std::uint64_t>(
+                     rate(framesIn, "cluster_frames_in"))
+              << "/s) | replies " << responses << " ("
+              << static_cast<std::uint64_t>(
+                     rate(responses, "cluster_responses_out"))
+              << "/s) | synthesized "
+              << jsonU64(doc, "cluster_responses_synthesized")
+              << " | in-flight " << jsonU64(doc, "cluster_inflight")
+              << " | parked "
+              << jsonU64(doc, "cluster_parked_frames") << "\n";
+    std::cout << "ring: " << jsonU64(doc, "cluster_backends_live")
+              << " backends live | "
+              << jsonU64(doc, "cluster_sessions_tracked")
+              << " sessions | "
+              << jsonU64(doc, "cluster_rehash_events")
+              << " rehashes | "
+              << jsonU64(doc, "cluster_sessions_migrated")
+              << " migrated | "
+              << jsonU64(doc, "cluster_failovers") << " failovers | "
+              << jsonU64(doc, "cluster_backend_reconnects")
+              << " reconnects\n\n";
+
+    const std::vector<std::uint64_t> ids =
+        jsonArray(doc, "backend_ids");
+    const std::vector<std::uint64_t> alive =
+        jsonArray(doc, "backend_alive");
+    const std::vector<std::uint64_t> inflight =
+        jsonArray(doc, "backend_inflight");
+    const std::vector<std::uint64_t> sessions =
+        jsonArray(doc, "backend_sessions");
+    const std::vector<std::uint64_t> sent =
+        jsonArray(doc, "backend_frames_sent");
+    const std::vector<std::uint64_t> prevIds =
+        jsonArray(prev, "backend_ids");
+    const std::vector<std::uint64_t> prevSent =
+        jsonArray(prev, "backend_frames_sent");
+
+    TextTable fleet;
+    fleet.setHeader({"Backend", "Alive", "In-flight", "Sessions",
+                     "Frames sent", "Sent/s"});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        // Rate per backend id, not per array slot: a reaped backend
+        // shifts later rows left between snapshots.
+        double sentRate = 0.0;
+        const std::uint64_t now = i < sent.size() ? sent[i] : 0;
+        for (std::size_t j = 0;
+             j < prevIds.size() && j < prevSent.size(); ++j) {
+            if (prevIds[j] != ids[i])
+                continue;
+            if (interval_s > 0 && now >= prevSent[j])
+                sentRate =
+                    static_cast<double>(now - prevSent[j]) /
+                    interval_s;
+            break;
+        }
+        fleet.beginRow();
+        fleet.addCell(ids[i]);
+        fleet.addCell(i < alive.size() && alive[i] != 0 ? "yes"
+                                                        : "NO");
+        fleet.addCell(i < inflight.size() ? inflight[i] : 0);
+        fleet.addCell(i < sessions.size() ? sessions[i] : 0);
+        fleet.addCell(now);
+        fleet.addCell(sentRate);
+    }
+    fleet.print(std::cout);
+
+    std::cout << "\nrouted " << jsonU64(doc, "cluster_frames_routed")
+              << " | replayed "
+              << jsonU64(doc, "cluster_frames_replayed")
+              << " | migration frames "
+              << jsonU64(doc, "cluster_migration_frames") << " ("
+              << jsonU64(doc, "cluster_migration_bytes")
+              << " bytes) | resyncs "
+              << jsonU64(doc, "cluster_frames_resynced")
+              << " | dropped "
+              << jsonU64(doc, "cluster_responses_dropped") << "\n";
 }
 
 void
@@ -308,11 +419,19 @@ main(int argc, char **argv)
         }
         if (clear)
             std::cout << "\x1b[2J\x1b[H";
+        const bool router =
+            doc.find("\"cluster_frames_in\":") != std::string::npos;
         std::cout << "engine_top - " << host << ":" << port
+                  << (router ? " [cluster router]" : "")
                   << " every " << interval_ms << "ms (refresh "
                   << n + 1 << ")\n\n";
-        printSnapshot(doc, prev,
-                      static_cast<double>(interval_ms) / 1000.0);
+        if (router)
+            printRouterSnapshot(
+                doc, prev,
+                static_cast<double>(interval_ms) / 1000.0);
+        else
+            printSnapshot(doc, prev,
+                          static_cast<double>(interval_ms) / 1000.0);
         std::cout << std::flush;
         prev = doc;
         ++n;

@@ -26,6 +26,16 @@
  *       predictions assembled from the reply frames - byte-identical
  *       to what --inproc computes (tests/net_test.cc asserts this).
  *
+ *   --route=<n> [--admin-port=<n>]  Host a whole cluster tier
+ *       in-process - n Engine + net::Server backends behind one
+ *       consistent-hash cluster::Router - run the same 12-client
+ *       workload through the router, and print the per-session
+ *       predictions plus the routing topology (which backend owned
+ *       which sessions, per-backend frames). --admin-port exposes
+ *       the ROUTER's introspection endpoint (/metrics, /healthz,
+ *       /topology, /stats) that examples/engine_top renders with
+ *       per-backend columns.
+ *
  * Shared flags:
  *   --seed=<u64>   workload synthesis seed (default 42)
  *   --report       print the telemetry RunReport JSON on stdout
@@ -41,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.hh"
 #include "engine/engine.hh"
 #include "engine/wire_format.hh"
 #include "net/client.hh"
@@ -305,6 +316,90 @@ runConnect(const std::string &target, std::uint64_t seed)
     return 0;
 }
 
+/** Host n backends behind an in-process router and run the
+ *  12-client workload through it. */
+int
+runRoute(std::size_t backend_count, std::uint64_t seed,
+         int admin_port)
+{
+    if (backend_count == 0) {
+        std::cerr << "--route expects at least one backend\n";
+        return 1;
+    }
+    std::vector<std::unique_ptr<engine::Engine>> engines;
+    std::vector<std::unique_ptr<net::Server>> servers;
+    cluster::RouterConfig routerCfg;
+    for (std::size_t i = 0; i < backend_count; ++i) {
+        engines.push_back(
+            std::make_unique<engine::Engine>(engineConfig()));
+        net::ServerConfig serverCfg;
+        serverCfg.reactorThreads = 2;
+        servers.push_back(std::make_unique<net::Server>(
+            *engines.back(), serverCfg));
+        if (!servers.back()->start()) {
+            std::cerr << "backend " << i << " start failed\n";
+            return 1;
+        }
+        routerCfg.backends.push_back(
+            {"127.0.0.1", servers.back()->port()});
+    }
+    routerCfg.adminPort = admin_port;
+    cluster::Router router(routerCfg);
+    if (!router.start()) {
+        std::cerr << "router start failed\n";
+        return 1;
+    }
+    std::cout << "prediction_service: routing over "
+              << backend_count << " backends on 127.0.0.1:"
+              << router.port() << "\n";
+    if (admin_port >= 0)
+        std::cout << "prediction_service: router admin on "
+                     "http://127.0.0.1:"
+                  << router.adminPort()
+                  << " (/metrics /healthz /topology /stats)\n";
+
+    const int rc =
+        runConnect("127.0.0.1:" + std::to_string(router.port()),
+                   seed);
+    router.drain();
+    const cluster::RouterStats stats = router.stats();
+    const std::vector<cluster::BackendSnapshot> topo =
+        router.topology();
+    router.stop();
+    for (auto &server : servers)
+        server->stop();
+    if (rc != 0)
+        return rc;
+
+    std::cout << "\nRouting topology (ring seed "
+              << routerCfg.ringSeed << ", " << routerCfg.virtualNodes
+              << " points/backend):\n\n";
+    TextTable table;
+    table.setHeader({"Backend", "Port", "Alive", "Sessions",
+                     "Frames sent"});
+    for (const cluster::BackendSnapshot &row : topo) {
+        table.beginRow();
+        table.addCell(row.id);
+        table.addCell(std::to_string(row.port));
+        table.addCell(row.alive ? "yes" : "no");
+        table.addCell(row.sessionsOwned);
+        table.addCell(row.framesSent);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRouter totals: " << stats.framesIn
+              << " frames in, " << stats.framesRouted << " routed, "
+              << stats.responsesOut << " replies, "
+              << stats.sessionsMigrated << " migrations, "
+              << stats.failovers << " failovers\n";
+    for (std::size_t i = 0; i < backend_count; ++i) {
+        std::cout << "\nBackend " << i << ":";
+        printEngineTotals(*engines[i]);
+        engines[i]->shutdown();
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -334,6 +429,13 @@ main(int argc, char **argv)
                                                nullptr, 10));
     } else if (!target.empty()) {
         rc = runConnect(target, seed);
+    } else if (const std::string route =
+                   valueArg(argc, argv, "--route=");
+               !route.empty()) {
+        const std::string admin =
+            valueArg(argc, argv, "--admin-port=");
+        rc = runRoute(static_cast<std::size_t>(std::stoul(route)),
+                      seed, admin.empty() ? -1 : std::stoi(admin));
     } else {
         rc = runInproc(seed);
     }

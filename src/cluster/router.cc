@@ -1,0 +1,1444 @@
+/**
+ * @file
+ * cluster::Router implementation; see router.hh for the design.
+ */
+
+#include "cluster/router.hh"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "engine/wire_format.hh"
+#include "support/logging.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/telemetry.hh"
+
+namespace hotpath::cluster
+{
+
+namespace
+{
+
+/** What one pollfd in the router loop's array refers to. */
+struct PollTarget
+{
+    enum class Kind : std::uint8_t
+    {
+        Wakeup,
+        Listener,
+        Client,
+        Backend
+    } kind = Kind::Wakeup;
+    std::uint64_t id = 0;
+};
+
+} // namespace
+
+Router::Router(RouterConfig config)
+    : cfg(std::move(config)),
+      ring(HashRingConfig{config.virtualNodes, config.ringSeed})
+{
+    // `config` was moved; rebuild the ring config from `cfg`.
+    ring = HashRing(HashRingConfig{cfg.virtualNodes, cfg.ringSeed});
+
+    // Eager registration: every cluster.* instrument exists at zero
+    // from construction, so a metrics scrape never misses a counter
+    // that simply has not fired yet (the observability audit holds
+    // the router to the same discipline as the engine and server).
+    tmAccepted = telemetry::counter("cluster.connections.accepted");
+    tmClosed = telemetry::counter("cluster.connections.closed");
+    tmFramesIn = telemetry::counter("cluster.frames.in");
+    tmFramesRouted = telemetry::counter("cluster.frames.routed");
+    tmFramesReplayed = telemetry::counter("cluster.frames.replayed");
+    tmMigrationFrames =
+        telemetry::counter("cluster.migration.frames");
+    tmMigrationBytes = telemetry::counter("cluster.migration.bytes");
+    tmResponsesOut = telemetry::counter("cluster.responses.out");
+    tmResponsesSynthesized =
+        telemetry::counter("cluster.responses.synthesized");
+    tmResponsesDropped =
+        telemetry::counter("cluster.responses.dropped");
+    tmResynced = telemetry::counter("cluster.frames.resynced");
+    tmResyncBytes =
+        telemetry::counter("cluster.resync.bytes.skipped");
+    tmRehashes = telemetry::counter("cluster.rehash.events");
+    tmSessionsMigrated =
+        telemetry::counter("cluster.sessions.migrated");
+    tmBackendReconnects =
+        telemetry::counter("cluster.backend.reconnects");
+    tmFailovers = telemetry::counter("cluster.failovers");
+    tmActive = telemetry::gauge("cluster.connections.active");
+    tmBackendsLive = telemetry::gauge("cluster.backends.live");
+    tmInFlightTotal = telemetry::gauge("cluster.backend.inflight");
+    tmParked = telemetry::gauge("cluster.frames.parked");
+
+    for (const BackendAddress &address : cfg.backends) {
+        const std::uint64_t id = nextBackendId++;
+        backends.push_back(makeBackendLocked(id, address));
+    }
+    nextCommandBackendId.store(nextBackendId,
+                               std::memory_order_relaxed);
+}
+
+Router::~Router() { stop(); }
+
+std::unique_ptr<Router::Backend>
+Router::makeBackendLocked(std::uint64_t id,
+                          const BackendAddress &address)
+{
+    auto backend = std::make_unique<Backend>();
+    backend->id = id;
+    backend->address = address;
+    net::ClientConfig cc;
+    cc.host = address.host;
+    cc.port = address.port;
+    cc.connectAttempts = cfg.connectAttempts;
+    cc.retryBaseMs = cfg.retryBaseMs;
+    cc.retryMaxExponent = cfg.retryMaxExponent;
+    // Distinct jitter stream per backend so a fleet-wide reconnect
+    // storm (every backend restarted at once) spreads apart.
+    cc.retryJitterSeed = cfg.retryJitterSeed ^ id;
+    backend->client = std::make_unique<net::Client>(cc);
+    backend->tmInFlight = telemetry::gauge(
+        "cluster.backend." + std::to_string(id) + ".inflight");
+    return backend;
+}
+
+bool
+Router::start()
+{
+    if (started.load())
+        return false;
+
+    listener = net::listenTcp(cfg.bindAddress, cfg.port, &boundPort);
+    if (!listener.valid()) {
+        warn("cluster: frontend bind failed");
+        return false;
+    }
+    wakeup = net::Fd(::eventfd(0, EFD_NONBLOCK));
+    if (!wakeup.valid()) {
+        warn("cluster: eventfd creation failed");
+        listener.reset();
+        return false;
+    }
+    if (cfg.adminPort >= 0) {
+        adminListener = net::listenTcp(
+            cfg.bindAddress,
+            static_cast<std::uint16_t>(cfg.adminPort),
+            &boundAdminPort);
+        if (!adminListener.valid()) {
+            warn("cluster: admin bind failed");
+            listener.reset();
+            wakeup.reset();
+            return false;
+        }
+    }
+
+    for (auto &backend : backends) {
+        if (backend->client->connect()) {
+            backend->alive = true;
+            ring.addNode(backend->id);
+        } else {
+            warn("cluster: backend unreachable at start");
+            backend->dead = true;
+        }
+    }
+
+    stopping.store(false);
+    draining.store(false);
+    started.store(true);
+    publishTopology();
+    routerThread = std::thread([this] { routerLoop(); });
+    if (adminListener.valid())
+        adminThread = std::thread([this] { adminLoop(); });
+    return true;
+}
+
+std::uint64_t
+Router::addBackend(const BackendAddress &address)
+{
+    const std::uint64_t id =
+        nextCommandBackendId.fetch_add(1, std::memory_order_relaxed);
+    Command command;
+    command.kind = Command::Kind::AddBackend;
+    command.address = address;
+    command.id = id;
+    {
+        std::lock_guard<std::mutex> lock(cmdMu);
+        commands.push_back(std::move(command));
+    }
+    wakeRouter();
+    return id;
+}
+
+void
+Router::removeBackend(std::uint64_t id)
+{
+    Command command;
+    command.kind = Command::Kind::RemoveBackend;
+    command.id = id;
+    {
+        std::lock_guard<std::mutex> lock(cmdMu);
+        commands.push_back(std::move(command));
+    }
+    wakeRouter();
+}
+
+void
+Router::wakeRouter()
+{
+    if (!wakeup.valid())
+        return;
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t wrote =
+        ::write(wakeup.get(), &one, sizeof(one));
+}
+
+// Router thread --------------------------------------------------
+
+void
+Router::routerLoop()
+{
+    std::vector<pollfd> pfds;
+    std::vector<PollTarget> targets;
+    bool listenerClosed = false;
+
+    while (!stopping.load(std::memory_order_relaxed)) {
+        // Drain pending control commands first: a topology change
+        // must be visible before the frames that follow it.
+        for (;;) {
+            Command command;
+            {
+                std::lock_guard<std::mutex> lock(cmdMu);
+                if (commands.empty())
+                    break;
+                command = std::move(commands.front());
+                commands.pop_front();
+            }
+            executeCommand(command);
+        }
+
+        if (draining.load(std::memory_order_relaxed) &&
+            !listenerClosed) {
+            listener.reset(); // new connections refused from here on
+            listenerClosed = true;
+        }
+
+        // Recover any backend whose connection broke since the last
+        // pass (send failure or read error).
+        for (auto &backend : backends) {
+            if (backend->needsRecovery && !backend->dead)
+                handleBackendBroken(*backend);
+        }
+        reapRetiring();
+
+        pfds.clear();
+        targets.clear();
+        pfds.push_back({wakeup.get(), POLLIN, 0});
+        targets.push_back({PollTarget::Kind::Wakeup, 0});
+        if (listener.valid()) {
+            pfds.push_back({listener.get(), POLLIN, 0});
+            targets.push_back({PollTarget::Kind::Listener, 0});
+        }
+        for (const auto &[id, conn] : conns) {
+            short events = POLLIN;
+            if (conn.out.size() > conn.outOff)
+                events |= POLLOUT;
+            pfds.push_back({conn.fd.get(), events, 0});
+            targets.push_back({PollTarget::Kind::Client, id});
+        }
+        for (const auto &backend : backends) {
+            if (!backend->alive)
+                continue;
+            const int fd = backend->client->socketFd();
+            if (fd < 0)
+                continue;
+            pfds.push_back({fd, POLLIN, 0});
+            targets.push_back(
+                {PollTarget::Kind::Backend, backend->id});
+        }
+
+        const int ready = ::poll(pfds.data(), pfds.size(),
+                                 static_cast<int>(cfg.tickMs));
+        if (ready < 0 && errno != EINTR)
+            break;
+
+        std::vector<std::uint64_t> closing;
+        for (std::size_t i = 0; ready > 0 && i < pfds.size(); ++i) {
+            const short revents = pfds[i].revents;
+            if (revents == 0)
+                continue;
+            switch (targets[i].kind) {
+            case PollTarget::Kind::Wakeup: {
+                std::uint64_t buf = 0;
+                while (::read(wakeup.get(), &buf, sizeof(buf)) > 0) {
+                }
+                break;
+            }
+            case PollTarget::Kind::Listener:
+                acceptPending();
+                break;
+            case PollTarget::Kind::Client: {
+                auto it = conns.find(targets[i].id);
+                if (it == conns.end())
+                    break;
+                ClientConn &conn = it->second;
+                bool alive = true;
+                if (revents & (POLLIN | POLLHUP | POLLERR))
+                    alive = handleClientReadable(conn);
+                if (alive && (revents & POLLOUT))
+                    flushClient(conn);
+                if (!alive || (conn.readClosed &&
+                               conn.out.size() == conn.outOff &&
+                               conn.inFlight == 0))
+                    closing.push_back(targets[i].id);
+                break;
+            }
+            case PollTarget::Kind::Backend: {
+                for (auto &backend : backends) {
+                    if (backend->id == targets[i].id) {
+                        handleBackendReadable(*backend);
+                        break;
+                    }
+                }
+                break;
+            }
+            }
+        }
+        for (const std::uint64_t id : closing)
+            closeClient(id);
+
+        refreshDerived();
+        publishTopology();
+    }
+}
+
+void
+Router::acceptPending()
+{
+    for (;;) {
+        net::Fd conn(::accept4(listener.get(), nullptr, nullptr,
+                          SOCK_NONBLOCK));
+        if (!conn.valid())
+            return; // EAGAIN (or a transient error): back to poll
+        net::setNoDelay(conn.get());
+        const std::uint64_t id = nextConnId++;
+        ClientConn client;
+        client.fd = std::move(conn);
+        client.id = id;
+        conns.emplace(id, std::move(client));
+        nAccepted.fetch_add(1, std::memory_order_relaxed);
+        if (tmAccepted)
+            tmAccepted->add(1);
+        nActive.fetch_add(1, std::memory_order_relaxed);
+        if (tmActive)
+            tmActive->add(1);
+    }
+}
+
+bool
+Router::handleClientReadable(ClientConn &conn)
+{
+    std::vector<std::uint8_t> chunk(cfg.readChunkBytes);
+    for (;;) {
+        const ssize_t got =
+            ::read(conn.fd.get(), chunk.data(), chunk.size());
+        if (got > 0) {
+            conn.in.insert(conn.in.end(), chunk.data(),
+                           chunk.data() +
+                               static_cast<std::size_t>(got));
+            if (conn.in.size() > cfg.maxInBufferBytes)
+                return false; // garbage or hostile lengths
+            if (static_cast<std::size_t>(got) < chunk.size())
+                break;
+            continue;
+        }
+        if (got == 0) {
+            conn.readClosed = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return processClientInput(conn);
+}
+
+bool
+Router::processClientInput(ClientConn &conn)
+{
+    std::size_t offset = 0;
+    while (offset < conn.in.size()) {
+        wire::FrameHeader header;
+        std::size_t frame_end = 0;
+        const wire::DecodeStatus status = wire::peekFrameHeader(
+            conn.in.data(), conn.in.size(), offset, header,
+            frame_end);
+        if (status == wire::DecodeStatus::Ok) {
+            nFramesIn.fetch_add(1, std::memory_order_relaxed);
+            if (tmFramesIn)
+                tmFramesIn->add(1);
+            std::vector<std::uint8_t> frame(
+                conn.in.begin() +
+                    static_cast<std::ptrdiff_t>(offset),
+                conn.in.begin() +
+                    static_cast<std::ptrdiff_t>(frame_end));
+            routeFrame(header, std::move(frame), conn.id);
+            offset = frame_end;
+            continue;
+        }
+        if (status == wire::DecodeStatus::Truncated)
+            break; // frame still arriving
+        // Corrupt region: resync at the next trustworthy boundary,
+        // the same discipline the backends apply.
+        bool complete = false;
+        const std::size_t next = wire::findFrameBoundary(
+            conn.in.data(), conn.in.size(), offset + 1, &complete);
+        nResynced.fetch_add(1, std::memory_order_relaxed);
+        if (tmResynced)
+            tmResynced->add(1);
+        nResyncBytes.fetch_add(next - offset,
+                               std::memory_order_relaxed);
+        if (tmResyncBytes)
+            tmResyncBytes->add(
+                static_cast<std::int64_t>(next - offset));
+        offset = next;
+        if (!complete)
+            break;
+    }
+    if (offset > 0)
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() +
+                          static_cast<std::ptrdiff_t>(offset));
+    return true;
+}
+
+Router::Backend *
+Router::findBackend(std::uint64_t id)
+{
+    for (auto &backend : backends)
+        if (backend->id == id)
+            return backend.get();
+    return nullptr;
+}
+
+void
+Router::routeFrame(const wire::FrameHeader &header,
+                   std::vector<std::uint8_t> frame,
+                   std::uint64_t client_conn)
+{
+    const std::uint64_t session = header.session;
+    if (ring.empty() && routes.find(session) == routes.end()) {
+        // No backends and no route: the router is the fleet; answer
+        // with an empty prediction reply so the client's accounting
+        // never strands a frame.
+        synthesizeReply(session, header.sequence, client_conn);
+        return;
+    }
+
+    SessionRoute &route = routes[session];
+    Pending entry;
+    entry.sequence = header.sequence;
+    entry.clientConn = client_conn;
+    entry.bytes = std::move(frame);
+
+    if (route.migrating) {
+        route.parked.push_back(std::move(entry));
+        bumpClientInFlight(client_conn, 1);
+        return;
+    }
+    if (!route.assigned) {
+        if (ring.empty()) {
+            synthesizeReply(session, header.sequence, client_conn);
+            return;
+        }
+        route.owner = ring.ownerOf(session);
+        route.assigned = true;
+    } else if (!ring.contains(route.owner)) {
+        // Owner vanished since the route was assigned; rehash or,
+        // if nobody is left, answer directly.
+        if (ring.empty()) {
+            synthesizeReply(session, header.sequence, client_conn);
+            return;
+        }
+        route.owner = ring.ownerOf(session);
+    }
+    Backend *backend = findBackend(route.owner);
+    HOTPATH_ASSERT(backend != nullptr,
+                   "route owner is not a known backend");
+    bumpClientInFlight(client_conn, 1);
+    nFramesRouted.fetch_add(1, std::memory_order_relaxed);
+    if (tmFramesRouted)
+        tmFramesRouted->add(1);
+    sendToBackend(*backend, session, std::move(entry));
+}
+
+void
+Router::bumpClientInFlight(std::uint64_t client_conn,
+                           std::int64_t delta)
+{
+    auto it = conns.find(client_conn);
+    if (it == conns.end())
+        return;
+    it->second.inFlight = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(it->second.inFlight) + delta);
+}
+
+void
+Router::sendToBackend(Backend &backend, std::uint64_t session,
+                      Pending entry)
+{
+    auto &queue = backend.ledger[session];
+    queue.push_back(std::move(entry));
+    ++backend.inFlight;
+    ++backend.framesSent;
+    const Pending &sent = queue.back();
+    if (backend.alive &&
+        !backend.client->sendFrame(sent.bytes.data(),
+                                   sent.bytes.size())) {
+        backend.alive = false;
+        backend.needsRecovery = true;
+    }
+    // Not alive: the entry stays ledgered; the recovery pass replays
+    // it after a reconnect or fails it over.
+}
+
+void
+Router::handleBackendReadable(Backend &backend)
+{
+    std::vector<net::PredictionReply> replies;
+    const int got = backend.client->poll(replies, 0);
+    if (got < 0) {
+        backend.alive = false;
+        backend.needsRecovery = true;
+        return;
+    }
+    for (const net::PredictionReply &reply : replies)
+        settleReply(backend, reply);
+}
+
+bool
+Router::settleReply(Backend &backend,
+                    const net::PredictionReply &reply)
+{
+    auto it = backend.ledger.find(reply.session);
+    if (it == backend.ledger.end())
+        return false;
+    auto &queue = it->second;
+    auto match = queue.end();
+    for (auto entry = queue.begin(); entry != queue.end(); ++entry) {
+        if (entry->sequence != reply.sequence)
+            continue;
+        // An export request is answered by a SessionState frame;
+        // everything else by a Predictions frame.
+        if ((entry->phase == Pending::Phase::Export) !=
+            reply.isState)
+            continue;
+        match = entry;
+        break;
+    }
+    if (match == queue.end())
+        return false;
+    const Pending entry = std::move(*match);
+    queue.erase(match);
+    if (queue.empty())
+        backend.ledger.erase(it);
+    --backend.inFlight;
+
+    switch (entry.phase) {
+    case Pending::Phase::Normal:
+        forwardReply(entry.clientConn, reply);
+        break;
+    case Pending::Phase::Export:
+        handleExportReply(reply);
+        break;
+    case Pending::Phase::Import:
+        finishMigration(reply.session);
+        break;
+    }
+    return true;
+}
+
+void
+Router::forwardReply(std::uint64_t client_conn,
+                     const net::PredictionReply &reply)
+{
+    bumpClientInFlight(client_conn, -1);
+    auto it = conns.find(client_conn);
+    if (it == conns.end()) {
+        nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
+        if (tmResponsesDropped)
+            tmResponsesDropped->add(1);
+        return;
+    }
+    ClientConn &conn = it->second;
+    if (conn.out.size() - conn.outOff > cfg.maxOutBufferBytes) {
+        nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
+        if (tmResponsesDropped)
+            tmResponsesDropped->add(1);
+        return;
+    }
+    if (reply.isState)
+        wire::appendSessionStateFrame(conn.out, reply.session,
+                                      reply.sequence, reply.state);
+    else
+        wire::appendPredictionFrame(conn.out, reply.session,
+                                    reply.sequence,
+                                    reply.predictions.data(),
+                                    reply.predictions.size());
+    nResponsesOut.fetch_add(1, std::memory_order_relaxed);
+    if (tmResponsesOut)
+        tmResponsesOut->add(1);
+    flushClient(conn);
+}
+
+void
+Router::synthesizeReply(std::uint64_t session,
+                        std::uint64_t sequence,
+                        std::uint64_t client_conn)
+{
+    auto it = conns.find(client_conn);
+    if (it == conns.end()) {
+        nResponsesDropped.fetch_add(1, std::memory_order_relaxed);
+        if (tmResponsesDropped)
+            tmResponsesDropped->add(1);
+        return;
+    }
+    ClientConn &conn = it->second;
+    wire::appendPredictionFrame(conn.out, session, sequence, nullptr,
+                                0);
+    nResponsesSynthesized.fetch_add(1, std::memory_order_relaxed);
+    if (tmResponsesSynthesized)
+        tmResponsesSynthesized->add(1);
+    flushClient(conn);
+}
+
+void
+Router::flushClient(ClientConn &conn)
+{
+    while (conn.outOff < conn.out.size()) {
+        const ssize_t wrote =
+            ::send(conn.fd.get(), conn.out.data() + conn.outOff,
+                   conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+        if (wrote > 0) {
+            conn.outOff += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // POLLOUT will resume the flush
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        return; // broken pipe: the read side will close the conn
+    }
+    conn.out.clear();
+    conn.outOff = 0;
+}
+
+void
+Router::closeClient(std::uint64_t conn_id)
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        return;
+    conns.erase(it);
+    nClosed.fetch_add(1, std::memory_order_relaxed);
+    if (tmClosed)
+        tmClosed->add(1);
+    nActive.fetch_sub(1, std::memory_order_relaxed);
+    if (tmActive)
+        tmActive->add(-1);
+}
+
+// Failure handling -----------------------------------------------
+
+void
+Router::handleBackendBroken(Backend &backend)
+{
+    backend.needsRecovery = false;
+    // A fresh client: the old reassembly buffer may hold a torn
+    // reply from the dead connection and must not leak into the new
+    // stream.
+    net::ClientConfig cc;
+    cc.host = backend.address.host;
+    cc.port = backend.address.port;
+    cc.connectAttempts = cfg.connectAttempts;
+    cc.retryBaseMs = cfg.retryBaseMs;
+    cc.retryMaxExponent = cfg.retryMaxExponent;
+    cc.retryJitterSeed = cfg.retryJitterSeed ^ backend.id;
+    backend.client = std::make_unique<net::Client>(cc);
+    if (backend.client->connect()) {
+        backend.alive = true;
+        nBackendReconnects.fetch_add(1, std::memory_order_relaxed);
+        if (tmBackendReconnects)
+            tmBackendReconnects->add(1);
+        replayToSelf(backend);
+        return;
+    }
+    failover(backend);
+}
+
+void
+Router::replayToSelf(Backend &backend)
+{
+    // Re-send every ledgered frame on the fresh connection. The
+    // backend may process a frame twice (its first reply died with
+    // the old connection) but the router answers each client frame
+    // exactly once: the ledger entry is still open.
+    for (auto &[session, queue] : backend.ledger) {
+        for (const Pending &entry : queue) {
+            if (!backend.client->sendFrame(entry.bytes.data(),
+                                           entry.bytes.size())) {
+                backend.alive = false;
+                backend.needsRecovery = true;
+                return;
+            }
+            nFramesReplayed.fetch_add(1, std::memory_order_relaxed);
+            if (tmFramesReplayed)
+                tmFramesReplayed->add(1);
+        }
+    }
+}
+
+void
+Router::failover(Backend &backend)
+{
+    backend.dead = true;
+    backend.alive = false;
+    ring.removeNode(backend.id);
+    nFailovers.fetch_add(1, std::memory_order_relaxed);
+    if (tmFailovers)
+        tmFailovers->add(1);
+    nRehashes.fetch_add(1, std::memory_order_relaxed);
+    if (tmRehashes)
+        tmRehashes->add(1);
+
+    // Rehash the dead backend's sessions. There is nobody left to
+    // export from, so these sessions lose their predictor history -
+    // the price of failover - while sessions on surviving backends
+    // keep their owners (the consistent-hash property) and stay
+    // byte-identical to an undisturbed run.
+    for (auto &[session, route] : routes) {
+        if (route.migrating) {
+            if (route.owner == backend.id) {
+                // The export request will never be answered: adopt
+                // the target without history.
+                route.owner = route.pendingOwner;
+                route.migrating = false;
+                unparkSession(session, route);
+            } else if (route.pendingOwner == backend.id) {
+                // The import target died; the ledgered import frame
+                // is redistributed below to the new target.
+                if (ring.empty()) {
+                    route.migrating = false;
+                    route.assigned = false;
+                    unparkSession(session, route);
+                } else {
+                    route.pendingOwner = ring.ownerOf(session);
+                }
+            }
+        } else if (route.owner == backend.id) {
+            route.owner = ring.empty() ? 0 : ring.ownerOf(session);
+            route.assigned = !ring.empty();
+        }
+    }
+    redistributeLedger(backend);
+    publishTopology();
+}
+
+void
+Router::redistributeLedger(Backend &backend)
+{
+    auto ledger = std::move(backend.ledger);
+    backend.ledger.clear();
+    backend.inFlight = 0;
+    for (auto &[session, queue] : ledger) {
+        for (Pending &entry : queue) {
+            switch (entry.phase) {
+            case Pending::Phase::Export:
+                // The migration this export belonged to was
+                // abandoned in failover(); nothing to do.
+                break;
+            case Pending::Phase::Import: {
+                auto rit = routes.find(session);
+                if (rit == routes.end() || !rit->second.migrating)
+                    break; // migration abandoned
+                Backend *target =
+                    findBackend(rit->second.pendingOwner);
+                if (target == nullptr || target->dead) {
+                    rit->second.migrating = false;
+                    rit->second.assigned = false;
+                    unparkSession(session, rit->second);
+                    break;
+                }
+                nFramesReplayed.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (tmFramesReplayed)
+                    tmFramesReplayed->add(1);
+                sendToBackend(*target, session, std::move(entry));
+                break;
+            }
+            case Pending::Phase::Normal: {
+                auto rit = routes.find(session);
+                Backend *target =
+                    (rit != routes.end() && rit->second.assigned &&
+                     !rit->second.migrating)
+                        ? findBackend(rit->second.owner)
+                        : nullptr;
+                if (target == nullptr || target->dead) {
+                    synthesizeToConn(session, entry.sequence,
+                                     entry.clientConn);
+                    break;
+                }
+                nFramesReplayed.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (tmFramesReplayed)
+                    tmFramesReplayed->add(1);
+                sendToBackend(*target, session, std::move(entry));
+                break;
+            }
+            }
+        }
+    }
+}
+
+void
+Router::synthesizeToConn(std::uint64_t session,
+                         std::uint64_t sequence,
+                         std::uint64_t client_conn)
+{
+    bumpClientInFlight(client_conn, -1);
+    synthesizeReply(session, sequence, client_conn);
+}
+
+// Migration ------------------------------------------------------
+
+void
+Router::rehashSessions()
+{
+    for (auto &[session, route] : routes) {
+        if (route.migrating) {
+            // Chained topology change: retarget the move if its
+            // destination left the ring before the import was sent
+            // (an in-flight import completes and re-chains in
+            // finishMigration).
+            if (!ring.empty() &&
+                !ring.contains(route.pendingOwner))
+                route.pendingOwner = ring.ownerOf(session);
+            continue;
+        }
+        if (ring.empty())
+            continue; // routeFrame answers directly from here on
+        const std::uint64_t newOwner = ring.ownerOf(session);
+        if (!route.assigned) {
+            // Headless route (total failover in the past): adopt
+            // the new owner directly; there is no history to move.
+            route.owner = newOwner;
+            route.assigned = true;
+            unparkSession(session, route);
+            continue;
+        }
+        if (newOwner == route.owner)
+            continue;
+        startMigration(session, route, newOwner);
+    }
+}
+
+void
+Router::startMigration(std::uint64_t session, SessionRoute &route,
+                       std::uint64_t new_owner)
+{
+    Backend *old = findBackend(route.owner);
+    if (old == nullptr || !old->alive || old->dead) {
+        // No history to move; the new owner rebuilds from scratch.
+        route.owner = new_owner;
+        route.assigned = true;
+        return;
+    }
+    route.migrating = true;
+    route.pendingOwner = new_owner;
+
+    wire::SessionState request;
+    request.request = true;
+    Pending entry;
+    entry.sequence = migrationSequence++;
+    entry.clientConn = 0;
+    entry.phase = Pending::Phase::Export;
+    wire::appendSessionStateFrame(entry.bytes, session,
+                                  entry.sequence, request);
+    nMigrationFrames.fetch_add(1, std::memory_order_relaxed);
+    if (tmMigrationFrames)
+        tmMigrationFrames->add(1);
+    sendToBackend(*old, session, std::move(entry));
+}
+
+void
+Router::handleExportReply(const net::PredictionReply &reply)
+{
+    const std::uint64_t session = reply.session;
+    auto rit = routes.find(session);
+    if (rit == routes.end() || !rit->second.migrating)
+        return; // migration abandoned while the export was in flight
+    SessionRoute &route = rit->second;
+    Backend *target = findBackend(route.pendingOwner);
+    if (target == nullptr || target->dead) {
+        // Target died and nobody replaced it: finish without state.
+        route.migrating = false;
+        route.owner =
+            ring.empty() ? 0 : ring.ownerOf(session);
+        route.assigned = !ring.empty();
+        unparkSession(session, route);
+        return;
+    }
+
+    Pending entry;
+    entry.sequence = migrationSequence++;
+    entry.clientConn = 0;
+    entry.phase = Pending::Phase::Import;
+    wire::appendSessionStateFrame(entry.bytes, session,
+                                  entry.sequence, reply.state);
+    nMigrationFrames.fetch_add(1, std::memory_order_relaxed);
+    if (tmMigrationFrames)
+        tmMigrationFrames->add(1);
+    nMigrationBytes.fetch_add(entry.bytes.size(),
+                              std::memory_order_relaxed);
+    if (tmMigrationBytes)
+        tmMigrationBytes->add(
+            static_cast<std::int64_t>(entry.bytes.size()));
+    sendToBackend(*target, session, std::move(entry));
+}
+
+void
+Router::finishMigration(std::uint64_t session)
+{
+    auto rit = routes.find(session);
+    if (rit == routes.end() || !rit->second.migrating)
+        return;
+    SessionRoute &route = rit->second;
+    route.owner = route.pendingOwner;
+    route.migrating = false;
+    nSessionsMigrated.fetch_add(1, std::memory_order_relaxed);
+    if (tmSessionsMigrated)
+        tmSessionsMigrated->add(1);
+    if (!ring.empty() && !ring.contains(route.owner)) {
+        // The destination left the ring while the import was in
+        // flight (chained topology change): move again.
+        startMigration(session, route, ring.ownerOf(session));
+        return;
+    }
+    unparkSession(session, route);
+}
+
+void
+Router::unparkSession(std::uint64_t session, SessionRoute &route)
+{
+    while (!route.parked.empty()) {
+        Pending entry = std::move(route.parked.front());
+        route.parked.pop_front();
+        Backend *target =
+            route.assigned ? findBackend(route.owner) : nullptr;
+        if (target == nullptr || target->dead) {
+            synthesizeToConn(session, entry.sequence,
+                             entry.clientConn);
+            continue;
+        }
+        nFramesRouted.fetch_add(1, std::memory_order_relaxed);
+        if (tmFramesRouted)
+            tmFramesRouted->add(1);
+        sendToBackend(*target, session, std::move(entry));
+    }
+}
+
+void
+Router::reapRetiring()
+{
+    // A retiring backend leaves the fleet - and the topology - once
+    // its ledger is empty and no route points at it. A backend that
+    // died by failover (dead but not retiring) stays visible in the
+    // topology as not-alive instead; only an operator-requested
+    // removal disappears.
+    bool removed = false;
+    for (auto it = backends.begin(); it != backends.end();) {
+        Backend &backend = **it;
+        if (!backend.retiring) {
+            ++it;
+            continue;
+        }
+        if (backend.alive) {
+            if (backend.inFlight != 0) {
+                ++it;
+                continue;
+            }
+            bool referenced = false;
+            for (const auto &[session, route] : routes) {
+                if ((route.assigned &&
+                     route.owner == backend.id) ||
+                    (route.migrating &&
+                     route.pendingOwner == backend.id)) {
+                    referenced = true;
+                    break;
+                }
+            }
+            if (referenced) {
+                ++it;
+                continue;
+            }
+            backend.client->close();
+        }
+        if (backend.tmInFlight)
+            backend.tmInFlight->set(0);
+        it = backends.erase(it);
+        removed = true;
+    }
+    if (removed)
+        publishTopology();
+}
+
+void
+Router::executeCommand(const Command &command)
+{
+    switch (command.kind) {
+    case Command::Kind::AddBackend: {
+        auto backend = makeBackendLocked(command.id, command.address);
+        Backend *raw = backend.get();
+        backends.push_back(std::move(backend));
+        if (raw->client->connect()) {
+            raw->alive = true;
+            ring.addNode(raw->id);
+            nRehashes.fetch_add(1, std::memory_order_relaxed);
+            if (tmRehashes)
+                tmRehashes->add(1);
+            rehashSessions();
+        } else {
+            warn("cluster: addBackend connect failed");
+            raw->dead = true;
+        }
+        publishTopology();
+        break;
+    }
+    case Command::Kind::RemoveBackend: {
+        Backend *backend = findBackend(command.id);
+        if (backend == nullptr || backend->dead ||
+            backend->retiring)
+            break;
+        ring.removeNode(backend->id);
+        backend->retiring = true;
+        nRehashes.fetch_add(1, std::memory_order_relaxed);
+        if (tmRehashes)
+            tmRehashes->add(1);
+        rehashSessions();
+        publishTopology();
+        break;
+    }
+    }
+}
+
+// Bookkeeping ----------------------------------------------------
+
+void
+Router::refreshDerived()
+{
+    std::size_t inflight = 0;
+    std::size_t live = 0;
+    for (const auto &backend : backends) {
+        inflight += backend->inFlight;
+        if (backend->alive)
+            ++live;
+        if (backend->tmInFlight)
+            backend->tmInFlight->set(
+                static_cast<std::int64_t>(backend->inFlight));
+    }
+    std::size_t parked = 0;
+    for (const auto &[session, route] : routes)
+        parked += route.parked.size();
+
+    nInFlight.store(inflight, std::memory_order_relaxed);
+    nParked.store(parked, std::memory_order_relaxed);
+    nBackendsLive.store(live, std::memory_order_relaxed);
+    nSessionsTracked.store(routes.size(),
+                           std::memory_order_relaxed);
+    if (tmInFlightTotal)
+        tmInFlightTotal->set(static_cast<std::int64_t>(inflight));
+    if (tmParked)
+        tmParked->set(static_cast<std::int64_t>(parked));
+    if (tmBackendsLive)
+        tmBackendsLive->set(static_cast<std::int64_t>(live));
+
+    bool flushed = true;
+    for (const auto &[id, conn] : conns) {
+        if (conn.out.size() > conn.outOff) {
+            flushed = false;
+            break;
+        }
+    }
+    bool recovering = false;
+    for (const auto &backend : backends) {
+        if (backend->needsRecovery) {
+            recovering = true;
+            break;
+        }
+    }
+    quiescent.store(inflight == 0 && parked == 0 && flushed &&
+                        !recovering,
+                    std::memory_order_relaxed);
+}
+
+void
+Router::publishTopology()
+{
+    std::vector<BackendSnapshot> snapshot;
+    snapshot.reserve(backends.size());
+    for (const auto &backend : backends) {
+        BackendSnapshot row;
+        row.id = backend->id;
+        row.host = backend->address.host;
+        row.port = backend->address.port;
+        row.alive = backend->alive;
+        row.retiring = backend->retiring;
+        row.inFlight = backend->inFlight;
+        row.framesSent = backend->framesSent;
+        snapshot.push_back(std::move(row));
+    }
+    for (const auto &[session, route] : routes) {
+        const std::uint64_t owner =
+            route.migrating ? route.pendingOwner : route.owner;
+        for (auto &row : snapshot)
+            if (row.id == owner)
+                ++row.sessionsOwned;
+    }
+    std::lock_guard<std::mutex> lock(topoMu);
+    topoSnapshot = std::move(snapshot);
+}
+
+// Shutdown -------------------------------------------------------
+
+void
+Router::drain()
+{
+    if (!started.load() || draining.load())
+        return;
+    draining.store(true);
+    wakeRouter();
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(cfg.drainTimeoutMs);
+    const auto tick = std::chrono::milliseconds(cfg.tickMs);
+    // Quiet must hold for a few consecutive observations: a frame
+    // can be read off a client socket after an instantaneous
+    // "everything answered" snapshot.
+    int quietPasses = 0;
+    while (Clock::now() < deadline && quietPasses < 3) {
+        if (quiescent.load(std::memory_order_relaxed))
+            ++quietPasses;
+        else
+            quietPasses = 0;
+        std::this_thread::sleep_for(tick);
+    }
+}
+
+void
+Router::stop()
+{
+    if (!started.load())
+        return;
+    drain();
+    stopping.store(true);
+    wakeRouter();
+    if (routerThread.joinable())
+        routerThread.join();
+    if (adminThread.joinable())
+        adminThread.join();
+    conns.clear();
+    for (auto &backend : backends) {
+        backend->client->close();
+        backend->alive = false;
+    }
+    listener.reset();
+    adminListener.reset();
+    wakeup.reset();
+    started.store(false);
+}
+
+// Introspection --------------------------------------------------
+
+RouterStats
+Router::stats() const
+{
+    RouterStats out;
+    out.accepted = nAccepted.load(std::memory_order_relaxed);
+    out.closed = nClosed.load(std::memory_order_relaxed);
+    out.framesIn = nFramesIn.load(std::memory_order_relaxed);
+    out.framesRouted = nFramesRouted.load(std::memory_order_relaxed);
+    out.framesReplayed =
+        nFramesReplayed.load(std::memory_order_relaxed);
+    out.migrationFrames =
+        nMigrationFrames.load(std::memory_order_relaxed);
+    out.migrationBytes =
+        nMigrationBytes.load(std::memory_order_relaxed);
+    out.responsesOut = nResponsesOut.load(std::memory_order_relaxed);
+    out.responsesSynthesized =
+        nResponsesSynthesized.load(std::memory_order_relaxed);
+    out.responsesDropped =
+        nResponsesDropped.load(std::memory_order_relaxed);
+    out.framesResynced = nResynced.load(std::memory_order_relaxed);
+    out.resyncBytesSkipped =
+        nResyncBytes.load(std::memory_order_relaxed);
+    out.rehashes = nRehashes.load(std::memory_order_relaxed);
+    out.sessionsMigrated =
+        nSessionsMigrated.load(std::memory_order_relaxed);
+    out.backendReconnects =
+        nBackendReconnects.load(std::memory_order_relaxed);
+    out.failovers = nFailovers.load(std::memory_order_relaxed);
+    out.activeConnections = static_cast<std::size_t>(
+        nActive.load(std::memory_order_relaxed));
+    out.backendsLive = static_cast<std::size_t>(
+        nBackendsLive.load(std::memory_order_relaxed));
+    out.inFlightTotal = static_cast<std::size_t>(
+        nInFlight.load(std::memory_order_relaxed));
+    out.sessionsTracked = static_cast<std::size_t>(
+        nSessionsTracked.load(std::memory_order_relaxed));
+    out.parkedFrames = static_cast<std::size_t>(
+        nParked.load(std::memory_order_relaxed));
+    return out;
+}
+
+std::vector<BackendSnapshot>
+Router::topology() const
+{
+    std::lock_guard<std::mutex> lock(topoMu);
+    return topoSnapshot;
+}
+
+std::string
+Router::statsJson() const
+{
+    // Flat JSON only - scalar numbers and flat numeric arrays - so
+    // engine_top can scan it with string searches instead of a JSON
+    // parser (the same contract as the server's /stats).
+    const RouterStats rs = stats();
+    std::ostringstream os;
+    os << '{';
+    os << "\"cluster_accepted\":" << rs.accepted
+       << ",\"cluster_active\":" << rs.activeConnections
+       << ",\"cluster_frames_in\":" << rs.framesIn
+       << ",\"cluster_frames_routed\":" << rs.framesRouted
+       << ",\"cluster_frames_replayed\":" << rs.framesReplayed
+       << ",\"cluster_migration_frames\":" << rs.migrationFrames
+       << ",\"cluster_migration_bytes\":" << rs.migrationBytes
+       << ",\"cluster_responses_out\":" << rs.responsesOut
+       << ",\"cluster_responses_synthesized\":"
+       << rs.responsesSynthesized
+       << ",\"cluster_responses_dropped\":" << rs.responsesDropped
+       << ",\"cluster_rehash_events\":" << rs.rehashes
+       << ",\"cluster_sessions_migrated\":" << rs.sessionsMigrated
+       << ",\"cluster_backend_reconnects\":" << rs.backendReconnects
+       << ",\"cluster_failovers\":" << rs.failovers
+       << ",\"cluster_backends_live\":" << rs.backendsLive
+       << ",\"cluster_inflight\":" << rs.inFlightTotal
+       << ",\"cluster_sessions_tracked\":" << rs.sessionsTracked
+       << ",\"cluster_parked_frames\":" << rs.parkedFrames
+       << ",\"cluster_frames_resynced\":" << rs.framesResynced
+       << ",\"cluster_resync_bytes_skipped\":"
+       << rs.resyncBytesSkipped;
+    std::vector<BackendSnapshot> topo;
+    {
+        std::lock_guard<std::mutex> lock(topoMu);
+        topo = topoSnapshot;
+    }
+    const auto arr = [&os, &topo](const char *key, auto &&field) {
+        os << ",\"" << key << "\":[";
+        for (std::size_t i = 0; i < topo.size(); ++i) {
+            if (i != 0)
+                os << ',';
+            os << field(topo[i]);
+        }
+        os << ']';
+    };
+    arr("backend_ids", [](const BackendSnapshot &row) {
+        return row.id;
+    });
+    arr("backend_alive", [](const BackendSnapshot &row) {
+        return static_cast<std::uint64_t>(row.alive ? 1 : 0);
+    });
+    arr("backend_inflight", [](const BackendSnapshot &row) {
+        return static_cast<std::uint64_t>(row.inFlight);
+    });
+    arr("backend_sessions", [](const BackendSnapshot &row) {
+        return static_cast<std::uint64_t>(row.sessionsOwned);
+    });
+    arr("backend_frames_sent", [](const BackendSnapshot &row) {
+        return row.framesSent;
+    });
+    os << '}';
+    return os.str();
+}
+
+std::string
+Router::topologyJson() const
+{
+    std::vector<BackendSnapshot> topo;
+    {
+        std::lock_guard<std::mutex> lock(topoMu);
+        topo = topoSnapshot;
+    }
+    std::ostringstream os;
+    os << "{\"backends\":[";
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+        const BackendSnapshot &row = topo[i];
+        if (i != 0)
+            os << ',';
+        os << "{\"id\":" << row.id << ",\"host\":\"" << row.host
+           << "\",\"port\":" << row.port
+           << ",\"alive\":" << (row.alive ? "true" : "false")
+           << ",\"retiring\":" << (row.retiring ? "true" : "false")
+           << ",\"inflight\":" << row.inFlight
+           << ",\"sessions\":" << row.sessionsOwned
+           << ",\"frames_sent\":" << row.framesSent << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+Router::adminResponse(const std::string &path, int &status) const
+{
+    if (path == "/healthz") {
+        if (draining.load(std::memory_order_relaxed)) {
+            status = 503;
+            return "draining\n";
+        }
+        status = 200;
+        return "ok\n";
+    }
+    if (path == "/metrics") {
+        status = 200;
+        std::ostringstream os;
+        if (telemetry::MetricRegistry *registry =
+                telemetry::attachedRegistry())
+            telemetry::writePrometheus(os, registry->snapshot());
+        else
+            os << "# telemetry registry not attached\n";
+        return os.str();
+    }
+    if (path == "/topology") {
+        status = 200;
+        return topologyJson();
+    }
+    if (path == "/stats") {
+        status = 200;
+        return statsJson();
+    }
+    status = 404;
+    return "not found\n";
+}
+
+void
+Router::serveAdminRequest(net::Fd &conn)
+{
+    using Clock = std::chrono::steady_clock;
+    // Bounded request read; one request at a time is the whole
+    // concurrency model (same discipline as the server's admin
+    // plane).
+    std::string request;
+    char buf[1024];
+    const auto readDeadline =
+        Clock::now() + std::chrono::milliseconds(250);
+    while (request.find('\n') == std::string::npos &&
+           request.size() < 4096 && Clock::now() < readDeadline) {
+        pollfd pfd{conn.get(), POLLIN, 0};
+        if (::poll(&pfd, 1, 50) <= 0)
+            continue;
+        const ssize_t got = ::read(conn.get(), buf, sizeof(buf));
+        if (got > 0) {
+            request.append(buf, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            break;
+        if (errno == EINTR || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            continue;
+        return;
+    }
+
+    int status = 400;
+    std::string body = "bad request\n";
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+        const std::size_t end = request.find_first_of(" \r\n", 4);
+        if (end != std::string::npos && end > 4) {
+            path = request.substr(4, end - 4);
+            body = adminResponse(path, status);
+        }
+    }
+
+    const char *reason = status == 200  ? "OK"
+                         : status == 404 ? "Not Found"
+                         : status == 503 ? "Service Unavailable"
+                                         : "Bad Request";
+    const char *contentType =
+        path == "/stats" || path == "/topology"
+            ? "application/json"
+        : path == "/metrics"
+            ? "text/plain; version=0.0.4; charset=utf-8"
+            : "text/plain; charset=utf-8";
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+       << "Content-Type: " << contentType << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    const std::string response = os.str();
+
+    std::size_t off = 0;
+    const auto writeDeadline =
+        Clock::now() + std::chrono::milliseconds(500);
+    while (off < response.size() && Clock::now() < writeDeadline) {
+        const ssize_t wrote = ::send(
+            conn.get(), response.data() + off, response.size() - off,
+            MSG_NOSIGNAL);
+        if (wrote > 0) {
+            off += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 &&
+            (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{conn.get(), POLLOUT, 0};
+            ::poll(&pfd, 1, 50);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+}
+
+void
+Router::adminLoop()
+{
+    // Keeps serving during drain() - /healthz flipping to 503 is the
+    // point - and exits on stop().
+    while (!stopping.load()) {
+        pollfd pfd{adminListener.get(), POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(cfg.tickMs));
+        if (ready <= 0)
+            continue;
+        net::Fd conn(::accept4(adminListener.get(), nullptr, nullptr,
+                          SOCK_NONBLOCK));
+        if (!conn.valid())
+            continue;
+        serveAdminRequest(conn);
+    }
+}
+
+} // namespace hotpath::cluster

@@ -94,6 +94,21 @@ FragmentCache::find(PathIndex path)
 }
 
 void
+FragmentCache::restore(PathIndex path, std::uint32_t instructions,
+                       std::uint64_t executions,
+                       std::uint64_t lastUse)
+{
+    Fragment fragment;
+    fragment.path = path;
+    fragment.instructions = instructions;
+    fragment.executions = executions;
+    fragment.lastUse = lastUse;
+    const bool inserted = fragments.emplace(path, fragment).second;
+    HOTPATH_ASSERT(inserted, "fragment already cached for this path");
+    occupancy += instructions;
+}
+
+void
 FragmentCache::flushAll()
 {
     telemetry::emit(telemetry::TraceEventKind::CacheFlush, "dynamo",

@@ -87,6 +87,33 @@ class FragmentCache
     /** Single-fragment LRU evictions performed. */
     std::uint64_t evictions() const { return evictionCount; }
 
+    // Migration support (Session::exportState / importState) -------
+
+    /** Visit every cached fragment (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &entry : fragments)
+            fn(entry.second);
+    }
+
+    /**
+     * Reinstall a fragment byte-for-byte on a fresh cache: the exact
+     * `lastUse` stamp is preserved so LRU eviction order after an
+     * import matches the exporting cache. Unlike insert() this is
+     * bookkeeping-silent - no capacity check, no telemetry, and not
+     * counted as a formed fragment.
+     */
+    void restore(PathIndex path, std::uint32_t instructions,
+                 std::uint64_t executions, std::uint64_t lastUse);
+
+    /** The LRU clock (monotonic touch stamp source). */
+    std::uint64_t clockValue() const { return clock; }
+
+    /** Reset the LRU clock to an exported value (import path). */
+    void setClockValue(std::uint64_t value) { clock = value; }
+
   private:
     /** Evict least-recently-used fragments to free `needed` room. */
     void evictFor(std::uint32_t needed);

@@ -59,6 +59,8 @@ Engine::Engine(EngineConfig config)
     tmEvents = telemetry::counter("engine.events");
     tmPredictions = telemetry::counter("engine.predictions");
     tmBackpressure = telemetry::counter("engine.backpressure.waits");
+    tmExported = telemetry::counter("engine.sessions.exported");
+    tmImported = telemetry::counter("engine.sessions.imported");
     tmQueueHighWater = telemetry::gauge("engine.queue.highwater");
     tmQueueDepth = telemetry::gauge("engine.queue.depth");
     tmBatchSize = telemetry::histogram("engine.batch.size");
@@ -327,7 +329,7 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
     if (workers.empty()) {
         // Serial fallback: the caller's thread is the worker.
         processFrame(frame, tag, serialScratch, serialPredScratch,
-                     span_ns);
+                     serialStateScratch, span_ns);
         return SubmitStatus::Accepted;
     }
 
@@ -525,9 +527,58 @@ Engine::completeUnapplied(const std::vector<std::uint8_t> &frame,
 }
 
 void
+Engine::processSessionState(const wire::DecodedFrame &scratch,
+                            std::uint64_t tag,
+                            std::vector<std::uint8_t> &state_scratch)
+{
+    const std::uint64_t session = scratch.header.session;
+    state_scratch.clear();
+    if (scratch.state.request) {
+        // Export request: reply with the session's snapshot. An
+        // absent session exports as a fresh/empty snapshot
+        // (sawFrame=false), so migration of a session the backend
+        // never saw degrades to a clean rebuild on the new owner.
+        wire::SessionState snapshot;
+        snapshot.predictionDelay =
+            cfg.sessions.session.predictionDelay;
+        table.peekSession(session, [&](const Session &s) {
+            s.exportState(snapshot);
+        });
+        wire::appendSessionStateFrame(state_scratch, session,
+                                      scratch.header.sequence,
+                                      snapshot);
+        sessionsExportedCount.fetch_add(1,
+                                        std::memory_order_relaxed);
+        if (tmExported)
+            tmExported->add(1);
+    } else {
+        table.installSession(session, [&](Session &s) {
+            s.importState(scratch.state);
+        });
+        sessionsImportedCount.fetch_add(1,
+                                        std::memory_order_relaxed);
+        if (tmImported)
+            tmImported->add(1);
+    }
+    framesAppliedCount.fetch_add(1, std::memory_order_relaxed);
+
+    if (frameCallback) {
+        FrameOutcome outcome;
+        outcome.session = session;
+        outcome.sequence = scratch.header.sequence;
+        outcome.tag = tag;
+        outcome.applied = true;
+        if (scratch.state.request)
+            outcome.stateReply = &state_scratch;
+        frameCallback(outcome);
+    }
+}
+
+void
 Engine::processFrame(const std::vector<std::uint8_t> &frame,
                      std::uint64_t tag, wire::DecodedFrame &scratch,
                      std::vector<wire::PredictionRecord> &preds,
+                     std::vector<std::uint8_t> &state_scratch,
                      std::uint64_t span_ns)
 {
     // Stage spans: a sampled frame (span_ns != 0) costs three clock
@@ -549,6 +600,17 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
         // The frame passed the header peek at submit, so a tagged
         // caller counted it in flight and is owed a completion.
         completeUnapplied(frame, tag);
+        return;
+    }
+    if (scratch.header.kind == wire::FrameKind::SessionState) {
+        // Migration traffic: import a snapshot or answer an export
+        // request. Counted as decoded+applied so frame conservation
+        // holds; never span-sampled past queue-wait (the stage-set
+        // contract covers PathEvents frames only).
+        framesDecoded.fetch_add(1, std::memory_order_relaxed);
+        if (tmFramesDecoded)
+            tmFramesDecoded->add(1);
+        processSessionState(scratch, tag, state_scratch);
         return;
     }
     if (scratch.header.kind != wire::FrameKind::PathEvents) {
@@ -660,6 +722,7 @@ Engine::workerLoop(std::size_t worker_index)
     WorkerState &self = *workerStates[worker_index];
     wire::DecodedFrame scratch;
     std::vector<wire::PredictionRecord> predScratch;
+    std::vector<std::uint8_t> stateScratch;
     std::vector<QueuedFrame> batch;
     // Busy/idle accounting: one clock read per sweep (not per frame).
     // Busy covers sweeping and processing, idle the parked wait.
@@ -703,7 +766,8 @@ Engine::workerLoop(std::size_t worker_index)
 
             for (const QueuedFrame &frame : batch)
                 processFrame(frame.bytes, frame.tag, scratch,
-                             predScratch, frame.spanNs);
+                             predScratch, stateScratch,
+                             frame.spanNs);
             noteFrameDone(batch.size());
         }
         if (did_work) {
@@ -893,6 +957,10 @@ Engine::stats() const
     stats.sessionsEvicted = table_stats.evicted;
     stats.sessionsIdleEvicted = table_stats.idleEvicted;
     stats.sessionsLive = table_stats.live;
+    stats.sessionsExported =
+        sessionsExportedCount.load(std::memory_order_relaxed);
+    stats.sessionsImported =
+        sessionsImportedCount.load(std::memory_order_relaxed);
 
     if (injector) {
         stats.fault.injectedBitFlips =
@@ -966,6 +1034,36 @@ Engine::predictionsFor(std::uint64_t session_id) const
         predictions = session.predictions();
     });
     return predictions;
+}
+
+bool
+Engine::exportSession(std::uint64_t session_id,
+                      wire::SessionState &out) const
+{
+    out = wire::SessionState{};
+    out.predictionDelay = cfg.sessions.session.predictionDelay;
+    const bool resident =
+        table.peekSession(session_id, [&](const Session &session) {
+            session.exportState(out);
+        });
+    if (resident) {
+        sessionsExportedCount.fetch_add(1, std::memory_order_relaxed);
+        if (tmExported)
+            tmExported->add(1);
+    }
+    return resident;
+}
+
+void
+Engine::importSession(std::uint64_t session_id,
+                      const wire::SessionState &state)
+{
+    table.installSession(session_id, [&](Session &session) {
+        session.importState(state);
+    });
+    sessionsImportedCount.fetch_add(1, std::memory_order_relaxed);
+    if (tmImported)
+        tmImported->add(1);
 }
 
 } // namespace hotpath::engine

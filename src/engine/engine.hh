@@ -142,6 +142,12 @@ struct FrameOutcome
      *  server does). Always false for unsampled frames and for
      *  frames that failed the full decode. */
     bool spanSampled = false;
+    /** For a SessionState export request: the fully encoded
+     *  SessionState reply frame the callback owner must send back
+     *  instead of a Predictions reply (worker-local scratch, only
+     *  valid for the duration of the callback). nullptr for every
+     *  other frame. */
+    const std::vector<std::uint8_t> *stateReply = nullptr;
 };
 
 /**
@@ -318,6 +324,11 @@ struct EngineStats
     std::uint64_t sessionsIdleEvicted = 0;
     /** Sessions currently resident. */
     std::size_t sessionsLive = 0;
+    /** Session snapshots exported (API calls + export requests). */
+    std::uint64_t sessionsExported = 0;
+    /** Session snapshots imported (API calls + SessionState
+     *  frames). */
+    std::uint64_t sessionsImported = 0;
 
     /** Times submit() blocked on a full shard queue. */
     std::uint64_t backpressureWaits = 0;
@@ -464,6 +475,28 @@ class Engine
         return table.peekSession(session_id, fn);
     }
 
+    /**
+     * Snapshot a resident session's predictor state into `out`
+     * (Session::exportState). Returns false - leaving `out` as a
+     * fresh/empty snapshot - when the session is not resident. Safe
+     * against concurrent traffic (stripe lock), but the snapshot is
+     * only stream-consistent if the caller has stopped feeding the
+     * session; the router's migration protocol guarantees that by
+     * parking the session's frames first.
+     */
+    bool exportSession(std::uint64_t session_id,
+                       wire::SessionState &out) const;
+
+    /**
+     * Install a session rebuilt from an exported snapshot (replacing
+     * any resident session of the same id). Feeding the original
+     * event suffix afterwards continues the exporter's prediction
+     * stream bit-identically. The allocation-failure hook is not
+     * consulted (migration must not be starved by injected faults).
+     */
+    void importSession(std::uint64_t session_id,
+                       const wire::SessionState &state);
+
     /** Ordered predicted paths of one session (empty if absent; only
      *  populated when the session config records predictions). */
     std::vector<PathIndex> predictionsFor(std::uint64_t session_id) const;
@@ -530,11 +563,19 @@ class Engine
     /** Decode + apply one frame on the owning worker (or inline in
      *  serial mode); fires the completion callback when installed.
      *  `span_ns` != 0 marks a span-sampled frame carrying its
-     *  enqueue timestamp. */
+     *  enqueue timestamp. `state_scratch` receives the encoded
+     *  SessionState reply when the frame is an export request. */
     void processFrame(const std::vector<std::uint8_t> &frame,
                       std::uint64_t tag, wire::DecodedFrame &scratch,
                       std::vector<wire::PredictionRecord> &preds,
+                      std::vector<std::uint8_t> &state_scratch,
                       std::uint64_t span_ns = 0);
+
+    /** Apply one decoded SessionState frame (import or export
+     *  request) and fire its completion. */
+    void processSessionState(const wire::DecodedFrame &scratch,
+                             std::uint64_t tag,
+                             std::vector<std::uint8_t> &state_scratch);
 
     /** Post-injection routing shared by submit(), trySubmit(),
      *  submitBuffer() and delayed redelivery: header peek, reject,
@@ -579,6 +620,8 @@ class Engine
     wire::DecodedFrame serialScratch;
     /** Serial-mode prediction-record scratch. */
     std::vector<wire::PredictionRecord> serialPredScratch;
+    /** Serial-mode SessionState reply scratch. */
+    std::vector<std::uint8_t> serialStateScratch;
     /** Per-frame completion callback; empty unless installed. */
     FrameCallback frameCallback;
     mutable std::mutex drainMu;
@@ -605,6 +648,8 @@ class Engine
     std::atomic<std::uint64_t> allocDropped{0};
     std::atomic<std::uint64_t> framesShed{0};
     std::atomic<std::uint64_t> framesAppliedCount{0};
+    mutable std::atomic<std::uint64_t> sessionsExportedCount{0};
+    std::atomic<std::uint64_t> sessionsImportedCount{0};
     std::atomic<std::uint64_t> workersStalledCount{0};
     std::atomic<std::uint64_t> workersUnstalledCount{0};
     std::atomic<std::uint64_t> stallDetections{0};
@@ -615,6 +660,8 @@ class Engine
     telemetry::Counter *tmEvents = nullptr;
     telemetry::Counter *tmPredictions = nullptr;
     telemetry::Counter *tmBackpressure = nullptr;
+    telemetry::Counter *tmExported = nullptr;
+    telemetry::Counter *tmImported = nullptr;
     telemetry::Gauge *tmQueueHighWater = nullptr;
     telemetry::Gauge *tmQueueDepth = nullptr;
     telemetry::Histogram *tmBatchSize = nullptr;

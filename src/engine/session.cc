@@ -1,5 +1,7 @@
 #include "engine/session.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace hotpath::engine
@@ -58,6 +60,75 @@ Session::apply(const wire::DecodedFrame &frame,
             predictions_out->push_back({event.head, event.path});
     }
     return predicted;
+}
+
+void
+Session::exportState(wire::SessionState &out) const
+{
+    out = wire::SessionState{};
+    out.predictionDelay = cfg.predictionDelay;
+    out.lastSequence = lastSequence;
+    out.sawFrame = sawFrame;
+    out.cacheClock = fragments.clockValue();
+
+    predictor.forEachCounter(
+        [&out](std::uint64_t key, std::uint64_t count) {
+            out.counters.push_back({key, count});
+        });
+    std::sort(out.counters.begin(), out.counters.end(),
+              [](const wire::SessionCounterEntry &a,
+                 const wire::SessionCounterEntry &b) {
+                  return a.key < b.key;
+              });
+
+    for (const HeadIndex head : predictor.retiredHeads())
+        out.retired.push_back(head);
+    std::sort(out.retired.begin(), out.retired.end());
+
+    fragments.forEach([&out](const Fragment &fragment) {
+        out.fragments.push_back({fragment.path,
+                                 fragment.instructions,
+                                 fragment.executions,
+                                 fragment.lastUse});
+    });
+    std::sort(out.fragments.begin(), out.fragments.end(),
+              [](const wire::SessionFragmentEntry &a,
+                 const wire::SessionFragmentEntry &b) {
+                  return a.path < b.path;
+              });
+
+    out.framesApplied = st.framesApplied;
+    out.eventsProcessed = st.eventsProcessed;
+    out.cachedEvents = st.cachedEvents;
+    out.interpretedEvents = st.interpretedEvents;
+    out.predictions = st.predictions;
+    out.sequenceGaps = st.sequenceGaps;
+    out.decodeErrors = st.decodeErrors;
+}
+
+void
+Session::importState(const wire::SessionState &in)
+{
+    HOTPATH_ASSERT(st.framesApplied == 0 && fragments.size() == 0,
+                   "importState requires a fresh session");
+    for (const wire::SessionCounterEntry &entry : in.counters)
+        predictor.restoreCounter(entry.key, entry.count);
+    for (const std::uint32_t head : in.retired)
+        predictor.restoreRetired(head);
+    for (const wire::SessionFragmentEntry &fragment : in.fragments)
+        fragments.restore(fragment.path, fragment.instructions,
+                          fragment.executions, fragment.lastUse);
+    fragments.setClockValue(in.cacheClock);
+
+    lastSequence = in.lastSequence;
+    sawFrame = in.sawFrame;
+    st.framesApplied = in.framesApplied;
+    st.eventsProcessed = in.eventsProcessed;
+    st.cachedEvents = in.cachedEvents;
+    st.interpretedEvents = in.interpretedEvents;
+    st.predictions = in.predictions;
+    st.sequenceGaps = in.sequenceGaps;
+    st.decodeErrors = in.decodeErrors;
 }
 
 bool

@@ -175,6 +175,28 @@ class Session
     /** Number of times this session identity has been poisoned. */
     std::uint32_t generation() const { return poisonGeneration; }
 
+    // Migration (wire-serializable predictor state) ----------------
+
+    /**
+     * Snapshot everything that influences this session's future
+     * predictions into `out`: NET counters, retired heads, cached
+     * fragments with exact LRU stamps, sequence tracking, and the
+     * lifetime statistics. Entries are emitted sorted so the encoded
+     * wire bytes are deterministic. The prediction log
+     * (recordPredictions) and backoff state are deliberately not
+     * exported - the log is a debugging artifact and backoff is local
+     * damage control, neither affects what gets predicted next.
+     */
+    void exportState(wire::SessionState &out) const;
+
+    /**
+     * Rebuild this session from an exported snapshot. Must be called
+     * on a fresh session (the engine installs a new Session and
+     * imports into it); feeding the original event suffix afterwards
+     * reproduces the exporter's predictions bit-identically.
+     */
+    void importState(const wire::SessionState &in);
+
   private:
     std::uint64_t sessionId;
     SessionConfig cfg;

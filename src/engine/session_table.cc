@@ -154,6 +154,41 @@ ShardedSessionTable::rebuildSession(
 }
 
 void
+ShardedSessionTable::installSession(
+    std::uint64_t session_id,
+    const std::function<void(Session &)> &init)
+{
+    Shard &shard = *shards[shardOf(session_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end()) {
+        shard.lru.push_front(session_id);
+        Shard::Entry entry;
+        entry.session =
+            std::make_unique<Session>(session_id, cfg.session);
+        entry.lruPos = shard.lru.begin();
+        it = shard.sessions.emplace(session_id, std::move(entry))
+                 .first;
+        ++shard.created;
+        if (tmCreated)
+            tmCreated->add(1);
+        if (tmLive)
+            tmLive->add(1);
+    } else {
+        it->second.session =
+            std::make_unique<Session>(session_id, cfg.session);
+        if (it->second.lruPos != shard.lru.begin())
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             it->second.lruPos);
+    }
+    it->second.lastActive =
+        activityClock.load(std::memory_order_relaxed);
+    if (init)
+        init(*it->second.session);
+}
+
+void
 ShardedSessionTable::setAllocFailHook(std::function<bool()> hook)
 {
     allocFailHook = std::move(hook);

@@ -112,6 +112,19 @@ class ShardedSessionTable
                         const std::function<void(Session &)> &init);
 
     /**
+     * Replace (or create) a session with a fresh one and run `init`
+     * on it under the shard lock - the migration import path: the
+     * engine installs an exported snapshot via Session::importState.
+     * Identical to rebuildSession except it is not counted as a
+     * poison-recovery rebuild and refreshes the LRU position (an
+     * imported session is active, not damaged). The
+     * allocation-failure hook is NOT consulted: migration must not be
+     * starved by injected allocation faults.
+     */
+    void installSession(std::uint64_t session_id,
+                        const std::function<void(Session &)> &init);
+
+    /**
      * Install a hook consulted before each *new* session allocation;
      * returning true makes the allocation fail (withSession returns
      * false). Used by the fault injector to simulate allocation

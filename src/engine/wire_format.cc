@@ -126,7 +126,8 @@ parseHeader(const std::uint8_t *data, std::size_t size,
     const std::uint8_t kind = data[cur++];
     if (kind != static_cast<std::uint8_t>(FrameKind::PathEvents) &&
         kind != static_cast<std::uint8_t>(FrameKind::BlockTrace) &&
-        kind != static_cast<std::uint8_t>(FrameKind::Predictions))
+        kind != static_cast<std::uint8_t>(FrameKind::Predictions) &&
+        kind != static_cast<std::uint8_t>(FrameKind::SessionState))
         return DecodeStatus::BadKind;
     header.kind = static_cast<FrameKind>(kind);
 
@@ -146,6 +147,101 @@ parseHeader(const std::uint8_t *data, std::size_t size,
         return DecodeStatus::Truncated;
     frame_end = payload_begin + payload_len + kCrcBytes;
     return DecodeStatus::Ok;
+}
+
+/**
+ * Decode a SessionState payload in [cur, payload_end). `count` is
+ * the frame-header entry count, which must equal counters + retired
+ * + fragments. Leaves `cur` at payload_end on success.
+ */
+bool
+decodeSessionState(const std::uint8_t *data, std::size_t payload_end,
+                   std::size_t &cur, std::uint64_t count,
+                   SessionState &state)
+{
+    std::uint64_t flags = 0;
+    if (!readVarint(data, payload_end, cur, flags) || flags > 1)
+        return false;
+    state.request = flags == 1;
+    if (state.request)
+        return count == 0;
+
+    std::uint64_t saw = 0;
+    if (!readVarint(data, payload_end, cur, state.predictionDelay) ||
+        !readVarint(data, payload_end, cur, state.lastSequence) ||
+        !readVarint(data, payload_end, cur, saw) || saw > 1 ||
+        !readVarint(data, payload_end, cur, state.cacheClock))
+        return false;
+    state.sawFrame = saw == 1;
+
+    std::uint64_t n = 0;
+    if (!readVarint(data, payload_end, cur, n) ||
+        n > kMaxFrameEvents)
+        return false;
+    state.counters.reserve(n);
+    std::uint64_t key = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = 0;
+        SessionCounterEntry entry;
+        if (!readVarint(data, payload_end, cur, delta) ||
+            !readVarint(data, payload_end, cur, entry.count) ||
+            key > ~std::uint64_t{0} - delta)
+            return false;
+        key += delta;
+        entry.key = key;
+        state.counters.push_back(entry);
+    }
+
+    if (!readVarint(data, payload_end, cur, n) ||
+        n > kMaxFrameEvents)
+        return false;
+    state.retired.reserve(n);
+    std::uint64_t head = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = 0;
+        if (!readVarint(data, payload_end, cur, delta))
+            return false;
+        head += delta;
+        if (head > ~std::uint32_t{0})
+            return false;
+        state.retired.push_back(static_cast<std::uint32_t>(head));
+    }
+
+    if (!readVarint(data, payload_end, cur, n) ||
+        n > kMaxFrameEvents)
+        return false;
+    state.fragments.reserve(n);
+    std::uint64_t path = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = 0;
+        std::uint64_t instructions = 0;
+        SessionFragmentEntry entry;
+        if (!readVarint(data, payload_end, cur, delta) ||
+            !readVarint(data, payload_end, cur, instructions) ||
+            !readVarint(data, payload_end, cur, entry.executions) ||
+            !readVarint(data, payload_end, cur, entry.lastUse))
+            return false;
+        path += delta;
+        if (path > ~std::uint32_t{0} ||
+            instructions > ~std::uint32_t{0})
+            return false;
+        entry.path = static_cast<PathIndex>(path);
+        entry.instructions =
+            static_cast<std::uint32_t>(instructions);
+        state.fragments.push_back(entry);
+    }
+
+    if (!readVarint(data, payload_end, cur, state.framesApplied) ||
+        !readVarint(data, payload_end, cur, state.eventsProcessed) ||
+        !readVarint(data, payload_end, cur, state.cachedEvents) ||
+        !readVarint(data, payload_end, cur,
+                    state.interpretedEvents) ||
+        !readVarint(data, payload_end, cur, state.predictions) ||
+        !readVarint(data, payload_end, cur, state.sequenceGaps) ||
+        !readVarint(data, payload_end, cur, state.decodeErrors))
+        return false;
+    return count == state.counters.size() + state.retired.size() +
+                        state.fragments.size();
 }
 
 } // namespace
@@ -289,6 +385,69 @@ appendPredictionFrame(std::vector<std::uint8_t> &out,
                 payload);
 }
 
+void
+appendSessionStateFrame(std::vector<std::uint8_t> &out,
+                        std::uint64_t session, std::uint64_t sequence,
+                        const SessionState &state)
+{
+    std::vector<std::uint8_t> payload;
+    if (state.request) {
+        appendVarint(payload, 1); // flags: export request
+        appendFrame(out, FrameKind::SessionState, session, sequence,
+                    0, payload);
+        return;
+    }
+    const std::uint64_t entries =
+        state.counters.size() + state.retired.size() +
+        state.fragments.size();
+    HOTPATH_ASSERT(entries <= kMaxFrameEvents,
+                   "session-state frame exceeds kMaxFrameEvents");
+    payload.reserve(entries * 4 + 96);
+    appendVarint(payload, 0); // flags: snapshot
+    appendVarint(payload, state.predictionDelay);
+    appendVarint(payload, state.lastSequence);
+    appendVarint(payload, state.sawFrame ? 1 : 0);
+    appendVarint(payload, state.cacheClock);
+
+    appendVarint(payload, state.counters.size());
+    std::uint64_t prev_key = 0;
+    for (const SessionCounterEntry &c : state.counters) {
+        HOTPATH_ASSERT(c.key >= prev_key,
+                       "session-state counters must ascend");
+        appendVarint(payload, c.key - prev_key);
+        appendVarint(payload, c.count);
+        prev_key = c.key;
+    }
+
+    appendVarint(payload, state.retired.size());
+    std::uint64_t prev_head = 0;
+    for (const std::uint32_t h : state.retired) {
+        appendVarint(payload, h - prev_head);
+        prev_head = h;
+    }
+
+    appendVarint(payload, state.fragments.size());
+    std::uint64_t prev_path = 0;
+    for (const SessionFragmentEntry &f : state.fragments) {
+        appendVarint(payload, f.path - prev_path);
+        appendVarint(payload, f.instructions);
+        appendVarint(payload, f.executions);
+        appendVarint(payload, f.lastUse);
+        prev_path = f.path;
+    }
+
+    appendVarint(payload, state.framesApplied);
+    appendVarint(payload, state.eventsProcessed);
+    appendVarint(payload, state.cachedEvents);
+    appendVarint(payload, state.interpretedEvents);
+    appendVarint(payload, state.predictions);
+    appendVarint(payload, state.sequenceGaps);
+    appendVarint(payload, state.decodeErrors);
+
+    appendFrame(out, FrameKind::SessionState, session, sequence,
+                entries, payload);
+}
+
 std::vector<std::uint8_t>
 encodeEventStream(const std::vector<PathEvent> &stream,
                   std::uint64_t session, std::size_t frame_events)
@@ -354,8 +513,13 @@ decodeFrame(const std::uint8_t *data, std::size_t size,
     out.events.clear();
     out.blocks.clear();
     out.predictions.clear();
+    out.state = SessionState{};
     std::size_t cur = payload_begin;
-    if (out.header.kind == FrameKind::Predictions) {
+    if (out.header.kind == FrameKind::SessionState) {
+        if (!decodeSessionState(data, payload_end, cur, count,
+                                out.state))
+            return DecodeStatus::BadPayload;
+    } else if (out.header.kind == FrameKind::Predictions) {
         out.predictions.reserve(count);
         PredictionRecord prev;
         for (std::uint64_t i = 0; i < count; ++i) {

@@ -7,7 +7,7 @@
  *
  *   magic      2 bytes   'H' 'F'
  *   kind       1 byte    1 = path events, 2 = block trace,
- *                        3 = prediction replies
+ *                        3 = prediction replies, 4 = session state
  *   session    varint    client/session identifier
  *   sequence   varint    per-session frame sequence number
  *   count      varint    events in the payload
@@ -56,6 +56,8 @@ enum class FrameKind : std::uint8_t
     BlockTrace = 2,
     /** Delta-encoded prediction records (server -> client replies). */
     Predictions = 3,
+    /** Serialized per-session predictor state (migration traffic). */
+    SessionState = 4,
 };
 
 /**
@@ -69,6 +71,75 @@ struct PredictionRecord
     HeadIndex head = 0;
     /** Predicted hot path (tail fragment) id. */
     PathIndex path = 0;
+};
+
+/** One NET-predictor counter as it travels in a SessionState frame. */
+struct SessionCounterEntry
+{
+    /** Counter-table key (head index biased by one; see NetPredictor). */
+    std::uint64_t key = 0;
+    /** Observed execution count for that key. */
+    std::uint64_t count = 0;
+};
+
+/** One cached fragment as it travels in a SessionState frame. */
+struct SessionFragmentEntry
+{
+    /** Promoted hot-path (fragment) id. */
+    PathIndex path = 0;
+    /** Fragment size in instructions (occupancy accounting). */
+    std::uint32_t instructions = 0;
+    /** Times the cached fragment has been executed. */
+    std::uint64_t executions = 0;
+    /** LRU clock stamp of the fragment's last touch. */
+    std::uint64_t lastUse = 0;
+};
+
+/**
+ * The wire-serializable snapshot of one Session: every byte of state
+ * that influences future predictions (NET counter table, retired
+ * heads, fragment cache with exact LRU stamps, sequence tracking)
+ * plus the session's lifetime statistics. Importing a snapshot into a
+ * fresh Session continues the event stream bit-identically - same
+ * predictions, same cache hits, same eviction order - which is what
+ * makes live migration between backends lossless.
+ *
+ * A frame whose `request` flag is set carries no state: it asks the
+ * receiving engine to export the named session and reply with a
+ * populated SessionState frame (the router's migration handshake).
+ */
+struct SessionState
+{
+    /** True for an export request, false for a state snapshot. */
+    bool request = false;
+    /** NET prediction delay the exporter ran with (sanity echo). */
+    std::uint64_t predictionDelay = 0;
+    /** Last applied frame sequence number. */
+    std::uint64_t lastSequence = 0;
+    /** Whether any frame was ever applied (lastSequence is valid). */
+    bool sawFrame = false;
+    /** Fragment-cache LRU clock at export time. */
+    std::uint64_t cacheClock = 0;
+    /** Live NET counters, strictly ascending by key. */
+    std::vector<SessionCounterEntry> counters;
+    /** Retired (given-up) head indices, strictly ascending. */
+    std::vector<std::uint32_t> retired;
+    /** Cached fragments, strictly ascending by path id. */
+    std::vector<SessionFragmentEntry> fragments;
+    /** Lifetime frames applied. */
+    std::uint64_t framesApplied = 0;
+    /** Lifetime events consumed. */
+    std::uint64_t eventsProcessed = 0;
+    /** Lifetime events served from the fragment cache. */
+    std::uint64_t cachedEvents = 0;
+    /** Lifetime events interpreted (profiled). */
+    std::uint64_t interpretedEvents = 0;
+    /** Lifetime predictions made. */
+    std::uint64_t predictions = 0;
+    /** Lifetime sequence gaps observed. */
+    std::uint64_t sequenceGaps = 0;
+    /** Lifetime decode errors attributed to this session. */
+    std::uint64_t decodeErrors = 0;
 };
 
 /** Frame metadata (everything before the payload). */
@@ -115,6 +186,8 @@ struct DecodedFrame
     std::vector<BlockId> blocks;
     /** Payload for FrameKind::Predictions. */
     std::vector<PredictionRecord> predictions;
+    /** Payload for FrameKind::SessionState. */
+    SessionState state;
 };
 
 /** Decoder sanity cap on events per frame. */
@@ -170,6 +243,20 @@ void appendPredictionFrame(std::vector<std::uint8_t> &out,
                            std::uint64_t sequence,
                            const PredictionRecord *records,
                            std::size_t count);
+
+/**
+ * Append one session-state frame for `session` to `out`. When
+ * `state.request` is true the payload is the one-byte export-request
+ * marker; otherwise the full snapshot is delta-encoded (counter keys,
+ * retired heads, and fragment paths must be strictly ascending -
+ * Session::exportState emits them sorted, which also makes the
+ * encoded bytes deterministic regardless of hash-table iteration
+ * order).
+ */
+void appendSessionStateFrame(std::vector<std::uint8_t> &out,
+                             std::uint64_t session,
+                             std::uint64_t sequence,
+                             const SessionState &state);
 
 /**
  * Encode a whole event stream as consecutive frames (sequence 0..n)

@@ -6,6 +6,7 @@
 #include "net/client.hh"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -29,6 +30,16 @@ waitFor(int fd, short events, std::uint64_t timeout_ms)
     return ready > 0;
 }
 
+/** SplitMix64 finalizer: the retry-jitter hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 } // namespace
 
 Client::Client(ClientConfig config) : cfg(std::move(config)) {}
@@ -44,8 +55,19 @@ Client::connect()
                 attempt - 1 < cfg.retryMaxExponent
                     ? attempt - 1
                     : cfg.retryMaxExponent;
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                cfg.retryBaseMs << exponent));
+            // Equal jitter: sleep in [delay/2, delay]. Keeping at
+            // least half the exponential delay preserves the worst
+            // case total (a client never outlasts a slow-binding
+            // server by less than before), while the hashed fraction
+            // spreads a fleet's reconnect attempts apart.
+            const std::uint64_t delay = cfg.retryBaseMs << exponent;
+            const std::uint64_t half = delay / 2;
+            const std::uint64_t jitter =
+                half == 0 ? 0
+                          : mix64(cfg.retryJitterSeed ^ attempt) %
+                                (half + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay - half + jitter));
         }
         fd = connectTcp(cfg.host, cfg.port);
         if (fd.valid())
@@ -61,8 +83,8 @@ Client::sendFrame(const std::uint8_t *data, std::size_t size)
         return false;
     std::size_t off = 0;
     while (off < size) {
-        const ssize_t wrote =
-            ::write(fd.get(), data + off, size - off);
+        const ssize_t wrote = ::send(fd.get(), data + off,
+                                     size - off, MSG_NOSIGNAL);
         if (wrote > 0) {
             off += static_cast<std::size_t>(wrote);
             counters.bytesOut += static_cast<std::uint64_t>(wrote);
@@ -105,15 +127,31 @@ Client::decodeReplies(std::vector<PredictionReply> &replies)
             wire::decodeFrame(in.data(), in.size(), off, frame);
         if (status == wire::DecodeStatus::Ok) {
             if (frame.header.kind == wire::FrameKind::Predictions) {
-                replies.push_back({frame.header.session,
-                                   frame.header.sequence,
-                                   std::move(frame.predictions)});
+                PredictionReply reply;
+                reply.session = frame.header.session;
+                reply.sequence = frame.header.sequence;
+                reply.predictions = std::move(frame.predictions);
                 frame.predictions.clear();
+                replies.push_back(std::move(reply));
+                ++counters.responsesReceived;
+                ++appended;
+            } else if (frame.header.kind ==
+                       wire::FrameKind::SessionState) {
+                // Migration traffic: the answer to an export
+                // request. Surfaced with isState set so the router
+                // can tell snapshots from prediction replies.
+                PredictionReply reply;
+                reply.session = frame.header.session;
+                reply.sequence = frame.header.sequence;
+                reply.isState = true;
+                reply.state = std::move(frame.state);
+                frame.state = wire::SessionState{};
+                replies.push_back(std::move(reply));
                 ++counters.responsesReceived;
                 ++appended;
             }
-            // Non-prediction frames from a server would be a
-            // protocol surprise; skip them quietly.
+            // Other frame kinds from a server would be a protocol
+            // surprise; skip them quietly.
             continue;
         }
         if (status == wire::DecodeStatus::Truncated)

@@ -50,6 +50,16 @@ struct ClientConfig
      *  retryBaseMs * 2^retryMaxExponent. */
     std::uint32_t retryMaxExponent = 6;
 
+    /**
+     * Seed for the deterministic retry jitter. Each backoff sleeps
+     * between half and all of the exponential delay, with the
+     * fraction drawn from a SplitMix64 hash of (seed, attempt) - so
+     * a fleet of clients seeded differently desynchronizes its
+     * reconnect storms, yet any given (seed, attempt) pair always
+     * sleeps the same amount and tests stay reproducible.
+     */
+    std::uint64_t retryJitterSeed = 0;
+
     /** Longest a blocking wait (call(), awaitResponses()) spends
      *  waiting for replies, in milliseconds. */
     std::uint64_t responseTimeoutMs = 5000;
@@ -68,6 +78,13 @@ struct PredictionReply
     /** The predictions (may be empty: the frame was processed but
      *  predicted nothing, or was dropped under overload). */
     std::vector<wire::PredictionRecord> predictions;
+
+    /** True when the reply is a SessionState snapshot (the answer to
+     *  a migration export request) rather than predictions. */
+    bool isState = false;
+
+    /** The decoded snapshot; meaningful only when isState is true. */
+    wire::SessionState state;
 };
 
 /** Client-side connection counters. */
@@ -112,6 +129,10 @@ class Client
 
     /** Close the connection (idempotent). */
     void close() { fd.reset(); }
+
+    /** Raw socket descriptor (-1 when closed), for callers that
+     *  multiplex many clients under one ::poll. */
+    int socketFd() const { return fd.get(); }
 
     /**
      * Encode and send one path-event frame (pipelined: does not wait

@@ -167,7 +167,11 @@ Server::start()
         if (conn == 0 || reactor >= reactors.size())
             return;
         std::vector<std::uint8_t> reply;
-        if (o.spanSampled) {
+        if (o.stateReply != nullptr) {
+            // Session-state export: the engine already encoded the
+            // snapshot reply; forward its bytes verbatim.
+            reply = *o.stateReply;
+        } else if (o.spanSampled) {
             const std::uint64_t start = telemetry::monotonicNanos();
             wire::appendPredictionFrame(reply, o.session, o.sequence,
                                         o.predictions,
@@ -565,8 +569,8 @@ Server::flushOutput(Reactor &reactor, Connection &conn)
             }
         }
         const ssize_t wrote =
-            ::write(conn.fd.get(), conn.out.data() + conn.outOff,
-                    want);
+            ::send(conn.fd.get(), conn.out.data() + conn.outOff,
+                   want, MSG_NOSIGNAL);
         if (wrote > 0) {
             conn.outOff += static_cast<std::size_t>(wrote);
             conn.outFlushedTotal +=
@@ -931,8 +935,9 @@ Server::serveAdminRequest(Fd &conn)
     const auto writeDeadline =
         Clock::now() + std::chrono::milliseconds(500);
     while (off < response.size() && Clock::now() < writeDeadline) {
-        const ssize_t wrote = ::write(
-            conn.get(), response.data() + off, response.size() - off);
+        const ssize_t wrote = ::send(
+            conn.get(), response.data() + off, response.size() - off,
+            MSG_NOSIGNAL);
         if (wrote > 0) {
             off += static_cast<std::size_t>(wrote);
             continue;

@@ -60,6 +60,34 @@ class NetPredictor : public HotPathPredictor
 
     std::uint64_t delay() const { return predictionDelay; }
 
+    // Migration support (Session::exportState / importState) -------
+
+    /** Visit every live head counter as (raw key, count); the raw
+     *  key is the head index biased by one (see keyOf). */
+    template <typename Fn>
+    void
+    forEachCounter(Fn &&fn) const
+    {
+        counters.forEach(fn);
+    }
+
+    /** Reinstall one raw counter entry on a fresh predictor. */
+    void
+    restoreCounter(std::uint64_t key, std::uint64_t count)
+    {
+        counters.increment(key, count);
+    }
+
+    /** Heads retired by the single-tail variant. */
+    const std::unordered_set<HeadIndex> &
+    retiredHeads() const
+    {
+        return retired;
+    }
+
+    /** Reinstall one retired head on a fresh predictor. */
+    void restoreRetired(HeadIndex head) { retired.insert(head); }
+
   private:
     static std::uint64_t
     keyOf(HeadIndex head)

@@ -2,8 +2,9 @@
  * @file
  * Metric-registration audit for the observability plane.
  *
- * The serving stack promises eager registration: every engine.* and
- * net.* instrument exists in the registry - and therefore in
+ * The serving stack promises eager registration: every engine.*,
+ * net.* and cluster.* instrument exists in the registry - and
+ * therefore in
  * RunReport and the /metrics endpoint - from component construction,
  * even when its value is still zero. Dashboards and alert rules bind
  * to metric names before traffic arrives, so a lazily-registered
@@ -26,6 +27,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/router.hh"
 #include "engine/engine.hh"
 #include "net/server.hh"
 #include "support/fault_injector.hh"
@@ -71,6 +73,8 @@ goldenInstruments()
         "engine.sessions.evicted",
         "engine.sessions.evicted.idle",
         "engine.sessions.live",
+        "engine.sessions.exported",
+        "engine.sessions.imported",
         "engine.table.lock.wait.ns",
         // Resilience (registered when any resilience feature is on).
         "engine.fault.frames.corrupted",
@@ -101,6 +105,29 @@ goldenInstruments()
         "net.frames.resynced",
         "net.resync.bytes.skipped",
         "net.read.pauses",
+        // Cluster routing tier.
+        "cluster.connections.accepted",
+        "cluster.connections.closed",
+        "cluster.connections.active",
+        "cluster.frames.in",
+        "cluster.frames.routed",
+        "cluster.frames.replayed",
+        "cluster.frames.parked",
+        "cluster.frames.resynced",
+        "cluster.resync.bytes.skipped",
+        "cluster.migration.frames",
+        "cluster.migration.bytes",
+        "cluster.responses.out",
+        "cluster.responses.synthesized",
+        "cluster.responses.dropped",
+        "cluster.rehash.events",
+        "cluster.sessions.migrated",
+        "cluster.backend.reconnects",
+        "cluster.backends.live",
+        "cluster.backend.inflight",
+        // Per-backend in-flight gauge (normalized index).
+        "cluster.backend.N.inflight",
+        "cluster.failovers",
     };
     for (std::size_t s = 0; s < fault::kSiteCount; ++s)
         names.insert(std::string("engine.fault.injected.") +
@@ -118,7 +145,8 @@ goldenInstruments()
 std::string
 normalizeIndexed(const std::string &name)
 {
-    for (const char *prefix : {"engine.shard.", "engine.worker."}) {
+    for (const char *prefix :
+         {"engine.shard.", "engine.worker.", "cluster.backend."}) {
         const std::size_t plen = std::string(prefix).size();
         if (name.rfind(prefix, 0) != 0)
             continue;
@@ -140,7 +168,8 @@ observedInstruments(const telemetry::MetricsSnapshot &snapshot)
     std::set<std::string> names;
     const auto keep = [&names](const std::string &name) {
         if (name.rfind("engine.", 0) == 0 ||
-            name.rfind("net.", 0) == 0)
+            name.rfind("net.", 0) == 0 ||
+            name.rfind("cluster.", 0) == 0)
             names.insert(normalizeIndexed(name));
     };
     for (const auto &counter : snapshot.counters)
@@ -171,6 +200,13 @@ TEST(ObservabilityAudit, EveryInstrumentRegistersEagerlyAtZero)
     net::ServerConfig serverCfg;
     serverCfg.spanSampleEvery = 64;
     net::Server server(eng, serverCfg);
+
+    // A configured (never started) router: the cluster.* instruments
+    // - including the per-backend in-flight gauge - must register at
+    // construction, before any backend is reachable.
+    cluster::RouterConfig routerCfg;
+    routerCfg.backends = {{"127.0.0.1", 1}};
+    cluster::Router router(routerCfg);
 
     const std::set<std::string> golden = goldenInstruments();
     const std::set<std::string> observed =
