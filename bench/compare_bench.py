@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke baseline tooling for the bench binaries.
 
-Three subcommands:
+Four subcommands:
 
   collect   Merge a google-benchmark JSON dump (micro_profiling_overhead
             --benchmark_format=json) and engine_throughput's --json
@@ -10,6 +10,15 @@ Three subcommands:
   compare   Diff a current BENCH_sweep.json against the checked-in
             baseline (bench/baseline/BENCH_sweep.json). Exits nonzero
             when the run regressed.
+
+  scaling   Render engine_throughput's worker ladder as a markdown
+            table (the CI scaling artifact) and gate the scaling
+            efficiency: events/s at the top worker row must be at
+            least --min-ratio times the serial row. The gate only
+            arms when the run's recorded hardware_concurrency is at
+            least --min-cores - on a starved runner the ladder
+            measures queueing overhead, not parallelism, and the
+            ratio is reported informationally instead.
 
   netcheck  Assert a net_loadgen --json report is healthy: frame
             conservation held across client/server/engine, the
@@ -214,6 +223,87 @@ def compare(args):
     return 0
 
 
+def scaling(args):
+    with open(args.engine) as f:
+        run = json.load(f)
+
+    rows = run.get("rows", [])
+    if not rows:
+        print("scaling: engine report has no rows", file=sys.stderr)
+        return 1
+    serial = next((r for r in rows if r["workers"] == 0), None)
+    if serial is None:
+        print("scaling: no serial (workers=0) row to normalize "
+              "against", file=sys.stderr)
+        return 1
+    serial_eps = serial["events_per_second"]
+    top = max(rows, key=lambda r: r["workers"])
+    hw = run.get("hardware_concurrency", 0)
+
+    lines = [
+        "# Engine scaling ladder",
+        "",
+        f"{run.get('sessions')} sessions, "
+        f"{run.get('total_events')} events, "
+        f"{run.get('producers', 1)} producer(s), seed "
+        f"{run.get('seed')}, hardware_concurrency={hw}",
+        "",
+        "| Workers | Producers | Events/s | Speedup vs serial | "
+        "Backpressure waits |",
+        "|---:|---:|---:|---:|---:|",
+    ]
+    for row in sorted(rows, key=lambda r: r["workers"]):
+        speedup = (row["events_per_second"] / serial_eps
+                   if serial_eps > 0 else 0.0)
+        lines.append(
+            f"| {row['workers']} | {row.get('producers', 1)} | "
+            f"{row['events_per_second']:,.0f} | {speedup:.2f}x | "
+            f"{row.get('backpressure_waits', 0)} |")
+
+    ratio = (top["events_per_second"] / serial_eps
+             if serial_eps > 0 else 0.0)
+    armed = hw >= args.min_cores
+    verdict = (
+        f"{top['workers']}-worker row is {ratio:.2f}x serial "
+        f"(gate: >= {args.min_ratio:.1f}x, "
+        + (f"armed at hardware_concurrency >= {args.min_cores})"
+           if armed else
+           f"DISARMED: hardware_concurrency {hw} < "
+           f"{args.min_cores}, ratio is informational)"))
+    lines += ["", verdict, ""]
+
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+
+    # Determinism must hold regardless of core count: every worker
+    # row processes the same seed-derived workload as serial.
+    failures = []
+    for row in rows:
+        for key in ("events", "predictions"):
+            if row[key] != serial[key]:
+                failures.append(
+                    f"workers={row['workers']}.{key}: "
+                    f"{serial[key]} -> {row[key]} (diverged from "
+                    "serial: determinism violation)")
+    if armed and ratio < args.min_ratio:
+        failures.append(
+            f"scaling efficiency {ratio:.2f}x below the "
+            f"{args.min_ratio:.1f}x gate at "
+            f"hardware_concurrency={hw}")
+    if failures:
+        for line in failures:
+            print(f"  FAIL: {line}", file=sys.stderr)
+        return 1
+    print("OK: worker rows deterministic"
+          + (f", scaling gate passed at {ratio:.2f}x" if armed
+             else " (scaling gate disarmed on this host)"))
+    return 0
+
+
 def netcheck(args):
     with open(args.report) as f:
         run = json.load(f)
@@ -340,6 +430,24 @@ def main():
                            help="allowed stage-span sampling overhead "
                                 "as a fraction (default 0.05)")
     p_compare.set_defaults(func=compare)
+
+    p_scale = sub.add_parser("scaling",
+                             help="render the worker ladder as "
+                                  "markdown and gate scaling "
+                                  "efficiency")
+    p_scale.add_argument("engine",
+                         help="engine_throughput --json output")
+    p_scale.add_argument("--out",
+                         help="write the markdown table here "
+                              "(CI artifact)")
+    p_scale.add_argument("--min-ratio", type=float, default=3.0,
+                         help="required events/s ratio of the top "
+                              "worker row vs serial (default 3.0)")
+    p_scale.add_argument("--min-cores", type=int, default=4,
+                         help="arm the gate only when the run saw at "
+                              "least this hardware_concurrency "
+                              "(default 4)")
+    p_scale.set_defaults(func=scaling)
 
     p_net = sub.add_parser("netcheck",
                            help="assert a net_loadgen --json report "

@@ -6,13 +6,22 @@
  * counts, against the serial fallback as baseline.
  *
  * Frames are pre-encoded so the measured region is the engine, not
- * the producer's encoder. Sessions are interleaved round-robin the
- * way a real front-end would see concurrent clients.
+ * the producer's encoder. Each session's frames are concatenated into
+ * one immutable shared buffer and submitted by offset/length through
+ * Engine::submitShared - zero copies on the producer side, exactly
+ * like the network server's ingest path. Sessions are interleaved
+ * round-robin the way a real front-end would see concurrent clients.
  *
  * Flags (all optional):
  *   --seed=<u64>      workload synthesis seed (default 42)
  *   --sessions=<n>    concurrent client sessions (default 32)
  *   --frame=<n>       events per frame (default 512)
+ *   --producers=<n>   submitter threads (default 1). Sessions are
+ *                     partitioned across producers (a session is
+ *                     always submitted by one thread, preserving its
+ *                     frame order); the serial row (workers=0) always
+ *                     runs single-producer so it stays the in-line
+ *                     baseline.
  *   --threads=<list>  not a list flag; the ladder is 0 (serial),
  *                     1, 2, 4, 8 workers
  *   --spans=<n>       stage-span sampling stride for an extra paired
@@ -30,8 +39,9 @@
  *   --telemetry-out=<path>  RunReport with engine.* metrics
  *
  * Scaling is reported honestly against the detected hardware
- * concurrency: on a single-core host the >1-worker rows measure
- * queueing overhead, not parallel speedup.
+ * concurrency (recorded in the JSON as hardware_concurrency): on a
+ * single-core host the >1-worker rows measure queueing overhead, not
+ * parallel speedup, and compare_bench.py's scaling gate stands down.
  */
 
 #include <array>
@@ -39,6 +49,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -55,11 +66,15 @@ using namespace hotpath;
 namespace
 {
 
-/** One session's pre-encoded frames. */
+/** One session's frames, pre-encoded into a single shared buffer. */
 struct SessionFrames
 {
     std::uint64_t id = 0;
-    std::vector<std::vector<std::uint8_t>> frames;
+    /** All frames back to back; submitted by slice, never copied. */
+    std::shared_ptr<const std::vector<std::uint8_t>> buffer;
+    /** Frame i = buffer[offsets[i] .. offsets[i] + lengths[i]). */
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> lengths;
     std::uint64_t events = 0;
 };
 
@@ -85,16 +100,20 @@ encodeSessions(std::uint64_t seed, std::size_t sessions,
         SessionFrames sf;
         sf.id = 1 + s;
         sf.events = stream.size();
+        std::vector<std::uint8_t> concat;
         std::uint64_t sequence = 0;
         for (std::size_t i = 0; i < stream.size();
              i += events_per_frame) {
             const std::size_t n =
                 std::min(events_per_frame, stream.size() - i);
-            std::vector<std::uint8_t> frame;
-            wire::appendEventFrame(frame, sf.id, sequence++,
+            sf.offsets.push_back(concat.size());
+            wire::appendEventFrame(concat, sf.id, sequence++,
                                    stream.data() + i, n);
-            sf.frames.push_back(std::move(frame));
+            sf.lengths.push_back(concat.size() - sf.offsets.back());
         }
+        sf.buffer =
+            std::make_shared<const std::vector<std::uint8_t>>(
+                std::move(concat));
         out.push_back(std::move(sf));
     }
     return out;
@@ -103,6 +122,7 @@ encodeSessions(std::uint64_t seed, std::size_t sessions,
 struct RunResult
 {
     double seconds = 0.0;
+    std::size_t producers = 1;
     std::uint64_t events = 0;
     std::uint64_t predictions = 0;
     std::uint64_t backpressureWaits = 0;
@@ -122,9 +142,35 @@ struct RunResult
     }
 };
 
+/** Submit frame i of every owned session before frame i+1 of any -
+ *  the arrival pattern of concurrent clients. `stride` partitions
+ *  sessions across producer threads; a session always belongs to
+ *  exactly one producer, so its frames stay in order. */
+void
+submitInterleaved(engine::Engine &eng,
+                  const std::vector<SessionFrames> &sessions,
+                  std::size_t first, std::size_t stride)
+{
+    std::size_t max_frames = 0;
+    for (std::size_t s = first; s < sessions.size(); s += stride)
+        max_frames =
+            std::max(max_frames, sessions[s].offsets.size());
+
+    for (std::size_t i = 0; i < max_frames; ++i) {
+        for (std::size_t s = first; s < sessions.size();
+             s += stride) {
+            const SessionFrames &sf = sessions[s];
+            if (i < sf.offsets.size())
+                eng.submitShared(sf.buffer, sf.offsets[i],
+                                 sf.lengths[i]);
+        }
+    }
+}
+
 RunResult
 runOnce(const std::vector<SessionFrames> &sessions,
-        std::size_t workers, std::uint64_t span_every = 0)
+        std::size_t workers, std::size_t producers,
+        std::uint64_t span_every = 0)
 {
     engine::EngineConfig config;
     config.workerThreads = workers;
@@ -132,19 +178,23 @@ runOnce(const std::vector<SessionFrames> &sessions,
     config.spanSampleEvery = span_every;
     engine::Engine eng(config);
 
-    // Interleave the sessions round-robin, submitting frame i of
-    // every session before frame i+1 of any - the arrival pattern of
-    // concurrent clients.
-    std::size_t max_frames = 0;
-    for (const SessionFrames &sf : sessions)
-        max_frames = std::max(max_frames, sf.frames.size());
+    // The serial row processes in-line on the submitting thread; it
+    // stays single-producer so it remains the one-thread baseline.
+    if (workers == 0 || producers == 0)
+        producers = 1;
 
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < max_frames; ++i) {
-        for (const SessionFrames &sf : sessions) {
-            if (i < sf.frames.size())
-                eng.submit(sf.frames[i]); // copies; reused next run
-        }
+    if (producers == 1) {
+        submitInterleaved(eng, sessions, 0, 1);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(producers);
+        for (std::size_t p = 0; p < producers; ++p)
+            threads.emplace_back([&, p] {
+                submitInterleaved(eng, sessions, p, producers);
+            });
+        for (std::thread &t : threads)
+            t.join();
     }
     eng.drain();
     const auto end = std::chrono::steady_clock::now();
@@ -154,6 +204,7 @@ runOnce(const std::vector<SessionFrames> &sessions,
     RunResult result;
     result.seconds =
         std::chrono::duration<double>(end - start).count();
+    result.producers = producers;
     result.events = stats.eventsProcessed;
     result.predictions = stats.predictions;
     result.backpressureWaits = stats.backpressureWaits;
@@ -172,11 +223,13 @@ runOnce(const std::vector<SessionFrames> &sessions,
  *  dampener for the paired overhead comparison. */
 RunResult
 bestOfThree(const std::vector<SessionFrames> &sessions,
-            std::size_t workers, std::uint64_t span_every)
+            std::size_t workers, std::size_t producers,
+            std::uint64_t span_every)
 {
     RunResult best;
     for (int round = 0; round < 3; ++round) {
-        RunResult run = runOnce(sessions, workers, span_every);
+        RunResult run =
+            runOnce(sessions, workers, producers, span_every);
         if (best.seconds == 0.0 || run.seconds < best.seconds)
             best = run;
     }
@@ -195,6 +248,8 @@ main(int argc, char **argv)
         bench::flagU64(argc, argv, "sessions", 32));
     const std::size_t events_per_frame = static_cast<std::size_t>(
         bench::flagU64(argc, argv, "frame", 512));
+    const std::size_t producers = static_cast<std::size_t>(
+        bench::flagU64(argc, argv, "producers", 1));
     const std::uint64_t span_every =
         bench::flagU64(argc, argv, "spans", 0);
     const std::size_t span_workers = static_cast<std::size_t>(
@@ -210,38 +265,39 @@ main(int argc, char **argv)
     std::uint64_t total_bytes = 0;
     for (const SessionFrames &sf : sessions) {
         total_events += sf.events;
-        total_frames += sf.frames.size();
-        for (const auto &frame : sf.frames)
-            total_bytes += frame.size();
+        total_frames += sf.offsets.size();
+        total_bytes += sf.buffer->size();
     }
+    const unsigned hw = std::thread::hardware_concurrency();
     std::cout << num_sessions << " sessions, " << total_events
               << " events in " << total_frames << " frames ("
               << total_bytes / 1024 << " KiB encoded, "
               << events_per_frame << " events/frame), seed " << seed
-              << "\n";
-    std::cout << "Hardware concurrency: "
-              << std::thread::hardware_concurrency()
+              << ", " << producers << " producer(s)\n";
+    std::cout << "Hardware concurrency: " << hw
               << " (scaling beyond it measures queueing overhead, "
                  "not parallelism)\n\n";
 
     // Warm the allocator and page cache once before timing.
-    runOnce(sessions, 0);
+    runOnce(sessions, 0, 1);
 
     const std::size_t worker_ladder[] = {0u, 1u, 2u, 4u, 8u};
     std::vector<RunResult> results;
     for (std::size_t workers : worker_ladder)
-        results.push_back(runOnce(sessions, workers));
+        results.push_back(runOnce(sessions, workers, producers));
     const double serial_eps = results[0].eventsPerSecond();
 
     TextTable table;
-    table.setHeader({"Workers", "Seconds", "Events/sec", "Speedup",
-                     "Predictions", "Backpressure waits"});
+    table.setHeader({"Workers", "Producers", "Seconds", "Events/sec",
+                     "Speedup", "Predictions",
+                     "Backpressure waits"});
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &result = results[i];
         table.beginRow();
         table.addCell(worker_ladder[i] == 0
                           ? std::string("0 (serial)")
                           : std::to_string(worker_ladder[i]));
+        table.addCell(result.producers);
         table.addCell(result.seconds, 3);
         table.addCell(result.eventsPerSecond(), 0);
         table.addCell(serial_eps > 0.0
@@ -265,8 +321,9 @@ main(int argc, char **argv)
     bool spanEventsMatch = true;
     double spanOverheadPct = 0.0;
     if (span_every > 0) {
-        spanOff = bestOfThree(sessions, span_workers, 0);
-        spanOn = bestOfThree(sessions, span_workers, span_every);
+        spanOff = bestOfThree(sessions, span_workers, producers, 0);
+        spanOn = bestOfThree(sessions, span_workers, producers,
+                             span_every);
         spanEventsMatch = spanOff.events == spanOn.events &&
                           spanOff.predictions == spanOn.predictions;
         const double eps_off = spanOff.eventsPerSecond();
@@ -326,11 +383,14 @@ main(int argc, char **argv)
             << "  \"seed\": " << seed << ",\n"
             << "  \"sessions\": " << num_sessions << ",\n"
             << "  \"events_per_frame\": " << events_per_frame << ",\n"
+            << "  \"producers\": " << producers << ",\n"
+            << "  \"hardware_concurrency\": " << hw << ",\n"
             << "  \"total_events\": " << total_events << ",\n"
             << "  \"rows\": [\n";
         for (std::size_t i = 0; i < results.size(); ++i) {
             const RunResult &result = results[i];
             out << "    {\"workers\": " << worker_ladder[i]
+                << ", \"producers\": " << result.producers
                 << ", \"seconds\": " << result.seconds
                 << ", \"events_per_second\": "
                 << result.eventsPerSecond()

@@ -30,6 +30,14 @@ rejectSlot(wire::DecodeStatus status)
     panic("rejectSlot called with DecodeStatus::Ok");
 }
 
+/** How long a parked worker sleeps before re-checking its rings, and
+ *  how long a blocked producer sleeps before re-trying a full ring.
+ *  Both parks are belt-and-braces: the Dekker handshake (seq_cst
+ *  fences around the sleeping/spaceWaiters flags) makes a missed
+ *  notify nearly impossible, and the timeout makes even that
+ *  self-heal instead of hanging drain(). */
+constexpr auto kParkTimeout = std::chrono::milliseconds(2);
+
 } // namespace
 
 Engine::Engine(EngineConfig config)
@@ -120,6 +128,10 @@ Engine::Engine(EngineConfig config)
     }
 
     const std::size_t shard_count = table.shardCount();
+    // More workers than shards would only idle: clamp.
+    const std::size_t worker_count =
+        std::min(cfg.workerThreads, shard_count);
+
     queues.reserve(shard_count);
     tmShardFrames.reserve(shard_count);
     tmShardDepth.reserve(shard_count);
@@ -129,6 +141,12 @@ Engine::Engine(EngineConfig config)
         if (cfg.overloadPolicy == OverloadPolicy::DropOldest)
             queues.back()->degradation =
                 std::make_unique<DegradationPolicy>(cfg.degradation);
+        else if (worker_count > 0)
+            // The scaling path: lock-free handoff (serial mode never
+            // queues, so it skips the allocation).
+            queues.back()->ring =
+                std::make_unique<support::MpscRing<QueuedFrame>>(
+                    cfg.queueCapacityFrames);
         const std::string prefix =
             "engine.shard." + std::to_string(i);
         tmShardFrames.push_back(
@@ -139,9 +157,6 @@ Engine::Engine(EngineConfig config)
             telemetry::counter(prefix + ".backpressure.waits"));
     }
 
-    // More workers than shards would only idle: clamp.
-    const std::size_t worker_count =
-        std::min(cfg.workerThreads, shard_count);
     if (worker_count == 0)
         return; // serial fallback mode
 
@@ -271,7 +286,25 @@ Engine::submit(std::vector<std::uint8_t> frame, std::uint64_t tag)
     if (ownedSpans && ownedSpans->sampleFrame())
         span_ns = telemetry::monotonicNanos();
 
-    return routeFrame(frame, tag, /*blocking=*/true, span_ns) ==
+    FrameBuf buf(std::move(frame));
+    return routeFrame(buf, tag, /*blocking=*/true, span_ns) ==
+           SubmitStatus::Accepted;
+}
+
+bool
+Engine::submitShared(
+    std::shared_ptr<const std::vector<std::uint8_t>> buffer,
+    std::size_t offset, std::size_t length, std::uint64_t tag)
+{
+    framesSubmitted.fetch_add(1, std::memory_order_relaxed);
+    // No fault preamble (it would mutate the shared bytes; see the
+    // header contract), but engine-owned span sampling still applies.
+    std::uint64_t span_ns = 0;
+    if (ownedSpans && ownedSpans->sampleFrame())
+        span_ns = telemetry::monotonicNanos();
+
+    FrameBuf buf(std::move(buffer), offset, length);
+    return routeFrame(buf, tag, /*blocking=*/true, span_ns) ==
            SubmitStatus::Accepted;
 }
 
@@ -279,11 +312,14 @@ SubmitStatus
 Engine::trySubmit(std::vector<std::uint8_t> &frame, std::uint64_t tag,
                   std::uint64_t span_ns)
 {
+    FrameBuf buf(std::move(frame));
     const SubmitStatus status =
-        routeFrame(frame, tag, /*blocking=*/false, span_ns);
+        routeFrame(buf, tag, /*blocking=*/false, span_ns);
     // Backpressure leaves the frame with the caller and must not
     // disturb the conservation ledger; everything else was taken.
-    if (status != SubmitStatus::Backpressure)
+    if (status == SubmitStatus::Backpressure)
+        frame = std::move(buf.owned);
+    else
         framesSubmitted.fetch_add(1, std::memory_order_relaxed);
     return status;
 }
@@ -307,9 +343,49 @@ Engine::evictIdleSessions(std::uint64_t max_age)
     return table.evictIdle(max_age);
 }
 
+void
+Engine::noteQueueDepth(ShardQueue &queue, std::size_t shard_index,
+                       std::size_t depth)
+{
+    // A ring size() read can transiently overshoot the capacity (the
+    // two cursors are loaded independently); clamp so the recorded
+    // high-water mark never exceeds the configured bound.
+    const std::size_t clamped =
+        std::min(depth, cfg.queueCapacityFrames);
+    std::size_t prev = queue.highWater.load(std::memory_order_relaxed);
+    while (clamped > prev &&
+           !queue.highWater.compare_exchange_weak(
+               prev, clamped, std::memory_order_relaxed)) {
+    }
+    if (tmQueueDepth)
+        tmQueueDepth->set(static_cast<std::int64_t>(clamped));
+    if (tmShardDepth[shard_index])
+        tmShardDepth[shard_index]->set(
+            static_cast<std::int64_t>(clamped));
+    if (tmQueueHighWater)
+        tmQueueHighWater->recordMax(
+            static_cast<std::int64_t>(clamped));
+}
+
+void
+Engine::wakeWorker(WorkerState &worker)
+{
+    // Dekker handshake, producer half: the push above is ordered
+    // before this fence; the worker orders its sleeping-flag store
+    // before re-checking the rings. Either we see sleeping==true and
+    // notify, or the worker sees our frame - a wakeup cannot be lost.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!worker.sleeping.load(std::memory_order_relaxed))
+        return; // the worker is running and will sweep the rings
+    {
+        std::lock_guard<std::mutex> lock(worker.mu);
+        worker.wake = true;
+    }
+    worker.workAvailable.notify_one();
+}
+
 SubmitStatus
-Engine::routeFrame(std::vector<std::uint8_t> &frame,
-                   std::uint64_t tag, bool blocking,
+Engine::routeFrame(FrameBuf &frame, std::uint64_t tag, bool blocking,
                    std::uint64_t span_ns)
 {
     wire::FrameHeader header;
@@ -326,15 +402,52 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
         return SubmitStatus::Rejected;
     }
 
+    const std::size_t shard_index = table.shardOf(header.session);
     if (workers.empty()) {
         // Serial fallback: the caller's thread is the worker.
-        processFrame(frame, tag, serialScratch, serialPredScratch,
-                     serialStateScratch, span_ns);
+        auto lock = table.lockShard(shard_index);
+        processFrame(frame.data(), frame.size(), tag, serialScratch,
+                     serialPredScratch, serialStateScratch, span_ns,
+                     lock);
         return SubmitStatus::Accepted;
     }
 
-    const std::size_t shard_index = table.shardOf(header.session);
     ShardQueue &queue = *queues[shard_index];
+    if (queue.ring) {
+        // Lock-free handoff: count the frame in flight first so
+        // drain() can never observe a pushed-but-uncounted frame,
+        // then one CAS to enqueue.
+        pendingFrames.fetch_add(1, std::memory_order_relaxed);
+        QueuedFrame qf{std::move(frame), tag, span_ns};
+        if (!queue.ring->tryPush(qf)) {
+            if (!blocking) {
+                frame = std::move(qf.buf);
+                noteFrameDone(1); // undo the in-flight count
+                return SubmitStatus::Backpressure;
+            }
+            queue.backpressureWaits.fetch_add(
+                1, std::memory_order_relaxed);
+            if (tmBackpressure)
+                tmBackpressure->add(1);
+            if (tmShardBlocked[shard_index])
+                tmShardBlocked[shard_index]->add(1);
+            // Full: park until the worker frees a slot. The waiter
+            // count tells the worker to bother with the notify; the
+            // timeout makes a lost race self-heal (see kParkTimeout).
+            std::unique_lock<std::mutex> lock(queue.spaceMu);
+            queue.spaceWaiters.fetch_add(1,
+                                         std::memory_order_seq_cst);
+            while (!queue.ring->tryPush(qf))
+                queue.spaceAvailable.wait_for(lock, kParkTimeout);
+            queue.spaceWaiters.fetch_sub(1,
+                                         std::memory_order_seq_cst);
+        }
+        noteQueueDepth(queue, shard_index, queue.ring->size());
+        wakeWorker(*workerStates[queue.worker]);
+        return SubmitStatus::Accepted;
+    }
+
+    // Locked deque backend (OverloadPolicy::DropOldest).
     QueuedFrame shed_frame;
     bool did_shed = false;
     {
@@ -368,7 +481,8 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
         } else if (saturated) {
             if (!blocking)
                 return SubmitStatus::Backpressure;
-            ++queue.backpressureWaits;
+            queue.backpressureWaits.fetch_add(
+                1, std::memory_order_relaxed);
             if (tmBackpressure)
                 tmBackpressure->add(1);
             if (tmShardBlocked[shard_index])
@@ -380,23 +494,15 @@ Engine::routeFrame(std::vector<std::uint8_t> &frame,
         }
         pendingFrames.fetch_add(1, std::memory_order_relaxed);
         queue.frames.push_back({std::move(frame), tag, span_ns});
-        queue.highWater =
-            std::max(queue.highWater, queue.frames.size());
-        if (tmQueueDepth)
-            tmQueueDepth->set(
-                static_cast<std::int64_t>(queue.frames.size()));
-        if (tmShardDepth[shard_index])
-            tmShardDepth[shard_index]->set(
-                static_cast<std::int64_t>(queue.frames.size()));
-        if (tmQueueHighWater)
-            tmQueueHighWater->recordMax(
-                static_cast<std::int64_t>(queue.frames.size()));
+        noteQueueDepth(queue, shard_index, queue.frames.size());
     }
     // A shed frame never reaches a worker, so its completion fires
     // here (outside the queue lock) or its submitter's in-flight
     // count would never drain.
     if (did_shed)
-        completeUnapplied(shed_frame.bytes, shed_frame.tag);
+        completeUnapplied(shed_frame.buf.data(),
+                          shed_frame.buf.size(), shed_frame.tag,
+                          nullptr);
 
     WorkerState &worker = *workerStates[queue.worker];
     {
@@ -464,25 +570,27 @@ Engine::flushDelayed(bool all)
         if (tmDelayedDelivered)
             tmDelayedDelivered->add(1);
         // Already counted in framesSubmitted at original submission.
-        routeFrame(frame, tag, /*blocking=*/true);
+        FrameBuf buf(std::move(frame));
+        routeFrame(buf, tag, /*blocking=*/true);
     }
 }
 
 void
-Engine::attributeDecodeError(const std::vector<std::uint8_t> &frame)
+Engine::attributeDecodeError(const std::uint8_t *data,
+                             std::size_t size)
 {
     const SessionConfig &scfg = cfg.sessions.session;
     if (scfg.errorBudget == 0)
         return;
     wire::FrameHeader header;
     std::size_t frame_end = 0;
-    if (wire::peekFrameHeader(frame.data(), frame.size(), 0, header,
-                              frame_end) != wire::DecodeStatus::Ok)
+    if (wire::peekFrameHeader(data, size, 0, header, frame_end) !=
+        wire::DecodeStatus::Ok)
         return; // no session id worth trusting
 
     bool poisoned = false;
     std::uint32_t generation = 0;
-    table.withSession(header.session, [&](Session &session) {
+    table.withSessionLocked(header.session, [&](Session &session) {
         if (session.noteDecodeError()) {
             poisoned = true;
             generation = session.generation();
@@ -501,7 +609,7 @@ Engine::attributeDecodeError(const std::vector<std::uint8_t> &frame)
         scfg.backoffBaseFrames
         << std::min<std::uint32_t>(generation,
                                    scfg.backoffMaxExponent);
-    table.rebuildSession(header.session, [&](Session &session) {
+    table.rebuildSessionLocked(header.session, [&](Session &session) {
         session.enterBackoff(backoff, generation + 1);
     });
     if (tmRebuilt)
@@ -509,27 +617,35 @@ Engine::attributeDecodeError(const std::vector<std::uint8_t> &frame)
 }
 
 void
-Engine::completeUnapplied(const std::vector<std::uint8_t> &frame,
-                          std::uint64_t tag)
+Engine::completeUnapplied(const std::uint8_t *data, std::size_t size,
+                          std::uint64_t tag,
+                          std::unique_lock<std::mutex> *shard_lock)
 {
     if (!frameCallback)
         return;
     FrameOutcome outcome;
     wire::FrameHeader header;
     std::size_t frame_end = 0;
-    if (wire::peekFrameHeader(frame.data(), frame.size(), 0, header,
-                              frame_end) == wire::DecodeStatus::Ok) {
+    if (wire::peekFrameHeader(data, size, 0, header, frame_end) ==
+        wire::DecodeStatus::Ok) {
         outcome.session = header.session;
         outcome.sequence = header.sequence;
     }
     outcome.tag = tag;
+    // The callback may re-enter the engine (stats, export): never
+    // hold the stripe lock across it.
+    if (shard_lock)
+        shard_lock->unlock();
     frameCallback(outcome);
+    if (shard_lock)
+        shard_lock->lock();
 }
 
 void
 Engine::processSessionState(const wire::DecodedFrame &scratch,
                             std::uint64_t tag,
-                            std::vector<std::uint8_t> &state_scratch)
+                            std::vector<std::uint8_t> &state_scratch,
+                            std::unique_lock<std::mutex> &shard_lock)
 {
     const std::uint64_t session = scratch.header.session;
     state_scratch.clear();
@@ -541,7 +657,7 @@ Engine::processSessionState(const wire::DecodedFrame &scratch,
         wire::SessionState snapshot;
         snapshot.predictionDelay =
             cfg.sessions.session.predictionDelay;
-        table.peekSession(session, [&](const Session &s) {
+        table.peekSessionLocked(session, [&](const Session &s) {
             s.exportState(snapshot);
         });
         wire::appendSessionStateFrame(state_scratch, session,
@@ -552,7 +668,7 @@ Engine::processSessionState(const wire::DecodedFrame &scratch,
         if (tmExported)
             tmExported->add(1);
     } else {
-        table.installSession(session, [&](Session &s) {
+        table.installSessionLocked(session, [&](Session &s) {
             s.importState(scratch.state);
         });
         sessionsImportedCount.fetch_add(1,
@@ -570,16 +686,19 @@ Engine::processSessionState(const wire::DecodedFrame &scratch,
         outcome.applied = true;
         if (scratch.state.request)
             outcome.stateReply = &state_scratch;
+        shard_lock.unlock();
         frameCallback(outcome);
+        shard_lock.lock();
     }
 }
 
 void
-Engine::processFrame(const std::vector<std::uint8_t> &frame,
+Engine::processFrame(const std::uint8_t *data, std::size_t size,
                      std::uint64_t tag, wire::DecodedFrame &scratch,
                      std::vector<wire::PredictionRecord> &preds,
                      std::vector<std::uint8_t> &state_scratch,
-                     std::uint64_t span_ns)
+                     std::uint64_t span_ns,
+                     std::unique_lock<std::mutex> &shard_lock)
 {
     // Stage spans: a sampled frame (span_ns != 0) costs three clock
     // reads here - queue-wait end / decode start, decode end /
@@ -593,13 +712,13 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
 
     std::size_t offset = 0;
     const wire::DecodeStatus status =
-        wire::decodeFrame(frame.data(), frame.size(), offset, scratch);
+        wire::decodeFrame(data, size, offset, scratch);
     if (status != wire::DecodeStatus::Ok) {
         countReject(status);
-        attributeDecodeError(frame);
+        attributeDecodeError(data, size);
         // The frame passed the header peek at submit, so a tagged
         // caller counted it in flight and is owed a completion.
-        completeUnapplied(frame, tag);
+        completeUnapplied(data, size, tag, &shard_lock);
         return;
     }
     if (scratch.header.kind == wire::FrameKind::SessionState) {
@@ -610,14 +729,14 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
         framesDecoded.fetch_add(1, std::memory_order_relaxed);
         if (tmFramesDecoded)
             tmFramesDecoded->add(1);
-        processSessionState(scratch, tag, state_scratch);
+        processSessionState(scratch, tag, state_scratch, shard_lock);
         return;
     }
     if (scratch.header.kind != wire::FrameKind::PathEvents) {
         // The serving path consumes path events; other frame kinds
         // are interchange/reply formats (see wire_format.hh).
         countReject(wire::DecodeStatus::BadKind);
-        completeUnapplied(frame, tag);
+        completeUnapplied(data, size, tag, &shard_lock);
         return;
     }
 
@@ -643,7 +762,7 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
     std::uint64_t predicted = 0;
     preds.clear();
     const bool want_records = static_cast<bool>(frameCallback);
-    const bool resident = table.withSession(
+    const bool resident = table.withSessionLocked(
         scratch.header.session, [&](Session &session) {
             if (session.consumeBackoffSlot()) {
                 // Re-admission backoff: drop the frame; the last
@@ -691,7 +810,10 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
     if (frameCallback) {
         // Every decoded frame gets a completion - dropped ones too,
         // so a pipelined client is never left waiting on a frame the
-        // engine consumed but chose not to apply.
+        // engine consumed but chose not to apply. The stripe lock is
+        // released for the duration (the callback may re-enter the
+        // engine; the scratch the outcome points into is this
+        // worker's own).
         FrameOutcome outcome;
         outcome.session = scratch.header.session;
         outcome.sequence = scratch.header.sequence;
@@ -702,7 +824,9 @@ Engine::processFrame(const std::vector<std::uint8_t> &frame,
         outcome.predictions = preds.data();
         outcome.predictionCount = preds.size();
         outcome.spanSampled = stage_start != 0;
+        shard_lock.unlock();
         frameCallback(outcome);
+        shard_lock.lock();
     }
 }
 
@@ -734,29 +858,56 @@ Engine::workerLoop(std::size_t worker_index)
         for (const std::size_t shard_index : self.shards) {
             ShardQueue &queue = *queues[shard_index];
             batch.clear();
-            {
-                std::lock_guard<std::mutex> lock(queue.mu);
-                const std::size_t n = std::min(
-                    queue.frames.size(), cfg.maxBatchFrames);
-                for (std::size_t i = 0; i < n; ++i) {
-                    batch.push_back(
-                        std::move(queue.frames.front()));
-                    queue.frames.pop_front();
+            if (queue.ring) {
+                queue.ring->popBatch(batch, cfg.maxBatchFrames);
+                if (batch.empty())
+                    continue;
+                // Batch-notify: blocked producers register in
+                // spaceWaiters, so the common case (nobody blocked)
+                // costs one load here and no lock.
+                if (queue.spaceWaiters.load(
+                        std::memory_order_seq_cst) != 0) {
+                    {
+                        std::lock_guard<std::mutex> lock(
+                            queue.spaceMu);
+                    }
+                    queue.spaceAvailable.notify_all();
                 }
-                if (n > 0) {
-                    if (tmQueueDepth)
-                        tmQueueDepth->set(static_cast<std::int64_t>(
-                            queue.frames.size()));
-                    if (tmShardDepth[shard_index])
-                        tmShardDepth[shard_index]->set(
-                            static_cast<std::int64_t>(
-                                queue.frames.size()));
+                if (tmQueueDepth)
+                    tmQueueDepth->set(static_cast<std::int64_t>(
+                        std::min(queue.ring->size(),
+                                 cfg.queueCapacityFrames)));
+                if (tmShardDepth[shard_index])
+                    tmShardDepth[shard_index]->set(
+                        static_cast<std::int64_t>(
+                            std::min(queue.ring->size(),
+                                     cfg.queueCapacityFrames)));
+            } else {
+                {
+                    std::lock_guard<std::mutex> lock(queue.mu);
+                    const std::size_t n = std::min(
+                        queue.frames.size(), cfg.maxBatchFrames);
+                    for (std::size_t i = 0; i < n; ++i) {
+                        batch.push_back(
+                            std::move(queue.frames.front()));
+                        queue.frames.pop_front();
+                    }
+                    if (n > 0) {
+                        if (tmQueueDepth)
+                            tmQueueDepth->set(
+                                static_cast<std::int64_t>(
+                                    queue.frames.size()));
+                        if (tmShardDepth[shard_index])
+                            tmShardDepth[shard_index]->set(
+                                static_cast<std::int64_t>(
+                                    queue.frames.size()));
+                    }
                 }
+                if (batch.empty())
+                    continue;
+                queue.spaceAvailable.notify_all();
             }
-            if (batch.empty())
-                continue;
             did_work = true;
-            queue.spaceAvailable.notify_all();
 
             batchesPopped.fetch_add(1, std::memory_order_relaxed);
             if (tmBatchSize)
@@ -764,10 +915,17 @@ Engine::workerLoop(std::size_t worker_index)
             if (tmShardFrames[shard_index])
                 tmShardFrames[shard_index]->add(batch.size());
 
-            for (const QueuedFrame &frame : batch)
-                processFrame(frame.bytes, frame.tag, scratch,
-                             predScratch, stateScratch,
-                             frame.spanNs);
+            // Thread-affine session access: one stripe-lock
+            // acquisition covers the whole batch; processFrame
+            // releases it only around completion callbacks.
+            {
+                auto shard_lock = table.lockShard(shard_index);
+                for (const QueuedFrame &frame : batch)
+                    processFrame(frame.buf.data(), frame.buf.size(),
+                                 frame.tag, scratch, predScratch,
+                                 stateScratch, frame.spanNs,
+                                 shard_lock);
+            }
             noteFrameDone(batch.size());
         }
         if (did_work) {
@@ -804,15 +962,45 @@ Engine::workerLoop(std::size_t worker_index)
             continue;
         }
 
+        // Nothing found this sweep. Dekker handshake, consumer half:
+        // announce the intent to sleep, fence, then re-check the
+        // rings - any producer that pushed after our sweep either
+        // sees sleeping==true (and notifies) or published before the
+        // fence (and the re-check finds the frame).
+        const bool lock_free =
+            !self.shards.empty() && queues[self.shards[0]]->ring;
+        if (lock_free) {
+            self.sleeping.store(true, std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            bool found = false;
+            for (const std::size_t shard_index : self.shards) {
+                if (!queues[shard_index]->ring->empty()) {
+                    found = true;
+                    break;
+                }
+            }
+            if (found && !stopping.load(std::memory_order_acquire)) {
+                self.sleeping.store(false,
+                                    std::memory_order_relaxed);
+                continue;
+            }
+        }
+
         std::unique_lock<std::mutex> lock(self.mu);
         if (stopping.load(std::memory_order_acquire)) {
+            self.sleeping.store(false, std::memory_order_relaxed);
             // Drain-before-stop means the queues are already empty
             // by the time stopping is observed; double-check anyway.
             bool all_empty = true;
             for (const std::size_t shard_index : self.shards) {
                 ShardQueue &queue = *queues[shard_index];
-                std::lock_guard<std::mutex> qlock(queue.mu);
-                all_empty = all_empty && queue.frames.empty();
+                if (queue.ring) {
+                    all_empty = all_empty && queue.ring->empty();
+                } else {
+                    std::lock_guard<std::mutex> qlock(queue.mu);
+                    all_empty =
+                        all_empty && queue.frames.empty();
+                }
             }
             if (all_empty)
                 return;
@@ -823,11 +1011,22 @@ Engine::workerLoop(std::size_t worker_index)
                               std::memory_order_relaxed);
         if (tmWorkerBusy[worker_index])
             tmWorkerBusy[worker_index]->add(before_wait - mark);
-        self.workAvailable.wait(lock, [&] {
-            return self.wake ||
-                   stopping.load(std::memory_order_acquire);
-        });
+        if (lock_free) {
+            // Timed park: the fence handshake above makes a missed
+            // notify nearly impossible; the timeout makes even that
+            // self-heal (see kParkTimeout).
+            self.workAvailable.wait_for(lock, kParkTimeout, [&] {
+                return self.wake ||
+                       stopping.load(std::memory_order_acquire);
+            });
+        } else {
+            self.workAvailable.wait(lock, [&] {
+                return self.wake ||
+                       stopping.load(std::memory_order_acquire);
+            });
+        }
         self.wake = false;
+        self.sleeping.store(false, std::memory_order_relaxed);
         mark = telemetry::monotonicNanos();
         self.idleNs.fetch_add(mark - before_wait,
                               std::memory_order_relaxed);
@@ -1005,12 +1204,28 @@ Engine::stats() const
     stats.queueDepth.reserve(queues.size());
     stats.queueBackpressureWaits.reserve(queues.size());
     for (const auto &queue : queues) {
+        if (queue->ring) {
+            // Lock-free backend: the accounting is all atomic.
+            stats.queueHighWater.push_back(
+                queue->highWater.load(std::memory_order_relaxed));
+            stats.queueDepth.push_back(
+                std::min(queue->ring->size(),
+                         cfg.queueCapacityFrames));
+            const std::uint64_t waits =
+                queue->backpressureWaits.load(
+                    std::memory_order_relaxed);
+            stats.queueBackpressureWaits.push_back(waits);
+            stats.backpressureWaits += waits;
+            continue;
+        }
         std::lock_guard<std::mutex> lock(queue->mu);
-        stats.queueHighWater.push_back(queue->highWater);
+        stats.queueHighWater.push_back(
+            queue->highWater.load(std::memory_order_relaxed));
         stats.queueDepth.push_back(queue->frames.size());
-        stats.queueBackpressureWaits.push_back(
-            queue->backpressureWaits);
-        stats.backpressureWaits += queue->backpressureWaits;
+        const std::uint64_t waits =
+            queue->backpressureWaits.load(std::memory_order_relaxed);
+        stats.queueBackpressureWaits.push_back(waits);
+        stats.backpressureWaits += waits;
         if (queue->degradation)
             stats.fault.degradedEntries +=
                 queue->degradation->degradedEntries();

@@ -5,7 +5,7 @@
  *
  * Data flow:
  *
- *   producers --submit(frame bytes)--> per-shard bounded MPSC queues
+ *   producers --submit(frame bytes)--> per-shard bounded MPSC rings
  *        --> worker threads: decode + CRC-check + Session::apply
  *
  * The ingest path only peeks the frame header (cheap varint reads) to
@@ -19,10 +19,37 @@
  * producer threads forfeit the submission order, and with it the
  * guarantee.)
  *
+ * Scaling model (see docs/ARCHITECTURE.md "Threading and memory
+ * model" for the full picture):
+ *
+ *  - Handoff is a bounded lock-free MPSC ring per shard
+ *    (support/mpsc_ring.hh): producers enqueue with one CAS, no
+ *    mutex, and only touch a condition variable on the full-queue
+ *    slow path. Workers batch-pop and only notify sleepers
+ *    (batch-notify, Dekker-style sleeping flag + seq_cst fences,
+ *    with short waits as a liveness backstop).
+ *  - Session ownership is thread-affine per batch: the owning worker
+ *    takes its shard's table stripe lock ONCE per drained batch
+ *    (ShardedSessionTable::lockShard) and then reaches sessions with
+ *    plain lookups; cross-thread operations (idle sweeps,
+ *    export/import, admin stats) still lock per call and interleave
+ *    between batches.
+ *  - Frames move without payload copies: submit() moves the caller's
+ *    buffer, and submitShared() routes a frame as an offset/length
+ *    slice of a caller-owned shared buffer (producers that pre-encode
+ *    many frames into one buffer pay zero per-frame allocation).
+ *  - Decode runs into per-worker reusable scratch (DecodedFrame,
+ *    prediction records, state replies), so the steady-state worker
+ *    loop allocates nothing.
+ *
  * Backpressure: a full shard queue blocks submit() until the owning
  * worker drains room (counted in engine.backpressure.waits). This
  * bounds memory under overload instead of dropping or buffering
- * without limit.
+ * without limit. Under OverloadPolicy::DropOldest the shard keeps the
+ * original mutex+deque queue instead of the lock-free ring: shedding
+ * the *oldest* queued frame requires producers to pop, which only the
+ * locked backend supports (resilience traffic is not the scaling
+ * path).
  *
  * With workerThreads == 0 the engine runs in serial fallback mode:
  * submit() decodes and applies the frame inline on the caller's
@@ -61,6 +88,7 @@
 #include "engine/session_table.hh"
 #include "engine/wire_format.hh"
 #include "support/fault_injector.hh"
+#include "support/mpsc_ring.hh"
 
 namespace hotpath
 {
@@ -85,7 +113,9 @@ enum class OverloadPolicy
      * Normally block, but once the shard's DegradationPolicy judges
      * the saturation a sustained overload spike, shed the *oldest*
      * queued frame to admit the new one (freshest-data-wins), counted
-     * in engine.recovered.shed.frames.
+     * in engine.recovered.shed.frames. Selecting this policy keeps
+     * the shard queues on the locked mutex+deque backend (producers
+     * must be able to pop the oldest frame).
      */
     DropOldest,
 };
@@ -156,7 +186,10 @@ struct FrameOutcome
  * mode), so per-session invocations are ordered for frames that
  * reach a worker; a frame shed under overload completes on the
  * submitting thread and may overtake its session's in-flight
- * frames. Keep it cheap - the shard's other sessions wait behind it.
+ * frames. The worker releases its shard stripe lock for the duration
+ * of each invocation, so the callback may call back into the engine
+ * (stats, export); keep it cheap regardless - the shard's other
+ * sessions wait behind it.
  */
 using FrameCallback = std::function<void(const FrameOutcome &)>;
 
@@ -167,10 +200,13 @@ struct EngineConfig
      *  (submit processes frames inline). */
     std::size_t workerThreads = 4;
 
-    /** Per-shard queue bound in frames; producers block when full. */
+    /** Per-shard queue bound in frames; producers block when full.
+     *  Under OverloadPolicy::Block (lock-free rings) the bound is
+     *  rounded up to a power of two. */
     std::size_t queueCapacityFrames = 256;
 
-    /** Frames a worker drains from one shard per batch. */
+    /** Frames a worker drains from one shard per batch (also the
+     *  span of one stripe-lock hold). */
     std::size_t maxBatchFrames = 64;
 
     /** Session table (shard count, capacity cap, session config). */
@@ -375,10 +411,27 @@ class Engine
      * Payload errors (bad CRC, bad payload) surface asynchronously in
      * stats().framesRejected. Must not be called during or after
      * shutdown(). `tag` is an opaque value carried to the completion
-     * callback (see FrameOutcome::tag).
+     * callback (see FrameOutcome::tag). The buffer is moved, never
+     * copied.
      */
     bool submit(std::vector<std::uint8_t> frame,
                 std::uint64_t tag = 0);
+
+    /**
+     * Ingest one frame as an [offset, offset+length) slice of a
+     * shared caller buffer - the zero-copy producer path: the engine
+     * never copies the payload, only refcounts the buffer, so a
+     * producer that pre-encodes a whole session's frames into one
+     * buffer pays no per-frame allocation at all. The slice must be
+     * exactly one frame. The buffer must stay immutable while any
+     * slice of it is in flight. Like trySubmit(), the fault-injection
+     * preamble does not apply (it would have to mutate the shared
+     * bytes); unlike trySubmit(), a full queue blocks.
+     */
+    bool submitShared(
+        std::shared_ptr<const std::vector<std::uint8_t>> buffer,
+        std::size_t offset, std::size_t length,
+        std::uint64_t tag = 0);
 
     /**
      * Nonblocking submit for event-loop callers: behaves like
@@ -448,7 +501,9 @@ class Engine
      * routed individually; a region that does not parse is
      * quarantined and ingestion resyncs at the next CRC-valid frame
      * boundary (wire::findNextFrame) instead of abandoning the rest
-     * of the buffer. Returns the number of frames routed.
+     * of the buffer. Returns the number of frames routed. (Frames
+     * are copied out of the caller's transient buffer; producers
+     * that control the buffer lifetime should use submitShared.)
      */
     std::uint64_t submitBuffer(const std::uint8_t *data,
                                std::size_t size);
@@ -511,27 +566,84 @@ class Engine
     }
 
   private:
+    /**
+     * One routed frame's bytes: either an owned buffer (submit /
+     * trySubmit moved the caller's vector in) or a refcounted
+     * [off, off+len) slice of a shared buffer (submitShared). Owned
+     * by value so it can ride through the lock-free ring.
+     */
+    struct FrameBuf
+    {
+        std::vector<std::uint8_t> owned;
+        std::shared_ptr<const std::vector<std::uint8_t>> shared;
+        std::uint32_t off = 0;
+        std::uint32_t len = 0;
+
+        FrameBuf() = default;
+        explicit FrameBuf(std::vector<std::uint8_t> bytes)
+            : owned(std::move(bytes))
+        {
+        }
+        FrameBuf(
+            std::shared_ptr<const std::vector<std::uint8_t>> buffer,
+            std::size_t offset, std::size_t length)
+            : shared(std::move(buffer)),
+              off(static_cast<std::uint32_t>(offset)),
+              len(static_cast<std::uint32_t>(length))
+        {
+        }
+
+        const std::uint8_t *
+        data() const
+        {
+            return shared ? shared->data() + off : owned.data();
+        }
+        std::size_t
+        size() const
+        {
+            return shared ? len : owned.size();
+        }
+    };
+
     /** One queued frame plus its caller routing tag. */
     struct QueuedFrame
     {
-        std::vector<std::uint8_t> bytes;
+        FrameBuf buf;
         std::uint64_t tag = 0;
         /** Enqueue timestamp of a span-sampled frame (0 =
          *  unsampled). */
         std::uint64_t spanNs = 0;
     };
 
+    /**
+     * One shard's handoff queue. Exactly one backend is active per
+     * engine: the lock-free ring under OverloadPolicy::Block (the
+     * scaling path), the mutex+deque under DropOldest (producers
+     * must be able to shed the oldest frame, and the spike detector
+     * runs per submit under the lock). `spaceAvailable` pairs with
+     * `mu` in deque mode and with `spaceMu` in ring mode (the modes
+     * never coexist).
+     */
     struct ShardQueue
     {
+        // Ring backend (OverloadPolicy::Block).
+        std::unique_ptr<support::MpscRing<QueuedFrame>> ring;
+        std::mutex spaceMu;
+        /** Producers currently parked on a full ring; consumers only
+         *  touch spaceMu when this is nonzero. */
+        std::atomic<std::uint32_t> spaceWaiters{0};
+
+        // Deque backend (OverloadPolicy::DropOldest).
         std::mutex mu;
-        std::condition_variable spaceAvailable;
         std::deque<QueuedFrame> frames;
-        std::size_t highWater = 0;
-        std::uint64_t backpressureWaits = 0;
-        std::size_t worker = 0; // owning worker index
-        // Overload spike detector (consulted under mu when the
-        // overload policy is DropOldest).
+        // Overload spike detector (consulted under mu).
         std::unique_ptr<DegradationPolicy> degradation;
+
+        // Shared accounting and ownership.
+        std::condition_variable spaceAvailable;
+        std::atomic<std::size_t> highWater{0};
+        std::atomic<std::uint64_t> backpressureWaits{0};
+        std::size_t worker = 0; // owning worker index
     };
 
     struct WorkerState
@@ -539,6 +651,11 @@ class Engine
         std::mutex mu;
         std::condition_variable workAvailable;
         bool wake = false;
+        /** Set (with a seq_cst fence) before the worker re-checks
+         *  its rings and parks; producers fence after pushing and
+         *  only notify when they observe it - the Dekker handshake
+         *  that makes batch-notify safe. */
+        std::atomic<bool> sleeping{false};
         std::vector<std::size_t> shards; // owned shard indices
         // Liveness signals read by the watchdog.
         std::atomic<std::uint64_t> heartbeat{0};
@@ -562,46 +679,65 @@ class Engine
 
     /** Decode + apply one frame on the owning worker (or inline in
      *  serial mode); fires the completion callback when installed.
+     *  The caller holds the frame's shard stripe lock in
+     *  `shard_lock`; it is released around callback invocations.
      *  `span_ns` != 0 marks a span-sampled frame carrying its
      *  enqueue timestamp. `state_scratch` receives the encoded
      *  SessionState reply when the frame is an export request. */
-    void processFrame(const std::vector<std::uint8_t> &frame,
+    void processFrame(const std::uint8_t *data, std::size_t size,
                       std::uint64_t tag, wire::DecodedFrame &scratch,
                       std::vector<wire::PredictionRecord> &preds,
                       std::vector<std::uint8_t> &state_scratch,
-                      std::uint64_t span_ns = 0);
+                      std::uint64_t span_ns,
+                      std::unique_lock<std::mutex> &shard_lock);
 
     /** Apply one decoded SessionState frame (import or export
-     *  request) and fire its completion. */
+     *  request) and fire its completion; shard lock held as in
+     *  processFrame(). */
     void processSessionState(const wire::DecodedFrame &scratch,
                              std::uint64_t tag,
-                             std::vector<std::uint8_t> &state_scratch);
+                             std::vector<std::uint8_t> &state_scratch,
+                             std::unique_lock<std::mutex> &shard_lock);
 
-    /** Post-injection routing shared by submit(), trySubmit(),
-     *  submitBuffer() and delayed redelivery: header peek, reject,
-     *  enqueue or inline. On Backpressure (nonblocking callers only)
-     *  `frame` is left intact. `span_ns` as in processFrame(). */
-    SubmitStatus routeFrame(std::vector<std::uint8_t> &frame,
-                            std::uint64_t tag, bool blocking,
-                            std::uint64_t span_ns = 0);
+    /** Post-injection routing shared by submit(), submitShared(),
+     *  trySubmit(), submitBuffer() and delayed redelivery: header
+     *  peek, reject, enqueue or inline. On Backpressure (nonblocking
+     *  callers only) `frame` is left intact. `span_ns` as in
+     *  processFrame(). */
+    SubmitStatus routeFrame(FrameBuf &frame, std::uint64_t tag,
+                            bool blocking, std::uint64_t span_ns = 0);
 
     /** Attribute a decode failure to its session's error budget;
-     *  poisons/rebuilds when the budget is exhausted. */
-    void attributeDecodeError(const std::vector<std::uint8_t> &frame);
+     *  poisons/rebuilds when the budget is exhausted. Caller holds
+     *  the frame's shard stripe lock. */
+    void attributeDecodeError(const std::uint8_t *data,
+                              std::size_t size);
 
     /** Fire the completion callback (applied=false, no predictions)
      *  for a frame the engine consumed without applying: decode
      *  failures, non-PathEvents kinds, overload-shed frames. The
      *  session/sequence are recovered from the frame header (zeros
-     *  when even the header is unreadable). */
-    void completeUnapplied(const std::vector<std::uint8_t> &frame,
-                           std::uint64_t tag);
+     *  when even the header is unreadable). `shard_lock`, when
+     *  non-null, is released around the callback. */
+    void completeUnapplied(const std::uint8_t *data, std::size_t size,
+                           std::uint64_t tag,
+                           std::unique_lock<std::mutex> *shard_lock);
 
     /** Redeliver held delayed frames (all of them when `all`). */
     void flushDelayed(bool all);
 
     void countReject(wire::DecodeStatus status);
     void noteFrameDone(std::uint64_t count = 1);
+
+    /** Record a shard queue's post-push occupancy (high-water CAS
+     *  max, clamped to the configured capacity because ring size()
+     *  can transiently overshoot; depth gauges). */
+    void noteQueueDepth(ShardQueue &queue, std::size_t shard_index,
+                        std::size_t depth);
+
+    /** Wake a worker if (and only if) it is parked - the batch-notify
+     *  half of the Dekker handshake; see WorkerState::sleeping. */
+    void wakeWorker(WorkerState &worker);
 
     EngineConfig cfg;
     ShardedSessionTable table;

@@ -59,24 +59,30 @@ ShardedSessionTable::shardOf(std::uint64_t session_id) const
            (shards.size() - 1);
 }
 
-bool
-ShardedSessionTable::withSession(
-    std::uint64_t session_id,
-    const std::function<void(Session &)> &fn)
+std::unique_lock<std::mutex>
+ShardedSessionTable::lockShard(std::size_t shard_index)
 {
-    Shard &shard = *shards[shardOf(session_id)];
-    const std::uint64_t tick =
-        activityClock.fetch_add(1, std::memory_order_relaxed) + 1;
+    Shard &shard = *shards[shard_index];
     std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
     if (tmLockWait) {
         // Time the stripe-lock acquisition (two clock reads per
-        // access - only when telemetry is attached).
+        // batch - only when telemetry is attached).
         const std::uint64_t before = telemetry::monotonicNanos();
         lock.lock();
         tmLockWait->record(telemetry::monotonicNanos() - before);
     } else {
         lock.lock();
     }
+    return lock;
+}
+
+bool
+ShardedSessionTable::withSessionLocked(std::uint64_t session_id,
+                                       SessionFn fn)
+{
+    Shard &shard = *shards[shardOf(session_id)];
+    const std::uint64_t tick =
+        activityClock.fetch_add(1, std::memory_order_relaxed) + 1;
 
     auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
@@ -119,13 +125,19 @@ ShardedSessionTable::withSession(
     return true;
 }
 
+bool
+ShardedSessionTable::withSession(std::uint64_t session_id,
+                                 SessionFn fn)
+{
+    auto lock = lockShard(shardOf(session_id));
+    return withSessionLocked(session_id, fn);
+}
+
 void
-ShardedSessionTable::rebuildSession(
-    std::uint64_t session_id,
-    const std::function<void(Session &)> &init)
+ShardedSessionTable::rebuildSessionLocked(std::uint64_t session_id,
+                                          SessionFn init)
 {
     Shard &shard = *shards[shardOf(session_id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
 
     auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
@@ -149,17 +161,22 @@ ShardedSessionTable::rebuildSession(
             std::make_unique<Session>(session_id, cfg.session);
     }
     ++shard.rebuilt;
-    if (init)
-        init(*it->second.session);
+    init(*it->second.session);
 }
 
 void
-ShardedSessionTable::installSession(
-    std::uint64_t session_id,
-    const std::function<void(Session &)> &init)
+ShardedSessionTable::rebuildSession(std::uint64_t session_id,
+                                    SessionFn init)
+{
+    auto lock = lockShard(shardOf(session_id));
+    rebuildSessionLocked(session_id, init);
+}
+
+void
+ShardedSessionTable::installSessionLocked(std::uint64_t session_id,
+                                          SessionFn init)
 {
     Shard &shard = *shards[shardOf(session_id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
 
     auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
@@ -184,8 +201,15 @@ ShardedSessionTable::installSession(
     }
     it->second.lastActive =
         activityClock.load(std::memory_order_relaxed);
-    if (init)
-        init(*it->second.session);
+    init(*it->second.session);
+}
+
+void
+ShardedSessionTable::installSession(std::uint64_t session_id,
+                                    SessionFn init)
+{
+    auto lock = lockShard(shardOf(session_id));
+    installSessionLocked(session_id, init);
 }
 
 void
@@ -195,9 +219,20 @@ ShardedSessionTable::setAllocFailHook(std::function<bool()> hook)
 }
 
 bool
-ShardedSessionTable::peekSession(
-    std::uint64_t session_id,
-    const std::function<void(const Session &)> &fn) const
+ShardedSessionTable::peekSessionLocked(std::uint64_t session_id,
+                                       ConstSessionFn fn) const
+{
+    const Shard &shard = *shards[shardOf(session_id)];
+    const auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end())
+        return false;
+    fn(*it->second.session);
+    return true;
+}
+
+bool
+ShardedSessionTable::peekSession(std::uint64_t session_id,
+                                 ConstSessionFn fn) const
 {
     const Shard &shard = *shards[shardOf(session_id)];
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -209,8 +244,7 @@ ShardedSessionTable::peekSession(
 }
 
 void
-ShardedSessionTable::forEach(
-    const std::function<void(const Session &)> &fn) const
+ShardedSessionTable::forEach(ConstSessionFn fn) const
 {
     for (const auto &shard : shards) {
         std::lock_guard<std::mutex> lock(shard->mu);

@@ -13,6 +13,19 @@
  * The shard partition doubles as the engine's ordering domain: the
  * engine assigns every shard to exactly one worker, so all activity
  * on one session is serialized without per-session locks.
+ *
+ * Two access planes share the stripes:
+ *
+ *  - The worker plane (`lockShard()` + the `*Locked` variants) is
+ *    the frame hot path. The owning worker takes the stripe lock
+ *    ONCE per drained batch and then touches its sessions lock-free,
+ *    so the per-frame cost is a hash lookup, not a mutex round trip.
+ *    Visitor callbacks are `FunctionRef`s - no `std::function`
+ *    allocation per frame.
+ *  - The cross-thread plane (everything else: `withSession`,
+ *    `peekSession`, `evictIdle`, `stats`, export/import) locks per
+ *    call, exactly as before. This is how admin threads, idle sweeps
+ *    and migration interleave safely with worker batches.
  */
 
 #ifndef HOTPATH_ENGINE_SESSION_TABLE_HH
@@ -28,6 +41,7 @@
 #include <vector>
 
 #include "engine/session.hh"
+#include "support/function_ref.hh"
 
 namespace hotpath
 {
@@ -75,6 +89,11 @@ struct SessionTableStats
     std::size_t live = 0;
 };
 
+/** Non-allocating visitor over a mutable session. */
+using SessionFn = support::FunctionRef<void(Session &)>;
+/** Non-allocating visitor over a read-only session. */
+using ConstSessionFn = support::FunctionRef<void(const Session &)>;
+
 /** Striped-lock session map; see file comment. */
 class ShardedSessionTable
 {
@@ -88,6 +107,43 @@ class ShardedSessionTable
     /** Shard that owns `session_id` (stable mixed hash). */
     std::size_t shardOf(std::uint64_t session_id) const;
 
+    // Worker plane (batch-scoped shard ownership) ------------------
+
+    /**
+     * Acquire shard `shard_index`'s stripe lock and hand it to the
+     * caller. The engine's worker takes this once per drained batch;
+     * while held, the worker may use the `*Locked` variants below on
+     * any session of that shard without further locking. Lock-wait
+     * time is recorded in engine.table.lock.wait.ns when telemetry
+     * is attached.
+     */
+    std::unique_lock<std::mutex> lockShard(std::size_t shard_index);
+
+    /**
+     * withSession() without the lock round trip: the caller must
+     * hold `session_id`'s shard lock (lockShard). Same semantics
+     * otherwise - find-or-create with LRU/cap/alloc-hook handling,
+     * activity stamp, LRU refresh; returns false only when creation
+     * was refused by the allocation-failure hook.
+     */
+    bool withSessionLocked(std::uint64_t session_id, SessionFn fn);
+
+    /** rebuildSession() for a caller already holding the shard
+     *  lock. */
+    void rebuildSessionLocked(std::uint64_t session_id,
+                              SessionFn init);
+
+    /** installSession() for a caller already holding the shard
+     *  lock. */
+    void installSessionLocked(std::uint64_t session_id,
+                              SessionFn init);
+
+    /** peekSession() for a caller already holding the shard lock. */
+    bool peekSessionLocked(std::uint64_t session_id,
+                           ConstSessionFn fn) const;
+
+    // Cross-thread plane (per-call locking) ------------------------
+
     /**
      * Run `fn` on the session, creating it (possibly evicting the
      * shard's LRU session) if absent. The shard lock is held for the
@@ -96,8 +152,7 @@ class ShardedSessionTable
      * when the session had to be created and the allocation-failure
      * hook refused the allocation.
      */
-    bool withSession(std::uint64_t session_id,
-                     const std::function<void(Session &)> &fn);
+    bool withSession(std::uint64_t session_id, SessionFn fn);
 
     /**
      * Replace a poisoned session with a fresh one in place (same id,
@@ -108,8 +163,7 @@ class ShardedSessionTable
      * The allocation-failure hook is NOT consulted: recovery must not
      * be starved by the fault it is recovering from.
      */
-    void rebuildSession(std::uint64_t session_id,
-                        const std::function<void(Session &)> &init);
+    void rebuildSession(std::uint64_t session_id, SessionFn init);
 
     /**
      * Replace (or create) a session with a fresh one and run `init`
@@ -121,8 +175,7 @@ class ShardedSessionTable
      * allocation-failure hook is NOT consulted: migration must not be
      * starved by injected allocation faults.
      */
-    void installSession(std::uint64_t session_id,
-                        const std::function<void(Session &)> &init);
+    void installSession(std::uint64_t session_id, SessionFn init);
 
     /**
      * Install a hook consulted before each *new* session allocation;
@@ -139,10 +192,10 @@ class ShardedSessionTable
      * session's LRU position (peeking is not activity).
      */
     bool peekSession(std::uint64_t session_id,
-                     const std::function<void(const Session &)> &fn) const;
+                     ConstSessionFn fn) const;
 
     /** Visit every resident session (shard by shard, under locks). */
-    void forEach(const std::function<void(const Session &)> &fn) const;
+    void forEach(ConstSessionFn fn) const;
 
     /** Drop one session; returns true if it was resident. */
     bool erase(std::uint64_t session_id);
@@ -204,8 +257,9 @@ class ShardedSessionTable
     telemetry::Counter *tmEvicted = nullptr;
     telemetry::Counter *tmIdleEvicted = nullptr;
     telemetry::Gauge *tmLive = nullptr;
-    /** Stripe-lock acquisition wait on the withSession hot path; a
-     *  fat tail here means sessions are clumping on a stripe. */
+    /** Stripe-lock acquisition wait (lockShard + the cross-thread
+     *  plane); a fat tail here means cross-thread sweeps are
+     *  stalling behind long worker batches. */
     telemetry::Histogram *tmLockWait = nullptr;
 };
 

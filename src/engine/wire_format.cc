@@ -58,18 +58,37 @@ appendDelta(std::vector<std::uint8_t> &out, std::uint64_t prev,
 }
 
 /**
- * Read one zigzag delta and apply it to `prev`; returns false when
- * the varint is malformed or the result leaves [0, 2^32).
+ * Read one zigzag delta from the cursor `p` and apply it to `prev`;
+ * returns false when the varint is malformed or the result leaves
+ * [0, 2^32). This is the payload hot loop (five calls per event for
+ * a PathEvents frame), so the overwhelmingly common case - a
+ * single-byte varint, i.e. a delta in [-64, 63] - is decoded with a
+ * fused zigzag+add before falling back to the general loop.
  */
-bool
-readDelta32(const std::uint8_t *data, std::size_t size,
-            std::size_t &offset, std::uint32_t &prev)
+inline bool
+readDelta32(const std::uint8_t *&p, const std::uint8_t *end,
+            std::uint32_t &prev)
 {
-    std::uint64_t raw = 0;
-    if (!readVarint(data, size, offset, raw))
-        return false;
-    const std::int64_t next =
-        static_cast<std::int64_t>(prev) + zigzagDecode(raw);
+    std::int64_t delta;
+    if (p < end && *p < 0x80) {
+        const std::uint8_t byte = *p++;
+        delta = static_cast<std::int64_t>(byte >> 1) ^
+                -static_cast<std::int64_t>(byte & 1);
+    } else {
+        std::uint64_t raw = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (p >= end || shift >= 70)
+                return false;
+            const std::uint8_t byte = *p++;
+            raw |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+            if ((byte & 0x80) == 0)
+                break;
+            shift += 7;
+        }
+        delta = zigzagDecode(raw);
+    }
+    const std::int64_t next = static_cast<std::int64_t>(prev) + delta;
     if (next < 0 || next > static_cast<std::int64_t>(~std::uint32_t{0}))
         return false;
     prev = static_cast<std::uint32_t>(next);
@@ -519,38 +538,45 @@ decodeFrame(const std::uint8_t *data, std::size_t size,
         if (!decodeSessionState(data, payload_end, cur, count,
                                 out.state))
             return DecodeStatus::BadPayload;
-    } else if (out.header.kind == FrameKind::Predictions) {
-        out.predictions.reserve(count);
-        PredictionRecord prev;
-        for (std::uint64_t i = 0; i < count; ++i) {
-            if (!readDelta32(data, payload_end, cur, prev.head) ||
-                !readDelta32(data, payload_end, cur, prev.path))
-                return DecodeStatus::BadPayload;
-            out.predictions.push_back(prev);
-        }
-    } else if (out.header.kind == FrameKind::PathEvents) {
-        out.events.reserve(count);
-        PathEvent prev;
-        prev.path = 0;
-        prev.head = 0;
-        for (std::uint64_t i = 0; i < count; ++i) {
-            if (!readDelta32(data, payload_end, cur, prev.path) ||
-                !readDelta32(data, payload_end, cur, prev.head) ||
-                !readDelta32(data, payload_end, cur, prev.blocks) ||
-                !readDelta32(data, payload_end, cur, prev.branches) ||
-                !readDelta32(data, payload_end, cur,
-                             prev.instructions))
-                return DecodeStatus::BadPayload;
-            out.events.push_back(prev);
-        }
     } else {
-        out.blocks.reserve(count);
-        BlockId prev = 0;
-        for (std::uint64_t i = 0; i < count; ++i) {
-            if (!readDelta32(data, payload_end, cur, prev))
-                return DecodeStatus::BadPayload;
-            out.blocks.push_back(prev);
+        // Batched delta decode: one pointer cursor over the whole
+        // payload straight into the (reused) flat output array - no
+        // per-field offset/bounds bookkeeping, no per-event growth.
+        const std::uint8_t *p = data + payload_begin;
+        const std::uint8_t *pend = data + payload_end;
+        if (out.header.kind == FrameKind::Predictions) {
+            out.predictions.resize(count);
+            PredictionRecord prev;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                if (!readDelta32(p, pend, prev.head) ||
+                    !readDelta32(p, pend, prev.path))
+                    return DecodeStatus::BadPayload;
+                out.predictions[i] = prev;
+            }
+        } else if (out.header.kind == FrameKind::PathEvents) {
+            out.events.resize(count);
+            PathEvent prev;
+            prev.path = 0;
+            prev.head = 0;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                if (!readDelta32(p, pend, prev.path) ||
+                    !readDelta32(p, pend, prev.head) ||
+                    !readDelta32(p, pend, prev.blocks) ||
+                    !readDelta32(p, pend, prev.branches) ||
+                    !readDelta32(p, pend, prev.instructions))
+                    return DecodeStatus::BadPayload;
+                out.events[i] = prev;
+            }
+        } else {
+            out.blocks.resize(count);
+            BlockId prev = 0;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                if (!readDelta32(p, pend, prev))
+                    return DecodeStatus::BadPayload;
+                out.blocks[i] = prev;
+            }
         }
+        cur = static_cast<std::size_t>(p - data);
     }
     if (cur != payload_end)
         return DecodeStatus::BadPayload; // trailing junk in payload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A non-owning, trivially copyable reference to a callable.
+ *
+ * `FunctionRef<R(Args...)>` is the hot-path replacement for
+ * `const std::function<R(Args...)>&` parameters: it never allocates
+ * (a `std::function` constructed from a lambda whose captures exceed
+ * the small-buffer optimization heap-allocates on every call site),
+ * it is two words (object pointer + invoker), and it converts
+ * implicitly from any callable - lambdas, function pointers, and
+ * `std::function` itself - so call sites do not change.
+ *
+ * Because it does not own the callable, a FunctionRef must not
+ * outlive the callable it was constructed from. Use it only for
+ * parameters that are invoked before the call returns (the session
+ * table's visitor callbacks); anything *stored* for later (the
+ * engine's frame callback, the allocation-failure hook) must keep
+ * using `std::function`.
+ */
+
+#ifndef HOTPATH_SUPPORT_FUNCTION_REF_HH
+#define HOTPATH_SUPPORT_FUNCTION_REF_HH
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hotpath::support
+{
+
+template <typename Signature>
+class FunctionRef;
+
+/** Non-owning callable reference; see the file comment. */
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    /** Bind to any callable invocable as R(Args...). The referenced
+     *  callable must outlive this FunctionRef. */
+    template <
+        typename F,
+        typename = std::enable_if_t<
+            !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                            FunctionRef> &&
+            std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&f) noexcept
+        : obj(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          invoke([](void *o, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(o))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    /** Invoke the referenced callable. */
+    R
+    operator()(Args... args) const
+    {
+        return invoke(obj, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj;
+    R (*invoke)(void *, Args...);
+};
+
+} // namespace hotpath::support
+
+#endif // HOTPATH_SUPPORT_FUNCTION_REF_HH

@@ -8,9 +8,11 @@
  * and to a hand-rolled in-process replay.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -669,6 +671,257 @@ TEST(Engine, EvictionCapHoldsUnderManySessions)
     EXPECT_EQ(stats.sessionsCreated, 200u);
     EXPECT_EQ(stats.sessionsCreated - stats.sessionsEvicted,
               stats.sessionsLive);
+    eng.shutdown();
+}
+
+// Scaling contract: every worker count, the zero-copy producer path,
+// and reused decode scratch must all be invisible in the outputs.
+
+TEST(Engine, ScalingLadderBitIdentityUnderFaults)
+{
+    const std::size_t kSessions = 6;
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(kSessions, 2000, 50, 53);
+
+    // A deterministic fault schedule: the injector draws on the
+    // submit-order opportunity counter, so a single producer feeding
+    // frames in a fixed order damages the same frames at every
+    // worker count.
+    const auto faultedConfig = [](std::size_t workers) {
+        EngineConfig config = recordingConfig(workers);
+        config.faults.seed = 7;
+        config.faults.site(fault::Site::WireBitFlip).everyN = 5;
+        config.faults.site(fault::Site::FrameDrop).everyN = 9;
+        config.faults.site(fault::Site::FrameDelay).everyN = 11;
+        return config;
+    };
+
+    // Serial reference.
+    std::map<std::uint64_t, std::vector<PathIndex>> expected;
+    EngineStats reference;
+    {
+        Engine serial(faultedConfig(0));
+        for (const ClientTraffic &client : traffic)
+            for (const auto &frame : client.frames)
+                serial.submit(frame);
+        serial.drain();
+        for (const ClientTraffic &client : traffic)
+            expected[client.id] = serial.predictionsFor(client.id);
+        reference = serial.stats();
+    }
+    ASSERT_GT(reference.fault.injectedBitFlips, 0u);
+    ASSERT_GT(reference.fault.injectedDrops, 0u);
+    ASSERT_GT(reference.fault.injectedDelays, 0u);
+
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        Engine eng(faultedConfig(workers));
+        for (const ClientTraffic &client : traffic)
+            for (const auto &frame : client.frames)
+                eng.submit(frame);
+        eng.drain();
+
+        for (const ClientTraffic &client : traffic)
+            EXPECT_EQ(eng.predictionsFor(client.id),
+                      expected[client.id])
+                << "workers=" << workers << " session "
+                << client.id;
+
+        // The whole fault ledger must be worker-count invariant,
+        // not just the predictions.
+        const EngineStats stats = eng.stats();
+        EXPECT_EQ(stats.framesDecoded, reference.framesDecoded)
+            << "workers=" << workers;
+        EXPECT_EQ(stats.framesRejected, reference.framesRejected)
+            << "workers=" << workers;
+        EXPECT_EQ(stats.eventsProcessed, reference.eventsProcessed)
+            << "workers=" << workers;
+        EXPECT_EQ(stats.predictions, reference.predictions)
+            << "workers=" << workers;
+        EXPECT_EQ(stats.fault.injectedBitFlips,
+                  reference.fault.injectedBitFlips);
+        EXPECT_EQ(stats.fault.injectedDrops,
+                  reference.fault.injectedDrops);
+        EXPECT_EQ(stats.fault.injectedDelays,
+                  reference.fault.injectedDelays);
+        EXPECT_EQ(stats.fault.delayedDelivered,
+                  reference.fault.delayedDelivered);
+        eng.shutdown();
+    }
+}
+
+TEST(Engine, SubmitSharedMatchesSubmit)
+{
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(4, 3000, 64, 61);
+
+    // Reference: the copying submit path, serial.
+    std::map<std::uint64_t, std::vector<PathIndex>> expected;
+    {
+        Engine serial(recordingConfig(0));
+        for (const ClientTraffic &client : traffic)
+            for (const auto &frame : client.frames)
+                serial.submit(frame);
+        for (const ClientTraffic &client : traffic)
+            expected[client.id] = serial.predictionsFor(client.id);
+    }
+
+    // Zero-copy path: each session's frames concatenated into one
+    // immutable shared buffer, submitted by slice.
+    for (const std::size_t workers : {0u, 2u}) {
+        Engine eng(recordingConfig(workers));
+        std::uint64_t submitted = 0;
+        for (const ClientTraffic &client : traffic) {
+            std::vector<std::uint8_t> concat;
+            std::vector<std::size_t> offsets;
+            for (const auto &frame : client.frames) {
+                offsets.push_back(concat.size());
+                concat.insert(concat.end(), frame.begin(),
+                              frame.end());
+            }
+            const auto shared = std::make_shared<
+                const std::vector<std::uint8_t>>(std::move(concat));
+            for (std::size_t i = 0; i < client.frames.size(); ++i) {
+                ASSERT_TRUE(eng.submitShared(
+                    shared, offsets[i], client.frames[i].size()));
+                ++submitted;
+            }
+        }
+        eng.drain();
+
+        for (const ClientTraffic &client : traffic)
+            EXPECT_EQ(eng.predictionsFor(client.id),
+                      expected[client.id])
+                << "workers=" << workers << " session "
+                << client.id;
+        const EngineStats stats = eng.stats();
+        EXPECT_EQ(stats.framesSubmitted, submitted);
+        EXPECT_EQ(stats.framesDecoded, submitted);
+        EXPECT_EQ(stats.framesRejected, 0u);
+        eng.shutdown();
+    }
+
+    // A slice that is not a parseable frame is rejected up front.
+    Engine eng(recordingConfig(0));
+    const auto junk = std::make_shared<
+        const std::vector<std::uint8_t>>(
+        std::vector<std::uint8_t>{'X', 'Y', 1, 2, 3});
+    EXPECT_FALSE(eng.submitShared(junk, 0, junk->size()));
+}
+
+TEST(Engine, DecodeScratchReuseIsStateless)
+{
+    // Workers decode every frame into one reused DecodedFrame; a
+    // large frame followed by a small one must not leak the tail of
+    // the earlier payload (or a different payload kind) into the
+    // later decode.
+    const std::vector<PathEvent> big = syntheticEvents(900, 71);
+    const std::vector<PathEvent> small = syntheticEvents(3, 72);
+
+    std::vector<std::uint8_t> big_frame;
+    wire::appendEventFrame(big_frame, 1, 0, big);
+    std::vector<std::uint8_t> small_frame;
+    wire::appendEventFrame(small_frame, 1, 1, small);
+    std::vector<std::uint8_t> block_frame;
+    const std::vector<BlockId> blocks = {9, 8, 7, 6, 5};
+    wire::appendBlockFrame(block_frame, 1, 2, blocks.data(),
+                           blocks.size());
+
+    wire::DecodedFrame scratch;
+    std::size_t offset = 0;
+    ASSERT_EQ(wire::decodeFrame(big_frame.data(), big_frame.size(),
+                                offset, scratch),
+              wire::DecodeStatus::Ok);
+    ASSERT_EQ(scratch.events.size(), big.size());
+
+    offset = 0;
+    ASSERT_EQ(wire::decodeFrame(block_frame.data(),
+                                block_frame.size(), offset, scratch),
+              wire::DecodeStatus::Ok);
+    EXPECT_EQ(scratch.blocks, blocks);
+
+    offset = 0;
+    ASSERT_EQ(wire::decodeFrame(small_frame.data(),
+                                small_frame.size(), offset, scratch),
+              wire::DecodeStatus::Ok);
+
+    // Fresh-scratch decode is the reference.
+    wire::DecodedFrame fresh;
+    offset = 0;
+    ASSERT_EQ(wire::decodeFrame(small_frame.data(),
+                                small_frame.size(), offset, fresh),
+              wire::DecodeStatus::Ok);
+    ASSERT_EQ(scratch.events.size(), fresh.events.size());
+    for (std::size_t i = 0; i < fresh.events.size(); ++i)
+        EXPECT_TRUE(sameEvent(scratch.events[i], fresh.events[i]))
+            << "event " << i;
+    EXPECT_EQ(scratch.header.sequence, fresh.header.sequence);
+}
+
+TEST(Engine, ConcurrentMaintenanceStress)
+{
+    // Cross-thread maintenance (idle sweeps, export/import, stats)
+    // hammering the stripes while multi-producer traffic flows
+    // through the workers: the run must stay raceless (this test is
+    // in the TSan CI job) and the frame ledger must still close.
+    const std::size_t kSessions = 16;
+    const std::vector<ClientTraffic> traffic =
+        makeTraffic(kSessions, 1500, 32, 83);
+    std::uint64_t total_frames = 0;
+    for (const ClientTraffic &client : traffic)
+        total_frames += client.frames.size();
+
+    EngineConfig config;
+    config.workerThreads = 4;
+    config.queueCapacityFrames = 16;
+    config.sessions.shardCount = 8;
+    Engine eng(config);
+
+    std::atomic<bool> done{false};
+    std::thread maintenance([&] {
+        std::uint64_t round = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+            // Sweep aggressively: max_age 10 ticks guarantees real
+            // evictions while the producers are mid-stream.
+            eng.evictIdleSessions(10);
+            const std::uint64_t id = 1 + (round % kSessions);
+            wire::SessionState snapshot;
+            if (eng.exportSession(id, snapshot))
+                eng.importSession(id, snapshot);
+            (void)eng.stats();
+            (void)eng.predictionsFor(id);
+            ++round;
+        }
+    });
+
+    std::vector<std::thread> producers;
+    const std::size_t kProducers = 4;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (std::size_t s = p; s < traffic.size();
+                 s += kProducers)
+                for (const auto &frame : traffic[s].frames)
+                    ASSERT_TRUE(eng.submit(frame));
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    eng.drain();
+    done.store(true, std::memory_order_relaxed);
+    maintenance.join();
+
+    // A starved maintenance thread (single-core CI) may never have
+    // swept mid-traffic; a final age-0 sweep makes the eviction
+    // counter deterministic - everything but the most recently
+    // active session goes.
+    eng.evictIdleSessions(0);
+
+    const EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.framesSubmitted, total_frames);
+    EXPECT_EQ(stats.framesRejected, 0u);
+    EXPECT_EQ(stats.framesDecoded, total_frames);
+    EXPECT_EQ(stats.fault.framesApplied, total_frames);
+    EXPECT_EQ(stats.eventsProcessed, kSessions * 1500u);
+    EXPECT_GT(stats.sessionsIdleEvicted, 0u);
     eng.shutdown();
 }
 

@@ -1,16 +1,22 @@
 /**
  * @file
  * Unit tests for the support layer: RNG determinism and statistical
- * sanity, alias sampling, Zipf weights, running stats, histograms and
- * table formatting.
+ * sanity, alias sampling, Zipf weights, running stats, histograms,
+ * table formatting, the non-owning FunctionRef, and the lock-free
+ * MPSC ring the engine's shard queues are built on.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <sstream>
+#include <thread>
 
+#include "support/function_ref.hh"
+#include "support/mpsc_ring.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -266,4 +272,208 @@ TEST(FormattingTest, DoublesAndPercents)
 {
     EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
     EXPECT_EQ(formatPercent(97.5, 1), "97.5%");
+}
+
+// FunctionRef ------------------------------------------------------
+
+namespace
+{
+
+int
+freeAddOne(int x)
+{
+    return x + 1;
+}
+
+int
+invokeRef(support::FunctionRef<int(int)> fn, int x)
+{
+    return fn(x);
+}
+
+} // namespace
+
+TEST(FunctionRefTest, InvokesLambdaWithCapture)
+{
+    int calls = 0;
+    auto lambda = [&calls](int x) {
+        ++calls;
+        return x * 2;
+    };
+    EXPECT_EQ(invokeRef(lambda, 21), 42);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(FunctionRefTest, InvokesFunctionPointer)
+{
+    // A function pointer is a callable object like any other; the
+    // ref points at the pointer variable, which must stay alive.
+    int (*fn)(int) = &freeAddOne;
+    EXPECT_EQ(invokeRef(fn, 41), 42);
+}
+
+TEST(FunctionRefTest, InvokesConstCallable)
+{
+    const auto lambda = [](int x) { return x - 1; };
+    support::FunctionRef<int(int)> ref(lambda);
+    EXPECT_EQ(ref(43), 42);
+}
+
+TEST(FunctionRefTest, WrapsStdFunctionWithoutCopying)
+{
+    int calls = 0;
+    std::function<int(int)> heavy = [&calls](int x) {
+        ++calls;
+        return x;
+    };
+    support::FunctionRef<int(int)> ref(heavy);
+    EXPECT_EQ(ref(7), 7);
+    EXPECT_EQ(ref(9), 9);
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(FunctionRefTest, MutatesThroughReference)
+{
+    // The callable must be a named object: a FunctionRef does not
+    // own its target, so binding a temporary lambda would dangle.
+    std::vector<int> seen;
+    auto record = [&seen](int x) { seen.push_back(x); };
+    support::FunctionRef<void(int)> ref(record);
+    ref(1);
+    ref(2);
+    EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+}
+
+// MpscRing ---------------------------------------------------------
+
+TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo)
+{
+    support::MpscRing<int> ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+    support::MpscRing<int> exact(16);
+    EXPECT_EQ(exact.capacity(), 16u);
+}
+
+TEST(MpscRingTest, FifoOrderSingleThread)
+{
+    support::MpscRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 8; ++i) {
+        int v = i;
+        EXPECT_TRUE(ring.tryPush(v));
+    }
+    EXPECT_FALSE(ring.empty());
+    for (int i = 0; i < 8; ++i) {
+        int out = -1;
+        EXPECT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_TRUE(ring.empty());
+    int out;
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(MpscRingTest, FullPushFailsAndLeavesValueIntact)
+{
+    support::MpscRing<std::string> ring(2);
+    std::string a = "a";
+    std::string b = "b";
+    ASSERT_TRUE(ring.tryPush(a));
+    ASSERT_TRUE(ring.tryPush(b));
+
+    // The rejected value must survive for the caller to retry with -
+    // the engine's nonblocking path hands it back to the producer.
+    std::string c = "keep-me";
+    EXPECT_FALSE(ring.tryPush(c));
+    EXPECT_EQ(c, "keep-me");
+
+    std::string out;
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, "a");
+    EXPECT_TRUE(ring.tryPush(c));
+}
+
+TEST(MpscRingTest, PopBatchDrainsInOrderUpToLimit)
+{
+    support::MpscRing<int> ring(16);
+    for (int i = 0; i < 10; ++i) {
+        int v = i;
+        ASSERT_TRUE(ring.tryPush(v));
+    }
+    std::vector<int> batch;
+    ring.popBatch(batch, 4);
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    batch.clear();
+    ring.popBatch(batch, 100);
+    EXPECT_EQ(batch, (std::vector<int>{4, 5, 6, 7, 8, 9}));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRingTest, SlotsAreReusableAcrossWraps)
+{
+    support::MpscRing<int> ring(4);
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 4; ++i) {
+            int v = round * 4 + i;
+            ASSERT_TRUE(ring.tryPush(v));
+        }
+        int v = -1;
+        ASSERT_FALSE(ring.tryPush(v));
+        for (int i = 0; i < 4; ++i) {
+            int out;
+            ASSERT_TRUE(ring.tryPop(out));
+            ASSERT_EQ(out, round * 4 + i);
+        }
+    }
+}
+
+TEST(MpscRingTest, MultiProducerDeliversEveryValueOnce)
+{
+    // 4 producers, one consumer (the ring's contract), bounded
+    // capacity so producers spin on a full ring: every pushed value
+    // must arrive exactly once, and each producer's own values in
+    // order.
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 20000;
+    support::MpscRing<std::uint64_t> ring(64);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                std::uint64_t v =
+                    (static_cast<std::uint64_t>(p) << 32) |
+                    static_cast<std::uint64_t>(i);
+                while (!ring.tryPush(v))
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    std::vector<std::uint64_t> next(kProducers, 0);
+    std::uint64_t received = 0;
+    std::vector<std::uint64_t> batch;
+    while (received <
+           static_cast<std::uint64_t>(kProducers) * kPerProducer) {
+        batch.clear();
+        ring.popBatch(batch, 32);
+        if (batch.empty()) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (const std::uint64_t v : batch) {
+            const auto p = static_cast<std::size_t>(v >> 32);
+            const std::uint64_t seq = v & 0xffffffffu;
+            ASSERT_LT(p, static_cast<std::size_t>(kProducers));
+            ASSERT_EQ(seq, next[p]) << "producer " << p;
+            ++next[p];
+            ++received;
+        }
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    EXPECT_TRUE(ring.empty());
+    for (int p = 0; p < kProducers; ++p)
+        EXPECT_EQ(next[p],
+                  static_cast<std::uint64_t>(kPerProducer));
 }
