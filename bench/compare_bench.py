@@ -4,8 +4,9 @@
 Four subcommands:
 
   collect   Merge a google-benchmark JSON dump (micro_profiling_overhead
-            --benchmark_format=json) and engine_throughput's --json
-            output into one BENCH_sweep.json snapshot.
+            --benchmark_format=json), engine_throughput's --json
+            output, and fig5_dynamo_speedup's --json output into one
+            BENCH_sweep.json snapshot.
 
   compare   Diff a current BENCH_sweep.json against the checked-in
             baseline (bench/baseline/BENCH_sweep.json). Exits nonzero
@@ -42,6 +43,13 @@ What counts as a regression:
   * Engine throughput rows are compared on their deterministic fields
     only; events/second is reported but never gates (CI runners vary
     too much run to run).
+  * Dynamo fig5 rows gate twice: the policy table's event and link
+    counters (flushes, evictions, links made/broken, linked/unlinked
+    dispatches, fragments formed, cached/interpreted events) are
+    seed-derived and must match EXACTLY, while the modeled speedups
+    (cycle arithmetic over those counters) may drift up to
+    --fig5-speedup-tol percentage points to absorb FP/compiler
+    variation.
   * The self-profiling span_overhead block (engine_throughput
     --spans=N) gates on two facts: the sampled and unsampled runs
     must have produced identical events/predictions, and the
@@ -93,12 +101,16 @@ def collect(args):
     if args.engine:
         with open(args.engine) as f:
             out["engine"] = json.load(f)
+    if args.fig5:
+        with open(args.fig5) as f:
+            out["fig5"] = json.load(f)
 
     with open(args.output, "w") as f:
         json.dump(out, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {args.output}: {len(micro)} micro benches"
-          + (", engine ladder" if args.engine else ""))
+          + (", engine ladder" if args.engine else "")
+          + (", fig5 dynamo table" if args.fig5 else ""))
     return 0
 
 
@@ -187,6 +199,61 @@ def compare(args):
             f"{row['events_per_second']:.0f} -> "
             f"{current['events_per_second']:.0f} events/s "
             "(informational)")
+
+    # Dynamo fig5: link/eviction counters are seed-derived facts and
+    # gate exactly; the modeled speedups are cycle arithmetic over
+    # those counters and get a small percentage-point tolerance.
+    FIG5_EXACT = ("flushes", "evictions", "links_made", "links_broken",
+                  "linked_dispatches", "unlinked_dispatches",
+                  "fragments_formed", "cached_events",
+                  "interpreted_events")
+    base_fig5 = base.get("fig5")
+    cur_fig5 = cur.get("fig5")
+    if base_fig5 and not cur_fig5:
+        failures.append("fig5: baseline has it, current run does not "
+                        "(was fig5_dynamo_speedup run with --json?)")
+    if base_fig5 and cur_fig5:
+        columns = base_fig5.get("columns", [])
+        cur_speedups = {r["benchmark"]: r["speedups"]
+                       for r in cur_fig5.get("rows", [])}
+        for row in base_fig5.get("rows", []):
+            name = row["benchmark"]
+            if name not in cur_speedups:
+                failures.append(f"fig5 {name}: row missing")
+                continue
+            for i, speedup in enumerate(row["speedups"]):
+                col = columns[i] if i < len(columns) else f"col{i}"
+                delta = cur_speedups[name][i] - speedup
+                if abs(delta) > args.fig5_speedup_tol:
+                    failures.append(
+                        f"fig5 {name}.{col}: {speedup:.2f}% -> "
+                        f"{cur_speedups[name][i]:.2f}% speedup "
+                        f"({delta:+.2f}pp)")
+        cur_policy = {(r["benchmark"], r["policy"]): r
+                      for r in cur_fig5.get("policy_rows", [])}
+        for row in base_fig5.get("policy_rows", []):
+            key = (row["benchmark"], row["policy"])
+            if key not in cur_policy:
+                failures.append(
+                    f"fig5 policy {key[0]}/{key[1]}: row missing")
+                continue
+            current = cur_policy[key]
+            for field in FIG5_EXACT:
+                if row.get(field) != current.get(field):
+                    failures.append(
+                        f"fig5 policy {key[0]}/{key[1]}.{field}: "
+                        f"{row.get(field)} -> {current.get(field)} "
+                        "(deterministic counter changed)")
+            delta = current["speedup"] - row["speedup"]
+            if abs(delta) > args.fig5_speedup_tol:
+                failures.append(
+                    f"fig5 policy {key[0]}/{key[1]}.speedup: "
+                    f"{row['speedup']:.2f}% -> "
+                    f"{current['speedup']:.2f}% ({delta:+.2f}pp)")
+        notes.append(
+            f"fig5: {len(base_fig5.get('rows', []))} scheme rows and "
+            f"{len(base_fig5.get('policy_rows', []))} policy rows "
+            "checked")
 
     # Self-profiling overhead: the paired off-vs-on measurement from
     # engine_throughput --spans=N, gated on its own in-run comparison.
@@ -415,6 +482,8 @@ def main():
                                 "micro_profiling_overhead")
     p_collect.add_argument("--engine",
                            help="engine_throughput --json output")
+    p_collect.add_argument("--fig5",
+                           help="fig5_dynamo_speedup --json output")
     p_collect.add_argument("-o", "--output", required=True)
     p_collect.set_defaults(func=collect)
 
@@ -429,6 +498,11 @@ def main():
                            default=0.05,
                            help="allowed stage-span sampling overhead "
                                 "as a fraction (default 0.05)")
+    p_compare.add_argument("--fig5-speedup-tol", type=float,
+                           default=0.25,
+                           help="allowed drift of fig5 modeled "
+                                "speedups, in percentage points "
+                                "(default 0.25)")
     p_compare.set_defaults(func=compare)
 
     p_scale = sub.add_parser("scaling",

@@ -47,18 +47,18 @@ main(int argc, char **argv)
     {
         const char *label;
         std::uint64_t capacity;
-        FragmentCache::EvictionPolicy policy;
+        CachePolicy policy;
         bool heuristic;
     };
     const Config configs[] = {
-        {"unlimited", 0, FragmentCache::EvictionPolicy::FlushAll,
+        {"unlimited", 0, CachePolicy::FlushAll, false},
+        {"flush-all, no heuristic", capacity, CachePolicy::FlushAll,
          false},
-        {"flush-all, no heuristic", capacity,
-         FragmentCache::EvictionPolicy::FlushAll, false},
         {"flush-all + phase heuristic", capacity,
-         FragmentCache::EvictionPolicy::FlushAll, true},
-        {"LRU eviction", capacity,
-         FragmentCache::EvictionPolicy::EvictLru, false},
+         CachePolicy::FlushAll, true},
+        {"LRU eviction", capacity, CachePolicy::EvictLru, false},
+        {"FIFO eviction", capacity, CachePolicy::EvictFifo, false},
+        {"generational", capacity, CachePolicy::Generational, false},
     };
 
     // Each policy replays the shared stream against its own
@@ -75,8 +75,9 @@ main(int argc, char **argv)
         dconfig.predictionDelay = 50;
         dconfig.enableFlush = configs[i].heuristic;
         dconfig.flush.warmupWindows = 8;
-        dconfig.cacheCapacityInstr = configs[i].capacity;
-        dconfig.cachePolicy = configs[i].policy;
+        dconfig.cache.capacityBytes =
+            configs[i].capacity * dconfig.cache.bytesPerInstr;
+        dconfig.cache.policy = configs[i].policy;
 
         DynamoSystem system(dconfig);
         for (std::uint64_t t = 0; t < stream.size(); ++t)

@@ -49,7 +49,7 @@ run(std::uint64_t seed, double dominance, bool optimize)
     CfgDynamoEngine engine(synth.program(), engine_config);
 
     Machine machine(synth.program(), synth.behavior(), {.seed = 17});
-    machine.addListener(&engine);
+    engine.attach(machine);
     machine.run(3000000);
     return engine.report();
 }
@@ -110,7 +110,7 @@ main(int argc, char **argv)
         CfgDynamoEngine engine(synth.program(), engine_config);
         Machine machine(synth.program(), synth.behavior(),
                         {.seed = 23});
-        machine.addListener(&engine);
+        engine.attach(machine);
         machine.run(3000000);
         const CfgEngineReport report = engine.report();
 

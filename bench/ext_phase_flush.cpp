@@ -53,7 +53,7 @@ run(const PhasedWorkload &phased, const std::vector<PathEvent> &stream,
     config.flush.spikeFactor = 4.0;
     config.flush.spikeFloor = 8;
     config.flush.warmupWindows = 4;
-    config.cacheCapacityInstr = capacity;
+    config.cache.capacityBytes = capacity * config.cache.bytesPerInstr;
 
     DynamoSystem system(config);
     RunResult result;

@@ -143,7 +143,8 @@ main()
         dconfig.predictionDelay = 50;
         dconfig.enableFlush = flush;
         dconfig.flush.warmupWindows = 8;
-        dconfig.cacheCapacityInstr = phase_footprint / 2;
+        dconfig.cache.capacityBytes =
+            phase_footprint / 2 * dconfig.cache.bytesPerInstr;
         DynamoSystem system(dconfig);
 
         std::vector<std::uint64_t> flush_times;

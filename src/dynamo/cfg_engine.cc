@@ -1,5 +1,6 @@
 #include "dynamo/cfg_engine.hh"
 
+#include "sim/machine.hh"
 #include "support/logging.hh"
 
 namespace hotpath
@@ -24,7 +25,8 @@ class CfgDynamoEngine::Sink : public NetTraceSink
 CfgDynamoEngine::CfgDynamoEngine(const Program &program,
                                  CfgEngineConfig config)
     : prog(program), cfg(config), irAssigner(program, config.irGen),
-      optimizer(config.optimizer), sink(std::make_unique<Sink>(*this))
+      optimizer(config.optimizer), faults(config.faults),
+      cache(config.cache), sink(std::make_unique<Sink>(*this))
 {
     NetTraceBuilderConfig net_config;
     net_config.hotThreshold = cfg.hotThreshold;
@@ -34,6 +36,12 @@ CfgDynamoEngine::CfgDynamoEngine(const Program &program,
 }
 
 CfgDynamoEngine::~CfgDynamoEngine() = default;
+
+void
+CfgDynamoEngine::attach(Machine &machine)
+{
+    machine.setDispatchHook(this);
+}
 
 void
 CfgDynamoEngine::onTraceFormed(const NetTrace &trace)
@@ -46,111 +54,138 @@ CfgDynamoEngine::onTraceFormed(const NetTrace &trace)
         ratio = opt_stats.ratio();
     }
 
+    // Formation work happens whether or not the insert succeeds.
     stats.formationCycles += original * cfg.costs.formationPerInstr;
+
+    if (faults.armed(fault::Site::AllocFail) &&
+        faults.shouldInject(fault::Site::AllocFail)) {
+        // The cache arena refused the allocation: the trace is
+        // dropped and its head interprets on. NET retired the head,
+        // so the next chance at this path is a secondary trace
+        // spawned from some fragment's exit stub.
+        ++stats.formationsAbandoned;
+        return;
+    }
+
     ++stats.fragmentsFormed;
     ratioSum += ratio;
 
-    CachedFragment fragment;
-    fragment.blocks = trace.blocks;
-    fragment.ratio = ratio;
-    const bool inserted =
-        fragments.emplace(trace.head, std::move(fragment)).second;
-    HOTPATH_ASSERT(inserted, "duplicate fragment for a head");
+    StitchedFragment stitched;
+    stitched.head = trace.head;
+    stitched.blocks.reserve(trace.blocks.size());
+    for (const BlockId id : trace.blocks)
+        stitched.blocks.push_back(&prog.block(id));
+
+    chargeInsert(cache.insert(trace.head, trace.instructions, ratio,
+                              std::move(stitched)));
 }
 
 void
-CfgDynamoEngine::onBlock(const BasicBlock &block)
+CfgDynamoEngine::chargeInsert(const InsertStats &insert)
 {
+    if (insert.flushed) {
+        ++stats.cacheFlushes;
+        stats.cacheManagementCycles += cfg.costs.flushCost;
+    }
+    stats.fragmentsEvicted += insert.evicted;
+    stats.cacheManagementCycles +=
+        static_cast<double>(insert.evicted) * cfg.costs.evictionCost;
+}
+
+const StitchedFragment *
+CfgDynamoEngine::enter(BlockId head)
+{
+    if (exitPending) {
+        // The dispatch decision of the preceding fragment exit: the
+        // exit stub either branches straight to the target fragment
+        // (linked) or returns control to the runtime. A fragment
+        // looping back to its own top costs nothing once linked.
+        exitPending = false;
+        switch (cache.recordExit(exitFrom, head)) {
+          case ExitKind::Linked:
+            ++stats.linkedExits;
+            if (head != exitFrom)
+                stats.dispatchCycles += cfg.costs.linkedDispatchCost;
+            break;
+          case ExitKind::PatchedNow:
+            // The round trip that patched the stub; linked from now.
+            ++stats.unlinkedExits;
+            stats.dispatchCycles += cfg.costs.unlinkedDispatchCost;
+            break;
+          case ExitKind::Unlinked:
+            // Runtime round trip; the stub counts the arrival so hot
+            // exits spawn secondary traces (possibly arming a
+            // collection that starts right here).
+            ++stats.unlinkedExits;
+            stats.dispatchCycles += cfg.costs.unlinkedDispatchCost;
+            builder->noteArrival(head);
+            syncProfilingCost();
+            break;
+        }
+    }
+
+    // The interpreter stays in charge while the builder is
+    // mid-collection: the tail must be observed, not executed from
+    // the cache.
+    if (builder->collecting())
+        return nullptr;
+
+    CodeFragment *fragment = cache.find(head);
+    if (fragment == nullptr)
+        return nullptr;
+    activeRatio = fragment->ratio;
+    return &fragment->stitched;
+}
+
+void
+CfgDynamoEngine::onFragmentBlock(const ExecutionRecord &record,
+                                 const StitchedFragment &fragment,
+                                 std::size_t position)
+{
+    (void)fragment;
+    (void)position;
+    const BasicBlock &block = *record.block;
     ++stats.blocksSeen;
     stats.instructionsSeen += block.instrCount;
     stats.nativeCycles += block.instrCount * cfg.costs.nativePerInstr;
 
-    if (following != nullptr) {
-        if (block.id == following->blocks[followPosition]) {
-            // The live flow still matches the fragment: optimized
-            // execution (fewer instructions at native speed).
-            ++stats.fragmentBlocks;
-            stats.fragmentCycles += block.instrCount *
-                                    following->ratio *
-                                    cfg.costs.nativePerInstr;
-            ++followPosition;
-            if (followPosition == following->blocks.size()) {
-                // The fragment's end transfers to whatever comes
-                // next; the dispatch is charged once we know whether
-                // the target is cached (linked) or not (exit stub).
-                ++stats.fragmentCompletions;
-                following = nullptr;
-                exitPending = true;
-            }
-            return;
-        }
-        // Guard exit: control diverged from the recorded tail. Exit
-        // stubs count the arrival so hot exits spawn secondary
-        // traces, and once the exit target has its own fragment the
-        // stub is patched to jump there directly (fragment linking).
+    // Optimized execution: fewer instructions at native speed.
+    ++stats.fragmentBlocks;
+    stats.fragmentCycles +=
+        block.instrCount * activeRatio * cfg.costs.nativePerInstr;
+}
+
+void
+CfgDynamoEngine::onFragmentExit(const StitchedFragment &fragment,
+                                std::size_t exit_position,
+                                BlockId target, bool completed)
+{
+    (void)exit_position;
+    if (completed)
+        ++stats.fragmentCompletions;
+    else
         ++stats.guardExits;
-        following = nullptr;
-        exitPending = true;
-        // Fall through: this block is handled below.
-    }
+    if (target == kInvalidBlock)
+        return; // program exited inside the fragment
+    exitPending = true;
+    exitFrom = fragment.head;
+}
 
-    // Enter a fragment if one starts here (never while the builder
-    // is mid-collection: the interpreter stays in charge then).
-    if (!builder->collecting()) {
-        const auto it = fragments.find(block.id);
-        if (it != fragments.end()) {
-            if (exitPending) {
-                // Fragment-to-fragment transfer. Re-entering the
-                // fragment just completed is free: its closing
-                // branch jumps straight back to its own top.
-                if (block.id != lastHead) {
-                    stats.dispatchCycles +=
-                        cfg.costs.linkedDispatchCost;
-                }
-                exitPending = false;
-            }
-            lastHead = block.id;
-            following = &it->second;
-            HOTPATH_ASSERT(following->blocks[0] == block.id);
-            ++stats.fragmentBlocks;
-            stats.fragmentCycles += block.instrCount *
-                                    following->ratio *
-                                    cfg.costs.nativePerInstr;
-            followPosition = 1;
-            if (followPosition == following->blocks.size()) {
-                ++stats.fragmentCompletions;
-                following = nullptr;
-                exitPending = true;
-            }
-            return;
-        }
-    }
+void
+CfgDynamoEngine::onInterpretedBlock(const ExecutionRecord &record)
+{
+    const BasicBlock &block = *record.block;
+    ++stats.blocksSeen;
+    stats.instructionsSeen += block.instrCount;
+    stats.nativeCycles += block.instrCount * cfg.costs.nativePerInstr;
 
-    // Cache exit landing on uncached code: the full runtime round
-    // trip, and the stub counts it as a head arrival (possibly
-    // arming a collection that starts right here).
-    if (exitPending) {
-        exitPending = false;
-        stats.dispatchCycles += cfg.costs.unlinkedDispatchCost;
-        builder->noteArrival(block.id);
-        syncProfilingCost();
-    }
-
-    // Interpretation; the profiler sees the block.
+    // Interpretation; the profiler sees the block and its transfer.
     ++stats.interpretedBlocks;
     stats.interpretCycles +=
         block.instrCount * cfg.costs.interpretPerInstr;
     builder->onBlock(block);
-    syncProfilingCost();
-}
-
-void
-CfgDynamoEngine::onTransfer(const TransferEvent &event)
-{
-    if (following != nullptr)
-        return; // cached execution is invisible to the profiler
-
-    builder->onTransfer(event);
+    if (record.hasTransfer)
+        builder->onTransfer(record.transfer);
     syncProfilingCost();
 }
 
@@ -171,6 +206,10 @@ CfgDynamoEngine::report() const
         stats.fragmentsFormed == 0
             ? 1.0
             : ratioSum / static_cast<double>(stats.fragmentsFormed);
+    out.linksMade = cache.linksMade();
+    out.linksBroken = cache.linksBroken();
+    out.residentFragments = cache.size();
+    out.residentBytes = cache.residentBytes();
     return out;
 }
 

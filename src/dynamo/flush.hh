@@ -41,6 +41,7 @@ struct FlushHeuristicConfig
 class PredictionRateMonitor
 {
   public:
+    /** Build a monitor; asserts on degenerate configuration. */
     explicit PredictionRateMonitor(FlushHeuristicConfig config = {});
 
     /** Record one path event; returns true if a spike fired. */
@@ -55,7 +56,10 @@ class PredictionRateMonitor
      */
     void settle();
 
+    /** Moving average of predictions per window. */
     double movingAverage() const { return average; }
+
+    /** Completed windows observed. */
     std::uint64_t windowsSeen() const { return windows; }
 
   private:

@@ -35,9 +35,13 @@ class Histogram;
 /** One cached fragment. */
 struct Fragment
 {
+    /** The hot path this fragment was compiled from. */
     PathIndex path = kInvalidPath;
+    /** Fragment body size in instructions. */
     std::uint32_t instructions = 0;
+    /** Times the fragment has been dispatched. */
     std::uint64_t executions = 0;
+    /** LRU touch stamp of the most recent dispatch. */
     std::uint64_t lastUse = 0;
 };
 
@@ -48,7 +52,9 @@ class FragmentCache
     /** Capacity management strategy. */
     enum class EvictionPolicy
     {
+        /** Exceeding capacity empties the whole cache (Dynamo). */
         FlushAll,
+        /** Evict least-recently-executed fragments one at a time. */
         EvictLru,
     };
 
@@ -73,9 +79,16 @@ class FragmentCache
     /** Drop every fragment (phase-change or capacity flush). */
     void flushAll();
 
+    /** Fragments currently resident. */
     std::size_t size() const { return fragments.size(); }
+
+    /** Total instructions across resident fragments. */
     std::uint64_t occupancyInstructions() const { return occupancy; }
+
+    /** Configured capacity in instructions; 0 = unlimited. */
     std::uint64_t capacityInstructions() const { return capacity; }
+
+    /** Capacity management strategy in effect. */
     EvictionPolicy policy() const { return evictionPolicy; }
 
     /** Fragments formed over the lifetime (across flushes). */

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "predict/kpath_predictor.hh"
 #include "predict/net_predictor.hh"
 #include "predict/path_profile_predictor.hh"
 #include "support/logging.hh"
@@ -11,9 +12,7 @@ namespace hotpath
 {
 
 DynamoSystem::DynamoSystem(DynamoConfig config)
-    : cfg(config),
-      fragments(config.cacheCapacityInstr, config.cachePolicy),
-      monitor(config.flush)
+    : cfg(config), fragments(config.cache), monitor(config.flush)
 {
     switch (cfg.scheme) {
       case PredictionScheme::Net:
@@ -22,6 +21,10 @@ DynamoSystem::DynamoSystem(DynamoConfig config)
       case PredictionScheme::PathProfile:
         scheme = std::make_unique<PathProfilePredictor>(
             cfg.predictionDelay);
+        break;
+      case PredictionScheme::KIterationPath:
+        scheme = std::make_unique<KPathPredictor>(cfg.predictionDelay,
+                                                  cfg.kIterations);
         break;
     }
     stats.scheme = scheme->name();
@@ -44,23 +47,42 @@ DynamoSystem::DynamoSystem(DynamoConfig config)
 }
 
 void
-DynamoSystem::runCached(const PathEvent &event, Fragment &fragment)
+DynamoSystem::runCached(const PathEvent &event)
 {
     ++stats.cachedEvents;
     if (tmCached)
         tmCached->add(1);
-    ++fragment.executions;
     const DynamoCostConfig &costs = cfg.costs;
     stats.cachedCycles += event.instructions * costs.cachedPerInstr;
 
     if (cfg.scheme == PredictionScheme::Net) {
-        // NET fragments link directly to each other.
-        stats.dispatchCycles += costs.linkedDispatchCost;
+        // NET indexes fragments by head: consecutive cached paths
+        // link through exit stubs, and only the stub's first round
+        // trip (or an entry from the interpreter) pays the runtime.
+        if (lastCachedPath != kInvalidPath) {
+            switch (fragments.recordExit(lastCachedPath, event.path)) {
+              case ExitKind::Linked:
+                ++stats.linkedDispatches;
+                stats.dispatchCycles += costs.linkedDispatchCost;
+                break;
+              case ExitKind::PatchedNow:
+              case ExitKind::Unlinked:
+                ++stats.unlinkedDispatches;
+                stats.dispatchCycles += costs.unlinkedDispatchCost;
+                break;
+            }
+        } else {
+            // Entering the cache from interpreted flow: the runtime
+            // looked the fragment up.
+            ++stats.unlinkedDispatches;
+            stats.dispatchCycles += costs.unlinkedDispatchCost;
+        }
     } else {
-        // Path profile based prediction indexes the cache by path
+        // Path-profile-family prediction indexes the cache by path
         // signature, so every cached path execution keeps shifting
         // branch outcomes and returns to the runtime to find the next
         // fragment: fragments cannot be linked.
+        ++stats.unlinkedDispatches;
         stats.dispatchCycles += costs.unlinkedDispatchCost;
         stats.profilingCycles +=
             event.branches * costs.shiftOpCost + costs.tableOpCost;
@@ -89,18 +111,15 @@ DynamoSystem::runInterpreted(const PathEvent &event)
     if (predict) {
         stats.formationCycles +=
             event.instructions * costs.formationPerInstr;
-        const std::uint64_t evictions_before = fragments.evictions();
-        const bool capacity_flushed =
+        const InsertStats insert =
             fragments.insert(event.path, event.instructions);
-        if (capacity_flushed) {
+        if (insert.flushed) {
             stats.flushCycles += costs.flushCost;
             scheme->reset();
         }
-        // LRU evictions pay the link-repair cost per victim.
+        // Piecemeal evictions pay the link-repair cost per victim.
         stats.flushCycles +=
-            static_cast<double>(fragments.evictions() -
-                                evictions_before) *
-            costs.evictionCost;
+            static_cast<double>(insert.evicted) * costs.evictionCost;
         ++stats.fragmentsFormed;
     }
     return predict;
@@ -128,11 +147,16 @@ DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
     }
 
     bool predicted = false;
-    if (Fragment *fragment = fragments.find(event.path)) {
-        runCached(event, *fragment);
+    const bool cached = fragments.find(event.path) != nullptr;
+    if (cached) {
+        runCached(event);
     } else {
         predicted = runInterpreted(event);
     }
+    // The linking chain survives only across consecutive cached
+    // executions; interpreted flow re-enters the cache through the
+    // runtime.
+    lastCachedPath = cached ? event.path : kInvalidPath;
 
     // Bail-out checkpoint: if the interpreter still carries a large
     // share of the flow this far in, the program has too many paths
@@ -169,6 +193,7 @@ DynamoSystem::onPathEvent(const PathEvent &event, std::uint64_t time)
             fragments.flushAll();
             scheme->reset();
             monitor.settle();
+            lastCachedPath = kInvalidPath;
             stats.flushCycles += cfg.costs.flushCost;
         }
     }
@@ -181,6 +206,8 @@ DynamoSystem::report() const
     out.fragmentsFormed = fragments.fragmentsFormed();
     out.cacheFlushes = fragments.flushes();
     out.cacheEvictions = fragments.evictions();
+    out.linksMade = fragments.linksMade();
+    out.linksBroken = fragments.linksBroken();
 
     // Publish the cycle breakdown. Gauges hold the latest report()ed
     // values, rounded to whole cycles.

@@ -3,16 +3,22 @@
  * The Dynamo dynamic-optimization system model (paper Section 6).
  *
  * Dynamo observes the program through emulation, predicts hot paths
- * with a pluggable scheme, optimizes predicted paths into a fragment
- * cache, and thereafter executes them from the cache. The model
- * routes every path execution through exactly one of:
+ * with a pluggable scheme, optimizes predicted paths into a managed
+ * code cache (dynamo/code_cache.hh), and thereafter executes them
+ * from the cache. The model routes every path execution through
+ * exactly one of:
  *
- *  - fragment cache hit: optimized execution plus dispatch (linked
- *    for NET, runtime round trip plus signature shifts for path
- *    profile based prediction - see cost_config.hh);
+ *  - code cache hit: optimized execution plus dispatch. NET indexes
+ *    fragments by head, so consecutive cached paths link through exit
+ *    stubs (CodeCache::recordExit decides linked vs runtime round
+ *    trip); path-profile-family schemes index the cache by path
+ *    signature, so every cached execution keeps shifting branch
+ *    outcomes and returns to the runtime to find the next fragment -
+ *    fragments cannot be linked (see cost_config.hh).
  *  - interpretation: emulated execution plus the scheme's profiling
  *    work, feeding the predictor; a prediction additionally pays
- *    trace formation and inserts the fragment.
+ *    trace formation and inserts the fragment, which may flush or
+ *    evict under the configured CachePolicy.
  *
  * A bail-out heuristic abandons optimization (falling back to native
  * execution) when fragments keep forming without reuse, which is how
@@ -26,9 +32,9 @@
 #include <memory>
 #include <string>
 
+#include "dynamo/code_cache.hh"
 #include "dynamo/cost_config.hh"
 #include "dynamo/flush.hh"
-#include "dynamo/fragment_cache.hh"
 #include "predict/predictor.hh"
 
 namespace hotpath
@@ -43,30 +49,36 @@ class Gauge;
 /** Which prediction scheme drives the system. */
 enum class PredictionScheme
 {
+    /** Next-executing-tail prediction (predict/net_predictor.hh). */
     Net,
+    /** Exhaustive Ball-Larus path profiling (predict/path_profile). */
     PathProfile,
+    /** k-iteration Ball-Larus path profiling (predict/kpath). */
+    KIterationPath,
 };
 
 /** System-level configuration. */
 struct DynamoConfig
 {
+    /** Which prediction scheme drives the system. */
     PredictionScheme scheme = PredictionScheme::Net;
 
     /** Prediction delay handed to the predictor. */
     std::uint64_t predictionDelay = 50;
 
+    /** Iterations per profiled entity (KIterationPath only). */
+    std::uint32_t kIterations = 2;
+
     /** Cycle cost calibration. */
     DynamoCostConfig costs;
 
-    /** Fragment cache capacity in instructions (0 = unlimited). */
-    std::uint64_t cacheCapacityInstr = 0;
-
-    /** Capacity management policy (Dynamo used wholesale flushes). */
-    FragmentCache::EvictionPolicy cachePolicy =
-        FragmentCache::EvictionPolicy::FlushAll;
+    /** Code-cache geometry and capacity policy (Dynamo used
+     *  wholesale flushes: CachePolicy::FlushAll). */
+    CodeCacheConfig cache;
 
     /** Enable the phase-change flush heuristic. */
     bool enableFlush = true;
+    /** Spike-detector tunables for the phase-change flush. */
     FlushHeuristicConfig flush;
 
     /**
@@ -77,33 +89,61 @@ struct DynamoConfig
      * reuse - go, gcc) and hands control back to the native binary.
      */
     std::uint64_t bailCheckEvents = 0;
+    /** Interpreted-event fraction above which the checkpoint bails. */
     double bailMaxInterpretedFraction = 0.15;
 };
 
 /** Cycle and event accounting of one Dynamo run. */
 struct DynamoReport
 {
+    /** Prediction scheme name (predictor's self-description). */
     std::string scheme;
+    /** Prediction delay the scheme ran with. */
     std::uint64_t predictionDelay = 0;
 
+    /** Path events consumed. */
     std::uint64_t events = 0;
+    /** Instructions across all consumed events. */
     std::uint64_t instructions = 0;
 
+    /** Events executed in the interpreter (profiled). */
     std::uint64_t interpretedEvents = 0;
+    /** Events executed from the code cache. */
     std::uint64_t cachedEvents = 0;
-    std::uint64_t nativeEvents = 0; // after a bail-out
+    /** Events executed natively after a bail-out. */
+    std::uint64_t nativeEvents = 0;
+    /** Fragments formed over the run (across flushes). */
     std::uint64_t fragmentsFormed = 0;
+    /** Wholesale cache flushes (capacity and phase-change). */
     std::uint64_t cacheFlushes = 0;
+    /** Piecemeal fragment evictions under the cache policy. */
     std::uint64_t cacheEvictions = 0;
+    /** Cached dispatches through a linked exit stub (NET only). */
+    std::uint64_t linkedDispatches = 0;
+    /** Cached dispatches paying the runtime round trip. */
+    std::uint64_t unlinkedDispatches = 0;
+    /** Exit stubs patched branch-to-fragment over the run. */
+    std::uint64_t linksMade = 0;
+    /** Linked stubs reverted by evictions and flushes. */
+    std::uint64_t linksBroken = 0;
+    /** The bail-out checkpoint abandoned optimization. */
     bool bailedOut = false;
 
+    /** Cycles the program would take running purely natively. */
     double nativeCycles = 0;
+    /** Cycles spent emulating events in the interpreter. */
     double interpretCycles = 0;
+    /** Cycles spent on the scheme's profiling instrumentation. */
     double profilingCycles = 0;
+    /** Cycles spent forming fragments from predicted paths. */
     double formationCycles = 0;
+    /** Cycles spent executing optimized fragment bodies. */
     double cachedCycles = 0;
+    /** Cycles spent dispatching into the cache (linked or not). */
     double dispatchCycles = 0;
+    /** Cycles spent flushing, evicting and repairing links. */
     double flushCycles = 0;
+    /** Cycles spent running natively after a bail-out. */
     double postBailCycles = 0;
 
     /** Total cycles Dynamo spent. */
@@ -129,26 +169,34 @@ struct DynamoReport
 class DynamoSystem : public PathEventSink
 {
   public:
+    /** Build the system: instantiate the scheme and the cache. */
     explicit DynamoSystem(DynamoConfig config);
 
+    /** Route one path execution through cache/interpreter/native. */
     void onPathEvent(const PathEvent &event, std::uint64_t time) override;
 
     /** Accounting so far. */
     DynamoReport report() const;
 
-    const FragmentCache &cache() const { return fragments; }
+    /** The managed code cache (inspection). */
+    const CodeCache &cache() const { return fragments; }
+
+    /** The prediction scheme driving the system. */
     HotPathPredictor &predictor() { return *scheme; }
 
   private:
-    void runCached(const PathEvent &event, Fragment &fragment);
+    void runCached(const PathEvent &event);
     /** Returns true if this execution triggered a prediction. */
     bool runInterpreted(const PathEvent &event);
 
     DynamoConfig cfg;
     std::unique_ptr<HotPathPredictor> scheme;
-    FragmentCache fragments;
+    CodeCache fragments;
     PredictionRateMonitor monitor;
     DynamoReport stats;
+    /** Path of the previous event iff it ran from the cache (the
+     *  exit whose stub dispatches the current cached event). */
+    PathIndex lastCachedPath = kInvalidPath;
 
     // Telemetry handles; nullptr when telemetry is not attached.
     // Event counters accumulate across all systems in the process;

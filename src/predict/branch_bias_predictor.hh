@@ -42,9 +42,12 @@ struct BranchBiasConfig
 class BranchBiasTraceBuilder : public ExecutionListener
 {
   public:
+    /** Build against `program` and `sink`; both must outlive the
+     *  builder. */
     BranchBiasTraceBuilder(const Program &program, NetTraceSink &sink,
                            BranchBiasConfig config = {});
 
+    /** Profile every branch edge and count backward-branch heads. */
     void onTransfer(const TransferEvent &event) override;
 
     /** Heads with live counters plus edge counters: counter space. */
@@ -54,6 +57,7 @@ class BranchBiasTraceBuilder : public ExecutionListener
         return headCounters.size() + edges.countersAllocated();
     }
 
+    /** Profiling operations paid so far (per-branch updates). */
     const ProfilingCost &cost() const { return opCost; }
 
     /** Traces constructed so far. */

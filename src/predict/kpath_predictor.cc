@@ -1,0 +1,83 @@
+#include "predict/kpath_predictor.hh"
+
+#include "support/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace hotpath
+{
+
+KPathPredictor::KPathPredictor(std::uint64_t delay, std::uint32_t k)
+    : predictionDelay(delay), windowLength(k)
+{
+    HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+    HOTPATH_ASSERT(k >= 1, "k-path window must hold >= 1 iteration");
+    tmObservations = telemetry::counter("predict.kpath.observations");
+    tmPredictions = telemetry::counter("predict.kpath.predictions");
+}
+
+std::string
+KPathPredictor::name() const
+{
+    return "kpath" + std::to_string(windowLength);
+}
+
+std::uint64_t
+KPathPredictor::windowKey(const HeadWindow &window) const
+{
+    // splitmix64-style mixing over the window contents; the key only
+    // has to be deterministic and well spread, and never zero (the
+    // counter table reserves key 0).
+    std::uint64_t hash = 0x9e3779b97f4a7c15ull + window.paths.size();
+    for (const PathIndex path : window.paths) {
+        std::uint64_t x = hash ^ (static_cast<std::uint64_t>(path) +
+                                  0xbf58476d1ce4e5b9ull);
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        hash = x;
+    }
+    return hash == 0 ? 1 : hash;
+}
+
+bool
+KPathPredictor::observe(const PathEvent &event)
+{
+    // Bit tracing across iterations: one shift per branch while the
+    // path executes, one k-path table update when it completes.
+    opCost.historyShifts += event.branches;
+    opCost.tableUpdates += 1;
+    if (tmObservations)
+        tmObservations->add(1);
+
+    HeadWindow &window = windows[event.head];
+    window.paths.push_back(event.path);
+    if (window.paths.size() > windowLength)
+        window.paths.erase(window.paths.begin());
+
+    const std::uint64_t count = counters.increment(windowKey(window));
+    if (count < predictionDelay)
+        return false;
+    if (tmPredictions)
+        tmPredictions->add(1);
+    telemetry::emit(telemetry::TraceEventKind::Prediction,
+                    "predict.kpath",
+                    {{"head", event.head},
+                     {"path", event.path},
+                     {"k", windowLength}});
+    return true;
+}
+
+std::size_t
+KPathPredictor::countersAllocated() const
+{
+    return counters.size();
+}
+
+void
+KPathPredictor::reset()
+{
+    windows.clear();
+    counters = CounterTable();
+    opCost = ProfilingCost();
+}
+
+} // namespace hotpath

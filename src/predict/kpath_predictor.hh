@@ -1,0 +1,97 @@
+/**
+ * @file
+ * k-iteration path profile based prediction.
+ *
+ * The multi-iteration refinement of path profiling (D'Elia and
+ * Demetrescu's k-iteration Ball-Larus scheme): instead of counting
+ * single acyclic paths, the profiler tracks the concatenation of the
+ * last k paths executed under the same head - paths that span k
+ * consecutive loop iterations. A path is predicted hot only when its
+ * current k-iteration context reaches the prediction delay, so the
+ * scheme demands *stable cyclic behaviour*, not just a hot single
+ * iteration.
+ *
+ * Cost shape: bit tracing still pays one history shift per branch,
+ * and every completed path pays one table update - but the table is
+ * keyed by k-path, whose key space multiplies with every extra
+ * iteration tracked. The predictor therefore sits at the expensive
+ * end of the MOC spectrum: strictly more context than single-path
+ * profiling, strictly more counter space, and (the paper's "less is
+ * more" punchline) only marginal prediction-quality differences for
+ * hot-path selection. k = 1 degenerates to plain path profiling.
+ */
+
+#ifndef HOTPATH_PREDICT_KPATH_PREDICTOR_HH
+#define HOTPATH_PREDICT_KPATH_PREDICTOR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "predict/predictor.hh"
+#include "profile/counter_table.hh"
+
+namespace hotpath
+{
+
+namespace telemetry
+{
+class Counter;
+} // namespace telemetry
+
+/** Predicts a path when its k-iteration context reaches the delay. */
+class KPathPredictor : public HotPathPredictor
+{
+  public:
+    /**
+     * `delay` = profiled executions of one k-path before prediction;
+     * `k` = consecutive same-head iterations concatenated into one
+     * profiled entity (>= 1; 1 = plain path profiling).
+     */
+    KPathPredictor(std::uint64_t delay, std::uint32_t k);
+
+    /** Slide the head's window and count the resulting k-path;
+     *  predicts the current path when its context reaches the delay. */
+    bool observe(const PathEvent &event) override;
+
+    /** Live k-path counters: the counter space. */
+    std::size_t countersAllocated() const override;
+
+    /** Profiling operations paid so far. */
+    const ProfilingCost &cost() const override { return opCost; }
+
+    /** Drop all counters and head windows (phase flush). */
+    void reset() override;
+
+    /** Scheme name for reports ("kpath<k>"). */
+    std::string name() const override;
+
+    /** The configured prediction delay. */
+    std::uint64_t delay() const { return predictionDelay; }
+
+    /** Iterations concatenated into one profiled entity (k). */
+    std::uint32_t iterations() const { return windowLength; }
+
+  private:
+    /** Sliding window of the most recent paths under one head. */
+    struct HeadWindow
+    {
+        std::vector<PathIndex> paths; // newest last
+    };
+
+    /** Mix the window contents into a nonzero 64-bit table key. */
+    std::uint64_t windowKey(const HeadWindow &window) const;
+
+    std::uint64_t predictionDelay;
+    std::uint32_t windowLength;
+    std::unordered_map<HeadIndex, HeadWindow> windows;
+    CounterTable counters;
+    ProfilingCost opCost;
+
+    // Telemetry handles; nullptr when telemetry is not attached.
+    telemetry::Counter *tmObservations = nullptr;
+    telemetry::Counter *tmPredictions = nullptr;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PREDICT_KPATH_PREDICTOR_HH

@@ -47,17 +47,27 @@ class NetPredictor : public HotPathPredictor
      */
     explicit NetPredictor(std::uint64_t delay, bool re_arm = true);
 
+    /** Count a head execution; predicts the current tail when the
+     *  head's counter reaches the delay. */
     bool observe(const PathEvent &event) override;
+
+    /** Live head counters: the counter space. */
     std::size_t countersAllocated() const override;
+
+    /** Profiling operations paid so far. */
     const ProfilingCost &cost() const override { return opCost; }
+
+    /** Drop all counters and retirements (phase flush). */
     void reset() override;
 
+    /** Scheme name for reports. */
     std::string
     name() const override
     {
         return reArm ? "net" : "net-single-tail";
     }
 
+    /** The configured prediction delay. */
     std::uint64_t delay() const { return predictionDelay; }
 
     // Migration support (Session::exportState / importState) -------
@@ -118,14 +128,30 @@ class NetPredictor : public HotPathPredictor
 class MretPredictor : public HotPathPredictor
 {
   public:
+    /**
+     * @param delay Head executions profiled before each prediction.
+     * @param re_arm Restart the head counter after a prediction so
+     *        more tails can be captured from the same head.
+     */
     explicit MretPredictor(std::uint64_t delay, bool re_arm = true);
 
+    /** Count a head execution; predicts the tail remembered from the
+     *  previous arrival when the head goes hot. */
     bool observe(const PathEvent &event) override;
+
+    /** Live head counters: the counter space. */
     std::size_t countersAllocated() const override;
+
+    /** Profiling operations paid so far. */
     const ProfilingCost &cost() const override { return opCost; }
+
+    /** Drop all counters and remembered tails (phase flush). */
     void reset() override;
+
+    /** Scheme name for reports. */
     std::string name() const override { return "mret"; }
 
+    /** The configured prediction delay. */
     std::uint64_t delay() const { return predictionDelay; }
 
   private:

@@ -33,11 +33,17 @@ namespace hotpath
 /** A collected NET trace (a speculative hot path). */
 struct NetTrace
 {
+    /** Block that went hot and started the collection. */
     BlockId head = kInvalidBlock;
+    /** The collected tail, head first, in execution order. */
     std::vector<BlockId> blocks;
+    /** Branch-outcome signature of the collected tail. */
     PathSignature signature;
+    /** Conditional branches taken while collecting. */
     std::uint32_t branches = 0;
+    /** Instructions across the collected blocks. */
     std::uint32_t instructions = 0;
+    /** Why collection stopped. */
     PathEndReason endReason = PathEndReason::BackwardBranch;
 };
 
@@ -45,7 +51,10 @@ struct NetTrace
 class NetTraceSink
 {
   public:
+    /** Sinks are owned elsewhere; destruction is uneventful. */
     virtual ~NetTraceSink() = default;
+
+    /** Called once per completed trace, at collection end. */
     virtual void onTrace(const NetTrace &trace) = 0;
 };
 
@@ -75,10 +84,15 @@ struct NetTraceBuilderConfig
 class NetTraceBuilder : public ExecutionListener
 {
   public:
+    /** Build against `sink`; the sink must outlive the builder. */
     NetTraceBuilder(NetTraceSink &sink,
                     NetTraceBuilderConfig config = {});
 
+    /** Record one executed block into an active collection. */
     void onBlock(const BasicBlock &block) override;
+
+    /** Watch transfers for backward taken branches (head counting)
+     *  and for trace-ending conditions. */
     void onTransfer(const TransferEvent &event) override;
 
     /**
@@ -96,7 +110,10 @@ class NetTraceBuilder : public ExecutionListener
     /** Heads with live counters: the counter space. */
     std::size_t countersAllocated() const { return counters.size(); }
 
+    /** Profiling operations paid so far (counter increments). */
     const ProfilingCost &cost() const { return opCost; }
+
+    /** Incremental-instrumentation (breakpoint) accounting. */
     const CollectionCost &collectionCost() const { return collectCost; }
 
   private:

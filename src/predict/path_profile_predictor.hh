@@ -31,12 +31,23 @@ class PathProfilePredictor : public HotPathPredictor
     /** `delay` = number of profiled executions before prediction. */
     explicit PathProfilePredictor(std::uint64_t delay);
 
+    /** Count one path execution; predicts the path when its own
+     *  count reaches the delay. */
     bool observe(const PathEvent &event) override;
+
+    /** Live path counters: the counter space. */
     std::size_t countersAllocated() const override;
+
+    /** Profiling operations paid so far. */
     const ProfilingCost &cost() const override { return opCost; }
+
+    /** Drop all counters (phase flush). */
     void reset() override;
+
+    /** Scheme name for reports. */
     std::string name() const override { return "path-profile"; }
 
+    /** The configured prediction delay. */
     std::uint64_t delay() const { return predictionDelay; }
 
   private:

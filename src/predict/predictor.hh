@@ -29,6 +29,7 @@ namespace hotpath
 class HotPathPredictor
 {
   public:
+    /** Predictors are owned by their system; destruction is plain. */
     virtual ~HotPathPredictor() = default;
 
     /**

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The fragment dispatch hook: how a code cache takes over execution.
+ *
+ * A Dynamo-style runtime does not merely *observe* the program - it
+ * owns dispatch. Between basic blocks the runtime decides whether the
+ * next block executes in the interpreter or from a stitched fragment
+ * in the code cache, and fragments transfer control to each other
+ * directly once their exit stubs are linked.
+ *
+ * The Machine models that ownership with a single optional
+ * DispatchHook. Before every block it consults the hook; the hook may
+ * hand back a StitchedFragment whose blocks the Machine then executes
+ * *from the fragment's own storage* until the live control flow
+ * diverges from the stitched tail (a guard exit) or the fragment
+ * completes. The hook sees every executed block synchronously, tagged
+ * with the regime that ran it, which is what lets an engine account
+ * interpreter cycles, fragment cycles and dispatch costs exactly.
+ *
+ * Observable-equivalence contract: installing a hook MUST NOT change
+ * the event stream. The Machine draws successors from the behavior
+ * model in the same order whether a block runs interpreted or from a
+ * fragment, and listeners receive byte-identical ExecutionRecords
+ * either way. tests/dynamo_cache_test.cc enforces this for every
+ * cache policy and under an armed fault plan.
+ */
+
+#ifndef HOTPATH_SIM_DISPATCH_HH
+#define HOTPATH_SIM_DISPATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/event.hh"
+
+namespace hotpath
+{
+
+/**
+ * A materialized trace: the linear block sequence of one predicted
+ * hot path, stitched into a standalone unit the Machine can dispatch
+ * through. The pointers refer to blocks owned by the Program (the
+ * stitched copy shares the originals' shape; only layout and
+ * optimization differ, which the cost model prices separately).
+ */
+struct StitchedFragment
+{
+    /** Entry block of the fragment (the trace head). */
+    BlockId head = kInvalidBlock;
+
+    /** The stitched block sequence, head first; never empty. */
+    std::vector<const BasicBlock *> blocks;
+};
+
+/**
+ * The runtime half of fragment dispatch. Install one per Machine with
+ * Machine::setDispatchHook; the Machine then routes every block
+ * through exactly one of onFragmentBlock / onInterpretedBlock.
+ *
+ * Lifetime contract: the StitchedFragment returned by enter() must
+ * stay valid until the matching onFragmentExit fires - the Machine
+ * reads the stitched blocks while following. An engine satisfies this
+ * by never evicting mid-follow, which holds by construction when
+ * insertion (and therefore eviction) only happens on interpreted
+ * flow.
+ */
+class DispatchHook
+{
+  public:
+    virtual ~DispatchHook() = default;
+
+    /**
+     * The Machine is about to execute `head` with no fragment active.
+     * Return a resident fragment whose first block is `head` to
+     * execute from the cache, or nullptr to interpret this block.
+     */
+    virtual const StitchedFragment *enter(BlockId head) = 0;
+
+    /**
+     * One block executed from `fragment` at stitched `position`. The
+     * record is fully populated (transfer included when present) and
+     * identical to what listeners will see.
+     */
+    virtual void
+    onFragmentBlock(const ExecutionRecord &record,
+                    const StitchedFragment &fragment,
+                    std::size_t position)
+    {
+        (void)record;
+        (void)fragment;
+        (void)position;
+    }
+
+    /**
+     * Control left `fragment` after the block at `exit_position`.
+     * `completed` distinguishes running off the fragment's end from a
+     * guard exit (the live successor diverged from the stitched
+     * tail). `target` is the block control transferred to, or
+     * kInvalidBlock when the program exited. enter(target) is
+     * consulted on the next iteration, so fragment-to-fragment
+     * transfers appear as onFragmentExit followed by enter.
+     */
+    virtual void
+    onFragmentExit(const StitchedFragment &fragment,
+                   std::size_t exit_position, BlockId target,
+                   bool completed)
+    {
+        (void)fragment;
+        (void)exit_position;
+        (void)target;
+        (void)completed;
+    }
+
+    /**
+     * One block executed in the interpreter (no fragment active, or
+     * enter() declined). Same record the listeners will see.
+     */
+    virtual void
+    onInterpretedBlock(const ExecutionRecord &record)
+    {
+        (void)record;
+    }
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_SIM_DISPATCH_HH

@@ -26,6 +26,14 @@ Machine::addListener(ExecutionListener *listener)
 }
 
 void
+Machine::setDispatchHook(DispatchHook *dispatch_hook)
+{
+    HOTPATH_ASSERT(following == nullptr,
+                   "cannot swap the dispatch hook mid-fragment");
+    hook = dispatch_hook;
+}
+
+void
 Machine::flushBatch()
 {
     if (batch.empty())
@@ -140,7 +148,21 @@ Machine::run(std::uint64_t max_blocks)
 
     std::uint64_t executed = 0;
     while (executed < max_blocks && !finished) {
-        const BasicBlock &block = prog.block(current);
+        // Fragment dispatch: with no fragment active, the hook picks
+        // the regime for the block at `current`. While following, the
+        // block is read from the fragment's own stitched storage.
+        if (hook != nullptr && following == nullptr) {
+            following = hook->enter(current);
+            followPosition = 0;
+            HOTPATH_ASSERT(following == nullptr ||
+                               (!following->blocks.empty() &&
+                                following->blocks[0]->id == current),
+                           "fragment does not start at the dispatch "
+                           "block");
+        }
+        const BasicBlock &block = following != nullptr
+            ? *following->blocks[followPosition]
+            : prog.block(current);
         ExecutionRecord &record = batch.emplace_back();
         record.block = &block;
         ++blockCount;
@@ -148,9 +170,24 @@ Machine::run(std::uint64_t max_blocks)
         instrCount += block.instrCount;
 
         const BlockId next = step(block, record);
+        record.hasTransfer = next != kInvalidBlock;
+        if (following != nullptr) {
+            hook->onFragmentBlock(record, *following, followPosition);
+            const bool completed =
+                followPosition + 1 == following->blocks.size();
+            if (completed || next == kInvalidBlock ||
+                following->blocks[followPosition + 1]->id != next) {
+                hook->onFragmentExit(*following, followPosition, next,
+                                     completed);
+                following = nullptr;
+            } else {
+                ++followPosition;
+            }
+        } else if (hook != nullptr) {
+            hook->onInterpretedBlock(record);
+        }
         if (next == kInvalidBlock)
             break;
-        record.hasTransfer = true;
         current = next;
         if (batch.size() >= kBatchBlocks)
             flushBatch();

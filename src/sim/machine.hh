@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/behavior.hh"
+#include "sim/dispatch.hh"
 #include "sim/event.hh"
 #include "support/random.hh"
 
@@ -51,6 +52,15 @@ class Machine
 
     /** Attach a listener; not owned. */
     void addListener(ExecutionListener *listener);
+
+    /**
+     * Install the fragment dispatch hook (not owned; nullptr
+     * uninstalls). At most one hook may be active: it owns the
+     * interpret-vs-fragment decision for every block. Listeners see
+     * a byte-identical event stream with or without a hook - see
+     * sim/dispatch.hh for the contract.
+     */
+    void setDispatchHook(DispatchHook *hook);
 
     /**
      * Execute until `max_blocks` more blocks have run (or the program
@@ -94,6 +104,11 @@ class Machine
     BlockId current;
     std::vector<BlockId> callStack;
     std::vector<ExecutionListener *> listeners;
+    DispatchHook *hook = nullptr;
+    // Fragment-follow cursor; persists across run() calls so a
+    // max_blocks boundary never splits a fragment's accounting.
+    const StitchedFragment *following = nullptr;
+    std::size_t followPosition = 0;
     std::vector<ExecutionRecord> batch;
     std::uint64_t blockCount = 0;
     std::uint64_t instrCount = 0;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dynamo/fragment_cache.hh"
 #include "dynamo/system.hh"
 
 using namespace hotpath;
@@ -94,8 +95,8 @@ TEST(CachePolicyTest, SystemChargesEvictionCost)
     config.scheme = PredictionScheme::Net;
     config.predictionDelay = 1;
     config.enableFlush = false;
-    config.cacheCapacityInstr = 100;
-    config.cachePolicy = FragmentCache::EvictionPolicy::EvictLru;
+    config.cache.capacityBytes = 100 * config.cache.bytesPerInstr;
+    config.cache.policy = CachePolicy::EvictLru;
     DynamoSystem system(config);
 
     std::uint64_t t = 0;
@@ -120,8 +121,9 @@ TEST(CachePolicyTest, LruSurvivesPhaseChangeWithoutDetector)
     config.scheme = PredictionScheme::Net;
     config.predictionDelay = 2;
     config.enableFlush = false;
-    config.cacheCapacityInstr = 5 * 40;
-    config.cachePolicy = FragmentCache::EvictionPolicy::EvictLru;
+    config.cache.capacityBytes = 5 * 40 * config.cache.bytesPerInstr;
+    config.cache.policy = CachePolicy::EvictLru;
+    config.cache.stubBytes = 0; // keep the five-fragment fit exact
     DynamoSystem system(config);
 
     std::uint64_t t = 0;
@@ -136,9 +138,6 @@ TEST(CachePolicyTest, LruSurvivesPhaseChangeWithoutDetector)
     EXPECT_GE(system.report().cacheEvictions, 5u);
     EXPECT_EQ(system.cache().size(), 5u);
     // All resident fragments belong to the second phase.
-    for (PathIndex p = 10; p < 15; ++p) {
-        EXPECT_NE(
-            const_cast<FragmentCache &>(system.cache()).find(p),
-            nullptr);
-    }
+    for (PathIndex p = 10; p < 15; ++p)
+        EXPECT_NE(system.cache().peek(p), nullptr);
 }

@@ -44,7 +44,7 @@ TEST(CfgEngineTest, AccountsEveryBlockExactlyOnce)
     config.hotThreshold = 20;
     CfgDynamoEngine engine(prog, config);
     Machine machine(prog, model, {.seed = 4});
-    machine.addListener(&engine);
+    engine.attach(machine);
     machine.run(50000);
 
     const CfgEngineReport report = engine.report();
@@ -67,7 +67,7 @@ TEST(CfgEngineTest, HotLoopMigratesIntoFragments)
     config.hotThreshold = 20;
     CfgDynamoEngine engine(prog, config);
     Machine machine(prog, model, {.seed = 4});
-    machine.addListener(&engine);
+    engine.attach(machine);
     machine.run(60000);
 
     const CfgEngineReport report = engine.report();
@@ -92,7 +92,7 @@ TEST(CfgEngineTest, DivergenceCausesGuardExitsAndSecondaryTraces)
     config.hotThreshold = 20;
     CfgDynamoEngine engine(prog, config);
     Machine machine(prog, model, {.seed = 5});
-    machine.addListener(&engine);
+    engine.attach(machine);
     machine.run(60000);
 
     const CfgEngineReport report = engine.report();
@@ -117,7 +117,7 @@ TEST(CfgEngineTest, OptimizationImprovesOnLayoutOnly)
         config.optimizeFragments = optimize;
         CfgDynamoEngine engine(prog, config);
         Machine machine(prog, model, {.seed = 6});
-        machine.addListener(&engine);
+        engine.attach(machine);
         machine.run(100000);
         return engine.report();
     };
@@ -145,7 +145,7 @@ TEST_P(CfgEnginePresetProperty, EngineIsSoundOnEveryShape)
     config.hotThreshold = 50;
     CfgDynamoEngine engine(synth.program(), config);
     Machine machine(synth.program(), synth.behavior(), {.seed = 77});
-    machine.addListener(&engine);
+    engine.attach(machine);
     machine.run(400000);
 
     const CfgEngineReport report = engine.report();

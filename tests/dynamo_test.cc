@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dynamo/fragment_cache.hh"
 #include "dynamo/system.hh"
 #include "workload/synthesis.hh"
 
@@ -142,8 +143,12 @@ TEST(DynamoSystemTest, CycleAccountingIdentity)
     const double expected_interpret =
         10.0 * 40 * costs.interpretPerInstr;
     const double expected_cached = 990.0 * 40 * costs.cachedPerInstr;
+    // The first cached execution enters from interpreted flow and
+    // the second pays the round trip that patches the self-link's
+    // exit stub; the remaining 988 branch fragment-to-fragment.
     const double expected_dispatch =
-        990.0 * costs.linkedDispatchCost;
+        2.0 * costs.unlinkedDispatchCost +
+        988.0 * costs.linkedDispatchCost;
     const double expected_formation =
         40.0 * costs.formationPerInstr;
     const double expected_profiling = 10.0 * costs.counterOpCost;
@@ -270,7 +275,8 @@ TEST(DynamoSystemTest, CapacityFlushAccounted)
     config.scheme = PredictionScheme::Net;
     config.predictionDelay = 1;
     config.enableFlush = false;
-    config.cacheCapacityInstr = 100; // two 40-instr fragments fit
+    // Two 40-instr fragments fit (capacity stated in arena bytes).
+    config.cache.capacityBytes = 100 * config.cache.bytesPerInstr;
     DynamoSystem system(config);
 
     std::uint64_t t = 0;

@@ -738,7 +738,7 @@ TEST(RunReportTest, Fig5StyleRunProducesParsableNonZeroReport)
         0);
 
     const JsonValue &hist = dynamo.at("histograms")
-                                .at("dynamo.fragment.instructions");
+                                .at("dynamo.cache.fragment.bytes");
     EXPECT_GT(hist.at("count").number, 0);
     EXPECT_GT(hist.at("buckets").items.size(), 0u);
     // Cycle gauges were published by report().
