@@ -371,6 +371,79 @@ def scaling(args):
     return 0
 
 
+def adaptive(args):
+    """Gate an ext_adaptive_tau report: the controller must land
+    within --best-slack permille of the best static rung AND at
+    least --worst-margin permille above the worst one, per workload;
+    with --baseline, every counter in the report must also match the
+    checked-in baseline exactly (the bench is integer-deterministic,
+    so any drift is a behavior change)."""
+    with open(args.report) as f:
+        current = json.load(f)
+
+    failures = []
+    by_workload = {}
+    for row in current.get("rows", []):
+        cell = by_workload.setdefault(row["workload"],
+                                      {"static": [], "adaptive": None})
+        if row["mode"] == "static":
+            cell["static"].append(row)
+        else:
+            cell["adaptive"] = row
+
+    if not by_workload:
+        failures.append("report has no rows")
+    for workload in sorted(by_workload):
+        cell = by_workload[workload]
+        if not cell["static"] or cell["adaptive"] is None:
+            failures.append(f"{workload}: missing static grid or "
+                            "adaptive row")
+            continue
+        covs = {r["tau"]: r["steady_coverage_permille"]
+                for r in cell["static"]}
+        best = max(covs.values())
+        worst = min(covs.values())
+        got = cell["adaptive"]["steady_coverage_permille"]
+        final_tau = cell["adaptive"].get("final_tau")
+        print(f"  {workload}: static {covs} adaptive {got} "
+              f"(final tau {final_tau})")
+        if got + args.best_slack < best:
+            failures.append(
+                f"{workload}: adaptive coverage {got} is more than "
+                f"{args.best_slack} permille below the best static "
+                f"rung ({best})")
+        if got < worst + args.worst_margin:
+            failures.append(
+                f"{workload}: adaptive coverage {got} is not at "
+                f"least {args.worst_margin} permille above the "
+                f"worst static rung ({worst})")
+
+    controller = current.get("controller", {})
+    if controller.get("epochs", 0) <= 0:
+        failures.append("controller ran no epochs")
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        if base != current:
+            for key in sorted(set(base) | set(current)):
+                if base.get(key) != current.get(key):
+                    failures.append(
+                        f"baseline mismatch in '{key}': expected "
+                        f"{base.get(key)!r}, got "
+                        f"{current.get(key)!r}")
+
+    if failures:
+        for line in failures:
+            print(f"  FAIL: {line}", file=sys.stderr)
+        return 1
+    print("OK: adaptive control tracked the per-workload best "
+          "static tau"
+          + (", counters match baseline exactly"
+             if args.baseline else ""))
+    return 0
+
+
 def netcheck(args):
     with open(args.report) as f:
         run = json.load(f)
@@ -522,6 +595,23 @@ def main():
                               "least this hardware_concurrency "
                               "(default 4)")
     p_scale.set_defaults(func=scaling)
+
+    p_adapt = sub.add_parser("adaptive",
+                             help="gate an ext_adaptive_tau report "
+                                  "against the static grid and the "
+                                  "checked-in baseline")
+    p_adapt.add_argument("report", help="ext_adaptive_tau --json "
+                                        "output")
+    p_adapt.add_argument("--baseline",
+                         help="checked-in baseline report; every "
+                              "counter must match exactly")
+    p_adapt.add_argument("--best-slack", type=int, default=20,
+                         help="allowed permille below the best "
+                              "static rung (default 20 = 2pp)")
+    p_adapt.add_argument("--worst-margin", type=int, default=50,
+                         help="required permille above the worst "
+                              "static rung (default 50 = 5pp)")
+    p_adapt.set_defaults(func=adaptive)
 
     p_net = sub.add_parser("netcheck",
                            help="assert a net_loadgen --json report "

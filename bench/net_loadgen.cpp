@@ -64,6 +64,17 @@
  *   --kill-after-frames=<m>  kill once the router routed m frames
  *   --reset-every=<r>   cluster mode: arm the victim's ConnReset
  *                       fault site to fire every rth opportunity
+ *   --adaptive          attach the adaptive controller to the
+ *                       in-process engine: a pump thread runs one
+ *                       control epoch every --epoch-ms, an ephemeral
+ *                       admin endpoint serves /stats with the
+ *                       control_* keys (Server::setStatsAugmenter;
+ *                       port printed at startup so engine_top can
+ *                       watch the run), and the summary reports
+ *                       epochs run, retunes committed and shed
+ *                       transitions
+ *   --epoch-ms=<ms>     control epoch period for --adaptive
+ *                       (default 100)
  *   --json=<path>       machine-readable summary (the net-smoke and
  *                       cluster-smoke CI jobs feed this to
  *                       compare_bench.py netcheck)
@@ -88,6 +99,7 @@
 
 #include "cluster/router.hh"
 #include "common.hh"
+#include "control/controller.hh"
 #include "engine/engine.hh"
 #include "engine/wire_format.hh"
 #include "net/client.hh"
@@ -361,15 +373,27 @@ main(int argc, char **argv)
         bench::flagU64(argc, argv, "kill-after-frames", 0);
     const std::uint64_t resetEvery =
         bench::flagU64(argc, argv, "reset-every", 0);
+    bool adaptive = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--adaptive")
+            adaptive = true;
+    const std::uint64_t epochMs =
+        bench::flagU64(argc, argv, "epoch-ms", 100);
     if (clusterN > 0 && !connect.empty()) {
         std::cerr << "net_loadgen: --cluster and --connect are "
                      "mutually exclusive\n";
+        return 1;
+    }
+    if (adaptive && (clusterN > 0 || !connect.empty())) {
+        std::cerr << "net_loadgen: --adaptive requires the "
+                     "in-process single-server stack\n";
         return 1;
     }
 
     // In-process stack unless --connect targets a live server.
     std::unique_ptr<engine::Engine> eng;
     std::unique_ptr<net::Server> server;
+    std::unique_ptr<control::Controller> controller;
     std::vector<std::unique_ptr<engine::Engine>> clusterEngines;
     std::vector<std::unique_ptr<net::Server>> clusterServers;
     std::unique_ptr<cluster::Router> router;
@@ -419,12 +443,33 @@ main(int argc, char **argv)
         net::ServerConfig serverCfg;
         serverCfg.reactorThreads = reactorThreads;
         serverCfg.spanSampleEvery = spanEvery;
+        if (adaptive)
+            serverCfg.adminPort = 0;
         server = std::make_unique<net::Server>(*eng, serverCfg);
+        if (adaptive) {
+            // Attach the adaptive controller and splice its state
+            // into the admin /stats document before the server
+            // starts answering. The admin endpoint opens on an
+            // ephemeral port so engine_top can watch the run live.
+            control::ControllerConfig ctlCfg;
+            ctlCfg.queueCapacityFrames =
+                engineCfg.queueCapacityFrames;
+            controller = std::make_unique<control::Controller>(
+                *eng, ctlCfg);
+            server->setStatsAugmenter(
+                [ctl = controller.get()](std::ostream &os) {
+                    ctl->appendStats(os);
+                });
+        }
         if (!server->start()) {
             std::cerr << "net_loadgen: server start failed\n";
             return 1;
         }
         cfg.port = server->port();
+        if (adaptive)
+            std::cout << "adaptive controller attached; admin "
+                         "endpoint on 127.0.0.1:"
+                      << server->adminPort() << std::endl;
     } else {
         const std::size_t colon = connect.find(':');
         if (colon == std::string::npos) {
@@ -473,6 +518,21 @@ main(int argc, char **argv)
         });
     }
 
+    // Adaptive pump: one control epoch every --epoch-ms while the
+    // load runs (live mode: the controller reads the engine's real
+    // queue depths for its pressure signal).
+    std::atomic<bool> pumpStop{false};
+    std::thread pump;
+    if (controller) {
+        pump = std::thread([&] {
+            while (!pumpStop.load()) {
+                controller->step();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(epochMs));
+            }
+        });
+    }
+
     const auto start = Clock::now();
     std::vector<ConnResult> results(cfg.connections);
     {
@@ -492,6 +552,10 @@ main(int argc, char **argv)
     if (killWatcher.joinable()) {
         watcherStop.store(true);
         killWatcher.join();
+    }
+    if (pump.joinable()) {
+        pumpStop.store(true);
+        pump.join();
     }
 
     // Probe the admin plane while the router is still serving - the
@@ -687,6 +751,17 @@ main(int argc, char **argv)
             std::to_string(netStats.responsesDropped));
         row("conservation", conservationOk ? "ok" : "VIOLATED");
     }
+    if (controller) {
+        const control::ControlStats ctlStats = controller->stats();
+        row("control epochs", std::to_string(ctlStats.epochs));
+        row("control retunes", std::to_string(ctlStats.decisions));
+        row("control shed engaged",
+            std::to_string(ctlStats.shedEngaged));
+        row("control shed released",
+            std::to_string(ctlStats.shedReleased));
+        row("control load hint (permille)",
+            std::to_string(controller->loadHintPermille()));
+    }
     if (clustered) {
         row("router frames routed",
             std::to_string(routerStats.framesRouted));
@@ -876,6 +951,21 @@ main(int argc, char **argv)
                 << ", \"shed\": " << engineStats.fault.shedFrames
                 << ", \"predictions\": " << engineStats.predictions
                 << "},\n";
+        }
+        if (controller) {
+            const control::ControlStats ctlStats =
+                controller->stats();
+            out << "  \"control\": {"
+                << "\"epochs\": " << ctlStats.epochs
+                << ", \"retunes\": " << ctlStats.decisions
+                << ", \"sessions_observed\": "
+                << ctlStats.sessionsObserved
+                << ", \"shed_engaged\": " << ctlStats.shedEngaged
+                << ", \"shed_released\": " << ctlStats.shedReleased
+                << ", \"shed_active\": "
+                << (ctlStats.shedActive ? "true" : "false")
+                << ", \"load_hint_permille\": "
+                << controller->loadHintPermille() << "},\n";
         }
         if (spansOn) {
             out << "  \"stage_spans\": {"

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "control/classifier.hh"
 #include "net/socket.hh"
 #include "support/table.hh"
 #include "telemetry/span.hh"
@@ -274,6 +275,67 @@ printRouterSnapshot(const std::string &doc, const std::string &prev,
               << jsonU64(doc, "cluster_responses_dropped") << "\n";
 }
 
+/** Adaptive-control section (present when a control::Controller is
+ *  attached via Server::setStatsAugmenter, detected by the
+ *  control_epoch key): epoch, retune/shed counters, queue pressure,
+ *  the τ ladder with per-rung session occupancy, class tallies, and
+ *  the most recent retune decision. */
+void
+printControlSnapshot(const std::string &doc)
+{
+    if (doc.find("\"control_epoch\":") == std::string::npos)
+        return;
+
+    const bool shedding = jsonU64(doc, "control_shed_active") != 0;
+    std::cout << "\ncontrol: epoch " << jsonU64(doc, "control_epoch")
+              << " | " << jsonU64(doc, "control_decisions")
+              << " retunes | "
+              << jsonU64(doc, "control_sessions_observed")
+              << " sessions observed | shed "
+              << (shedding ? "ACTIVE" : "off") << " ("
+              << jsonU64(doc, "control_shed_engaged") << " engaged / "
+              << jsonU64(doc, "control_shed_released")
+              << " released) | pressure "
+              << jsonU64(doc, "control_queue_pressure_permille")
+              << "\xE2\x80\xB0 | load hint "
+              << jsonU64(doc, "control_load_hint_permille")
+              << "\xE2\x80\xB0\n";
+
+    const std::vector<std::uint64_t> rungs =
+        jsonArray(doc, "control_tau_rungs");
+    const std::vector<std::uint64_t> occupancy =
+        jsonArray(doc, "control_tau_sessions");
+    std::cout << "tau ladder:";
+    for (std::size_t i = 0; i < rungs.size(); ++i)
+        std::cout << (i ? " |" : "") << " tau=" << rungs[i] << ": "
+                  << (i < occupancy.size() ? occupancy[i] : 0)
+                  << " sessions";
+    std::cout << "\nclasses:";
+    for (std::size_t i = 0; i < control::kSessionClassCount; ++i) {
+        const char *name = control::sessionClassName(
+            static_cast<control::SessionClass>(i));
+        std::cout << (i ? " |" : "") << " " << name << " "
+                  << jsonU64(doc,
+                             std::string("control_class_") + name);
+    }
+    std::cout << "\n";
+
+    if (doc.find("\"control_last_epoch\":") != std::string::npos) {
+        const std::uint64_t cls = jsonU64(doc, "control_last_class");
+        std::cout << "last decision: epoch "
+                  << jsonU64(doc, "control_last_epoch") << " session "
+                  << jsonU64(doc, "control_last_session") << " ["
+                  << (cls < control::kSessionClassCount
+                          ? control::sessionClassName(
+                                static_cast<control::SessionClass>(
+                                    cls))
+                          : "?")
+                  << "] tau "
+                  << jsonU64(doc, "control_last_tau_before") << " -> "
+                  << jsonU64(doc, "control_last_tau_after") << "\n";
+    }
+}
+
 void
 printSnapshot(const std::string &doc, const std::string &prev,
               double interval_s)
@@ -376,6 +438,8 @@ printSnapshot(const std::string &doc, const std::string &prev,
               << jsonU64(doc, "engine_backpressure_waits")
               << " | read pauses "
               << jsonU64(doc, "net_read_pauses") << "\n";
+
+    printControlSnapshot(doc);
 }
 
 } // namespace

@@ -48,6 +48,28 @@ class HashRing
     /** Add a node (its virtualNodes points); no-op if present. */
     void addNode(std::uint64_t node);
 
+    /**
+     * Add a node with an explicit point count - weighted membership.
+     * The control plane's load hints scale a backend's share of the
+     * ring by granting it more or fewer points than the configured
+     * virtualNodes (a node with half the points owns roughly half
+     * the arc). `point_count` is clamped to at least 1; no-op if the
+     * node is already a member.
+     */
+    void addNode(std::uint64_t node, std::size_t point_count);
+
+    /**
+     * Re-weight a member node to `point_count` points (remove +
+     * re-add; the node's points rehash to the same positions a fresh
+     * weighted add would produce, so two rings that applied the same
+     * weights agree). Returns false if the node is not a member.
+     */
+    bool setNodeWeight(std::uint64_t node, std::size_t point_count);
+
+    /** Points `node` currently projects onto the ring (0 if not a
+     *  member). */
+    std::size_t nodePoints(std::uint64_t node) const;
+
     /** Remove a node; returns false if it was not a member. */
     bool removeNode(std::uint64_t node);
 

@@ -70,6 +70,7 @@ Router::Router(RouterConfig config)
     tmResyncBytes =
         telemetry::counter("cluster.resync.bytes.skipped");
     tmRehashes = telemetry::counter("cluster.rehash.events");
+    tmWeightUpdates = telemetry::counter("cluster.weight.updates");
     tmSessionsMigrated =
         telemetry::counter("cluster.sessions.migrated");
     tmBackendReconnects =
@@ -185,6 +186,21 @@ Router::removeBackend(std::uint64_t id)
     Command command;
     command.kind = Command::Kind::RemoveBackend;
     command.id = id;
+    {
+        std::lock_guard<std::mutex> lock(cmdMu);
+        commands.push_back(std::move(command));
+    }
+    wakeRouter();
+}
+
+void
+Router::setBackendWeights(
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>
+        weights_permille)
+{
+    Command command;
+    command.kind = Command::Kind::SetWeights;
+    command.weights = std::move(weights_permille);
     {
         std::lock_guard<std::mutex> lock(cmdMu);
         commands.push_back(std::move(command));
@@ -1039,6 +1055,38 @@ Router::executeCommand(const Command &command)
         publishTopology();
         break;
     }
+    case Command::Kind::SetWeights: {
+        // Load hints from the control plane: scale each hinted
+        // backend's ring share. Only re-weight members the hint
+        // actually changes, so a steady controller posting the same
+        // hints every epoch causes no rehash churn.
+        bool changed = false;
+        for (const auto &[id, permille] : command.weights) {
+            Backend *backend = findBackend(id);
+            if (backend == nullptr || backend->dead ||
+                backend->retiring || !ring.contains(id))
+                continue;
+            std::size_t points =
+                cfg.virtualNodes * permille / 1000;
+            if (points == 0)
+                points = 1;
+            if (ring.nodePoints(id) == points)
+                continue;
+            ring.setNodeWeight(id, points);
+            changed = true;
+            nWeightUpdates.fetch_add(1, std::memory_order_relaxed);
+            if (tmWeightUpdates)
+                tmWeightUpdates->add(1);
+        }
+        if (changed) {
+            nRehashes.fetch_add(1, std::memory_order_relaxed);
+            if (tmRehashes)
+                tmRehashes->add(1);
+            rehashSessions();
+            publishTopology();
+        }
+        break;
+    }
     }
 }
 
@@ -1106,6 +1154,7 @@ Router::publishTopology()
         row.retiring = backend->retiring;
         row.inFlight = backend->inFlight;
         row.framesSent = backend->framesSent;
+        row.ringPoints = ring.nodePoints(backend->id);
         snapshot.push_back(std::move(row));
     }
     for (const auto &[session, route] : routes) {
@@ -1193,6 +1242,8 @@ Router::stats() const
     out.resyncBytesSkipped =
         nResyncBytes.load(std::memory_order_relaxed);
     out.rehashes = nRehashes.load(std::memory_order_relaxed);
+    out.weightUpdates =
+        nWeightUpdates.load(std::memory_order_relaxed);
     out.sessionsMigrated =
         nSessionsMigrated.load(std::memory_order_relaxed);
     out.backendReconnects =

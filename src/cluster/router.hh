@@ -181,6 +181,8 @@ struct RouterStats
     std::uint64_t resyncBytesSkipped = 0;
     /** Topology rebuilds (add/remove/failover). */
     std::uint64_t rehashes = 0;
+    /** Backend re-weights applied (setBackendWeights load hints). */
+    std::uint64_t weightUpdates = 0;
     /** Sessions whose state completed a migration. */
     std::uint64_t sessionsMigrated = 0;
     /** Backend connections re-established after a break. */
@@ -219,6 +221,9 @@ struct BackendSnapshot
     /** Frames this backend has been sent (routed + replayed +
      *  migration traffic). */
     std::uint64_t framesSent = 0;
+    /** Ring points the backend currently projects (scaled by the
+     *  last applied load-hint weight; 0 while off the ring). */
+    std::size_t ringPoints = 0;
 };
 
 /** The consistent-hash routing frontend; see the file comment. */
@@ -266,6 +271,23 @@ class Router
      * ledger is empty. Unknown ids are ignored.
      */
     void removeBackend(std::uint64_t id);
+
+    /**
+     * Apply per-backend load hints (asynchronous): each (backend id,
+     * weight in permille of nominal) entry re-weights that backend's
+     * share of the ring - its point count becomes
+     * virtualNodes * weight / 1000, clamped to at least 1 - and
+     * sessions whose owner changed migrate through the usual
+     * drain-and-rehash protocol. 1000 restores the nominal share; an
+     * overloaded backend hinted down to 500 sheds roughly half its
+     * arc to the rest of the fleet. Unknown, dead or retiring
+     * backend ids are ignored. This is the attachment point for the
+     * adaptive control plane: a controller watching the backends'
+     * control_* stats posts its exported load hints here.
+     */
+    void setBackendWeights(
+        std::vector<std::pair<std::uint64_t, std::uint32_t>>
+            weights_permille);
 
     /**
      * Graceful drain: stop accepting, wait until every accepted
@@ -363,10 +385,13 @@ class Router
         enum class Kind : std::uint8_t
         {
             AddBackend,
-            RemoveBackend
+            RemoveBackend,
+            SetWeights
         } kind = Kind::AddBackend;
         BackendAddress address;
         std::uint64_t id = 0;
+        /** (backend id, permille of nominal) for SetWeights. */
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> weights;
     };
 
     /** Build a Backend (client + per-backend gauge); no connect. */
@@ -507,6 +532,7 @@ class Router
     std::atomic<std::uint64_t> nResynced{0};
     std::atomic<std::uint64_t> nResyncBytes{0};
     std::atomic<std::uint64_t> nRehashes{0};
+    std::atomic<std::uint64_t> nWeightUpdates{0};
     std::atomic<std::uint64_t> nSessionsMigrated{0};
     std::atomic<std::uint64_t> nBackendReconnects{0};
     std::atomic<std::uint64_t> nFailovers{0};
@@ -530,6 +556,7 @@ class Router
     telemetry::Counter *tmResynced = nullptr;
     telemetry::Counter *tmResyncBytes = nullptr;
     telemetry::Counter *tmRehashes = nullptr;
+    telemetry::Counter *tmWeightUpdates = nullptr;
     telemetry::Counter *tmSessionsMigrated = nullptr;
     telemetry::Counter *tmBackendReconnects = nullptr;
     telemetry::Counter *tmFailovers = nullptr;

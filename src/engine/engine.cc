@@ -324,6 +324,22 @@ Engine::trySubmit(std::vector<std::uint8_t> &frame, std::uint64_t tag,
     return status;
 }
 
+SubmitStatus
+Engine::trySubmitShared(
+    const std::shared_ptr<const std::vector<std::uint8_t>> &buffer,
+    std::size_t offset, std::size_t length, std::uint64_t tag,
+    std::uint64_t span_ns)
+{
+    FrameBuf buf(buffer, offset, length);
+    const SubmitStatus status =
+        routeFrame(buf, tag, /*blocking=*/false, span_ns);
+    // Backpressure leaves the slice with the caller (who still holds
+    // the shared buffer); everything else was taken and counted.
+    if (status != SubmitStatus::Backpressure)
+        framesSubmitted.fetch_add(1, std::memory_order_relaxed);
+    return status;
+}
+
 void
 Engine::setSpanRecorder(telemetry::SpanRecorder *recorder)
 {
@@ -341,6 +357,16 @@ std::size_t
 Engine::evictIdleSessions(std::uint64_t max_age)
 {
     return table.evictIdle(max_age);
+}
+
+bool
+Engine::retuneSession(std::uint64_t session_id,
+                      std::uint64_t prediction_delay)
+{
+    return table.mutateSession(
+        session_id, [prediction_delay](Session &session) {
+            session.retune(prediction_delay);
+        });
 }
 
 void
@@ -468,6 +494,11 @@ Engine::routeFrame(FrameBuf &frame, std::uint64_t tag, bool blocking,
             shed_oldest =
                 saturated && mode == DegradationMode::Degraded;
         }
+        // Control-plane override: the adaptive controller saw
+        // sustained queue pressure across epochs and pre-armed
+        // shedding - skip the spike detector's warm-up.
+        if (saturated && forcedShed.load(std::memory_order_relaxed))
+            shed_oldest = true;
         if (shed_oldest) {
             // Degraded: admit the fresh frame by shedding the oldest
             // queued one (stale profile data is the cheapest loss).

@@ -455,6 +455,23 @@ class Engine
                            std::uint64_t span_ns = 0);
 
     /**
+     * Nonblocking submitShared(): ingest one frame as an
+     * [offset, offset+length) slice of a shared caller buffer, but
+     * return SubmitStatus::Backpressure instead of blocking when the
+     * target shard queue is saturated - the zero-copy ingest path for
+     * event-loop callers (the net server submits socket read-buffer
+     * slices through here). On Backpressure nothing is counted and
+     * the caller's buffer reference is untouched - retry the same
+     * slice later. Like trySubmit(), the fault-injection preamble is
+     * not applied. `span_ns` as in trySubmit().
+     */
+    SubmitStatus trySubmitShared(
+        const std::shared_ptr<const std::vector<std::uint8_t>>
+            &buffer,
+        std::size_t offset, std::size_t length, std::uint64_t tag = 0,
+        std::uint64_t span_ns = 0);
+
+    /**
      * Install (or clear, with nullptr) the stage-span recorder used
      * for span-sampled frames. The engine owns a recorder itself
      * when EngineConfig::spanSampleEvery != 0; a fronting net::Server
@@ -488,6 +505,47 @@ class Engine
      * well past their clients' silence threshold.
      */
     std::size_t evictIdleSessions(std::uint64_t max_age);
+
+    // Adaptive control plane hooks (src/control) -------------------
+
+    /**
+     * Retune one resident session's prediction delay (τ) online.
+     * Returns false - without creating anything - when the session is
+     * not resident. Safe against concurrent traffic (stripe lock);
+     * the retune takes effect between frames, and frames of one
+     * session stay deterministic for a given decision sequence
+     * because the controller itself is epoch-driven.
+     */
+    bool retuneSession(std::uint64_t session_id,
+                       std::uint64_t prediction_delay);
+
+    /** Override the prediction delay for sessions created from here
+     *  on (0 restores the configured default); resident sessions are
+     *  untouched. */
+    void setDefaultPredictionDelay(std::uint64_t delay)
+    {
+        table.setDefaultPredictionDelay(delay);
+    }
+
+    /**
+     * Force overload shedding on (or back to automatic with false).
+     * Only meaningful under OverloadPolicy::DropOldest: while forced,
+     * a saturated shard sheds its oldest queued frame immediately
+     * instead of waiting for the spike detector to judge the
+     * saturation sustained. Under OverloadPolicy::Block the flag is
+     * recorded but has no effect (the lock-free rings cannot shed) -
+     * the adaptive controller's queue-pressure response.
+     */
+    void setForcedShedding(bool on)
+    {
+        forcedShed.store(on, std::memory_order_relaxed);
+    }
+
+    /** True while forced shedding is active. */
+    bool forcedShedding() const
+    {
+        return forcedShed.load(std::memory_order_relaxed);
+    }
 
     /**
      * Convenience producer: encode `count` events as one frame for
@@ -749,6 +807,9 @@ class Engine
     std::thread watchdog;
 
     std::atomic<bool> stopping{false};
+    /** Control-plane override: shed on saturation without waiting
+     *  for the spike detector (DropOldest backend only). */
+    std::atomic<bool> forcedShed{false};
     std::atomic<bool> warnedReject{false};
     std::atomic<bool> warnedStall{false};
     std::atomic<std::uint64_t> pendingFrames{0};

@@ -9,9 +9,17 @@ namespace hotpath::engine
 
 Session::Session(std::uint64_t id, const SessionConfig &config)
     : sessionId(id), cfg(config),
-      predictor(config.predictionDelay, config.reArm),
+      predictor(config.predictionDelay, config.reArm,
+                config.decayShift),
       fragments(config.cacheCapacityInstr, config.cachePolicy)
 {
+}
+
+void
+Session::retune(std::uint64_t prediction_delay)
+{
+    cfg.predictionDelay = prediction_delay;
+    predictor.setDelay(prediction_delay);
 }
 
 bool
@@ -111,6 +119,11 @@ Session::importState(const wire::SessionState &in)
 {
     HOTPATH_ASSERT(st.framesApplied == 0 && fragments.size() == 0,
                    "importState requires a fresh session");
+    // Adopt the exporter's prediction delay so a τ retuned online by
+    // the control plane survives migration (a no-op when both ends
+    // run the same static config).
+    if (in.predictionDelay != 0)
+        retune(in.predictionDelay);
     for (const wire::SessionCounterEntry &entry : in.counters)
         predictor.restoreCounter(entry.key, entry.count);
     for (const std::uint32_t head : in.retired)

@@ -38,6 +38,14 @@ struct SessionConfig
     /** Re-arm head counters after each prediction (NET default). */
     bool reArm = true;
 
+    /**
+     * Exponential counter decay after a prediction: head counters
+     * restart at count >> decayShift instead of zero (or instead of
+     * retiring under reArm = false), so re-hot heads re-arm cheaply.
+     * 0 = off (paper-exact restart/retirement).
+     */
+    std::uint32_t decayShift = 0;
+
     /** Per-session fragment cache capacity in instructions (0 = no
      *  cap). */
     std::uint64_t cacheCapacityInstr = 0;
@@ -135,6 +143,21 @@ class Session
     {
         return predictor.countersAllocated();
     }
+
+    /** The session's current prediction delay (τ). */
+    std::uint64_t predictionDelay() const
+    {
+        return cfg.predictionDelay;
+    }
+
+    /**
+     * Retune the session's prediction delay online - the adaptive
+     * control plane's per-session knob. Accumulated head counters are
+     * kept (a head already past a smaller delay predicts on its next
+     * execution); the caller must hold the session's shard serialization
+     * (worker thread or cross-thread stripe lock).
+     */
+    void retune(std::uint64_t prediction_delay);
 
     /** The session's fragment cache (read-only). */
     const FragmentCache &cache() const { return fragments; }

@@ -52,6 +52,17 @@ ShardedSessionTable::ShardedSessionTable(SessionTableConfig config)
     tmLockWait = telemetry::histogram("engine.table.lock.wait.ns");
 }
 
+SessionConfig
+ShardedSessionTable::makeSessionConfig() const
+{
+    SessionConfig session = cfg.session;
+    const std::uint64_t dyn =
+        dynamicDelay.load(std::memory_order_relaxed);
+    if (dyn != 0)
+        session.predictionDelay = dyn;
+    return session;
+}
+
 std::size_t
 ShardedSessionTable::shardOf(std::uint64_t session_id) const
 {
@@ -105,7 +116,8 @@ ShardedSessionTable::withSessionLocked(std::uint64_t session_id,
         shard.lru.push_front(session_id);
         Shard::Entry entry;
         entry.session =
-            std::make_unique<Session>(session_id, cfg.session);
+            std::make_unique<Session>(session_id,
+                                      makeSessionConfig());
         entry.lruPos = shard.lru.begin();
         it = shard.sessions.emplace(session_id, std::move(entry))
                  .first;
@@ -145,7 +157,8 @@ ShardedSessionTable::rebuildSessionLocked(std::uint64_t session_id,
         shard.lru.push_front(session_id);
         Shard::Entry entry;
         entry.session =
-            std::make_unique<Session>(session_id, cfg.session);
+            std::make_unique<Session>(session_id,
+                                      makeSessionConfig());
         entry.lruPos = shard.lru.begin();
         entry.lastActive =
             activityClock.load(std::memory_order_relaxed);
@@ -158,7 +171,8 @@ ShardedSessionTable::rebuildSessionLocked(std::uint64_t session_id,
             tmLive->add(1);
     } else {
         it->second.session =
-            std::make_unique<Session>(session_id, cfg.session);
+            std::make_unique<Session>(session_id,
+                                      makeSessionConfig());
     }
     ++shard.rebuilt;
     init(*it->second.session);
@@ -183,7 +197,8 @@ ShardedSessionTable::installSessionLocked(std::uint64_t session_id,
         shard.lru.push_front(session_id);
         Shard::Entry entry;
         entry.session =
-            std::make_unique<Session>(session_id, cfg.session);
+            std::make_unique<Session>(session_id,
+                                      makeSessionConfig());
         entry.lruPos = shard.lru.begin();
         it = shard.sessions.emplace(session_id, std::move(entry))
                  .first;
@@ -194,7 +209,8 @@ ShardedSessionTable::installSessionLocked(std::uint64_t session_id,
             tmLive->add(1);
     } else {
         it->second.session =
-            std::make_unique<Session>(session_id, cfg.session);
+            std::make_unique<Session>(session_id,
+                                      makeSessionConfig());
         if (it->second.lruPos != shard.lru.begin())
             shard.lru.splice(shard.lru.begin(), shard.lru,
                              it->second.lruPos);
@@ -235,6 +251,19 @@ ShardedSessionTable::peekSession(std::uint64_t session_id,
                                  ConstSessionFn fn) const
 {
     const Shard &shard = *shards[shardOf(session_id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end())
+        return false;
+    fn(*it->second.session);
+    return true;
+}
+
+bool
+ShardedSessionTable::mutateSession(std::uint64_t session_id,
+                                   SessionFn fn)
+{
+    Shard &shard = *shards[shardOf(session_id)];
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end())

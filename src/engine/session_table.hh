@@ -194,6 +194,36 @@ class ShardedSessionTable
     bool peekSession(std::uint64_t session_id,
                      ConstSessionFn fn) const;
 
+    /**
+     * Mutable peekSession: run `fn` on the session if resident,
+     * without creating it and without refreshing its LRU position (a
+     * control-plane retune is not client activity). The adaptive
+     * controller's per-session knob path.
+     */
+    bool mutateSession(std::uint64_t session_id, SessionFn fn);
+
+    /**
+     * Override the prediction delay given to sessions created from
+     * here on (0 restores the configured default). Existing sessions
+     * are untouched - the controller retunes them individually via
+     * mutateSession. Thread-safe (relaxed atomic: creations racing a
+     * retune pick up either delay, and the next epoch converges
+     * them).
+     */
+    void setDefaultPredictionDelay(std::uint64_t delay)
+    {
+        dynamicDelay.store(delay, std::memory_order_relaxed);
+    }
+
+    /** The delay new sessions receive right now (dynamic override or
+     *  the configured default). */
+    std::uint64_t defaultPredictionDelay() const
+    {
+        const std::uint64_t dyn =
+            dynamicDelay.load(std::memory_order_relaxed);
+        return dyn != 0 ? dyn : cfg.session.predictionDelay;
+    }
+
     /** Visit every resident session (shard by shard, under locks). */
     void forEach(ConstSessionFn fn) const;
 
@@ -245,12 +275,19 @@ class ShardedSessionTable
         std::uint64_t allocFailures = 0;
     };
 
+    /** cfg.session with the dynamic delay override applied - what
+     *  every creation site actually instantiates. */
+    SessionConfig makeSessionConfig() const;
+
     SessionTableConfig cfg;
     std::size_t perShardCap; // 0 = uncapped
     std::vector<std::unique_ptr<Shard>> shards;
     std::function<bool()> allocFailHook;
     /** Table-wide logical clock; one tick per withSession access. */
     std::atomic<std::uint64_t> activityClock{0};
+    /** Control-plane override of cfg.session.predictionDelay for new
+     *  sessions (0 = no override). */
+    std::atomic<std::uint64_t> dynamicDelay{0};
 
     // Telemetry handles; nullptr when telemetry is not attached.
     telemetry::Counter *tmCreated = nullptr;

@@ -480,8 +480,28 @@ Server::handleReadable(Reactor &reactor, Connection &conn)
 bool
 Server::processInput(Reactor &reactor, Connection &conn)
 {
-    const std::uint8_t *data = conn.in.data();
-    const std::size_t size = conn.in.size();
+    // Fast pre-check on the reassembly buffer: if it holds no
+    // complete frame yet (the common short-read case), keep
+    // accumulating without sealing a shared buffer.
+    {
+        wire::FrameHeader header;
+        std::size_t frameEnd = 0;
+        const wire::DecodeStatus status = wire::peekFrameHeader(
+            conn.in.data(), conn.in.size(), 0, header, frameEnd);
+        if (status == wire::DecodeStatus::Truncated)
+            return conn.in.size() <= cfg.maxInBufferBytes;
+    }
+
+    // Seal the reassembly buffer into a shared immutable ingest
+    // buffer and submit every complete frame as a zero-copy slice of
+    // it (Engine::trySubmitShared refcounts the buffer; only the
+    // incomplete tail is copied into the next reassembly buffer).
+    const auto buffer =
+        std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(conn.in));
+    conn.in = {};
+    const std::uint8_t *data = buffer->data();
+    const std::size_t size = buffer->size();
     std::size_t off = 0;
 
     while (!conn.paused && off < size) {
@@ -490,8 +510,8 @@ Server::processInput(Reactor &reactor, Connection &conn)
         const wire::DecodeStatus status =
             wire::peekFrameHeader(data, size, off, header, frameEnd);
         if (status == wire::DecodeStatus::Ok) {
-            std::vector<std::uint8_t> frame(data + off,
-                                            data + frameEnd);
+            const std::size_t frameOff = off;
+            const std::size_t frameLen = frameEnd - off;
             off = frameEnd;
             // Sampling decision at the ingest boundary: a sampled
             // frame is timestamped here (end of Read, start of
@@ -502,12 +522,16 @@ Server::processInput(Reactor &reactor, Connection &conn)
                 spans.recordStage(telemetry::Stage::Read,
                                   span_ns - conn.readStartNs);
             }
-            const engine::SubmitStatus submitted = eng.trySubmit(
-                frame, makeTag(reactor.index, conn.id), span_ns);
+            const engine::SubmitStatus submitted =
+                eng.trySubmitShared(buffer, frameOff, frameLen,
+                                    makeTag(reactor.index, conn.id),
+                                    span_ns);
             if (submitted == engine::SubmitStatus::Backpressure) {
-                // Park the frame and stop reading this socket: the
+                // Park the slice and stop reading this socket: the
                 // kernel buffer fills and TCP pushes back.
-                conn.parked = std::move(frame);
+                conn.parkedBuf = buffer;
+                conn.parkedOff = frameOff;
+                conn.parkedLen = frameLen;
                 conn.parkedSpanNs = span_ns;
                 conn.paused = true;
                 nReadPauses.fetch_add(1, std::memory_order_relaxed);
@@ -542,10 +566,11 @@ Server::processInput(Reactor &reactor, Connection &conn)
             break;
     }
 
-    if (off > 0)
-        conn.in.erase(conn.in.begin(),
-                      conn.in.begin() +
-                          static_cast<std::ptrdiff_t>(off));
+    // Unconsumed suffix (incomplete tail frame, or everything past a
+    // parked slice) re-seeds the reassembly buffer - the only bytes
+    // this path ever copies.
+    if (off < size)
+        conn.in.assign(data + off, data + size);
     // A peer that buffers this much without completing a frame is
     // speaking a different protocol; cut it loose.
     return conn.in.size() <= cfg.maxInBufferBytes;
@@ -607,7 +632,9 @@ Server::flushOutput(Reactor &reactor, Connection &conn)
         conn.outOff = 0;
         conn.outEnqueuedTotal = conn.outFlushedTotal;
         conn.in.clear();
-        conn.parked.clear();
+        conn.parkedBuf.reset();
+        conn.parkedOff = 0;
+        conn.parkedLen = 0;
         conn.parkedSpanNs = 0;
         conn.paused = false;
         conn.readClosed = true;
@@ -642,10 +669,11 @@ Server::maintenance(Reactor &reactor, std::size_t index)
         if (it == reactor.conns.end())
             continue;
         Connection &conn = it->second;
-        // The parked frame keeps its original sampling decision and
+        // The parked slice keeps its original sampling decision and
         // timestamp: the park time IS queueing delay.
-        const engine::SubmitStatus submitted = eng.trySubmit(
-            conn.parked, makeTag(index, id), conn.parkedSpanNs);
+        const engine::SubmitStatus submitted = eng.trySubmitShared(
+            conn.parkedBuf, conn.parkedOff, conn.parkedLen,
+            makeTag(index, id), conn.parkedSpanNs);
         if (submitted == engine::SubmitStatus::Backpressure)
             continue;
         if (submitted == engine::SubmitStatus::Accepted) {
@@ -654,7 +682,9 @@ Server::maintenance(Reactor &reactor, std::size_t index)
             if (tmFramesIn)
                 tmFramesIn->add(1);
         }
-        conn.parked.clear();
+        conn.parkedBuf.reset();
+        conn.parkedOff = 0;
+        conn.parkedLen = 0;
         conn.parkedSpanNs = 0;
         conn.paused = false;
         // Resume: drain what we already buffered, then the socket
@@ -841,6 +871,8 @@ Server::statsJson() const
            << ",\"stage_" << name << "_p99_ns\":"
            << telemetry::percentileFromHistogram(snap, 0.99);
     }
+    if (statsAugmenter)
+        statsAugmenter(os);
     os << '}';
     return os.str();
 }

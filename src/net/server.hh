@@ -11,9 +11,13 @@
  * from the acceptor, prediction replies from engine workers).
  *
  * Ingest path: bytes are read into a per-connection reassembly
- * buffer; complete frames are handed to Engine::trySubmit with the
- * connection id as the routing tag. A region that fails the header
- * parse is resynced at the next CRC-valid frame boundary
+ * buffer; once at least one complete frame is present, the buffer is
+ * sealed into a shared immutable ingest buffer and every complete
+ * frame is handed to Engine::trySubmitShared as a zero-copy
+ * [offset, length) slice of it, with the connection id as the
+ * routing tag (only an incomplete tail frame is ever copied, into
+ * the next reassembly buffer). A region that fails the header parse
+ * is resynced at the next CRC-valid frame boundary
  * (wire::findFrameBoundary), so line noise costs exactly the bytes
  * it damaged.
  *
@@ -44,6 +48,8 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -239,6 +245,21 @@ class Server
     /** Aggregate serving counters. */
     NetStats stats() const;
 
+    /**
+     * Install a hook that appends extra fields to the /stats JSON
+     * document. The hook runs on the admin thread with the document
+     * stream positioned inside the top-level object, and must emit
+     * zero or more `,"key":value` fragments (flat scalars only, per
+     * the /stats contract). Install before start(); the server never
+     * synchronises installation against a running admin thread. Used
+     * by the control plane to surface control_* fields without a
+     * net -> control dependency.
+     */
+    void setStatsAugmenter(std::function<void(std::ostream &)> hook)
+    {
+        statsAugmenter = std::move(hook);
+    }
+
     /** The socket-fault injector, or nullptr when none is armed. */
     const fault::FaultInjector *
     faultInjector() const
@@ -269,8 +290,15 @@ class Server
         /** Unsent reply bytes; `outOff` marks the flushed prefix. */
         std::vector<std::uint8_t> out;
         std::size_t outOff = 0;
-        /** Frame parked by trySubmit Backpressure. */
-        std::vector<std::uint8_t> parked;
+        /**
+         * Frame parked by trySubmitShared Backpressure, as a slice
+         * of the shared ingest buffer processInput sealed (zero-copy
+         * even while parked; the refcount keeps the buffer alive).
+         * parkedBuf == nullptr means nothing is parked.
+         */
+        std::shared_ptr<const std::vector<std::uint8_t>> parkedBuf;
+        std::size_t parkedOff = 0;
+        std::size_t parkedLen = 0;
         bool paused = false;
         /** Writability per last write attempt (edge-triggered). */
         bool writable = true;
@@ -373,6 +401,8 @@ class Server
     /** Stage-span recorder; sampling at the socket-read boundary. */
     telemetry::SpanRecorder spans;
     std::unique_ptr<fault::FaultInjector> injector;
+    /** Extra /stats fields (see setStatsAugmenter). */
+    std::function<void(std::ostream &)> statsAugmenter;
     Fd listener;
     std::uint16_t boundPort = 0;
     Fd adminListener;

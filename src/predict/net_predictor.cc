@@ -6,12 +6,20 @@
 namespace hotpath
 {
 
-NetPredictor::NetPredictor(std::uint64_t delay, bool re_arm)
-    : predictionDelay(delay), reArm(re_arm)
+NetPredictor::NetPredictor(std::uint64_t delay, bool re_arm,
+                           std::uint32_t decay_shift)
+    : predictionDelay(delay), reArm(re_arm), decayShift(decay_shift)
 {
     HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
     tmObservations = telemetry::counter("predict.net.observations");
     tmPredictions = telemetry::counter("predict.net.predictions");
+}
+
+void
+NetPredictor::setDelay(std::uint64_t delay)
+{
+    HOTPATH_ASSERT(delay >= 1, "prediction delay must be >= 1");
+    predictionDelay = delay;
 }
 
 bool
@@ -31,7 +39,14 @@ NetPredictor::observe(const PathEvent &event)
 
     // Head is hot: speculatively select the next executing tail, the
     // path executing right now.
-    if (reArm) {
+    if (decayShift > 0) {
+        // Exponential decay instead of a hard restart or retirement:
+        // the counter keeps count >> decayShift of its heat, so a
+        // head that stays hot re-arms after fewer executions.
+        const std::uint64_t warm = count >> decayShift;
+        counters.erase(keyOf(event.head));
+        counters.increment(keyOf(event.head), warm);
+    } else if (reArm) {
         // Restart counting the still-uncaptured flow at this head.
         counters.erase(keyOf(event.head));
         counters.increment(keyOf(event.head), 0);

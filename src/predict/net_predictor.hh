@@ -17,6 +17,16 @@
  * continue to be counted and a loop with several dominant paths
  * acquires one fragment per dominant path over time. Construct with
  * `reArm = false` for the strict one-tail-per-head variant.
+ *
+ * Counter decay (`decayShift` > 0) replaces both the hard restart and
+ * the hard retirement: after a prediction the head's counter decays
+ * exponentially (count >> decayShift) instead of dropping to zero or
+ * retiring the head forever. A head that stays hot therefore re-arms
+ * after only `delay - (delay >> decayShift)` further executions, and
+ * a head the single-tail variant would have retired keeps earning new
+ * tails at the decayed cadence - re-hot heads re-arm cheaply while
+ * cold heads still pay the full delay. decayShift = 0 preserves the
+ * paper-exact behaviour bit for bit.
  */
 
 #ifndef HOTPATH_PREDICT_NET_PREDICTOR_HH
@@ -44,8 +54,13 @@ class NetPredictor : public HotPathPredictor
      * @param delay Head executions profiled before each prediction.
      * @param re_arm Restart the head counter after a prediction so
      *        more tails can be captured from the same head.
+     * @param decay_shift Exponential counter decay after a
+     *        prediction: the counter restarts at count >> decay_shift
+     *        instead of zero (re-arm) or retiring (single-tail).
+     *        0 = off (exact paper behaviour).
      */
-    explicit NetPredictor(std::uint64_t delay, bool re_arm = true);
+    explicit NetPredictor(std::uint64_t delay, bool re_arm = true,
+                          std::uint32_t decay_shift = 0);
 
     /** Count a head execution; predicts the current tail when the
      *  head's counter reaches the delay. */
@@ -69,6 +84,17 @@ class NetPredictor : public HotPathPredictor
 
     /** The configured prediction delay. */
     std::uint64_t delay() const { return predictionDelay; }
+
+    /**
+     * Retune the prediction delay online (the adaptive control
+     * plane's knob). Live head counters keep their accumulated
+     * counts - a head already past the new, smaller delay predicts on
+     * its next observed execution.
+     */
+    void setDelay(std::uint64_t delay);
+
+    /** The configured decay shift (0 = decay off). */
+    std::uint32_t decay() const { return decayShift; }
 
     // Migration support (Session::exportState / importState) -------
 
@@ -107,6 +133,7 @@ class NetPredictor : public HotPathPredictor
 
     std::uint64_t predictionDelay;
     bool reArm;
+    std::uint32_t decayShift;
     CounterTable counters;
     std::unordered_set<HeadIndex> retired;
     ProfilingCost opCost;

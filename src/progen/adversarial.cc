@@ -1,0 +1,193 @@
+#include "progen/adversarial.hh"
+
+#include "support/logging.hh"
+
+namespace hotpath
+{
+
+namespace
+{
+
+/** Head/path id bases per regime, spaced so streams can be mixed
+ *  into one engine without id collisions. */
+constexpr std::uint32_t kThrashHead = 1;
+constexpr std::uint32_t kThrashPathBase = 1000;
+constexpr std::uint32_t kThrashNoiseBase = 5'000'000;
+constexpr std::uint32_t kChurnBase = 10'000;
+constexpr std::uint32_t kZipfHotBase = 20'000;
+constexpr std::uint32_t kZipfTailBase = 30'000;
+
+PathEvent
+makeEvent(std::uint32_t path, std::uint32_t head,
+          std::uint32_t instructions)
+{
+    PathEvent event;
+    event.path = path;
+    event.head = head;
+    event.blocks = instructions / 50 + 1;
+    event.branches = event.blocks;
+    event.instructions = instructions;
+    return event;
+}
+
+} // namespace
+
+const char *
+adversarialKindName(AdversarialKind kind)
+{
+    switch (kind) {
+    case AdversarialKind::PhaseThrash:
+        return "phase-thrash";
+    case AdversarialKind::HeadChurn:
+        return "head-churn";
+    case AdversarialKind::ZipfTail:
+        return "zipf-tail";
+    }
+    return "unknown";
+}
+
+AdversarialStream::AdversarialStream(AdversarialKind kind,
+                                     AdversarialConfig config)
+    : streamKind(kind), cfg(config), rngState(config.seed)
+{
+    HOTPATH_ASSERT(cfg.phaseLength > 0, "phaseLength must be > 0");
+    HOTPATH_ASSERT(cfg.churnInterval > 0, "churnInterval must be > 0");
+    HOTPATH_ASSERT(cfg.liveHeads > 0, "liveHeads must be > 0");
+    HOTPATH_ASSERT(cfg.hotHeads > 0, "hotHeads must be > 0");
+    HOTPATH_ASSERT(cfg.tailHeads > 0, "tailHeads must be > 0");
+    HOTPATH_ASSERT(cfg.burstMaxEvents >= cfg.burstMinEvents,
+                   "burst bounds inverted");
+    HOTPATH_ASSERT(cfg.hotRotateInterval > 0,
+                   "hotRotateInterval must be > 0");
+}
+
+std::uint64_t
+AdversarialStream::nextRandom()
+{
+    // SplitMix64 - the repo's standard deterministic PRNG.
+    rngState += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rngState;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+PathEvent
+AdversarialStream::next()
+{
+    PathEvent event;
+    switch (streamKind) {
+    case AdversarialKind::PhaseThrash:
+        event = nextPhaseThrash();
+        break;
+    case AdversarialKind::HeadChurn:
+        event = nextHeadChurn();
+        break;
+    case AdversarialKind::ZipfTail:
+        event = nextZipfTail();
+        break;
+    }
+    ++tick;
+    return event;
+}
+
+PathEvent
+AdversarialStream::nextPhaseThrash()
+{
+    // One constant head; its dominant path is replaced every phase,
+    // with a sprinkle of one-shot noise paths that keep the head's
+    // counter ticking even while the dominant path is cached.
+    if (nextRandom() % 1000 < cfg.noisePermille) {
+        const std::uint32_t noise_path =
+            kThrashNoiseBase + static_cast<std::uint32_t>(tick);
+        return makeEvent(noise_path, kThrashHead,
+                         cfg.hotInstructions);
+    }
+    const std::uint64_t phase = tick / cfg.phaseLength;
+    const std::uint32_t path =
+        kThrashPathBase + static_cast<std::uint32_t>(phase);
+    return makeEvent(path, kThrashHead, cfg.hotInstructions);
+}
+
+PathEvent
+AdversarialStream::nextHeadChurn()
+{
+    // A whole generation of heads lives for churnInterval events,
+    // then retires wholesale; paths map 1:1 to heads.
+    const std::uint64_t generation = tick / cfg.churnInterval;
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(nextRandom() % cfg.liveHeads);
+    const std::uint32_t head =
+        kChurnBase +
+        static_cast<std::uint32_t>(generation * cfg.liveHeads) + slot;
+    return makeEvent(head, head, cfg.hotInstructions);
+}
+
+PathEvent
+AdversarialStream::nextZipfTail()
+{
+    // Tail burst in progress: keep hammering the burst head.
+    if (burstRemaining > 0) {
+        --burstRemaining;
+        return makeEvent(burstHead, burstHead, cfg.tailInstructions);
+    }
+
+    // Round-robin hot-head rotation: every hotRotateInterval events
+    // one hot slot gets a fresh identity, so even the most
+    // conservative τ keeps paying a re-learning tax.
+    const std::uint32_t due_rotations = static_cast<std::uint32_t>(
+        tick / cfg.hotRotateInterval);
+    if (due_rotations > hotRotations)
+        hotRotations = due_rotations;
+
+    // Maybe start a tail burst.
+    if (nextRandom() % 1000 < cfg.tailBurstPermille) {
+        burstHead = kZipfTailBase + tailCursor;
+        tailCursor = (tailCursor + 1) % cfg.tailHeads;
+        const std::uint32_t span =
+            cfg.burstMaxEvents - cfg.burstMinEvents + 1;
+        burstRemaining =
+            cfg.burstMinEvents +
+            static_cast<std::uint32_t>(nextRandom() % span) - 1;
+        return makeEvent(burstHead, burstHead, cfg.tailInstructions);
+    }
+
+    // Hot traffic: pick a slot, derive its current identity from the
+    // rotation count (slot r of rotation k is retired by rotation
+    // r + 1, r + 1 + hotHeads, ...).
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(nextRandom() % cfg.hotHeads);
+    const std::uint32_t slot_generation =
+        hotRotations / cfg.hotHeads +
+        ((hotRotations % cfg.hotHeads) > slot ? 1u : 0u);
+    const std::uint32_t head =
+        kZipfHotBase + slot_generation * cfg.hotHeads + slot;
+    return makeEvent(head, head, cfg.hotInstructions);
+}
+
+const char *
+AdversarialStream::name() const
+{
+    return adversarialKindName(streamKind);
+}
+
+std::string
+AdversarialStream::describe() const
+{
+    switch (streamKind) {
+    case AdversarialKind::PhaseThrash:
+        return "dominant path replaced every " +
+               std::to_string(cfg.phaseLength) + " events";
+    case AdversarialKind::HeadChurn:
+        return std::to_string(cfg.liveHeads) +
+               " heads retired wholesale every " +
+               std::to_string(cfg.churnInterval) + " events";
+    case AdversarialKind::ZipfTail:
+        return std::to_string(cfg.hotHeads) +
+               " hot heads with bursty " +
+               std::to_string(cfg.tailHeads) + "-head tail";
+    }
+    return "unknown";
+}
+
+} // namespace hotpath

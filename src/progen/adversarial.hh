@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Adversarial path-event workloads for the adaptive control plane.
+ *
+ * Each stream is built to defeat one *static* prediction delay (τ)
+ * while rewarding another - the regimes the controller in src/control
+ * must tell apart and chase (bench/ext_adaptive_tau.cpp measures how
+ * well it does):
+ *
+ *  - PhaseThrash: one constant head whose dominant path is replaced
+ *    every `phaseLength` events, plus a sprinkle of one-shot noise
+ *    paths. A reactive τ re-learns each phase almost immediately; a
+ *    conservative τ spends the whole phase still counting and never
+ *    promotes anything.
+ *  - HeadChurn: a rotating working set of heads, each with a single
+ *    path, retired wholesale every `churnInterval` events and
+ *    replaced by a fresh generation. Rewards a small τ (promote
+ *    before the generation dies); starves a big one.
+ *  - ZipfTail: a few permanent hot heads carrying most of the
+ *    traffic, interleaved with bursts on a long tail of short-lived
+ *    heads. A small τ promotes the tail bursts too, churning the
+ *    fragment cache out from under the hot paths; a conservative τ
+ *    promotes only what stays hot. Occasionally one hot head rotates
+ *    to a fresh identity, so the most conservative τ also leaks
+ *    coverage - the middle of the ladder wins.
+ *
+ * Everything is integer arithmetic over a SplitMix64 stream, so a
+ * given (kind, config, seed) reproduces the identical event sequence
+ * on every platform - the byte-determinism the X13 bench gates
+ * depend on.
+ */
+
+#ifndef HOTPATH_PROGEN_ADVERSARIAL_HH
+#define HOTPATH_PROGEN_ADVERSARIAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "paths/path_event.hh"
+
+namespace hotpath
+{
+
+/** Which adversarial regime to generate. */
+enum class AdversarialKind
+{
+    /** Dominant path replaced every phase under a constant head. */
+    PhaseThrash,
+    /** The head working set itself rotates wholesale. */
+    HeadChurn,
+    /** Stable hot heads plus bursty short-lived tail heads. */
+    ZipfTail,
+};
+
+/** Stable short name ("phase-thrash", "head-churn", "zipf-tail"). */
+const char *adversarialKindName(AdversarialKind kind);
+
+/** Stream shape parameters (defaults tuned for ext_adaptive_tau's
+ *  2000-event epochs; see the file comment for what each regime
+ *  punishes). */
+struct AdversarialConfig
+{
+    std::uint64_t seed = 1;
+
+    // PhaseThrash ---------------------------------------------------
+    /** Events between dominant-path replacements. */
+    std::uint64_t phaseLength = 200;
+    /** Permille of events that are one-shot noise paths. */
+    std::uint32_t noisePermille = 40;
+
+    // HeadChurn -----------------------------------------------------
+    /** Events between wholesale working-set rotations. */
+    std::uint64_t churnInterval = 1000;
+    /** Heads alive in each generation. */
+    std::uint32_t liveHeads = 8;
+
+    // ZipfTail ------------------------------------------------------
+    /** Permanent hot heads. */
+    std::uint32_t hotHeads = 8;
+    /** Distinct short-lived tail heads to cycle through. Large
+     *  enough that a head practically never recurs within a run, so
+     *  tail counters never accumulate to a mid-ladder τ - the tail
+     *  must stay junk for every rung but the most reactive. */
+    std::uint32_t tailHeads = 512;
+    /** Permille chance (per non-burst event) that a tail burst
+     *  starts (2 => a burst roughly every 500 hot events; with the
+     *  burst lengths below the tail carries ~6% of traffic - enough
+     *  to wreck a reactive τ's cache, not enough to drown the hot
+     *  set, and rare enough that burst clustering cannot mimic the
+     *  HeadChurn counter-allocation signature). */
+    std::uint32_t tailBurstPermille = 2;
+    /** Tail burst length bounds (events, inclusive). Kept below any
+     *  mid-ladder τ so only the most reactive rung promotes tail
+     *  paths. */
+    std::uint32_t burstMinEvents = 24;
+    /** See burstMinEvents. */
+    std::uint32_t burstMaxEvents = 40;
+    /** Events between single hot-head identity rotations. */
+    std::uint64_t hotRotateInterval = 4000;
+    /** Instructions on each hot path (small: many fit the cache). */
+    std::uint32_t hotInstructions = 250;
+    /** Instructions on each tail path (large: promoting one evicts
+     *  many hot fragments). */
+    std::uint32_t tailInstructions = 2400;
+};
+
+/**
+ * One adversarial event stream; call next() forever. Deterministic
+ * for a given (kind, config): no clocks, no global state.
+ */
+class AdversarialStream
+{
+  public:
+    AdversarialStream(AdversarialKind kind,
+                      AdversarialConfig config = {});
+
+    /** Produce the next event in the stream. */
+    PathEvent next();
+
+    /** The regime being generated. */
+    AdversarialKind kind() const { return streamKind; }
+
+    /** adversarialKindName(kind()). */
+    const char *name() const;
+
+    /** One-line human description of the regime (bench reports). */
+    std::string describe() const;
+
+    /** Events generated so far. */
+    std::uint64_t produced() const { return tick; }
+
+  private:
+    PathEvent nextPhaseThrash();
+    PathEvent nextHeadChurn();
+    PathEvent nextZipfTail();
+
+    /** SplitMix64 step (the repo's standard deterministic PRNG). */
+    std::uint64_t nextRandom();
+
+    AdversarialKind streamKind;
+    AdversarialConfig cfg;
+    std::uint64_t rngState;
+    std::uint64_t tick = 0;
+
+    // ZipfTail burst state.
+    std::uint32_t burstRemaining = 0;
+    std::uint32_t burstHead = 0;
+    std::uint32_t tailCursor = 0;
+    std::uint32_t hotRotations = 0;
+};
+
+} // namespace hotpath
+
+#endif // HOTPATH_PROGEN_ADVERSARIAL_HH

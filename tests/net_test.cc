@@ -798,3 +798,64 @@ TEST(AdminEndpoint, SurvivesMalformedRequests)
 
     server.stop();
 }
+
+// Zero-copy ingest: many frames coalesced into one socket write
+// arrive at the server as multi-frame reads, which processInput
+// seals into one shared buffer and submits as offset/length slices
+// (Engine::trySubmitShared) without copying a single payload byte.
+// The predictions must still match an in-process serial replay of
+// the same frames byte for byte.
+TEST(NetServer, ZeroCopyBatchedWritesMatchInProcess)
+{
+    constexpr std::size_t kSessions = 4;
+    constexpr std::size_t kFramesPerSession = 32;
+    constexpr std::size_t kEventsPerFrame = 64;
+
+    Engine served(recordingConfig(2));
+    net::Server server(served, testServerConfig());
+    ASSERT_TRUE(server.start());
+
+    net::ClientConfig clientCfg;
+    clientCfg.port = server.port();
+    net::Client client(clientCfg);
+    ASSERT_TRUE(client.connect());
+
+    // Serial reference: the engine determinism contract's ground
+    // truth (workerThreads = 0 processes inline on submit).
+    Engine reference(recordingConfig(0));
+
+    std::size_t sent = 0;
+    for (std::uint64_t session = 1; session <= kSessions; ++session) {
+        const auto frames =
+            makeFrames(session, kFramesPerSession, kEventsPerFrame);
+        // One write per session carrying every frame back to back.
+        std::vector<std::uint8_t> batch;
+        for (const auto &frame : frames) {
+            batch.insert(batch.end(), frame.begin(), frame.end());
+            ASSERT_TRUE(reference.submit(frame));
+            ++sent;
+        }
+        ASSERT_TRUE(client.sendFrame(batch.data(), batch.size()));
+    }
+    reference.drain();
+
+    std::vector<net::PredictionReply> replies;
+    ASSERT_TRUE(client.awaitResponses(sent, replies));
+    ASSERT_EQ(replies.size(), sent);
+
+    for (std::uint64_t session = 1; session <= kSessions; ++session) {
+        const std::vector<PathIndex> overTcp =
+            clientPaths(replies, session);
+        EXPECT_EQ(overTcp, reference.predictionsFor(session))
+            << "session " << session
+            << ": zero-copy serving disagrees with serial replay";
+        EXPECT_FALSE(overTcp.empty());
+    }
+
+    server.stop();
+    const net::NetStats stats = server.stats();
+    EXPECT_EQ(stats.framesIn, sent);
+    EXPECT_EQ(stats.responsesOut, sent);
+    EXPECT_EQ(stats.framesResynced, 0u);
+    EXPECT_EQ(served.stats().framesSubmitted, sent);
+}

@@ -3,8 +3,8 @@
  * Metric-registration audit for the observability plane.
  *
  * The serving stack promises eager registration: every engine.*,
- * net.* and cluster.* instrument exists in the registry - and
- * therefore in
+ * net.*, cluster.* and control.* instrument exists in the registry -
+ * and therefore in
  * RunReport and the /metrics endpoint - from component construction,
  * even when its value is still zero. Dashboards and alert rules bind
  * to metric names before traffic arrives, so a lazily-registered
@@ -28,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/router.hh"
+#include "control/controller.hh"
 #include "engine/engine.hh"
 #include "net/server.hh"
 #include "support/fault_injector.hh"
@@ -128,7 +129,20 @@ goldenInstruments()
         // Per-backend in-flight gauge (normalized index).
         "cluster.backend.N.inflight",
         "cluster.failovers",
+        "cluster.weight.updates",
+        "control.epochs",
+        "control.decisions",
+        "control.retunes",
+        "control.shed.engaged",
+        "control.shed.released",
+        "control.shed.active",
+        "control.queue.pressure",
+        "control.sessions.observed",
     };
+    for (std::size_t c = 0; c < control::kSessionClassCount; ++c)
+        names.insert(std::string("control.class.") +
+                     control::sessionClassName(
+                         static_cast<control::SessionClass>(c)));
     for (std::size_t s = 0; s < fault::kSiteCount; ++s)
         names.insert(std::string("engine.fault.injected.") +
                      fault::siteName(static_cast<fault::Site>(s)));
@@ -169,7 +183,8 @@ observedInstruments(const telemetry::MetricsSnapshot &snapshot)
     const auto keep = [&names](const std::string &name) {
         if (name.rfind("engine.", 0) == 0 ||
             name.rfind("net.", 0) == 0 ||
-            name.rfind("cluster.", 0) == 0)
+            name.rfind("cluster.", 0) == 0 ||
+            name.rfind("control.", 0) == 0)
             names.insert(normalizeIndexed(name));
     };
     for (const auto &counter : snapshot.counters)
@@ -207,6 +222,10 @@ TEST(ObservabilityAudit, EveryInstrumentRegistersEagerlyAtZero)
     cluster::RouterConfig routerCfg;
     routerCfg.backends = {{"127.0.0.1", 1}};
     cluster::Router router(routerCfg);
+
+    // An attached (never stepped) adaptive controller: every
+    // control.* instrument must exist before the first epoch.
+    control::Controller controller(eng);
 
     const std::set<std::string> golden = goldenInstruments();
     const std::set<std::string> observed =

@@ -218,3 +218,45 @@ TEST(MretPredictorTest, ResetClearsPendingState)
     EXPECT_FALSE(predictor.observe(event(5, 0)));
     EXPECT_EQ(predictor.countersAllocated(), 1u);
 }
+
+// Counter decay (decayShift > 0): after a prediction the head's
+// counter restarts at count >> decayShift instead of zero, so a
+// still-hot head re-arms after only delay - (delay >> decayShift)
+// further executions. This pins the exact schedule: delay 8 with
+// shift 2 restarts at 8 >> 2 = 2, so predictions fire at the 8th,
+// 14th, 20th, ... observations.
+TEST(NetPredictorTest, DecaySchedulePinned)
+{
+    NetPredictor predictor(8, /*re_arm=*/true, /*decay_shift=*/2);
+    std::vector<std::uint64_t> fired;
+    for (std::uint64_t i = 1; i <= 26; ++i)
+        if (predictor.observe(event(1, 0)))
+            fired.push_back(i);
+    EXPECT_EQ(fired,
+              (std::vector<std::uint64_t>{8, 14, 20, 26}));
+}
+
+// decayShift = 0 must keep the paper-exact restart-at-zero cadence.
+TEST(NetPredictorTest, DecayOffMatchesRestartAtZero)
+{
+    NetPredictor predictor(8, /*re_arm=*/true, /*decay_shift=*/0);
+    std::vector<std::uint64_t> fired;
+    for (std::uint64_t i = 1; i <= 24; ++i)
+        if (predictor.observe(event(1, 0)))
+            fired.push_back(i);
+    EXPECT_EQ(fired, (std::vector<std::uint64_t>{8, 16, 24}));
+}
+
+// Decay also replaces single-tail retirement: the head keeps earning
+// new tails at the decayed cadence instead of retiring forever.
+TEST(NetPredictorTest, DecayOverridesSingleTailRetirement)
+{
+    NetPredictor predictor(4, /*re_arm=*/false, /*decay_shift=*/1);
+    std::vector<std::uint64_t> fired;
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        if (predictor.observe(event(2, 0)))
+            fired.push_back(i);
+    // Restart at 4 >> 1 = 2: fires at 4, then every 2.
+    EXPECT_EQ(fired, (std::vector<std::uint64_t>{4, 6, 8, 10}));
+    EXPECT_TRUE(predictor.retiredHeads().empty());
+}
